@@ -1,0 +1,56 @@
+//! Figure 16: "Range query throughput (queries/sec) vs threads" —
+//! YCSB workload E (95% short N1QL range scans / 5% inserts).
+//!
+//! Paper result: ~5.4K queries/sec at 128 threads — roughly 33× below the
+//! raw KV throughput of Figure 15, because every scan runs the full query
+//! pipeline (parse → plan → index scan → project). Shape checks: (a)
+//! throughput grows then saturates with threads; (b) query throughput is
+//! more than an order of magnitude below Figure 15's KV throughput.
+//!
+//! ```text
+//! cargo run -p cbs-bench --release --bin fig16_ycsb_e
+//! ```
+
+use cbs_bench::{env_u64, fmt_tput, paper_cluster, paper_thread_sweep, print_header};
+use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
+
+fn main() {
+    let nodes = env_u64("CBS_NODES", 4) as usize;
+    let records = env_u64("CBS_RECORDS", 20_000);
+    let ops_per_thread = env_u64("CBS_OPS", 100);
+
+    println!("Figure 16 reproduction: YCSB workload E (95% N1QL range scans, 5% inserts)");
+    println!("query: SELECT meta().id AS id FROM `bucket` WHERE meta().id >= $1 LIMIT $2");
+    println!("topology: {nodes}-node cluster; dataset: {records} docs; {ops_per_thread} ops/thread");
+
+    let cluster = paper_cluster(nodes);
+    cluster.create_bucket("ycsb").expect("create bucket");
+    let spec = WorkloadSpec::e(records);
+    eprintln!("loading {records} records...");
+    LoadPhase::run(&cluster, "ycsb", &spec, 16).expect("load phase");
+
+    print_header(
+        "Figure 16: query throughput vs total client threads",
+        &["threads", "ops", "throughput(q/sec)", "p95", "p99"],
+    );
+    let mut series = Vec::new();
+    for threads in paper_thread_sweep() {
+        let summary =
+            run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
+        println!(
+            "{}\t{}\t{}\t{:?}\t{:?}",
+            threads,
+            summary.ops,
+            fmt_tput(summary.throughput()),
+            summary.latency.percentile(95.0),
+            summary.latency.percentile(99.0),
+        );
+        series.push((threads, summary.throughput()));
+    }
+    let peak = series.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    println!(
+        "\nshape: compare against fig15's KV throughput — the paper reports ~33x lower \
+         (178K ops/sec vs 5.4K q/sec); measured peak query throughput here: {} q/sec",
+        fmt_tput(peak)
+    );
+}

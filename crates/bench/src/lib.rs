@@ -1,0 +1,92 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary prints a self-describing table of the same series the
+//! paper reports, so `cargo run -p cbs-bench --release --bin fig15_ycsb_a`
+//! regenerates Figure 15's data directly. Scale knobs come from the
+//! environment so CI can run small and a workstation can run big:
+//!
+//! - `CBS_RECORDS` — dataset size (default varies per experiment; the
+//!   paper used 10M documents on physical hardware);
+//! - `CBS_OPS` — operations per client thread;
+//! - `CBS_NODES` — cluster size (default 4, like the paper).
+
+use std::sync::Arc;
+
+use cbs_core::{ClusterConfig, CouchbaseCluster};
+
+/// Read a scale knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The client-thread sweep. The paper used 4 YCSB clients × {12..32}
+/// threads = 48..128 total, against 4 physical servers (§10.1). In this
+/// in-process simulation, everything shares one machine, so absolute
+/// thread counts are rescaled to the host's parallelism: the sweep runs
+/// {1, 2, 3, 4, 6, 8} × available cores, preserving the *shape*
+/// (throughput grows with concurrency, then saturates). Set
+/// `CBS_PAPER_THREADS=1` to force the paper's literal 48..128 sweep.
+pub fn paper_thread_sweep() -> Vec<usize> {
+    if std::env::var("CBS_PAPER_THREADS").is_ok() {
+        return vec![48, 64, 80, 96, 112, 128];
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    [1usize, 2, 3, 4, 6, 8].iter().map(|f| f * cores).collect()
+}
+
+/// Build the paper's benchmark topology: "the data, index and query
+/// services running on all nodes of a 4-node cluster" (§10.1, Figure 14).
+pub fn paper_cluster(nodes: usize) -> Arc<CouchbaseCluster> {
+    let mut cfg = ClusterConfig::for_test(cbs_common::NUM_VBUCKETS, 1);
+    cfg.cache_quota = 2 << 30;
+    CouchbaseCluster::homogeneous(nodes, cfg)
+}
+
+/// Smaller topology for ablations that don't need 1024 vBuckets.
+pub fn small_cluster(nodes: usize, replicas: u8) -> Arc<CouchbaseCluster> {
+    CouchbaseCluster::homogeneous(nodes, ClusterConfig::for_test(128, replicas))
+}
+
+/// Print a table header.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+/// Format ops/sec human-readably.
+pub fn fmt_tput(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1000.0 {
+        format!("{:.1}K", ops_per_sec / 1000.0)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scales_to_host_and_honours_paper_override() {
+        let sweep = paper_thread_sweep();
+        assert_eq!(sweep.len(), 6, "six points like the paper's 48..128 sweep");
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]), "monotone concurrency");
+        std::env::set_var("CBS_PAPER_THREADS", "1");
+        let paper = paper_thread_sweep();
+        std::env::remove_var("CBS_PAPER_THREADS");
+        assert_eq!(paper, vec![48, 64, 80, 96, 112, 128]);
+    }
+
+    #[test]
+    fn env_parsing() {
+        std::env::set_var("CBS_TEST_KNOB", "42");
+        assert_eq!(env_u64("CBS_TEST_KNOB", 7), 42);
+        assert_eq!(env_u64("CBS_TEST_KNOB_MISSING", 7), 7);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_tput(178_000.0), "178.0K");
+        assert_eq!(fmt_tput(540.0), "540");
+    }
+}

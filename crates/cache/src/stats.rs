@@ -1,0 +1,59 @@
+//! Cache statistics.
+
+/// Point-in-time statistics for an [`crate::ObjectCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries resident (including value-evicted and tombstones).
+    pub items: u64,
+    /// Entries whose value (or tombstone marker) is resident.
+    pub resident_items: u64,
+    /// Approximate bytes in use.
+    pub mem_used: usize,
+    /// Configured quota in bytes.
+    pub quota: usize,
+    /// Lookup hits (value or tombstone found).
+    pub hits: u64,
+    /// Lookup misses (absent, or value evicted).
+    pub misses: u64,
+    /// Values/entries evicted so far.
+    pub evictions: u64,
+    /// Writes rejected with TempOom.
+    pub tmp_ooms: u64,
+}
+
+impl CacheStats {
+    /// Fraction of entries whose value is resident (the "residency ratio"
+    /// operators watch in production Couchbase).
+    pub fn residency_ratio(&self) -> f64 {
+        if self.items == 0 {
+            1.0
+        } else {
+            self.resident_items as f64 / self.items as f64
+        }
+    }
+
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats { items: 10, resident_items: 5, hits: 3, misses: 1, ..Default::default() };
+        assert!((s.residency_ratio() - 0.5).abs() < 1e-9);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        let empty = CacheStats::default();
+        assert_eq!(empty.residency_ratio(), 1.0);
+        assert_eq!(empty.hit_rate(), 1.0);
+    }
+}

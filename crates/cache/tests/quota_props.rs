@@ -1,0 +1,95 @@
+//! Property tests for the object cache's quota and eviction invariants.
+
+use cbs_cache::{CacheLookup, EvictionPolicy, ObjectCache};
+use cbs_common::{DocMeta, SeqNo, VbId};
+use cbs_json::Value;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { vb: u8, key: u8, size: u16, clean: bool },
+    Get { vb: u8, key: u8 },
+    Delete { vb: u8, key: u8 },
+    Evict,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>(), 1u16..2000, any::<bool>())
+                .prop_map(|(vb, key, size, clean)| Op::Set { vb: vb % 8, key, size, clean }),
+            (any::<u8>(), any::<u8>()).prop_map(|(vb, key)| Op::Get { vb: vb % 8, key }),
+            (any::<u8>(), any::<u8>()).prop_map(|(vb, key)| Op::Delete { vb: vb % 8, key }),
+            Just(Op::Evict),
+        ],
+        1..120,
+    )
+}
+
+fn meta(seq: u64) -> DocMeta {
+    DocMeta { seqno: SeqNo(seq), ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Under any operation sequence: memory accounting never goes negative,
+    /// dirty items survive eviction, and successful sets are immediately
+    /// readable.
+    #[test]
+    fn cache_invariants_hold(ops in arb_ops(), value_only in any::<bool>()) {
+        let policy = if value_only { EvictionPolicy::ValueOnly } else { EvictionPolicy::Full };
+        let cache = ObjectCache::new(8, 200_000, policy);
+        let mut dirty_keys: Vec<(u8, u8)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Set { vb, key, size, clean } => {
+                    let value = Value::from("x".repeat(*size as usize));
+                    let k = format!("k{key}");
+                    if cache.set(VbId(*vb as u16), &k, meta(i as u64), value, !clean).is_ok() {
+                        // A successful set is immediately visible.
+                        let visible =
+                            matches!(cache.get(VbId(*vb as u16), &k), CacheLookup::Hit { .. });
+                        prop_assert!(visible);
+                        if !clean {
+                            if !dirty_keys.contains(&(*vb, *key)) {
+                                dirty_keys.push((*vb, *key));
+                            }
+                        } else {
+                            dirty_keys.retain(|p| p != &(*vb, *key));
+                        }
+                    }
+                }
+                Op::Get { vb, key } => {
+                    let _ = cache.get(VbId(*vb as u16), &format!("k{key}"));
+                }
+                Op::Delete { vb, key } => {
+                    // Tombstone write (dirty).
+                    if cache.delete(VbId(*vb as u16), &format!("k{key}"), meta(i as u64), true).is_ok()
+                        && !dirty_keys.contains(&(*vb, *key)) {
+                        dirty_keys.push((*vb, *key));
+                    }
+                }
+                Op::Evict => cache.evict_to_watermark(),
+            }
+            let stats = cache.stats();
+            prop_assert!(stats.mem_used < 10_000_000, "accounting sane: {stats:?}");
+            prop_assert!(stats.resident_items <= stats.items);
+        }
+        // Dirty items are pinned: every dirty key still has resident state.
+        cache.evict_to_watermark();
+        cache.evict_to_watermark();
+        for (vb, key) in dirty_keys {
+            let lookup = cache.get(VbId(vb as u16), &format!("k{key}"));
+            let survived =
+                matches!(lookup, CacheLookup::Hit { .. } | CacheLookup::Tombstone { .. });
+            prop_assert!(survived, "dirty item k{} must survive eviction, got {:?}", key, lookup);
+        }
+        // Clearing every vb returns memory accounting to zero.
+        for vb in 0..8 {
+            cache.clear_vb(VbId(vb));
+        }
+        prop_assert_eq!(cache.stats().mem_used, 0);
+        prop_assert_eq!(cache.stats().items, 0);
+    }
+}

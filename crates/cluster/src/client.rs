@@ -1,0 +1,213 @@
+//! The smart client (§4.1): "Applications can use Couchbase's smart
+//! clients, which contain a copy of the cluster map [...] A client applies
+//! a hash function (CRC32) to every document that needs to be stored in
+//! Couchbase, and the document can then be sent directly from the client
+//! to the server where it should reside" (Figure 5).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_common::{vbucket_for_key, Cas, Error, Result, VbId};
+use cbs_json::Value;
+use cbs_kv::{GetResult, MutateMode, MutationResult};
+use parking_lot::RwLock;
+
+use crate::cluster::Cluster;
+use crate::map::ClusterMap;
+
+/// How many times the client refreshes its map and retries after routing
+/// errors before giving up.
+const MAX_RETRIES: usize = 8;
+
+/// Durability requirement per mutation (§2.3.2 "Durability guarantees":
+/// "Couchbase provides client applications with the option to wait for
+/// replication and/or for persistence on a per mutation basis").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Durability {
+    /// Wait until the mutation is replicated to this many replica copies.
+    pub replicate_to: u8,
+    /// Wait until the mutation is persisted on the active copy.
+    pub persist_to_master: bool,
+}
+
+/// A cluster-map-caching client handle.
+pub struct SmartClient {
+    cluster: Arc<Cluster>,
+    bucket: String,
+    map: RwLock<ClusterMap>,
+}
+
+impl SmartClient {
+    /// Connect to a bucket (fetches the initial map).
+    pub fn connect(cluster: Arc<Cluster>, bucket: &str) -> Result<SmartClient> {
+        let map = cluster.map(bucket)?;
+        Ok(SmartClient { cluster, bucket: bucket.to_string(), map: RwLock::new(map) })
+    }
+
+    /// The bucket this client talks to.
+    pub fn bucket(&self) -> &str {
+        &self.bucket
+    }
+
+    /// The vBucket a key routes to.
+    pub fn vb_for_key(&self, key: &str) -> VbId {
+        VbId(vbucket_for_key(key.as_bytes(), self.map.read().num_vbuckets()))
+    }
+
+    /// Epoch of the cached map (tests / diagnostics).
+    pub fn cached_epoch(&self) -> u64 {
+        self.map.read().epoch
+    }
+
+    fn refresh_map(&self) -> Result<()> {
+        let fresh = self.cluster.map(&self.bucket)?;
+        let mut cached = self.map.write();
+        if fresh.epoch > cached.epoch {
+            *cached = fresh;
+        }
+        Ok(())
+    }
+
+    /// Route an operation to the active node of the key's vBucket,
+    /// refreshing the map and retrying on routing errors (the
+    /// NOT_MY_VBUCKET dance).
+    fn with_engine<T>(
+        &self,
+        key: &str,
+        op: impl Fn(&cbs_kv::DataEngine) -> Result<T>,
+    ) -> Result<T> {
+        let mut last_err = Error::Cluster("unreachable".to_string());
+        for attempt in 0..MAX_RETRIES {
+            let vb = self.vb_for_key(key);
+            let node_id = self.map.read().active_node(vb);
+            let result = self
+                .cluster
+                .node(node_id)
+                .and_then(|n| n.engine(&self.bucket))
+                .and_then(|e| op(&e));
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e @ (Error::VbucketNotActive(_) | Error::NotMyVbucket(_) | Error::NodeDown(_))) => {
+                    last_err = e;
+                    self.refresh_map()?;
+                    // Brief backoff: the topology change may still be
+                    // propagating (mid-failover).
+                    std::thread::sleep(Duration::from_millis(2 << attempt.min(5)));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// KV get (§3.1.1: "only the cluster node hosting the data with that
+    /// key will be contacted").
+    pub fn get(&self, key: &str) -> Result<GetResult> {
+        self.with_engine(key, |e| e.get(key))
+    }
+
+    /// KV upsert.
+    pub fn upsert(&self, key: &str, value: Value) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, 0))
+    }
+
+    /// KV insert (fails on existing key).
+    pub fn insert(&self, key: &str, value: Value) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Insert, Cas::WILDCARD, 0))
+    }
+
+    /// KV replace with optional CAS check.
+    pub fn replace(&self, key: &str, value: Value, cas: Cas) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Replace, cas, 0))
+    }
+
+    /// CAS-checked upsert.
+    pub fn upsert_with_cas(&self, key: &str, value: Value, cas: Cas) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, cas, 0))
+    }
+
+    /// KV delete.
+    pub fn remove(&self, key: &str, cas: Cas) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.delete(key, cas))
+    }
+
+    /// Upsert with expiry (TTL).
+    pub fn upsert_with_expiry(&self, key: &str, value: Value, expiry: u32) -> Result<MutationResult> {
+        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, expiry))
+    }
+
+    /// Get-and-lock (GETL, §3.1.1).
+    pub fn get_and_lock(&self, key: &str, duration: Duration) -> Result<GetResult> {
+        self.with_engine(key, |e| e.get_and_lock(key, Some(duration)))
+    }
+
+    /// Release a GETL lock.
+    pub fn unlock(&self, key: &str, token: Cas) -> Result<()> {
+        self.with_engine(key, |e| e.unlock(key, token))
+    }
+
+    /// Mutation with durability requirements: ack only once the mutation
+    /// is replicated to `replicate_to` replicas and/or persisted on the
+    /// active copy (§2.3.2).
+    pub fn upsert_durable(
+        &self,
+        key: &str,
+        value: Value,
+        durability: Durability,
+        timeout: Duration,
+    ) -> Result<MutationResult> {
+        let result = self.upsert(key, value)?;
+        self.observe(key, result, durability, timeout)?;
+        Ok(result)
+    }
+
+    /// Wait (observe-style polling) until a mutation satisfies the given
+    /// durability requirement.
+    pub fn observe(
+        &self,
+        key: &str,
+        mutation: MutationResult,
+        durability: Durability,
+        timeout: Duration,
+    ) -> Result<()> {
+        let map = self.map.read().clone();
+        let vb = mutation.vb;
+        if durability.replicate_to as usize > map.replica_nodes(vb).len() {
+            return Err(Error::DurabilityImpossible(format!(
+                "replicate_to={} but only {} replicas configured",
+                durability.replicate_to,
+                map.replica_nodes(vb).len()
+            )));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        if durability.persist_to_master {
+            let node = self.cluster.node(map.active_node(vb))?;
+            node.engine(&self.bucket)?.wait_persisted(vb, mutation.seqno, timeout)?;
+        }
+        if durability.replicate_to > 0 {
+            loop {
+                let mut satisfied = 0u8;
+                for r in map.replica_nodes(vb) {
+                    if let Ok(node) = self.cluster.node(*r) {
+                        if let Ok(engine) = node.engine(&self.bucket) {
+                            if engine.high_seqno(vb) >= mutation.seqno {
+                                satisfied += 1;
+                            }
+                        }
+                    }
+                }
+                if satisfied >= durability.replicate_to {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(Error::Timeout(format!(
+                        "replication of {key} to {} replicas",
+                        durability.replicate_to
+                    )));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,669 @@
+//! The cluster manager (§4.3.1): membership, orchestrator election,
+//! failover, rebalance.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cbs_common::{Error, NodeId, Result, SeqNo, VbId};
+use cbs_json::Value;
+use cbs_kv::VbState;
+use cbs_views::{ViewQuery, ViewResult, ViewRow};
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::{ClusterConfig, ServiceSet};
+use crate::map::ClusterMap;
+use crate::node::Node;
+use crate::replication::{PumpTopology, ReplicationPump, TopologyFn};
+
+pub(crate) struct ClusterInner {
+    pub cfg: ClusterConfig,
+    pub nodes: RwLock<Vec<Arc<Node>>>,
+    /// Per-bucket cluster maps.
+    pub maps: RwLock<HashMap<String, ClusterMap>>,
+    /// The cluster's full-text search service (§6.1.3), fed by the DCP
+    /// pump like the GSI service.
+    pub fts: Arc<cbs_fts::FtsService>,
+}
+
+impl ClusterInner {
+    pub fn node(&self, id: NodeId) -> Result<Arc<Node>> {
+        self.nodes
+            .read()
+            .iter()
+            .find(|n| n.id() == id)
+            .cloned()
+            .ok_or_else(|| Error::Cluster(format!("unknown node {id:?}")))
+    }
+
+    pub fn alive_data_nodes(&self) -> Vec<Arc<Node>> {
+        self.nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_alive() && n.services().data)
+            .cloned()
+            .collect()
+    }
+
+    pub fn map(&self, bucket: &str) -> Result<ClusterMap> {
+        self.maps
+            .read()
+            .get(bucket)
+            .cloned()
+            .ok_or_else(|| Error::Cluster(format!("unknown bucket {bucket}")))
+    }
+}
+
+/// A Couchbase cluster: nodes + buckets + the management plane.
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+    pumps: Mutex<HashMap<String, ReplicationPump>>,
+    next_node_id: Mutex<u32>,
+    rebalancing: AtomicBool,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` nodes all running every service (the
+    /// homogeneous Figure 4 topology).
+    pub fn homogeneous(n: usize, cfg: ClusterConfig) -> Arc<Cluster> {
+        Cluster::with_services(vec![ServiceSet::all(); n], cfg)
+    }
+
+    /// Build a cluster with explicit per-node service sets (MDS, §4.4).
+    pub fn with_services(services: Vec<ServiceSet>, cfg: ClusterConfig) -> Arc<Cluster> {
+        let nodes: Vec<Arc<Node>> = services
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Arc::new(Node::new(NodeId(i as u32), s, &cfg)))
+            .collect();
+        let next = nodes.len() as u32;
+        Arc::new(Cluster {
+            inner: Arc::new(ClusterInner {
+                fts: Arc::new(cbs_fts::FtsService::new(cfg.num_vbuckets)),
+                cfg,
+                nodes: RwLock::new(nodes),
+                maps: RwLock::new(HashMap::new()),
+            }),
+            pumps: Mutex::new(HashMap::new()),
+            next_node_id: Mutex::new(next),
+            rebalancing: AtomicBool::new(false),
+        })
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.cfg
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> Vec<Arc<Node>> {
+        self.inner.nodes.read().clone()
+    }
+
+    /// Look up a node.
+    pub fn node(&self, id: NodeId) -> Result<Arc<Node>> {
+        self.inner.node(id)
+    }
+
+    /// The current orchestrator: "the nodes also elect a cluster-wide
+    /// orchestrator node" — deterministic election of the lowest-id alive
+    /// node, re-run implicitly whenever liveness changes ("they will elect
+    /// a new orchestrator immediately").
+    pub fn orchestrator(&self) -> Option<NodeId> {
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_alive())
+            .map(|n| n.id())
+            .min()
+    }
+
+    /// The map for a bucket (what smart clients cache).
+    pub fn map(&self, bucket: &str) -> Result<ClusterMap> {
+        self.inner.map(bucket)
+    }
+
+    /// Bucket names.
+    pub fn buckets(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.maps.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Bucket management
+    // ------------------------------------------------------------------
+
+    /// Create a bucket across all data nodes, compute its initial balanced
+    /// map, activate vBuckets, and start its replication/index pump.
+    pub fn create_bucket(&self, bucket: &str) -> Result<()> {
+        if self.inner.maps.read().contains_key(bucket) {
+            return Err(Error::Cluster(format!("bucket {bucket} already exists")));
+        }
+        let data_nodes = self.inner.alive_data_nodes();
+        if data_nodes.is_empty() {
+            return Err(Error::Cluster("no data nodes available".to_string()));
+        }
+        for node in self.inner.nodes.read().iter() {
+            node.create_bucket(bucket)?;
+        }
+        let ids: Vec<NodeId> = data_nodes.iter().map(|n| n.id()).collect();
+        let map = ClusterMap::balanced(
+            1,
+            self.inner.cfg.num_vbuckets,
+            &ids,
+            self.inner.cfg.num_replicas,
+        );
+        // Activate placement on the engines.
+        for node in &data_nodes {
+            let engine = node.engine(bucket)?;
+            for vb in map.active_vbs(node.id()) {
+                engine.set_vb_state(vb, VbState::Active);
+            }
+            for vb in map.replica_vbs(node.id()) {
+                engine.set_vb_state(vb, VbState::Replica);
+            }
+        }
+        self.inner.maps.write().insert(bucket.to_string(), map);
+        // Start the DCP pump (replication + GSI feed) for this bucket.
+        let inner = Arc::clone(&self.inner);
+        let bucket_name = bucket.to_string();
+        let topo: TopologyFn = Box::new(move || topology_snapshot(&inner, &bucket_name));
+        self.pumps
+            .lock()
+            .insert(bucket.to_string(), ReplicationPump::spawn(bucket.to_string(), topo));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling (§4.3.1)
+    // ------------------------------------------------------------------
+
+    /// Crash a node (failure injection).
+    pub fn kill_node(&self, id: NodeId) -> Result<()> {
+        self.inner.node(id)?.kill();
+        Ok(())
+    }
+
+    /// Fail over a (dead) node: "It promotes to active status replica
+    /// partitions associated with the server that went down. The cluster
+    /// map will also be updated on all of the cluster nodes and the
+    /// clients."
+    ///
+    /// Returns the number of vBuckets promoted across all buckets. vBuckets
+    /// with no surviving replica are lost until the node returns (as in the
+    /// real system with replica count 0).
+    pub fn failover(&self, dead: NodeId) -> Result<usize> {
+        let node = self.inner.node(dead)?;
+        if node.is_alive() {
+            return Err(Error::Cluster(format!("{dead:?} is still alive; refuse to fail over")));
+        }
+        let mut promoted = 0usize;
+        let buckets = self.buckets();
+        for bucket in buckets {
+            let mut map = self.inner.map(&bucket)?;
+            let mut changed = false;
+            for v in 0..map.num_vbuckets() {
+                let vb = VbId(v);
+                if map.active_node(vb) == dead {
+                    let candidate = map
+                        .replica_nodes(vb)
+                        .iter()
+                        .copied()
+                        .find(|r| self.inner.node(*r).map(|n| n.is_alive()).unwrap_or(false));
+                    if let Some(new_active) = candidate {
+                        let engine = self.inner.node(new_active)?.engine(&bucket)?;
+                        engine.set_vb_state(vb, VbState::Active);
+                        map.active[vb.index()] = new_active;
+                        map.replicas[vb.index()].retain(|r| *r != new_active && *r != dead);
+                        promoted += 1;
+                        changed = true;
+                    }
+                } else if map.replicas[vb.index()].contains(&dead) {
+                    map.replicas[vb.index()].retain(|r| *r != dead);
+                    changed = true;
+                }
+            }
+            if changed {
+                map.epoch += 1;
+                self.inner.maps.write().insert(bucket.clone(), map);
+            }
+        }
+        Ok(promoted)
+    }
+
+    /// Spawn the orchestrator's failure monitor: "If a node in the cluster
+    /// crashes or otherwise becomes unavailable, the orchestrator notifies
+    /// all other machines in the cluster. It promotes to active status
+    /// replica partitions associated with the server that went down"
+    /// (§4.3.1). The monitor heartbeats every node each `interval` and
+    /// fails over any that stop responding. Returns a guard; drop it to
+    /// stop monitoring.
+    pub fn spawn_auto_failover(self: &Arc<Self>, interval: Duration) -> AutoFailover {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let cluster = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("cbs-auto-failover".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    for node in cluster.nodes() {
+                        if !node.is_alive() {
+                            // The orchestrator performs the promotion; in
+                            // this simulation any caller thread can act for
+                            // it (election is deterministic). failover() is
+                            // idempotent — once the dead node is out of the
+                            // map it promotes nothing and changes nothing —
+                            // so no bookkeeping is needed across passes.
+                            let _ = cluster.failover(node.id());
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn auto-failover");
+        AutoFailover { stop, handle: Some(handle) }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology changes + rebalance (§4.3.1)
+    // ------------------------------------------------------------------
+
+    /// Add a fresh node with the given services (it owns nothing until a
+    /// rebalance).
+    pub fn add_node(&self, services: ServiceSet) -> Result<NodeId> {
+        let mut next = self.next_node_id.lock();
+        let id = NodeId(*next);
+        *next += 1;
+        let node = Arc::new(Node::new(id, services, &self.inner.cfg));
+        for bucket in self.buckets() {
+            node.create_bucket(&bucket)?;
+        }
+        self.inner.nodes.write().push(node);
+        Ok(id)
+    }
+
+    /// Rebalance every bucket to the balanced layout over the current
+    /// alive data nodes, excluding `exclude` (for rebalance-out). "Once
+    /// the cluster moves each partition from one location to another, an
+    /// atomic and consistent switchover takes place."
+    pub fn rebalance(&self, exclude: &[NodeId]) -> Result<()> {
+        if self.rebalancing.swap(true, Ordering::SeqCst) {
+            return Err(Error::Cluster("rebalance already in progress".to_string()));
+        }
+        let result = self.rebalance_inner(exclude);
+        self.rebalancing.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn rebalance_inner(&self, exclude: &[NodeId]) -> Result<()> {
+        let target_nodes: Vec<Arc<Node>> = self
+            .inner
+            .alive_data_nodes()
+            .into_iter()
+            .filter(|n| !exclude.contains(&n.id()))
+            .collect();
+        if target_nodes.is_empty() {
+            return Err(Error::Cluster("rebalance needs at least one data node".to_string()));
+        }
+        let ids: Vec<NodeId> = target_nodes.iter().map(|n| n.id()).collect();
+
+        for bucket in self.buckets() {
+            let current = self.inner.map(&bucket)?;
+            let target = ClusterMap::balanced(
+                current.epoch + 1,
+                current.num_vbuckets(),
+                &ids,
+                self.inner.cfg.num_replicas,
+            );
+
+            // Phase 1: move actives, one vBucket at a time.
+            for v in 0..current.num_vbuckets() {
+                let vb = VbId(v);
+                let src_id = self.inner.map(&bucket)?.active_node(vb);
+                let dst_id = target.active_node(vb);
+                if src_id == dst_id {
+                    continue;
+                }
+                self.move_active_vb(&bucket, vb, src_id, dst_id)?;
+            }
+
+            // Phase 2: (re)build replica chains. Rebalance is not done
+            // until new replicas actually hold the data — a failover right
+            // after rebalance must be safe.
+            let mut map = self.inner.map(&bucket)?;
+            for v in 0..map.num_vbuckets() {
+                let vb = VbId(v);
+                let wanted = target.replica_nodes(vb).to_vec();
+                let have = map.replica_nodes(vb).to_vec();
+                for r in &wanted {
+                    if !have.contains(r) && *r != map.active_node(vb) {
+                        let engine = self.inner.node(*r)?.engine(&bucket)?;
+                        if engine.vb_state(vb) != VbState::Replica {
+                            engine.purge_vb(vb)?;
+                            engine.set_vb_state(vb, VbState::Replica);
+                        }
+                        // Synchronous initial copy (backfill + catch-up);
+                        // the steady-state pump takes over from here.
+                        let src = self
+                            .inner
+                            .node(self.inner.map(&bucket)?.active_node(vb))?
+                            .engine(&bucket)?;
+                        let mut stream = src.open_dcp_stream(vb, engine.high_seqno(vb))?;
+                        let goal = src.high_seqno(vb);
+                        for item in stream.drain_until(goal, Duration::from_secs(30)) {
+                            engine.apply_replica(&item)?;
+                        }
+                    }
+                }
+                for r in &have {
+                    if !wanted.contains(r) {
+                        if let Ok(node) = self.inner.node(*r) {
+                            if let Ok(engine) = node.engine(&bucket) {
+                                engine.purge_vb(vb)?;
+                            }
+                        }
+                    }
+                }
+                map.replicas[vb.index()] = wanted
+                    .into_iter()
+                    .filter(|r| *r != map.active_node(vb))
+                    .collect();
+            }
+            map.epoch += 1;
+            self.inner.maps.write().insert(bucket.clone(), map);
+        }
+        Ok(())
+    }
+
+    /// Move one active vBucket from `src` to `dst` via DCP backfill + live
+    /// tail, finishing with the atomic takeover.
+    fn move_active_vb(&self, bucket: &str, vb: VbId, src_id: NodeId, dst_id: NodeId) -> Result<()> {
+        let src = self.inner.node(src_id)?.engine(bucket)?;
+        let dst = self.inner.node(dst_id)?.engine(bucket)?;
+        // "Rebalance marks the destination partitions as being replicas
+        // until they are ready to be switched to active" — our Pending
+        // state.
+        dst.set_vb_state(vb, VbState::Pending);
+        let mut stream = src.open_dcp_stream(vb, dst.high_seqno(vb))?;
+        // Backfill + catch up to the source's current high seqno.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let goal = src.high_seqno(vb);
+            for item in stream.drain_until(goal, Duration::from_millis(200)) {
+                dst.apply_replica(&item)?;
+            }
+            if stream.cursor() >= goal {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(Error::Timeout(format!("rebalance mover for {vb:?}")));
+            }
+        }
+        // Atomic takeover: block writes on the source, drain the last few
+        // in-flight items, flip the destination to active.
+        src.set_vb_state(vb, VbState::Dead);
+        for item in stream.drain_available() {
+            dst.apply_replica(&item)?;
+        }
+        dst.set_vb_state(vb, VbState::Active);
+        // Install the map change so clients re-route (epoch bump per move:
+        // "the cluster updates each connected client library with the new
+        // cluster map").
+        {
+            let mut maps = self.inner.maps.write();
+            let map = maps.get_mut(bucket).expect("bucket exists");
+            map.active[vb.index()] = dst_id;
+            map.replicas[vb.index()].retain(|r| *r != dst_id);
+            map.epoch += 1;
+        }
+        // The source no longer owns the partition at all ("Dead: this
+        // server is not in any way responsible for this partition").
+        src.purge_vb(vb)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster-wide helpers for services
+    // ------------------------------------------------------------------
+
+    /// The engine currently active for a vBucket.
+    pub fn active_engine(&self, bucket: &str, vb: VbId) -> Result<Arc<cbs_kv::DataEngine>> {
+        let map = self.inner.map(bucket)?;
+        self.inner.node(map.active_node(vb))?.engine(bucket)
+    }
+
+    /// Cluster-wide high-seqno vector for a bucket (the `request_plus`
+    /// consistency token, aggregated over active vBuckets).
+    pub fn seqno_vector(&self, bucket: &str) -> Result<Vec<SeqNo>> {
+        let map = self.inner.map(bucket)?;
+        let mut out = vec![SeqNo::ZERO; map.num_vbuckets() as usize];
+        for node in self.inner.alive_data_nodes() {
+            if let Ok(engine) = node.engine(bucket) {
+                for vb in map.active_vbs(node.id()) {
+                    out[vb.index()] = engine.high_seqno(vb);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All index managers in the cluster (index-service nodes).
+    pub fn index_managers(&self) -> Vec<Arc<cbs_index::IndexManager>> {
+        self.inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_alive())
+            .filter_map(|n| n.index_manager().ok())
+            .collect()
+    }
+
+    /// The index manager DDL and scans are routed to (first alive
+    /// index-service node).
+    pub fn index_manager(&self) -> Result<Arc<cbs_index::IndexManager>> {
+        self.index_managers()
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::Cluster("no index service in the cluster".to_string()))
+    }
+
+    /// Register a design document on every data node (views are local
+    /// indexes co-located with the data, §3.3.1).
+    pub fn create_design_doc(&self, bucket: &str, ddoc: cbs_views::DesignDoc) -> Result<()> {
+        for node in self.inner.alive_data_nodes() {
+            node.view_engine(bucket)?.create_design_doc(ddoc.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Cluster-wide view query: "a given view query will be broadcast to
+    /// all servers in the cluster and the results will be merged" (§3.1.2,
+    /// Figure 8).
+    pub fn view_query(
+        &self,
+        bucket: &str,
+        ddoc: &str,
+        view: &str,
+        q: &ViewQuery,
+    ) -> Result<ViewResult> {
+        let mut partials: Vec<ViewResult> = Vec::new();
+        for node in self.inner.alive_data_nodes() {
+            partials.push(node.view_engine(bucket)?.query(ddoc, view, q)?);
+        }
+        Ok(merge_view_results(partials, q))
+    }
+
+    /// The full-text search service (§6.1.3). Indexes created here are
+    /// maintained from the same DCP pump that feeds the GSI service, so
+    /// they survive failover and rebalance.
+    pub fn fts(&self) -> &Arc<cbs_fts::FtsService> {
+        &self.inner.fts
+    }
+
+    /// Create a full-text search index over a bucket and build it from the
+    /// current data (catch-up happens through the pump's from-zero
+    /// streams; this call just registers the definition).
+    pub fn create_fts_index(&self, def: cbs_fts::FtsIndexDef) -> Result<()> {
+        self.map(&def.keyspace)?; // bucket must exist
+        self.inner.fts.create_index(def)
+    }
+
+    /// Search a full-text index. With `consistent`, the search waits until
+    /// the index has processed every mutation acknowledged before this
+    /// call (the FTS analogue of `request_plus`).
+    pub fn fts_search(
+        &self,
+        bucket: &str,
+        index: &str,
+        query: &cbs_fts::SearchQuery,
+        limit: usize,
+        consistent: bool,
+    ) -> Result<Vec<cbs_fts::SearchHit>> {
+        let target = if consistent { Some(self.seqno_vector(bucket)?) } else { None };
+        self.inner.fts.search(
+            bucket,
+            index,
+            query,
+            limit,
+            target.as_deref(),
+            Duration::from_secs(30),
+        )
+    }
+
+    /// Per-node operation counters summed (throughput accounting for the
+    /// benchmark harness).
+    pub fn total_ops(&self, bucket: &str) -> u64 {
+        self.inner
+            .alive_data_nodes()
+            .iter()
+            .filter_map(|n| n.engine(bucket).ok())
+            .map(|e| e.stats().total_ops())
+            .sum()
+    }
+}
+
+/// Guard for the auto-failover monitor thread.
+pub struct AutoFailover {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for AutoFailover {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn topology_snapshot(inner: &Arc<ClusterInner>, bucket: &str) -> PumpTopology {
+    let map = inner.map(bucket).expect("bucket exists while pump runs");
+    let mut engines = HashMap::new();
+    for node in inner.nodes.read().iter() {
+        if node.is_alive() {
+            if let Ok(e) = node.engine(bucket) {
+                engines.insert(node.id(), e);
+            }
+        }
+    }
+    let index_managers = inner
+        .nodes
+        .read()
+        .iter()
+        .filter(|n| n.is_alive())
+        .filter_map(|n| n.index_manager().ok())
+        .collect();
+    PumpTopology { map, engines, index_managers, fts_services: vec![Arc::clone(&inner.fts)] }
+}
+
+fn merge_view_results(partials: Vec<ViewResult>, q: &ViewQuery) -> ViewResult {
+    let total_rows = partials.iter().map(|p| p.total_rows).sum();
+    if q.reduce && !q.group {
+        // Re-reduce the single-row partials. Counts/sums add; for stats we
+        // merge the JSON objects field-wise.
+        let mut rows: Vec<ViewRow> = Vec::new();
+        for p in partials {
+            for row in p.rows {
+                match rows.first_mut() {
+                    None => rows.push(row),
+                    Some(acc) => acc.value = merge_reduced(&acc.value, &row.value),
+                }
+            }
+        }
+        return ViewResult { rows, total_rows };
+    }
+    // Row results (and grouped reductions) merge in key order.
+    let mut rows: Vec<ViewRow> = partials.into_iter().flat_map(|p| p.rows).collect();
+    rows.sort_by(|a, b| cbs_json::cmp_values(&a.key, &b.key));
+    if q.reduce && q.group {
+        // Merge adjacent groups with equal keys.
+        let mut merged: Vec<ViewRow> = Vec::new();
+        for row in rows {
+            match merged.last_mut() {
+                Some(last)
+                    if cbs_json::cmp_values(&last.key, &row.key) == std::cmp::Ordering::Equal =>
+                {
+                    last.value = merge_reduced(&last.value, &row.value);
+                }
+                _ => merged.push(row),
+            }
+        }
+        rows = merged;
+    }
+    if q.limit > 0 && rows.len() > q.limit {
+        rows.truncate(q.limit);
+    }
+    ViewResult { rows, total_rows }
+}
+
+/// Combine two reduced values produced by the same reducer.
+fn merge_reduced(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Number(_), Value::Number(_)) => {
+            // _count / _sum: addition.
+            Value::float(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)).into_int_if_whole()
+        }
+        (Value::Object(_), Value::Object(_)) => {
+            // _stats objects.
+            let f = |v: &Value, k: &str| v.get_field(k).and_then(Value::as_f64);
+            let sum = f(a, "sum").unwrap_or(0.0) + f(b, "sum").unwrap_or(0.0);
+            let count = f(a, "count").unwrap_or(0.0) + f(b, "count").unwrap_or(0.0);
+            let sumsqr = f(a, "sumsqr").unwrap_or(0.0) + f(b, "sumsqr").unwrap_or(0.0);
+            let min = match (f(a, "min"), f(b, "min")) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            };
+            let max = match (f(a, "max"), f(b, "max")) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, None) => x,
+                (None, y) => y,
+            };
+            Value::object([
+                ("sum", Value::float(sum).into_int_if_whole()),
+                ("count", Value::float(count).into_int_if_whole()),
+                ("min", min.map(|m| Value::float(m).into_int_if_whole()).unwrap_or(Value::Null)),
+                ("max", max.map(|m| Value::float(m).into_int_if_whole()).unwrap_or(Value::Null)),
+                ("sumsqr", Value::float(sumsqr).into_int_if_whole()),
+            ])
+        }
+        _ => a.clone(),
+    }
+}
+
+trait IntoIntIfWhole {
+    fn into_int_if_whole(self) -> Value;
+}
+
+impl IntoIntIfWhole for Value {
+    fn into_int_if_whole(self) -> Value {
+        match self.as_f64() {
+            Some(f) if f.fract() == 0.0 && f.abs() < 9e15 => Value::int(f as i64),
+            _ => self,
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A cluster node: the per-server container of services (§4.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cbs_common::{Error, NodeId, Result};
+use cbs_index::IndexManager;
+use cbs_kv::{DataEngine, EngineConfig, FlusherHandle};
+use cbs_views::ViewEngine;
+use parking_lot::RwLock;
+
+use crate::config::{ClusterConfig, ServiceSet};
+
+/// One simulated server.
+///
+/// "The nodes in a Couchbase Server cluster can all look the same, or
+/// various subsets of the cluster nodes can be configured to run a
+/// particular (sub)set of services" (§4.3).
+pub struct Node {
+    id: NodeId,
+    services: ServiceSet,
+    alive: AtomicBool,
+    /// Per-bucket data engines (data service only).
+    engines: RwLock<HashMap<String, Arc<DataEngine>>>,
+    /// Per-bucket view engines (co-located with data, §3.3.1).
+    view_engines: RwLock<HashMap<String, Arc<ViewEngine>>>,
+    /// Flusher threads, one per bucket.
+    flushers: parking_lot::Mutex<Vec<FlusherHandle>>,
+    /// GSI manager (index service only).
+    index_mgr: Option<Arc<IndexManager>>,
+    cfg: ClusterConfig,
+}
+
+impl Node {
+    /// Create a node with the given service set.
+    pub fn new(id: NodeId, services: ServiceSet, cfg: &ClusterConfig) -> Node {
+        let index_mgr = services.index.then(|| {
+            Arc::new(IndexManager::new(
+                cfg.num_vbuckets,
+                cfg.data_root.join(format!("node{}", id.0)).join("gsi"),
+            ))
+        });
+        Node {
+            id,
+            services,
+            alive: AtomicBool::new(true),
+            engines: RwLock::new(HashMap::new()),
+            view_engines: RwLock::new(HashMap::new()),
+            flushers: parking_lot::Mutex::new(Vec::new()),
+            index_mgr,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Services this node runs.
+    pub fn services(&self) -> ServiceSet {
+        self.services
+    }
+
+    /// Liveness check (heartbeat target). A dead node fails every call.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Failure injection: crash the node.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Bring a crashed node back (it rejoins with no active vBuckets; a
+    /// rebalance re-integrates it).
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(Error::NodeDown(self.id))
+        }
+    }
+
+    /// Create this node's slice of a bucket (data-service nodes only).
+    pub fn create_bucket(&self, bucket: &str) -> Result<()> {
+        if !self.services.data {
+            return Ok(());
+        }
+        let mut engines = self.engines.write();
+        if engines.contains_key(bucket) {
+            return Err(Error::Cluster(format!("bucket {bucket} already exists on {:?}", self.id)));
+        }
+        let engine = DataEngine::new(EngineConfig {
+            num_vbuckets: self.cfg.num_vbuckets,
+            cache_quota: self.cfg.cache_quota,
+            eviction: self.cfg.eviction,
+            data_dir: self
+                .cfg
+                .data_root
+                .join(format!("node{}", self.id.0))
+                .join(bucket),
+            fragmentation_threshold: self.cfg.fragmentation_threshold,
+            lock_timeout: std::time::Duration::from_secs(15),
+        })?;
+        self.flushers
+            .lock()
+            .push(FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval));
+        self.view_engines
+            .write()
+            .insert(bucket.to_string(), Arc::new(ViewEngine::new(Arc::clone(&engine))));
+        engines.insert(bucket.to_string(), engine);
+        Ok(())
+    }
+
+    /// The data engine for a bucket; fails if the node is down or doesn't
+    /// run the data service.
+    pub fn engine(&self, bucket: &str) -> Result<Arc<DataEngine>> {
+        self.check_alive()?;
+        self.engines
+            .read()
+            .get(bucket)
+            .cloned()
+            .ok_or_else(|| Error::Cluster(format!("no data service for {bucket} on {:?}", self.id)))
+    }
+
+    /// Like [`Node::engine`] but ignoring liveness — used only by recovery
+    /// paths that inspect a dead node's durable state.
+    pub fn engine_unchecked(&self, bucket: &str) -> Option<Arc<DataEngine>> {
+        self.engines.read().get(bucket).cloned()
+    }
+
+    /// The view engine for a bucket.
+    pub fn view_engine(&self, bucket: &str) -> Result<Arc<ViewEngine>> {
+        self.check_alive()?;
+        self.view_engines
+            .read()
+            .get(bucket)
+            .cloned()
+            .ok_or_else(|| Error::Cluster(format!("no view engine for {bucket} on {:?}", self.id)))
+    }
+
+    /// The GSI manager (index-service nodes).
+    pub fn index_manager(&self) -> Result<Arc<IndexManager>> {
+        self.check_alive()?;
+        self.index_mgr
+            .clone()
+            .ok_or_else(|| Error::Cluster(format!("{:?} does not run the index service", self.id)))
+    }
+
+    /// Buckets hosted here.
+    pub fn buckets(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.engines.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_lifecycle() {
+        let cfg = ClusterConfig::for_test(16, 1);
+        let node = Node::new(NodeId(0), ServiceSet::all(), &cfg);
+        node.create_bucket("default").unwrap();
+        assert!(node.create_bucket("default").is_err());
+        assert!(node.engine("default").is_ok());
+        assert!(node.view_engine("default").is_ok());
+        assert!(node.index_manager().is_ok());
+        assert_eq!(node.buckets(), vec!["default"]);
+
+        node.kill();
+        assert!(matches!(node.engine("default"), Err(Error::NodeDown(_))));
+        assert!(node.engine_unchecked("default").is_some());
+        node.revive();
+        assert!(node.engine("default").is_ok());
+    }
+
+    #[test]
+    fn service_gating() {
+        let cfg = ClusterConfig::for_test(16, 1);
+        let query_node = Node::new(NodeId(1), ServiceSet::query_only(), &cfg);
+        query_node.create_bucket("b").unwrap(); // no-op without data service
+        assert!(query_node.engine("b").is_err());
+        assert!(query_node.index_manager().is_err());
+
+        let index_node = Node::new(NodeId(2), ServiceSet::index_only(), &cfg);
+        assert!(index_node.index_manager().is_ok());
+        assert!(index_node.engine("b").is_err());
+    }
+}

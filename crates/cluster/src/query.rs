@@ -1,0 +1,168 @@
+//! The cluster-wide [`cbs_n1ql::Datastore`] implementation — how the Query
+//! Service reaches the Data and Index Services (§4.5.1, Figure 10).
+//!
+//! "The receiving node will analyze the query [...] During execution,
+//! depending on the query and the available indexes, the query node works
+//! with the index and data nodes to retrieve keys and data."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_common::{Error, Result, SeqNo};
+use cbs_index::{IndexDef, IndexEntry, ScanConsistency, ScanRange};
+use cbs_json::Value;
+use cbs_n1ql::{Datastore, QueryOptions, QueryResult};
+use parking_lot::RwLock;
+
+use crate::client::SmartClient;
+use crate::cluster::Cluster;
+
+/// Cluster-backed datastore for the query engine. One instance per bucket
+/// per query node.
+pub struct ClusterDatastore {
+    cluster: Arc<Cluster>,
+    /// One smart client per keyspace (bucket) the service has touched.
+    clients: RwLock<Vec<Arc<SmartClient>>>,
+}
+
+impl ClusterDatastore {
+    /// Create the datastore facade over a cluster.
+    pub fn new(cluster: Arc<Cluster>) -> ClusterDatastore {
+        ClusterDatastore { cluster, clients: RwLock::new(Vec::new()) }
+    }
+
+    fn client(&self, bucket: &str) -> Result<Arc<SmartClient>> {
+        if let Some(c) = self.clients.read().iter().find(|c| c.bucket() == bucket) {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(SmartClient::connect(Arc::clone(&self.cluster), bucket)?);
+        self.clients.write().push(Arc::clone(&c));
+        Ok(c)
+    }
+
+    /// Run a N1QL statement through this cluster (the Query Service entry
+    /// point: any query node can receive a statement).
+    pub fn query(&self, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        // MDS gate: a query must land on a node running the query service.
+        if !self
+            .cluster
+            .nodes()
+            .iter()
+            .any(|n| n.is_alive() && n.services().query)
+        {
+            return Err(Error::Cluster("no query service in the cluster".to_string()));
+        }
+        cbs_n1ql::query(self, statement, opts)
+    }
+}
+
+impl Datastore for ClusterDatastore {
+    fn keyspace_exists(&self, keyspace: &str) -> bool {
+        self.cluster.map(keyspace).is_ok()
+    }
+
+    fn fetch(&self, keyspace: &str, key: &str) -> Result<Option<Value>> {
+        match self.client(keyspace)?.get(key) {
+            Ok(r) => Ok(Some(r.value)),
+            Err(Error::KeyNotFound(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn primary_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
+        // Fan out to every data node's active vBuckets.
+        let mut out = Vec::new();
+        for node in self.cluster.nodes() {
+            if !node.is_alive() || !node.services().data {
+                continue;
+            }
+            let engine = node.engine(keyspace)?;
+            for doc in engine.scan_active_docs()? {
+                out.push((doc.id, doc.value));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn insert(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        self.client(keyspace)?.insert(key, value).map(|_| ())
+    }
+
+    fn upsert(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        self.client(keyspace)?.upsert(key, value).map(|_| ())
+    }
+
+    fn replace(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        self.client(keyspace)?.replace(key, value, cbs_common::Cas::WILDCARD).map(|_| ())
+    }
+
+    fn delete(&self, keyspace: &str, key: &str) -> Result<()> {
+        self.client(keyspace)?.remove(key, cbs_common::Cas::WILDCARD).map(|_| ())
+    }
+
+    fn seqno_vector(&self, keyspace: &str) -> Vec<SeqNo> {
+        self.cluster.seqno_vector(keyspace).unwrap_or_default()
+    }
+
+    fn list_indexes(&self, keyspace: &str) -> Vec<IndexDef> {
+        self.cluster
+            .index_manager()
+            .map(|m| m.list_online(keyspace))
+            .unwrap_or_default()
+    }
+
+    fn index_scan(
+        &self,
+        keyspace: &str,
+        index: &str,
+        range: &ScanRange,
+        consistency: &ScanConsistency,
+        timeout: Duration,
+        limit: usize,
+    ) -> Result<Vec<IndexEntry>> {
+        self.cluster.index_manager()?.scan(keyspace, index, range, consistency, timeout, limit)
+    }
+
+    fn create_index(&self, def: IndexDef) -> Result<()> {
+        let mgr = self.cluster.index_manager()?;
+        if def.deferred {
+            return mgr.create_index(def);
+        }
+        // Initial build streams from every data node's active vBuckets.
+        let keyspace = def.keyspace.clone();
+        let name = def.name.clone();
+        mgr.create_index(def)?;
+        self.build_index(&keyspace, &name)
+    }
+
+    fn drop_index(&self, keyspace: &str, name: &str) -> Result<()> {
+        self.cluster.index_manager()?.drop_index(keyspace, name)
+    }
+
+    fn build_index(&self, keyspace: &str, name: &str) -> Result<()> {
+        let mgr = self.cluster.index_manager()?;
+        // Build against a cluster-wide backfill source that reads each
+        // vBucket from its active node.
+        let source = ClusterBackfill { cluster: Arc::clone(&self.cluster), bucket: keyspace.to_string() };
+        mgr.build(keyspace, name, &source)
+    }
+}
+
+/// A [`cbs_dcp::BackfillSource`] that reads every vBucket from whichever
+/// node is currently active for it — the initial-build path of Figure 9.
+struct ClusterBackfill {
+    cluster: Arc<Cluster>,
+    bucket: String,
+}
+
+impl cbs_dcp::BackfillSource for ClusterBackfill {
+    fn backfill(
+        &self,
+        vb: cbs_common::VbId,
+        since: SeqNo,
+    ) -> Result<(Vec<cbs_dcp::DcpItem>, SeqNo)> {
+        let engine = self.cluster.active_engine(&self.bucket, vb)?;
+        engine.backfill(vb, since)
+    }
+}

@@ -1,0 +1,171 @@
+//! The per-bucket DCP pump: intra-cluster replication (§4.1.1) and the
+//! data→index feed (Figure 9), driven off the same change streams.
+//!
+//! "This mutation [...] is also pushed into the in-memory replication
+//! queue to be replicated to other nodes within the cluster" (§4.2, Figure
+//! 6). The pump owns, per vBucket, a DCP stream from the current active
+//! copy; items fan out to every replica engine (memory-to-memory) and to
+//! every index-service manager. When the cluster map epoch changes
+//! (failover, rebalance) the pump rebuilds its streams, resuming from the
+//! destinations' high seqnos / its own index cursor.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cbs_common::{NodeId, SeqNo, VbId};
+use cbs_dcp::DcpStream;
+use cbs_fts::FtsService;
+use cbs_index::IndexManager;
+use cbs_kv::DataEngine;
+
+use crate::map::ClusterMap;
+
+/// A snapshot of everything the pump needs to (re)build streams.
+pub struct PumpTopology {
+    /// Current map.
+    pub map: ClusterMap,
+    /// Data engines by node.
+    pub engines: HashMap<NodeId, Arc<DataEngine>>,
+    /// Index managers to feed.
+    pub index_managers: Vec<Arc<IndexManager>>,
+    /// Full-text search services to feed (§6.1.3).
+    pub fts_services: Vec<Arc<FtsService>>,
+}
+
+/// Callback the pump uses to fetch a fresh topology when the epoch moves.
+pub type TopologyFn = Box<dyn Fn() -> PumpTopology + Send>;
+
+struct VbStreams {
+    repl: Option<(NodeId, DcpStream)>,
+    gsi: Option<(NodeId, DcpStream)>,
+}
+
+/// Background pump for one bucket.
+pub struct ReplicationPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplicationPump {
+    /// Spawn the pump.
+    pub fn spawn(bucket: String, topology: TopologyFn) -> ReplicationPump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("dcp-pump-{bucket}"))
+            .spawn(move || pump_loop(&bucket, topology, stop2))
+            .expect("spawn replication pump");
+        ReplicationPump { stop, handle: Some(handle) }
+    }
+
+    /// Stop the pump.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicationPump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
+    let mut built_epoch: u64 = u64::MAX;
+    let mut topo = topology();
+    let nvb = topo.map.num_vbuckets() as usize;
+    let mut streams: Vec<VbStreams> =
+        (0..nvb).map(|_| VbStreams { repl: None, gsi: None }).collect();
+    // Per-vb GSI delivery cursor (seqnos survive failover, so resuming by
+    // cursor on the new active is correct).
+    let mut gsi_cursors: Vec<SeqNo> = vec![SeqNo::ZERO; nvb];
+
+    while !stop.load(Ordering::Relaxed) {
+        // Rebuild on epoch change (or when a stream's source died).
+        if topo.map.epoch != built_epoch {
+            for (v, slot) in streams.iter_mut().enumerate() {
+                let vb = VbId(v as u16);
+                let active = topo.map.active_node(vb);
+                // Replication stream: resume from the lowest replica high
+                // seqno so no destination misses anything.
+                slot.repl = None;
+                let dsts: Vec<Arc<DataEngine>> = topo
+                    .map
+                    .replica_nodes(vb)
+                    .iter()
+                    .filter_map(|n| topo.engines.get(n).cloned())
+                    .collect();
+                if !dsts.is_empty() {
+                    if let Some(src) = topo.engines.get(&active) {
+                        let since =
+                            dsts.iter().map(|d| d.high_seqno(vb)).min().unwrap_or(SeqNo::ZERO);
+                        if let Ok(s) = src.open_dcp_stream(vb, since) {
+                            slot.repl = Some((active, s));
+                        }
+                    }
+                }
+                // GSI/FTS stream: resume from the pump's own cursor.
+                slot.gsi = None;
+                if !topo.index_managers.is_empty() || !topo.fts_services.is_empty() {
+                    if let Some(src) = topo.engines.get(&active) {
+                        if let Ok(s) = src.open_dcp_stream(vb, gsi_cursors[v]) {
+                            slot.gsi = Some((active, s));
+                        }
+                    }
+                }
+            }
+            built_epoch = topo.map.epoch;
+        }
+
+        let mut moved = 0usize;
+        for (v, slot) in streams.iter_mut().enumerate() {
+            let vb = VbId(v as u16);
+            if let Some((_, stream)) = &mut slot.repl {
+                for item in stream.drain_available() {
+                    for dst_node in topo.map.replica_nodes(vb) {
+                        if let Some(dst) = topo.engines.get(dst_node) {
+                            let _ = dst.apply_replica(&item);
+                        }
+                    }
+                    moved += 1;
+                }
+            }
+            if let Some((_, stream)) = &mut slot.gsi {
+                for item in stream.drain_available() {
+                    for mgr in &topo.index_managers {
+                        mgr.apply_dcp(bucket, &item);
+                    }
+                    for fts in &topo.fts_services {
+                        fts.apply_dcp(bucket, &item);
+                    }
+                    gsi_cursors[v] = gsi_cursors[v].max(item.meta.seqno);
+                    moved += 1;
+                }
+            }
+        }
+
+        if moved == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+            // Idle: check for topology changes.
+            let fresh = topology();
+            if fresh.map.epoch != built_epoch {
+                topo = fresh;
+            }
+        } else {
+            // Busy: still poll the epoch occasionally (cheap).
+            let fresh = topology();
+            if fresh.map.epoch != built_epoch {
+                topo = fresh;
+            }
+        }
+    }
+}

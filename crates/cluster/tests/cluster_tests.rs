@@ -1,0 +1,449 @@
+//! Cluster-level integration tests: placement, replication, failover,
+//! rebalance, durability, cluster-wide queries and views.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_cluster::{Cluster, ClusterConfig, ClusterDatastore, Durability, ServiceSet, SmartClient};
+use cbs_common::{NodeId, VbId};
+use cbs_json::Value;
+use cbs_n1ql::QueryOptions;
+use cbs_views::{MapExpr, MapFn, Stale, ViewDef, ViewQuery};
+
+fn small_cluster(nodes: usize, replicas: u8) -> Arc<Cluster> {
+    let cluster = Cluster::homogeneous(nodes, ClusterConfig::for_test(64, replicas));
+    cluster.create_bucket("default").unwrap();
+    cluster
+}
+
+fn doc(v: i64) -> Value {
+    Value::object([("v", Value::int(v))])
+}
+
+fn load_docs(client: &SmartClient, n: usize) {
+    for i in 0..n {
+        client.upsert(&format!("doc-{i}"), doc(i as i64)).unwrap();
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn placement_spreads_data_across_nodes() {
+    let cluster = small_cluster(4, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 200);
+    // Every node should hold some active documents.
+    for node in cluster.nodes() {
+        let engine = node.engine("default").unwrap();
+        let docs = engine.scan_active_docs().unwrap();
+        assert!(!docs.is_empty(), "node {:?} owns no documents", node.id());
+    }
+    // And every doc reads back through the client.
+    for i in 0..200 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i));
+    }
+}
+
+#[test]
+fn replication_reaches_replicas() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    let m = client.upsert("k1", doc(1)).unwrap();
+    let map = cluster.map("default").unwrap();
+    let replicas = map.replica_nodes(m.vb).to_vec();
+    assert_eq!(replicas.len(), 1);
+    let replica_engine = cluster.node(replicas[0]).unwrap().engine("default").unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || replica_engine.high_seqno(m.vb) >= m.seqno),
+        "replica must receive the mutation via DCP"
+    );
+}
+
+#[test]
+fn durability_replicate_and_persist() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    client
+        .upsert_durable(
+            "important",
+            doc(42),
+            Durability { replicate_to: 1, persist_to_master: true },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    // Impossible requirement is rejected up front (§2.3.2).
+    let err = client
+        .upsert_durable(
+            "x",
+            doc(0),
+            Durability { replicate_to: 3, persist_to_master: false },
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, cbs_common::Error::DurabilityImpossible(_)));
+}
+
+#[test]
+fn failover_promotes_replicas_and_client_recovers() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 120);
+    // Let replication catch up (all vbs, all docs).
+    std::thread::sleep(Duration::from_millis(200));
+
+    let victim = NodeId(1);
+    cluster.kill_node(victim).unwrap();
+    // Failover refuses while... node is dead here, so it proceeds.
+    let promoted = cluster.failover(victim).unwrap();
+    assert!(promoted > 0, "the victim owned active vBuckets");
+    assert_ne!(cluster.orchestrator(), Some(victim));
+
+    // Every document is still readable (the client refreshes its stale map
+    // and retries on VbucketNotActive/NodeDown).
+    let mut missing = 0;
+    for i in 0..120 {
+        match client.get(&format!("doc-{i}")) {
+            Ok(g) => assert_eq!(g.value, doc(i)),
+            Err(_) => missing += 1,
+        }
+    }
+    assert_eq!(missing, 0, "replica promotion must preserve all data");
+    // Writes keep working too.
+    client.upsert("after-failover", doc(1)).unwrap();
+}
+
+#[test]
+fn failover_refuses_live_nodes() {
+    let cluster = small_cluster(2, 1);
+    assert!(cluster.failover(NodeId(0)).is_err(), "node is alive");
+}
+
+#[test]
+fn rebalance_in_moves_data_to_new_node() {
+    let cluster = small_cluster(2, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 150);
+
+    let new_node = cluster.add_node(ServiceSet::all()).unwrap();
+    cluster.rebalance(&[]).unwrap();
+
+    // The new node owns roughly a third of the vBuckets.
+    let map = cluster.map("default").unwrap();
+    let owned = map.active_vbs(new_node).len();
+    assert!(owned > 10, "new node owns {owned} vBuckets after rebalance");
+
+    // All data is intact and reachable.
+    for i in 0..150 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i), "doc-{i}");
+    }
+    // And the new node actually serves some of it.
+    let engine = cluster.node(new_node).unwrap().engine("default").unwrap();
+    assert!(!engine.scan_active_docs().unwrap().is_empty());
+}
+
+#[test]
+fn rebalance_out_empties_a_node() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 100);
+
+    let leaving = NodeId(2);
+    cluster.rebalance(&[leaving]).unwrap();
+    let map = cluster.map("default").unwrap();
+    assert!(map.active_vbs(leaving).is_empty());
+    assert!(map.replica_vbs(leaving).is_empty());
+    for i in 0..100 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i));
+    }
+}
+
+#[test]
+fn writes_during_rebalance_survive() {
+    let cluster = small_cluster(2, 0);
+    let client = Arc::new(SmartClient::connect(Arc::clone(&cluster), "default").unwrap());
+    load_docs(&client, 50);
+
+    cluster.add_node(ServiceSet::all()).unwrap();
+    let writer = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || {
+            for i in 50..250 {
+                client.upsert(&format!("doc-{i}"), doc(i as i64)).unwrap();
+            }
+        })
+    };
+    cluster.rebalance(&[]).unwrap();
+    writer.join().unwrap();
+    for i in 0..250 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i), "doc-{i}");
+    }
+}
+
+#[test]
+fn n1ql_over_cluster_with_gsi() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    for i in 0..60 {
+        client
+            .upsert(
+                &format!("user::{i}"),
+                Value::object([("name", Value::from(format!("u{i:02}"))), ("age", Value::int(18 + (i % 40)))]),
+            )
+            .unwrap();
+    }
+    let ds = ClusterDatastore::new(Arc::clone(&cluster));
+    ds.query("CREATE INDEX by_age ON default(age) USING GSI", &QueryOptions::default()).unwrap();
+
+    // request_plus guarantees read-your-own-writes through the index.
+    let opts = QueryOptions::default().request_plus();
+    let res = ds
+        .query("SELECT COUNT(*) AS n FROM default WHERE age >= 18", &opts)
+        .unwrap();
+    assert_eq!(res.rows[0].get_field("n"), Some(&Value::int(60)));
+
+    // A fresh write is visible immediately under request_plus.
+    client.upsert("user::new", Value::object([("age", Value::int(99))])).unwrap();
+    let res = ds.query("SELECT META().id AS id FROM default WHERE age = 99", &opts).unwrap();
+    assert_eq!(res.rows.len(), 1);
+    assert_eq!(res.rows[0].get_field("id"), Some(&Value::from("user::new")));
+}
+
+#[test]
+fn n1ql_use_keys_without_any_index() {
+    let cluster = small_cluster(2, 0);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    client.upsert("k", doc(7)).unwrap();
+    let ds = ClusterDatastore::new(Arc::clone(&cluster));
+    let res = ds
+        .query("SELECT d.* FROM default d USE KEYS 'k'", &QueryOptions::default())
+        .unwrap();
+    assert_eq!(res.rows[0].get_field("v"), Some(&Value::int(7)));
+}
+
+#[test]
+fn view_scatter_gather_across_nodes() {
+    let cluster = small_cluster(3, 0);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    for i in 0..90 {
+        client
+            .upsert(
+                &format!("p{i}"),
+                Value::object([
+                    ("name", Value::from(format!("name{i:02}"))),
+                    ("age", Value::int(i % 9)),
+                ]),
+            )
+            .unwrap();
+    }
+    cluster
+        .create_design_doc(
+            "default",
+            cbs_views::DesignDoc {
+                name: "dd".to_string(),
+                views: vec![
+                    (
+                        "by_name".to_string(),
+                        ViewDef { map: MapFn::on_field("name"), reduce: None },
+                    ),
+                    (
+                        "age_sum".to_string(),
+                        ViewDef {
+                            map: MapFn {
+                                when: vec![],
+                                key: MapExpr::field("name"),
+                                value: Some(MapExpr::field("age")),
+                            },
+                            reduce: Some(cbs_views::Reducer::Sum),
+                        },
+                    ),
+                ],
+            },
+        )
+        .unwrap();
+
+    // stale=false row query merges results from all 3 nodes in key order.
+    let q = ViewQuery { stale: Stale::False, ..Default::default() };
+    let res = cluster.view_query("default", "dd", "by_name", &q).unwrap();
+    assert_eq!(res.rows.len(), 90);
+    let keys: Vec<&str> = res.rows.iter().map(|r| r.key.as_str().unwrap()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "gathered rows are in global key order");
+
+    // Reduced query re-reduces partial sums.
+    let q = ViewQuery { stale: Stale::False, reduce: true, ..Default::default() };
+    let res = cluster.view_query("default", "dd", "age_sum", &q).unwrap();
+    let expected: i64 = (0..90).map(|i| i % 9).sum();
+    assert_eq!(res.rows[0].value, Value::int(expected));
+}
+
+#[test]
+fn mds_query_only_cluster_is_rejected_without_query_service() {
+    // Data+index nodes but no query node: N1QL requests must be refused.
+    let cluster = Cluster::with_services(
+        vec![ServiceSet::data_only(), ServiceSet::index_only()],
+        ClusterConfig::for_test(16, 0),
+    );
+    cluster.create_bucket("b").unwrap();
+    let ds = ClusterDatastore::new(Arc::clone(&cluster));
+    let err = ds.query("SELECT 1", &QueryOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("no query service"));
+}
+
+#[test]
+fn mds_separated_services_work_together() {
+    // The §4.4 topology: data nodes, an index node, a query node.
+    let cluster = Cluster::with_services(
+        vec![
+            ServiceSet::data_only(),
+            ServiceSet::data_only(),
+            ServiceSet::index_only(),
+            ServiceSet::query_only(),
+        ],
+        ClusterConfig::for_test(32, 0),
+    );
+    cluster.create_bucket("b").unwrap();
+    let client = SmartClient::connect(Arc::clone(&cluster), "b").unwrap();
+    for i in 0..30 {
+        client.upsert(&format!("d{i}"), Value::object([("n", Value::int(i))])).unwrap();
+    }
+    let ds = ClusterDatastore::new(Arc::clone(&cluster));
+    ds.query("CREATE INDEX n_idx ON b(n)", &QueryOptions::default()).unwrap();
+    let res = ds
+        .query(
+            "SELECT COUNT(*) AS c FROM b WHERE n >= 10",
+            &QueryOptions::default().request_plus(),
+        )
+        .unwrap();
+    assert_eq!(res.rows[0].get_field("c"), Some(&Value::int(20)));
+    // The data map never references the index/query nodes.
+    let map = cluster.map("b").unwrap();
+    assert!(map.active_vbs(NodeId(2)).is_empty());
+    assert!(map.active_vbs(NodeId(3)).is_empty());
+}
+
+#[test]
+fn orchestrator_election() {
+    let cluster = small_cluster(3, 1);
+    assert_eq!(cluster.orchestrator(), Some(NodeId(0)));
+    cluster.kill_node(NodeId(0)).unwrap();
+    assert_eq!(cluster.orchestrator(), Some(NodeId(1)), "re-elected immediately");
+    cluster.node(NodeId(0)).unwrap().revive();
+    assert_eq!(cluster.orchestrator(), Some(NodeId(0)));
+}
+
+#[test]
+fn view_results_consistent_during_vbucket_deactivation() {
+    // §4.3.3: view queries must not double-count or leak moved partitions.
+    let cluster = small_cluster(2, 0);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    for i in 0..80 {
+        client.upsert(&format!("p{i}"), Value::object([("name", Value::from(format!("n{i}"))) ])).unwrap();
+    }
+    cluster
+        .create_design_doc(
+            "default",
+            cbs_views::DesignDoc {
+                name: "dd".to_string(),
+                views: vec![(
+                    "v".to_string(),
+                    ViewDef { map: MapFn::on_field("name"), reduce: None },
+                )],
+            },
+        )
+        .unwrap();
+    let q = ViewQuery { stale: Stale::False, ..Default::default() };
+    let before = cluster.view_query("default", "dd", "v", &q).unwrap().rows.len();
+    assert_eq!(before, 80);
+    // Simulate a partition hand-off mid-flight: deactivate one vBucket on
+    // its owner; the row count drops by exactly that vBucket's rows and
+    // nothing is double-counted.
+    let map = cluster.map("default").unwrap();
+    let vb = VbId(0);
+    let owner = cluster.node(map.active_node(vb)).unwrap();
+    let engine = owner.engine("default").unwrap();
+    let owned_docs = engine
+        .scan_active_docs()
+        .unwrap()
+        .into_iter()
+        .filter(|d| engine.vb_for_key(&d.id) == vb)
+        .count();
+    engine.set_vb_state(vb, cbs_kv::VbState::Dead);
+    let q2 = ViewQuery { stale: Stale::Ok, ..Default::default() };
+    let after = cluster.view_query("default", "dd", "v", &q2).unwrap().rows.len();
+    assert_eq!(after, before - owned_docs);
+}
+
+#[test]
+fn cas_still_safe_through_client() {
+    let cluster = small_cluster(2, 0);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    client.upsert("k", doc(1)).unwrap();
+    let read = client.get("k").unwrap();
+    client.upsert("k", doc(2)).unwrap(); // interloper
+    let err = client.upsert_with_cas("k", doc(3), read.meta.cas).unwrap_err();
+    assert!(matches!(err, cbs_common::Error::CasMismatch(_)));
+    // GETL through the client.
+    let locked = client.get_and_lock("k", Duration::from_secs(2)).unwrap();
+    assert!(matches!(
+        client.upsert("k", doc(9)),
+        Err(cbs_common::Error::Locked(_))
+    ));
+    client.unlock("k", locked.meta.cas).unwrap();
+    client.upsert("k", doc(9)).unwrap();
+    assert_eq!(client.get("k").unwrap().value, doc(9));
+}
+
+#[test]
+fn client_map_refresh_on_topology_change() {
+    let cluster = small_cluster(2, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 20);
+    let epoch_before = client.cached_epoch();
+    cluster.add_node(ServiceSet::all()).unwrap();
+    cluster.rebalance(&[]).unwrap();
+    // Client still works; its cached epoch catches up lazily via retries.
+    for i in 0..20 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i));
+    }
+    assert!(cluster.map("default").unwrap().epoch > epoch_before);
+}
+
+#[test]
+fn auto_failover_detects_and_promotes() {
+    let cluster = small_cluster(3, 1);
+    let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
+    load_docs(&client, 60);
+    std::thread::sleep(Duration::from_millis(150)); // replication catch-up
+
+    let _monitor = cluster.spawn_auto_failover(Duration::from_millis(10));
+    cluster.kill_node(NodeId(2)).unwrap();
+    // No manual failover call: the monitor must notice and promote.
+    // (Generous timeout: CI hosts may be heavily oversubscribed.)
+    assert!(
+        wait_until(Duration::from_secs(60), || {
+            cluster.map("default").unwrap().active_vbs(NodeId(2)).is_empty()
+        }),
+        "auto-failover must strip the dead node from the map"
+    );
+    for i in 0..60 {
+        assert_eq!(client.get(&format!("doc-{i}")).unwrap().value, doc(i));
+    }
+    // Revived node can be failed over again later if it dies again.
+    cluster.node(NodeId(2)).unwrap().revive();
+    cluster.rebalance(&[]).unwrap();
+    cluster.kill_node(NodeId(2)).unwrap();
+    assert!(wait_until(Duration::from_secs(60), || {
+        cluster.map("default").unwrap().active_vbs(NodeId(2)).is_empty()
+    }));
+}

@@ -1,0 +1,98 @@
+//! CRC32 key hashing.
+//!
+//! Couchbase smart clients "apply a hash function (CRC32) to every document"
+//! and route it to the owning vBucket (paper §4.1, Figure 5). The real
+//! system uses the low bits of CRC32 (the IEEE 802.3 polynomial, as used by
+//! libcouchbase) over the key, modulo the vBucket count. We implement the
+//! same table-driven CRC32 so that key→vBucket placement is deterministic
+//! and identical on clients and servers.
+
+/// The IEEE 802.3 reflected polynomial used by zlib/libcouchbase.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily-built (at const-eval time) 256-entry lookup table.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Compute the CRC32 (IEEE) checksum of `data`.
+///
+/// Used both for key→vBucket placement and for storage-record integrity
+/// checks in `cbs-storage`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Map a document key onto one of `num_vbuckets` partitions.
+///
+/// Matches libcouchbase's `vbucket_get_vbucket_by_key`: CRC32 of the key,
+/// shifted right 16 bits, masked to the partition count. `num_vbuckets` must
+/// be a power of two (1024 in production, smaller in unit tests).
+pub fn vbucket_for_key(key: &[u8], num_vbuckets: u16) -> u16 {
+    debug_assert!(num_vbuckets.is_power_of_two());
+    (((crc32(key) >> 16) & 0x7FFF) % num_vbuckets as u32) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_crc_vectors() {
+        // Standard CRC32 ("check" value) of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn vbucket_is_stable_and_in_range() {
+        for key in [b"user::1".as_slice(), b"order::42", b"", b"\xff\x00"] {
+            let vb = vbucket_for_key(key, 1024);
+            assert!(vb < 1024);
+            assert_eq!(vb, vbucket_for_key(key, 1024), "placement must be deterministic");
+        }
+    }
+
+    #[test]
+    fn vbucket_distribution_is_roughly_uniform() {
+        let n = 64u16;
+        let mut counts = vec![0usize; n as usize];
+        for i in 0..64_000 {
+            let key = format!("doc-{i}");
+            counts[vbucket_for_key(key.as_bytes(), n) as usize] += 1;
+        }
+        let expected = 64_000 / n as usize;
+        for (vb, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "vb {vb} badly skewed: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn non_power_of_two_rejected_in_debug() {
+        vbucket_for_key(b"k", 1000);
+    }
+}

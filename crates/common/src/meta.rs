@@ -1,0 +1,46 @@
+//! Document metadata.
+//!
+//! The object cache keeps "the document's ID (i.e., its key), some document
+//! metadata, and the document's value" for every entry (paper §4.3.3). This
+//! is that metadata: it travels with every mutation through the cache, the
+//! storage engine, DCP, replication and XDCR.
+
+use crate::ids::{Cas, RevNo, SeqNo};
+
+/// Metadata carried by every document version (including tombstones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DocMeta {
+    /// Per-vBucket mutation sequence number.
+    pub seqno: SeqNo,
+    /// CAS token of this mutation (optimistic locking, §3.1.1).
+    pub cas: Cas,
+    /// Per-document revision count (XDCR conflict-resolution key, §4.6.1).
+    pub rev: RevNo,
+    /// Opaque application flags (memcached heritage).
+    pub flags: u32,
+    /// Absolute expiry (unix seconds); 0 = no expiry.
+    pub expiry: u32,
+}
+
+impl DocMeta {
+    /// True if this version carries a TTL that has passed at `now` (unix
+    /// seconds).
+    pub fn is_expired_at(&self, now: u32) -> bool {
+        self.expiry != 0 && self.expiry <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_semantics() {
+        let mut m = DocMeta::default();
+        assert!(!m.is_expired_at(u32::MAX), "expiry 0 means never");
+        m.expiry = 100;
+        assert!(!m.is_expired_at(99));
+        assert!(m.is_expired_at(100));
+        assert!(m.is_expired_at(101));
+    }
+}

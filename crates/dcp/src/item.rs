@@ -1,0 +1,65 @@
+//! DCP stream items.
+
+use cbs_common::{DocMeta, VbId};
+use cbs_json::Value;
+
+/// What kind of change an item carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcpKind {
+    /// An insert or update.
+    Mutation,
+    /// A deletion (tombstone).
+    Deletion,
+    /// A TTL-driven removal (distinct on the wire in real DCP; consumers
+    /// mostly treat it as a deletion).
+    Expiration,
+}
+
+/// One change flowing over DCP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcpItem {
+    /// Originating vBucket.
+    pub vb: VbId,
+    /// Document ID.
+    pub key: String,
+    /// Full metadata of this version (seqno, cas, rev, flags, expiry).
+    pub meta: DocMeta,
+    /// Change kind.
+    pub kind: DcpKind,
+    /// Document body; `None` for deletions/expirations.
+    pub value: Option<Value>,
+}
+
+impl DcpItem {
+    /// Convenience: construct a mutation item.
+    pub fn mutation(vb: VbId, key: impl Into<String>, meta: DocMeta, value: Value) -> DcpItem {
+        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Mutation, value: Some(value) }
+    }
+
+    /// Convenience: construct a deletion item.
+    pub fn deletion(vb: VbId, key: impl Into<String>, meta: DocMeta) -> DcpItem {
+        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Deletion, value: None }
+    }
+
+    /// True for deletion-like kinds.
+    pub fn is_deletion(&self) -> bool {
+        matches!(self.kind, DcpKind::Deletion | DcpKind::Expiration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_common::SeqNo;
+
+    #[test]
+    fn constructors() {
+        let meta = DocMeta { seqno: SeqNo(4), ..Default::default() };
+        let m = DcpItem::mutation(VbId(1), "k", meta, Value::int(1));
+        assert!(!m.is_deletion());
+        assert_eq!(m.value, Some(Value::int(1)));
+        let d = DcpItem::deletion(VbId(1), "k", meta);
+        assert!(d.is_deletion());
+        assert!(d.value.is_none());
+    }
+}

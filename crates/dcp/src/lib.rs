@@ -1,0 +1,37 @@
+//! Database Change Protocol (DCP) — the paper's §4.3.2.
+//!
+//! "Any mutation that happens on an object in the data service must be
+//! propagated to all other parts on the system that need to know, including
+//! data replication, indexes, and so on. Couchbase has an internal Database
+//! Change Protocol (DCP) that is utilized to keep all of the different
+//! components in sync and to move data between the components at high speed.
+//! DCP lies at the heart of Couchbase Server and supports its memory-first
+//! architecture by decoupling potential I/O bottlenecks from many critical
+//! functions."
+//!
+//! Every downstream component — intra-cluster replication, the view engine,
+//! the GSI projector, XDCR — consumes the same stream type defined here.
+//!
+//! ## Stream semantics
+//!
+//! A [`DcpStream`] opened at seqno `s` for a vBucket delivers, in seqno
+//! order:
+//!
+//! 1. a **backfill snapshot**: the latest version of every document whose
+//!    seqno is in `(s, h]`, where `h` is the vBucket's high seqno at open
+//!    time (read through the producer's [`BackfillSource`] — storage plus
+//!    the dirty in-memory tail, so memory-first writes are never missed);
+//! 2. the **live tail**: every mutation with seqno `> h`, pushed by the
+//!    data service at write time (memory-to-memory, before persistence —
+//!    this is what makes replication and indexing "memory-first").
+//!
+//! The hand-off is race-free because stream registration happens inside the
+//! same per-vBucket critical section that assigns seqnos.
+
+pub mod hub;
+pub mod item;
+pub mod stream;
+
+pub use hub::{BackfillSource, DcpHub};
+pub use item::{DcpItem, DcpKind};
+pub use stream::{DcpEvent, DcpStream};

@@ -1,0 +1,165 @@
+//! Consumer-side stream handle.
+
+use std::time::{Duration, Instant};
+
+use cbs_common::{SeqNo, VbId};
+use crossbeam::channel::Receiver;
+
+use crate::item::DcpItem;
+
+/// Events delivered over a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcpEvent {
+    /// Marks the start of a consistent snapshot covering `[start, end]`
+    /// (backfill range at stream open).
+    SnapshotMarker {
+        /// vBucket.
+        vb: VbId,
+        /// First seqno that may follow.
+        start: SeqNo,
+        /// High seqno at stream-open time.
+        end: SeqNo,
+    },
+    /// A document change.
+    Item(DcpItem),
+}
+
+/// An open DCP stream over one vBucket.
+///
+/// Tracks the **cursor** (last seqno observed) so consumers can checkpoint
+/// and later resume with `open_stream(vb, cursor, ...)`.
+pub struct DcpStream {
+    vb: VbId,
+    cursor: SeqNo,
+    snapshot_end: SeqNo,
+    rx: Receiver<DcpEvent>,
+}
+
+impl DcpStream {
+    pub(crate) fn new(vb: VbId, since: SeqNo, snapshot_end: SeqNo, rx: Receiver<DcpEvent>) -> Self {
+        DcpStream { vb, cursor: since, snapshot_end, rx }
+    }
+
+    /// The vBucket this stream covers.
+    pub fn vb(&self) -> VbId {
+        self.vb
+    }
+
+    /// Last seqno delivered (resume point for checkpointing consumers).
+    pub fn cursor(&self) -> SeqNo {
+        self.cursor
+    }
+
+    /// End of the backfill snapshot; items at or below this were historical
+    /// at open time, items above it are live-tail.
+    pub fn snapshot_end(&self) -> SeqNo {
+        self.snapshot_end
+    }
+
+    /// Non-blocking poll for the next event.
+    pub fn try_next(&mut self) -> Option<DcpEvent> {
+        match self.rx.try_recv() {
+            Ok(ev) => {
+                if let DcpEvent::Item(i) = &ev {
+                    self.cursor = self.cursor.max(i.meta.seqno);
+                }
+                Some(ev)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking receive with timeout.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<DcpEvent> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => {
+                if let DcpEvent::Item(i) = &ev {
+                    self.cursor = self.cursor.max(i.meta.seqno);
+                }
+                Some(ev)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Drain every item currently queued (snapshot markers are skipped).
+    pub fn drain_available(&mut self) -> Vec<DcpItem> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.try_next() {
+            if let DcpEvent::Item(i) = ev {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Block until the cursor reaches `target` or `timeout` elapses,
+    /// returning the items received. This is the primitive behind
+    /// `request_plus` index catch-up waits.
+    pub fn drain_until(&mut self, target: SeqNo, timeout: Duration) -> Vec<DcpItem> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        while self.cursor < target {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.next_timeout(deadline - now) {
+                Some(DcpEvent::Item(i)) => out.push(i),
+                Some(DcpEvent::SnapshotMarker { .. }) => {}
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_common::DocMeta;
+    use cbs_json::Value;
+    use crossbeam::channel::unbounded;
+
+    fn item(seq: u64) -> DcpItem {
+        DcpItem::mutation(
+            VbId(0),
+            format!("k{seq}"),
+            DocMeta { seqno: SeqNo(seq), ..Default::default() },
+            Value::int(seq as i64),
+        )
+    }
+
+    #[test]
+    fn cursor_advances_with_items() {
+        let (tx, rx) = unbounded();
+        let mut s = DcpStream::new(VbId(0), SeqNo::ZERO, SeqNo::ZERO, rx);
+        tx.send(DcpEvent::Item(item(1))).unwrap();
+        tx.send(DcpEvent::Item(item(2))).unwrap();
+        assert_eq!(s.cursor(), SeqNo::ZERO);
+        s.drain_available();
+        assert_eq!(s.cursor(), SeqNo(2));
+    }
+
+    #[test]
+    fn drain_until_stops_at_target() {
+        let (tx, rx) = unbounded();
+        let mut s = DcpStream::new(VbId(0), SeqNo::ZERO, SeqNo::ZERO, rx);
+        for i in 1..=5 {
+            tx.send(DcpEvent::Item(item(i))).unwrap();
+        }
+        let got = s.drain_until(SeqNo(3), Duration::from_millis(100));
+        assert_eq!(got.len(), 3);
+        assert_eq!(s.cursor(), SeqNo(3));
+    }
+
+    #[test]
+    fn drain_until_times_out_when_target_unreachable() {
+        let (_tx, rx) = unbounded::<DcpEvent>();
+        let mut s = DcpStream::new(VbId(0), SeqNo::ZERO, SeqNo::ZERO, rx);
+        let start = Instant::now();
+        let got = s.drain_until(SeqNo(1), Duration::from_millis(50));
+        assert!(got.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+}

@@ -1,0 +1,68 @@
+//! Text analysis: the standard lowercase word tokenizer.
+
+/// A token with its word position (for phrase matching).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized (lower-cased) term.
+    pub term: String,
+    /// Zero-based word position within the field.
+    pub position: u32,
+}
+
+/// Split text into lower-cased alphanumeric terms with positions.
+/// Unicode-alphabetic characters are kept, everything else separates.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut position = 0u32;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(Token { term: std::mem::take(&mut current), position });
+            position += 1;
+        }
+    }
+    if !current.is_empty() {
+        out.push(Token { term: current, position });
+    }
+    out
+}
+
+/// Normalize a single query term the same way document text is analyzed.
+pub fn normalize_term(term: &str) -> String {
+    term.chars().filter(|c| c.is_alphanumeric()).flat_map(|c| c.to_lowercase()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        let toks = tokenize("Hello, World! The quick-brown fox.");
+        let terms: Vec<&str> = toks.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, ["hello", "world", "the", "quick", "brown", "fox"]);
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[5].position, 5);
+    }
+
+    #[test]
+    fn unicode_and_numbers() {
+        let toks = tokenize("Café №42 naïve");
+        let terms: Vec<&str> = toks.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, ["café", "42", "naïve"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn normalize() {
+        assert_eq!(normalize_term("Quick!"), "quick");
+        assert_eq!(normalize_term("ÉTÉ"), "été");
+    }
+}

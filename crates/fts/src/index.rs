@@ -1,0 +1,378 @@
+//! The reverse index: term → postings, with term/prefix/phrase search and
+//! TF-IDF ranking.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cbs_json::Value;
+
+use crate::analyzer::{normalize_term, tokenize};
+
+/// Postings for one term: per-document, per-field positions.
+#[derive(Debug, Default, Clone)]
+struct Postings {
+    /// doc id → (field path → positions).
+    docs: HashMap<String, HashMap<String, Vec<u32>>>,
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document ID.
+    pub doc_id: String,
+    /// TF-IDF-ish relevance score (higher is better).
+    pub score: f64,
+    /// Fields where matches occurred.
+    pub fields: Vec<String>,
+}
+
+/// A search request.
+#[derive(Debug, Clone)]
+pub enum SearchQuery {
+    /// Single term ("term-based search").
+    Term(String),
+    /// All terms must appear (conjunction).
+    All(Vec<String>),
+    /// Any term may appear (disjunction).
+    Any(Vec<String>),
+    /// Terms must appear consecutively in one field ("phrase-based").
+    Phrase(Vec<String>),
+    /// Any term starting with the prefix ("prefix-based").
+    Prefix(String),
+}
+
+/// The in-memory inverted index for one FTS index.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    /// Ordered so prefix search is a range scan.
+    terms: BTreeMap<String, Postings>,
+    /// doc → terms it currently contributes (for updates/deletes).
+    doc_terms: HashMap<String, Vec<String>>,
+    total_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Empty index.
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.total_docs
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Index (or re-index) a document: walks every string field (at any
+    /// nesting depth, including inside arrays), tokenizes it, and records
+    /// term positions per field path.
+    pub fn index_doc(&mut self, doc_id: &str, doc: &Value) {
+        self.remove_doc(doc_id);
+        let mut fields: Vec<(String, &str)> = Vec::new();
+        collect_text_fields(doc, String::new(), &mut fields);
+        if fields.is_empty() {
+            return;
+        }
+        let mut contributed: Vec<String> = Vec::new();
+        for (field, text) in fields {
+            for token in tokenize(text) {
+                let postings = self.terms.entry(token.term.clone()).or_default();
+                postings
+                    .docs
+                    .entry(doc_id.to_string())
+                    .or_default()
+                    .entry(field.clone())
+                    .or_default()
+                    .push(token.position);
+                if !contributed.contains(&token.term) {
+                    contributed.push(token.term);
+                }
+            }
+        }
+        if !contributed.is_empty() {
+            self.doc_terms.insert(doc_id.to_string(), contributed);
+            self.total_docs += 1;
+        }
+    }
+
+    /// Remove a document from the index.
+    pub fn remove_doc(&mut self, doc_id: &str) {
+        if let Some(terms) = self.doc_terms.remove(doc_id) {
+            for term in terms {
+                if let Some(postings) = self.terms.get_mut(&term) {
+                    postings.docs.remove(doc_id);
+                    if postings.docs.is_empty() {
+                        self.terms.remove(&term);
+                    }
+                }
+            }
+            self.total_docs = self.total_docs.saturating_sub(1);
+        }
+    }
+
+    /// Execute a search; hits come back ranked by score descending
+    /// (ties broken by doc id for determinism).
+    pub fn search(&self, query: &SearchQuery, limit: usize) -> Vec<SearchHit> {
+        let mut scores: HashMap<String, (f64, Vec<String>)> = HashMap::new();
+        match query {
+            SearchQuery::Term(t) => {
+                self.score_term(&normalize_term(t), &mut scores);
+            }
+            SearchQuery::Any(terms) => {
+                for t in terms {
+                    self.score_term(&normalize_term(t), &mut scores);
+                }
+            }
+            SearchQuery::All(terms) => {
+                let normalized: Vec<String> = terms.iter().map(|t| normalize_term(t)).collect();
+                for t in &normalized {
+                    self.score_term(t, &mut scores);
+                }
+                // Keep only documents containing every term.
+                scores.retain(|doc, _| {
+                    normalized.iter().all(|t| {
+                        self.terms.get(t).map(|p| p.docs.contains_key(doc)).unwrap_or(false)
+                    })
+                });
+            }
+            SearchQuery::Phrase(terms) => {
+                return self.phrase_search(terms, limit);
+            }
+            SearchQuery::Prefix(prefix) => {
+                let p = normalize_term(prefix);
+                if !p.is_empty() {
+                    // BTreeMap range over [p, p+\u{10FFFF}) — all terms with
+                    // the prefix.
+                    for (term, _) in self.terms.range(p.clone()..) {
+                        if !term.starts_with(&p) {
+                            break;
+                        }
+                        self.score_term(term, &mut scores);
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc_id, (score, fields))| SearchHit { doc_id, score, fields })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.doc_id.cmp(&b.doc_id))
+        });
+        if limit > 0 && hits.len() > limit {
+            hits.truncate(limit);
+        }
+        hits
+    }
+
+    fn score_term(&self, term: &str, scores: &mut HashMap<String, (f64, Vec<String>)>) {
+        let Some(postings) = self.terms.get(term) else { return };
+        // IDF: rarer terms weigh more.
+        let idf = (1.0 + self.total_docs as f64 / postings.docs.len() as f64).ln();
+        for (doc, fields) in &postings.docs {
+            let tf: usize = fields.values().map(Vec::len).sum();
+            let entry = scores.entry(doc.clone()).or_insert((0.0, Vec::new()));
+            entry.0 += (1.0 + (tf as f64).ln()) * idf;
+            for f in fields.keys() {
+                if !entry.1.contains(f) {
+                    entry.1.push(f.clone());
+                }
+            }
+        }
+    }
+
+    fn phrase_search(&self, terms: &[String], limit: usize) -> Vec<SearchHit> {
+        let normalized: Vec<String> = terms.iter().map(|t| normalize_term(t)).collect();
+        if normalized.is_empty() {
+            return Vec::new();
+        }
+        let Some(first) = self.terms.get(&normalized[0]) else { return Vec::new() };
+        let mut hits = Vec::new();
+        'docs: for (doc, first_fields) in &first.docs {
+            // Every subsequent term must exist in this doc.
+            for t in &normalized[1..] {
+                match self.terms.get(t) {
+                    Some(p) if p.docs.contains_key(doc) => {}
+                    _ => continue 'docs,
+                }
+            }
+            // Check consecutive positions within a single field.
+            for (field, positions) in first_fields {
+                'starts: for &start in positions {
+                    for (offset, t) in normalized[1..].iter().enumerate() {
+                        let want = start + offset as u32 + 1;
+                        let ok = self.terms[t]
+                            .docs
+                            .get(doc)
+                            .and_then(|f| f.get(field))
+                            .map(|ps| ps.contains(&want))
+                            .unwrap_or(false);
+                        if !ok {
+                            continue 'starts;
+                        }
+                    }
+                    hits.push(SearchHit {
+                        doc_id: doc.clone(),
+                        score: normalized.len() as f64,
+                        fields: vec![field.clone()],
+                    });
+                    continue 'docs;
+                }
+            }
+        }
+        hits.sort_by(|a, b| a.doc_id.cmp(&b.doc_id));
+        if limit > 0 && hits.len() > limit {
+            hits.truncate(limit);
+        }
+        hits
+    }
+}
+
+/// Recursively collect (field path, text) for every string value.
+fn collect_text_fields<'a>(v: &'a Value, path: String, out: &mut Vec<(String, &'a str)>) {
+    match v {
+        Value::String(s) => out.push((path, s)),
+        Value::Object(pairs) => {
+            for (k, val) in pairs {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                collect_text_fields(val, sub, out);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                collect_text_fields(item, path.clone(), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.index_doc(
+            "d1",
+            &cbs_json::parse(
+                r#"{"title":"The quick brown fox","body":"jumps over the lazy dog"}"#,
+            )
+            .unwrap(),
+        );
+        ix.index_doc(
+            "d2",
+            &cbs_json::parse(r#"{"title":"Quick quick start guide","tags":["fox","hunting"]}"#)
+                .unwrap(),
+        );
+        ix.index_doc(
+            "d3",
+            &cbs_json::parse(r#"{"title":"Unrelated document","body":"nothing to see"}"#).unwrap(),
+        );
+        ix
+    }
+
+    #[test]
+    fn term_search_ranked() {
+        let ix = idx();
+        let hits = ix.search(&SearchQuery::Term("quick".to_string()), 0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc_id, "d2", "d2 says 'quick' twice: higher tf");
+        assert!(hits[0].score > hits[1].score);
+        // Case-insensitive query normalization.
+        let hits = ix.search(&SearchQuery::Term("QUICK!".to_string()), 0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn nested_and_array_fields_indexed() {
+        let ix = idx();
+        let hits = ix.search(&SearchQuery::Term("hunting".to_string()), 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].fields, ["tags"]);
+    }
+
+    #[test]
+    fn all_and_any() {
+        let ix = idx();
+        let hits = ix.search(
+            &SearchQuery::All(vec!["quick".to_string(), "lazy".to_string()]),
+            0,
+        );
+        assert_eq!(hits.len(), 1, "only d1 has both");
+        assert_eq!(hits[0].doc_id, "d1");
+        let hits = ix.search(
+            &SearchQuery::Any(vec!["lazy".to_string(), "guide".to_string()]),
+            0,
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn phrase_search_needs_adjacency() {
+        let ix = idx();
+        let q = |s: &str| SearchQuery::Phrase(s.split(' ').map(str::to_string).collect());
+        let hits = ix.search(&q("quick brown fox"), 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc_id, "d1");
+        assert!(ix.search(&q("brown quick"), 0).is_empty(), "wrong order");
+        assert!(ix.search(&q("quick fox"), 0).is_empty(), "not adjacent");
+        // Phrase across different fields must not match.
+        assert!(ix.search(&q("fox jumps"), 0).is_empty(), "title/body boundary");
+    }
+
+    #[test]
+    fn prefix_search() {
+        let ix = idx();
+        let hits = ix.search(&SearchQuery::Prefix("qui".to_string()), 0);
+        assert_eq!(hits.len(), 2);
+        let hits = ix.search(&SearchQuery::Prefix("hunt".to_string()), 0);
+        assert_eq!(hits.len(), 1);
+        assert!(ix.search(&SearchQuery::Prefix("zzz".to_string()), 0).is_empty());
+    }
+
+    #[test]
+    fn update_replaces_old_terms() {
+        let mut ix = idx();
+        ix.index_doc("d1", &cbs_json::parse(r#"{"title":"entirely new words"}"#).unwrap());
+        assert!(ix.search(&SearchQuery::Term("brown".to_string()), 0).is_empty());
+        assert_eq!(ix.search(&SearchQuery::Term("entirely".to_string()), 0).len(), 1);
+        assert_eq!(ix.doc_count(), 3);
+    }
+
+    #[test]
+    fn remove_doc_cleans_terms() {
+        let mut ix = idx();
+        let terms_before = ix.term_count();
+        ix.remove_doc("d3");
+        assert_eq!(ix.doc_count(), 2);
+        assert!(ix.term_count() < terms_before);
+        assert!(ix.search(&SearchQuery::Term("unrelated".to_string()), 0).is_empty());
+        // Removing twice is a no-op.
+        ix.remove_doc("d3");
+        assert_eq!(ix.doc_count(), 2);
+    }
+
+    #[test]
+    fn limit_applies_after_ranking() {
+        let mut ix = InvertedIndex::new();
+        for i in 0..20 {
+            ix.index_doc(
+                &format!("d{i}"),
+                &cbs_json::parse(r#"{"t":"common term"}"#).unwrap(),
+            );
+        }
+        assert_eq!(ix.search(&SearchQuery::Term("common".to_string()), 5).len(), 5);
+    }
+
+    #[test]
+    fn non_text_documents_ignored() {
+        let mut ix = InvertedIndex::new();
+        ix.index_doc("nums", &cbs_json::parse(r#"{"a":1,"b":[2,3],"c":true}"#).unwrap());
+        assert_eq!(ix.doc_count(), 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The indexer: the ordered key→doc-id structure behind one GSI partition.
+//!
+//! "The indexer component processes the changes received from the router
+//! and manages the on-disk index tree data structure. It also provides the
+//! interface for the query client to run index scans" (§4.3.4).
+//!
+//! We use an ordered map keyed by [`IndexKey`] under N1QL collation, plus a
+//! reverse map (doc → its current keys) so updates and deletes remove stale
+//! entries. A per-vBucket seqno watermark vector supports `request_plus`
+//! waits. In [`IndexStorage::Standard`] mode every applied batch is
+//! appended to a log file and synced before acknowledgement (the disk
+//! dependence that §6.1.1's memory-optimized mode removes).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cbs_common::{Error, Result, SeqNo, VbId};
+use parking_lot::{Condvar, Mutex};
+
+use crate::defs::{IndexKey, IndexStorage, ScanConsistency, ScanRange};
+
+/// One scan result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexEntry {
+    /// The composite index key (usable for covering scans, §5.1.2).
+    pub key: IndexKey,
+    /// The document ID ("An index simply returns the document ID for each
+    /// attribute match", §4.5.1).
+    pub doc_id: String,
+}
+
+/// Point-in-time indexer statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexerStats {
+    /// Distinct (key, doc) entries.
+    pub entries: u64,
+    /// Distinct documents indexed.
+    pub docs: u64,
+    /// Mutations applied (inserts + updates + deletes).
+    pub applied: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// Disk syncs performed (Standard mode).
+    pub disk_syncs: u64,
+}
+
+struct Tree {
+    entries: BTreeMap<IndexKey, BTreeSet<String>>,
+    /// doc → (seqno of the version indexed, its keys). The seqno makes
+    /// apply idempotent and order-tolerant per document, so catch-up
+    /// backfills can interleave with the live DCP feed safely.
+    doc_keys: HashMap<String, (SeqNo, Vec<IndexKey>)>,
+    watermarks: Vec<SeqNo>,
+    stats: IndexerStats,
+    log: Option<File>,
+}
+
+/// One index partition's storage + watermark state.
+pub struct Indexer {
+    tree: Mutex<Tree>,
+    watermark_cv: Condvar,
+    storage: IndexStorage,
+    log_path: Option<PathBuf>,
+}
+
+impl Indexer {
+    /// Create an indexer for `num_vbuckets` partitions of the source
+    /// bucket. `log_dir` is required for [`IndexStorage::Standard`].
+    pub fn new(
+        num_vbuckets: u16,
+        storage: IndexStorage,
+        log_dir: Option<PathBuf>,
+        name: &str,
+    ) -> Result<Indexer> {
+        let log_path = match storage {
+            IndexStorage::Standard => {
+                let dir = log_dir
+                    .ok_or_else(|| Error::Index("standard GSI requires a log dir".to_string()))?;
+                std::fs::create_dir_all(&dir)?;
+                Some(dir.join(format!("{name}.gsi")))
+            }
+            IndexStorage::MemoryOptimized => None,
+        };
+        let log = match &log_path {
+            Some(p) => Some(OpenOptions::new().append(true).create(true).open(p)?),
+            None => None,
+        };
+        Ok(Indexer {
+            tree: Mutex::new(Tree {
+                entries: BTreeMap::new(),
+                doc_keys: HashMap::new(),
+                watermarks: vec![SeqNo::ZERO; num_vbuckets as usize],
+                stats: IndexerStats::default(),
+                log,
+            }),
+            watermark_cv: Condvar::new(),
+            storage,
+            log_path,
+        })
+    }
+
+    /// Replace the keys under which `doc_id` is indexed (array indexes emit
+    /// several). An empty `keys` means "remove from index" (filtered out or
+    /// leading key MISSING).
+    pub fn update_doc(&self, doc_id: &str, keys: Vec<IndexKey>, vb: VbId, seqno: SeqNo) {
+        let mut t = self.tree.lock();
+        if stale_for_doc(&t, doc_id, seqno) {
+            self.log_and_advance(&mut t, doc_id, &[], vb, seqno);
+            drop(t);
+            self.watermark_cv.notify_all();
+            return;
+        }
+        remove_doc_locked(&mut t, doc_id);
+        for key in &keys {
+            t.entries.entry(key.clone()).or_default().insert(doc_id.to_string());
+        }
+        t.doc_keys.insert(doc_id.to_string(), (seqno, keys.clone()));
+        t.stats.applied += 1;
+        self.log_and_advance(&mut t, doc_id, &keys, vb, seqno);
+        drop(t);
+        self.watermark_cv.notify_all();
+    }
+
+    /// Remove a document (deletion / expiration).
+    pub fn remove_doc(&self, doc_id: &str, vb: VbId, seqno: SeqNo) {
+        let mut t = self.tree.lock();
+        if stale_for_doc(&t, doc_id, seqno) {
+            self.log_and_advance(&mut t, doc_id, &[], vb, seqno);
+            drop(t);
+            self.watermark_cv.notify_all();
+            return;
+        }
+        remove_doc_locked(&mut t, doc_id);
+        // Remember the tombstone seqno so late-arriving older versions of
+        // this doc don't resurrect entries.
+        t.doc_keys.insert(doc_id.to_string(), (seqno, Vec::new()));
+        t.stats.applied += 1;
+        self.log_and_advance(&mut t, doc_id, &[], vb, seqno);
+        drop(t);
+        self.watermark_cv.notify_all();
+    }
+
+    /// Advance a vBucket watermark without any index change (a mutation the
+    /// projector filtered out still counts for consistency).
+    pub fn advance_watermark(&self, vb: VbId, seqno: SeqNo) {
+        let mut t = self.tree.lock();
+        if t.watermarks[vb.index()] < seqno {
+            t.watermarks[vb.index()] = seqno;
+        }
+        drop(t);
+        self.watermark_cv.notify_all();
+    }
+
+    fn log_and_advance(
+        &self,
+        t: &mut Tree,
+        doc_id: &str,
+        keys: &[IndexKey],
+        vb: VbId,
+        seqno: SeqNo,
+    ) {
+        if t.watermarks[vb.index()] < seqno {
+            t.watermarks[vb.index()] = seqno;
+        }
+        if self.storage == IndexStorage::Standard {
+            // Append a compact change record and sync — the per-mutation
+            // disk dependence memory-optimized indexes remove (§6.1.1).
+            if let Some(log) = t.log.as_mut() {
+                let mut line = String::with_capacity(64);
+                line.push_str(doc_id);
+                line.push('\t');
+                for k in keys {
+                    for comp in &k.0 {
+                        match comp {
+                            Some(v) => line.push_str(&v.to_json_string()),
+                            None => line.push_str("MISSING"),
+                        }
+                        line.push(',');
+                    }
+                    line.push(';');
+                }
+                line.push('\n');
+                let _ = log.write_all(line.as_bytes());
+                let _ = log.sync_data();
+                t.stats.disk_syncs += 1;
+            }
+        }
+    }
+
+    /// Wait until the index is caught up to the required consistency point
+    /// (`request_plus` = the seqno vector snapshotted at query admission).
+    pub fn wait_consistent(&self, consistency: &ScanConsistency, timeout: Duration) -> Result<()> {
+        let ScanConsistency::AtPlus(target) = consistency else { return Ok(()) };
+        let deadline = Instant::now() + timeout;
+        let mut t = self.tree.lock();
+        loop {
+            let caught_up = target
+                .iter()
+                .enumerate()
+                .all(|(vb, &s)| t.watermarks.get(vb).copied().unwrap_or(SeqNo::ZERO) >= s);
+            if caught_up {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout("index catch-up for request_plus".to_string()));
+            }
+            self.watermark_cv.wait_until(&mut t, deadline);
+        }
+    }
+
+    /// Range scan over the leading key. Entries come back in full collation
+    /// order; `limit` of 0 means unlimited.
+    pub fn scan(&self, range: &ScanRange, limit: usize) -> Vec<IndexEntry> {
+        let mut t = self.tree.lock();
+        t.stats.scans += 1;
+        let mut out = Vec::new();
+        for (key, docs) in t.entries.iter() {
+            let Some(leading) = key.leading() else { continue };
+            if let Some(high) = &range.high {
+                // Early exit once past the upper bound (B-tree order).
+                match cbs_json::cmp_values(leading, high) {
+                    std::cmp::Ordering::Greater => break,
+                    std::cmp::Ordering::Equal if !range.high_inclusive => break,
+                    _ => {}
+                }
+            }
+            if !range.contains(leading) {
+                continue;
+            }
+            for doc_id in docs {
+                out.push(IndexEntry { key: key.clone(), doc_id: doc_id.clone() });
+                if limit > 0 && out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact-match lookup on the full composite key.
+    pub fn lookup(&self, key: &IndexKey) -> Vec<String> {
+        let mut t = self.tree.lock();
+        t.stats.scans += 1;
+        t.entries.get(key).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Current watermark vector.
+    pub fn watermarks(&self) -> Vec<SeqNo> {
+        self.tree.lock().watermarks.clone()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IndexerStats {
+        let t = self.tree.lock();
+        let mut s = t.stats;
+        s.entries = t.entries.values().map(|d| d.len() as u64).sum();
+        s.docs = t.doc_keys.values().filter(|(_, k)| !k.is_empty()).count() as u64;
+        s
+    }
+
+    /// Storage mode.
+    pub fn storage(&self) -> IndexStorage {
+        self.storage
+    }
+
+    /// Path of the on-disk log (Standard mode).
+    pub fn log_path(&self) -> Option<&PathBuf> {
+        self.log_path.as_ref()
+    }
+}
+
+fn stale_for_doc(t: &Tree, doc_id: &str, seqno: SeqNo) -> bool {
+    matches!(t.doc_keys.get(doc_id), Some((s, _)) if *s >= seqno)
+}
+
+fn remove_doc_locked(t: &mut Tree, doc_id: &str) {
+    if let Some((_, old_keys)) = t.doc_keys.remove(doc_id) {
+        for key in old_keys {
+            if let Some(docs) = t.entries.get_mut(&key) {
+                docs.remove(doc_id);
+                if docs.is_empty() {
+                    t.entries.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_json::Value;
+
+    fn key1(v: Value) -> IndexKey {
+        IndexKey(vec![Some(v)])
+    }
+
+    fn memopt() -> Indexer {
+        Indexer::new(8, IndexStorage::MemoryOptimized, None, "t").unwrap()
+    }
+
+    #[test]
+    fn update_and_scan() {
+        let idx = memopt();
+        idx.update_doc("d1", vec![key1(Value::int(10))], VbId(0), SeqNo(1));
+        idx.update_doc("d2", vec![key1(Value::int(20))], VbId(0), SeqNo(2));
+        idx.update_doc("d3", vec![key1(Value::int(30))], VbId(1), SeqNo(1));
+        let all = idx.scan(&ScanRange::all(), 0);
+        let ids: Vec<&str> = all.iter().map(|e| e.doc_id.as_str()).collect();
+        assert_eq!(ids, ["d1", "d2", "d3"], "collation order");
+        let some = idx.scan(
+            &ScanRange {
+                low: Some(Value::int(15)),
+                low_inclusive: true,
+                high: Some(Value::int(30)),
+                high_inclusive: false,
+            },
+            0,
+        );
+        assert_eq!(some.len(), 1);
+        assert_eq!(some[0].doc_id, "d2");
+    }
+
+    #[test]
+    fn update_replaces_old_keys() {
+        let idx = memopt();
+        idx.update_doc("d1", vec![key1(Value::int(10))], VbId(0), SeqNo(1));
+        idx.update_doc("d1", vec![key1(Value::int(99))], VbId(0), SeqNo(2));
+        let all = idx.scan(&ScanRange::all(), 0);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].key, key1(Value::int(99)));
+    }
+
+    #[test]
+    fn remove_doc_clears_entries() {
+        let idx = memopt();
+        idx.update_doc("d1", vec![key1(Value::int(1)), key1(Value::int(2))], VbId(0), SeqNo(1));
+        assert_eq!(idx.stats().entries, 2, "array index: two entries for one doc");
+        idx.remove_doc("d1", VbId(0), SeqNo(2));
+        assert_eq!(idx.scan(&ScanRange::all(), 0).len(), 0);
+        assert_eq!(idx.stats().docs, 0);
+    }
+
+    #[test]
+    fn empty_keys_removes_from_index() {
+        let idx = memopt();
+        idx.update_doc("d1", vec![key1(Value::int(1))], VbId(0), SeqNo(1));
+        // Doc no longer matches a partial-index filter.
+        idx.update_doc("d1", vec![], VbId(0), SeqNo(2));
+        assert!(idx.scan(&ScanRange::all(), 0).is_empty());
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let idx = memopt();
+        for i in 0..50 {
+            idx.update_doc(&format!("d{i}"), vec![key1(Value::int(i))], VbId(0), SeqNo(i as u64 + 1));
+        }
+        assert_eq!(idx.scan(&ScanRange::all(), 7).len(), 7);
+    }
+
+    #[test]
+    fn duplicate_keys_multiple_docs() {
+        let idx = memopt();
+        idx.update_doc("a", vec![key1(Value::from("x"))], VbId(0), SeqNo(1));
+        idx.update_doc("b", vec![key1(Value::from("x"))], VbId(0), SeqNo(2));
+        let hits = idx.lookup(&key1(Value::from("x")));
+        assert_eq!(hits, ["a", "b"]);
+    }
+
+    #[test]
+    fn watermarks_and_consistency_wait() {
+        let idx = memopt();
+        idx.update_doc("d", vec![key1(Value::int(1))], VbId(3), SeqNo(5));
+        idx.advance_watermark(VbId(1), SeqNo(7));
+        let w = idx.watermarks();
+        assert_eq!(w[3], SeqNo(5));
+        assert_eq!(w[1], SeqNo(7));
+
+        // Already satisfied: returns immediately.
+        let mut target = vec![SeqNo::ZERO; 8];
+        target[3] = SeqNo(5);
+        idx.wait_consistent(&ScanConsistency::AtPlus(target), Duration::from_millis(10)).unwrap();
+
+        // Unsatisfied: times out.
+        let mut target = vec![SeqNo::ZERO; 8];
+        target[0] = SeqNo(100);
+        let err = idx
+            .wait_consistent(&ScanConsistency::AtPlus(target), Duration::from_millis(30))
+            .unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)));
+
+        // NotBounded never waits.
+        idx.wait_consistent(&ScanConsistency::NotBounded, Duration::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn consistency_wait_unblocks_on_catchup() {
+        use std::sync::Arc;
+        let idx = Arc::new(memopt());
+        let idx2 = Arc::clone(&idx);
+        let waiter = std::thread::spawn(move || {
+            let mut target = vec![SeqNo::ZERO; 8];
+            target[0] = SeqNo(3);
+            idx2.wait_consistent(&ScanConsistency::AtPlus(target), Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        idx.advance_watermark(VbId(0), SeqNo(3));
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn standard_mode_syncs_to_disk() {
+        let dir = cbs_storage::scratch_dir("gsi");
+        let idx = Indexer::new(4, IndexStorage::Standard, Some(dir.clone()), "email_idx").unwrap();
+        idx.update_doc("d1", vec![key1(Value::from("a@x.com"))], VbId(0), SeqNo(1));
+        idx.update_doc("d2", vec![key1(Value::from("b@x.com"))], VbId(0), SeqNo(2));
+        assert_eq!(idx.stats().disk_syncs, 2);
+        let log = idx.log_path().unwrap();
+        let contents = std::fs::read_to_string(log).unwrap();
+        assert!(contents.contains("d1"));
+        assert!(contents.contains("a@x.com"));
+        // Memory-optimized never syncs.
+        let mo = memopt();
+        mo.update_doc("d1", vec![key1(Value::int(1))], VbId(0), SeqNo(1));
+        assert_eq!(mo.stats().disk_syncs, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Projector and Router — the data-node half of the index service (§4.3.4).
+//!
+//! "The projector extracts the secondary keys relevant to the indexes that
+//! have been defined and sends them to the router. The router then decides
+//! which indexer to send the message to. In case the index is partitioned,
+//! the partition key tells the router which indexer and which node to send
+//! the message to."
+
+use std::sync::Arc;
+
+use cbs_common::{SeqNo, VbId};
+use cbs_dcp::DcpItem;
+use cbs_json::Value;
+
+use crate::defs::{IndexDef, IndexKey, KeyExpr};
+use crate::indexer::Indexer;
+
+/// What the projector emits for one (mutation, index) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectedOp {
+    /// Index (or re-index) the document under these keys. Empty keys mean
+    /// the document fell out of the index (filter/MISSING leading key);
+    /// any previous entries must be removed.
+    Update {
+        /// Document ID.
+        doc_id: String,
+        /// New key versions (several for array indexes).
+        keys: Vec<IndexKey>,
+        /// Originating vBucket.
+        vb: VbId,
+        /// Mutation seqno.
+        seqno: SeqNo,
+    },
+    /// The document was deleted/expired: remove it.
+    Remove {
+        /// Document ID.
+        doc_id: String,
+        /// Originating vBucket.
+        vb: VbId,
+        /// Mutation seqno.
+        seqno: SeqNo,
+    },
+}
+
+/// Stateless key-version extraction.
+pub struct Projector;
+
+impl Projector {
+    /// Compute the key versions a mutation produces for one index
+    /// definition.
+    pub fn project(def: &IndexDef, item: &DcpItem) -> ProjectedOp {
+        if item.is_deletion() {
+            return ProjectedOp::Remove {
+                doc_id: item.key.clone(),
+                vb: item.vb,
+                seqno: item.meta.seqno,
+            };
+        }
+        let doc = item.value.as_ref().expect("mutation carries a value");
+        let keys = Self::keys_for(def, &item.key, doc);
+        ProjectedOp::Update { doc_id: item.key.clone(), keys, vb: item.vb, seqno: item.meta.seqno }
+    }
+
+    /// The index keys a document produces under `def` (empty if filtered
+    /// out or leading key MISSING).
+    pub fn keys_for(def: &IndexDef, doc_id: &str, doc: &Value) -> Vec<IndexKey> {
+        // Partial-index filter (§3.3.4): all conjuncts must hold.
+        if !def.filter.iter().all(|c| c.matches(doc)) {
+            return Vec::new();
+        }
+        // Array index (§6.1.2): if the leading expression is ArrayElements,
+        // fan out one key per element.
+        match &def.keys[0] {
+            KeyExpr::ArrayElements(path) => {
+                let Some(Value::Array(items)) = path.eval(doc) else { return Vec::new() };
+                let mut out = Vec::new();
+                let mut seen = Vec::new();
+                for elem in items {
+                    // DISTINCT ARRAY semantics: dedupe elements.
+                    if seen.iter().any(|s: &Value| s == elem) {
+                        continue;
+                    }
+                    seen.push(elem.clone());
+                    let mut comps = vec![Some(elem.clone())];
+                    comps.extend(def.keys[1..].iter().map(|k| k.eval(doc_id, doc)));
+                    out.push(IndexKey(comps));
+                }
+                out
+            }
+            leading => {
+                // GSI does not index documents whose leading key is MISSING.
+                let Some(lead) = leading.eval(doc_id, doc) else { return Vec::new() };
+                let mut comps = vec![Some(lead)];
+                comps.extend(def.keys[1..].iter().map(|k| k.eval(doc_id, doc)));
+                vec![IndexKey(comps)]
+            }
+        }
+    }
+}
+
+/// Routes projected operations to the right partition's indexer, and
+/// advances watermarks on every partition for mutations that produced no
+/// key versions (consistency must advance even for filtered-out docs).
+pub struct Router {
+    partitions: Vec<Arc<Indexer>>,
+    def: IndexDef,
+}
+
+impl Router {
+    /// Build a router over one index's partitions (one indexer per range
+    /// partition; a single partition for unpartitioned indexes).
+    pub fn new(def: IndexDef, partitions: Vec<Arc<Indexer>>) -> Router {
+        assert_eq!(partitions.len(), def.num_partitions());
+        Router { partitions, def }
+    }
+
+    /// Index definition.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Partition handles.
+    pub fn partitions(&self) -> &[Arc<Indexer>] {
+        &self.partitions
+    }
+
+    /// Route one projected op. Handles the paper's partition-key-change
+    /// case ("an insert message may be sent to one indexer with a delete
+    /// message being sent to another") by clearing the doc from every
+    /// partition that is not its new home.
+    pub fn route(&self, op: ProjectedOp) {
+        match op {
+            ProjectedOp::Remove { doc_id, vb, seqno } => {
+                for p in &self.partitions {
+                    p.remove_doc(&doc_id, vb, seqno);
+                }
+            }
+            ProjectedOp::Update { doc_id, keys, vb, seqno } => {
+                // Group keys by destination partition.
+                let mut per_partition: Vec<Vec<IndexKey>> =
+                    vec![Vec::new(); self.partitions.len()];
+                for key in keys {
+                    let p = self.def.partition_for(key.leading());
+                    per_partition[p].push(key);
+                }
+                for (pi, p) in self.partitions.iter().enumerate() {
+                    let keys = std::mem::take(&mut per_partition[pi]);
+                    if keys.is_empty() {
+                        // Delete-on-other-partition + watermark advance.
+                        p.remove_doc(&doc_id, vb, seqno);
+                    } else {
+                        p.update_doc(&doc_id, keys, vb, seqno);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance all partitions' watermarks (for keyspace-unrelated DCP
+    /// traffic that still counts toward consistency).
+    pub fn advance(&self, vb: VbId, seqno: SeqNo) {
+        for p in &self.partitions {
+            p.advance_watermark(vb, seqno);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::{FilterCond, FilterOp, IndexStorage, ScanRange};
+    use cbs_common::DocMeta;
+    use cbs_json::parse_path;
+
+    fn item(key: &str, json: &str, seq: u64) -> DcpItem {
+        DcpItem::mutation(
+            VbId(0),
+            key,
+            DocMeta { seqno: SeqNo(seq), ..Default::default() },
+            cbs_json::parse(json).unwrap(),
+        )
+    }
+
+    #[test]
+    fn simple_projection() {
+        let def = IndexDef::simple("email", "profiles", "email");
+        let op = Projector::project(&def, &item("u1", r#"{"email":"a@x.com"}"#, 1));
+        match op {
+            ProjectedOp::Update { doc_id, keys, .. } => {
+                assert_eq!(doc_id, "u1");
+                assert_eq!(keys, vec![IndexKey(vec![Some(Value::from("a@x.com"))])]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // MISSING leading key → empty keys.
+        let op = Projector::project(&def, &item("u2", r#"{"name":"no email"}"#, 2));
+        assert!(matches!(op, ProjectedOp::Update { keys, .. } if keys.is_empty()));
+    }
+
+    #[test]
+    fn composite_keys_with_missing_trailing() {
+        let mut def = IndexDef::simple("ix", "b", "a");
+        def.keys.push(KeyExpr::Path(parse_path("b").unwrap()));
+        let keys = Projector::keys_for(&def, "d", &cbs_json::parse(r#"{"a":1}"#).unwrap());
+        assert_eq!(keys, vec![IndexKey(vec![Some(Value::int(1)), None])]);
+    }
+
+    #[test]
+    fn partial_index_filtering() {
+        // CREATE INDEX over21 ON Profile(age) WHERE age > 21 (§3.3.4).
+        let mut def = IndexDef::simple("over21", "Profile", "age");
+        def.filter = vec![FilterCond {
+            path: parse_path("age").unwrap(),
+            op: FilterOp::Gt,
+            value: Value::int(21),
+        }];
+        let keys = Projector::keys_for(&def, "d", &cbs_json::parse(r#"{"age":30}"#).unwrap());
+        assert_eq!(keys.len(), 1);
+        let keys = Projector::keys_for(&def, "d", &cbs_json::parse(r#"{"age":18}"#).unwrap());
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn array_index_fans_out_distinct() {
+        let def = IndexDef {
+            keys: vec![KeyExpr::ArrayElements(parse_path("categories").unwrap())],
+            ..IndexDef::simple("cats", "product", "categories")
+        };
+        let keys = Projector::keys_for(
+            &def,
+            "p1",
+            &cbs_json::parse(r#"{"categories":["a","b","a"]}"#).unwrap(),
+        );
+        assert_eq!(keys.len(), 2, "DISTINCT dedupes");
+        // Non-array value → nothing indexed.
+        let keys =
+            Projector::keys_for(&def, "p2", &cbs_json::parse(r#"{"categories":"x"}"#).unwrap());
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn primary_index_uses_doc_id() {
+        let def = IndexDef::primary("#primary", "b");
+        let keys = Projector::keys_for(&def, "the-doc", &Value::empty_object());
+        assert_eq!(keys, vec![IndexKey(vec![Some(Value::from("the-doc"))])]);
+    }
+
+    #[test]
+    fn deletion_projects_to_remove() {
+        let def = IndexDef::simple("i", "b", "x");
+        let del = DcpItem::deletion(
+            VbId(2),
+            "gone",
+            DocMeta { seqno: SeqNo(9), ..Default::default() },
+        );
+        assert!(matches!(
+            Projector::project(&def, &del),
+            ProjectedOp::Remove { doc_id, vb, seqno } if doc_id == "gone" && vb == VbId(2) && seqno == SeqNo(9)
+        ));
+    }
+
+    #[test]
+    fn router_moves_doc_between_partitions() {
+        // Range-partitioned on age at split 50.
+        let mut def = IndexDef::simple("age", "b", "age");
+        def.partition_splits = vec![Value::int(50)];
+        let p0 = Arc::new(Indexer::new(4, IndexStorage::MemoryOptimized, None, "p0").unwrap());
+        let p1 = Arc::new(Indexer::new(4, IndexStorage::MemoryOptimized, None, "p1").unwrap());
+        let router = Router::new(def.clone(), vec![Arc::clone(&p0), Arc::clone(&p1)]);
+
+        let update = |age: i64, seq: u64| ProjectedOp::Update {
+            doc_id: "d".to_string(),
+            keys: vec![IndexKey(vec![Some(Value::int(age))])],
+            vb: VbId(0),
+            seqno: SeqNo(seq),
+        };
+        router.route(update(10, 1));
+        assert_eq!(p0.scan(&ScanRange::all(), 0).len(), 1);
+        assert_eq!(p1.scan(&ScanRange::all(), 0).len(), 0);
+
+        // Partition key changes: insert to p1, delete from p0 (§4.3.4).
+        router.route(update(99, 2));
+        assert_eq!(p0.scan(&ScanRange::all(), 0).len(), 0, "stale entry deleted");
+        assert_eq!(p1.scan(&ScanRange::all(), 0).len(), 1);
+
+        // Remove clears everywhere.
+        router.route(ProjectedOp::Remove { doc_id: "d".to_string(), vb: VbId(0), seqno: SeqNo(3) });
+        assert_eq!(p1.scan(&ScanRange::all(), 0).len(), 0);
+        // Watermarks advanced on both partitions throughout.
+        assert_eq!(p0.watermarks()[0], SeqNo(3));
+        assert_eq!(p1.watermarks()[0], SeqNo(3));
+    }
+}

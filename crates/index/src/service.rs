@@ -1,0 +1,520 @@
+//! The Index Manager and the DCP feed pump.
+//!
+//! "The Index Manager resides within the indexing service and is
+//! responsible for receiving requests for indexing operations (e.g.,
+//! creation, deletion, maintenance, scan, lookup)" (§4.3.4).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_common::{Error, Result, SeqNo, VbId};
+use cbs_dcp::{BackfillSource, DcpItem};
+use parking_lot::{Mutex, RwLock};
+
+use crate::defs::{IndexDef, IndexKey, ScanConsistency, ScanRange};
+use crate::indexer::{IndexEntry, Indexer, IndexerStats};
+use crate::projector::{ProjectedOp, Projector, Router};
+
+/// Lifecycle state of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexState {
+    /// Created with `defer_build`; not maintained, not scannable.
+    Deferred,
+    /// Catch-up build in progress; maintained but not yet scannable.
+    Building,
+    /// Fully built and maintained.
+    Online,
+}
+
+struct IndexInstance {
+    router: Arc<Router>,
+    state: Mutex<IndexState>,
+}
+
+/// Manages every GSI hosted by one index-service node.
+pub struct IndexManager {
+    num_vbuckets: u16,
+    log_dir: PathBuf,
+    /// (keyspace, name) → instance.
+    indexes: RwLock<HashMap<(String, String), Arc<IndexInstance>>>,
+}
+
+impl IndexManager {
+    /// Create a manager; `log_dir` hosts Standard-mode index logs.
+    pub fn new(num_vbuckets: u16, log_dir: PathBuf) -> IndexManager {
+        IndexManager { num_vbuckets, log_dir, indexes: RwLock::new(HashMap::new()) }
+    }
+
+    /// Number of source vBuckets.
+    pub fn num_vbuckets(&self) -> u16 {
+        self.num_vbuckets
+    }
+
+    /// CREATE INDEX: register the definition and its partition indexers.
+    /// Returns an error on duplicate name. The index starts `Deferred` if
+    /// `def.deferred`, else `Building` (scannable after
+    /// [`IndexManager::build`] or a catch-up via feed).
+    pub fn create_index(&self, def: IndexDef) -> Result<()> {
+        let key = (def.keyspace.clone(), def.name.clone());
+        let mut map = self.indexes.write();
+        if map.contains_key(&key) {
+            return Err(Error::Index(format!(
+                "index {} already exists on {}",
+                def.name, def.keyspace
+            )));
+        }
+        let mut partitions = Vec::with_capacity(def.num_partitions());
+        for p in 0..def.num_partitions() {
+            partitions.push(Arc::new(Indexer::new(
+                self.num_vbuckets,
+                def.storage,
+                Some(self.log_dir.clone()),
+                &format!("{}-{}-p{}", def.keyspace, def.name, p),
+            )?));
+        }
+        let state = if def.deferred { IndexState::Deferred } else { IndexState::Building };
+        map.insert(
+            key,
+            Arc::new(IndexInstance {
+                router: Arc::new(Router::new(def, partitions)),
+                state: Mutex::new(state),
+            }),
+        );
+        Ok(())
+    }
+
+    /// DROP INDEX.
+    pub fn drop_index(&self, keyspace: &str, name: &str) -> Result<()> {
+        self.indexes
+            .write()
+            .remove(&(keyspace.to_string(), name.to_string()))
+            .map(|_| ())
+            .ok_or_else(|| Error::Index(format!("no such index: {name} on {keyspace}")))
+    }
+
+    /// List definitions for a keyspace (the Query Catalog's view, §4.3.5).
+    pub fn list(&self, keyspace: &str) -> Vec<IndexDef> {
+        self.indexes
+            .read()
+            .iter()
+            .filter(|((ks, _), _)| ks == keyspace)
+            .map(|(_, inst)| inst.router.def().clone())
+            .collect()
+    }
+
+    /// List only scannable (Online) definitions — what the planner may use.
+    pub fn list_online(&self, keyspace: &str) -> Vec<IndexDef> {
+        self.indexes
+            .read()
+            .iter()
+            .filter(|((ks, _), inst)| ks == keyspace && *inst.state.lock() == IndexState::Online)
+            .map(|(_, inst)| inst.router.def().clone())
+            .collect()
+    }
+
+    /// Current state of an index.
+    pub fn state(&self, keyspace: &str, name: &str) -> Result<IndexState> {
+        Ok(*self.instance(keyspace, name)?.state.lock())
+    }
+
+    fn instance(&self, keyspace: &str, name: &str) -> Result<Arc<IndexInstance>> {
+        self.indexes
+            .read()
+            .get(&(keyspace.to_string(), name.to_string()))
+            .cloned()
+            .ok_or_else(|| Error::Index(format!("no such index: {name} on {keyspace}")))
+    }
+
+    /// Catch-up build from a backfill source (BUILD INDEX for deferred
+    /// indexes; also the initial build when an index is created over
+    /// existing data). Safe to run while the live feed is applying newer
+    /// mutations — per-document seqno guards make replay idempotent.
+    pub fn build(
+        &self,
+        keyspace: &str,
+        name: &str,
+        source: &dyn BackfillSource,
+    ) -> Result<()> {
+        let inst = self.instance(keyspace, name)?;
+        {
+            let mut st = inst.state.lock();
+            if *st == IndexState::Online {
+                return Ok(());
+            }
+            *st = IndexState::Building;
+        }
+        for vb in 0..self.num_vbuckets {
+            let (items, high) = source.backfill(VbId(vb), SeqNo::ZERO)?;
+            for item in items {
+                inst.router.route(Projector::project(inst.router.def(), &item));
+            }
+            inst.router.advance(VbId(vb), high);
+        }
+        *inst.state.lock() = IndexState::Online;
+        Ok(())
+    }
+
+    /// Convenience: CREATE INDEX + immediate build (the common
+    /// non-deferred path).
+    pub fn create_and_build(&self, def: IndexDef, source: &dyn BackfillSource) -> Result<()> {
+        let (ks, name) = (def.keyspace.clone(), def.name.clone());
+        let deferred = def.deferred;
+        self.create_index(def)?;
+        if !deferred {
+            self.build(&ks, &name, source)?;
+        }
+        Ok(())
+    }
+
+    /// Apply one DCP item to every non-deferred index of its keyspace
+    /// (projector → router, Figure 9).
+    pub fn apply_dcp(&self, keyspace: &str, item: &DcpItem) {
+        let instances: Vec<Arc<IndexInstance>> = self
+            .indexes
+            .read()
+            .iter()
+            .filter(|((ks, _), _)| ks == keyspace)
+            .map(|(_, inst)| Arc::clone(inst))
+            .collect();
+        for inst in instances {
+            if *inst.state.lock() == IndexState::Deferred {
+                continue;
+            }
+            let op: ProjectedOp = Projector::project(inst.router.def(), item);
+            inst.router.route(op);
+        }
+    }
+
+    /// Scan an index: wait for the requested consistency on every
+    /// partition, then scatter/gather ("it does scatter/gather for queries
+    /// in case of a partitioned GSI index", §4.3.4) and merge in collation
+    /// order.
+    pub fn scan(
+        &self,
+        keyspace: &str,
+        name: &str,
+        range: &ScanRange,
+        consistency: &ScanConsistency,
+        timeout: Duration,
+        limit: usize,
+    ) -> Result<Vec<IndexEntry>> {
+        let inst = self.instance(keyspace, name)?;
+        if *inst.state.lock() != IndexState::Online {
+            return Err(Error::Index(format!("index {name} is not online")));
+        }
+        let partitions = inst.router.partitions();
+        for p in partitions {
+            p.wait_consistent(consistency, timeout)?;
+        }
+        // Scatter...
+        let partials: Vec<Vec<IndexEntry>> =
+            partitions.iter().map(|p| p.scan(range, limit)).collect();
+        // ...gather: k-way merge by collation order.
+        let mut merged = merge_sorted(partials);
+        if limit > 0 && merged.len() > limit {
+            merged.truncate(limit);
+        }
+        Ok(merged)
+    }
+
+    /// Exact composite-key lookup.
+    pub fn lookup(
+        &self,
+        keyspace: &str,
+        name: &str,
+        key: &IndexKey,
+        consistency: &ScanConsistency,
+        timeout: Duration,
+    ) -> Result<Vec<String>> {
+        let inst = self.instance(keyspace, name)?;
+        if *inst.state.lock() != IndexState::Online {
+            return Err(Error::Index(format!("index {name} is not online")));
+        }
+        let p = inst.router.def().partition_for(key.leading());
+        let partition = &inst.router.partitions()[p];
+        partition.wait_consistent(consistency, timeout)?;
+        Ok(partition.lookup(key))
+    }
+
+    /// Aggregate stats across an index's partitions.
+    pub fn index_stats(&self, keyspace: &str, name: &str) -> Result<IndexerStats> {
+        let inst = self.instance(keyspace, name)?;
+        let mut total = IndexerStats::default();
+        for p in inst.router.partitions() {
+            let s = p.stats();
+            total.entries += s.entries;
+            total.docs += s.docs;
+            total.applied += s.applied;
+            total.scans += s.scans;
+            total.disk_syncs += s.disk_syncs;
+        }
+        Ok(total)
+    }
+}
+
+fn merge_sorted(mut partials: Vec<Vec<IndexEntry>>) -> Vec<IndexEntry> {
+    match partials.len() {
+        0 => Vec::new(),
+        1 => partials.pop().unwrap(),
+        _ => {
+            let mut all: Vec<IndexEntry> = partials.into_iter().flatten().collect();
+            all.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.doc_id.cmp(&b.doc_id)));
+            all
+        }
+    }
+}
+
+/// Background pump: subscribes an [`IndexManager`] to a data engine's DCP
+/// hub and applies the stream continuously — the arrow from the Data
+/// Service to the Index Service in Figure 9.
+pub struct IndexFeed {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IndexFeed {
+    /// Open streams from seqno 0 on every vBucket of `engine` and pump them
+    /// into `manager` under `keyspace`.
+    pub fn spawn(
+        manager: Arc<IndexManager>,
+        keyspace: String,
+        engine: Arc<cbs_kv::DataEngine>,
+    ) -> Result<IndexFeed> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let n = manager.num_vbuckets;
+        let mut streams = Vec::with_capacity(n as usize);
+        for vb in 0..n {
+            streams.push(engine.open_dcp_stream(VbId(vb), SeqNo::ZERO)?);
+        }
+        let handle = std::thread::Builder::new()
+            .name(format!("gsi-feed-{keyspace}"))
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let mut any = false;
+                    for stream in streams.iter_mut() {
+                        for item in stream.drain_available() {
+                            manager.apply_dcp(&keyspace, &item);
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+            .expect("spawn index feed");
+        Ok(IndexFeed { stop, handle: Some(handle) })
+    }
+
+    /// Stop the pump.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IndexFeed {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::IndexStorage;
+    use cbs_common::Cas;
+    use cbs_json::Value;
+    use cbs_kv::{DataEngine, EngineConfig, MutateMode};
+
+    fn manager(n: u16) -> IndexManager {
+        IndexManager::new(n, cbs_storage::scratch_dir("gsi-svc"))
+    }
+
+    fn engine() -> Arc<DataEngine> {
+        let e = DataEngine::new(EngineConfig::for_test(16)).unwrap();
+        e.activate_all();
+        e
+    }
+
+    fn profile(name: &str, age: i64) -> Value {
+        Value::object([("name", Value::from(name)), ("age", Value::int(age))])
+    }
+
+    #[test]
+    fn create_build_scan_over_existing_data() {
+        let e = engine();
+        for i in 0..20 {
+            e.set(&format!("u{i}"), profile(&format!("user{i}"), 20 + i), MutateMode::Upsert, Cas::WILDCARD, 0)
+                .unwrap();
+        }
+        let m = manager(16);
+        m.create_and_build(IndexDef::simple("age", "b", "age"), e.as_ref()).unwrap();
+        assert_eq!(m.state("b", "age").unwrap(), IndexState::Online);
+        let rows = m
+            .scan("b", "age", &ScanRange::at_least(Value::int(35)), &ScanConsistency::NotBounded,
+                  Duration::from_secs(1), 0)
+            .unwrap();
+        assert_eq!(rows.len(), 5, "ages 35..39");
+        // Keys come back sorted.
+        let ages: Vec<i64> =
+            rows.iter().map(|r| r.key.0[0].as_ref().unwrap().as_i64().unwrap()).collect();
+        assert_eq!(ages, [35, 36, 37, 38, 39]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let m = manager(4);
+        m.create_index(IndexDef::simple("i", "b", "x")).unwrap();
+        assert!(m.create_index(IndexDef::simple("i", "b", "x")).is_err());
+        // Same name on another keyspace is fine.
+        m.create_index(IndexDef::simple("i", "other", "x")).unwrap();
+        assert_eq!(m.list("b").len(), 1);
+    }
+
+    #[test]
+    fn deferred_build_flow() {
+        let e = engine();
+        e.set("d1", profile("a", 30), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let m = manager(16);
+        let def = IndexDef { deferred: true, ..IndexDef::simple("age", "b", "age") };
+        m.create_and_build(def, e.as_ref()).unwrap();
+        assert_eq!(m.state("b", "age").unwrap(), IndexState::Deferred);
+        // Scanning a deferred index fails.
+        assert!(m
+            .scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
+                  Duration::from_secs(1), 0)
+            .is_err());
+        // BUILD INDEX.
+        m.build("b", "age", e.as_ref()).unwrap();
+        assert_eq!(m.state("b", "age").unwrap(), IndexState::Online);
+        assert_eq!(
+            m.scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
+                   Duration::from_secs(1), 0)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn live_feed_maintains_index_and_request_plus_waits() {
+        let e = engine();
+        let m = Arc::new(manager(16));
+        m.create_and_build(IndexDef::simple("age", "b", "age"), e.as_ref()).unwrap();
+        let feed = IndexFeed::spawn(Arc::clone(&m), "b".to_string(), Arc::clone(&e)).unwrap();
+
+        // Write after the index is online; the feed must pick it up.
+        e.set("new", profile("n", 99), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let vector = e.seqno_vector();
+        let rows = m
+            .scan("b", "age", &ScanRange::exact(Value::int(99)),
+                  &ScanConsistency::AtPlus(vector), Duration::from_secs(5), 0)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].doc_id, "new");
+
+        // Delete flows through too.
+        e.delete("new", Cas::WILDCARD).unwrap();
+        let vector = e.seqno_vector();
+        let rows = m
+            .scan("b", "age", &ScanRange::exact(Value::int(99)),
+                  &ScanConsistency::AtPlus(vector), Duration::from_secs(5), 0)
+            .unwrap();
+        assert!(rows.is_empty());
+        feed.shutdown();
+    }
+
+    #[test]
+    fn partitioned_scan_scatter_gather() {
+        let e = engine();
+        for i in 0..30 {
+            e.set(&format!("u{i}"), profile("x", i), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        }
+        let m = manager(16);
+        let def = IndexDef {
+            partition_splits: vec![Value::int(10), Value::int(20)],
+            ..IndexDef::simple("age", "b", "age")
+        };
+        m.create_and_build(def, e.as_ref()).unwrap();
+        let rows = m
+            .scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
+                  Duration::from_secs(1), 0)
+            .unwrap();
+        assert_eq!(rows.len(), 30);
+        let ages: Vec<i64> =
+            rows.iter().map(|r| r.key.0[0].as_ref().unwrap().as_i64().unwrap()).collect();
+        let expected: Vec<i64> = (0..30).collect();
+        assert_eq!(ages, expected, "gather must merge partitions in key order");
+        // Range crossing a partition boundary.
+        let rows = m
+            .scan(
+                "b", "age",
+                &ScanRange {
+                    low: Some(Value::int(8)),
+                    low_inclusive: true,
+                    high: Some(Value::int(12)),
+                    high_inclusive: true,
+                },
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn lookup_routes_to_single_partition() {
+        let e = engine();
+        e.set("u1", profile("x", 5), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.set("u2", profile("y", 50), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let m = manager(16);
+        let def = IndexDef {
+            partition_splits: vec![Value::int(10)],
+            ..IndexDef::simple("age", "b", "age")
+        };
+        m.create_and_build(def, e.as_ref()).unwrap();
+        let hits = m
+            .lookup("b", "age", &IndexKey(vec![Some(Value::int(50))]),
+                    &ScanConsistency::NotBounded, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(hits, ["u2"]);
+        let stats = m.index_stats("b", "age").unwrap();
+        assert_eq!(stats.scans, 1, "only one partition was probed");
+    }
+
+    #[test]
+    fn drop_index_works() {
+        let m = manager(4);
+        m.create_index(IndexDef::simple("i", "b", "x")).unwrap();
+        m.drop_index("b", "i").unwrap();
+        assert!(m.drop_index("b", "i").is_err());
+        assert!(m.list("b").is_empty());
+    }
+
+    #[test]
+    fn memory_optimized_index_skips_disk() {
+        let e = engine();
+        e.set("d", profile("a", 1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let m = manager(16);
+        let def = IndexDef {
+            storage: IndexStorage::MemoryOptimized,
+            ..IndexDef::simple("age", "b", "age")
+        };
+        m.create_and_build(def, e.as_ref()).unwrap();
+        assert_eq!(m.index_stats("b", "age").unwrap().disk_syncs, 0);
+        // Standard mode, by contrast, syncs.
+        m.create_and_build(IndexDef::simple("age_std", "b", "age"), e.as_ref()).unwrap();
+        assert!(m.index_stats("b", "age_std").unwrap().disk_syncs > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property test: the indexer agrees with a naive model under any
+//! interleaving of updates, removals and scans — including out-of-order
+//! (stale) deliveries, which the per-document seqno guard must suppress.
+
+use std::collections::HashMap;
+
+use cbs_common::{SeqNo, VbId};
+use cbs_index::{IndexKey, IndexStorage, Indexer, ScanRange};
+use cbs_json::Value;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Update doc `d` with key value `k` at sequence `seq`.
+    Update { d: u8, k: i64, seq: u64 },
+    /// Remove doc `d` at sequence `seq`.
+    Remove { d: u8, seq: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), -20i64..20, 1u64..100)
+                .prop_map(|(d, k, seq)| Op::Update { d: d % 12, k, seq }),
+            (any::<u8>(), 1u64..100).prop_map(|(d, seq)| Op::Remove { d: d % 12, seq }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn indexer_matches_model(ops in arb_ops()) {
+        let idx = Indexer::new(4, IndexStorage::MemoryOptimized, None, "prop").unwrap();
+        // Model: doc → (last applied seq, Some(key) | None).
+        let mut model: HashMap<String, (u64, Option<i64>)> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Update { d, k, seq } => {
+                    let doc = format!("d{d}");
+                    idx.update_doc(
+                        &doc,
+                        vec![IndexKey(vec![Some(Value::int(*k))])],
+                        VbId(0),
+                        SeqNo(*seq),
+                    );
+                    let e = model.entry(doc).or_insert((0, None));
+                    if *seq > e.0 {
+                        *e = (*seq, Some(*k));
+                    }
+                }
+                Op::Remove { d, seq } => {
+                    let doc = format!("d{d}");
+                    idx.remove_doc(&doc, VbId(0), SeqNo(*seq));
+                    let e = model.entry(doc).or_insert((0, None));
+                    if *seq > e.0 {
+                        *e = (*seq, None);
+                    }
+                }
+            }
+        }
+        // Full scan must equal the model's live set, sorted by (key, doc).
+        let mut expected: Vec<(i64, String)> = model
+            .iter()
+            .filter_map(|(d, (_, k))| k.map(|k| (k, d.clone())))
+            .collect();
+        expected.sort();
+        let scanned: Vec<(i64, String)> = idx
+            .scan(&ScanRange::all(), 0)
+            .into_iter()
+            .map(|e| (e.key.0[0].as_ref().unwrap().as_i64().unwrap(), e.doc_id))
+            .collect();
+        prop_assert_eq!(scanned, expected);
+
+        // Range scans agree too.
+        let range = ScanRange {
+            low: Some(Value::int(-5)),
+            low_inclusive: true,
+            high: Some(Value::int(5)),
+            high_inclusive: false,
+        };
+        let in_range: Vec<(i64, String)> = model
+            .iter()
+            .filter_map(|(d, (_, k))| k.map(|k| (k, d.clone())))
+            .filter(|(k, _)| (-5..5).contains(k))
+            .collect();
+        let mut in_range = in_range;
+        in_range.sort();
+        let scanned: Vec<(i64, String)> = idx
+            .scan(&range, 0)
+            .into_iter()
+            .map(|e| (e.key.0[0].as_ref().unwrap().as_i64().unwrap(), e.doc_id))
+            .collect();
+        prop_assert_eq!(scanned, in_range);
+
+        // Watermark equals the max seq delivered.
+        let max_seq = ops
+            .iter()
+            .map(|o| match o {
+                Op::Update { seq, .. } | Op::Remove { seq, .. } => *seq,
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(idx.watermarks()[0], SeqNo(max_seq));
+    }
+}

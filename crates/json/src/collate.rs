@@ -1,0 +1,203 @@
+//! N1QL / view collation: the total order used by every index in the system.
+//!
+//! Couchbase (following CouchDB's view collation and SQL++'s ordering)
+//! orders JSON values first by type, then within a type:
+//!
+//! `missing < null < false < true < number < string < array < object`
+//!
+//! - numbers compare numerically across the int/float classes;
+//! - strings compare by Unicode code point;
+//! - arrays compare element-wise, shorter-is-less on a common prefix;
+//! - objects compare by sorted key list first, then by values in sorted key
+//!   order (a deterministic convention; object keys in an index are rare).
+//!
+//! This ordering is what makes a view/GSI B-tree range scan meaningful for
+//! heterogeneous documents in one bucket.
+
+use std::cmp::Ordering;
+
+use crate::value::Value;
+
+/// Type rank in the collation order. MISSING is handled out-of-band by
+/// [`cmp_missing`] since documents never contain it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TypeRank {
+    /// `null`
+    Null = 1,
+    /// `false` then `true`
+    Boolean = 2,
+    /// any number
+    Number = 3,
+    /// any string
+    String = 4,
+    /// any array
+    Array = 5,
+    /// any object
+    Object = 6,
+}
+
+/// The collation rank of a value's type.
+pub fn type_rank(v: &Value) -> TypeRank {
+    match v {
+        Value::Null => TypeRank::Null,
+        Value::Bool(_) => TypeRank::Boolean,
+        Value::Number(_) => TypeRank::Number,
+        Value::String(_) => TypeRank::String,
+        Value::Array(_) => TypeRank::Array,
+        Value::Object(_) => TypeRank::Object,
+    }
+}
+
+/// Total-order comparison of two JSON values under N1QL collation.
+pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Number(x), Value::Number(y)) => {
+            // Values never contain NaN (parser and constructors forbid it),
+            // so partial_cmp is total here.
+            x.partial_cmp(y).unwrap_or(Ordering::Equal)
+        }
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xa, ya) in x.iter().zip(y.iter()) {
+                let c = cmp_values(xa, ya);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            let mut xk: Vec<&str> = x.iter().map(|(k, _)| k.as_str()).collect();
+            let mut yk: Vec<&str> = y.iter().map(|(k, _)| k.as_str()).collect();
+            xk.sort_unstable();
+            yk.sort_unstable();
+            let c = xk.cmp(&yk);
+            if c != Ordering::Equal {
+                return c;
+            }
+            for k in xk {
+                // Both objects have the key (key lists are equal).
+                let c = cmp_values(a.get_field(k).unwrap(), b.get_field(k).unwrap());
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        }
+        _ => unreachable!("type ranks matched"),
+    }
+}
+
+/// Comparison lifted to possibly-MISSING values: MISSING sorts before
+/// everything, including `null`.
+pub fn cmp_missing(a: Option<&Value>, b: Option<&Value>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => cmp_values(x, y),
+    }
+}
+
+/// A wrapper giving [`Value`] `Ord` under collation, usable directly as a
+/// `BTreeMap` key in index implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollatedValue(pub Value);
+
+impl Eq for CollatedValue {}
+
+impl PartialOrd for CollatedValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CollatedValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_values(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn v(s: &str) -> Value {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn type_order_matches_paper_systems() {
+        let ladder = [
+            v("null"),
+            v("false"),
+            v("true"),
+            v("-10"),
+            v("0"),
+            v("3.5"),
+            v("\"\""),
+            v("\"a\""),
+            v("\"b\""),
+            v("[]"),
+            v("[1]"),
+            v("[1,2]"),
+            v("[2]"),
+            v("{}"),
+            v("{\"a\":1}"),
+        ];
+        for w in ladder.windows(2) {
+            assert_eq!(
+                cmp_values(&w[0], &w[1]),
+                Ordering::Less,
+                "{:?} should sort before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn numbers_compare_across_classes() {
+        assert_eq!(cmp_values(&v("1"), &v("1.0")), Ordering::Equal);
+        assert_eq!(cmp_values(&v("1"), &v("1.5")), Ordering::Less);
+        assert_eq!(cmp_values(&v("2"), &v("1.5")), Ordering::Greater);
+    }
+
+    #[test]
+    fn missing_sorts_first() {
+        assert_eq!(cmp_missing(None, Some(&Value::Null)), Ordering::Less);
+        assert_eq!(cmp_missing(None, None), Ordering::Equal);
+        assert_eq!(cmp_missing(Some(&Value::Null), None), Ordering::Greater);
+    }
+
+    #[test]
+    fn object_comparison_is_key_order_independent() {
+        let a = v(r#"{"x":1,"y":2}"#);
+        let b = v(r#"{"y":2,"x":1}"#);
+        assert_eq!(cmp_values(&a, &b), Ordering::Equal);
+        let c = v(r#"{"x":1,"y":3}"#);
+        assert_eq!(cmp_values(&a, &c), Ordering::Less);
+        // Differing key sets compare by sorted key list.
+        let d = v(r#"{"x":1,"z":0}"#);
+        assert_eq!(cmp_values(&a, &d), Ordering::Less); // "y" < "z"
+    }
+
+    #[test]
+    fn collated_value_usable_in_btreemap() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(CollatedValue(v("\"b\"")), 1);
+        m.insert(CollatedValue(v("null")), 2);
+        m.insert(CollatedValue(v("10")), 3);
+        m.insert(CollatedValue(v("\"a\"")), 4);
+        let order: Vec<i32> = m.values().copied().collect();
+        assert_eq!(order, [2, 3, 4, 1]);
+    }
+}

@@ -1,0 +1,171 @@
+//! JSON serialization (compact and pretty).
+//!
+//! The compact form is canonical for storage and network transfer; pretty
+//! printing is only for diagnostics (EXPLAIN output, examples).
+
+use crate::value::{Number, Value};
+
+impl Value {
+    /// Serialize to compact JSON. Guaranteed to re-parse to an equal value
+    /// (property-tested in the crate root).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(self.approx_size());
+        write_value(self, &mut out);
+        out
+    }
+}
+
+/// Serialize with `indent`-space indentation, for human consumption.
+pub fn to_json_pretty(v: &Value, indent: usize) -> String {
+    let mut out = String::new();
+    write_pretty(v, indent, 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) => {
+            // Rust's Display for f64 is shortest-roundtrip, which is exactly
+            // what we want; integral floats keep a ".0" via this branch so
+            // the int/float lexical class survives a round-trip.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(v: &Value, indent: usize, level: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent * (level + 1)));
+                write_pretty(item, indent, level + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent * level));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent * (level + 1)));
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent, level + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent * level));
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_output() {
+        let v = Value::object([
+            ("name", Value::from("Dipti")),
+            ("age", Value::int(30)),
+            ("tags", Value::from(vec!["a", "b"])),
+        ]);
+        assert_eq!(v.to_json_string(), r#"{"name":"Dipti","age":30,"tags":["a","b"]}"#);
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::from("a\u{0001}b\nc");
+        let s = v.to_json_string();
+        assert_eq!(s, "\"a\\u0001b\\nc\"");
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_class_survives_roundtrip() {
+        let v = Value::float(2.0);
+        assert_eq!(v.to_json_string(), "2.0");
+        assert!(matches!(parse("2.0").unwrap(), Value::Number(crate::value::Number::Float(_))));
+        assert_eq!(Value::float(1.5e300).to_json_string().parse::<f64>().unwrap(), 1.5e300);
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let v = Value::object([("a", Value::from(vec![1i64, 2]))]);
+        let s = to_json_pretty(&v, 2);
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty() {
+        let v = Value::object([("a", Value::Array(vec![])), ("b", Value::empty_object())]);
+        assert_eq!(to_json_pretty(&v, 2), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+}

@@ -1,0 +1,1102 @@
+//! The data engine: memory-first write path, KV API, vBucket states.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use cbs_cache::{CacheLookup, ObjectCache};
+use cbs_common::{
+    vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId,
+};
+use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
+use cbs_json::Value;
+use cbs_storage::{BucketStore, StoredDoc};
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::EngineStats;
+use crate::types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
+use crate::now_secs;
+
+/// Per-vBucket mutable state, guarded by one mutex per vBucket. The mutex
+/// also serializes the write path (seqno assignment → cache → dirty queue →
+/// DCP publish), which is what guarantees seqno-ordered DCP delivery.
+struct VbMeta {
+    state: VbState,
+    /// GETL hard locks: key → (lock token, expiry instant). "This lock will
+    /// be released after a certain timeout to avoid deadlocks" (§3.1.1).
+    locks: HashMap<String, (Cas, Instant)>,
+}
+
+/// Per-vBucket disk-write queue with de-duplication: "asynchrony [...]
+/// provides an opportunity for repeated updates to an object to be
+/// aggregated at the level of persistence" (§2.3.2).
+#[derive(Default)]
+struct DirtyQueue {
+    keys: Vec<String>,
+    queued: std::collections::HashSet<String>,
+}
+
+impl DirtyQueue {
+    fn enqueue(&mut self, key: &str) -> bool {
+        if self.queued.insert(key.to_string()) {
+            self.keys.push(key.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take(&mut self) -> Vec<String> {
+        self.queued.clear();
+        std::mem::take(&mut self.keys)
+    }
+}
+
+/// The data service engine for one bucket on one node.
+pub struct DataEngine {
+    cfg: EngineConfig,
+    cache: ObjectCache,
+    store: BucketStore,
+    hub: DcpHub,
+    clock: CasClock,
+    vbs: Vec<Mutex<VbMeta>>,
+    high_seqnos: Vec<AtomicU64>,
+    persisted_seqnos: Vec<AtomicU64>,
+    dirty: Vec<Mutex<DirtyQueue>>,
+    dirty_count: AtomicU64,
+    persist_mutex: Mutex<()>,
+    persist_cv: Condvar,
+    stats: EngineStats,
+}
+
+impl DataEngine {
+    /// Create an engine. All vBuckets start `Dead`; the cluster manager (or
+    /// a test) activates the ones this node owns. Existing storage files
+    /// for activated vBuckets are recovered lazily.
+    pub fn new(cfg: EngineConfig) -> Result<Arc<DataEngine>> {
+        let n = cfg.num_vbuckets;
+        let store = BucketStore::open(cfg.data_dir.clone())?;
+        Ok(Arc::new(DataEngine {
+            cache: ObjectCache::new(n, cfg.cache_quota, cfg.eviction),
+            store,
+            hub: DcpHub::new(n),
+            clock: CasClock::new(),
+            vbs: (0..n)
+                .map(|_| Mutex::new(VbMeta { state: VbState::Dead, locks: HashMap::new() }))
+                .collect(),
+            high_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            persisted_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dirty: (0..n).map(|_| Mutex::new(DirtyQueue::default())).collect(),
+            dirty_count: AtomicU64::new(0),
+            persist_mutex: Mutex::new(()),
+            persist_cv: Condvar::new(),
+            stats: EngineStats::default(),
+            cfg,
+        }))
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The DCP hub consumers subscribe through.
+    pub fn hub(&self) -> &DcpHub {
+        &self.hub
+    }
+
+    /// Open a DCP stream over one vBucket, backfilled from this engine.
+    pub fn open_dcp_stream(&self, vb: VbId, since: SeqNo) -> Result<DcpStream> {
+        self.hub.open_stream(vb, since, self)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> cbs_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // vBucket state management (driven by the cluster manager)
+    // ------------------------------------------------------------------
+
+    /// Set a vBucket's state.
+    pub fn set_vb_state(&self, vb: VbId, state: VbState) {
+        let mut meta = self.vbs[vb.index()].lock();
+        meta.state = state;
+        if state == VbState::Dead {
+            meta.locks.clear();
+        }
+    }
+
+    /// Read a vBucket's state.
+    pub fn vb_state(&self, vb: VbId) -> VbState {
+        self.vbs[vb.index()].lock().state
+    }
+
+    /// Activate every vBucket (single-node setups and tests).
+    pub fn activate_all(&self) {
+        for vb in 0..self.cfg.num_vbuckets {
+            self.set_vb_state(VbId(vb), VbState::Active);
+        }
+    }
+
+    /// vBuckets currently in a given state.
+    pub fn vbs_in_state(&self, state: VbState) -> Vec<VbId> {
+        (0..self.cfg.num_vbuckets)
+            .map(VbId)
+            .filter(|&vb| self.vb_state(vb) == state)
+            .collect()
+    }
+
+    /// Recover a vBucket's persisted data after a restart: resume seqno
+    /// counters from the log and *warm up* the cache with keys, metadata
+    /// and values (ep-engine's warmup phase — required because under
+    /// value-only eviction a cache miss is authoritative).
+    pub fn recover_vb(&self, vb: VbId) -> Result<()> {
+        let s = self.store.vb(vb)?;
+        let high = s.high_seqno();
+        self.high_seqnos[vb.index()].fetch_max(high.0, Ordering::SeqCst);
+        self.persisted_seqnos[vb.index()].fetch_max(high.0, Ordering::SeqCst);
+        for doc in s.changes_since(SeqNo::ZERO)? {
+            if doc.deleted {
+                let _ = self.cache.delete(vb, &doc.key, doc.meta, false);
+            } else {
+                let value = parse_stored_value(&doc)?;
+                let _ = self.cache.set(vb, &doc.key, doc.meta, value, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop all state for a vBucket (rebalance hand-off / `Dead`).
+    pub fn purge_vb(&self, vb: VbId) -> Result<()> {
+        self.set_vb_state(vb, VbState::Dead);
+        self.cache.clear_vb(vb);
+        self.dirty[vb.index()].lock().take();
+        self.store.drop_vb(vb)?;
+        self.high_seqnos[vb.index()].store(0, Ordering::SeqCst);
+        self.persisted_seqnos[vb.index()].store(0, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// The vBucket a key hashes to (CRC32, §4.1 / Figure 5).
+    pub fn vb_for_key(&self, key: &str) -> VbId {
+        VbId(vbucket_for_key(key.as_bytes(), self.cfg.num_vbuckets))
+    }
+
+    /// Highest assigned seqno for a vBucket.
+    pub fn high_seqno(&self, vb: VbId) -> SeqNo {
+        SeqNo(self.high_seqnos[vb.index()].load(Ordering::SeqCst))
+    }
+
+    /// Highest persisted seqno for a vBucket.
+    pub fn persisted_seqno(&self, vb: VbId) -> SeqNo {
+        SeqNo(self.persisted_seqnos[vb.index()].load(Ordering::SeqCst))
+    }
+
+    /// The high-seqno vector across all vBuckets — the consistency token
+    /// `request_plus` queries snapshot at admission (§4.2: "If a N1QL query
+    /// chooses request_plus scan consistency, the query engine will wait
+    /// until the index is updated up to the maximum sequence number for
+    /// each vBucket").
+    pub fn seqno_vector(&self) -> Vec<SeqNo> {
+        self.high_seqnos.iter().map(|a| SeqNo(a.load(Ordering::SeqCst))).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // KV API (§3.1.1)
+    // ------------------------------------------------------------------
+
+    /// Read a document by key.
+    pub fn get(&self, key: &str) -> Result<GetResult> {
+        let vb = self.vb_for_key(key);
+        self.get_in_vb(vb, key)
+    }
+
+    fn get_in_vb(&self, vb: VbId, key: &str) -> Result<GetResult> {
+        if self.vb_state(vb) != VbState::Active {
+            return Err(Error::VbucketNotActive(vb));
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        match self.cache.get(vb, key) {
+            CacheLookup::Hit { meta, value } => {
+                if meta.is_expired_at(now_secs()) {
+                    self.lazy_expire(vb, key, meta);
+                    return Err(Error::KeyNotFound(key.to_string()));
+                }
+                Ok(GetResult { value, meta })
+            }
+            CacheLookup::Tombstone { .. } => Err(Error::KeyNotFound(key.to_string())),
+            CacheLookup::ValueGone { meta } => {
+                // Background fetch: the value was evicted; metadata stayed
+                // resident (§4.3.3 value-only eviction).
+                self.stats.bg_fetches.fetch_add(1, Ordering::Relaxed);
+                if meta.is_expired_at(now_secs()) {
+                    self.lazy_expire(vb, key, meta);
+                    return Err(Error::KeyNotFound(key.to_string()));
+                }
+                let stored = self
+                    .store
+                    .vb(vb)?
+                    .get(key)?
+                    .ok_or_else(|| Error::Storage(format!("meta resident but no disk copy: {key}")))?;
+                let value = parse_stored_value(&stored)?;
+                self.cache.repopulate(vb, key, value.clone());
+                Ok(GetResult { value, meta })
+            }
+            CacheLookup::Miss => {
+                // Under full eviction the document may still be on disk.
+                if self.cache.policy() == cbs_cache::EvictionPolicy::Full {
+                    if let Some(stored) = self.store.vb(vb)?.get(key)? {
+                        if !stored.deleted && !stored.meta.is_expired_at(now_secs()) {
+                            self.stats.bg_fetches.fetch_add(1, Ordering::Relaxed);
+                            let value = parse_stored_value(&stored)?;
+                            let _ = self.cache.set(vb, key, stored.meta, value.clone(), false);
+                            return Ok(GetResult { value, meta: stored.meta });
+                        }
+                    }
+                }
+                Err(Error::KeyNotFound(key.to_string()))
+            }
+        }
+    }
+
+    /// Write a document. `cas_check` of [`Cas::WILDCARD`] skips the
+    /// optimistic-concurrency check; otherwise the write fails with
+    /// [`Error::CasMismatch`] if the document changed since the client read
+    /// it (§3.1.1).
+    pub fn set(
+        &self,
+        key: &str,
+        value: Value,
+        mode: MutateMode,
+        cas_check: Cas,
+        expiry: u32,
+    ) -> Result<MutationResult> {
+        let vb = self.vb_for_key(key);
+        let mut meta = self.vbs[vb.index()].lock();
+        if meta.state != VbState::Active {
+            return Err(Error::VbucketNotActive(vb));
+        }
+        let via_lock_token = self.check_lock(&mut meta, key, cas_check)?;
+        let existing = self.cache.peek_meta(vb, key);
+        let (live, prev_rev) = match &existing {
+            Some((m, deleted)) => (!*deleted && !m.is_expired_at(now_secs()), m.rev),
+            None => (false, RevNo(0)),
+        };
+        match mode {
+            MutateMode::Insert if live => return Err(Error::KeyExists(key.to_string())),
+            MutateMode::Replace if !live => return Err(Error::KeyNotFound(key.to_string())),
+            _ => {}
+        }
+        // The lock token *is* the CAS handed out by GETL; presenting it both
+        // authorizes the write and satisfies the optimistic check.
+        if !cas_check.is_wildcard() && !via_lock_token {
+            let current = existing.map(|(m, _)| m.cas).unwrap_or(Cas::WILDCARD);
+            if current != cas_check {
+                return Err(Error::CasMismatch(key.to_string()));
+            }
+        }
+        let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
+        let new_meta =
+            DocMeta { seqno, cas: self.clock.next(), rev: prev_rev.next(), flags: 0, expiry };
+        self.cache.set(vb, key, new_meta, value.clone(), true)?;
+        self.enqueue_dirty(vb, key);
+        meta.locks.remove(key);
+        self.hub.publish(&DcpItem::mutation(vb, key, new_meta, value));
+        drop(meta);
+        self.stats.sets.fetch_add(1, Ordering::Relaxed);
+        Ok(MutationResult { vb, seqno, cas: new_meta.cas })
+    }
+
+    /// Delete a document (CAS-checked like [`DataEngine::set`]).
+    pub fn delete(&self, key: &str, cas_check: Cas) -> Result<MutationResult> {
+        let vb = self.vb_for_key(key);
+        let mut meta = self.vbs[vb.index()].lock();
+        if meta.state != VbState::Active {
+            return Err(Error::VbucketNotActive(vb));
+        }
+        let via_lock_token = self.check_lock(&mut meta, key, cas_check)?;
+        let existing = self.cache.peek_meta(vb, key);
+        let (live, prev) = match existing {
+            Some((m, deleted)) => (!deleted && !m.is_expired_at(now_secs()), Some(m)),
+            None => (false, None),
+        };
+        if !live {
+            return Err(Error::KeyNotFound(key.to_string()));
+        }
+        if !cas_check.is_wildcard() && !via_lock_token && prev.unwrap().cas != cas_check {
+            return Err(Error::CasMismatch(key.to_string()));
+        }
+        let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
+        let new_meta = DocMeta {
+            seqno,
+            cas: self.clock.next(),
+            rev: prev.unwrap().rev.next(),
+            flags: 0,
+            expiry: 0,
+        };
+        self.cache.delete(vb, key, new_meta, true)?;
+        self.enqueue_dirty(vb, key);
+        meta.locks.remove(key);
+        self.hub.publish(&DcpItem::deletion(vb, key, new_meta));
+        drop(meta);
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(MutationResult { vb, seqno, cas: new_meta.cas })
+    }
+
+    /// Read and hard-lock a document ("an application can opt to request a
+    /// hard lock at the document level", §3.1.1). The returned CAS is the
+    /// lock token; a subsequent write presenting it releases the lock.
+    pub fn get_and_lock(&self, key: &str, duration: Option<Duration>) -> Result<GetResult> {
+        let vb = self.vb_for_key(key);
+        let result = self.get_in_vb(vb, key)?;
+        let mut meta = self.vbs[vb.index()].lock();
+        if let Some((_, deadline)) = meta.locks.get(key) {
+            if *deadline > Instant::now() {
+                return Err(Error::Locked(key.to_string()));
+            }
+        }
+        let token = self.clock.next();
+        let deadline = Instant::now() + duration.unwrap_or(self.cfg.lock_timeout);
+        meta.locks.insert(key.to_string(), (token, deadline));
+        Ok(GetResult { value: result.value, meta: DocMeta { cas: token, ..result.meta } })
+    }
+
+    /// Explicitly release a GETL lock using its token.
+    pub fn unlock(&self, key: &str, token: Cas) -> Result<()> {
+        let vb = self.vb_for_key(key);
+        let mut meta = self.vbs[vb.index()].lock();
+        match meta.locks.get(key) {
+            Some((t, deadline)) if *deadline > Instant::now() => {
+                if *t == token {
+                    meta.locks.remove(key);
+                    Ok(())
+                } else {
+                    Err(Error::Locked(key.to_string()))
+                }
+            }
+            _ => Err(Error::Timeout(format!("no active lock on {key}"))),
+        }
+    }
+
+    /// Update only the expiry of a document (memcached `touch`).
+    pub fn touch(&self, key: &str, expiry: u32) -> Result<MutationResult> {
+        let current = self.get(key)?;
+        self.set(key, current.value, MutateMode::Replace, current.meta.cas, expiry)
+    }
+
+    /// Enforce GETL locks. Returns true when `cas_check` is the active
+    /// lock token (the caller then skips the normal CAS comparison).
+    fn check_lock(&self, meta: &mut VbMeta, key: &str, cas_check: Cas) -> Result<bool> {
+        if let Some((token, deadline)) = meta.locks.get(key) {
+            if *deadline <= Instant::now() {
+                meta.locks.remove(key);
+            } else if cas_check != *token {
+                return Err(Error::Locked(key.to_string()));
+            } else {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn lazy_expire(&self, vb: VbId, key: &str, prev: DocMeta) {
+        // Expiry is observed lazily on access; issue the tombstone under
+        // the vb lock like any write.
+        let meta = self.vbs[vb.index()].lock();
+        if meta.state != VbState::Active {
+            return;
+        }
+        // Re-check: a concurrent write may have replaced the expired version.
+        match self.cache.peek_meta(vb, key) {
+            Some((m, false)) if m.seqno == prev.seqno => {}
+            _ => return,
+        }
+        let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
+        let new_meta =
+            DocMeta { seqno, cas: self.clock.next(), rev: prev.rev.next(), flags: 0, expiry: 0 };
+        if self.cache.delete(vb, key, new_meta, true).is_ok() {
+            self.enqueue_dirty(vb, key);
+            self.hub.publish(&DcpItem {
+                vb,
+                key: key.to_string(),
+                meta: new_meta,
+                kind: DcpKind::Expiration,
+                value: None,
+            });
+            self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication / XDCR apply paths
+    // ------------------------------------------------------------------
+
+    /// Apply a replicated mutation to a `Replica`/`Pending` vBucket,
+    /// preserving the active copy's metadata (seqno, CAS, rev).
+    pub fn apply_replica(&self, item: &DcpItem) -> Result<()> {
+        let vb = item.vb;
+        let meta = self.vbs[vb.index()].lock();
+        if !matches!(meta.state, VbState::Replica | VbState::Pending) {
+            return Err(Error::VbucketNotActive(vb));
+        }
+        // Idempotency / reorder guard: a rebalance mover and the steady
+        // replication stream may both deliver this vBucket; per-document
+        // seqnos decide which version is newest.
+        if let Some((existing, _)) = self.cache.peek_meta(vb, &item.key) {
+            if existing.seqno >= item.meta.seqno {
+                self.high_seqnos[vb.index()].fetch_max(item.meta.seqno.0, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+        if item.is_deletion() {
+            self.cache.delete(vb, &item.key, item.meta, true)?;
+        } else {
+            self.cache.set(
+                vb,
+                &item.key,
+                item.meta,
+                item.value.clone().unwrap_or(Value::Null),
+                true,
+            )?;
+        }
+        self.high_seqnos[vb.index()].fetch_max(item.meta.seqno.0, Ordering::SeqCst);
+        self.enqueue_dirty(vb, &item.key);
+        drop(meta);
+        self.stats.replica_applies.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// XDCR apply with conflict resolution (§4.6.1): "the document with the
+    /// most updates is considered the winner. If both clusters have the
+    /// same number of updates [...] additional metadata fields are used."
+    /// Returns `Ok(true)` if the incoming version won and was applied.
+    pub fn set_with_meta(
+        &self,
+        key: &str,
+        incoming: DocMeta,
+        value: Option<Value>,
+        deleted: bool,
+    ) -> Result<bool> {
+        let vb = self.vb_for_key(key);
+        let mut vbmeta = self.vbs[vb.index()].lock();
+        if vbmeta.state != VbState::Active {
+            return Err(Error::VbucketNotActive(vb));
+        }
+        if let Some((existing, _)) = self.cache.peek_meta(vb, key) {
+            if !incoming_wins(&incoming, &existing) {
+                self.stats.xdcr_rejects.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
+        }
+        // Apply: new local seqno, but preserve the origin's rev/cas so both
+        // clusters converge to identical metadata.
+        let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
+        let new_meta = DocMeta { seqno, ..incoming };
+        if deleted {
+            self.cache.delete(vb, key, new_meta, true)?;
+        } else {
+            self.cache.set(vb, key, new_meta, value.clone().unwrap_or(Value::Null), true)?;
+        }
+        self.enqueue_dirty(vb, key);
+        vbmeta.locks.remove(key);
+        let item = if deleted {
+            DcpItem::deletion(vb, key, new_meta)
+        } else {
+            DcpItem::mutation(vb, key, new_meta, value.unwrap_or(Value::Null))
+        };
+        self.hub.publish(&item);
+        drop(vbmeta);
+        self.stats.xdcr_applies.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (§2.3.2)
+    // ------------------------------------------------------------------
+
+    /// Block until `seqno` of `vb` is persisted, or `timeout` elapses.
+    pub fn wait_persisted(&self, vb: VbId, seqno: SeqNo, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.persist_mutex.lock();
+        while self.persisted_seqno(vb) < seqno {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout(format!(
+                    "persistence of {vb:?} {seqno:?} (persisted {:?})",
+                    self.persisted_seqno(vb)
+                )));
+            }
+            self.persist_cv.wait_until(&mut guard, deadline);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Flusher internals (driven by `crate::flusher`)
+    // ------------------------------------------------------------------
+
+    fn enqueue_dirty(&self, vb: VbId, key: &str) {
+        if self.dirty[vb.index()].lock().enqueue(key) {
+            self.dirty_count.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.dedup_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current disk-write queue length (items awaiting persistence).
+    pub fn disk_queue_len(&self) -> u64 {
+        self.dirty_count.load(Ordering::Relaxed)
+    }
+
+    /// Drain every vBucket's dirty queue to the storage engine once.
+    /// Returns the number of items persisted. Called by the flusher thread
+    /// (and directly by tests that want synchronous persistence).
+    pub fn flush_once(&self) -> Result<u64> {
+        let mut persisted = 0u64;
+        for vbi in 0..self.cfg.num_vbuckets {
+            let vb = VbId(vbi);
+            // Snapshot the queue and the high seqno atomically w.r.t.
+            // writers (both sides take the vb mutex).
+            let (keys, high) = {
+                let _meta = self.vbs[vb.index()].lock();
+                let keys = self.dirty[vb.index()].lock().take();
+                (keys, self.high_seqno(vb))
+            };
+            if keys.is_empty() {
+                continue;
+            }
+            self.dirty_count.fetch_sub(keys.len() as u64, Ordering::Relaxed);
+            let mut batch = Vec::with_capacity(keys.len());
+            for key in &keys {
+                if let Some((meta, value, deleted, dirty)) = self.cache.peek_item(vb, key) {
+                    if !dirty {
+                        continue;
+                    }
+                    let value_bytes = match (&value, deleted) {
+                        (_, true) => Bytes::new(),
+                        (Some(v), false) => Bytes::from(v.to_json_string()),
+                        (None, false) => continue, // evicted ⇒ already clean
+                    };
+                    batch.push(StoredDoc { key: key.clone(), meta, deleted, value: value_bytes });
+                }
+            }
+            // Sort by seqno so the log's by-seqno order matches mutation
+            // order even with de-duplicated, map-ordered drains.
+            batch.sort_by_key(|d| d.meta.seqno);
+            let store = self.store.vb(vb)?;
+            store.persist_batch(&batch)?;
+            store.sync()?;
+            for doc in &batch {
+                self.cache.mark_clean(vb, &doc.key, doc.meta.seqno);
+            }
+            persisted += batch.len() as u64;
+            self.persisted_seqnos[vb.index()].fetch_max(high.0, Ordering::SeqCst);
+        }
+        if persisted > 0 {
+            self.stats.flushed.fetch_add(persisted, Ordering::Relaxed);
+        }
+        // Wake durability waiters even on empty drains (their seqno may
+        // have been covered by a previous partial drain).
+        let _guard = self.persist_mutex.lock();
+        self.persist_cv.notify_all();
+        Ok(persisted)
+    }
+
+    /// The expiry pager: sweep resident metadata for expired documents and
+    /// reap them (publishing DCP expirations so indexes and replicas drop
+    /// them too). Complements lazy on-access expiry — without the pager an
+    /// expired-but-never-read document would linger in views/GSIs. Returns
+    /// the number of documents expired.
+    pub fn run_expiry_pager(&self) -> usize {
+        let now = now_secs();
+        let mut reaped = 0;
+        for vb in self.vbs_in_state(VbState::Active) {
+            for key in self.cache.keys(vb) {
+                if let Some((meta, deleted)) = self.cache.peek_meta(vb, &key) {
+                    if !deleted && meta.is_expired_at(now) {
+                        self.lazy_expire(vb, &key, meta);
+                        reaped += 1;
+                    }
+                }
+            }
+        }
+        reaped
+    }
+
+    /// Run compaction on fragmented vBucket files (§4.3.3: "Compaction is
+    /// periodically run, based on a fragmentation threshold").
+    pub fn compact_if_needed(&self) -> Result<usize> {
+        self.store.compact_all(self.cfg.fragmentation_threshold)
+    }
+
+    /// Aggregate storage stats across open vBuckets.
+    pub fn storage_stats(&self) -> Vec<(VbId, cbs_storage::StoreStats)> {
+        self.store
+            .open_vbs()
+            .into_iter()
+            .filter_map(|vb| self.store.vb(vb).ok().map(|s| (vb, s.stats())))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Scans (PrimaryScan support for N1QL, initial index builds)
+    // ------------------------------------------------------------------
+
+    /// Every live document in every `Active` vBucket. This is the
+    /// "PrimaryScan [...] equivalent of a full table scan" data source
+    /// (§4.5.3); deliberately expensive.
+    pub fn scan_active_docs(&self) -> Result<Vec<Document>> {
+        let mut out = Vec::new();
+        for vb in self.vbs_in_state(VbState::Active) {
+            let (items, _) = self.backfill(vb, SeqNo::ZERO)?;
+            for item in items {
+                if item.is_deletion() {
+                    continue;
+                }
+                if item.meta.is_expired_at(now_secs()) {
+                    continue;
+                }
+                out.push(Document {
+                    id: item.key,
+                    value: item.value.unwrap_or(Value::Null),
+                    meta: item.meta,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Merge-based backfill: persisted changes plus the dirty in-memory tail.
+impl BackfillSource for DataEngine {
+    fn backfill(&self, vb: VbId, since: SeqNo) -> Result<(Vec<DcpItem>, SeqNo)> {
+        let stored = self.store.vb(vb)?.changes_since(since)?;
+        let dirty = self.cache.dirty_snapshot(vb);
+        let mut high = since;
+        // Latest version per key wins.
+        let mut latest: HashMap<String, DcpItem> = HashMap::new();
+        for doc in stored {
+            high = high.max(doc.meta.seqno);
+            let item = stored_to_item(vb, &doc)?;
+            merge_latest(&mut latest, item);
+        }
+        for (key, meta, deleted, value) in dirty {
+            high = high.max(meta.seqno);
+            if meta.seqno <= since {
+                continue;
+            }
+            let item = if deleted {
+                DcpItem::deletion(vb, key, meta)
+            } else {
+                DcpItem::mutation(vb, key, meta, value.unwrap_or(Value::Null))
+            };
+            merge_latest(&mut latest, item);
+        }
+        let mut items: Vec<DcpItem> = latest.into_values().collect();
+        items.sort_by_key(|i| i.meta.seqno);
+        Ok((items, high))
+    }
+}
+
+fn merge_latest(map: &mut HashMap<String, DcpItem>, item: DcpItem) {
+    match map.get(&item.key) {
+        Some(existing) if existing.meta.seqno >= item.meta.seqno => {}
+        _ => {
+            map.insert(item.key.clone(), item);
+        }
+    }
+}
+
+fn stored_to_item(vb: VbId, doc: &StoredDoc) -> Result<DcpItem> {
+    if doc.deleted {
+        Ok(DcpItem::deletion(vb, doc.key.clone(), doc.meta))
+    } else {
+        Ok(DcpItem::mutation(vb, doc.key.clone(), doc.meta, parse_stored_value(doc)?))
+    }
+}
+
+fn parse_stored_value(doc: &StoredDoc) -> Result<Value> {
+    let text = std::str::from_utf8(&doc.value)
+        .map_err(|_| Error::Storage(format!("non-utf8 value for {}", doc.key)))?;
+    cbs_json::parse(text).map_err(|e| Error::Json(format!("{}: {e}", doc.key)))
+}
+
+/// XDCR conflict resolution (§4.6.1): higher rev (update count) wins; ties
+/// broken by CAS, then expiry, then flags — the identical deterministic
+/// rule on both clusters.
+fn incoming_wins(incoming: &DocMeta, existing: &DocMeta) -> bool {
+    (incoming.rev, incoming.cas, incoming.expiry, incoming.flags)
+        > (existing.rev, existing.cas, existing.expiry, existing.flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<DataEngine> {
+        let e = DataEngine::new(EngineConfig::for_test(16)).unwrap();
+        e.activate_all();
+        e
+    }
+
+    fn doc(v: i64) -> Value {
+        Value::object([("v", Value::int(v))])
+    }
+
+    #[test]
+    fn upsert_get_roundtrip() {
+        let e = engine();
+        let m = e.set("user::1", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        assert_eq!(m.seqno, SeqNo(1));
+        let g = e.get("user::1").unwrap();
+        assert_eq!(g.value, doc(1));
+        assert_eq!(g.meta.cas, m.cas);
+        assert_eq!(g.meta.rev, RevNo(1));
+    }
+
+    #[test]
+    fn insert_and_replace_modes() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Insert, Cas::WILDCARD, 0).unwrap();
+        assert!(matches!(
+            e.set("k", doc(2), MutateMode::Insert, Cas::WILDCARD, 0),
+            Err(Error::KeyExists(_))
+        ));
+        assert!(matches!(
+            e.set("absent", doc(1), MutateMode::Replace, Cas::WILDCARD, 0),
+            Err(Error::KeyNotFound(_))
+        ));
+        e.set("k", doc(2), MutateMode::Replace, Cas::WILDCARD, 0).unwrap();
+        assert_eq!(e.get("k").unwrap().value, doc(2));
+        // Delete then insert succeeds (tombstone is not "live").
+        e.delete("k", Cas::WILDCARD).unwrap();
+        e.set("k", doc(3), MutateMode::Insert, Cas::WILDCARD, 0).unwrap();
+    }
+
+    #[test]
+    fn cas_optimistic_locking_flow() {
+        // The exact client flow from §3.1.1.
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let read = e.get("k").unwrap();
+        // Another client sneaks in a write.
+        e.set("k", doc(99), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        // Original client's CAS-checked update fails.
+        let err = e.set("k", doc(2), MutateMode::Upsert, read.meta.cas, 0).unwrap_err();
+        assert!(matches!(err, Error::CasMismatch(_)));
+        // Client re-reads and retries: succeeds.
+        let read2 = e.get("k").unwrap();
+        e.set("k", doc(2), MutateMode::Upsert, read2.meta.cas, 0).unwrap();
+        assert_eq!(e.get("k").unwrap().value, doc(2));
+    }
+
+    #[test]
+    fn cas_checked_delete() {
+        let e = engine();
+        let m = e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        assert!(matches!(e.delete("k", Cas(12345)), Err(Error::CasMismatch(_))));
+        e.delete("k", m.cas).unwrap();
+        assert!(matches!(e.get("k"), Err(Error::KeyNotFound(_))));
+        assert!(matches!(e.delete("k", Cas::WILDCARD), Err(Error::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn getl_hard_lock() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let locked = e.get_and_lock("k", Some(Duration::from_secs(5))).unwrap();
+        // Second lock attempt fails.
+        assert!(matches!(e.get_and_lock("k", None), Err(Error::Locked(_))));
+        // Unchecked write fails while locked.
+        assert!(matches!(
+            e.set("k", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0),
+            Err(Error::Locked(_))
+        ));
+        // Write with the lock token succeeds and releases the lock.
+        e.set("k", doc(2), MutateMode::Upsert, locked.meta.cas, 0).unwrap();
+        e.set("k", doc(3), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+    }
+
+    #[test]
+    fn getl_lock_expires() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.get_and_lock("k", Some(Duration::from_millis(30))).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Lock timed out: plain write allowed again (§3.1.1 deadlock avoidance).
+        e.set("k", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+    }
+
+    #[test]
+    fn unlock_with_token() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let locked = e.get_and_lock("k", Some(Duration::from_secs(5))).unwrap();
+        assert!(matches!(e.unlock("k", Cas(1)), Err(Error::Locked(_))));
+        e.unlock("k", locked.meta.cas).unwrap();
+        e.set("k", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        assert!(e.unlock("k", locked.meta.cas).is_err(), "lock already gone");
+    }
+
+    #[test]
+    fn ttl_expiry_is_lazy() {
+        let e = engine();
+        // Expiry in the past: immediately expired.
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, now_secs() - 1).unwrap();
+        assert!(matches!(e.get("k"), Err(Error::KeyNotFound(_))));
+        assert_eq!(e.stats().expirations.load(Ordering::Relaxed), 1);
+        // Future expiry: alive.
+        e.set("k2", doc(2), MutateMode::Upsert, Cas::WILDCARD, now_secs() + 1000).unwrap();
+        assert!(e.get("k2").is_ok());
+        // touch() updates expiry.
+        e.touch("k2", now_secs() - 1).unwrap();
+        assert!(matches!(e.get("k2"), Err(Error::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn writes_to_non_active_vb_rejected() {
+        let e = DataEngine::new(EngineConfig::for_test(16)).unwrap();
+        // All vbs Dead by default.
+        assert!(matches!(
+            e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0),
+            Err(Error::VbucketNotActive(_))
+        ));
+        assert!(matches!(e.get("k"), Err(Error::VbucketNotActive(_))));
+        let vb = e.vb_for_key("k");
+        e.set_vb_state(vb, VbState::Replica);
+        assert!(matches!(
+            e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0),
+            Err(Error::VbucketNotActive(_))
+        ));
+    }
+
+    #[test]
+    fn flush_persists_and_marks_clean() {
+        let e = engine();
+        let m1 = e.set("a", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let m2 = e.set("b", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        assert_eq!(e.disk_queue_len(), 2);
+        let n = e.flush_once().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(e.disk_queue_len(), 0);
+        assert!(e.persisted_seqno(m1.vb) >= m1.seqno);
+        assert!(e.persisted_seqno(m2.vb) >= m2.seqno);
+        // wait_persisted returns immediately now.
+        e.wait_persisted(m1.vb, m1.seqno, Duration::from_millis(10)).unwrap();
+    }
+
+    #[test]
+    fn repeated_updates_dedup_in_disk_queue() {
+        let e = engine();
+        for i in 0..10 {
+            e.set("hot", doc(i), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        }
+        assert_eq!(e.disk_queue_len(), 1, "same key queued once");
+        assert_eq!(e.stats().dedup_writes.load(Ordering::Relaxed), 9);
+        assert_eq!(e.flush_once().unwrap(), 1, "only the latest version hits disk");
+        let vb = e.vb_for_key("hot");
+        let stored = e.storage_stats().into_iter().find(|(v, _)| *v == vb).unwrap().1;
+        assert_eq!(stored.live_docs, 1);
+    }
+
+    #[test]
+    fn wait_persisted_times_out_without_flusher() {
+        let e = engine();
+        let m = e.set("a", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let err = e.wait_persisted(m.vb, m.seqno, Duration::from_millis(40)).unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)));
+    }
+
+    #[test]
+    fn dcp_stream_sees_memory_first_writes() {
+        let e = engine();
+        e.set("a", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let vb = e.vb_for_key("a");
+        // No flush has run: the write exists only in memory.
+        let mut stream = e.open_dcp_stream(vb, SeqNo::ZERO).unwrap();
+        let items = stream.drain_available();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].key, "a");
+        // Live tail after open.
+        if e.vb_for_key("c") == vb {
+            e.set("c", doc(3), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+            assert_eq!(stream.drain_available().len(), 1);
+        }
+    }
+
+    #[test]
+    fn dcp_backfill_merges_disk_and_memory() {
+        let e = engine();
+        e.set("a", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.flush_once().unwrap();
+        e.set("a", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap(); // dirty overwrite
+        let vb = e.vb_for_key("a");
+        let (items, high) = e.backfill(vb, SeqNo::ZERO).unwrap();
+        assert_eq!(items.len(), 1, "one latest version of 'a'");
+        assert_eq!(items[0].value.as_ref().unwrap(), &doc(2));
+        assert_eq!(high, SeqNo(2));
+    }
+
+    #[test]
+    fn replica_apply_preserves_meta() {
+        let e = DataEngine::new(EngineConfig::for_test(16)).unwrap();
+        let vb = VbId(3);
+        e.set_vb_state(vb, VbState::Replica);
+        let meta = DocMeta {
+            seqno: SeqNo(42),
+            cas: Cas(777),
+            rev: RevNo(5),
+            flags: 1,
+            expiry: 0,
+        };
+        e.apply_replica(&DcpItem::mutation(vb, "k", meta, doc(1))).unwrap();
+        assert_eq!(e.high_seqno(vb), SeqNo(42));
+        // Promote and read: metadata identical to the active copy's.
+        e.set_vb_state(vb, VbState::Active);
+        let g = e.get_in_vb(vb, "k").unwrap();
+        assert_eq!(g.meta, meta);
+        // Replica apply to an Active vb is rejected.
+        assert!(e.apply_replica(&DcpItem::mutation(vb, "k2", meta, doc(2))).is_err());
+    }
+
+    #[test]
+    fn xdcr_conflict_resolution() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap(); // rev 1
+        let local = e.get("k").unwrap().meta;
+
+        // Incoming with higher rev wins.
+        let winner = DocMeta { rev: RevNo(5), cas: Cas(1), ..local };
+        assert!(e.set_with_meta("k", winner, Some(doc(100)), false).unwrap());
+        assert_eq!(e.get("k").unwrap().value, doc(100));
+        assert_eq!(e.get("k").unwrap().meta.rev, RevNo(5));
+
+        // Incoming with lower rev loses.
+        let loser = DocMeta { rev: RevNo(2), cas: Cas(u64::MAX), ..local };
+        assert!(!e.set_with_meta("k", loser, Some(doc(0)), false).unwrap());
+        assert_eq!(e.get("k").unwrap().value, doc(100));
+
+        // Equal rev: higher CAS wins.
+        let current = e.get("k").unwrap().meta;
+        let tie_win = DocMeta { rev: current.rev, cas: Cas(current.cas.0 + 1), ..current };
+        assert!(e.set_with_meta("k", tie_win, Some(doc(200)), false).unwrap());
+        assert_eq!(e.get("k").unwrap().value, doc(200));
+
+        // XDCR deletion.
+        let newer = e.get("k").unwrap().meta;
+        let del = DocMeta { rev: newer.rev.next(), ..newer };
+        assert!(e.set_with_meta("k", del, None, true).unwrap());
+        assert!(matches!(e.get("k"), Err(Error::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn purge_vb_clears_everything() {
+        let e = engine();
+        e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let vb = e.vb_for_key("k");
+        e.flush_once().unwrap();
+        e.purge_vb(vb).unwrap();
+        assert_eq!(e.vb_state(vb), VbState::Dead);
+        assert_eq!(e.high_seqno(vb), SeqNo::ZERO);
+        e.set_vb_state(vb, VbState::Active);
+        assert!(matches!(e.get("k"), Err(Error::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn scan_active_docs_sees_memory_and_disk() {
+        let e = engine();
+        e.set("a", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.flush_once().unwrap();
+        e.set("b", doc(2), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.set("c", doc(3), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        e.delete("c", Cas::WILDCARD).unwrap();
+        let mut docs = e.scan_active_docs().unwrap();
+        docs.sort_by(|a, b| a.id.cmp(&b.id));
+        let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b"]);
+    }
+
+    #[test]
+    fn seqno_vector_tracks_highs() {
+        let e = engine();
+        let m = e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let vec = e.seqno_vector();
+        assert_eq!(vec[m.vb.index()], m.seqno);
+        assert_eq!(vec.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_cas_writers_single_winner_per_round() {
+        use std::sync::atomic::AtomicU32;
+        let e = engine();
+        e.set("ctr", doc(0), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        let successes = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let e = Arc::clone(&e);
+            let successes = Arc::clone(&successes);
+            handles.push(std::thread::spawn(move || {
+                // Each thread does 50 CAS-increment rounds with retries.
+                for _ in 0..50 {
+                    loop {
+                        let cur = e.get("ctr").unwrap();
+                        let n = cur.value.get_field("v").unwrap().as_i64().unwrap();
+                        match e.set(
+                            "ctr",
+                            Value::object([("v", Value::int(n + 1))]),
+                            MutateMode::Upsert,
+                            cur.meta.cas,
+                            0,
+                        ) {
+                            Ok(_) => {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(Error::CasMismatch(_)) => continue,
+                            Err(e) => panic!("unexpected {e}"),
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_v = e.get("ctr").unwrap().value.get_field("v").unwrap().as_i64().unwrap();
+        assert_eq!(final_v, 400, "CAS must make increments atomic");
+        assert_eq!(successes.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn restart_recovery_via_recover_vb() {
+        let cfg = EngineConfig::for_test(16);
+        let dir = cfg.data_dir.clone();
+        let vb;
+        {
+            let e = DataEngine::new(cfg).unwrap();
+            e.activate_all();
+            e.set("k", doc(7), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+            vb = e.vb_for_key("k");
+            e.flush_once().unwrap();
+        }
+        // "Restart": new engine over the same directory.
+        let mut cfg2 = EngineConfig::for_test(16);
+        cfg2.data_dir = dir;
+        let e = DataEngine::new(cfg2).unwrap();
+        e.recover_vb(vb).unwrap();
+        e.set_vb_state(vb, VbState::Active);
+        assert_eq!(e.get_in_vb(vb, "k").unwrap().value, doc(7));
+        // Seqno counter resumed past the recovered high.
+        let m = e.set("k", doc(8), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
+        assert_eq!(m.seqno, SeqNo(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! The Data Service (the paper's §4.3.3) — Couchbase's "ep-engine".
+//!
+//! "The Data Service provides the KV API that allows developers to create,
+//! retrieve, update and delete records by primary key. The Data Service
+//! forms the base data management layer of Couchbase and is leveraged by
+//! the Indexing and Query services."
+//!
+//! [`DataEngine`] composes the substrates into the memory-first write path
+//! of Figure 6:
+//!
+//! ```text
+//!  client write ──► object cache (hash table, +seqno, +CAS) ──► ACK
+//!                        │                    │
+//!                        ▼ (async)            ▼ (sync, in-memory)
+//!                  disk-write queue       DCP publish ──► replicas,
+//!                        │                               views, GSI, XDCR
+//!                        ▼
+//!                  flusher thread ──► append-only storage ──► mark clean
+//! ```
+//!
+//! - **CAS optimistic locking** and **GETL hard locks with timeout**
+//!   (§3.1.1);
+//! - **durability options**: callers can wait for persistence
+//!   (`wait_persisted`) and the cluster layer composes replication waits
+//!   (§2.3.2 "Durability guarantees");
+//! - **TTL expiry** (lazy, on access);
+//! - **vBucket states** (`Active`/`Replica`/`Pending`/`Dead`) driving
+//!   failover and rebalance transitions (§4.3.1);
+//! - **replica apply** and **set-with-meta** paths used by intra-cluster
+//!   replication and XDCR;
+//! - a [`cbs_dcp::BackfillSource`] implementation that merges the storage
+//!   engine's by-seqno index with the dirty in-memory tail, so DCP streams
+//!   see every acknowledged write.
+
+pub mod engine;
+pub mod flusher;
+pub mod stats;
+pub mod types;
+
+pub use engine::DataEngine;
+pub use flusher::FlusherHandle;
+pub use stats::EngineStats;
+pub use types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
+
+/// Current unix time in seconds (expiry granularity).
+pub(crate) fn now_secs() -> u32 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as u32)
+        .unwrap_or(0)
+}

@@ -1,0 +1,51 @@
+//! Engine operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic operation counters for one [`crate::DataEngine`].
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Successful + failed get attempts.
+    pub gets: AtomicU64,
+    /// Acknowledged sets.
+    pub sets: AtomicU64,
+    /// Acknowledged deletes.
+    pub deletes: AtomicU64,
+    /// Lazy TTL expirations performed.
+    pub expirations: AtomicU64,
+    /// Background fetches (value evicted, read from disk).
+    pub bg_fetches: AtomicU64,
+    /// Items persisted by the flusher.
+    pub flushed: AtomicU64,
+    /// Writes de-duplicated in the disk-write queue.
+    pub dedup_writes: AtomicU64,
+    /// Mutations applied on replica vBuckets.
+    pub replica_applies: AtomicU64,
+    /// XDCR set-with-meta applies (incoming won).
+    pub xdcr_applies: AtomicU64,
+    /// XDCR set-with-meta rejects (existing won).
+    pub xdcr_rejects: AtomicU64,
+}
+
+impl EngineStats {
+    /// Total front-end ops (gets + sets + deletes).
+    pub fn total_ops(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+            + self.sets.load(Ordering::Relaxed)
+            + self.deletes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = EngineStats::default();
+        s.gets.store(3, Ordering::Relaxed);
+        s.sets.store(2, Ordering::Relaxed);
+        s.deletes.store(1, Ordering::Relaxed);
+        assert_eq!(s.total_ops(), 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Data-service vocabulary types.
+
+use cbs_common::{Cas, DocMeta, SeqNo, VbId};
+use cbs_json::Value;
+
+/// Lifecycle state of a vBucket on a node (paper §4.3.1):
+///
+/// - *Active*: "the server hosting the partition is servicing all types of
+///   requests for this partition."
+/// - *Replica*: "cannot handle client requests, but it will receive
+///   replication commands."
+/// - *Pending*: transitional state while a rebalance mover builds the copy.
+/// - *Dead*: "this server is not in any way responsible for this partition."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VbState {
+    /// Serving reads and writes.
+    Active,
+    /// Receiving replication traffic only.
+    Replica,
+    /// Being built by a rebalance mover.
+    Pending,
+    /// Not hosted here.
+    #[default]
+    Dead,
+}
+
+/// How a write treats an existing document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutateMode {
+    /// Insert-or-update (the memcached `set`).
+    Upsert,
+    /// Insert only; fails with `KeyExists` if present.
+    Insert,
+    /// Update only; fails with `KeyNotFound` if absent.
+    Replace,
+}
+
+/// A read result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetResult {
+    /// Document body.
+    pub value: Value,
+    /// Metadata (CAS for optimistic locking, etc.).
+    pub meta: DocMeta,
+}
+
+/// An acknowledged mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationResult {
+    /// The vBucket the document hashed to.
+    pub vb: VbId,
+    /// Seqno assigned within that vBucket.
+    pub seqno: SeqNo,
+    /// Fresh CAS of the new version.
+    pub cas: Cas,
+}
+
+/// A full document (used by scans and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Document ID.
+    pub id: String,
+    /// Body.
+    pub value: Value,
+    /// Metadata.
+    pub meta: DocMeta,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of vBuckets (1024 in production; tests may shrink).
+    pub num_vbuckets: u16,
+    /// Cache quota in bytes.
+    pub cache_quota: usize,
+    /// Cache eviction policy.
+    pub eviction: cbs_cache::EvictionPolicy,
+    /// Storage directory.
+    pub data_dir: std::path::PathBuf,
+    /// Compaction trigger: stale-byte fraction (§4.3.3 "based on a
+    /// fragmentation threshold").
+    pub fragmentation_threshold: f64,
+    /// GETL default lock timeout ("this lock will be released after a
+    /// certain timeout to avoid deadlocks", §3.1.1).
+    pub lock_timeout: std::time::Duration,
+}
+
+impl EngineConfig {
+    /// A small-footprint config for tests, rooted at a scratch directory.
+    pub fn for_test(num_vbuckets: u16) -> EngineConfig {
+        EngineConfig {
+            num_vbuckets,
+            cache_quota: 256 << 20,
+            eviction: cbs_cache::EvictionPolicy::ValueOnly,
+            data_dir: cbs_storage::scratch_dir("kv"),
+            fragmentation_threshold: 0.6,
+            lock_timeout: std::time::Duration::from_secs(15),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(VbState::default(), VbState::Dead);
+        let cfg = EngineConfig::for_test(16);
+        assert_eq!(cfg.num_vbuckets, 16);
+        assert!(cfg.fragmentation_threshold > 0.0);
+    }
+}

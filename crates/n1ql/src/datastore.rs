@@ -1,0 +1,347 @@
+//! The executor's view of the rest of the system.
+//!
+//! §4.5.1: "the query service issues all key-value access requests (unless
+//! a covering index can fully answer the query). An index simply returns
+//! the document ID for each attribute match found during index scans. This
+//! ID is then used by the query service to fetch the document itself."
+//!
+//! [`Datastore`] is that boundary: document fetch/scan/DML on the data
+//! service side, index DDL and scans on the index service side. The
+//! cluster facade (`cbs-core`) implements it over real services;
+//! [`MemoryDatastore`] is a faithful single-process implementation for
+//! tests.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cbs_common::{Error, Result, SeqNo};
+use cbs_index::{IndexDef, IndexEntry, Projector, ScanConsistency, ScanRange};
+use cbs_json::Value;
+use parking_lot::RwLock;
+
+/// Abstract data + index access for the query engine.
+pub trait Datastore: Send + Sync {
+    /// Does a keyspace (bucket) exist?
+    fn keyspace_exists(&self, keyspace: &str) -> bool;
+
+    /// Fetch one document by primary key (the Fetch operator).
+    fn fetch(&self, keyspace: &str, key: &str) -> Result<Option<Value>>;
+
+    /// Every live document (the PrimaryScan data source). Deliberately
+    /// expensive, like the paper says.
+    fn primary_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>>;
+
+    /// INSERT semantics (error on existing key).
+    fn insert(&self, keyspace: &str, key: &str, value: Value) -> Result<()>;
+
+    /// UPSERT semantics.
+    fn upsert(&self, keyspace: &str, key: &str, value: Value) -> Result<()>;
+
+    /// Replace an existing document (UPDATE write-back).
+    fn replace(&self, keyspace: &str, key: &str, value: Value) -> Result<()>;
+
+    /// DELETE by key.
+    fn delete(&self, keyspace: &str, key: &str) -> Result<()>;
+
+    /// The per-vBucket high-seqno vector, snapshotted at query admission
+    /// for `request_plus` (§3.2.3/§4.2).
+    fn seqno_vector(&self, keyspace: &str) -> Vec<SeqNo>;
+
+    /// All online (scannable) index definitions for a keyspace.
+    fn list_indexes(&self, keyspace: &str) -> Vec<IndexDef>;
+
+    /// Range scan over an online index.
+    fn index_scan(
+        &self,
+        keyspace: &str,
+        index: &str,
+        range: &ScanRange,
+        consistency: &ScanConsistency,
+        timeout: Duration,
+        limit: usize,
+    ) -> Result<Vec<IndexEntry>>;
+
+    /// CREATE INDEX (built immediately unless deferred).
+    fn create_index(&self, def: IndexDef) -> Result<()>;
+
+    /// DROP INDEX.
+    fn drop_index(&self, keyspace: &str, name: &str) -> Result<()>;
+
+    /// BUILD INDEX for deferred definitions.
+    fn build_index(&self, keyspace: &str, name: &str) -> Result<()>;
+}
+
+#[derive(Default)]
+struct MemKeyspace {
+    docs: BTreeMap<String, Value>,
+    indexes: Vec<(IndexDef, bool /* online */)>,
+}
+
+/// An in-memory [`Datastore`] for tests and examples: documents in
+/// B-trees, index scans computed on the fly from the same [`IndexDef`]
+/// projection logic the real index service uses.
+#[derive(Default)]
+pub struct MemoryDatastore {
+    keyspaces: RwLock<BTreeMap<String, MemKeyspace>>,
+}
+
+impl MemoryDatastore {
+    /// Empty datastore.
+    pub fn new() -> MemoryDatastore {
+        MemoryDatastore::default()
+    }
+
+    /// Create a keyspace (bucket).
+    pub fn create_keyspace(&self, name: &str) {
+        self.keyspaces.write().entry(name.to_string()).or_default();
+    }
+
+    /// Bulk-load documents.
+    pub fn load(&self, keyspace: &str, docs: impl IntoIterator<Item = (String, Value)>) {
+        let mut map = self.keyspaces.write();
+        let ks = map.entry(keyspace.to_string()).or_default();
+        for (k, v) in docs {
+            ks.docs.insert(k, v);
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self, keyspace: &str) -> usize {
+        self.keyspaces.read().get(keyspace).map(|k| k.docs.len()).unwrap_or(0)
+    }
+
+    /// True if keyspace holds no documents.
+    pub fn is_empty(&self, keyspace: &str) -> bool {
+        self.len(keyspace) == 0
+    }
+}
+
+impl Datastore for MemoryDatastore {
+    fn keyspace_exists(&self, keyspace: &str) -> bool {
+        self.keyspaces.read().contains_key(keyspace)
+    }
+
+    fn fetch(&self, keyspace: &str, key: &str) -> Result<Option<Value>> {
+        Ok(self
+            .keyspaces
+            .read()
+            .get(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?
+            .docs
+            .get(key)
+            .cloned())
+    }
+
+    fn primary_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
+        Ok(self
+            .keyspaces
+            .read()
+            .get(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?
+            .docs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect())
+    }
+
+    fn insert(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        if ks.docs.contains_key(key) {
+            return Err(Error::KeyExists(key.to_string()));
+        }
+        ks.docs.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn upsert(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        ks.docs.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn replace(&self, keyspace: &str, key: &str, value: Value) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        if !ks.docs.contains_key(key) {
+            return Err(Error::KeyNotFound(key.to_string()));
+        }
+        ks.docs.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn delete(&self, keyspace: &str, key: &str) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        ks.docs
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| Error::KeyNotFound(key.to_string()))
+    }
+
+    fn seqno_vector(&self, _keyspace: &str) -> Vec<SeqNo> {
+        Vec::new()
+    }
+
+    fn list_indexes(&self, keyspace: &str) -> Vec<IndexDef> {
+        self.keyspaces
+            .read()
+            .get(keyspace)
+            .map(|ks| {
+                ks.indexes
+                    .iter()
+                    .filter(|(_, online)| *online)
+                    .map(|(d, _)| d.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn index_scan(
+        &self,
+        keyspace: &str,
+        index: &str,
+        range: &ScanRange,
+        _consistency: &ScanConsistency,
+        _timeout: Duration,
+        limit: usize,
+    ) -> Result<Vec<IndexEntry>> {
+        let map = self.keyspaces.read();
+        let ks = map
+            .get(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        let (def, online) = ks
+            .indexes
+            .iter()
+            .find(|(d, _)| d.name == index)
+            .ok_or_else(|| Error::Index(format!("no such index: {index}")))?;
+        if !online {
+            return Err(Error::Index(format!("index {index} is not online")));
+        }
+        let mut entries = Vec::new();
+        for (doc_id, doc) in &ks.docs {
+            for key in Projector::keys_for(def, doc_id, doc) {
+                let Some(lead) = key.leading() else { continue };
+                if range.contains(lead) {
+                    entries.push(IndexEntry { key: key.clone(), doc_id: doc_id.clone() });
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.doc_id.cmp(&b.doc_id)));
+        if limit > 0 && entries.len() > limit {
+            entries.truncate(limit);
+        }
+        Ok(entries)
+    }
+
+    fn create_index(&self, def: IndexDef) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(&def.keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {}", def.keyspace)))?;
+        if ks.indexes.iter().any(|(d, _)| d.name == def.name) {
+            return Err(Error::Index(format!("index {} already exists", def.name)));
+        }
+        let online = !def.deferred;
+        ks.indexes.push((def, online));
+        Ok(())
+    }
+
+    fn drop_index(&self, keyspace: &str, name: &str) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        let before = ks.indexes.len();
+        ks.indexes.retain(|(d, _)| d.name != name);
+        if ks.indexes.len() == before {
+            return Err(Error::Index(format!("no such index: {name}")));
+        }
+        Ok(())
+    }
+
+    fn build_index(&self, keyspace: &str, name: &str) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        for (d, online) in ks.indexes.iter_mut() {
+            if d.name == name {
+                *online = true;
+                return Ok(());
+            }
+        }
+        Err(Error::Index(format!("no such index: {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crud() {
+        let ds = MemoryDatastore::new();
+        ds.create_keyspace("b");
+        ds.insert("b", "k1", Value::int(1)).unwrap();
+        assert!(ds.insert("b", "k1", Value::int(2)).is_err());
+        ds.upsert("b", "k1", Value::int(2)).unwrap();
+        assert_eq!(ds.fetch("b", "k1").unwrap(), Some(Value::int(2)));
+        ds.replace("b", "k1", Value::int(3)).unwrap();
+        assert!(ds.replace("b", "nope", Value::int(0)).is_err());
+        ds.delete("b", "k1").unwrap();
+        assert!(ds.delete("b", "k1").is_err());
+        assert!(ds.fetch("nope", "k").is_err());
+    }
+
+    #[test]
+    fn index_scan_projects_like_real_gsi() {
+        let ds = MemoryDatastore::new();
+        ds.create_keyspace("b");
+        for i in 0..10i64 {
+            ds.upsert(
+                "b",
+                &format!("d{i}"),
+                Value::object([("age", Value::int(20 + i))]),
+            )
+            .unwrap();
+        }
+        ds.create_index(IndexDef::simple("age", "b", "age")).unwrap();
+        let rows = ds
+            .index_scan(
+                "b",
+                "age",
+                &ScanRange::at_least(Value::int(27)),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].doc_id, "d7");
+    }
+
+    #[test]
+    fn deferred_index_needs_build() {
+        let ds = MemoryDatastore::new();
+        ds.create_keyspace("b");
+        let def = IndexDef { deferred: true, ..IndexDef::simple("i", "b", "x") };
+        ds.create_index(def).unwrap();
+        assert!(ds.list_indexes("b").is_empty(), "deferred index not online");
+        assert!(ds
+            .index_scan("b", "i", &ScanRange::all(), &ScanConsistency::NotBounded,
+                        Duration::from_secs(1), 0)
+            .is_err());
+        ds.build_index("b", "i").unwrap();
+        assert_eq!(ds.list_indexes("b").len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! EXPLAIN rendering (§4.5.3: "an EXPLAIN statement can be used before any
+//! N1QL statement to request information about the execution plan").
+
+use cbs_json::Value;
+
+use crate::ast::{FromOp, SelectItem, Statement};
+use crate::plan::{AccessPath, QueryPlan};
+
+/// Render a plan as the JSON object EXPLAIN returns: an `operators` array
+/// in pipeline order, mirroring Figure 11.
+pub fn explain_to_value(plan: &QueryPlan) -> Value {
+    match plan {
+        QueryPlan::Select(p) => {
+            let mut ops: Vec<Value> = Vec::new();
+            let scan = match &p.access {
+                AccessPath::KeyScan { .. } => Value::object([
+                    ("operator", Value::from("KeyScan")),
+                ]),
+                AccessPath::IndexScan { index, range, covering } => Value::object([
+                    ("operator", Value::from("IndexScan")),
+                    ("index", Value::from(index.name.as_str())),
+                    ("using", Value::from("gsi")),
+                    ("covering", Value::Bool(*covering)),
+                    (
+                        "range",
+                        Value::object([
+                            ("low", range.low.clone().unwrap_or(Value::Null)),
+                            ("low_inclusive", Value::Bool(range.low_inclusive)),
+                            ("high", range.high.clone().unwrap_or(Value::Null)),
+                            ("high_inclusive", Value::Bool(range.high_inclusive)),
+                        ]),
+                    ),
+                ]),
+                AccessPath::PrimaryScan => Value::object([
+                    ("operator", Value::from("PrimaryScan")),
+                ]),
+                AccessPath::ExpressionOnly => Value::object([
+                    ("operator", Value::from("DummyScan")),
+                ]),
+            };
+            ops.push(scan);
+            if p.fetch && !matches!(p.access, AccessPath::ExpressionOnly) {
+                ops.push(Value::object([("operator", Value::from("Fetch"))]));
+            }
+            if let Some(from) = &p.select.from {
+                for op in &from.ops {
+                    let (name, ks) = match op {
+                        FromOp::Join { keyspace, .. } => ("Join", Some(keyspace.clone())),
+                        FromOp::Nest { keyspace, .. } => ("Nest", Some(keyspace.clone())),
+                        FromOp::Unnest { .. } => ("Unnest", None),
+                    };
+                    let mut o = Value::object([("operator", Value::from(name))]);
+                    if let Some(ks) = ks {
+                        o.insert_field("keyspace", Value::from(ks));
+                    }
+                    ops.push(o);
+                }
+            }
+            if p.select.where_.is_some() {
+                ops.push(Value::object([("operator", Value::from("Filter"))]));
+            }
+            if !p.select.group_by.is_empty() || has_aggregate(&p.select.items) {
+                ops.push(Value::object([("operator", Value::from("Group"))]));
+            }
+            ops.push(Value::object([("operator", Value::from("InitialProject"))]));
+            if p.select.distinct {
+                ops.push(Value::object([("operator", Value::from("Distinct"))]));
+            }
+            if !p.select.order_by.is_empty() {
+                ops.push(Value::object([("operator", Value::from("Sort"))]));
+            }
+            if p.select.offset.is_some() {
+                ops.push(Value::object([("operator", Value::from("Offset"))]));
+            }
+            if p.select.limit.is_some() {
+                ops.push(Value::object([("operator", Value::from("Limit"))]));
+            }
+            ops.push(Value::object([("operator", Value::from("FinalProject"))]));
+            Value::object([("plan", Value::object([("operators", Value::Array(ops))]))])
+        }
+        QueryPlan::Direct(stmt) => Value::object([(
+            "plan",
+            Value::object([(
+                "operators",
+                Value::Array(vec![Value::object([(
+                    "operator",
+                    Value::from(direct_name(stmt)),
+                )])]),
+            )]),
+        )]),
+    }
+}
+
+fn has_aggregate(items: &[SelectItem]) -> bool {
+    items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => {
+            let mut aggs = Vec::new();
+            crate::eval::collect_aggregates(expr, &mut aggs);
+            !aggs.is_empty()
+        }
+        _ => false,
+    })
+}
+
+fn direct_name(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Insert { .. } => "SendInsert",
+        Statement::Upsert { .. } => "SendUpsert",
+        Statement::Update { .. } => "SendUpdate",
+        Statement::Delete { .. } => "SendDelete",
+        Statement::CreateIndex { .. } => "CreateIndex",
+        Statement::CreatePrimaryIndex { .. } => "CreatePrimaryIndex",
+        Statement::DropIndex { .. } => "DropIndex",
+        Statement::BuildIndex { .. } => "BuildIndexes",
+        Statement::Select(_) | Statement::Explain(_) => "Sequence",
+    }
+}

@@ -1,0 +1,68 @@
+//! N1QL — the Non-first Normal Form Query Language (paper §3.2, §4.5).
+//!
+//! "N1QL is the first NoSQL query language to leverage the flexibility of
+//! JSON with nearly the full expressive power of SQL and an SQL-friendly
+//! syntax."
+//!
+//! This crate is the Query Service: lexer → parser → planner → pipelined
+//! executor, with EXPLAIN support, exactly the shape of §4.5:
+//!
+//! - **SELECT** with `USE KEYS`, `NEST`/`UNNEST`, key-based `JOIN ... ON
+//!   KEYS` (general theta-joins are linguistically rejected, §3.2.4),
+//!   `WHERE`, `GROUP BY`/`HAVING` with aggregates, `DISTINCT`,
+//!   `ORDER BY`, `LIMIT`/`OFFSET`;
+//! - **DML**: `INSERT`, `UPSERT`, `UPDATE`, `DELETE` (§3.2.2);
+//! - **DDL**: `CREATE [PRIMARY] INDEX ... USING GSI/VIEW`, partial-index
+//!   `WHERE`, `WITH {"defer_build": true}`, `DROP INDEX`, `BUILD INDEX`;
+//! - the **planner** (§4.5.3) picks per-keyspace access paths — `KeyScan`
+//!   (USE KEYS), `IndexScan` (a qualifying, sargable online GSI; covering
+//!   detection per §5.1.2), or `PrimaryScan` ("quite expensive") — and
+//!   builds the operator pipeline of Figure 11: Scan → Fetch → Filter →
+//!   Join/Nest/Unnest → Group/Aggregate → Project → Distinct → Sort →
+//!   Limit/Offset;
+//! - **scan consistency** per request: `not_bounded` or `request_plus`
+//!   (§3.2.3), the latter snapshotting the data service's seqno vector at
+//!   admission and waiting for the index to catch up.
+//!
+//! The executor reaches storage through the [`Datastore`] trait; the
+//! cluster facade (`cbs-core`) implements it over the data/index services,
+//! and [`datastore::MemoryDatastore`] provides a self-contained
+//! implementation for tests.
+
+pub mod ast;
+pub mod datastore;
+pub mod eval;
+pub mod exec;
+pub mod explain;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+
+pub use ast::Statement;
+pub use datastore::{Datastore, MemoryDatastore};
+pub use exec::{execute, QueryOptions, QueryResult};
+pub use lexer::tokenize;
+pub use parser::parse_statement;
+pub use plan::{AccessPath, QueryPlan};
+pub use planner::build_plan;
+
+use cbs_common::Result;
+
+/// Parse, plan and execute one N1QL statement against a datastore.
+///
+/// This is the whole Query Service pipeline of Figure 10: analyze the
+/// query, "use metadata on its referenced objects to choose the best
+/// execution plan, and execute the chosen plan."
+pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
+    let stmt = parse_statement(statement)?;
+    if let Statement::Explain(inner) = stmt {
+        let plan = build_plan(ds, &inner, opts)?;
+        return Ok(QueryResult {
+            rows: vec![explain::explain_to_value(&plan)],
+            metrics: exec::QueryMetrics::default(),
+        });
+    }
+    let plan = build_plan(ds, &stmt, opts)?;
+    execute(ds, &plan, opts)
+}

@@ -1,0 +1,1162 @@
+//! Recursive-descent N1QL parser.
+
+use cbs_common::{Error, Result};
+use cbs_json::Value;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Parse one statement (optionally terminated by `;`).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_punct(";");
+    if p.pos < p.tokens.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parse a stand-alone expression (used by tests and the view/index DDL).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse(format!("{msg} (at token {} of {})", self.pos, self.tokens.len()))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{p}', found {:?}", self.peek())))
+        }
+    }
+
+    /// Any identifier (keyword-insensitive) or quoted identifier.
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            other => Err(self.err(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+        }
+        if self.at_kw("select") {
+            return Ok(Statement::Select(self.parse_select()?));
+        }
+        if self.at_kw("insert") || self.at_kw("upsert") {
+            return self.parse_insert_upsert();
+        }
+        if self.at_kw("update") {
+            return self.parse_update();
+        }
+        if self.at_kw("delete") {
+            return self.parse_delete();
+        }
+        if self.at_kw("create") {
+            return self.parse_create_index();
+        }
+        if self.at_kw("drop") {
+            return self.parse_drop_index();
+        }
+        if self.at_kw("build") {
+            return self.parse_build_index();
+        }
+        Err(self.err(&format!("unsupported statement start: {:?}", self.peek())))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let from = if self.eat_kw("from") { Some(self.parse_from()?) } else { None };
+        let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") { Some(self.parse_expr()?) } else { None };
+        let offset = if self.eat_kw("offset") { Some(self.parse_expr()?) } else { None };
+        Ok(Select { distinct, items, from, where_, group_by, having, order_by, limit, offset })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_punct("*") {
+            return Ok(SelectItem::Star);
+        }
+        // alias.* form.
+        if let (Some(Token::Ident(_) | Token::QuotedIdent(_)), Some(t2)) =
+            (self.peek(), self.peek2())
+        {
+            if t2.is_punct(".") && self.tokens.get(self.pos + 2).is_some_and(|t| t.is_punct("*")) {
+                let alias = self.expect_ident()?;
+                self.expect_punct(".")?;
+                self.expect_punct("*")?;
+                return Ok(SelectItem::AliasStar(alias));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        let keyspace = self.expect_ident()?;
+        let alias = self.parse_opt_alias(&keyspace)?;
+        let use_keys = if self.eat_kw("use") {
+            self.expect_kw("keys")?;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut ops = Vec::new();
+        loop {
+            let left_outer = if self.at_kw("left") {
+                // LEFT [OUTER] prefix.
+                self.pos += 1;
+                self.eat_kw("outer");
+                true
+            } else {
+                self.eat_kw("inner");
+                false
+            };
+            if self.eat_kw("join") {
+                let ks = self.expect_ident()?;
+                let alias = self.parse_opt_alias(&ks)?;
+                self.expect_kw("on")?;
+                self.expect_kw("keys")?;
+                ops.push(FromOp::Join { keyspace: ks, alias, on_keys: self.parse_expr()?, left_outer });
+            } else if self.eat_kw("nest") {
+                let ks = self.expect_ident()?;
+                let alias = self.parse_opt_alias(&ks)?;
+                self.expect_kw("on")?;
+                self.expect_kw("keys")?;
+                ops.push(FromOp::Nest { keyspace: ks, alias, on_keys: self.parse_expr()?, left_outer });
+            } else if self.eat_kw("unnest") {
+                let path = self.parse_expr()?;
+                let alias = match &path {
+                    Expr::Path(parts) => match parts.last() {
+                        Some(PathPart::Field(f)) => self.parse_opt_alias(f)?,
+                        _ => self.parse_opt_alias("unnested")?,
+                    },
+                    _ => self.parse_opt_alias("unnested")?,
+                };
+                ops.push(FromOp::Unnest { path, alias, left_outer });
+            } else if left_outer {
+                return Err(self.err("LEFT must be followed by JOIN, NEST or UNNEST"));
+            } else {
+                // Reject general joins explicitly (§3.2.4): `JOIN ... ON
+                // <expr>` without KEYS never parses here, and comma-joins
+                // are not in the grammar at all.
+                break;
+            }
+        }
+        Ok(FromClause { keyspace, alias, use_keys, ops })
+    }
+
+    fn parse_opt_alias(&mut self, default: &str) -> Result<String> {
+        if self.eat_kw("as") {
+            return self.expect_ident();
+        }
+        // Bare alias: an identifier that isn't a clause keyword.
+        if let Some(Token::Ident(s)) = self.peek() {
+            const CLAUSE_KWS: &[&str] = &[
+                "use", "where", "group", "having", "order", "limit", "offset", "join", "nest",
+                "unnest", "left", "inner", "on", "set", "unset", "as", "from", "select",
+            ];
+            if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(s);
+            }
+        }
+        Ok(default.to_string())
+    }
+
+    fn parse_insert_upsert(&mut self) -> Result<Statement> {
+        let upsert = self.eat_kw("upsert");
+        if !upsert {
+            self.expect_kw("insert")?;
+        }
+        self.expect_kw("into")?;
+        let keyspace = self.expect_ident()?;
+        self.expect_punct("(")?;
+        self.expect_kw("key")?;
+        self.expect_punct(",")?;
+        self.expect_kw("value")?;
+        self.expect_punct(")")?;
+        self.expect_kw("values")?;
+        let mut values = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let k = self.parse_expr()?;
+            self.expect_punct(",")?;
+            let v = self.parse_expr()?;
+            self.expect_punct(")")?;
+            values.push((k, v));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(if upsert {
+            Statement::Upsert { keyspace, values }
+        } else {
+            Statement::Insert { keyspace, values }
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement> {
+        self.expect_kw("update")?;
+        let keyspace = self.expect_ident()?;
+        let use_keys = if self.eat_kw("use") {
+            self.expect_kw("keys")?;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut set = Vec::new();
+        if self.eat_kw("set") {
+            loop {
+                let path = self.parse_raw_path()?;
+                self.expect_punct("=")?;
+                set.push((path, self.parse_expr()?));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let mut unset = Vec::new();
+        if self.eat_kw("unset") {
+            loop {
+                unset.push(self.parse_raw_path()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if set.is_empty() && unset.is_empty() {
+            return Err(self.err("UPDATE requires SET or UNSET"));
+        }
+        let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let limit = if self.eat_kw("limit") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { keyspace, use_keys, set, unset, where_, limit })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let keyspace = self.expect_ident()?;
+        let use_keys = if self.eat_kw("use") {
+            self.expect_kw("keys")?;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let limit = if self.eat_kw("limit") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete { keyspace, use_keys, where_, limit })
+    }
+
+    /// A dotted path as raw text (for UPDATE SET targets and index keys).
+    fn parse_raw_path(&mut self) -> Result<String> {
+        let mut s = self.expect_ident()?;
+        loop {
+            if self.eat_punct(".") {
+                s.push('.');
+                s.push_str(&self.expect_ident()?);
+            } else if self.peek().is_some_and(|t| t.is_punct("[")) {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Token::Int(i)) => {
+                        s.push('[');
+                        s.push_str(&i.to_string());
+                        s.push(']');
+                    }
+                    other => return Err(self.err(&format!("expected array index, got {other:?}"))),
+                }
+                self.expect_punct("]")?;
+            } else {
+                break;
+            }
+        }
+        Ok(s)
+    }
+
+    fn parse_create_index(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        if self.eat_kw("primary") {
+            self.expect_kw("index")?;
+            // Optional name.
+            let name = match self.peek() {
+                Some(Token::Ident(s)) if !s.eq_ignore_ascii_case("on") => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    s
+                }
+                Some(Token::QuotedIdent(s)) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    s
+                }
+                _ => "#primary".to_string(),
+            };
+            self.expect_kw("on")?;
+            let keyspace = self.expect_ident()?;
+            let (using_view, defer_build, _parts) = self.parse_index_tail()?;
+            return Ok(Statement::CreatePrimaryIndex { name, keyspace, using_view, defer_build });
+        }
+        self.expect_kw("index")?;
+        let name = self.expect_ident()?;
+        self.expect_kw("on")?;
+        let keyspace = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut keys = Vec::new();
+        loop {
+            if self.eat_kw("distinct") {
+                // DISTINCT ARRAY v FOR v IN path END — array index (§6.1.2).
+                self.expect_kw("array")?;
+                let var = self.expect_ident()?;
+                self.expect_kw("for")?;
+                let var2 = self.expect_ident()?;
+                if !var.eq_ignore_ascii_case(&var2) {
+                    return Err(self.err("array index variable mismatch"));
+                }
+                self.expect_kw("in")?;
+                let path = self.parse_raw_path()?;
+                self.expect_kw("end")?;
+                keys.push(IndexKeySpec { path, array: true });
+            } else {
+                keys.push(IndexKeySpec { path: self.parse_raw_path()?, array: false });
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let (using_view, defer_build, num_partitions) = self.parse_index_tail()?;
+        Ok(Statement::CreateIndex {
+            name,
+            keyspace,
+            keys,
+            where_,
+            using_view,
+            defer_build,
+            num_partitions,
+        })
+    }
+
+    /// `[USING GSI|VIEW] [WITH {...}]` — returns (using_view, defer_build,
+    /// num_partitions).
+    fn parse_index_tail(&mut self) -> Result<(bool, bool, usize)> {
+        let mut using_view = false;
+        if self.eat_kw("using") {
+            if self.eat_kw("view") {
+                using_view = true;
+            } else {
+                self.expect_kw("gsi")?;
+            }
+        }
+        let mut defer_build = false;
+        let mut num_partitions = 1usize;
+        if self.eat_kw("with") {
+            // A small JSON object literal of options.
+            let v = self.parse_expr()?;
+            if let Expr::ObjectLit(pairs) = v {
+                for (k, expr) in pairs {
+                    match (k.as_str(), expr) {
+                        ("defer_build", Expr::Literal(Value::Bool(b))) => defer_build = b,
+                        ("num_partitions", Expr::Literal(v2)) => {
+                            num_partitions = v2.as_i64().unwrap_or(1).max(1) as usize;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                return Err(self.err("WITH requires an object literal"));
+            }
+        }
+        Ok((using_view, defer_build, num_partitions))
+    }
+
+    fn parse_drop_index(&mut self) -> Result<Statement> {
+        self.expect_kw("drop")?;
+        self.expect_kw("index")?;
+        let keyspace = self.expect_ident()?;
+        self.expect_punct(".")?;
+        let name = self.expect_ident()?;
+        Ok(Statement::DropIndex { keyspace, name })
+    }
+
+    fn parse_build_index(&mut self) -> Result<Statement> {
+        self.expect_kw("build")?;
+        self.expect_kw("index")?;
+        self.expect_kw("on")?;
+        let keyspace = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut names = Vec::new();
+        loop {
+            names.push(self.expect_ident()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(Statement::BuildIndex { keyspace, names })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_concat()?;
+        // IS checks.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            let check = if self.eat_kw("null") {
+                if negated { IsCheck::NotNull } else { IsCheck::Null }
+            } else if self.eat_kw("missing") {
+                if negated { IsCheck::NotMissing } else { IsCheck::Missing }
+            } else if self.eat_kw("valued") {
+                if negated {
+                    return Err(self.err("IS NOT VALUED is not supported; use IS NULL OR IS MISSING"));
+                }
+                IsCheck::Valued
+            } else {
+                return Err(self.err("expected NULL, MISSING or VALUED after IS"));
+            };
+            return Ok(Expr::IsCheck(check, Box::new(left)));
+        }
+        let negated = self.at_kw("not")
+            && self
+                .peek2()
+                .is_some_and(|t| t.is_kw("between") || t.is_kw("in") || t.is_kw("like"));
+        if negated {
+            self.pos += 1;
+        }
+        if self.eat_kw("between") {
+            let low = self.parse_concat()?;
+            self.expect_kw("and")?;
+            let high = self.parse_concat()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            let list = self.parse_concat()?;
+            return Ok(Expr::In { expr: Box::new(left), list: Box::new(list), negated });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.parse_concat()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        for (p, op) in [
+            ("==", BinOp::Eq),
+            ("=", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<>", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_punct(p) {
+                let right = self.parse_concat()?;
+                return Ok(Expr::Binary(op, Box::new(left), Box::new(right)));
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_concat(&mut self) -> Result<Expr> {
+        let mut left = self.parse_additive()?;
+        while self.eat_punct("||") {
+            let right = self.parse_additive()?;
+            left = Expr::Binary(BinOp::Concat, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat_punct("+") {
+                let r = self.parse_multiplicative()?;
+                left = Expr::Binary(BinOp::Add, Box::new(left), Box::new(r));
+            } else if self.eat_punct("-") {
+                let r = self.parse_multiplicative()?;
+                left = Expr::Binary(BinOp::Sub, Box::new(left), Box::new(r));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let r = self.parse_unary()?;
+                left = Expr::Binary(BinOp::Mul, Box::new(left), Box::new(r));
+            } else if self.eat_punct("/") {
+                let r = self.parse_unary()?;
+                left = Expr::Binary(BinOp::Div, Box::new(left), Box::new(r));
+            } else if self.eat_punct("%") {
+                let r = self.parse_unary()?;
+                left = Expr::Binary(BinOp::Mod, Box::new(left), Box::new(r));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_unary()?)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let field = self.expect_ident()?;
+                match &mut e {
+                    Expr::Path(parts) => parts.push(PathPart::Field(field)),
+                    _ => {
+                        return Err(self.err("field access on non-path expressions is unsupported"))
+                    }
+                }
+            } else if self.peek().is_some_and(|t| t.is_punct("["))
+                && matches!(e, Expr::Path(_))
+            {
+                self.pos += 1;
+                let idx = match self.bump() {
+                    Some(Token::Int(i)) => i,
+                    Some(Token::Punct("-")) => match self.bump() {
+                        Some(Token::Int(i)) => -i,
+                        other => return Err(self.err(&format!("bad subscript: {other:?}"))),
+                    },
+                    other => return Err(self.err(&format!("bad subscript: {other:?}"))),
+                };
+                self.expect_punct("]")?;
+                if let Expr::Path(parts) = &mut e {
+                    parts.push(PathPart::Index(idx));
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::from(s)))
+            }
+            Some(Token::PosParam(n)) => {
+                self.pos += 1;
+                Ok(Expr::PosParam(n))
+            }
+            Some(Token::NamedParam(n)) => {
+                self.pos += 1;
+                Ok(Expr::NamedParam(n))
+            }
+            Some(Token::Punct("(")) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Token::Punct("[")) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct("]")?;
+                }
+                Ok(Expr::ArrayLit(items))
+            }
+            Some(Token::Punct("{")) => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.bump() {
+                            Some(Token::Str(s)) => s,
+                            Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => s,
+                            other => {
+                                return Err(self.err(&format!("bad object key: {other:?}")))
+                            }
+                        };
+                        self.expect_punct(":")?;
+                        pairs.push((key, self.parse_expr()?));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct("}")?;
+                }
+                Ok(Expr::ObjectLit(pairs))
+            }
+            Some(Token::QuotedIdent(s)) => {
+                self.pos += 1;
+                Ok(Expr::Path(vec![PathPart::Field(s)]))
+            }
+            Some(Token::Ident(word)) => self.parse_ident_primary(word),
+            other => Err(self.err(&format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_ident_primary(&mut self, word: String) -> Result<Expr> {
+        // Reserved words cannot start an expression (matches N1QL's
+        // reserved-keyword rules; quote with backticks to use them as
+        // field names).
+        const RESERVED: &[&str] = &[
+            "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
+            "and", "or", "not", "join", "inner", "left", "outer", "nest", "unnest", "on",
+            "keys", "as", "use", "set", "unset", "into", "values", "between", "like", "when",
+            "then", "else", "end", "is", "in", "satisfies", "distinct", "asc", "desc",
+            "insert", "upsert", "update", "delete", "create", "drop", "build", "index",
+            "explain",
+        ];
+        if RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k)) {
+            return Err(self.err(&format!("reserved word '{word}' cannot start an expression")));
+        }
+        // Keyword literals.
+        if word.eq_ignore_ascii_case("true") {
+            self.pos += 1;
+            return Ok(Expr::Literal(Value::Bool(true)));
+        }
+        if word.eq_ignore_ascii_case("false") {
+            self.pos += 1;
+            return Ok(Expr::Literal(Value::Bool(false)));
+        }
+        if word.eq_ignore_ascii_case("null") {
+            self.pos += 1;
+            return Ok(Expr::Literal(Value::Null));
+        }
+        if word.eq_ignore_ascii_case("missing") {
+            self.pos += 1;
+            // MISSING as a literal: modeled as an IS MISSING-only construct;
+            // evaluate to MISSING via a dedicated function.
+            return Ok(Expr::Func { name: "MISSING".to_string(), args: vec![], distinct: false });
+        }
+        if word.eq_ignore_ascii_case("case") {
+            return self.parse_case();
+        }
+        if word.eq_ignore_ascii_case("any") || word.eq_ignore_ascii_case("every") {
+            return self.parse_any_every(word.eq_ignore_ascii_case("any"));
+        }
+        if word.eq_ignore_ascii_case("array")
+            && !self.peek2().is_some_and(|t| t.is_punct("(") || t.is_punct(".") || t.is_punct("["))
+        {
+            return self.parse_array_comp();
+        }
+        // Function call?
+        if self.peek2().is_some_and(|t| t.is_punct("(")) {
+            self.pos += 2; // ident + '('
+            // META() / META(alias) followed by .id
+            if word.eq_ignore_ascii_case("meta") {
+                let alias = if self.eat_punct(")") {
+                    None
+                } else {
+                    let a = self.expect_ident()?;
+                    self.expect_punct(")")?;
+                    Some(a)
+                };
+                self.expect_punct(".")?;
+                let field = self.expect_ident()?;
+                if !field.eq_ignore_ascii_case("id") {
+                    return Err(self.err("only META().id is supported"));
+                }
+                return Ok(Expr::MetaId(alias));
+            }
+            if word.eq_ignore_ascii_case("count") && self.eat_punct("*") {
+                self.expect_punct(")")?;
+                return Ok(Expr::CountStar);
+            }
+            let distinct = self.eat_kw("distinct");
+            let mut args = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+            return Ok(Expr::Func { name: word.to_uppercase(), args, distinct });
+        }
+        // Plain path start.
+        self.pos += 1;
+        Ok(Expr::Path(vec![PathPart::Field(word)]))
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_kw("case")?;
+        let mut arms = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let val = self.parse_expr()?;
+            arms.push((cond, val));
+        }
+        if arms.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN"));
+        }
+        let else_ = if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(Expr::Case { arms, else_ })
+    }
+
+    fn parse_any_every(&mut self, any: bool) -> Result<Expr> {
+        self.pos += 1; // ANY / EVERY
+        let var = self.expect_ident()?;
+        self.expect_kw("in")?;
+        let source = self.parse_expr()?;
+        self.expect_kw("satisfies")?;
+        let cond = self.parse_expr()?;
+        self.expect_kw("end")?;
+        Ok(Expr::AnyEvery { any, var, source: Box::new(source), cond: Box::new(cond) })
+    }
+
+    fn parse_array_comp(&mut self) -> Result<Expr> {
+        self.expect_kw("array")?;
+        let expr = self.parse_expr()?;
+        self.expect_kw("for")?;
+        let var = self.expect_ident()?;
+        self.expect_kw("in")?;
+        let source = self.parse_expr()?;
+        let when = if self.eat_kw("when") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(Expr::ArrayComp { expr: Box::new(expr), var, source: Box::new(source), when })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(s: &str) -> Select {
+        match parse_statement(s).unwrap() {
+            Statement::Select(sel) => sel,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT name, age FROM profiles WHERE age >= 21 ORDER BY name LIMIT 10 OFFSET 5");
+        assert_eq!(s.items.len(), 2);
+        let f = s.from.unwrap();
+        assert_eq!(f.keyspace, "profiles");
+        assert_eq!(f.alias, "profiles");
+        assert!(s.where_.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.limit, Some(Expr::Literal(Value::int(10))));
+        assert_eq!(s.offset, Some(Expr::Literal(Value::int(5))));
+    }
+
+    #[test]
+    fn use_keys_forms() {
+        // The paper's §3.2.3 examples.
+        let s = sel(r#"SELECT * FROM profiles USE KEYS "acme-uuid-1234-5678""#);
+        assert!(matches!(s.from.unwrap().use_keys, Some(Expr::Literal(Value::String(_)))));
+        let s = sel(r#"SELECT * FROM profiles USE KEYS ["a", "b"]"#);
+        assert!(matches!(s.from.unwrap().use_keys, Some(Expr::ArrayLit(v)) if v.len() == 2));
+    }
+
+    #[test]
+    fn paper_nest_query_shape() {
+        let s = sel(
+            "SELECT PO.personal_details, orders FROM profiles_orders PO \
+             USE KEYS 'borkar123' \
+             NEST profiles_orders AS orders \
+             ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END",
+        );
+        let from = s.from.unwrap();
+        assert_eq!(from.alias, "PO");
+        assert_eq!(from.ops.len(), 1);
+        match &from.ops[0] {
+            FromOp::Nest { alias, on_keys, .. } => {
+                assert_eq!(alias, "orders");
+                assert!(matches!(on_keys, Expr::ArrayComp { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_unnest_query() {
+        let s = sel(
+            "SELECT DISTINCT (categories) FROM product UNNEST product.categories AS categories",
+        );
+        assert!(s.distinct);
+        let from = s.from.unwrap();
+        assert!(matches!(&from.ops[0], FromOp::Unnest { alias, .. } if alias == "categories"));
+    }
+
+    #[test]
+    fn key_join() {
+        let s = sel("SELECT * FROM ORDERS O INNER JOIN CUSTOMER C ON KEYS O.O_C_ID");
+        let from = s.from.unwrap();
+        assert_eq!(from.alias, "O");
+        match &from.ops[0] {
+            FromOp::Join { keyspace, alias, left_outer, .. } => {
+                assert_eq!(keyspace, "CUSTOMER");
+                assert_eq!(alias, "C");
+                assert!(!left_outer);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = sel("SELECT * FROM a LEFT OUTER JOIN b ON KEYS a.bid");
+        assert!(matches!(&s.from.unwrap().ops[0], FromOp::Join { left_outer: true, .. }));
+    }
+
+    #[test]
+    fn general_joins_rejected() {
+        // §3.2.4: joins must be ON KEYS.
+        assert!(parse_statement("SELECT * FROM a JOIN b ON a.x = b.y").is_err());
+    }
+
+    #[test]
+    fn group_having_aggregates() {
+        let s = sel(
+            "SELECT city, COUNT(*) AS n, AVG(age) FROM p GROUP BY city HAVING COUNT(*) > 2",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::CountStar, alias: Some(a) } if a == "n"
+        ));
+    }
+
+    #[test]
+    fn dml_statements() {
+        let st = parse_statement(
+            r#"INSERT INTO b (KEY, VALUE) VALUES ("k1", {"a": 1}), ("k2", {"a": 2})"#,
+        )
+        .unwrap();
+        assert!(matches!(st, Statement::Insert { values, .. } if values.len() == 2));
+
+        let st = parse_statement(r#"UPSERT INTO b (KEY, VALUE) VALUES ($1, $2)"#).unwrap();
+        assert!(matches!(st, Statement::Upsert { .. }));
+
+        let st = parse_statement(
+            "UPDATE b USE KEYS 'k' SET a.x = 1, y = 'z' UNSET old WHERE a > 0 LIMIT 1",
+        )
+        .unwrap();
+        match st {
+            Statement::Update { set, unset, use_keys, where_, limit, .. } => {
+                assert_eq!(set.len(), 2);
+                assert_eq!(set[0].0, "a.x");
+                assert_eq!(unset, vec!["old"]);
+                assert!(use_keys.is_some());
+                assert!(where_.is_some());
+                assert!(limit.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let st = parse_statement("DELETE FROM b WHERE age < 0").unwrap();
+        assert!(matches!(st, Statement::Delete { where_: Some(_), .. }));
+    }
+
+    #[test]
+    fn index_ddl() {
+        // §3.3 examples.
+        let st = parse_statement("CREATE INDEX email ON `Profile` (email) USING VIEW").unwrap();
+        assert!(matches!(st, Statement::CreateIndex { using_view: true, .. }));
+
+        let st = parse_statement("CREATE INDEX email ON `Profile` (email) USING GSI").unwrap();
+        match st {
+            Statement::CreateIndex { name, keyspace, keys, using_view, .. } => {
+                assert_eq!(name, "email");
+                assert_eq!(keyspace, "Profile");
+                assert_eq!(keys[0].path, "email");
+                assert!(!using_view);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let st = parse_statement(
+            "CREATE INDEX over21 ON `Profile`(age) WHERE age > 21 USING GSI",
+        )
+        .unwrap();
+        assert!(matches!(st, Statement::CreateIndex { where_: Some(_), .. }));
+
+        let st = parse_statement(
+            r#"CREATE PRIMARY INDEX profile_pk_gsi ON Profile USING GSI WITH {"defer_build": true}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            st,
+            Statement::CreatePrimaryIndex { defer_build: true, name, .. } if name == "profile_pk_gsi"
+        ));
+
+        let st = parse_statement(
+            "CREATE INDEX cats ON product(DISTINCT ARRAY c FOR c IN categories END)",
+        )
+        .unwrap();
+        assert!(matches!(st, Statement::CreateIndex { keys, .. } if keys[0].array));
+
+        let st = parse_statement("DROP INDEX Profile.email").unwrap();
+        assert!(matches!(st, Statement::DropIndex { .. }));
+
+        let st = parse_statement("BUILD INDEX ON Profile(email, over21)").unwrap();
+        assert!(matches!(st, Statement::BuildIndex { names, .. } if names.len() == 2));
+    }
+
+    #[test]
+    fn explain_wraps() {
+        let st =
+            parse_statement("EXPLAIN SELECT title FROM catalog ORDER BY title").unwrap();
+        assert!(matches!(st, Statement::Explain(inner) if matches!(*inner, Statement::Select(_))));
+    }
+
+    #[test]
+    fn expression_forms() {
+        let e = parse_expression("a.b[0].c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Path(vec![
+                PathPart::Field("a".to_string()),
+                PathPart::Field("b".to_string()),
+                PathPart::Index(0),
+                PathPart::Field("c".to_string()),
+            ])
+        );
+        assert!(matches!(parse_expression("META().id").unwrap(), Expr::MetaId(None)));
+        assert!(matches!(
+            parse_expression("META(b).id").unwrap(),
+            Expr::MetaId(Some(a)) if a == "b"
+        ));
+        assert!(matches!(parse_expression("x BETWEEN 1 AND 5").unwrap(), Expr::Between { .. }));
+        assert!(matches!(
+            parse_expression("x NOT IN [1,2]").unwrap(),
+            Expr::In { negated: true, .. }
+        ));
+        assert!(matches!(parse_expression("name LIKE 'D%'").unwrap(), Expr::Like { .. }));
+        assert!(matches!(parse_expression("x IS NOT MISSING").unwrap(), Expr::IsCheck(IsCheck::NotMissing, _)));
+        assert!(matches!(
+            parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END").unwrap(),
+            Expr::Case { .. }
+        ));
+        assert!(matches!(
+            parse_expression("ANY t IN tags SATISFIES t = 'new' END").unwrap(),
+            Expr::AnyEvery { any: true, .. }
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 = 7, not 9.
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Literal(Value::int(1))),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Literal(Value::int(2))),
+                    Box::new(Expr::Literal(Value::int(3))),
+                )),
+            )
+        );
+        // AND binds tighter than OR.
+        let e = parse_expression("a OR b AND c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn select_star_variants() {
+        let s = sel("SELECT * FROM b");
+        assert_eq!(s.items, vec![SelectItem::Star]);
+        let s = sel("SELECT p.* FROM b p");
+        assert_eq!(s.items, vec![SelectItem::AliasStar("p".to_string())]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM b",
+            "FROM b SELECT *",
+            "SELECT * FROM b WHERE",
+            "INSERT INTO b VALUES (1)",
+            "UPDATE b",
+            "CREATE INDEX ON b(x)",
+            "SELECT * FROM a JOIN b ON a.x = b.x",
+            "SELECT * FROM b; SELECT * FROM b",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn workload_e_query_parses() {
+        // The appendix's YCSB workload E query (§10.1.2).
+        let s = sel("SELECT meta().id AS id FROM `bucket` WHERE meta().id >= $1 LIMIT $2");
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::MetaId(None), alias: Some(a) } if a == "id"
+        ));
+        assert_eq!(s.limit, Some(Expr::PosParam(2)));
+    }
+}

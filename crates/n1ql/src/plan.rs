@@ -1,0 +1,68 @@
+//! Query plan representation (the output of §4.5.3's planner).
+
+use cbs_index::{IndexDef, ScanRange};
+
+use crate::ast::{Expr, Select, Statement};
+
+/// How the primary keyspace of a SELECT is accessed (§4.5.3 "Keyspace
+/// (bucket) scan — There are three types of scans").
+#[derive(Debug, Clone)]
+pub enum AccessPath {
+    /// *Keyscan access*: "when specific document IDs (primary keys) are
+    /// available" — `USE KEYS`.
+    KeyScan {
+        /// Expression yielding a key or array of keys.
+        keys: Expr,
+    },
+    /// *IndexScan access*: "a qualifying secondary index scan is used to
+    /// first filter the keyspace and determine the qualifying document
+    /// IDs."
+    IndexScan {
+        /// Chosen index.
+        index: IndexDef,
+        /// Leading-key range pushed into the index.
+        range: ScanRange,
+        /// §5.1.2: a covering index "includes all of the information needed
+        /// to satisfy the query and can thus avoid the need for an
+        /// additional step to access the indexed data" — no Fetch operator.
+        covering: bool,
+    },
+    /// *PrimaryScan access*: "the equivalent of a full table scan [...]
+    /// quite expensive."
+    PrimaryScan,
+    /// No FROM clause at all (`SELECT 1+1`).
+    ExpressionOnly,
+}
+
+impl AccessPath {
+    /// Operator name as shown by EXPLAIN (matching Couchbase's spelling).
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            AccessPath::KeyScan { .. } => "KeyScan",
+            AccessPath::IndexScan { .. } => "IndexScan",
+            AccessPath::PrimaryScan => "PrimaryScan",
+            AccessPath::ExpressionOnly => "DummyScan",
+        }
+    }
+}
+
+/// A planned SELECT.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// The statement (the executor interprets its clauses).
+    pub select: Select,
+    /// Chosen access path for the primary keyspace.
+    pub access: AccessPath,
+    /// Whether a Fetch of full documents is required (false when covering).
+    pub fetch: bool,
+}
+
+/// A fully planned statement.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // plans are built once per query, never stored in bulk
+pub enum QueryPlan {
+    /// SELECT pipeline.
+    Select(SelectPlan),
+    /// DML / DDL statements execute directly from their AST.
+    Direct(Statement),
+}

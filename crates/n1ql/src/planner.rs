@@ -1,0 +1,589 @@
+//! The query planner (§4.5.3).
+//!
+//! "To optimize a query, the N1QL query planner analyzes the query and
+//! available access path options for each keyspace in the query to pick an
+//! appropriate plan [...] The planner needs to first select the access
+//! path for each bucket, determine the join order, and then determine the
+//! type of the join operation."
+//!
+//! Access-path selection, in priority order:
+//!
+//! 1. `USE KEYS` → **KeyScan** (the fastest path, §5.1.1);
+//! 2. a sargable WHERE conjunct over the leading key of an online GSI →
+//!    **IndexScan**, with covering detection (§5.1.2) and partial-index
+//!    applicability checks (§3.3.4);
+//! 3. an online primary index → **PrimaryScan** (full scan — allowed but
+//!    "quite expensive");
+//! 4. otherwise the query is rejected, exactly like real N1QL's "no index
+//!    available" error.
+//!
+//! Join order is the textual order (N1QL 4.x semantics) and every join is
+//! a key-based nested loop (§3.2.4) — the parser already guarantees the
+//! `ON KEYS` shape.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use cbs_common::{Error, Result};
+use cbs_index::{FilterCond, FilterOp, IndexDef, KeyExpr, ScanRange};
+use cbs_json::Value;
+
+use crate::ast::*;
+use crate::datastore::Datastore;
+use crate::eval::{eval, EvalCtx};
+use crate::exec::QueryOptions;
+use crate::plan::{AccessPath, QueryPlan, SelectPlan};
+
+/// Plan a statement.
+pub fn build_plan(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Result<QueryPlan> {
+    match stmt {
+        Statement::Select(sel) => Ok(QueryPlan::Select(plan_select(ds, sel, opts)?)),
+        Statement::Explain(inner) => build_plan(ds, inner, opts),
+        other => Ok(QueryPlan::Direct(other.clone())),
+    }
+}
+
+fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<SelectPlan> {
+    let Some(from) = &sel.from else {
+        return Ok(SelectPlan { select: sel.clone(), access: AccessPath::ExpressionOnly, fetch: false });
+    };
+    if !ds.keyspace_exists(&from.keyspace) {
+        return Err(Error::Plan(format!("no such keyspace: {}", from.keyspace)));
+    }
+    for op in &from.ops {
+        let ks = match op {
+            FromOp::Join { keyspace, .. } | FromOp::Nest { keyspace, .. } => Some(keyspace),
+            FromOp::Unnest { .. } => None,
+        };
+        if let Some(ks) = ks {
+            if !ds.keyspace_exists(ks) {
+                return Err(Error::Plan(format!("no such keyspace: {ks}")));
+            }
+        }
+    }
+
+    // 1. USE KEYS → KeyScan.
+    if let Some(keys) = &from.use_keys {
+        return Ok(SelectPlan {
+            select: sel.clone(),
+            access: AccessPath::KeyScan { keys: keys.clone() },
+            fetch: true,
+        });
+    }
+
+    // 2. Try a qualifying secondary index.
+    let conjuncts = sel.where_.as_ref().map(split_conjuncts).unwrap_or_default();
+    let indexes = ds.list_indexes(&from.keyspace);
+    let mut best: Option<(IndexDef, ScanRange, bool, u32)> = None;
+    for def in &indexes {
+        let Some(range) = sargable_range(def, &from.alias, &conjuncts, opts)? else { continue };
+        if !partial_index_applicable(def, &from.alias, &conjuncts) {
+            continue;
+        }
+        let covering = covering_ok(def, &from.alias, sel);
+        // Score: prefer bounded ranges, covering, secondary over primary.
+        let mut score = 0u32;
+        if range.low.is_some() {
+            score += 4;
+        }
+        if range.high.is_some() {
+            score += 4;
+        }
+        if covering {
+            score += 2;
+        }
+        if !def.primary {
+            score += 1;
+        }
+        if best.as_ref().is_none_or(|(_, _, _, s)| score > *s) {
+            best = Some((def.clone(), range, covering, score));
+        }
+    }
+    if let Some((index, range, covering, score)) = best {
+        // An unbounded primary-index scan is just a PrimaryScan; report it
+        // as such (score 1 = primary, no bounds, not covering... keep
+        // IndexScan only when something was pushed down or it covers).
+        if score > 1 {
+            return Ok(SelectPlan {
+                select: sel.clone(),
+                access: AccessPath::IndexScan { index, range, covering },
+                fetch: !covering,
+            });
+        }
+    }
+
+    // 3. PrimaryScan requires a primary index to exist (§3.3.3 / §5.1.1).
+    if indexes.iter().any(|d| d.primary) {
+        return Ok(SelectPlan { select: sel.clone(), access: AccessPath::PrimaryScan, fetch: true });
+    }
+    Err(Error::Plan(format!(
+        "no index available on keyspace {} — create a primary or secondary index, or use USE KEYS",
+        from.keyspace
+    )))
+}
+
+/// Split a WHERE tree on AND.
+pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary(BinOp::And, a, b) => {
+            let mut out = split_conjuncts(a);
+            out.extend(split_conjuncts(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Does `expr` reference exactly the indexed leading key (modulo the
+/// keyspace alias prefix)?
+fn matches_key_expr(expr: &Expr, key: &KeyExpr, alias: &str) -> bool {
+    match (expr, key) {
+        (Expr::MetaId(a), KeyExpr::DocId) => {
+            a.as_deref().is_none_or(|x| x == alias)
+        }
+        (Expr::Path(parts), KeyExpr::Path(path)) => path_matches(parts, path, alias),
+        // ANY ... IN <path> predicates pair with ArrayElements keys; handled
+        // separately in `sargable_range`.
+        _ => false,
+    }
+}
+
+fn path_matches(parts: &[PathPart], path: &cbs_json::JsonPath, alias: &str) -> bool {
+    let rendered = render_parts(parts);
+    let target = path.to_path_string();
+    rendered == target || rendered == format!("{alias}.{target}")
+}
+
+fn render_parts(parts: &[PathPart]) -> String {
+    let mut s = String::new();
+    for p in parts {
+        match p {
+            PathPart::Field(f) => {
+                if !s.is_empty() {
+                    s.push('.');
+                }
+                s.push_str(f);
+            }
+            PathPart::Index(i) => {
+                s.push('[');
+                s.push_str(&i.to_string());
+                s.push(']');
+            }
+        }
+    }
+    s
+}
+
+/// Evaluate a plan-time constant (literal or parameter).
+fn const_value(e: &Expr, opts: &QueryOptions) -> Option<Value> {
+    let row = Value::empty_object();
+    let metas = HashMap::new();
+    let ctx = EvalCtx {
+        row: &row,
+        metas: &metas,
+        default_alias: None,
+        pos_params: &opts.pos_params,
+        named_params: &opts.named_params,
+        aggs: None,
+    };
+    match e {
+        Expr::Literal(_) | Expr::PosParam(_) | Expr::NamedParam(_) | Expr::Unary(UnaryOp::Neg, _) => {
+            eval(e, &ctx).ok().flatten()
+        }
+        _ => None,
+    }
+}
+
+/// Derive the leading-key range an index can serve for these conjuncts
+/// (`None` if the index is not sargable for this query).
+fn sargable_range(
+    def: &IndexDef,
+    alias: &str,
+    conjuncts: &[Expr],
+    opts: &QueryOptions,
+) -> Result<Option<ScanRange>> {
+    let leading = &def.keys[0];
+    let mut range = ScanRange::all();
+    let mut matched = false;
+
+    for c in conjuncts {
+        // ANY x IN <arr> SATISFIES x = $v END ↔ array index on <arr>.
+        if let (Expr::AnyEvery { any: true, var, source, cond }, KeyExpr::ArrayElements(path)) =
+            (c, leading)
+        {
+            if let Expr::Path(src_parts) = source.as_ref() {
+                if path_matches(src_parts, path, alias) {
+                    if let Expr::Binary(BinOp::Eq, l, r) = cond.as_ref() {
+                        let var_matches = matches!(l.as_ref(), Expr::Path(p) if render_parts(p) == *var);
+                        if var_matches {
+                            if let Some(v) = const_value(r, opts) {
+                                return Ok(Some(ScanRange::exact(v)));
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let (op, lhs, rhs) = match c {
+            Expr::Binary(op @ (BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), l, r) => {
+                (*op, l.as_ref(), r.as_ref())
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                if matches_key_expr(expr, leading, alias) {
+                    if let (Some(lo), Some(hi)) = (const_value(low, opts), const_value(high, opts)) {
+                        tighten_low(&mut range, lo, true);
+                        tighten_high(&mut range, hi, true);
+                        matched = true;
+                    }
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        // Normalize to key <op> constant.
+        let (op, key_side, const_side) = if matches_key_expr(lhs, leading, alias) {
+            (op, lhs, rhs)
+        } else if matches_key_expr(rhs, leading, alias) {
+            (flip(op), rhs, lhs)
+        } else {
+            continue;
+        };
+        let _ = key_side;
+        let Some(v) = const_value(const_side, opts) else { continue };
+        match op {
+            BinOp::Eq => {
+                tighten_low(&mut range, v.clone(), true);
+                tighten_high(&mut range, v, true);
+            }
+            BinOp::Gt => tighten_low(&mut range, v, false),
+            BinOp::Ge => tighten_low(&mut range, v, true),
+            BinOp::Lt => tighten_high(&mut range, v, false),
+            BinOp::Le => tighten_high(&mut range, v, true),
+            _ => continue,
+        }
+        matched = true;
+    }
+    if matched || def.primary {
+        // A primary index can always serve an unbounded scan.
+        Ok(Some(range))
+    } else {
+        Ok(None)
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn tighten_low(range: &mut ScanRange, v: Value, inclusive: bool) {
+    let replace = match &range.low {
+        None => true,
+        Some(cur) => match cbs_json::cmp_values(&v, cur) {
+            Ordering::Greater => true,
+            Ordering::Equal => !inclusive && range.low_inclusive,
+            Ordering::Less => false,
+        },
+    };
+    if replace {
+        range.low = Some(v);
+        range.low_inclusive = inclusive;
+    }
+}
+
+fn tighten_high(range: &mut ScanRange, v: Value, inclusive: bool) {
+    let replace = match &range.high {
+        None => true,
+        Some(cur) => match cbs_json::cmp_values(&v, cur) {
+            Ordering::Less => true,
+            Ordering::Equal => !inclusive && range.high_inclusive,
+            Ordering::Greater => false,
+        },
+    };
+    if replace {
+        range.high = Some(v);
+        range.high_inclusive = inclusive;
+    }
+}
+
+/// §3.3.4: a partial index is usable only when the query provably
+/// restricts itself to the indexed subset. We accept the simple (and
+/// common) case: every index filter condition appears verbatim as a WHERE
+/// conjunct.
+fn partial_index_applicable(def: &IndexDef, alias: &str, conjuncts: &[Expr]) -> bool {
+    def.filter.iter().all(|f| conjuncts.iter().any(|c| conjunct_implies(c, f, alias)))
+}
+
+fn conjunct_implies(c: &Expr, f: &FilterCond, alias: &str) -> bool {
+    let Expr::Binary(op, l, r) = c else { return false };
+    let (op, path_expr, lit) = if matches!(l.as_ref(), Expr::Path(_)) {
+        (*op, l.as_ref(), r.as_ref())
+    } else if matches!(r.as_ref(), Expr::Path(_)) {
+        (flip(*op), r.as_ref(), l.as_ref())
+    } else {
+        return false;
+    };
+    let Expr::Path(parts) = path_expr else { return false };
+    if !path_matches(parts, &f.path, alias) {
+        return false;
+    }
+    let Expr::Literal(v) = lit else { return false };
+    let want = match f.op {
+        FilterOp::Eq => BinOp::Eq,
+        FilterOp::Ne => BinOp::Ne,
+        FilterOp::Lt => BinOp::Lt,
+        FilterOp::Le => BinOp::Le,
+        FilterOp::Gt => BinOp::Gt,
+        FilterOp::Ge => BinOp::Ge,
+    };
+    op == want && cbs_json::cmp_values(v, &f.value) == Ordering::Equal
+}
+
+/// §5.1.2 covering detection: every expression the query needs must be
+/// answerable from the index key components (or META().id).
+fn covering_ok(def: &IndexDef, alias: &str, sel: &Select) -> bool {
+    // Joins/nests/unnests and star projections need full documents.
+    let from = sel.from.as_ref().expect("covering check only with FROM");
+    if !from.ops.is_empty() {
+        return false;
+    }
+    if sel.items.iter().any(|i| matches!(i, SelectItem::Star | SelectItem::AliasStar(_))) {
+        return false;
+    }
+    // Array indexes don't cover (entries are per-element).
+    if matches!(def.keys[0], KeyExpr::ArrayElements(_)) {
+        return false;
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            exprs.push(expr);
+        }
+    }
+    if let Some(w) = &sel.where_ {
+        exprs.push(w);
+    }
+    for o in &sel.order_by {
+        exprs.push(&o.expr);
+    }
+    for g in &sel.group_by {
+        exprs.push(g);
+    }
+    if let Some(h) = &sel.having {
+        exprs.push(h);
+    }
+    exprs.iter().all(|e| expr_covered(e, def, alias))
+}
+
+fn expr_covered(e: &Expr, def: &IndexDef, alias: &str) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::PosParam(_) | Expr::NamedParam(_) => true,
+        Expr::MetaId(a) => a.as_deref().is_none_or(|x| x == alias),
+        Expr::Path(parts) => def.keys.iter().any(|k| matches_key_expr(e, k, alias)) || {
+            let _ = parts;
+            false
+        },
+        Expr::Unary(_, a) => expr_covered(a, def, alias),
+        Expr::Binary(_, a, b) => expr_covered(a, def, alias) && expr_covered(b, def, alias),
+        Expr::IsCheck(_, a) => expr_covered(a, def, alias),
+        Expr::Between { expr, low, high, .. } => {
+            expr_covered(expr, def, alias)
+                && expr_covered(low, def, alias)
+                && expr_covered(high, def, alias)
+        }
+        Expr::In { expr, list, .. } => {
+            expr_covered(expr, def, alias) && expr_covered(list, def, alias)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            expr_covered(expr, def, alias) && expr_covered(pattern, def, alias)
+        }
+        Expr::CountStar => true,
+        Expr::Func { args, .. } => args.iter().all(|a| expr_covered(a, def, alias)),
+        Expr::ArrayLit(items) => items.iter().all(|i| expr_covered(i, def, alias)),
+        Expr::ObjectLit(pairs) => pairs.iter().all(|(_, v)| expr_covered(v, def, alias)),
+        Expr::Case { arms, else_ } => {
+            arms.iter().all(|(c, v)| expr_covered(c, def, alias) && expr_covered(v, def, alias))
+                && else_.as_ref().is_none_or(|e2| expr_covered(e2, def, alias))
+        }
+        // Conservative: collection predicates need the document.
+        Expr::AnyEvery { .. } | Expr::ArrayComp { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datastore::MemoryDatastore;
+    use crate::parser::parse_statement;
+
+    fn ds_with_index(defs: Vec<IndexDef>) -> MemoryDatastore {
+        let ds = MemoryDatastore::new();
+        ds.create_keyspace("b");
+        for d in defs {
+            ds.create_index(d).unwrap();
+        }
+        ds
+    }
+
+    fn plan(ds: &MemoryDatastore, q: &str) -> SelectPlan {
+        let stmt = parse_statement(q).unwrap();
+        match build_plan(ds, &stmt, &QueryOptions::default()).unwrap() {
+            QueryPlan::Select(p) => p,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_keys_wins() {
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let p = plan(&ds, "SELECT * FROM b USE KEYS 'k1' WHERE age > 5");
+        assert!(matches!(p.access, AccessPath::KeyScan { .. }));
+    }
+
+    #[test]
+    fn index_scan_with_range_pushdown() {
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let p = plan(&ds, "SELECT name FROM b WHERE age > 21 AND age <= 40");
+        match p.access {
+            AccessPath::IndexScan { index, range, covering } => {
+                assert_eq!(index.name, "age");
+                assert_eq!(range.low, Some(Value::int(21)));
+                assert!(!range.low_inclusive);
+                assert_eq!(range.high, Some(Value::int(40)));
+                assert!(range.high_inclusive);
+                assert!(!covering, "name is not in the index");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p.fetch);
+    }
+
+    #[test]
+    fn reversed_comparison_normalized() {
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let p = plan(&ds, "SELECT * FROM b WHERE 21 < age");
+        match p.access {
+            AccessPath::IndexScan { range, .. } => {
+                assert_eq!(range.low, Some(Value::int(21)));
+                assert!(!range.low_inclusive);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn covering_index_skips_fetch() {
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let p = plan(&ds, "SELECT age, META().id FROM b WHERE age >= 30");
+        match p.access {
+            AccessPath::IndexScan { covering, .. } => assert!(covering),
+            other => panic!("{other:?}"),
+        }
+        assert!(!p.fetch, "covering index avoids the Fetch operator (§5.1.2)");
+    }
+
+    #[test]
+    fn primary_index_serves_meta_id_range() {
+        // The YCSB-E query shape (§10.1.2).
+        let ds = ds_with_index(vec![IndexDef::primary("#primary", "b")]);
+        let opts = QueryOptions {
+            pos_params: vec![Value::from("user100"), Value::int(50)],
+            ..QueryOptions::default()
+        };
+        let stmt =
+            parse_statement("SELECT meta().id AS id FROM b WHERE meta().id >= $1 LIMIT $2")
+                .unwrap();
+        let QueryPlan::Select(p) = build_plan(&ds, &stmt, &opts).unwrap() else { panic!() };
+        match p.access {
+            AccessPath::IndexScan { index, range, covering } => {
+                assert!(index.primary);
+                assert_eq!(range.low, Some(Value::from("user100")));
+                assert!(covering, "meta().id is covered by the primary index");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_index_is_an_error() {
+        let ds = ds_with_index(vec![]);
+        let stmt = parse_statement("SELECT * FROM b WHERE age > 1").unwrap();
+        let err = build_plan(&ds, &stmt, &QueryOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Plan(m) if m.contains("no index available")));
+    }
+
+    #[test]
+    fn primary_scan_fallback() {
+        let ds = ds_with_index(vec![IndexDef::primary("#primary", "b")]);
+        let p = plan(&ds, "SELECT * FROM b WHERE name = 'x'");
+        // name has no index: full scan through the primary index.
+        assert!(matches!(p.access, AccessPath::PrimaryScan | AccessPath::IndexScan { .. }));
+        if let AccessPath::IndexScan { index, range, .. } = &p.access {
+            assert!(index.primary);
+            assert!(range.low.is_none() && range.high.is_none());
+            unreachable!("unbounded primary scan should be PrimaryScan");
+        }
+    }
+
+    #[test]
+    fn partial_index_requires_matching_predicate() {
+        let mut over21 = IndexDef::simple("over21", "b", "age");
+        over21.filter = vec![FilterCond {
+            path: cbs_json::parse_path("age").unwrap(),
+            op: FilterOp::Gt,
+            value: Value::int(21),
+        }];
+        let ds = ds_with_index(vec![over21, IndexDef::primary("#primary", "b")]);
+        // Query repeats the filter: index usable.
+        let p = plan(&ds, "SELECT age FROM b WHERE age > 21");
+        assert!(matches!(p.access, AccessPath::IndexScan { index, .. } if index.name == "over21"));
+        // Query that does NOT imply the filter: falls back to primary scan.
+        let p = plan(&ds, "SELECT age FROM b WHERE age > 10");
+        assert!(matches!(p.access, AccessPath::PrimaryScan));
+    }
+
+    #[test]
+    fn array_index_matches_any_predicate() {
+        let def = IndexDef {
+            keys: vec![KeyExpr::ArrayElements(cbs_json::parse_path("tags").unwrap())],
+            ..IndexDef::simple("tags", "b", "tags")
+        };
+        let ds = ds_with_index(vec![def]);
+        let p = plan(&ds, "SELECT * FROM b WHERE ANY t IN tags SATISFIES t = 'sale' END");
+        match p.access {
+            AccessPath::IndexScan { index, range, covering } => {
+                assert_eq!(index.name, "tags");
+                assert_eq!(range.low, Some(Value::from("sale")));
+                assert!(!covering);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_qualified_paths_sargable() {
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let p = plan(&ds, "SELECT p.age FROM b p WHERE p.age = 30");
+        match p.access {
+            AccessPath::IndexScan { range, covering, .. } => {
+                assert_eq!(range.low, Some(Value::int(30)));
+                assert_eq!(range.high, Some(Value::int(30)));
+                assert!(covering);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_only_select() {
+        let ds = MemoryDatastore::new();
+        let p = plan(&ds, "SELECT 1+1 AS two");
+        assert!(matches!(p.access, AccessPath::ExpressionOnly));
+    }
+}

@@ -1,0 +1,55 @@
+//! Parser robustness: arbitrary input must never panic, and structured
+//! random SELECTs must parse successfully.
+
+use cbs_n1ql::parse_statement;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Garbage in → Err or Ok, never a panic.
+    #[test]
+    fn arbitrary_strings_never_panic(s in ".*") {
+        let _ = parse_statement(&s);
+    }
+
+    /// Token soup built from N1QL vocabulary never panics either (this
+    /// exercises far more parser paths than raw unicode noise).
+    #[test]
+    fn token_soup_never_panics(words in prop::collection::vec(
+        prop_oneof![
+            Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"), Just("BY"),
+            Just("ORDER"), Just("LIMIT"), Just("JOIN"), Just("ON"), Just("KEYS"),
+            Just("USE"), Just("NEST"), Just("UNNEST"), Just("AND"), Just("OR"),
+            Just("NOT"), Just("BETWEEN"), Just("IN"), Just("LIKE"), Just("IS"),
+            Just("NULL"), Just("MISSING"), Just("CASE"), Just("WHEN"), Just("THEN"),
+            Just("END"), Just("AS"), Just("("), Just(")"), Just("["), Just("]"),
+            Just(","), Just("."), Just("*"), Just("="), Just("<"), Just(">"),
+            Just("'str'"), Just("42"), Just("3.5"), Just("$1"), Just("ident"),
+            Just("b"), Just("x"), Just("COUNT"),
+        ], 0..24)) {
+        let stmt = words.join(" ");
+        let _ = parse_statement(&stmt);
+    }
+
+    /// Structured random SELECTs always parse.
+    #[test]
+    fn generated_selects_parse(
+        cols in prop::collection::vec("c[a-z]{1,5}", 1..4),
+        ks in "k[a-z]{1,5}",
+        has_where in any::<bool>(),
+        pivot in 0i64..1000,
+        limit in proptest::option::of(0usize..100),
+        desc in any::<bool>(),
+    ) {
+        let mut q = format!("SELECT {} FROM {ks}", cols.join(", "));
+        if has_where {
+            q.push_str(&format!(" WHERE {} >= {pivot}", cols[0]));
+        }
+        q.push_str(&format!(" ORDER BY {}{}", cols[0], if desc { " DESC" } else { "" }));
+        if let Some(l) = limit {
+            q.push_str(&format!(" LIMIT {l}"));
+        }
+        prop_assert!(parse_statement(&q).is_ok(), "{q}");
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end N1QL tests: parse → plan → execute against a MemoryDatastore.
+
+use cbs_index::IndexDef;
+use cbs_json::Value;
+use cbs_n1ql::{query, Datastore, MemoryDatastore, QueryOptions};
+
+fn ds() -> MemoryDatastore {
+    let ds = MemoryDatastore::new();
+    ds.create_keyspace("profiles");
+    ds.create_keyspace("orders");
+    let profiles = [
+        ("u1", r#"{"name":"Alice","age":30,"city":"SF","tags":["admin","beta"],"order_ids":["o1","o2"]}"#),
+        ("u2", r#"{"name":"Bob","age":25,"city":"NY","tags":["beta"],"order_ids":["o3"]}"#),
+        ("u3", r#"{"name":"Carol","age":35,"city":"SF","tags":[],"order_ids":[]}"#),
+        ("u4", r#"{"name":"Dan","age":19,"city":"LA","tags":["new"],"order_ids":["o4"]}"#),
+        ("u5", r#"{"name":"Eve","age":42,"city":"SF"}"#),
+    ];
+    ds.load(
+        "profiles",
+        profiles.iter().map(|(k, v)| (k.to_string(), cbs_json::parse(v).unwrap())),
+    );
+    let orders = [
+        ("o1", r#"{"total":100,"item":"keyboard"}"#),
+        ("o2", r#"{"total":250,"item":"monitor"}"#),
+        ("o3", r#"{"total":50,"item":"mouse"}"#),
+        ("o4", r#"{"total":75,"item":"hub"}"#),
+    ];
+    ds.load("orders", orders.iter().map(|(k, v)| (k.to_string(), cbs_json::parse(v).unwrap())));
+    ds.create_index(IndexDef::primary("#primary", "profiles")).unwrap();
+    ds.create_index(IndexDef::primary("#primary_o", "orders")).unwrap();
+    ds.create_index(IndexDef::simple("age_idx", "profiles", "age")).unwrap();
+    ds
+}
+
+fn run(ds: &MemoryDatastore, q: &str) -> Vec<Value> {
+    query(ds, q, &QueryOptions::default()).unwrap_or_else(|e| panic!("{q}: {e}")).rows
+}
+
+fn names(rows: &[Value]) -> Vec<String> {
+    rows.iter()
+        .map(|r| r.get_field("name").and_then(Value::as_str).unwrap_or("?").to_string())
+        .collect()
+}
+
+#[test]
+fn use_keys_single_and_multi() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT name FROM profiles USE KEYS 'u1'");
+    assert_eq!(names(&rows), ["Alice"]);
+    let rows = run(&ds, r#"SELECT name FROM profiles USE KEYS ["u1","u3","missing"]"#);
+    assert_eq!(names(&rows), ["Alice", "Carol"]);
+}
+
+#[test]
+fn where_filter_and_order() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT name, age FROM profiles WHERE age >= 30 ORDER BY age DESC");
+    assert_eq!(names(&rows), ["Eve", "Carol", "Alice"]);
+    assert_eq!(rows[0].get_field("age"), Some(&Value::int(42)));
+}
+
+#[test]
+fn index_scan_used_and_correct() {
+    let ds = ds();
+    // EXPLAIN confirms the planner picks the age index.
+    let plan = run(&ds, "EXPLAIN SELECT name FROM profiles WHERE age > 24 AND age < 31");
+    let text = plan[0].to_json_string();
+    assert!(text.contains("IndexScan"), "{text}");
+    assert!(text.contains("age_idx"), "{text}");
+    // Results match a primary-scan evaluation of the same predicate.
+    let via_index = run(&ds, "SELECT name FROM profiles WHERE age > 24 AND age < 31 ORDER BY name");
+    let via_scan =
+        run(&ds, "SELECT name FROM profiles WHERE age+0 > 24 AND age+0 < 31 ORDER BY name");
+    assert_eq!(via_index, via_scan);
+    assert_eq!(names(&via_index), ["Alice", "Bob"]);
+}
+
+#[test]
+fn covering_index_no_fetch() {
+    let ds = ds();
+    let plan = run(&ds, "EXPLAIN SELECT age FROM profiles WHERE age >= 30");
+    let text = plan[0].to_json_string();
+    assert!(text.contains("\"covering\":true"), "{text}");
+    assert!(!text.contains("Fetch"), "covering scan needs no Fetch: {text}");
+    let rows = run(&ds, "SELECT age FROM profiles WHERE age >= 30 ORDER BY age");
+    let ages: Vec<i64> = rows.iter().map(|r| r.get_field("age").unwrap().as_i64().unwrap()).collect();
+    assert_eq!(ages, [30, 35, 42]);
+}
+
+#[test]
+fn select_star_shape() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT * FROM profiles USE KEYS 'u1'");
+    // N1QL wraps each document under its keyspace alias.
+    let doc = rows[0].get_field("profiles").expect("alias-wrapped");
+    assert_eq!(doc.get_field("name"), Some(&Value::from("Alice")));
+    // alias.* unwraps.
+    let rows = run(&ds, "SELECT p.* FROM profiles p USE KEYS 'u1'");
+    assert_eq!(rows[0].get_field("name"), Some(&Value::from("Alice")));
+}
+
+#[test]
+fn meta_id_projection() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT META().id AS id FROM profiles WHERE age > 40");
+    assert_eq!(rows[0].get_field("id"), Some(&Value::from("u5")));
+}
+
+#[test]
+fn key_join_inner_and_left() {
+    let ds = ds();
+    // Each profile joins each of its order ids (ON KEYS array).
+    let rows = run(
+        &ds,
+        "SELECT p.name, o.total FROM profiles p JOIN orders o ON KEYS p.order_ids \
+         WHERE p.city = 'SF' ORDER BY o.total",
+    );
+    // Alice: o1(100), o2(250); Carol: none; Eve: no order_ids.
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get_field("total"), Some(&Value::int(100)));
+    // LEFT OUTER keeps unmatched profiles.
+    let rows = run(
+        &ds,
+        "SELECT p.name, o.total FROM profiles p LEFT OUTER JOIN orders o ON KEYS p.order_ids \
+         WHERE p.city = 'SF' ORDER BY p.name",
+    );
+    assert_eq!(rows.len(), 4, "Alice×2 + Carol + Eve");
+    let carol = rows.iter().find(|r| r.get_field("name") == Some(&Value::from("Carol"))).unwrap();
+    assert_eq!(carol.get_field("total"), None, "no order: total MISSING");
+}
+
+#[test]
+fn nest_collects_inner_docs() {
+    let ds = ds();
+    let rows = run(
+        &ds,
+        "SELECT p.name, orders_nested FROM profiles p \
+         NEST orders orders_nested ON KEYS p.order_ids \
+         WHERE p.name = 'Alice'",
+    );
+    assert_eq!(rows.len(), 1);
+    let nested = rows[0].get_field("orders_nested").unwrap().as_array().unwrap();
+    assert_eq!(nested.len(), 2, "both of Alice's orders nested into one array");
+}
+
+#[test]
+fn unnest_flattens() {
+    let ds = ds();
+    // The paper's §3.2.3 UNNEST example shape.
+    let rows = run(
+        &ds,
+        "SELECT DISTINCT tag FROM profiles UNNEST profiles.tags AS tag ORDER BY tag",
+    );
+    let tags: Vec<&str> = rows.iter().map(|r| r.get_field("tag").unwrap().as_str().unwrap()).collect();
+    assert_eq!(tags, ["admin", "beta", "new"]);
+}
+
+#[test]
+fn group_by_aggregates() {
+    let ds = ds();
+    let rows = run(
+        &ds,
+        "SELECT city, COUNT(*) AS n, AVG(age) AS avg_age, MIN(age) AS lo, MAX(age) AS hi \
+         FROM profiles GROUP BY city ORDER BY city",
+    );
+    assert_eq!(rows.len(), 3); // LA, NY, SF
+    let sf = &rows[2];
+    assert_eq!(sf.get_field("city"), Some(&Value::from("SF")));
+    assert_eq!(sf.get_field("n"), Some(&Value::int(3)));
+    assert_eq!(sf.get_field("lo"), Some(&Value::int(30)));
+    assert_eq!(sf.get_field("hi"), Some(&Value::int(42)));
+}
+
+#[test]
+fn having_filters_groups() {
+    let ds = ds();
+    let rows = run(
+        &ds,
+        "SELECT city, COUNT(*) AS n FROM profiles GROUP BY city HAVING COUNT(*) > 1",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get_field("city"), Some(&Value::from("SF")));
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT COUNT(*) AS total, SUM(age) AS sum_age FROM profiles");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get_field("total"), Some(&Value::int(5)));
+    assert_eq!(rows[0].get_field("sum_age"), Some(&Value::int(151)));
+    // Empty input still yields one row with COUNT 0.
+    let rows = run(&ds, "SELECT COUNT(*) AS n FROM profiles WHERE age > 1000");
+    assert_eq!(rows[0].get_field("n"), Some(&Value::int(0)));
+}
+
+#[test]
+fn count_distinct() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT COUNT(DISTINCT city) AS cities FROM profiles");
+    assert_eq!(rows[0].get_field("cities"), Some(&Value::int(3)));
+}
+
+#[test]
+fn limit_offset_pagination() {
+    let ds = ds();
+    let all = run(&ds, "SELECT name FROM profiles ORDER BY name");
+    let page2 = run(&ds, "SELECT name FROM profiles ORDER BY name LIMIT 2 OFFSET 2");
+    assert_eq!(names(&page2), names(&all)[2..4].to_vec());
+}
+
+#[test]
+fn parameters_positional_and_named() {
+    let ds = ds();
+    let mut opts = QueryOptions::with_args(vec![Value::int(28)]);
+    opts.named_params.insert("city".to_string(), Value::from("SF"));
+    let rows = query(
+        &ds,
+        "SELECT name FROM profiles WHERE age > $1 AND city = $city ORDER BY name",
+        &opts,
+    )
+    .unwrap()
+    .rows;
+    assert_eq!(names(&rows), ["Alice", "Carol", "Eve"]);
+}
+
+#[test]
+fn ycsb_workload_e_query() {
+    // The appendix's exact workload E query (§10.1.2).
+    let ds = ds();
+    let opts = QueryOptions::with_args(vec![Value::from("u2"), Value::int(3)]);
+    let res = query(
+        &ds,
+        "SELECT meta().id AS id FROM profiles WHERE meta().id >= $1 LIMIT $2",
+        &opts,
+    )
+    .unwrap();
+    let ids: Vec<&str> =
+        res.rows.iter().map(|r| r.get_field("id").unwrap().as_str().unwrap()).collect();
+    assert_eq!(ids, ["u2", "u3", "u4"]);
+    // Covered by the primary index: zero document fetches.
+    assert_eq!(res.metrics.fetches, 0);
+}
+
+#[test]
+fn dml_roundtrip() {
+    let ds = ds();
+    // INSERT.
+    let res = query(
+        &ds,
+        r#"INSERT INTO profiles (KEY, VALUE) VALUES ("u9", {"name":"Zoe","age":28,"city":"NY"})"#,
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(res.metrics.mutation_count, 1);
+    // Duplicate INSERT fails; UPSERT succeeds.
+    assert!(query(
+        &ds,
+        r#"INSERT INTO profiles (KEY, VALUE) VALUES ("u9", {})"#,
+        &QueryOptions::default()
+    )
+    .is_err());
+    query(
+        &ds,
+        r#"UPSERT INTO profiles (KEY, VALUE) VALUES ("u9", {"name":"Zoe","age":29,"city":"NY"})"#,
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    // UPDATE with sub-document SET (§3.2.2).
+    let res = query(
+        &ds,
+        "UPDATE profiles USE KEYS 'u9' SET age = 30, extra.verified = true UNSET city",
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(res.metrics.mutation_count, 1);
+    let rows = run(&ds, "SELECT p.* FROM profiles p USE KEYS 'u9'");
+    assert_eq!(rows[0].get_field("age"), Some(&Value::int(30)));
+    assert_eq!(
+        rows[0].get_field("extra").unwrap().get_field("verified"),
+        Some(&Value::Bool(true))
+    );
+    assert_eq!(rows[0].get_field("city"), None);
+    // UPDATE ... WHERE over a scan.
+    let res = query(
+        &ds,
+        "UPDATE profiles SET senior = true WHERE age >= 35",
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(res.metrics.mutation_count, 2); // Carol, Eve
+    // DELETE.
+    let res =
+        query(&ds, "DELETE FROM profiles WHERE age < 20", &QueryOptions::default()).unwrap();
+    assert_eq!(res.metrics.mutation_count, 1); // Dan
+    assert!(run(&ds, "SELECT name FROM profiles WHERE name = 'Dan'").is_empty());
+}
+
+#[test]
+fn ddl_via_n1ql() {
+    let ds = ds();
+    // The paper's §3.3.4 selective index.
+    query(
+        &ds,
+        "CREATE INDEX over21 ON profiles(age) WHERE age > 21 USING GSI",
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    assert!(ds.list_indexes("profiles").iter().any(|d| d.name == "over21"));
+    // Deferred build flow (§3.3.3).
+    query(
+        &ds,
+        r#"CREATE INDEX by_city ON profiles(city) WITH {"defer_build": true}"#,
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    assert!(!ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"), "deferred: not online");
+    query(&ds, "BUILD INDEX ON profiles(by_city)", &QueryOptions::default()).unwrap();
+    assert!(ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"));
+    query(&ds, "DROP INDEX profiles.by_city", &QueryOptions::default()).unwrap();
+    assert!(!ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"));
+}
+
+#[test]
+fn array_predicates() {
+    let ds = ds();
+    let rows = run(
+        &ds,
+        "SELECT name FROM profiles WHERE ANY t IN tags SATISFIES t = 'beta' END ORDER BY name",
+    );
+    assert_eq!(names(&rows), ["Alice", "Bob"]);
+}
+
+#[test]
+fn expression_only_select() {
+    let ds = MemoryDatastore::new();
+    let rows = run(&ds, "SELECT 1 + 2 * 3 AS x, 'hi' || ' there' AS s");
+    assert_eq!(rows[0].get_field("x"), Some(&Value::int(7)));
+    assert_eq!(rows[0].get_field("s"), Some(&Value::from("hi there")));
+}
+
+#[test]
+fn missing_fields_omitted_from_projection() {
+    let ds = ds();
+    // u5 (Eve) has no tags field.
+    let rows = run(&ds, "SELECT name, tags FROM profiles WHERE age > 40");
+    assert_eq!(rows[0].get_field("name"), Some(&Value::from("Eve")));
+    assert_eq!(rows[0].get_field("tags"), None);
+}
+
+#[test]
+fn distinct_rows() {
+    let ds = ds();
+    let rows = run(&ds, "SELECT DISTINCT city FROM profiles ORDER BY city");
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn explain_shows_pipeline() {
+    let ds = ds();
+    let plan = run(
+        &ds,
+        "EXPLAIN SELECT city, COUNT(*) FROM profiles WHERE age > 20 GROUP BY city ORDER BY city LIMIT 5",
+    );
+    let text = plan[0].to_json_string();
+    for op in ["IndexScan", "Filter", "Group", "Sort", "Limit", "FinalProject"] {
+        assert!(text.contains(op), "missing {op} in {text}");
+    }
+}
+
+#[test]
+fn errors_are_informative() {
+    let ds = ds();
+    assert!(query(&ds, "SELECT * FROM nope", &QueryOptions::default()).is_err());
+    assert!(query(&ds, "SELECT * FROM", &QueryOptions::default()).is_err());
+    // No index: keyspace without primary index rejects scans.
+    ds.create_keyspace("bare");
+    let err = query(&ds, "SELECT * FROM bare", &QueryOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("no index available"));
+    // But USE KEYS works without any index (§5.1.1).
+    assert!(query(&ds, "SELECT * FROM bare USE KEYS 'x'", &QueryOptions::default()).is_ok());
+}
+
+#[test]
+fn case_and_string_functions_in_queries() {
+    let ds = ds();
+    let rows = run(
+        &ds,
+        "SELECT name, CASE WHEN age >= 35 THEN 'senior' ELSE 'junior' END AS tier, \
+         UPPER(city) AS loc FROM profiles WHERE name = 'Carol'",
+    );
+    assert_eq!(rows[0].get_field("tier"), Some(&Value::from("senior")));
+    assert_eq!(rows[0].get_field("loc"), Some(&Value::from("SF")));
+}

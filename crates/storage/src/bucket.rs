@@ -1,0 +1,137 @@
+//! Bucket-level storage: a directory of per-vBucket log files.
+//!
+//! A node's data service holds one [`BucketStore`] per Couchbase bucket,
+//! containing only the vBuckets this node currently hosts (active or
+//! replica). Stores are created lazily on first write and dropped when a
+//! vBucket is handed off during rebalance.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cbs_common::{Result, VbId};
+use parking_lot::RwLock;
+
+use crate::vbstore::VBucketStore;
+
+/// Storage for all vBuckets of one bucket hosted on one node.
+pub struct BucketStore {
+    dir: PathBuf,
+    stores: RwLock<HashMap<VbId, Arc<VBucketStore>>>,
+}
+
+impl BucketStore {
+    /// Open a bucket store rooted at `dir` (created if absent). Existing
+    /// vBucket files are *not* eagerly opened; call [`BucketStore::vb`] to
+    /// open/recover individual vBuckets.
+    pub fn open(dir: PathBuf) -> Result<BucketStore> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(BucketStore { dir, stores: RwLock::new(HashMap::new()) })
+    }
+
+    /// Directory backing this bucket.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Get (opening if needed) the store for a vBucket.
+    pub fn vb(&self, vb: VbId) -> Result<Arc<VBucketStore>> {
+        if let Some(s) = self.stores.read().get(&vb) {
+            return Ok(Arc::clone(s));
+        }
+        let mut w = self.stores.write();
+        // Double-checked: another thread may have opened it meanwhile.
+        if let Some(s) = w.get(&vb) {
+            return Ok(Arc::clone(s));
+        }
+        let store = Arc::new(VBucketStore::open(&self.dir, vb)?);
+        w.insert(vb, Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Drop a vBucket's store and delete its file (rebalance hand-off:
+    /// the paper's *dead* state — "this server is not in any way
+    /// responsible for this partition").
+    pub fn drop_vb(&self, vb: VbId) -> Result<()> {
+        self.stores.write().remove(&vb);
+        let path = self.dir.join(format!("vb_{}.couch", vb.0));
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// vBuckets currently open.
+    pub fn open_vbs(&self) -> Vec<VbId> {
+        let mut v: Vec<VbId> = self.stores.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Run `maybe_compact` on every open vBucket; returns how many compacted.
+    pub fn compact_all(&self, threshold: f64) -> Result<usize> {
+        let stores: Vec<Arc<VBucketStore>> =
+            self.stores.read().values().map(Arc::clone).collect();
+        let mut n = 0;
+        for s in stores {
+            if s.maybe_compact(threshold)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DocMeta, StoredDoc};
+    use crate::scratch_dir;
+    use bytes::Bytes;
+    use cbs_common::SeqNo;
+
+    fn doc(key: &str, seq: u64) -> StoredDoc {
+        StoredDoc {
+            key: key.to_string(),
+            meta: DocMeta { seqno: SeqNo(seq), ..Default::default() },
+            deleted: false,
+            value: Bytes::from_static(b"{}"),
+        }
+    }
+
+    #[test]
+    fn lazy_open_and_reuse() {
+        let bs = BucketStore::open(scratch_dir("bucket")).unwrap();
+        assert!(bs.open_vbs().is_empty());
+        let s1 = bs.vb(VbId(3)).unwrap();
+        let s2 = bs.vb(VbId(3)).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "same vb yields same store");
+        s1.persist(&doc("k", 1)).unwrap();
+        assert_eq!(bs.open_vbs(), vec![VbId(3)]);
+    }
+
+    #[test]
+    fn drop_vb_removes_file() {
+        let dir = scratch_dir("bucket");
+        let bs = BucketStore::open(dir.clone()).unwrap();
+        bs.vb(VbId(7)).unwrap().persist(&doc("k", 1)).unwrap();
+        assert!(dir.join("vb_7.couch").exists());
+        bs.drop_vb(VbId(7)).unwrap();
+        assert!(!dir.join("vb_7.couch").exists());
+        // Re-opening starts empty.
+        let s = bs.vb(VbId(7)).unwrap();
+        assert!(s.get("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn compact_all_counts() {
+        let bs = BucketStore::open(scratch_dir("bucket")).unwrap();
+        let s = bs.vb(VbId(0)).unwrap();
+        for i in 0..50 {
+            s.persist(&doc("same-key", i + 1)).unwrap();
+        }
+        let fresh = bs.vb(VbId(1)).unwrap();
+        fresh.persist(&doc("only", 1)).unwrap();
+        assert_eq!(bs.compact_all(0.5).unwrap(), 1, "only the fragmented vb compacts");
+    }
+}

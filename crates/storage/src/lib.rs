@@ -1,0 +1,53 @@
+//! Append-only storage engine (the paper's §4.3.3 "Storage Engine").
+//!
+//! "With Couchbase's append-only storage engine design, document mutations
+//! always go to the end of a file. [...] This improves disk write
+//! performance, as all updates are written sequentially. Compaction is
+//! periodically run, based on a fragmentation threshold, and while the
+//! system is online, to clean up stale data from the append-only storage."
+//!
+//! This crate reproduces that design, couchstore-style:
+//!
+//! - one append-only log file per vBucket ([`VBucketStore`]), records
+//!   CRC32-checksummed ([`record`]);
+//! - an in-memory **by-id** index (key → latest record) and **by-seqno**
+//!   index (seqno → record offset) rebuilt by scanning the log on open —
+//!   crash recovery truncates at the first torn/corrupt record, recovering
+//!   exactly the durable prefix;
+//! - online **compaction** when the fragmentation ratio (stale bytes / file
+//!   bytes) crosses a threshold: live records are rewritten to a fresh file
+//!   which atomically replaces the old one;
+//! - by-seqno range reads, which are the backfill source for DCP streams.
+//!
+//! [`BucketStore`] aggregates per-vBucket stores under one directory.
+
+pub mod bucket;
+pub mod record;
+pub mod vbstore;
+
+pub use bucket::BucketStore;
+pub use record::{DocMeta, StoredDoc};
+pub use vbstore::{StoreStats, VBucketStore};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Create a unique scratch directory for tests and benches. (We avoid the
+/// `tempfile` crate to stay within the approved dependency set; callers are
+/// responsible for cleanup, though the OS temp dir makes leaks harmless.)
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cbs-{}-{}-{}-{}",
+        tag,
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

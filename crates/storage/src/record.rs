@@ -1,0 +1,232 @@
+//! On-disk record format.
+//!
+//! Every mutation (set or delete) appends one record:
+//!
+//! ```text
+//! +--------+--------+---------+---------------------------+
+//! | magic  | crc32  | paylen  |  payload (paylen bytes)   |
+//! | u8     | u32 LE | u32 LE  |                           |
+//! +--------+--------+---------+---------------------------+
+//!
+//! payload:
+//!   seqno u64 | cas u64 | rev u64 | flags u32 | expiry u32 |
+//!   deleted u8 | key_len u16 | key bytes | value bytes
+//! ```
+//!
+//! The CRC covers the payload, so a torn write (power loss mid-append) is
+//! detected on open and the log is truncated back to the last intact
+//! record — the recovery contract the paper's asynchronous-persistence
+//! design depends on: everything acknowledged as *persisted* survives.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cbs_common::{crc32, Cas, Error, Result, RevNo, SeqNo};
+
+pub use cbs_common::DocMeta;
+
+/// Record magic byte — cheap misalignment detection during recovery scans.
+pub const RECORD_MAGIC: u8 = 0xC5;
+
+/// Fixed header length: magic + crc + payload length.
+pub const HEADER_LEN: usize = 1 + 4 + 4;
+
+/// A fully decoded record: a document version (or tombstone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDoc {
+    /// Document ID.
+    pub key: String,
+    /// Metadata.
+    pub meta: DocMeta,
+    /// True for deletion tombstones (value is empty).
+    pub deleted: bool,
+    /// Compact JSON bytes of the document body.
+    pub value: Bytes,
+}
+
+impl StoredDoc {
+    /// Total on-disk footprint of this record, including header.
+    pub fn disk_size(&self) -> u64 {
+        (HEADER_LEN + payload_len(&self.key, &self.value)) as u64
+    }
+}
+
+fn payload_len(key: &str, value: &[u8]) -> usize {
+    8 + 8 + 8 + 4 + 4 + 1 + 2 + key.len() + value.len()
+}
+
+/// Encode a record into `out`. Returns the number of bytes written.
+pub fn encode_record(doc: &StoredDoc, out: &mut BytesMut) -> usize {
+    let plen = payload_len(&doc.key, &doc.value);
+    out.reserve(HEADER_LEN + plen);
+    let mut payload = BytesMut::with_capacity(plen);
+    payload.put_u64_le(doc.meta.seqno.0);
+    payload.put_u64_le(doc.meta.cas.0);
+    payload.put_u64_le(doc.meta.rev.0);
+    payload.put_u32_le(doc.meta.flags);
+    payload.put_u32_le(doc.meta.expiry);
+    payload.put_u8(doc.deleted as u8);
+    payload.put_u16_le(doc.key.len() as u16);
+    payload.put_slice(doc.key.as_bytes());
+    payload.put_slice(&doc.value);
+    debug_assert_eq!(payload.len(), plen);
+
+    out.put_u8(RECORD_MAGIC);
+    out.put_u32_le(crc32(&payload));
+    out.put_u32_le(plen as u32);
+    out.put_slice(&payload);
+    HEADER_LEN + plen
+}
+
+/// Outcome of attempting to decode one record from a buffer.
+#[derive(Debug)]
+pub enum DecodeOutcome {
+    /// A record was decoded, consuming `consumed` bytes.
+    Record { doc: StoredDoc, consumed: usize },
+    /// The buffer ends mid-record (torn tail): recovery stops here.
+    Incomplete,
+    /// The bytes at the cursor are not a valid record (corruption).
+    Corrupt(String),
+}
+
+/// Try to decode one record from the front of `buf`.
+pub fn decode_record(buf: &[u8]) -> DecodeOutcome {
+    if buf.is_empty() {
+        return DecodeOutcome::Incomplete;
+    }
+    if buf[0] != RECORD_MAGIC {
+        return DecodeOutcome::Corrupt(format!("bad magic byte {:#x}", buf[0]));
+    }
+    if buf.len() < HEADER_LEN {
+        return DecodeOutcome::Incomplete;
+    }
+    let mut hdr = &buf[1..HEADER_LEN];
+    let crc = hdr.get_u32_le();
+    let plen = hdr.get_u32_le() as usize;
+    if !(35..=64 * 1024 * 1024).contains(&plen) {
+        return DecodeOutcome::Corrupt(format!("implausible payload length {plen}"));
+    }
+    if buf.len() < HEADER_LEN + plen {
+        return DecodeOutcome::Incomplete;
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + plen];
+    if crc32(payload) != crc {
+        return DecodeOutcome::Corrupt("payload checksum mismatch".to_string());
+    }
+    let mut p = payload;
+    let seqno = SeqNo(p.get_u64_le());
+    let cas = Cas(p.get_u64_le());
+    let rev = RevNo(p.get_u64_le());
+    let flags = p.get_u32_le();
+    let expiry = p.get_u32_le();
+    let deleted = p.get_u8() != 0;
+    let key_len = p.get_u16_le() as usize;
+    if p.remaining() < key_len {
+        return DecodeOutcome::Corrupt("key length exceeds payload".to_string());
+    }
+    let key = match std::str::from_utf8(&p[..key_len]) {
+        Ok(s) => s.to_string(),
+        Err(_) => return DecodeOutcome::Corrupt("key is not utf-8".to_string()),
+    };
+    p.advance(key_len);
+    let value = Bytes::copy_from_slice(p);
+    DecodeOutcome::Record {
+        doc: StoredDoc {
+            key,
+            meta: DocMeta { seqno, cas, rev, flags, expiry },
+            deleted,
+            value,
+        },
+        consumed: HEADER_LEN + plen,
+    }
+}
+
+/// Decode exactly one record or fail (used for random-access point reads at
+/// known offsets, where torn records are impossible).
+pub fn decode_record_strict(buf: &[u8]) -> Result<StoredDoc> {
+    match decode_record(buf) {
+        DecodeOutcome::Record { doc, .. } => Ok(doc),
+        DecodeOutcome::Incomplete => Err(Error::Storage("truncated record".to_string())),
+        DecodeOutcome::Corrupt(m) => Err(Error::Storage(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str, value: &str, seq: u64) -> StoredDoc {
+        StoredDoc {
+            key: key.to_string(),
+            meta: DocMeta {
+                seqno: SeqNo(seq),
+                cas: Cas(seq * 1000 + 1),
+                rev: RevNo(seq),
+                flags: 0xDEAD,
+                expiry: 0,
+            },
+            deleted: false,
+            value: Bytes::copy_from_slice(value.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = sample("user::1", r#"{"name":"d"}"#, 7);
+        let mut buf = BytesMut::new();
+        let n = encode_record(&doc, &mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n as u64, doc.disk_size());
+        match decode_record(&buf) {
+            DecodeOutcome::Record { doc: got, consumed } => {
+                assert_eq!(got, doc);
+                assert_eq!(consumed, n);
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let mut doc = sample("gone", "", 9);
+        doc.deleted = true;
+        let mut buf = BytesMut::new();
+        encode_record(&doc, &mut buf);
+        let got = decode_record_strict(&buf).unwrap();
+        assert!(got.deleted);
+        assert!(got.value.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_incomplete_not_corrupt() {
+        let doc = sample("k", r#"{"v":1}"#, 1);
+        let mut buf = BytesMut::new();
+        let n = encode_record(&doc, &mut buf);
+        for cut in [1usize, HEADER_LEN - 1, HEADER_LEN, n - 1] {
+            match decode_record(&buf[..cut]) {
+                DecodeOutcome::Incomplete => {}
+                other => panic!("cut at {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_detected() {
+        let doc = sample("k", r#"{"v":1}"#, 1);
+        let mut buf = BytesMut::new();
+        encode_record(&doc, &mut buf);
+        let mut bytes = buf.to_vec();
+        // Flip a payload byte.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(decode_record(&bytes), DecodeOutcome::Corrupt(_)));
+        // Bad magic.
+        let mut bytes2 = buf.to_vec();
+        bytes2[0] = 0x00;
+        assert!(matches!(decode_record(&bytes2), DecodeOutcome::Corrupt(_)));
+    }
+
+    #[test]
+    fn strict_decode_errors() {
+        assert!(decode_record_strict(&[]).is_err());
+        assert!(decode_record_strict(&[0x42]).is_err());
+    }
+}

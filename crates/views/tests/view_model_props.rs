@@ -1,0 +1,123 @@
+//! Property test: a view query result always equals the naive
+//! "map over all live documents, sort, reduce" computation.
+
+use std::sync::Arc;
+
+use cbs_common::Cas;
+use cbs_json::Value;
+use cbs_kv::{DataEngine, EngineConfig, MutateMode};
+use cbs_views::{
+    DesignDoc, MapExpr, MapFn, Reducer, Stale, ViewDef, ViewEngine, ViewQuery,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, group: u8, amount: i64 },
+    Del { key: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 0u8..5, -100i64..100)
+                .prop_map(|(key, group, amount)| Op::Put { key: key % 30, group, amount }),
+            any::<u8>().prop_map(|key| Op::Del { key: key % 30 }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn view_matches_naive_map_reduce(ops in arb_ops()) {
+        let engine = DataEngine::new(EngineConfig::for_test(8)).unwrap();
+        engine.activate_all();
+        let ve = ViewEngine::new(Arc::clone(&engine));
+        ve.create_design_doc(DesignDoc {
+            name: "dd".to_string(),
+            views: vec![(
+                "by_group".to_string(),
+                ViewDef {
+                    map: MapFn {
+                        when: vec![],
+                        key: MapExpr::field("group"),
+                        value: Some(MapExpr::field("amount")),
+                    },
+                    reduce: Some(Reducer::Sum),
+                },
+            )],
+        })
+        .unwrap();
+
+        // Model: key → (group, amount) for live docs.
+        let mut model: std::collections::BTreeMap<String, (i64, i64)> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Put { key, group, amount } => {
+                    let k = format!("k{key}");
+                    engine
+                        .set(
+                            &k,
+                            Value::object([
+                                ("group", Value::int(*group as i64)),
+                                ("amount", Value::int(*amount)),
+                            ]),
+                            MutateMode::Upsert,
+                            Cas::WILDCARD,
+                            0,
+                        )
+                        .unwrap();
+                    model.insert(k, (*group as i64, *amount));
+                }
+                Op::Del { key } => {
+                    let k = format!("k{key}");
+                    if model.remove(&k).is_some() {
+                        engine.delete(&k, Cas::WILDCARD).unwrap();
+                    }
+                }
+            }
+        }
+
+        // Row query (stale=false): one row per live doc, in (key, doc) order.
+        let rows = ve
+            .query("dd", "by_group", &ViewQuery { stale: Stale::False, ..Default::default() })
+            .unwrap();
+        prop_assert_eq!(rows.rows.len(), model.len());
+        let mut expected: Vec<(i64, String, i64)> =
+            model.iter().map(|(k, (g, a))| (*g, k.clone(), *a)).collect();
+        expected.sort();
+        let got: Vec<(i64, String, i64)> = rows
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.key.as_i64().unwrap(),
+                    r.id.clone().unwrap(),
+                    r.value.as_i64().unwrap(),
+                )
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        // Grouped reduce equals the model's per-group sums.
+        let reduced = ve
+            .query(
+                "dd",
+                "by_group",
+                &ViewQuery { stale: Stale::False, reduce: true, group: true, ..Default::default() },
+            )
+            .unwrap();
+        let mut sums: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (g, a) in model.values() {
+            *sums.entry(*g).or_default() += a;
+        }
+        prop_assert_eq!(reduced.rows.len(), sums.len());
+        for row in &reduced.rows {
+            let g = row.key.as_i64().unwrap();
+            prop_assert_eq!(row.value.as_i64().unwrap(), sums[&g], "group {}", g);
+        }
+    }
+}

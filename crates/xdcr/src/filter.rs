@@ -1,0 +1,233 @@
+//! Key filtering for filtered XDCR (§4.6: replication "can be done [...]
+//! even within a bucket by using filtered replication (based on a regular
+//! expression on the document ID, i.e., primary key, string)").
+//!
+//! A small self-contained regex engine (no external crates): literals,
+//! `.`, `*`, `+`, `?`, `^`, `$`, character classes `[a-z]`/`[^...]`, and
+//! alternation-free grouping is intentionally omitted — XDCR key filters
+//! in practice are prefix/suffix/substring patterns, all expressible here.
+//! Matching is unanchored unless `^`/`$` are used (standard `grep`
+//! semantics).
+
+/// A compiled key filter.
+#[derive(Debug, Clone)]
+pub struct KeyFilter {
+    tokens: Vec<Token>,
+    anchored_start: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Atom {
+    Char(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    End,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    One(Atom),
+    ZeroOrMore(Atom),
+    OneOrMore(Atom),
+    ZeroOrOne(Atom),
+}
+
+impl KeyFilter {
+    /// Compile a pattern.
+    pub fn compile(pattern: &str) -> Result<KeyFilter, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            pos = 1;
+        }
+        let mut atoms: Vec<Token> = Vec::new();
+        while pos < chars.len() {
+            let atom = match chars[pos] {
+                '.' => {
+                    pos += 1;
+                    Atom::Any
+                }
+                '$' if pos + 1 == chars.len() => {
+                    pos += 1;
+                    Atom::End
+                }
+                '[' => {
+                    pos += 1;
+                    let negated = chars.get(pos) == Some(&'^');
+                    if negated {
+                        pos += 1;
+                    }
+                    let mut ranges = Vec::new();
+                    while pos < chars.len() && chars[pos] != ']' {
+                        let lo = chars[pos];
+                        if chars.get(pos + 1) == Some(&'-')
+                            && pos + 2 < chars.len()
+                            && chars[pos + 2] != ']'
+                        {
+                            ranges.push((lo, chars[pos + 2]));
+                            pos += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            pos += 1;
+                        }
+                    }
+                    if pos >= chars.len() {
+                        return Err("unterminated character class".to_string());
+                    }
+                    pos += 1; // ']'
+                    Atom::Class { negated, ranges }
+                }
+                '\\' => {
+                    pos += 1;
+                    let c = *chars.get(pos).ok_or("trailing backslash")?;
+                    pos += 1;
+                    Atom::Char(c)
+                }
+                '*' | '+' | '?' => return Err(format!("dangling '{}'", chars[pos])),
+                c => {
+                    pos += 1;
+                    Atom::Char(c)
+                }
+            };
+            // Quantifier?
+            let token = match chars.get(pos) {
+                Some('*') if atom != Atom::End => {
+                    pos += 1;
+                    Token::ZeroOrMore(atom)
+                }
+                Some('+') if atom != Atom::End => {
+                    pos += 1;
+                    Token::OneOrMore(atom)
+                }
+                Some('?') if atom != Atom::End => {
+                    pos += 1;
+                    Token::ZeroOrOne(atom)
+                }
+                _ => Token::One(atom),
+            };
+            atoms.push(token);
+        }
+        Ok(KeyFilter { tokens: atoms, anchored_start })
+    }
+
+    /// Does the key match?
+    pub fn matches(&self, key: &str) -> bool {
+        let chars: Vec<char> = key.chars().collect();
+        if self.anchored_start {
+            return match_here(&self.tokens, &chars, 0);
+        }
+        (0..=chars.len()).any(|start| match_here(&self.tokens, &chars, start))
+    }
+}
+
+fn atom_matches(a: &Atom, c: char) -> bool {
+    match a {
+        Atom::Char(x) => *x == c,
+        Atom::Any => true,
+        Atom::Class { negated, ranges } => {
+            let inside = ranges.iter().any(|(lo, hi)| c >= *lo && c <= *hi);
+            inside != *negated
+        }
+        Atom::End => false,
+    }
+}
+
+fn match_here(tokens: &[Token], chars: &[char], pos: usize) -> bool {
+    let Some(tok) = tokens.first() else { return true };
+    match tok {
+        Token::One(Atom::End) => pos == chars.len() && tokens.len() == 1,
+        Token::One(a) => {
+            pos < chars.len()
+                && atom_matches(a, chars[pos])
+                && match_here(&tokens[1..], chars, pos + 1)
+        }
+        Token::ZeroOrOne(a) => {
+            (pos < chars.len()
+                && atom_matches(a, chars[pos])
+                && match_here(&tokens[1..], chars, pos + 1))
+                || match_here(&tokens[1..], chars, pos)
+        }
+        Token::OneOrMore(a) => {
+            pos < chars.len()
+                && atom_matches(a, chars[pos])
+                && match_star(a, &tokens[1..], chars, pos + 1)
+        }
+        Token::ZeroOrMore(a) => match_star(a, &tokens[1..], chars, pos),
+    }
+}
+
+fn match_star(a: &Atom, rest: &[Token], chars: &[char], pos: usize) -> bool {
+    let mut p = pos;
+    loop {
+        if match_here(rest, chars, p) {
+            return true;
+        }
+        if p < chars.len() && atom_matches(a, chars[p]) {
+            p += 1;
+        } else {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        KeyFilter::compile(pat).unwrap().matches(s)
+    }
+
+    #[test]
+    fn literals_unanchored() {
+        assert!(m("order", "order::123"));
+        assert!(m("order", "eu::order::1"));
+        assert!(!m("order", "user::123"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^user::", "user::42"));
+        assert!(!m("^user::", "eu::user::42"));
+        assert!(m("42$", "user::42"));
+        assert!(!m("42$", "user::420"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn wildcards_and_quantifiers() {
+        assert!(m("^user::.*::eu$", "user::99::eu"));
+        assert!(m("a.c", "xxabcx"));
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("^doc[0-9]+$", "doc42"));
+        assert!(!m("^doc[0-9]+$", "docx"));
+        assert!(m("[^a-z]", "ABC"));
+        assert!(!m("^[^a-z]+$", "abc"));
+        assert!(m("[abc]x", "bx"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"^a\.b$", "a.b"));
+        assert!(!m(r"^a\.b$", "axb"));
+        assert!(m(r"\*", "a*b"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(KeyFilter::compile("[abc").is_err());
+        assert!(KeyFilter::compile("*x").is_err());
+        assert!(KeyFilter::compile("x\\").is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! YCSB request-distribution generators.
+//!
+//! Ports of the generators in the original YCSB core: uniform, zipfian
+//! (the Gray et al. "Quickly generating billion-record synthetic
+//! databases" algorithm with θ = 0.99), scrambled zipfian (zipfian over a
+//! hashed key space, so the hot keys are spread out), and latest (zipfian
+//! over recency, for insert-heavy workloads).
+
+use rand::Rng;
+
+/// FNV-64 hash used by YCSB's scrambled zipfian.
+pub fn fnv64(mut x: u64) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for _ in 0..8 {
+        let octet = x & 0xFF;
+        x >>= 8;
+        hash ^= octet;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A request-key generator over `0..n`.
+pub trait Generator: Send {
+    /// Next item index.
+    fn next(&mut self, rng: &mut dyn rand::RngCore) -> u64;
+    /// Grow the item space (after inserts).
+    fn set_count(&mut self, n: u64);
+}
+
+/// Uniform over `0..n`.
+pub struct UniformGen {
+    n: u64,
+}
+
+impl UniformGen {
+    /// Uniform over `0..n`.
+    pub fn new(n: u64) -> UniformGen {
+        assert!(n > 0);
+        UniformGen { n }
+    }
+}
+
+impl Generator for UniformGen {
+    fn next(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+
+    fn set_count(&mut self, n: u64) {
+        self.n = n.max(1);
+    }
+}
+
+/// The YCSB zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Zipfian over `0..n` with θ = 0.99 (item 0 is the hottest).
+pub struct ZipfianGen {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfianGen {
+    /// Standard YCSB zipfian.
+    pub fn new(items: u64) -> ZipfianGen {
+        Self::with_theta(items, ZIPFIAN_CONSTANT)
+    }
+
+    /// Custom skew.
+    pub fn with_theta(items: u64, theta: f64) -> ZipfianGen {
+        assert!(items > 0);
+        let zeta_n = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        ZipfianGen { items, theta, zeta_n, zeta2, alpha, eta }
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum; cached per construction. Fine up to ~10M items.
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Generator for ZipfianGen {
+    fn next(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.items as f64) * spread) as u64
+    }
+
+    fn set_count(&mut self, n: u64) {
+        if n != self.items {
+            // Incremental zeta update (YCSB does the same).
+            if n > self.items {
+                self.zeta_n += ((self.items + 1)..=n)
+                    .map(|i| 1.0 / (i as f64).powf(self.theta))
+                    .sum::<f64>();
+            } else {
+                self.zeta_n = zeta(n, self.theta);
+            }
+            self.items = n;
+            self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
+                / (1.0 - self.zeta2 / self.zeta_n);
+        }
+    }
+}
+
+/// Zipfian popularity spread over a hashed key space, so consecutive keys
+/// are not all hot (the default for YCSB reads).
+pub struct ScrambledZipfianGen {
+    inner: ZipfianGen,
+    n: u64,
+}
+
+impl ScrambledZipfianGen {
+    /// Scrambled zipfian over `0..n`.
+    pub fn new(n: u64) -> ScrambledZipfianGen {
+        ScrambledZipfianGen { inner: ZipfianGen::new(n), n }
+    }
+}
+
+impl Generator for ScrambledZipfianGen {
+    fn next(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let z = self.inner.next(rng);
+        fnv64(z) % self.n
+    }
+
+    fn set_count(&mut self, n: u64) {
+        self.n = n.max(1);
+        self.inner.set_count(self.n);
+    }
+}
+
+/// "Latest": zipfian over recency — the most recently inserted records are
+/// the hottest (used by workload D).
+pub struct LatestGen {
+    inner: ZipfianGen,
+    n: u64,
+}
+
+impl LatestGen {
+    /// Latest-skewed over `0..n`.
+    pub fn new(n: u64) -> LatestGen {
+        LatestGen { inner: ZipfianGen::new(n), n }
+    }
+}
+
+impl Generator for LatestGen {
+    fn next(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let offset = self.inner.next(rng);
+        self.n.saturating_sub(1).saturating_sub(offset % self.n)
+    }
+
+    fn set_count(&mut self, n: u64) {
+        self.n = n.max(1);
+        self.inner.set_count(self.n);
+    }
+}
+
+/// The YCSB key for an item index (`user` + zero-padded index; the Java
+/// original hashes unless `orderedinserts` — we keep ordered keys so range
+/// scans in workload E behave like the paper's).
+pub fn key_for(index: u64) -> String {
+    format!("user{index:012}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(gen: &mut dyn Generator, n: u64, draws: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; n as usize];
+        for _ in 0..draws {
+            let v = gen.next(&mut rng);
+            assert!(v < n, "generated {v} out of range {n}");
+            counts[v as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut g = UniformGen::new(100);
+        let counts = histogram(&mut g, 100, 100_000);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < *min * 2, "uniform spread: {min}..{max}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let mut g = ZipfianGen::new(1000);
+        let counts = histogram(&mut g, 1000, 200_000);
+        // Item 0 must be far hotter than the median item.
+        assert!(counts[0] > 10 * counts[500].max(1), "zipf head {} vs mid {}", counts[0], counts[500]);
+        // Head concentration: top 10% of items get well over half the mass.
+        let head: usize = counts[..100].iter().sum();
+        assert!(head as f64 > 0.55 * 200_000.0, "head mass {head}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut g = ScrambledZipfianGen::new(1000);
+        let counts = histogram(&mut g, 1000, 200_000);
+        // Still skewed overall (some item is much hotter than average)...
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 2_000, "hottest item {max}");
+        // ...but the hottest item is no longer item 0 specifically.
+        let argmax = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_ne!(argmax, 0);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut g = LatestGen::new(1000);
+        let counts = histogram(&mut g, 1000, 100_000);
+        assert!(
+            counts[999] > 20 * counts[10].max(1),
+            "latest skew: newest {} vs old {}",
+            counts[999],
+            counts[10]
+        );
+    }
+
+    #[test]
+    fn set_count_extends_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = ZipfianGen::new(10);
+        g.set_count(1000);
+        let mut saw_big = false;
+        for _ in 0..50_000 {
+            if g.next(&mut rng) >= 10 {
+                saw_big = true;
+                break;
+            }
+        }
+        assert!(saw_big, "extended range must be reachable");
+    }
+
+    #[test]
+    fn keys_sort_lexicographically_by_index() {
+        assert!(key_for(5) < key_for(50));
+        assert!(key_for(99) < key_for(100));
+        assert_eq!(key_for(7), "user000000000007");
+    }
+}

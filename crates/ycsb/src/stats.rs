@@ -1,0 +1,121 @@
+//! Latency histograms with logarithmic buckets.
+
+use std::time::Duration;
+
+/// Number of log2-spaced buckets (covers 1ns .. ~ 1h).
+const BUCKETS: usize = 42;
+
+/// A latency histogram (lock-free accumulation is done per thread; merge
+/// at the end).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: vec![0; BUCKETS], count: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_nanos / self.count as u128) as u64)
+        }
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Approximate percentile (bucket upper bound), `p` in 0..=100.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(1u64 << i.min(62));
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.mean() >= Duration::from_micros(200));
+        assert!(h.max() >= Duration::from_micros(1000));
+        // p50 should be in the tens of microseconds; p99 near the max.
+        assert!(h.percentile(50.0) < Duration::from_micros(200));
+        assert!(h.percentile(99.9) >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+    }
+}

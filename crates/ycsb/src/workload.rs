@@ -1,0 +1,286 @@
+//! The YCSB core workload model and the standard A–F mixes.
+
+use cbs_json::Value;
+use rand::Rng;
+
+use crate::generators::{Generator, LatestGen, ScrambledZipfianGen, UniformGen};
+
+/// One operation drawn from the workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read of one record.
+    Read,
+    /// Whole-record update.
+    Update,
+    /// Insert of a new record.
+    Insert,
+    /// Short range scan (`max_scan_length` cap) — workload E.
+    Scan,
+    /// Read-modify-write — workload F.
+    ReadModifyWrite,
+}
+
+/// Request-distribution choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform random.
+    Uniform,
+    /// Scrambled zipfian (YCSB default).
+    Zipfian,
+    /// Most-recent-first (workload D).
+    Latest,
+}
+
+/// The declarative workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human name ("A".."F" or custom).
+    pub name: String,
+    /// Records loaded before the run phase.
+    pub record_count: u64,
+    /// Proportions (must sum to ~1.0).
+    pub read_proportion: f64,
+    /// Update fraction.
+    pub update_proportion: f64,
+    /// Insert fraction.
+    pub insert_proportion: f64,
+    /// Scan fraction.
+    pub scan_proportion: f64,
+    /// Read-modify-write fraction.
+    pub rmw_proportion: f64,
+    /// Request distribution.
+    pub distribution: Distribution,
+    /// Fields per record (YCSB default 10).
+    pub field_count: usize,
+    /// Bytes per field (YCSB default 100).
+    pub field_length: usize,
+    /// Maximum scan length (workload E default 100).
+    pub max_scan_length: u64,
+}
+
+impl WorkloadSpec {
+    /// Workload A: "Update heavy workload" — 50/50 reads and writes. The
+    /// paper's Figure 15 ("Workload A of YCSB is a mixed workload with 50%
+    /// reads and 50% writes").
+    pub fn a(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "A".to_string(),
+            record_count,
+            read_proportion: 0.5,
+            update_proportion: 0.5,
+            insert_proportion: 0.0,
+            scan_proportion: 0.0,
+            rmw_proportion: 0.0,
+            distribution: Distribution::Zipfian,
+            field_count: 10,
+            field_length: 100,
+            max_scan_length: 100,
+        }
+    }
+
+    /// Workload B: 95% reads, 5% updates.
+    pub fn b(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "B".to_string(),
+            read_proportion: 0.95,
+            update_proportion: 0.05,
+            ..WorkloadSpec::a(record_count)
+        }
+    }
+
+    /// Workload C: read only.
+    pub fn c(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "C".to_string(),
+            read_proportion: 1.0,
+            update_proportion: 0.0,
+            ..WorkloadSpec::a(record_count)
+        }
+    }
+
+    /// Workload D: read latest — 95% reads, 5% inserts, latest
+    /// distribution.
+    pub fn d(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "D".to_string(),
+            read_proportion: 0.95,
+            update_proportion: 0.0,
+            insert_proportion: 0.05,
+            distribution: Distribution::Latest,
+            ..WorkloadSpec::a(record_count)
+        }
+    }
+
+    /// Workload E: short ranges — 95% scans, 5% inserts. The paper's
+    /// Figure 16 ("Workload E of YCSB is a query workload consisting of
+    /// small range queries. Short ranges of documents are queried via
+    /// N1QL").
+    pub fn e(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "E".to_string(),
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.05,
+            scan_proportion: 0.95,
+            ..WorkloadSpec::a(record_count)
+        }
+    }
+
+    /// Workload F: read-modify-write — 50% reads, 50% RMW.
+    pub fn f(record_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "F".to_string(),
+            read_proportion: 0.5,
+            update_proportion: 0.0,
+            rmw_proportion: 0.5,
+            ..WorkloadSpec::a(record_count)
+        }
+    }
+}
+
+/// A thread-local instantiation of a [`WorkloadSpec`]: owns its generators
+/// and insert counter share.
+pub struct Workload {
+    spec: WorkloadSpec,
+    key_gen: Box<dyn Generator>,
+    scan_len_gen: UniformGen,
+}
+
+impl Workload {
+    /// Instantiate generators for one worker thread.
+    pub fn new(spec: &WorkloadSpec) -> Workload {
+        let key_gen: Box<dyn Generator> = match spec.distribution {
+            Distribution::Uniform => Box::new(UniformGen::new(spec.record_count)),
+            Distribution::Zipfian => Box::new(ScrambledZipfianGen::new(spec.record_count)),
+            Distribution::Latest => Box::new(LatestGen::new(spec.record_count)),
+        };
+        Workload {
+            key_gen,
+            scan_len_gen: UniformGen::new(spec.max_scan_length.max(1)),
+            spec: spec.clone(),
+        }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draw the next operation kind from the mix.
+    pub fn next_op(&self, rng: &mut dyn rand::RngCore) -> OpKind {
+        let mut x: f64 = rng.gen();
+        for (kind, p) in [
+            (OpKind::Read, self.spec.read_proportion),
+            (OpKind::Update, self.spec.update_proportion),
+            (OpKind::Insert, self.spec.insert_proportion),
+            (OpKind::Scan, self.spec.scan_proportion),
+            (OpKind::ReadModifyWrite, self.spec.rmw_proportion),
+        ] {
+            if x < p {
+                return kind;
+            }
+            x -= p;
+        }
+        OpKind::Read
+    }
+
+    /// Draw a target record index.
+    pub fn next_key_index(&mut self, rng: &mut dyn rand::RngCore, current_count: u64) -> u64 {
+        self.key_gen.set_count(current_count.max(1));
+        self.key_gen.next(rng)
+    }
+
+    /// Draw a scan length in `1..=max_scan_length`.
+    pub fn next_scan_length(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        self.scan_len_gen.next(rng) + 1
+    }
+
+    /// Build a YCSB record: `field_count` fields of `field_length`
+    /// pseudo-random ASCII bytes.
+    pub fn build_record(&self, rng: &mut dyn rand::RngCore) -> Value {
+        let mut doc = Value::empty_object();
+        for f in 0..self.spec.field_count {
+            let bytes: String = (0..self.spec.field_length)
+                .map(|_| (b'a' + (rng.next_u32() % 26) as u8) as char)
+                .collect();
+            doc.insert_field(&format!("field{f}"), Value::from(bytes));
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_mixes_sum_to_one() {
+        for spec in [
+            WorkloadSpec::a(10),
+            WorkloadSpec::b(10),
+            WorkloadSpec::c(10),
+            WorkloadSpec::d(10),
+            WorkloadSpec::e(10),
+            WorkloadSpec::f(10),
+        ] {
+            let sum = spec.read_proportion
+                + spec.update_proportion
+                + spec.insert_proportion
+                + spec.scan_proportion
+                + spec.rmw_proportion;
+            assert!((sum - 1.0).abs() < 1e-9, "workload {}: {sum}", spec.name);
+        }
+    }
+
+    #[test]
+    fn workload_a_mix_ratio() {
+        let w = Workload::new(&WorkloadSpec::a(100));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut reads = 0;
+        let mut updates = 0;
+        for _ in 0..10_000 {
+            match w.next_op(&mut rng) {
+                OpKind::Read => reads += 1,
+                OpKind::Update => updates += 1,
+                other => panic!("workload A drew {other:?}"),
+            }
+        }
+        let ratio = reads as f64 / (reads + updates) as f64;
+        assert!((ratio - 0.5).abs() < 0.02, "50/50 mix, got {ratio}");
+    }
+
+    #[test]
+    fn workload_e_mix_and_scan_lengths() {
+        let mut w = Workload::new(&WorkloadSpec::e(100));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut scans = 0;
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            match w.next_op(&mut rng) {
+                OpKind::Scan => scans += 1,
+                OpKind::Insert => inserts += 1,
+                other => panic!("workload E drew {other:?}"),
+            }
+        }
+        assert!((scans as f64 / 10_000.0 - 0.95).abs() < 0.01);
+        assert!(inserts > 0);
+        for _ in 0..1000 {
+            let len = w.next_scan_length(&mut rng);
+            assert!((1..=100).contains(&len));
+        }
+    }
+
+    #[test]
+    fn records_match_spec() {
+        let w = Workload::new(&WorkloadSpec::a(10));
+        let mut rng = StdRng::seed_from_u64(5);
+        let rec = w.build_record(&mut rng);
+        let fields = rec.as_object().unwrap();
+        assert_eq!(fields.len(), 10);
+        for (_, v) in fields {
+            assert_eq!(v.as_str().unwrap().len(), 100);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Day-2 cluster operations (§4.1, §4.3, §4.4, §4.6): elastic scaling,
+//! failover, multi-dimensional scaling, and cross-datacenter replication.
+//!
+//! ```text
+//! cargo run --release --example cluster_operations
+//! ```
+
+use std::time::Duration;
+
+use couchbase_repro::{
+    ClusterConfig, CouchbaseCluster, KeyFilter, NodeId, ServiceSet, Value,
+};
+
+fn main() {
+    // --- Start with 2 nodes, load data -------------------------------------
+    let cluster = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(128, 1));
+    let bucket = cluster.create_bucket("default").expect("bucket");
+    const DOCS: usize = 1_000;
+    for i in 0..DOCS {
+        bucket
+            .upsert(&format!("doc::{i}"), Value::object([("i", Value::int(i as i64))]))
+            .expect("load");
+    }
+    println!("loaded {DOCS} docs on 2 nodes; orchestrator = {:?}", cluster.orchestrator());
+
+    // --- Scale out: add a node and rebalance (§4.3.1) ----------------------
+    let new_node = cluster.add_node(ServiceSet::all()).expect("add node");
+    println!("added {new_node:?}; rebalancing (DCP movers + atomic switchover)...");
+    cluster.rebalance(&[]).expect("rebalance");
+    let map = cluster.inner().map("default").expect("map");
+    for node in cluster.inner().nodes() {
+        println!(
+            "  {:?}: {} active vBuckets, {} replica vBuckets",
+            node.id(),
+            map.active_vbs(node.id()).len(),
+            map.replica_vbs(node.id()).len()
+        );
+    }
+    verify_all(&bucket, DOCS, "after rebalance-in");
+
+    // --- Failure + failover (§4.3.1) ----------------------------------------
+    println!("killing node:1 ...");
+    cluster.kill_node(NodeId(1)).expect("kill");
+    let promoted = cluster.failover(NodeId(1)).expect("failover");
+    println!(
+        "failover promoted {promoted} replica vBuckets; new orchestrator = {:?}",
+        cluster.orchestrator()
+    );
+    verify_all(&bucket, DOCS, "after failover");
+
+    // --- Rebalance the survivor set ------------------------------------------
+    cluster.rebalance(&[]).expect("rebalance after failover");
+    verify_all(&bucket, DOCS, "after post-failover rebalance");
+
+    // --- XDCR to a second datacenter (§4.6) ----------------------------------
+    // Destination has a different size and partition count: XDCR routing is
+    // topology-aware.
+    let dr_site = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(64, 0));
+    dr_site.create_bucket("default").expect("dst bucket");
+    // Only replicate European documents (filtered replication).
+    for i in 0..50 {
+        bucket
+            .upsert(&format!("eu::doc::{i}"), Value::object([("region", Value::from("eu"))]))
+            .expect("eu docs");
+    }
+    let link = cluster
+        .replicate_to(&dr_site, "default", Some(KeyFilter::compile("^eu::").unwrap()))
+        .expect("xdcr link");
+    let dr_bucket = dr_site.bucket("default").expect("dst handle");
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while std::time::Instant::now() < deadline {
+        if (0..50).all(|i| dr_bucket.get(&format!("eu::doc::{i}")).is_ok()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let replicated = (0..50).filter(|i| dr_bucket.get(&format!("eu::doc::{i}")).is_ok()).count();
+    let leaked = (0..DOCS).filter(|i| dr_bucket.get(&format!("doc::{i}")).is_ok()).count();
+    println!("XDCR: {replicated}/50 eu:: docs replicated, {leaked} non-matching docs leaked");
+    println!(
+        "XDCR stats: shipped={} filtered={}",
+        link.stats().shipped.load(std::sync::atomic::Ordering::Relaxed),
+        link.stats().filtered.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    link.shutdown();
+
+    println!("done.");
+}
+
+fn verify_all(bucket: &couchbase_repro::Bucket, n: usize, stage: &str) {
+    let missing = (0..n)
+        .filter(|i| bucket.get(&format!("doc::{i}")).is_err())
+        .count();
+    println!("  verify {stage}: {}/{n} docs readable ({missing} missing)", n - missing);
+    assert_eq!(missing, 0, "data loss {stage}");
+}

@@ -1,0 +1,178 @@
+//! Catalog / SKU management — the paper's second motivating workload
+//! (§1: "applications such as catalog and SKU management systems need the
+//! ability to change and update information on the fly").
+//!
+//! Demonstrates the document-database side: mixed document types in one
+//! bucket, selective (partial) indexes (§3.3.4), array indexes on
+//! categories (§6.1.2), the paper's NEST/UNNEST queries (§3.2.3), and a
+//! reduced view for per-category pricing stats.
+//!
+//! ```text
+//! cargo run --example product_catalog
+//! ```
+
+use couchbase_repro::{
+    ClusterConfig, CouchbaseCluster, DesignDoc, MapCond, MapExpr, MapFn, QueryOptions, Reducer,
+    Stale, ViewDef, ViewQuery,
+};
+
+fn main() {
+    let cluster = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(64, 0));
+    let bucket = cluster.create_bucket("catalog").expect("bucket");
+    let opts = QueryOptions::default();
+    let rp = QueryOptions::default().request_plus();
+
+    // --- Mixed document types in one bucket --------------------------------
+    let products = [
+        ("product::1", r#"{"doc_type":"product","name":"Mechanical Keyboard","price":129.0,
+          "categories":["peripherals","office"],"stock":12}"#),
+        ("product::2", r#"{"doc_type":"product","name":"4K Monitor","price":399.0,
+          "categories":["displays","office"],"stock":3}"#),
+        ("product::3", r#"{"doc_type":"product","name":"USB Hub","price":25.0,
+          "categories":["peripherals"],"stock":0}"#),
+        ("product::4", r#"{"doc_type":"product","name":"Laptop Stand","price":45.0,
+          "categories":["office","ergonomics"],"stock":31}"#),
+    ];
+    for (k, json) in products {
+        bucket.upsert(k, couchbase_repro::parse_json(json).unwrap()).expect("seed product");
+    }
+    // Orders reference products by key — the key-based relationships N1QL
+    // joins are built for (§3.2.4).
+    bucket
+        .upsert(
+            "order::1001",
+            couchbase_repro::parse_json(
+                r#"{"doc_type":"order","customer":"borkar123",
+                    "items":["product::1","product::3"],"total":154.0}"#,
+            )
+            .unwrap(),
+        )
+        .expect("seed order");
+    bucket
+        .upsert(
+            "profile::borkar123",
+            couchbase_repro::parse_json(
+                r#"{"doc_type":"profile","name":"Dipti",
+                    "shipped_order_history":[{"order_id":"order::1001"}]}"#,
+            )
+            .unwrap(),
+        )
+        .expect("seed profile");
+
+    // --- Indexing: primary + selective + array (§3.3) ----------------------
+    cluster.query("CREATE PRIMARY INDEX ON catalog", &opts).expect("primary");
+    // Selective index: only in-stock products (§3.3.4's pattern).
+    cluster
+        .query(
+            "CREATE INDEX in_stock ON catalog(stock) WHERE stock > 0 USING GSI",
+            &opts,
+        )
+        .expect("partial index");
+    // Array index over categories (§6.1.2).
+    cluster
+        .query(
+            "CREATE INDEX by_category ON catalog(DISTINCT ARRAY c FOR c IN categories END)",
+            &opts,
+        )
+        .expect("array index");
+
+    // --- The paper's UNNEST example: live categories -----------------------
+    let res = cluster
+        .query(
+            "SELECT DISTINCT categories FROM catalog UNNEST catalog.categories AS categories \
+             ORDER BY categories",
+            &rp,
+        )
+        .expect("unnest");
+    println!("categories in use (UNNEST):");
+    for row in &res.rows {
+        println!("  {row}");
+    }
+
+    // Array-predicate query served by the array index.
+    let res = cluster
+        .query(
+            "SELECT name FROM catalog WHERE ANY c IN categories SATISFIES c = 'office' END \
+             ORDER BY name",
+            &rp,
+        )
+        .expect("array predicate");
+    println!("office products (array index): {} rows", res.rows.len());
+
+    // Partial-index query: the WHERE clause implies the index filter.
+    let res = cluster
+        .query("SELECT name, stock FROM catalog WHERE stock > 0 ORDER BY stock DESC", &rp)
+        .expect("partial");
+    println!("in-stock products (selective index):");
+    for row in &res.rows {
+        println!("  {row}");
+    }
+
+    // --- The paper's NEST example: orders embedded in the profile ----------
+    let res = cluster
+        .query(
+            "SELECT PO.name, orders FROM catalog PO USE KEYS 'profile::borkar123' \
+             NEST catalog AS orders \
+             ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END",
+            &opts,
+        )
+        .expect("nest");
+    println!("profile with nested orders (NEST): {}", res.rows[0]);
+
+    // --- JOIN over keys: order line items -----------------------------------
+    let res = cluster
+        .query(
+            "SELECT o.total, p.name AS item FROM catalog o USE KEYS 'order::1001' \
+             JOIN catalog p ON KEYS o.items",
+            &opts,
+        )
+        .expect("join");
+    println!("order::1001 line items (ON KEYS join):");
+    for row in &res.rows {
+        println!("  {row}");
+    }
+
+    // --- On-the-fly updates (sub-document SET, §3.2.2) ----------------------
+    cluster
+        .query(
+            "UPDATE catalog USE KEYS 'product::2' SET price = 349.0, sale.active = true",
+            &opts,
+        )
+        .expect("update");
+    let monitor = bucket.get("product::2").unwrap().value;
+    println!(
+        "price updated on the fly: {} (sale={})",
+        monitor.get_field("price").unwrap(),
+        monitor.get_field("sale").unwrap()
+    );
+
+    // --- View with reduce: per-category price stats -------------------------
+    cluster
+        .create_design_doc(
+            "catalog",
+            DesignDoc {
+                name: "stats".to_string(),
+                views: vec![(
+                    "price_by_type".to_string(),
+                    ViewDef {
+                        map: MapFn {
+                            when: vec![MapCond::doc_type("product")],
+                            key: MapExpr::field("doc_type"),
+                            value: Some(MapExpr::field("price")),
+                        },
+                        reduce: Some(Reducer::Stats),
+                    },
+                )],
+            },
+        )
+        .expect("ddoc");
+    let res = cluster
+        .view_query(
+            "catalog",
+            "stats",
+            "price_by_type",
+            &ViewQuery { stale: Stale::False, reduce: true, ..Default::default() },
+        )
+        .expect("view");
+    println!("product price stats (view reduce): {}", res.rows[0].value);
+}

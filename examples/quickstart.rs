@@ -1,0 +1,104 @@
+//! Quickstart: the three access paths of §3.1 in one minute.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use couchbase_repro::{
+    CouchbaseCluster, DesignDoc, MapCond, MapExpr, MapFn, QueryOptions, Stale, Value, ViewDef,
+    ViewQuery,
+};
+
+fn main() {
+    // A 2-node cluster, every service on every node.
+    let cluster = CouchbaseCluster::homogeneous(
+        2,
+        couchbase_repro::ClusterConfig::for_test(64, 1),
+    );
+    let bucket = cluster.create_bucket("default").expect("create bucket");
+
+    // ------------------------------------------------------------------
+    // Access path 1: key-value via the primary key (§3.1.1).
+    // ------------------------------------------------------------------
+    let profile = couchbase_repro::parse_json(
+        r#"{"name": "Dipti Borkar", "email": "dipti@couchbase.com"}"#,
+    )
+    .expect("valid JSON");
+    bucket.upsert("borkar123", profile).expect("upsert");
+    let got = bucket.get("borkar123").expect("get");
+    println!("KV get:   {}", got.value);
+
+    // The CAS optimistic-locking flow from §3.1.1.
+    let read = bucket.get("borkar123").expect("read for update");
+    let mut updated = read.value.clone();
+    updated.insert_field("title", Value::from("VP Product"));
+    bucket.replace("borkar123", updated, read.meta.cas).expect("CAS replace");
+    println!("CAS write: ok (rev {:?})", bucket.get("borkar123").unwrap().meta.rev);
+
+    // ------------------------------------------------------------------
+    // Access path 2: the View API (§3.1.2) — the paper's exact example.
+    // ------------------------------------------------------------------
+    cluster
+        .create_design_doc(
+            "default",
+            DesignDoc {
+                name: "profiles".to_string(),
+                views: vec![(
+                    "by_name".to_string(),
+                    ViewDef {
+                        // function(doc) { if (doc.name) emit(doc.name, doc.email) }
+                        map: MapFn {
+                            when: vec![MapCond::Exists("name".parse().unwrap())],
+                            key: MapExpr::field("name"),
+                            value: Some(MapExpr::field("email")),
+                        },
+                        reduce: None,
+                    },
+                )],
+            },
+        )
+        .expect("design doc");
+    // ?key="Dipti Borkar"&stale=false
+    let q = ViewQuery {
+        stale: Stale::False,
+        ..ViewQuery::by_key(Value::from("Dipti Borkar"))
+    };
+    let res = cluster.view_query("default", "profiles", "by_name", &q).expect("view query");
+    println!("View:     {} -> {}", res.rows[0].key, res.rows[0].value);
+
+    // ------------------------------------------------------------------
+    // Access path 3: N1QL (§3.1.3).
+    // ------------------------------------------------------------------
+    for (i, (name, age)) in
+        [("alice", 31), ("bob", 24), ("carol", 47), ("dan", 19)].iter().enumerate()
+    {
+        bucket
+            .upsert(
+                &format!("user::{i}"),
+                Value::object([("name", Value::from(*name)), ("age", Value::int(*age))]),
+            )
+            .expect("seed");
+    }
+    cluster
+        .query("CREATE INDEX by_age ON default(age) USING GSI", &QueryOptions::default())
+        .expect("create index");
+    let res = cluster
+        .query(
+            "SELECT name, age FROM default WHERE age >= 21 ORDER BY age",
+            &QueryOptions::default().request_plus(),
+        )
+        .expect("N1QL query");
+    println!("N1QL:");
+    for row in &res.rows {
+        println!("  {row}");
+    }
+
+    // EXPLAIN shows the Figure 11 pipeline.
+    let plan = cluster
+        .query(
+            "EXPLAIN SELECT name, age FROM default WHERE age >= 21 ORDER BY age",
+            &QueryOptions::default(),
+        )
+        .expect("explain");
+    println!("EXPLAIN:  {}", plan.rows[0]);
+}

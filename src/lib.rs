@@ -1,0 +1,2 @@
+//! Root facade: re-exports the public SDK (`cbs_core`).
+pub use cbs_core::*;

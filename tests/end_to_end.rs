@@ -1,0 +1,265 @@
+//! Cross-crate integration tests: the full system lifecycle through the
+//! public SDK — load, query, index, view, failover, rebalance, XDCR.
+
+use std::time::Duration;
+
+use couchbase_repro::{
+    Cas, ClusterConfig, CouchbaseCluster, DesignDoc, Error, KeyFilter, MapExpr, MapFn, NodeId,
+    QueryOptions, Reducer, ServiceSet, Stale, Value, ViewDef, ViewQuery,
+};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn user(i: i64) -> Value {
+    Value::object([
+        ("doc_type", Value::from("user")),
+        ("name", Value::from(format!("user-{i:04}"))),
+        ("age", Value::int(18 + (i % 50))),
+        ("city", Value::from(["SF", "NY", "LA"][(i % 3) as usize])),
+        (
+            "tags",
+            Value::Array(if i % 2 == 0 { vec![Value::from("even")] } else { vec![Value::from("odd")] }),
+        ),
+    ])
+}
+
+#[test]
+fn full_lifecycle_load_query_failover_rebalance() {
+    let cluster = CouchbaseCluster::homogeneous(3, ClusterConfig::for_test(64, 1));
+    let bucket = cluster.create_bucket("app").unwrap();
+
+    // Load.
+    const N: i64 = 300;
+    for i in 0..N {
+        bucket.upsert(&format!("user::{i}"), user(i)).unwrap();
+    }
+
+    // Index + query.
+    let opts = QueryOptions::default();
+    let rp = QueryOptions::default().request_plus();
+    cluster.query("CREATE INDEX by_age ON app(age)", &opts).unwrap();
+    cluster.query("CREATE PRIMARY INDEX ON app", &opts).unwrap();
+    let res = cluster.query("SELECT COUNT(*) AS n FROM app WHERE age >= 18", &rp).unwrap();
+    assert_eq!(res.rows[0].get_field("n"), Some(&Value::int(N)));
+
+    // Views.
+    cluster
+        .create_design_doc(
+            "app",
+            DesignDoc {
+                name: "dd".to_string(),
+                views: vec![(
+                    "count_by_city".to_string(),
+                    ViewDef {
+                        map: MapFn {
+                            when: vec![],
+                            key: MapExpr::field("city"),
+                            value: None,
+                        },
+                        reduce: Some(Reducer::Count),
+                    },
+                )],
+            },
+        )
+        .unwrap();
+    let v = cluster
+        .view_query(
+            "app",
+            "dd",
+            "count_by_city",
+            &ViewQuery { stale: Stale::False, reduce: true, group: true, ..Default::default() },
+        )
+        .unwrap();
+    assert_eq!(v.rows.len(), 3, "three cities");
+    let total: i64 = v.rows.iter().map(|r| r.value.as_i64().unwrap()).sum();
+    assert_eq!(total, N);
+
+    // Failover.
+    cluster.kill_node(NodeId(2)).unwrap();
+    let promoted = cluster.failover(NodeId(2)).unwrap();
+    assert!(promoted > 0);
+    for i in 0..N {
+        assert!(bucket.get(&format!("user::{i}")).is_ok(), "user::{i} after failover");
+    }
+
+    // Rebalance the survivors, then add a node and rebalance again.
+    cluster.rebalance(&[]).unwrap();
+    cluster.add_node(ServiceSet::all()).unwrap();
+    cluster.rebalance(&[]).unwrap();
+    for i in 0..N {
+        assert!(bucket.get(&format!("user::{i}")).is_ok(), "user::{i} after rebalances");
+    }
+
+    // Queries still work on the reshaped cluster (the GSI pump re-attaches
+    // to the moved actives).
+    bucket.upsert("user::fresh", user(999)).unwrap();
+    let res = cluster
+        .query("SELECT COUNT(*) AS n FROM app WHERE age >= 18", &rp)
+        .unwrap();
+    assert_eq!(res.rows[0].get_field("n"), Some(&Value::int(N + 1)));
+}
+
+#[test]
+fn read_your_own_writes_semantics() {
+    // §3.2.3: request_plus "is important to applications that require
+    // consistent reads or read-your-own-write semantics."
+    let cluster = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(64, 0));
+    let bucket = cluster.create_bucket("app").unwrap();
+    cluster.query("CREATE INDEX by_n ON app(n)", &QueryOptions::default()).unwrap();
+
+    for round in 0..25 {
+        bucket
+            .upsert(&format!("doc{round}"), Value::object([("n", Value::int(round))]))
+            .unwrap();
+        // Immediately query for the write through the index.
+        let res = cluster
+            .query(
+                &format!("SELECT META().id AS id FROM app WHERE n = {round}"),
+                &QueryOptions::default().request_plus(),
+            )
+            .unwrap();
+        assert_eq!(res.rows.len(), 1, "round {round}: RYOW must hold under request_plus");
+    }
+}
+
+#[test]
+fn durability_survives_orderly_failover() {
+    // A write acknowledged with replicate_to=1 must survive losing the
+    // active node.
+    let cluster = CouchbaseCluster::homogeneous(3, ClusterConfig::for_test(64, 1));
+    let bucket = cluster.create_bucket("app").unwrap();
+    let m = bucket
+        .upsert_durable(
+            "precious",
+            Value::from("do not lose"),
+            couchbase_repro::Durability { replicate_to: 1, persist_to_master: false },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    // Kill whichever node is active for that vBucket.
+    let owner = cluster.inner().map("app").unwrap().active_node(m.vb);
+    cluster.kill_node(owner).unwrap();
+    cluster.failover(owner).unwrap();
+    let got = bucket.get("precious").unwrap();
+    assert_eq!(got.value, Value::from("do not lose"));
+}
+
+#[test]
+fn xdcr_bidirectional_bulk_convergence() {
+    let east = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(32, 0));
+    let west = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(64, 0));
+    east.create_bucket("geo").unwrap();
+    west.create_bucket("geo").unwrap();
+    let e2w = east.replicate_to(&west, "geo", None).unwrap();
+    let w2e = west.replicate_to(&east, "geo", None).unwrap();
+
+    let eb = east.bucket("geo").unwrap();
+    let wb = west.bucket("geo").unwrap();
+    // Interleaved writes to disjoint keys on both sides.
+    for i in 0..40 {
+        eb.upsert(&format!("east::{i}"), Value::int(i)).unwrap();
+        wb.upsert(&format!("west::{i}"), Value::int(i)).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(15), || {
+        (0..40).all(|i| {
+            eb.get(&format!("west::{i}")).is_ok() && wb.get(&format!("east::{i}")).is_ok()
+        })
+    }));
+    // Conflicting writes on the same key converge to the same winner.
+    eb.upsert("both", Value::from("east-1")).unwrap();
+    eb.upsert("both", Value::from("east-2")).unwrap();
+    wb.upsert("both", Value::from("west-1")).unwrap();
+    assert!(wait_until(Duration::from_secs(15), || {
+        let a = eb.get("both").map(|g| g.value).ok();
+        let b = wb.get("both").map(|g| g.value).ok();
+        a.is_some() && a == b
+    }));
+    assert_eq!(eb.get("both").unwrap().value, Value::from("east-2"), "2 updates beat 1");
+    e2w.shutdown();
+    w2e.shutdown();
+}
+
+#[test]
+fn xdcr_filtered_by_key_regex() {
+    let src = CouchbaseCluster::homogeneous(1, ClusterConfig::for_test(32, 0));
+    let dst = CouchbaseCluster::homogeneous(1, ClusterConfig::for_test(32, 0));
+    src.create_bucket("b").unwrap();
+    dst.create_bucket("b").unwrap();
+    let link = src
+        .replicate_to(&dst, "b", Some(KeyFilter::compile("^order::[0-9]+$").unwrap()))
+        .unwrap();
+    let sb = src.bucket("b").unwrap();
+    let db = dst.bucket("b").unwrap();
+    sb.upsert("order::1", Value::int(1)).unwrap();
+    sb.upsert("order::abc", Value::int(2)).unwrap();
+    sb.upsert("user::1", Value::int(3)).unwrap();
+    assert!(wait_until(Duration::from_secs(10), || db.get("order::1").is_ok()));
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(db.get("order::abc").is_err());
+    assert!(db.get("user::1").is_err());
+    link.shutdown();
+}
+
+#[test]
+fn paper_worked_examples_end_to_end() {
+    // The USE KEYS examples of §3.2.3 verbatim.
+    let cluster = CouchbaseCluster::single_node();
+    let bucket = cluster.create_bucket("profiles").unwrap();
+    bucket
+        .upsert("acme-uuid-1234-5678", Value::object([("company", Value::from("acme"))]))
+        .unwrap();
+    bucket
+        .upsert("roadster-uuid-4321-8765", Value::object([("company", Value::from("roadster"))]))
+        .unwrap();
+    let opts = QueryOptions::default();
+    let res = cluster
+        .query(r#"SELECT * FROM profiles USE KEYS "acme-uuid-1234-5678""#, &opts)
+        .unwrap();
+    assert_eq!(res.rows.len(), 1);
+    let res = cluster
+        .query(
+            r#"SELECT * FROM profiles USE KEYS ["acme-uuid-1234-5678", "roadster-uuid-4321-8765"]"#,
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(res.rows.len(), 2);
+
+    // §3.3.4's selective index (age > 21).
+    bucket.upsert("kid", Value::object([("age", Value::int(12))])).unwrap();
+    bucket.upsert("adult", Value::object([("age", Value::int(30))])).unwrap();
+    cluster
+        .query("CREATE INDEX over21 ON profiles(age) WHERE age > 21 USING GSI", &opts)
+        .unwrap();
+    let res = cluster
+        .query(
+            "SELECT META().id AS id FROM profiles WHERE age > 21",
+            &QueryOptions::default().request_plus(),
+        )
+        .unwrap();
+    assert_eq!(res.rows.len(), 1);
+    assert_eq!(res.rows[0].get_field("id"), Some(&Value::from("adult")));
+}
+
+#[test]
+fn error_paths_are_clean() {
+    let cluster = CouchbaseCluster::single_node();
+    let bucket = cluster.create_bucket("b").unwrap();
+    assert!(matches!(bucket.get("absent"), Err(Error::KeyNotFound(_))));
+    assert!(matches!(bucket.remove("absent", Cas::WILDCARD), Err(Error::KeyNotFound(_))));
+    assert!(cluster.create_bucket("b").is_err(), "duplicate bucket");
+    assert!(cluster.query("SELECT FROM", &QueryOptions::default()).is_err());
+    assert!(cluster
+        .query("SELECT * FROM missing_bucket", &QueryOptions::default())
+        .is_err());
+    assert!(cluster.failover(NodeId(0)).is_err(), "cannot fail over a live node");
+    assert!(cluster.view_query("b", "nope", "v", &ViewQuery::default()).is_err());
+}
