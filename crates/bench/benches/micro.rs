@@ -17,6 +17,8 @@ use cbs_kv::{DataEngine, EngineConfig, MutateMode};
 use cbs_n1ql::{MemoryDatastore, QueryOptions};
 use cbs_storage::{StoredDoc, VBucketStore};
 use cbs_views::{KeyRange, Reducer, ViewBTree, ViewEntry};
+use cbs_ycsb::{Generator, ScrambledZipfianGen};
+use rand::{rngs::StdRng, SeedableRng};
 
 fn sample_json() -> String {
     r#"{"name":"Dipti Borkar","email":"dipti@couchbase.com","age":34,
@@ -128,6 +130,67 @@ fn bench_kv_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_zero_copy_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zero_copy");
+    // Zipfian hot-key reads: the YCSB-A access pattern where a handful of
+    // keys dominate. With Arc-shared documents a cache hit returns a
+    // pointer bump, so the hottest key costs the same as the coldest —
+    // this benchmark regresses if a deep clone sneaks back onto the read
+    // path.
+    let engine = DataEngine::new(EngineConfig::for_test(64)).unwrap();
+    engine.activate_all();
+    let doc = cbs_json::parse(&sample_json()).unwrap();
+    const ITEMS: u64 = 10_000;
+    for i in 0..ITEMS {
+        engine
+            .set(&format!("k{i}"), doc.clone(), MutateMode::Upsert, Cas::WILDCARD, 0)
+            .unwrap();
+    }
+    let mut zipf = ScrambledZipfianGen::new(ITEMS);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    g.bench_function("zipfian_hot_get", |b| {
+        b.iter(|| {
+            let k = zipf.next(&mut rng) % ITEMS;
+            engine.get(&format!("k{k}")).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_flusher_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flusher");
+    // Multi-vBucket drain throughput: BATCH dirty writes spread across 64
+    // vBuckets, drained by the sharded pool's group-commit path (one WAL
+    // fsync per shard per drain cycle instead of one per vBucket).
+    const BATCH: u64 = 1024;
+    let engine = DataEngine::new(EngineConfig::for_test(64)).unwrap();
+    engine.activate_all();
+    let doc = cbs_json::parse(&sample_json()).unwrap();
+    let mut round = 0u64;
+    g.throughput(Throughput::Elements(BATCH));
+    g.bench_function("multi_vb_flush_1024", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                for i in 0..BATCH {
+                    engine
+                        .set(
+                            &format!("k{}-{}", round, i),
+                            doc.clone(),
+                            MutateMode::Upsert,
+                            Cas::WILDCARD,
+                            0,
+                        )
+                        .unwrap();
+                }
+            },
+            |()| engine.flush_once().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
 fn bench_view_btree(c: &mut Criterion) {
     let mut g = c.benchmark_group("view_btree");
     let mut tree = ViewBTree::new(Reducer::Sum);
@@ -234,6 +297,6 @@ fn bench_n1ql(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(30);
-    targets = bench_json, bench_storage, bench_cache, bench_dcp, bench_kv_engine, bench_view_btree, bench_gsi, bench_n1ql
+    targets = bench_json, bench_storage, bench_cache, bench_dcp, bench_kv_engine, bench_zero_copy_hot_path, bench_flusher_pool, bench_view_btree, bench_gsi, bench_n1ql
 );
 criterion_main!(benches);

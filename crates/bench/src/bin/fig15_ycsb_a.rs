@@ -44,6 +44,11 @@ fn main() {
         series.push((threads, summary.throughput()));
     }
 
+    match cbs_bench::write_bench_json("fig15_ycsb_a", &series) {
+        Ok(path) => println!("series written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig15_ycsb_a.json: {e}"),
+    }
+
     // Shape check mirroring the paper: throughput grows with concurrency
     // and saturates near the hardware limit (the paper's curve flattens
     // approaching 178K ops/sec at 128 threads on their 4-server testbed).

@@ -47,6 +47,10 @@ fn main() {
         );
         series.push((threads, summary.throughput()));
     }
+    match cbs_bench::write_bench_json("fig16_ycsb_e", &series) {
+        Ok(path) => println!("series written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig16_ycsb_e.json: {e}"),
+    }
     let peak = series.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
     println!(
         "\nshape: compare against fig15's KV throughput — the paper reports ~33x lower \

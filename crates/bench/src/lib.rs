@@ -62,6 +62,38 @@ pub fn fmt_tput(ops_per_sec: f64) -> String {
     }
 }
 
+/// Write a figure's `(threads, ops/sec)` series as `BENCH_<name>.json` in
+/// `dir`. The format is deliberately flat so run-to-run diffs stay
+/// readable: one object per sweep point.
+pub fn write_bench_json_to(
+    dir: &std::path::Path,
+    name: &str,
+    series: &[(usize, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    s.push_str("  \"unit\": \"ops_per_sec\",\n");
+    s.push_str("  \"series\": [\n");
+    for (i, (threads, tput)) in series.iter().enumerate() {
+        let sep = if i + 1 < series.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"threads\": {threads}, \"ops_per_sec\": {tput:.1}}}{sep}\n"
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
+/// Write `BENCH_<name>.json` at the repository root (two levels above this
+/// crate), where the figure binaries leave their machine-readable output.
+pub fn write_bench_json(name: &str, series: &[(usize, f64)]) -> std::io::Result<std::path::PathBuf> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    write_bench_json_to(&root, name, series)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +120,19 @@ mod tests {
     fn formatting() {
         assert_eq!(fmt_tput(178_000.0), "178.0K");
         assert_eq!(fmt_tput(540.0), "540");
+    }
+
+    #[test]
+    fn bench_json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cbs-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path =
+            write_bench_json_to(&dir, "fig_test", &[(4, 1234.5), (8, 2469.0)]).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_fig_test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"fig_test\""));
+        assert!(text.contains("{\"threads\": 4, \"ops_per_sec\": 1234.5},"));
+        assert!(text.contains("{\"threads\": 8, \"ops_per_sec\": 2469.0}\n"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

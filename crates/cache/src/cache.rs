@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use cbs_common::{DocMeta, Error, Result, VbId};
-use cbs_json::Value;
+use cbs_json::SharedValue;
 use parking_lot::RwLock;
 
 use crate::stats::CacheStats;
@@ -26,8 +26,9 @@ pub enum EvictionPolicy {
 pub struct CacheItem {
     /// Document metadata — always resident while the entry exists.
     pub meta: DocMeta,
-    /// The document body; `None` when the value has been evicted.
-    pub value: Option<Value>,
+    /// The document body, shared immutably with every reader that hit this
+    /// entry (zero-copy read path); `None` when the value has been evicted.
+    pub value: Option<SharedValue>,
     /// Tombstone marker: the document is deleted (entry retained until the
     /// deletion is persisted and replicated).
     pub deleted: bool,
@@ -40,15 +41,16 @@ pub struct CacheItem {
 impl CacheItem {
     fn mem_size(&self, key: &str) -> usize {
         // Entry overhead + key + optional resident value.
-        64 + key.len() + self.value.as_ref().map(Value::approx_size).unwrap_or(0)
+        64 + key.len() + self.value.as_ref().map(|v| v.approx_size()).unwrap_or(0)
     }
 }
 
 /// Result of a cache lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CacheLookup {
-    /// Entry resident with its value.
-    Hit { meta: DocMeta, value: Value },
+    /// Entry resident with its value. The value aliases the cached
+    /// allocation — handing it out is a reference-count bump, not a copy.
+    Hit { meta: DocMeta, value: SharedValue },
     /// Key and metadata are resident but the value was evicted; the caller
     /// (data service) must fetch the body from the storage engine (a
     /// "background fetch" in ep-engine terms).
@@ -114,10 +116,14 @@ impl ObjectCache {
         vb: VbId,
         key: &str,
         meta: DocMeta,
-        value: Value,
+        value: impl Into<SharedValue>,
         dirty: bool,
     ) -> Result<()> {
-        self.admit(vb, key, CacheItem { meta, value: Some(value), deleted: false, dirty, referenced: true })
+        self.admit(
+            vb,
+            key,
+            CacheItem { meta, value: Some(value.into()), deleted: false, dirty, referenced: true },
+        )
     }
 
     /// Record a deletion tombstone (dirty until persisted).
@@ -177,7 +183,7 @@ impl ObjectCache {
 
     /// Full-entry peek (meta, value, deleted, dirty) without side effects.
     /// The flusher uses this to read the version it is about to persist.
-    pub fn peek_item(&self, vb: VbId, key: &str) -> Option<(DocMeta, Option<Value>, bool, bool)> {
+    pub fn peek_item(&self, vb: VbId, key: &str) -> Option<(DocMeta, Option<SharedValue>, bool, bool)> {
         let shard = self.shard(vb).read();
         shard.map.get(key).map(|i| (i.meta, i.value.clone(), i.deleted, i.dirty))
     }
@@ -185,7 +191,7 @@ impl ObjectCache {
     /// Snapshot of all *dirty* (unpersisted) entries in a vBucket. Dirty
     /// entries always have their value resident (dirty items are pinned),
     /// so this is the authoritative in-memory tail for DCP backfill.
-    pub fn dirty_snapshot(&self, vb: VbId) -> Vec<(String, DocMeta, bool, Option<Value>)> {
+    pub fn dirty_snapshot(&self, vb: VbId) -> Vec<(String, DocMeta, bool, Option<SharedValue>)> {
         let shard = self.shard(vb).read();
         shard
             .map
@@ -198,10 +204,11 @@ impl ObjectCache {
     /// Re-install a value fetched from disk after a [`CacheLookup::ValueGone`]
     /// (the background-fetch completion path). Keeps the entry's dirtiness
     /// (it must be clean — evicted values are by definition persisted).
-    pub fn repopulate(&self, vb: VbId, key: &str, value: Value) {
+    pub fn repopulate(&self, vb: VbId, key: &str, value: impl Into<SharedValue>) {
         let mut shard = self.shard(vb).write();
         if let Some(item) = shard.map.get_mut(key) {
             if item.value.is_none() && !item.deleted {
+                let value = value.into();
                 let add = value.approx_size();
                 item.value = Some(value);
                 item.referenced = true;
@@ -335,6 +342,7 @@ impl ObjectCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbs_json::Value;
     use cbs_common::SeqNo;
 
     fn meta(seq: u64) -> DocMeta {

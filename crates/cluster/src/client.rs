@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cbs_common::{vbucket_for_key, Cas, Error, Result, VbId};
-use cbs_json::Value;
+use cbs_json::SharedValue;
 use cbs_kv::{GetResult, MutateMode, MutationResult};
 use parking_lot::RwLock;
 
@@ -106,23 +106,34 @@ impl SmartClient {
         self.with_engine(key, |e| e.get(key))
     }
 
-    /// KV upsert.
-    pub fn upsert(&self, key: &str, value: Value) -> Result<MutationResult> {
+    /// KV upsert. The value is wrapped in a [`SharedValue`] once up front;
+    /// retries (and the engine's cache/DCP hand-offs) reuse that single
+    /// allocation instead of deep-cloning the document per attempt.
+    pub fn upsert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
+        let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, 0))
     }
 
     /// KV insert (fails on existing key).
-    pub fn insert(&self, key: &str, value: Value) -> Result<MutationResult> {
+    pub fn insert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
+        let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Insert, Cas::WILDCARD, 0))
     }
 
     /// KV replace with optional CAS check.
-    pub fn replace(&self, key: &str, value: Value, cas: Cas) -> Result<MutationResult> {
+    pub fn replace(&self, key: &str, value: impl Into<SharedValue>, cas: Cas) -> Result<MutationResult> {
+        let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Replace, cas, 0))
     }
 
     /// CAS-checked upsert.
-    pub fn upsert_with_cas(&self, key: &str, value: Value, cas: Cas) -> Result<MutationResult> {
+    pub fn upsert_with_cas(
+        &self,
+        key: &str,
+        value: impl Into<SharedValue>,
+        cas: Cas,
+    ) -> Result<MutationResult> {
+        let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, cas, 0))
     }
 
@@ -132,7 +143,13 @@ impl SmartClient {
     }
 
     /// Upsert with expiry (TTL).
-    pub fn upsert_with_expiry(&self, key: &str, value: Value, expiry: u32) -> Result<MutationResult> {
+    pub fn upsert_with_expiry(
+        &self,
+        key: &str,
+        value: impl Into<SharedValue>,
+        expiry: u32,
+    ) -> Result<MutationResult> {
+        let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, expiry))
     }
 
@@ -152,7 +169,7 @@ impl SmartClient {
     pub fn upsert_durable(
         &self,
         key: &str,
-        value: Value,
+        value: impl Into<SharedValue>,
         durability: Durability,
         timeout: Duration,
     ) -> Result<MutationResult> {

@@ -55,6 +55,9 @@ pub struct ClusterConfig {
     pub eviction: cbs_cache::EvictionPolicy,
     /// Flusher drain interval.
     pub flush_interval: Duration,
+    /// Flusher shards per bucket engine (each group-commits a static slice
+    /// of vBuckets with one fsync per drain cycle).
+    pub flusher_shards: usize,
     /// Storage fragmentation threshold for compaction.
     pub fragmentation_threshold: f64,
 }
@@ -69,6 +72,7 @@ impl ClusterConfig {
             cache_quota: 256 << 20,
             eviction: cbs_cache::EvictionPolicy::ValueOnly,
             flush_interval: Duration::from_millis(10),
+            flusher_shards: 4,
             fragmentation_threshold: 0.6,
         }
     }

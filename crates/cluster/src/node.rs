@@ -107,6 +107,7 @@ impl Node {
                 .join(bucket),
             fragmentation_threshold: self.cfg.fragmentation_threshold,
             lock_timeout: std::time::Duration::from_secs(15),
+            flusher_shards: self.cfg.flusher_shards,
         })?;
         self.flushers
             .lock()

@@ -63,7 +63,9 @@ impl Datastore for ClusterDatastore {
 
     fn fetch(&self, keyspace: &str, key: &str) -> Result<Option<Value>> {
         match self.client(keyspace)?.get(key) {
-            Ok(r) => Ok(Some(r.value)),
+            // The Datastore trait wants an owned Value; `into_value` clones
+            // only if the document is still shared.
+            Ok(r) => Ok(Some(r.value.into_value())),
             Err(Error::KeyNotFound(_)) => Ok(None),
             Err(e) => Err(e),
         }

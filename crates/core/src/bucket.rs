@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use cbs_cluster::{Cluster, Durability, SmartClient};
 use cbs_common::{Cas, Error, Result};
-use cbs_json::Value;
+use cbs_json::{SharedValue, Value};
 use cbs_kv::{GetResult, MutationResult};
 
 /// A handle to one bucket (key space).
@@ -40,17 +40,22 @@ impl Bucket {
     }
 
     /// Insert-or-update.
-    pub fn upsert(&self, key: &str, value: Value) -> Result<MutationResult> {
+    pub fn upsert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
         self.client.upsert(key, value)
     }
 
     /// Insert only (fails with [`Error::KeyExists`] on existing keys).
-    pub fn insert(&self, key: &str, value: Value) -> Result<MutationResult> {
+    pub fn insert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
         self.client.insert(key, value)
     }
 
     /// Update only, with optional optimistic-locking CAS check (§3.1.1).
-    pub fn replace(&self, key: &str, value: Value, cas: Cas) -> Result<MutationResult> {
+    pub fn replace(
+        &self,
+        key: &str,
+        value: impl Into<SharedValue>,
+        cas: Cas,
+    ) -> Result<MutationResult> {
         self.client.replace(key, value, cas)
     }
 
@@ -60,7 +65,12 @@ impl Bucket {
     }
 
     /// Upsert with a TTL (unix-seconds absolute expiry).
-    pub fn upsert_with_expiry(&self, key: &str, value: Value, expiry: u32) -> Result<MutationResult> {
+    pub fn upsert_with_expiry(
+        &self,
+        key: &str,
+        value: impl Into<SharedValue>,
+        expiry: u32,
+    ) -> Result<MutationResult> {
         self.client.upsert_with_expiry(key, value, expiry)
     }
 
@@ -68,7 +78,7 @@ impl Bucket {
     pub fn upsert_durable(
         &self,
         key: &str,
-        value: Value,
+        value: impl Into<SharedValue>,
         durability: Durability,
         timeout: Duration,
     ) -> Result<MutationResult> {
@@ -97,7 +107,9 @@ impl Bucket {
         for _ in 0..max_retries {
             let current = self.get(key)?;
             let mut value = current.value;
-            transform(&mut value);
+            // Copy-on-write: clones the document only if it is still
+            // shared with the cache (which it is, right after a get).
+            transform(value.make_mut());
             match self.client.upsert_with_cas(key, value, current.meta.cas) {
                 Ok(m) => return Ok(m),
                 Err(Error::CasMismatch(_)) => continue,

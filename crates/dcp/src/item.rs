@@ -1,7 +1,7 @@
 //! DCP stream items.
 
 use cbs_common::{DocMeta, VbId};
-use cbs_json::Value;
+use cbs_json::SharedValue;
 
 /// What kind of change an item carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +16,9 @@ pub enum DcpKind {
 }
 
 /// One change flowing over DCP.
+///
+/// The body is a [`SharedValue`]: cloning an item (per-subscriber fan-out in
+/// the hub) bumps a reference count instead of deep-copying the JSON tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcpItem {
     /// Originating vBucket.
@@ -27,13 +30,18 @@ pub struct DcpItem {
     /// Change kind.
     pub kind: DcpKind,
     /// Document body; `None` for deletions/expirations.
-    pub value: Option<Value>,
+    pub value: Option<SharedValue>,
 }
 
 impl DcpItem {
     /// Convenience: construct a mutation item.
-    pub fn mutation(vb: VbId, key: impl Into<String>, meta: DocMeta, value: Value) -> DcpItem {
-        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Mutation, value: Some(value) }
+    pub fn mutation(
+        vb: VbId,
+        key: impl Into<String>,
+        meta: DocMeta,
+        value: impl Into<SharedValue>,
+    ) -> DcpItem {
+        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Mutation, value: Some(value.into()) }
     }
 
     /// Convenience: construct a deletion item.
@@ -51,15 +59,25 @@ impl DcpItem {
 mod tests {
     use super::*;
     use cbs_common::SeqNo;
+    use cbs_json::Value;
 
     #[test]
     fn constructors() {
         let meta = DocMeta { seqno: SeqNo(4), ..Default::default() };
         let m = DcpItem::mutation(VbId(1), "k", meta, Value::int(1));
         assert!(!m.is_deletion());
-        assert_eq!(m.value, Some(Value::int(1)));
+        assert_eq!(m.value.as_deref(), Some(&Value::int(1)));
         let d = DcpItem::deletion(VbId(1), "k", meta);
         assert!(d.is_deletion());
         assert!(d.value.is_none());
+    }
+
+    #[test]
+    fn clone_aliases_the_body() {
+        let meta = DocMeta { seqno: SeqNo(9), ..Default::default() };
+        let m = DcpItem::mutation(VbId(0), "k", meta, Value::object([("a", Value::int(1))]));
+        let fanned = m.clone();
+        let (a, b) = (m.value.as_ref().unwrap(), fanned.value.as_ref().unwrap());
+        assert!(SharedValue::ptr_eq(a, b), "fan-out must not deep-copy the body");
     }
 }

@@ -21,11 +21,13 @@ pub mod collate;
 pub mod parse;
 pub mod path;
 pub mod print;
+pub mod shared;
 pub mod value;
 
 pub use collate::{cmp_missing, cmp_values, CollatedValue, TypeRank};
 pub use parse::{parse, ParseError};
 pub use path::{parse_path, JsonPath, PathStep};
+pub use shared::SharedValue;
 pub use value::{Number, Value};
 
 #[cfg(test)]

@@ -11,8 +11,8 @@ use cbs_common::{
     vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId,
 };
 use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
-use cbs_json::Value;
-use cbs_storage::{BucketStore, StoredDoc};
+use cbs_json::{SharedValue, Value};
+use cbs_storage::{BucketStore, GroupCommitWal, StoredDoc};
 use parking_lot::{Condvar, Mutex};
 
 use crate::stats::EngineStats;
@@ -31,27 +31,47 @@ struct VbMeta {
 
 /// Per-vBucket disk-write queue with de-duplication: "asynchrony [...]
 /// provides an opportunity for repeated updates to an object to be
-/// aggregated at the level of persistence" (§2.3.2).
+/// aggregated at the level of persistence" (§2.3.2). Keys are `Arc<str>`
+/// shared between the ordered queue and the de-dup set, so each enqueued
+/// key costs one allocation, not two.
 #[derive(Default)]
 struct DirtyQueue {
-    keys: Vec<String>,
-    queued: std::collections::HashSet<String>,
+    keys: Vec<Arc<str>>,
+    queued: std::collections::HashSet<Arc<str>>,
 }
 
 impl DirtyQueue {
     fn enqueue(&mut self, key: &str) -> bool {
-        if self.queued.insert(key.to_string()) {
-            self.keys.push(key.to_string());
-            true
-        } else {
-            false
+        if self.queued.contains(key) {
+            return false;
         }
+        let key: Arc<str> = Arc::from(key);
+        self.queued.insert(Arc::clone(&key));
+        self.keys.push(key);
+        true
     }
 
-    fn take(&mut self) -> Vec<String> {
+    fn take(&mut self) -> Vec<Arc<str>> {
         self.queued.clear();
         std::mem::take(&mut self.keys)
     }
+}
+
+/// One flusher shard: a static slice of vBuckets drained together, with the
+/// cycle's records group-committed through a single WAL fsync.
+struct FlushShard {
+    /// The vBuckets this shard owns (static assignment).
+    vbs: Vec<VbId>,
+    /// Group-commit write-ahead log; one `sync()` per drain cycle.
+    wal: GroupCommitWal,
+    /// Dirty keys queued across this shard's vBuckets.
+    dirty_count: AtomicU64,
+    /// Wakeup generation counter; bumped (under the lock) by
+    /// `enqueue_dirty` so a sleeping flusher thread cannot miss a write.
+    signal: Mutex<u64>,
+    signal_cv: Condvar,
+    /// vBuckets with store writes not yet covered by a checkpoint fsync.
+    touched: Mutex<std::collections::HashSet<VbId>>,
 }
 
 /// The data service engine for one bucket on one node.
@@ -65,11 +85,15 @@ pub struct DataEngine {
     high_seqnos: Vec<AtomicU64>,
     persisted_seqnos: Vec<AtomicU64>,
     dirty: Vec<Mutex<DirtyQueue>>,
-    dirty_count: AtomicU64,
+    shards: Vec<FlushShard>,
     persist_mutex: Mutex<()>,
     persist_cv: Condvar,
     stats: EngineStats,
 }
+
+/// Checkpoint the WAL (sync touched stores, truncate the log) once it grows
+/// past this many bytes.
+const WAL_CHECKPOINT_BYTES: u64 = 4 << 20;
 
 impl DataEngine {
     /// Create an engine. All vBuckets start `Dead`; the cluster manager (or
@@ -78,6 +102,22 @@ impl DataEngine {
     pub fn new(cfg: EngineConfig) -> Result<Arc<DataEngine>> {
         let n = cfg.num_vbuckets;
         let store = BucketStore::open(cfg.data_dir.clone())?;
+        Self::replay_wals(&store, &cfg.data_dir)?;
+        let num_shards = cfg.flusher_shards.clamp(1, n.max(1) as usize);
+        let mut shards = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            shards.push(FlushShard {
+                vbs: (0..n)
+                    .map(VbId)
+                    .filter(|vb| shard_for_vb(*vb, num_shards, n) == s)
+                    .collect(),
+                wal: GroupCommitWal::open(&cfg.data_dir, s)?,
+                dirty_count: AtomicU64::new(0),
+                signal: Mutex::new(0),
+                signal_cv: Condvar::new(),
+                touched: Mutex::new(std::collections::HashSet::new()),
+            });
+        }
         Ok(Arc::new(DataEngine {
             cache: ObjectCache::new(n, cfg.cache_quota, cfg.eviction),
             store,
@@ -89,12 +129,36 @@ impl DataEngine {
             high_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
             persisted_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
             dirty: (0..n).map(|_| Mutex::new(DirtyQueue::default())).collect(),
-            dirty_count: AtomicU64::new(0),
+            shards,
             persist_mutex: Mutex::new(()),
             persist_cv: Condvar::new(),
             stats: EngineStats::default(),
             cfg,
         }))
+    }
+
+    /// Recovery: re-apply any group-commit WAL records newer than what the
+    /// per-vBucket stores hold (the stores are written unsynced between
+    /// checkpoints; the WAL is the durable copy of that window). Synced
+    /// stores in hand, the WALs are deleted — the new shard layout creates
+    /// fresh ones.
+    fn replay_wals(store: &BucketStore, dir: &std::path::Path) -> Result<()> {
+        let records = cbs_storage::replay_wals(dir)?;
+        let mut touched: Vec<VbId> = Vec::new();
+        for (vb, doc) in records {
+            let s = store.vb(vb)?;
+            if doc.meta.seqno > s.high_seqno() {
+                s.persist(&doc)?;
+                if !touched.contains(&vb) {
+                    touched.push(vb);
+                }
+            }
+        }
+        for vb in touched {
+            store.vb(vb)?.sync()?;
+        }
+        cbs_storage::remove_wals(dir)?;
+        Ok(())
     }
 
     /// Engine configuration.
@@ -179,7 +243,12 @@ impl DataEngine {
     pub fn purge_vb(&self, vb: VbId) -> Result<()> {
         self.set_vb_state(vb, VbState::Dead);
         self.cache.clear_vb(vb);
-        self.dirty[vb.index()].lock().take();
+        let shard = self.shard_for(vb);
+        let dropped = self.dirty[vb.index()].lock().take().len() as u64;
+        self.shards[shard].dirty_count.fetch_sub(dropped, Ordering::Relaxed);
+        // Checkpoint first: the shard's WAL may still hold records for this
+        // vBucket, and a replay after restart must not resurrect it.
+        self.checkpoint_shard(shard)?;
         self.store.drop_vb(vb)?;
         self.high_seqnos[vb.index()].store(0, Ordering::SeqCst);
         self.persisted_seqnos[vb.index()].store(0, Ordering::SeqCst);
@@ -247,7 +316,7 @@ impl DataEngine {
                     .vb(vb)?
                     .get(key)?
                     .ok_or_else(|| Error::Storage(format!("meta resident but no disk copy: {key}")))?;
-                let value = parse_stored_value(&stored)?;
+                let value = SharedValue::new(parse_stored_value(&stored)?);
                 self.cache.repopulate(vb, key, value.clone());
                 Ok(GetResult { value, meta })
             }
@@ -257,7 +326,7 @@ impl DataEngine {
                     if let Some(stored) = self.store.vb(vb)?.get(key)? {
                         if !stored.deleted && !stored.meta.is_expired_at(now_secs()) {
                             self.stats.bg_fetches.fetch_add(1, Ordering::Relaxed);
-                            let value = parse_stored_value(&stored)?;
+                            let value = SharedValue::new(parse_stored_value(&stored)?);
                             let _ = self.cache.set(vb, key, stored.meta, value.clone(), false);
                             return Ok(GetResult { value, meta: stored.meta });
                         }
@@ -275,11 +344,14 @@ impl DataEngine {
     pub fn set(
         &self,
         key: &str,
-        value: Value,
+        value: impl Into<SharedValue>,
         mode: MutateMode,
         cas_check: Cas,
         expiry: u32,
     ) -> Result<MutationResult> {
+        // One shared allocation serves the cache, the DCP item, and every
+        // subscriber — the zero-copy write path.
+        let value: SharedValue = value.into();
         let vb = self.vb_for_key(key);
         let mut meta = self.vbs[vb.index()].lock();
         if meta.state != VbState::Active {
@@ -311,6 +383,7 @@ impl DataEngine {
         self.enqueue_dirty(vb, key);
         meta.locks.remove(key);
         self.hub.publish(&DcpItem::mutation(vb, key, new_meta, value));
+
         drop(meta);
         self.stats.sets.fetch_add(1, Ordering::Relaxed);
         Ok(MutationResult { vb, seqno, cas: new_meta.cas })
@@ -460,11 +533,13 @@ impl DataEngine {
         if item.is_deletion() {
             self.cache.delete(vb, &item.key, item.meta, true)?;
         } else {
+            // Reference-count bump: the replica shares the active copy's
+            // document allocation.
             self.cache.set(
                 vb,
                 &item.key,
                 item.meta,
-                item.value.clone().unwrap_or(Value::Null),
+                item.value.clone().unwrap_or_else(|| SharedValue::new(Value::Null)),
                 true,
             )?;
         }
@@ -483,7 +558,7 @@ impl DataEngine {
         &self,
         key: &str,
         incoming: DocMeta,
-        value: Option<Value>,
+        value: Option<SharedValue>,
         deleted: bool,
     ) -> Result<bool> {
         let vb = self.vb_for_key(key);
@@ -501,17 +576,18 @@ impl DataEngine {
         // clusters converge to identical metadata.
         let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
         let new_meta = DocMeta { seqno, ..incoming };
+        let value = value.unwrap_or_else(|| SharedValue::new(Value::Null));
         if deleted {
             self.cache.delete(vb, key, new_meta, true)?;
         } else {
-            self.cache.set(vb, key, new_meta, value.clone().unwrap_or(Value::Null), true)?;
+            self.cache.set(vb, key, new_meta, value.clone(), true)?;
         }
         self.enqueue_dirty(vb, key);
         vbmeta.locks.remove(key);
         let item = if deleted {
             DcpItem::deletion(vb, key, new_meta)
         } else {
-            DcpItem::mutation(vb, key, new_meta, value.unwrap_or(Value::Null))
+            DcpItem::mutation(vb, key, new_meta, value)
         };
         self.hub.publish(&item);
         drop(vbmeta);
@@ -544,26 +620,80 @@ impl DataEngine {
     // Flusher internals (driven by `crate::flusher`)
     // ------------------------------------------------------------------
 
+    fn shard_for(&self, vb: VbId) -> usize {
+        shard_for_vb(vb, self.shards.len(), self.cfg.num_vbuckets)
+    }
+
+    /// Number of flusher shards (each served by one pool thread).
+    pub fn num_flusher_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     fn enqueue_dirty(&self, vb: VbId, key: &str) {
         if self.dirty[vb.index()].lock().enqueue(key) {
-            self.dirty_count.fetch_add(1, Ordering::Relaxed);
+            let shard = &self.shards[self.shard_for(vb)];
+            shard.dirty_count.fetch_add(1, Ordering::Relaxed);
+            // Bump the generation under the lock, so a flusher thread that
+            // checked the counter and is about to sleep still sees the
+            // change — no missed wakeups, no 10 ms polling latency.
+            let mut gen = shard.signal.lock();
+            *gen += 1;
+            shard.signal_cv.notify_all();
         } else {
             self.stats.dedup_writes.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Current disk-write queue length (items awaiting persistence).
-    pub fn disk_queue_len(&self) -> u64 {
-        self.dirty_count.load(Ordering::Relaxed)
+    /// Block until `shard` has dirty work, a writer signals, or `timeout`
+    /// elapses. Called by idle flusher-pool threads.
+    pub fn wait_for_dirty(&self, shard: usize, timeout: Duration) {
+        let sh = &self.shards[shard];
+        if sh.dirty_count.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut gen = sh.signal.lock();
+        let start = *gen;
+        while *gen == start && sh.dirty_count.load(Ordering::Relaxed) == 0 {
+            if sh.signal_cv.wait_until(&mut gen, deadline).timed_out() {
+                break;
+            }
+        }
     }
 
-    /// Drain every vBucket's dirty queue to the storage engine once.
-    /// Returns the number of items persisted. Called by the flusher thread
-    /// (and directly by tests that want synchronous persistence).
+    /// Wake every shard's flusher thread (shutdown path).
+    pub fn wake_flushers(&self) {
+        for sh in &self.shards {
+            let mut gen = sh.signal.lock();
+            *gen += 1;
+            sh.signal_cv.notify_all();
+        }
+    }
+
+    /// Current disk-write queue length (items awaiting persistence).
+    pub fn disk_queue_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.dirty_count.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drain every shard once (synchronous persistence for tests and
+    /// single-threaded callers). Returns the number of items persisted.
     pub fn flush_once(&self) -> Result<u64> {
         let mut persisted = 0u64;
-        for vbi in 0..self.cfg.num_vbuckets {
-            let vb = VbId(vbi);
+        for shard in 0..self.shards.len() {
+            persisted += self.flush_shard(shard)?;
+        }
+        Ok(persisted)
+    }
+
+    /// Drain one shard's vBuckets to the storage engine: every dirty queue
+    /// in the shard is snapshotted, serialized, and group-committed with a
+    /// **single** WAL `sync()` — the durability point for the whole cycle.
+    /// The per-vBucket stores are then appended *without* syncing; the WAL
+    /// covers them until [`DataEngine::checkpoint_shard`] runs.
+    pub fn flush_shard(&self, shard: usize) -> Result<u64> {
+        let sh = &self.shards[shard];
+        let mut cycle: Vec<(VbId, Vec<StoredDoc>, SeqNo)> = Vec::new();
+        for &vb in &sh.vbs {
             // Snapshot the queue and the high seqno atomically w.r.t.
             // writers (both sides take the vb mutex).
             let (keys, high) = {
@@ -574,7 +704,7 @@ impl DataEngine {
             if keys.is_empty() {
                 continue;
             }
-            self.dirty_count.fetch_sub(keys.len() as u64, Ordering::Relaxed);
+            sh.dirty_count.fetch_sub(keys.len() as u64, Ordering::Relaxed);
             let mut batch = Vec::with_capacity(keys.len());
             for key in &keys {
                 if let Some((meta, value, deleted, dirty)) = self.cache.peek_item(vb, key) {
@@ -586,29 +716,73 @@ impl DataEngine {
                         (Some(v), false) => Bytes::from(v.to_json_string()),
                         (None, false) => continue, // evicted ⇒ already clean
                     };
-                    batch.push(StoredDoc { key: key.clone(), meta, deleted, value: value_bytes });
+                    batch.push(StoredDoc {
+                        key: key.to_string(),
+                        meta,
+                        deleted,
+                        value: value_bytes,
+                    });
                 }
             }
             // Sort by seqno so the log's by-seqno order matches mutation
             // order even with de-duplicated, map-ordered drains.
             batch.sort_by_key(|d| d.meta.seqno);
-            let store = self.store.vb(vb)?;
-            store.persist_batch(&batch)?;
-            store.sync()?;
-            for doc in &batch {
-                self.cache.mark_clean(vb, &doc.key, doc.meta.seqno);
+            cycle.push((vb, batch, high));
+        }
+
+        let mut persisted = 0u64;
+        if !cycle.is_empty() {
+            // Group commit: one buffered append + ONE fsync for every
+            // vBucket drained this cycle.
+            sh.wal.append_cycle(cycle.iter().map(|(vb, batch, _)| (*vb, batch.as_slice())))?;
+            sh.wal.sync()?;
+            // Durable now. Apply the (unsynced) store writes *before*
+            // acknowledging: `backfill` reads the dirty tail first and the
+            // store second, so an item must never be clean-but-unwritten —
+            // that ordering pair is what keeps stream open race-free
+            // against a concurrent drain.
+            let mut touched = sh.touched.lock();
+            for (vb, batch, _) in &cycle {
+                if batch.is_empty() {
+                    continue;
+                }
+                self.store.vb(*vb)?.persist_batch(batch)?;
+                touched.insert(*vb);
             }
-            persisted += batch.len() as u64;
-            self.persisted_seqnos[vb.index()].fetch_max(high.0, Ordering::SeqCst);
+            drop(touched);
+            for (vb, batch, high) in &cycle {
+                for doc in batch {
+                    self.cache.mark_clean(*vb, &doc.key, doc.meta.seqno);
+                }
+                persisted += batch.len() as u64;
+                self.persisted_seqnos[vb.index()].fetch_max(high.0, Ordering::SeqCst);
+            }
         }
         if persisted > 0 {
             self.stats.flushed.fetch_add(persisted, Ordering::Relaxed);
         }
         // Wake durability waiters even on empty drains (their seqno may
         // have been covered by a previous partial drain).
-        let _guard = self.persist_mutex.lock();
-        self.persist_cv.notify_all();
+        {
+            let _guard = self.persist_mutex.lock();
+            self.persist_cv.notify_all();
+        }
+        if sh.wal.len_bytes() >= WAL_CHECKPOINT_BYTES {
+            self.checkpoint_shard(shard)?;
+        }
         Ok(persisted)
+    }
+
+    /// Checkpoint one shard: fsync every store written since the last
+    /// checkpoint, then truncate the WAL that was covering them.
+    pub fn checkpoint_shard(&self, shard: usize) -> Result<()> {
+        let sh = &self.shards[shard];
+        let mut touched = sh.touched.lock();
+        for vb in touched.drain() {
+            self.store.vb(vb)?.sync()?;
+        }
+        sh.wal.reset()?;
+        Ok(())
     }
 
     /// The expiry pager: sweep resident metadata for expired documents and
@@ -667,7 +841,7 @@ impl DataEngine {
                 }
                 out.push(Document {
                     id: item.key,
-                    value: item.value.unwrap_or(Value::Null),
+                    value: item.value.map(SharedValue::into_value).unwrap_or(Value::Null),
                     meta: item.meta,
                 });
             }
@@ -679,8 +853,14 @@ impl DataEngine {
 /// Merge-based backfill: persisted changes plus the dirty in-memory tail.
 impl BackfillSource for DataEngine {
     fn backfill(&self, vb: VbId, since: SeqNo) -> Result<(Vec<DcpItem>, SeqNo)> {
-        let stored = self.store.vb(vb)?.changes_since(since)?;
+        // Snapshot order matters: dirty tail FIRST, store SECOND. The
+        // flusher writes the store before clearing dirty bits, so an item
+        // that leaves the dirty set mid-backfill is guaranteed to show up
+        // in the store read. The reverse order can lose a just-flushed
+        // item from both snapshots (it then sits below the stream's
+        // `start_after` and is never delivered).
         let dirty = self.cache.dirty_snapshot(vb);
+        let stored = self.store.vb(vb)?.changes_since(since)?;
         let mut high = since;
         // Latest version per key wins.
         let mut latest: HashMap<String, DcpItem> = HashMap::new();
@@ -697,7 +877,8 @@ impl BackfillSource for DataEngine {
             let item = if deleted {
                 DcpItem::deletion(vb, key, meta)
             } else {
-                DcpItem::mutation(vb, key, meta, value.unwrap_or(Value::Null))
+                let value = value.unwrap_or_else(|| SharedValue::new(Value::Null));
+                DcpItem::mutation(vb, key, meta, value)
             };
             merge_latest(&mut latest, item);
         }
@@ -705,6 +886,16 @@ impl BackfillSource for DataEngine {
         items.sort_by_key(|i| i.meta.seqno);
         Ok((items, high))
     }
+}
+
+/// Static shard assignment: contiguous slices of the vBucket space, so each
+/// flusher shard drains a disjoint set and no cross-shard coordination is
+/// needed.
+fn shard_for_vb(vb: VbId, num_shards: usize, num_vbuckets: u16) -> usize {
+    if num_vbuckets == 0 {
+        return 0;
+    }
+    vb.index() * num_shards / num_vbuckets as usize
 }
 
 fn merge_latest(map: &mut HashMap<String, DcpItem>, item: DcpItem) {
@@ -976,19 +1167,19 @@ mod tests {
 
         // Incoming with higher rev wins.
         let winner = DocMeta { rev: RevNo(5), cas: Cas(1), ..local };
-        assert!(e.set_with_meta("k", winner, Some(doc(100)), false).unwrap());
+        assert!(e.set_with_meta("k", winner, Some(doc(100).into()), false).unwrap());
         assert_eq!(e.get("k").unwrap().value, doc(100));
         assert_eq!(e.get("k").unwrap().meta.rev, RevNo(5));
 
         // Incoming with lower rev loses.
         let loser = DocMeta { rev: RevNo(2), cas: Cas(u64::MAX), ..local };
-        assert!(!e.set_with_meta("k", loser, Some(doc(0)), false).unwrap());
+        assert!(!e.set_with_meta("k", loser, Some(doc(0).into()), false).unwrap());
         assert_eq!(e.get("k").unwrap().value, doc(100));
 
         // Equal rev: higher CAS wins.
         let current = e.get("k").unwrap().meta;
         let tie_win = DocMeta { rev: current.rev, cas: Cas(current.cas.0 + 1), ..current };
-        assert!(e.set_with_meta("k", tie_win, Some(doc(200)), false).unwrap());
+        assert!(e.set_with_meta("k", tie_win, Some(doc(200).into()), false).unwrap());
         assert_eq!(e.get("k").unwrap().value, doc(200));
 
         // XDCR deletion.

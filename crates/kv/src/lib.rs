@@ -15,7 +15,8 @@
 //!                  disk-write queue       DCP publish ──► replicas,
 //!                        │                               views, GSI, XDCR
 //!                        ▼
-//!                  flusher thread ──► append-only storage ──► mark clean
+//!                  flusher pool ──► group-commit WAL (1 fsync/cycle)
+//!                   (N shards)        └─► append-only storage ──► mark clean
 //! ```
 //!
 //! - **CAS optimistic locking** and **GETL hard locks with timeout**
@@ -38,7 +39,7 @@ pub mod stats;
 pub mod types;
 
 pub use engine::DataEngine;
-pub use flusher::FlusherHandle;
+pub use flusher::{FlusherHandle, FlusherPool};
 pub use stats::EngineStats;
 pub use types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
 

@@ -1,7 +1,7 @@
 //! Data-service vocabulary types.
 
 use cbs_common::{Cas, DocMeta, SeqNo, VbId};
-use cbs_json::Value;
+use cbs_json::{SharedValue, Value};
 
 /// Lifecycle state of a vBucket on a node (paper §4.3.1):
 ///
@@ -35,11 +35,12 @@ pub enum MutateMode {
     Replace,
 }
 
-/// A read result.
+/// A read result. The body is a [`SharedValue`]: on a cache hit it aliases
+/// the cached document (a reference-count bump, never a deep clone).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GetResult {
     /// Document body.
-    pub value: Value,
+    pub value: SharedValue,
     /// Metadata (CAS for optimistic locking, etc.).
     pub meta: DocMeta,
 }
@@ -83,6 +84,10 @@ pub struct EngineConfig {
     /// GETL default lock timeout ("this lock will be released after a
     /// certain timeout to avoid deadlocks", §3.1.1).
     pub lock_timeout: std::time::Duration,
+    /// Number of flusher shards: each owns a static slice of vBuckets and
+    /// group-commits its drain cycles with one fsync. Clamped to
+    /// `1..=num_vbuckets`.
+    pub flusher_shards: usize,
 }
 
 impl EngineConfig {
@@ -95,6 +100,7 @@ impl EngineConfig {
             data_dir: cbs_storage::scratch_dir("kv"),
             fragmentation_threshold: 0.6,
             lock_timeout: std::time::Duration::from_secs(15),
+            flusher_shards: 4,
         }
     }
 }

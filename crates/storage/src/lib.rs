@@ -24,10 +24,12 @@
 pub mod bucket;
 pub mod record;
 pub mod vbstore;
+pub mod wal;
 
 pub use bucket::BucketStore;
 pub use record::{DocMeta, StoredDoc};
 pub use vbstore::{StoreStats, VBucketStore};
+pub use wal::{remove_wals, replay_wals, GroupCommitWal};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

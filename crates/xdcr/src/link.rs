@@ -102,6 +102,14 @@ fn link_loop(
         if map.epoch != built_epoch {
             for v in 0..nvb {
                 let vb = VbId(v as u16);
+                // Restart from zero: a promoted replica may be *behind* the
+                // consumed cursor (async replication), and its new writes
+                // would reuse already-consumed seqnos and be skipped
+                // forever. Re-shipping is idempotent — destination conflict
+                // resolution rejects items it already has.
+                if built_epoch != u64::MAX {
+                    cursors[v] = SeqNo::ZERO;
+                }
                 streams[v] = source
                     .active_engine(bucket, vb)
                     .and_then(|e| e.open_dcp_stream(vb, cursors[v]))

@@ -184,9 +184,14 @@ pub fn run_workload(
                             let n = record_count.load(Ordering::Relaxed);
                             let key = key_for(workload.next_key_index(&mut rng, n));
                             match bucket.get(&key) {
-                                Ok(mut g) => {
-                                    g.value.insert_field("field0", Value::from("modified"));
-                                    bucket.upsert(&key, g.value).is_ok()
+                                Ok(g) => {
+                                    // Copy-on-write: the shared document is
+                                    // cloned only because the cache still
+                                    // aliases it.
+                                    let mut v = g.value;
+                                    v.make_mut()
+                                        .insert_field("field0", Value::from("modified"));
+                                    bucket.upsert(&key, v).is_ok()
                                 }
                                 Err(_) => false,
                             }
