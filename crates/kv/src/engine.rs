@@ -1,7 +1,7 @@
 //! The data engine: memory-first write path, KV API, vBucket states.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,7 +45,15 @@ impl DirtyQueue {
         if self.queued.contains(key) {
             return false;
         }
-        let key: Arc<str> = Arc::from(key);
+        self.enqueue_shared(Arc::from(key))
+    }
+
+    /// Enqueue an already-shared key (the flusher's error path re-queuing
+    /// a failed cycle's snapshot) without reallocating it.
+    fn enqueue_shared(&mut self, key: Arc<str>) -> bool {
+        if self.queued.contains(&*key) {
+            return false;
+        }
         self.queued.insert(Arc::clone(&key));
         self.keys.push(key);
         true
@@ -72,6 +80,14 @@ struct FlushShard {
     signal_cv: Condvar,
     /// vBuckets with store writes not yet covered by a checkpoint fsync.
     touched: Mutex<std::collections::HashSet<VbId>>,
+    /// Serializes a whole drain cycle (WAL append → sync → store writes →
+    /// touched-set insert) against checkpoints. Without it a checkpoint
+    /// from another thread (e.g. `purge_vb` on the cluster manager) could
+    /// truncate WAL records whose covering store writes are still
+    /// unsynced, or an in-flight cycle could append a purged vBucket's
+    /// records after its checkpoint. Also makes concurrent `flush_shard`
+    /// calls on one shard (public `flush_once` vs. the pool) safe.
+    flush_lock: Mutex<()>,
 }
 
 /// The data service engine for one bucket on one node.
@@ -116,6 +132,7 @@ impl DataEngine {
                 signal: Mutex::new(0),
                 signal_cv: Condvar::new(),
                 touched: Mutex::new(std::collections::HashSet::new()),
+                flush_lock: Mutex::new(()),
             });
         }
         Ok(Arc::new(DataEngine {
@@ -644,17 +661,24 @@ impl DataEngine {
         }
     }
 
-    /// Block until `shard` has dirty work, a writer signals, or `timeout`
-    /// elapses. Called by idle flusher-pool threads.
-    pub fn wait_for_dirty(&self, shard: usize, timeout: Duration) {
+    /// Block until `shard` has dirty work, a writer signals, `stop` is
+    /// set, or `timeout` elapses. Called by idle flusher-pool threads.
+    /// `stop` is rechecked inside the wait loop: `shutdown` sets it and
+    /// then bumps the generation under the signal lock, so a thread that
+    /// passed its caller's stop check but has not yet recorded the
+    /// generation cannot sleep through the shutdown wakeup.
+    pub fn wait_for_dirty(&self, shard: usize, timeout: Duration, stop: &AtomicBool) {
         let sh = &self.shards[shard];
-        if sh.dirty_count.load(Ordering::Relaxed) > 0 {
+        if sh.dirty_count.load(Ordering::Relaxed) > 0 || stop.load(Ordering::Relaxed) {
             return;
         }
         let deadline = Instant::now() + timeout;
         let mut gen = sh.signal.lock();
         let start = *gen;
-        while *gen == start && sh.dirty_count.load(Ordering::Relaxed) == 0 {
+        while *gen == start
+            && sh.dirty_count.load(Ordering::Relaxed) == 0
+            && !stop.load(Ordering::Relaxed)
+        {
             if sh.signal_cv.wait_until(&mut gen, deadline).timed_out() {
                 break;
             }
@@ -692,7 +716,13 @@ impl DataEngine {
     /// covers them until [`DataEngine::checkpoint_shard`] runs.
     pub fn flush_shard(&self, shard: usize) -> Result<u64> {
         let sh = &self.shards[shard];
+        // Hold the shard's flush lock for the whole cycle so a concurrent
+        // checkpoint (purge_vb, shutdown) can neither truncate the WAL
+        // between our sync and our store writes nor run between a purge
+        // and a late append of the purged vBucket's records.
+        let _flush = sh.flush_lock.lock();
         let mut cycle: Vec<(VbId, Vec<StoredDoc>, SeqNo)> = Vec::new();
+        let mut snapshots: Vec<(VbId, Vec<Arc<str>>)> = Vec::new();
         for &vb in &sh.vbs {
             // Snapshot the queue and the high seqno atomically w.r.t.
             // writers (both sides take the vb mutex).
@@ -728,28 +758,29 @@ impl DataEngine {
             // order even with de-duplicated, map-ordered drains.
             batch.sort_by_key(|d| d.meta.seqno);
             cycle.push((vb, batch, high));
+            snapshots.push((vb, keys));
         }
 
         let mut persisted = 0u64;
         if !cycle.is_empty() {
-            // Group commit: one buffered append + ONE fsync for every
-            // vBucket drained this cycle.
-            sh.wal.append_cycle(cycle.iter().map(|(vb, batch, _)| (*vb, batch.as_slice())))?;
-            sh.wal.sync()?;
-            // Durable now. Apply the (unsynced) store writes *before*
-            // acknowledging: `backfill` reads the dirty tail first and the
-            // store second, so an item must never be clean-but-unwritten —
-            // that ordering pair is what keeps stream open race-free
-            // against a concurrent drain.
-            let mut touched = sh.touched.lock();
-            for (vb, batch, _) in &cycle {
-                if batch.is_empty() {
-                    continue;
+            if let Err(e) = self.commit_cycle(sh, &cycle) {
+                // The queues were already snapshotted and the counter
+                // decremented; put the keys back (skipping any a newer
+                // write has re-queued) so the items are retried instead of
+                // stranded dirty-but-unqueued, which would hang
+                // `wait_persisted` callers forever.
+                let mut restored = 0u64;
+                for (vb, keys) in snapshots {
+                    let mut queue = self.dirty[vb.index()].lock();
+                    for key in keys {
+                        if queue.enqueue_shared(key) {
+                            restored += 1;
+                        }
+                    }
                 }
-                self.store.vb(*vb)?.persist_batch(batch)?;
-                touched.insert(*vb);
+                sh.dirty_count.fetch_add(restored, Ordering::Relaxed);
+                return Err(e);
             }
-            drop(touched);
             for (vb, batch, high) in &cycle {
                 for doc in batch {
                     self.cache.mark_clean(*vb, &doc.key, doc.meta.seqno);
@@ -768,15 +799,43 @@ impl DataEngine {
             self.persist_cv.notify_all();
         }
         if sh.wal.len_bytes() >= WAL_CHECKPOINT_BYTES {
-            self.checkpoint_shard(shard)?;
+            self.checkpoint_shard_locked(sh)?;
         }
         Ok(persisted)
     }
 
+    /// The durability half of a drain cycle: group-commit the records to
+    /// the WAL (one fsync), then apply the unsynced store writes. Store
+    /// writes go *before* acknowledging: `backfill` reads the dirty tail
+    /// first and the store second, so an item must never be
+    /// clean-but-unwritten — that ordering pair is what keeps stream open
+    /// race-free against a concurrent drain.
+    fn commit_cycle(&self, sh: &FlushShard, cycle: &[(VbId, Vec<StoredDoc>, SeqNo)]) -> Result<()> {
+        sh.wal.append_cycle(cycle.iter().map(|(vb, batch, _)| (*vb, batch.as_slice())))?;
+        sh.wal.sync()?;
+        let mut touched = sh.touched.lock();
+        for (vb, batch, _) in cycle {
+            if batch.is_empty() {
+                continue;
+            }
+            self.store.vb(*vb)?.persist_batch(batch)?;
+            touched.insert(*vb);
+        }
+        Ok(())
+    }
+
     /// Checkpoint one shard: fsync every store written since the last
-    /// checkpoint, then truncate the WAL that was covering them.
+    /// checkpoint, then truncate the WAL that was covering them. Excludes
+    /// any in-flight drain cycle on the shard (per-shard flush lock), so
+    /// the WAL is never truncated while store writes it covers are still
+    /// unsynced.
     pub fn checkpoint_shard(&self, shard: usize) -> Result<()> {
         let sh = &self.shards[shard];
+        let _flush = sh.flush_lock.lock();
+        self.checkpoint_shard_locked(sh)
+    }
+
+    fn checkpoint_shard_locked(&self, sh: &FlushShard) -> Result<()> {
         let mut touched = sh.touched.lock();
         for vb in touched.drain() {
             self.store.vb(vb)?.sync()?;

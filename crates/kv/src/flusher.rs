@@ -43,9 +43,21 @@ impl FlusherPool {
                 .spawn(move || {
                     let mut since_maintenance = 0u32;
                     while !stop.load(Ordering::Relaxed) {
-                        let persisted = engine.flush_shard(shard).unwrap_or(0);
-                        if persisted == 0 && !stop.load(Ordering::Relaxed) {
-                            engine.wait_for_dirty(shard, interval);
+                        let persisted = match engine.flush_shard(shard) {
+                            Ok(n) => n,
+                            Err(_) => {
+                                // The failed cycle re-queued its keys, so
+                                // dirty_count stays > 0 and wait_for_dirty
+                                // would return immediately; back off
+                                // instead of retrying in a hot loop.
+                                std::thread::sleep(
+                                    Duration::from_millis(50).min(interval),
+                                );
+                                0
+                            }
+                        };
+                        if persisted == 0 {
+                            engine.wait_for_dirty(shard, interval, &stop);
                         }
                         // Periodic maintenance on one shard only, roughly
                         // once per 64 drain cycles.

@@ -109,9 +109,13 @@ impl GroupCommitWal {
 }
 
 /// Read every `wal_*.log` under `dir` and decode its records in append
-/// order. Torn tails end that file's replay; files from a previous shard
-/// layout are replayed all the same (vBucket ownership is encoded per
-/// record, not per file).
+/// order. Torn tails end that file's replay silently (the synced prefix is
+/// all that was ever acknowledged durable); a *corrupt* record — bytes
+/// fully present but failing validation — also ends it, but loudly: the
+/// discarded suffix may hold synced, acknowledged-durable records, so the
+/// loss is reported rather than silent. Files from a previous shard layout
+/// are replayed all the same (vBucket ownership is encoded per record, not
+/// per file).
 pub fn replay_wals(dir: &Path) -> Result<Vec<(VbId, StoredDoc)>> {
     let mut out = Vec::new();
     for path in wal_paths(dir)? {
@@ -125,9 +129,18 @@ pub fn replay_wals(dir: &Path) -> Result<Vec<(VbId, StoredDoc)>> {
                     out.push((vb, doc));
                     offset += 2 + consumed;
                 }
-                // Torn tail (crash mid-append): the synced prefix is all
-                // that was ever acknowledged durable.
-                DecodeOutcome::Incomplete | DecodeOutcome::Corrupt(_) => break,
+                // Torn tail (crash mid-append): expected, stop quietly.
+                DecodeOutcome::Incomplete => break,
+                DecodeOutcome::Corrupt(msg) => {
+                    eprintln!(
+                        "cbs-storage: WAL {} corrupt at offset {offset}: {msg}; \
+                         discarding the remaining {} bytes of replay — records \
+                         after the corruption may have been acknowledged durable",
+                        path.display(),
+                        bytes.len() - offset,
+                    );
+                    break;
+                }
             }
         }
     }
@@ -226,6 +239,26 @@ mod tests {
         assert_eq!(replayed.len(), 2);
         remove_wals(&dir).unwrap();
         assert!(replay_wals(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mid_file_corruption_stops_replay_at_corrupt_record() {
+        let dir = scratch_dir("wal");
+        let wal = GroupCommitWal::open(&dir, 0).unwrap();
+        let b = vec![doc("a", 1), doc("b", 2), doc("c", 3)];
+        wal.append_cycle([(VbId(4), b.as_slice())]).unwrap();
+        wal.sync().unwrap();
+        let path = wal.path().to_path_buf();
+        drop(wal);
+        // Flip a payload byte in the middle record: replay keeps the intact
+        // prefix and stops (loudly) at the corruption.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = (2 + b[0].disk_size() as usize) + 2 + crate::record::HEADER_LEN;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = replay_wals(&dir).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].1.key, "a");
     }
 
     #[test]
