@@ -271,15 +271,19 @@ impl ObjectCache {
                 match self.policy {
                     EvictionPolicy::ValueOnly => {
                         for item in s.map.values_mut() {
-                            if item.dirty || item.value.is_none() {
+                            if item.dirty {
                                 continue;
                             }
+                            let Some(size) = item.value.as_ref().map(|v| v.approx_size())
+                            else {
+                                continue;
+                            };
                             if item.referenced && pass == 0 {
                                 item.referenced = false;
                                 continue;
                             }
-                            freed += item.value.as_ref().unwrap().approx_size();
                             item.value = None;
+                            freed += size;
                             evicted += 1;
                         }
                     }

@@ -196,7 +196,7 @@ impl SmartClient {
                 map.replica_nodes(vb).len()
             )));
         }
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = cbs_common::time::Deadline::after(timeout);
         if durability.persist_to_master {
             let node = self.cluster.node(map.active_node(vb))?;
             node.engine(&self.bucket)?.wait_persisted(vb, mutation.seqno, timeout)?;
@@ -216,7 +216,7 @@ impl SmartClient {
                 if satisfied >= durability.replicate_to {
                     break;
                 }
-                if std::time::Instant::now() >= deadline {
+                if deadline.expired() {
                     return Err(Error::Timeout(format!(
                         "replication of {key} to {} replicas",
                         durability.replicate_to

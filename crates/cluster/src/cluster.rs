@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cbs_common::{Error, NodeId, Result, SeqNo, VbId};
 use cbs_json::Value;
@@ -389,7 +389,7 @@ impl Cluster {
         dst.set_vb_state(vb, VbState::Pending);
         let mut stream = src.open_dcp_stream(vb, dst.high_seqno(vb))?;
         // Backfill + catch up to the source's current high seqno.
-        let deadline = Instant::now() + Duration::from_secs(60);
+        let deadline = cbs_common::time::Deadline::after(Duration::from_secs(60));
         loop {
             let goal = src.high_seqno(vb);
             for item in stream.drain_until(goal, Duration::from_millis(200)) {
@@ -398,7 +398,7 @@ impl Cluster {
             if stream.cursor() >= goal {
                 break;
             }
-            if Instant::now() > deadline {
+            if deadline.expired() {
                 return Err(Error::Timeout(format!("rebalance mover for {vb:?}")));
             }
         }

@@ -109,9 +109,8 @@ impl Node {
             lock_timeout: std::time::Duration::from_secs(15),
             flusher_shards: self.cfg.flusher_shards,
         })?;
-        self.flushers
-            .lock()
-            .push(FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval));
+        let flusher = FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval)?;
+        self.flushers.lock().push(flusher);
         self.view_engines
             .write()
             .insert(bucket.to_string(), Arc::new(ViewEngine::new(Arc::clone(&engine))));

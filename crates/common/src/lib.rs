@@ -10,13 +10,16 @@ pub mod crc32;
 pub mod error;
 pub mod ids;
 pub mod meta;
+pub mod model;
+pub mod sync;
 pub mod time;
 
 pub use crc32::{crc32, vbucket_for_key};
 pub use error::{Error, Result};
 pub use ids::{Cas, IndexId, NodeId, RevNo, SeqNo, VbId};
 pub use meta::DocMeta;
-pub use time::CasClock;
+pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
+pub use time::{CasClock, Deadline};
 
 /// The fixed number of logical partitions (vBuckets) per bucket.
 ///

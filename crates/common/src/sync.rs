@@ -1,0 +1,463 @@
+//! Rank-ordered lock wrappers: a lock-order deadlock detector.
+//!
+//! Every lock participating in the KV/storage concurrency protocol is wrapped
+//! in an [`OrderedMutex`] / [`OrderedRwLock`] carrying a [`LockRank`]. The
+//! global rank order (documented in DESIGN.md §9) is the machine-checked
+//! invariant: on any one thread, locks may only be acquired in strictly
+//! increasing rank order. Acquiring a lock whose rank is less than or equal
+//! to the highest rank already held is a potential deadlock (two threads
+//! taking the same pair of locks in opposite orders), and panics immediately
+//! with both hold sites when the `lock-order` feature is enabled.
+//!
+//! With the feature disabled (the default for release builds and benches) the
+//! wrappers compile down to a bare `parking_lot` lock: the rank field is not
+//! even stored, every method is `#[inline]` pass-through, and there is no
+//! thread-local bookkeeping. Tier-1 tests enable the feature through
+//! dev-dependencies, so every existing integration test doubles as a
+//! lock-order check.
+//!
+//! The detector is deliberately stricter than "no cycle in the observed
+//! acquisition graph": it enforces a single total order up front, so an
+//! inversion is caught the first time it executes on any one thread, without
+//! needing the two conflicting threads to actually interleave.
+
+use std::ops::{Deref, DerefMut};
+
+/// A position in the global lock order, plus a stable name for diagnostics.
+///
+/// Ranks are compared numerically; gaps are left between the well-known ranks
+/// so future locks can slot in without renumbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockRank {
+    pub rank: u32,
+    pub name: &'static str,
+}
+
+impl LockRank {
+    pub const fn new(rank: u32, name: &'static str) -> LockRank {
+        LockRank { rank, name }
+    }
+}
+
+/// The global lock order for the engine → flusher → storage stack.
+///
+/// Derived from every nesting site in `cbs-kv` and `cbs-storage` (see
+/// DESIGN.md §9 for the per-edge justification). On one thread, ranks must
+/// strictly increase; independent locks of the same rank (e.g. two vBucket
+/// metadata locks) must never be held together.
+pub mod rank {
+    use super::LockRank;
+
+    /// Per-shard flush/checkpoint cycle lock — outermost: held for a whole
+    /// drain cycle while vB metadata, queues, the WAL and stores are touched.
+    pub const FLUSH_CYCLE: LockRank = LockRank::new(10, "kv.shard.flush_cycle");
+    /// Per-vBucket metadata (state, GETL locks).
+    pub const VB_META: LockRank = LockRank::new(20, "kv.vb.meta");
+    /// Per-vBucket dirty-key queue (taken under the vB metadata lock when a
+    /// mutation enqueues).
+    pub const DIRTY_QUEUE: LockRank = LockRank::new(30, "kv.vb.dirty_queue");
+    /// Per-shard flusher wakeup generation counter (condvar seat).
+    pub const FLUSH_SIGNAL: LockRank = LockRank::new(40, "kv.shard.signal");
+    /// Per-shard set of vBuckets touched since the last checkpoint.
+    pub const TOUCHED_SET: LockRank = LockRank::new(50, "kv.shard.touched");
+    /// Per-shard group-commit WAL interior (file + length).
+    pub const WAL: LockRank = LockRank::new(60, "storage.wal");
+    /// Bucket-wide vBucket-store map (open/create/drop).
+    pub const BUCKET_MAP: LockRank = LockRank::new(70, "storage.bucket_map");
+    /// Per-vBucket store interior (file, indexes, seqnos).
+    pub const VB_STORE: LockRank = LockRank::new(80, "storage.vbstore");
+    /// Durability waiters' seat (condvar signalled after each commit cycle) —
+    /// innermost: nothing else is acquired while it is held.
+    pub const PERSIST_WAITERS: LockRank = LockRank::new(90, "kv.persist_waiters");
+}
+
+#[cfg(feature = "lock-order")]
+mod tracking {
+    use super::LockRank;
+    use std::cell::RefCell;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Held {
+        rank: u32,
+        name: &'static str,
+        location: &'static Location<'static>,
+        id: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// An observed "acquired `to` while holding `from`" edge, with the first
+    /// site that exhibited it. Kept for diagnostics ([`super::observed_edges`]).
+    #[derive(Clone, Copy)]
+    pub(super) struct Edge {
+        pub from: LockRank,
+        pub to: LockRank,
+        pub from_site: &'static Location<'static>,
+        pub to_site: &'static Location<'static>,
+    }
+
+    static EDGES: parking_lot::Mutex<Vec<Edge>> = parking_lot::Mutex::new(Vec::new());
+
+    pub(super) fn edges() -> Vec<Edge> {
+        EDGES.lock().clone()
+    }
+
+    fn record_edge(from: &Held, to: LockRank, to_site: &'static Location<'static>) {
+        let mut edges = EDGES.lock();
+        if edges.iter().any(|e| e.from.rank == from.rank && e.to.rank == to.rank) {
+            return;
+        }
+        edges.push(Edge {
+            from: LockRank { rank: from.rank, name: from.name },
+            to,
+            from_site: from.location,
+            to_site,
+        });
+    }
+
+    pub(super) fn on_acquire(rank: LockRank, loc: &'static Location<'static>) -> u64 {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(top) = held.last() {
+                record_edge(top, rank, loc);
+                if rank.rank <= top.rank {
+                    panic!(
+                        "lock-order violation: acquiring `{}` (rank {}) at {} while holding \
+                         `{}` (rank {}) acquired at {}; the global lock order (DESIGN.md §9) \
+                         requires strictly increasing ranks on each thread",
+                        rank.name, rank.rank, loc, top.name, top.rank, top.location
+                    );
+                }
+            }
+            held.push(Held { rank: rank.rank, name: rank.name, location: loc, id });
+        });
+        id
+    }
+
+    pub(super) fn on_release(id: u64) {
+        // `try_with`: guards dropped during thread teardown (after the
+        // thread-local is destroyed) must not double-panic.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|h| h.id == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// RAII tracking token embedded in guards. Declared before the real guard
+    /// in each wrapper struct so it is released first on drop (order between
+    /// the two releases is immaterial: tracking is thread-local).
+    pub(super) struct Token {
+        id: u64,
+    }
+
+    impl Token {
+        #[inline]
+        pub(super) fn acquire(rank: LockRank, loc: &'static Location<'static>) -> Token {
+            Token { id: on_acquire(rank, loc) }
+        }
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            on_release(self.id);
+        }
+    }
+}
+
+/// The acquisition-order edges observed so far in this process, as
+/// `((from_rank, from_name, from_site), (to_rank, to_name, to_site))`
+/// strings. Empty when the `lock-order` feature is disabled. Useful for
+/// dumping the live lock-rank graph from a test.
+pub fn observed_edges() -> Vec<(String, String)> {
+    #[cfg(feature = "lock-order")]
+    {
+        tracking::edges()
+            .into_iter()
+            .map(|e| {
+                (
+                    format!("{} (rank {}) at {}", e.from.name, e.from.rank, e.from_site),
+                    format!("{} (rank {}) at {}", e.to.name, e.to.rank, e.to_site),
+                )
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "lock-order"))]
+    {
+        Vec::new()
+    }
+}
+
+/// A `parking_lot::Mutex` that participates in the global lock order.
+pub struct OrderedMutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    rank: LockRank,
+    inner: parking_lot::Mutex<T>,
+}
+
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _token: tracking::Token,
+    guard: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T> OrderedMutex<T> {
+    #[cfg(feature = "lock-order")]
+    pub const fn new(rank: LockRank, value: T) -> Self {
+        OrderedMutex { rank, inner: parking_lot::Mutex::new(value) }
+    }
+
+    #[cfg(not(feature = "lock-order"))]
+    #[inline]
+    pub const fn new(_rank: LockRank, value: T) -> Self {
+        OrderedMutex { inner: parking_lot::Mutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// Acquire, checking the rank against this thread's held stack first so a
+    /// violation panics before it can actually deadlock.
+    #[track_caller]
+    #[inline]
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let token = tracking::Token::acquire(self.rank, std::panic::Location::caller());
+        OrderedMutexGuard {
+            #[cfg(feature = "lock-order")]
+            _token: token,
+            guard: self.inner.lock(),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> OrderedMutexGuard<'a, T> {
+    /// The underlying `parking_lot` guard, for `Condvar::wait*` interop.
+    ///
+    /// While a wait has the mutex released the tracker still counts it as
+    /// held; that is sound because the thread is blocked for the whole gap
+    /// and re-acquires before continuing.
+    #[inline]
+    pub fn inner_mut(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A `parking_lot::RwLock` that participates in the global lock order.
+///
+/// Read and write acquisitions are both rank-checked; recursive read locking
+/// of the same lock therefore also panics (it would deadlock against a queued
+/// writer under `parking_lot`'s fairness policy anyway).
+pub struct OrderedRwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    rank: LockRank,
+    inner: parking_lot::RwLock<T>,
+}
+
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _token: tracking::Token,
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _token: tracking::Token,
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    #[cfg(feature = "lock-order")]
+    pub const fn new(rank: LockRank, value: T) -> Self {
+        OrderedRwLock { rank, inner: parking_lot::RwLock::new(value) }
+    }
+
+    #[cfg(not(feature = "lock-order"))]
+    #[inline]
+    pub const fn new(_rank: LockRank, value: T) -> Self {
+        OrderedRwLock { inner: parking_lot::RwLock::new(value) }
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    #[track_caller]
+    #[inline]
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let token = tracking::Token::acquire(self.rank, std::panic::Location::caller());
+        OrderedRwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            _token: token,
+            guard: self.inner.read(),
+        }
+    }
+
+    #[track_caller]
+    #[inline]
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let token = tracking::Token::acquire(self.rank, std::panic::Location::caller());
+        OrderedRwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            _token: token,
+            guard: self.inner.write(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOW: LockRank = LockRank::new(1, "test.low");
+    const HIGH: LockRank = LockRank::new(2, "test.high");
+
+    #[test]
+    fn increasing_rank_order_is_fine() {
+        let a = OrderedMutex::new(LOW, 1u32);
+        let b = OrderedMutex::new(HIGH, 2u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+
+    #[test]
+    fn sequential_reacquire_is_fine() {
+        let a = OrderedMutex::new(LOW, 0u32);
+        *a.lock() += 1;
+        *a.lock() += 1;
+        assert_eq!(*a.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_then_higher_write_is_fine() {
+        let a = OrderedRwLock::new(LOW, 1u32);
+        let b = OrderedRwLock::new(HIGH, 0u32);
+        let ga = a.read();
+        *b.write() = *ga;
+        drop(ga);
+        assert_eq!(*b.read(), 1);
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn inverted_acquisition_panics() {
+        // Run the inversion on a scratch thread so the panic (and its
+        // poisoned thread-local state) cannot leak into other tests.
+        let result = std::thread::spawn(|| {
+            let a = OrderedMutex::new(LOW, ());
+            let b = OrderedMutex::new(HIGH, ());
+            let _gb = b.lock();
+            let _ga = a.lock(); // rank 1 while holding rank 2: inversion
+        })
+        .join();
+        let err = result.expect_err("inversion must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(msg.contains("test.low"), "panic names the acquired lock: {msg}");
+        assert!(msg.contains("test.high"), "panic names the held lock: {msg}");
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn same_rank_nesting_panics() {
+        let result = std::thread::spawn(|| {
+            let a = OrderedMutex::new(LOW, ());
+            let b = OrderedMutex::new(LOW, ());
+            let _ga = a.lock();
+            let _gb = b.lock(); // same rank held twice: order between them undefined
+        })
+        .join();
+        assert!(result.is_err(), "same-rank nesting must panic");
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn rwlock_inversion_panics() {
+        let result = std::thread::spawn(|| {
+            let a = OrderedRwLock::new(LOW, ());
+            let b = OrderedRwLock::new(HIGH, ());
+            let _gb = b.read();
+            let _ga = a.read(); // reads are rank-checked too
+        })
+        .join();
+        assert!(result.is_err(), "read-lock inversion must panic");
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn release_unwinds_the_held_stack() {
+        // After dropping the high-rank guard the thread may acquire lower
+        // ranks again: the stack really pops.
+        let a = OrderedMutex::new(LOW, ());
+        let b = OrderedMutex::new(HIGH, ());
+        {
+            let _gb = b.lock();
+        }
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn edges_are_recorded() {
+        let a = OrderedMutex::new(LockRank::new(3, "test.edge_from"), ());
+        let b = OrderedMutex::new(LockRank::new(4, "test.edge_to"), ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+        let edges = observed_edges();
+        assert!(
+            edges
+                .iter()
+                .any(|(f, t)| f.contains("test.edge_from") && t.contains("test.edge_to")),
+            "edge recorded: {edges:?}"
+        );
+    }
+}

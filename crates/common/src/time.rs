@@ -8,9 +8,56 @@
 //! as an XDCR conflict-resolution tiebreaker (paper §4.6.1).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::ids::Cas;
+
+/// Current wall-clock time as whole seconds since the Unix epoch.
+///
+/// This (together with [`Deadline`] and [`CasClock`]) is the blessed
+/// wall-clock read point for the workspace: hot-path and simulated-cluster
+/// code must route through `cbs_common::time` rather than calling
+/// `SystemTime::now` / `Instant::now` directly, so time access stays at one
+/// auditable choke point (`cargo xtask lint` enforces this for the cluster
+/// transport).
+pub fn now_unix_secs() -> u32 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as u32)
+        .unwrap_or(0)
+}
+
+/// A monotonic deadline for timeout/retry loops.
+///
+/// Wraps the two `Instant::now` reads a deadline loop needs (creation and
+/// expiry checks) behind one type, so call sites carry no direct wall-clock
+/// reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Deadline {
+        Deadline { at: Instant::now() + timeout }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left until the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The underlying instant, for `Condvar::wait_until`-style APIs.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
 
 /// A process-wide monotone CAS generator.
 #[derive(Debug, Default)]
@@ -51,6 +98,25 @@ impl CasClock {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3000));
+        assert!(far.instant() > Instant::now());
+    }
+
+    #[test]
+    fn unix_secs_is_sane() {
+        let s = now_unix_secs();
+        // After 2020-01-01, before 2100.
+        assert!(s > 1_577_836_800, "unix seconds too small: {s}");
+    }
 
     #[test]
     fn cas_is_strictly_monotone() {

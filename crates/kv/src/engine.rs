@@ -7,13 +7,14 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cbs_cache::{CacheLookup, ObjectCache};
+use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{
     vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId,
 };
 use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
 use cbs_json::{SharedValue, Value};
 use cbs_storage::{BucketStore, GroupCommitWal, StoredDoc};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::stats::EngineStats;
 use crate::types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
@@ -76,10 +77,10 @@ struct FlushShard {
     dirty_count: AtomicU64,
     /// Wakeup generation counter; bumped (under the lock) by
     /// `enqueue_dirty` so a sleeping flusher thread cannot miss a write.
-    signal: Mutex<u64>,
+    signal: OrderedMutex<u64>,
     signal_cv: Condvar,
     /// vBuckets with store writes not yet covered by a checkpoint fsync.
-    touched: Mutex<std::collections::HashSet<VbId>>,
+    touched: OrderedMutex<std::collections::HashSet<VbId>>,
     /// Serializes a whole drain cycle (WAL append → sync → store writes →
     /// touched-set insert) against checkpoints. Without it a checkpoint
     /// from another thread (e.g. `purge_vb` on the cluster manager) could
@@ -87,7 +88,7 @@ struct FlushShard {
     /// unsynced, or an in-flight cycle could append a purged vBucket's
     /// records after its checkpoint. Also makes concurrent `flush_shard`
     /// calls on one shard (public `flush_once` vs. the pool) safe.
-    flush_lock: Mutex<()>,
+    flush_lock: OrderedMutex<()>,
 }
 
 /// The data service engine for one bucket on one node.
@@ -97,12 +98,12 @@ pub struct DataEngine {
     store: BucketStore,
     hub: DcpHub,
     clock: CasClock,
-    vbs: Vec<Mutex<VbMeta>>,
+    vbs: Vec<OrderedMutex<VbMeta>>,
     high_seqnos: Vec<AtomicU64>,
     persisted_seqnos: Vec<AtomicU64>,
-    dirty: Vec<Mutex<DirtyQueue>>,
+    dirty: Vec<OrderedMutex<DirtyQueue>>,
     shards: Vec<FlushShard>,
-    persist_mutex: Mutex<()>,
+    persist_mutex: OrderedMutex<()>,
     persist_cv: Condvar,
     stats: EngineStats,
 }
@@ -129,10 +130,10 @@ impl DataEngine {
                     .collect(),
                 wal: GroupCommitWal::open(&cfg.data_dir, s)?,
                 dirty_count: AtomicU64::new(0),
-                signal: Mutex::new(0),
+                signal: OrderedMutex::new(rank::FLUSH_SIGNAL, 0),
                 signal_cv: Condvar::new(),
-                touched: Mutex::new(std::collections::HashSet::new()),
-                flush_lock: Mutex::new(()),
+                touched: OrderedMutex::new(rank::TOUCHED_SET, std::collections::HashSet::new()),
+                flush_lock: OrderedMutex::new(rank::FLUSH_CYCLE, ()),
             });
         }
         Ok(Arc::new(DataEngine {
@@ -141,13 +142,20 @@ impl DataEngine {
             hub: DcpHub::new(n),
             clock: CasClock::new(),
             vbs: (0..n)
-                .map(|_| Mutex::new(VbMeta { state: VbState::Dead, locks: HashMap::new() }))
+                .map(|_| {
+                    OrderedMutex::new(
+                        rank::VB_META,
+                        VbMeta { state: VbState::Dead, locks: HashMap::new() },
+                    )
+                })
                 .collect(),
             high_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
             persisted_seqnos: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            dirty: (0..n).map(|_| Mutex::new(DirtyQueue::default())).collect(),
+            dirty: (0..n)
+                .map(|_| OrderedMutex::new(rank::DIRTY_QUEUE, DirtyQueue::default()))
+                .collect(),
             shards,
-            persist_mutex: Mutex::new(()),
+            persist_mutex: OrderedMutex::new(rank::PERSIST_WAITERS, ()),
             persist_cv: Condvar::new(),
             stats: EngineStats::default(),
             cfg,
@@ -414,22 +422,20 @@ impl DataEngine {
             return Err(Error::VbucketNotActive(vb));
         }
         let via_lock_token = self.check_lock(&mut meta, key, cas_check)?;
-        let existing = self.cache.peek_meta(vb, key);
-        let (live, prev) = match existing {
-            Some((m, deleted)) => (!deleted && !m.is_expired_at(now_secs()), Some(m)),
-            None => (false, None),
+        // Bind the live predecessor directly: dead/expired/absent all mean
+        // "not found", and everything below needs its metadata anyway.
+        let prev = match self.cache.peek_meta(vb, key) {
+            Some((m, deleted)) if !deleted && !m.is_expired_at(now_secs()) => m,
+            _ => return Err(Error::KeyNotFound(key.to_string())),
         };
-        if !live {
-            return Err(Error::KeyNotFound(key.to_string()));
-        }
-        if !cas_check.is_wildcard() && !via_lock_token && prev.unwrap().cas != cas_check {
+        if !cas_check.is_wildcard() && !via_lock_token && prev.cas != cas_check {
             return Err(Error::CasMismatch(key.to_string()));
         }
         let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
         let new_meta = DocMeta {
             seqno,
             cas: self.clock.next(),
-            rev: prev.unwrap().rev.next(),
+            rev: prev.rev.next(),
             flags: 0,
             expiry: 0,
         };
@@ -628,7 +634,7 @@ impl DataEngine {
                     self.persisted_seqno(vb)
                 )));
             }
-            self.persist_cv.wait_until(&mut guard, deadline);
+            self.persist_cv.wait_until(guard.inner_mut(), deadline);
         }
         Ok(())
     }
@@ -679,7 +685,7 @@ impl DataEngine {
             && sh.dirty_count.load(Ordering::Relaxed) == 0
             && !stop.load(Ordering::Relaxed)
         {
-            if sh.signal_cv.wait_until(&mut gen, deadline).timed_out() {
+            if sh.signal_cv.wait_until(gen.inner_mut(), deadline).timed_out() {
                 break;
             }
         }

@@ -15,6 +15,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cbs_common::{Error, Result};
+
 use crate::engine::DataEngine;
 
 /// Handle to a running flusher pool; stops (after a final drain and
@@ -31,16 +33,19 @@ pub type FlusherHandle = FlusherPool;
 impl FlusherPool {
     /// Spawn one thread per flusher shard of `engine`. Each thread drains
     /// its shard immediately when woken by a write and at least every
-    /// `interval` otherwise.
-    pub fn spawn(engine: Arc<DataEngine>, interval: Duration) -> FlusherPool {
+    /// `interval` otherwise. Fails (with already-spawned shards stopped and
+    /// joined) if the OS refuses a thread.
+    pub fn spawn(engine: Arc<DataEngine>, interval: Duration) -> Result<FlusherPool> {
         let stop = Arc::new(AtomicBool::new(false));
-        let mut handles = Vec::new();
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
         for shard in 0..engine.num_flusher_shards() {
-            let engine = Arc::clone(&engine);
-            let stop = Arc::clone(&stop);
-            let handle = std::thread::Builder::new()
+            let thread_engine = Arc::clone(&engine);
+            let thread_stop = Arc::clone(&stop);
+            let spawned = std::thread::Builder::new()
                 .name(format!("cbs-flusher-{shard}"))
                 .spawn(move || {
+                    let engine = thread_engine;
+                    let stop = thread_stop;
                     let mut since_maintenance = 0u32;
                     while !stop.load(Ordering::Relaxed) {
                         let persisted = match engine.flush_shard(shard) {
@@ -74,11 +79,22 @@ impl FlusherPool {
                     // everything and leaves the WAL empty.
                     let _ = engine.flush_shard(shard);
                     let _ = engine.checkpoint_shard(shard);
-                })
-                .expect("spawn flusher shard");
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool before reporting: stop and
+                    // join the shards that did start.
+                    stop.store(true, Ordering::Relaxed);
+                    engine.wake_flushers();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(Error::Io(format!("spawn flusher shard {shard}: {e}")));
+                }
+            }
         }
-        FlusherPool { engine, stop, handles }
+        Ok(FlusherPool { engine, stop, handles })
     }
 
     /// Number of shard threads in this pool.
@@ -118,7 +134,7 @@ mod tests {
     fn flusher_persists_in_background() {
         let engine = DataEngine::new(EngineConfig::for_test(16)).unwrap();
         engine.activate_all();
-        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_millis(5));
+        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_millis(5)).unwrap();
         assert!(flusher.num_shards() >= 2, "pool must actually be sharded");
         let m = engine
             .set("k", Value::int(1), MutateMode::Upsert, Cas::WILDCARD, 0)
@@ -135,7 +151,7 @@ mod tests {
         engine.activate_all();
         // A huge interval: threads only drain on wakeup or shutdown, so
         // this exercises both the condvar path and the final drain.
-        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_secs(3600));
+        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_secs(3600)).unwrap();
         let mut vbs_hit = std::collections::HashSet::new();
         for i in 0..50 {
             let m = engine
@@ -172,7 +188,7 @@ mod tests {
         engine.activate_all();
         // Interval is effectively "never": only the enqueue_dirty wakeup
         // can trigger a drain before shutdown.
-        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_secs(3600));
+        let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_secs(3600)).unwrap();
         std::thread::sleep(Duration::from_millis(30)); // let threads reach their waits
         let m = engine
             .set("wake", Value::int(7), MutateMode::Upsert, Cas::WILDCARD, 0)

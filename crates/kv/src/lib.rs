@@ -43,10 +43,8 @@ pub use flusher::{FlusherHandle, FlusherPool};
 pub use stats::EngineStats;
 pub use types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
 
-/// Current unix time in seconds (expiry granularity).
+/// Current unix time in seconds (expiry granularity). Delegates to the
+/// workspace's single wall-clock read point (`cbs_common::time`).
 pub(crate) fn now_secs() -> u32 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs() as u32)
-        .unwrap_or(0)
+    cbs_common::time::now_unix_secs()
 }

@@ -2,6 +2,10 @@
 //! pressure: value-only vs full eviction (§4.3.3), background fetches,
 //! and JSON parser robustness on hostile inputs.
 
+// Tests unwrap freely; the crate's unwrap_used deny targets lib code (the
+// allow-unwrap-in-tests config covers #[test] fns but not file helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,7 +31,7 @@ fn big_doc(i: i64) -> Value {
 fn value_eviction_background_fetches_from_disk() {
     // Quota small enough that values must be evicted once clean.
     let engine = engine_with(EvictionPolicy::ValueOnly, 300_000);
-    let flusher = FlusherHandle::spawn(Arc::clone(&engine), Duration::from_millis(2));
+    let flusher = FlusherHandle::spawn(Arc::clone(&engine), Duration::from_millis(2)).unwrap();
     let n = 300i64;
     let mut written = 0;
     for i in 0..n {
@@ -73,7 +77,7 @@ fn value_eviction_background_fetches_from_disk() {
 #[test]
 fn full_eviction_still_serves_all_documents() {
     let engine = engine_with(EvictionPolicy::Full, 300_000);
-    let flusher = FlusherHandle::spawn(Arc::clone(&engine), Duration::from_millis(2));
+    let flusher = FlusherHandle::spawn(Arc::clone(&engine), Duration::from_millis(2)).unwrap();
     let n = 200i64;
     for i in 0..n {
         loop {

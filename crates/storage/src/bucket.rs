@@ -9,15 +9,15 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_common::{Result, VbId};
-use parking_lot::RwLock;
 
 use crate::vbstore::VBucketStore;
 
 /// Storage for all vBuckets of one bucket hosted on one node.
 pub struct BucketStore {
     dir: PathBuf,
-    stores: RwLock<HashMap<VbId, Arc<VBucketStore>>>,
+    stores: OrderedRwLock<HashMap<VbId, Arc<VBucketStore>>>,
 }
 
 impl BucketStore {
@@ -26,7 +26,7 @@ impl BucketStore {
     /// open/recover individual vBuckets.
     pub fn open(dir: PathBuf) -> Result<BucketStore> {
         std::fs::create_dir_all(&dir)?;
-        Ok(BucketStore { dir, stores: RwLock::new(HashMap::new()) })
+        Ok(BucketStore { dir, stores: OrderedRwLock::new(rank::BUCKET_MAP, HashMap::new()) })
     }
 
     /// Directory backing this bucket.
@@ -44,6 +44,9 @@ impl BucketStore {
         if let Some(s) = w.get(&vb) {
             return Ok(Arc::clone(s));
         }
+        // lint:allow(guard-io): opening must be exclusive — open() truncates
+        // torn tails, which must not race an append through a concurrently
+        // opened second handle to the same file.
         let store = Arc::new(VBucketStore::open(&self.dir, vb)?);
         w.insert(vb, Arc::clone(&store));
         Ok(store)

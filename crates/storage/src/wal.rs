@@ -29,8 +29,8 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::{BufMut, BytesMut};
+use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{Result, VbId};
-use parking_lot::Mutex;
 
 use crate::record::{decode_record, encode_record, DecodeOutcome, StoredDoc};
 
@@ -42,7 +42,7 @@ struct WalInner {
 /// One flusher shard's write-ahead log (`wal_<shard>.log`).
 pub struct GroupCommitWal {
     path: PathBuf,
-    inner: Mutex<WalInner>,
+    inner: OrderedMutex<WalInner>,
 }
 
 impl GroupCommitWal {
@@ -53,7 +53,7 @@ impl GroupCommitWal {
         let path = dir.join(format!("wal_{shard}.log"));
         let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         let len = file.seek(SeekFrom::End(0))?;
-        Ok(GroupCommitWal { path, inner: Mutex::new(WalInner { file, len }) })
+        Ok(GroupCommitWal { path, inner: OrderedMutex::new(rank::WAL, WalInner { file, len }) })
     }
 
     /// Path of the backing file.

@@ -1,6 +1,10 @@
 //! Property-based crash-recovery tests: any prefix of the append-only log
 //! that survives a crash must recover to a consistent, correct state.
 
+// Tests unwrap freely; the crate's unwrap_used deny targets lib code (the
+// allow-unwrap-in-tests config covers #[test] fns but not file helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use bytes::Bytes;
 use cbs_common::{Cas, DocMeta, RevNo, SeqNo, VbId};
 use cbs_storage::{scratch_dir, StoredDoc, VBucketStore};

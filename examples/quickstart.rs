@@ -31,7 +31,7 @@ fn main() {
     // The CAS optimistic-locking flow from §3.1.1.
     let read = bucket.get("borkar123").expect("read for update");
     let mut updated = read.value.clone();
-    updated.insert_field("title", Value::from("VP Product"));
+    updated.make_mut().insert_field("title", Value::from("VP Product"));
     bucket.replace("borkar123", updated, read.meta.cas).expect("CAS replace");
     println!("CAS write: ok (rev {:?})", bucket.get("borkar123").unwrap().meta.rev);
 

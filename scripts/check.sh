@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Pre-PR verification gate (DESIGN.md §9). Run from anywhere in the repo.
+#
+#   scripts/check.sh          # full gate: static analysis + models + tests
+#   scripts/check.sh --quick  # static analysis + concurrency models only
+#
+# Stages:
+#   1. cargo fmt --check          formatting (rustfmt.toml)
+#   2. cargo xtask lint           repo-invariant lint (hot-path unwraps,
+#                                 std::sync, guard-across-I/O, wall-clock)
+#   3. cargo clippy -D warnings   workspace lint walls ([workspace.lints])
+#   4. model suite                lock-order detector + flusher protocol
+#                                 models (exhaustive interleaving search)
+#   5. full test suite            (skipped with --quick)
+#   6. TSan / Miri subset         best-effort: requires nightly toolchain
+#                                 with rust-src / miri; skipped gracefully
+#                                 when the components are not installed.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+FAILED=0
+run() {
+    local label="$1"
+    shift
+    echo "==> $label"
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $*"
+        FAILED=1
+    fi
+}
+
+run "fmt" cargo fmt --all --check
+run "xtask lint" cargo xtask lint
+run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+# Concurrency model suite: the lock-order detector's own tests, the
+# mini-loom explorer, and the exhaustive flusher-protocol models that pin
+# the PR-1 race fixes (checkpoint/drain, shutdown wakeup, failed-drain).
+run "lock-order + explorer (cbs-common)" cargo test --quiet -p cbs-common --features lock-order
+run "flusher protocol models" cargo test --quiet -p cbs-kv --test flusher_models
+
+if [ "$QUICK" -eq 1 ]; then
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh --quick: FAILED"
+        exit 1
+    fi
+    echo "check.sh --quick: all stages passed"
+    exit 0
+fi
+
+run "full test suite" cargo test --quiet --workspace
+
+# --- best-effort dynamic analysis -----------------------------------------
+# ThreadSanitizer needs nightly + rust-src (to build an instrumented std);
+# Miri needs the miri component. Both are optional: absence is a skip, not
+# a failure, so the gate stays runnable on minimal toolchains.
+has_component() {
+    rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q "^$1.*(installed)"
+}
+
+if rustup run nightly rustc --version >/dev/null 2>&1 && has_component rust-src; then
+    run "TSan (flusher tests)" env RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+        --quiet -p cbs-kv --test flusher_models
+else
+    echo "==> TSan: skipped (needs nightly toolchain with rust-src)"
+fi
+
+if has_component miri; then
+    run "Miri (cbs-common)" cargo +nightly miri test --quiet -p cbs-common
+else
+    echo "==> Miri: skipped (miri component not installed)"
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "check.sh: FAILED"
+    exit 1
+fi
+echo "check.sh: all stages passed"
