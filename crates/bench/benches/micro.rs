@@ -75,7 +75,13 @@ fn bench_cache(c: &mut Criterion) {
     g.bench_function("set", |b| {
         b.iter(|| {
             i += 1;
-            cache.set(VbId((i % 64) as u16), &format!("k{}", i % 10_000), DocMeta::default(), doc.clone(), false)
+            cache.set(
+                VbId((i % 64) as u16),
+                &format!("k{}", i % 10_000),
+                DocMeta::default(),
+                doc.clone(),
+                false,
+            )
         })
     });
     g.bench_function("get_hit", |b| {
@@ -142,9 +148,7 @@ fn bench_zero_copy_hot_path(c: &mut Criterion) {
     let doc = cbs_json::parse(&sample_json()).unwrap();
     const ITEMS: u64 = 10_000;
     for i in 0..ITEMS {
-        engine
-            .set(&format!("k{i}"), doc.clone(), MutateMode::Upsert, Cas::WILDCARD, 0)
-            .unwrap();
+        engine.set(&format!("k{i}"), doc.clone(), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
     }
     let mut zipf = ScrambledZipfianGen::new(ITEMS);
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
@@ -222,7 +226,8 @@ fn bench_view_btree(c: &mut Criterion) {
 
 fn bench_gsi(c: &mut Criterion) {
     let mut g = c.benchmark_group("gsi");
-    let def = IndexDef { storage: IndexStorage::MemoryOptimized, ..IndexDef::simple("age", "b", "age") };
+    let def =
+        IndexDef { storage: IndexStorage::MemoryOptimized, ..IndexDef::simple("age", "b", "age") };
     let mgr = cbs_index::IndexManager::new(64, cbs_storage::scratch_dir("gsi-bench"));
     mgr.create_index(def.clone()).unwrap();
     mgr.build("b", "age", &cbs_dcp::hub::EmptyBackfill).unwrap();
@@ -260,7 +265,8 @@ fn bench_gsi(c: &mut Criterion) {
 
 fn bench_n1ql(c: &mut Criterion) {
     let mut g = c.benchmark_group("n1ql");
-    let stmt = "SELECT name, age FROM profiles WHERE age > 21 AND city = 'SF' ORDER BY name LIMIT 10";
+    let stmt =
+        "SELECT name, age FROM profiles WHERE age > 21 AND city = 'SF' ORDER BY name LIMIT 10";
     g.bench_function("parse", |b| b.iter(|| cbs_n1ql::parse_statement(stmt).unwrap()));
 
     let ds = MemoryDatastore::new();

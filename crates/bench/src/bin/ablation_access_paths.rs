@@ -27,7 +27,10 @@ fn main() {
         bucket
             .upsert(
                 &format!("doc{i:08}"),
-                Value::object([("age", Value::int((i % 80) as i64)), ("name", Value::from(format!("u{i}")))]),
+                Value::object([
+                    ("age", Value::int((i % 80) as i64)),
+                    ("name", Value::from(format!("u{i}"))),
+                ]),
             )
             .expect("seed");
     }
@@ -90,9 +93,7 @@ fn main() {
     let mut h = LatencyHistogram::new();
     for _ in 0..reps.min(50) {
         let t = Instant::now();
-        cluster
-            .query("SELECT name FROM default WHERE name = 'u17'", &opts)
-            .expect("primary scan");
+        cluster.query("SELECT name FROM default WHERE name = 'u17'", &opts).expect("primary scan");
         h.record(t.elapsed());
     }
     rows.push(("PrimaryScan (full)", h));
@@ -110,9 +111,7 @@ fn main() {
                 .expect("grow");
         }
         let t = Instant::now();
-        cluster
-            .query("SELECT name FROM default WHERE name = 'u17'", &opts)
-            .expect("scan");
+        cluster.query("SELECT name FROM default WHERE name = 'u17'", &opts).expect("scan");
         println!("  {size} docs: {:?}", t.elapsed());
     }
     println!("\nshape: kv < USE KEYS < covering < +Fetch < PrimaryScan (§5.1, §4.5.3)");

@@ -23,7 +23,10 @@ fn main() {
 
     let configs: Vec<(&str, Option<Durability>)> = vec![
         ("memory-only (default ack)", None),
-        ("replicate_to=1 (memory-to-memory)", Some(Durability { replicate_to: 1, persist_to_master: false })),
+        (
+            "replicate_to=1 (memory-to-memory)",
+            Some(Durability { replicate_to: 1, persist_to_master: false }),
+        ),
         ("persist_to_master (disk)", Some(Durability { replicate_to: 0, persist_to_master: true })),
         ("replicate_to=1 + persist", Some(Durability { replicate_to: 1, persist_to_master: true })),
     ];
@@ -44,7 +47,9 @@ fn main() {
                     bucket.upsert(&key, value).expect("upsert");
                 }
                 Some(d) => {
-                    bucket.upsert_durable(&key, value, d, Duration::from_secs(10)).expect("durable upsert");
+                    bucket
+                        .upsert_durable(&key, value, d, Duration::from_secs(10))
+                        .expect("durable upsert");
                 }
             }
             hist.record(start.elapsed());

@@ -23,9 +23,7 @@ fn run_topology(name: &str, services: Vec<ServiceSet>, kv_ops: u64) -> (String, 
     cluster.create_bucket("default").expect("bucket");
     let bucket = cluster.bucket("default").expect("handle");
     for i in 0..5_000 {
-        bucket
-            .upsert(&format!("d{i}"), Value::object([("n", Value::int(i))]))
-            .expect("seed");
+        bucket.upsert(&format!("d{i}"), Value::object([("n", Value::int(i))])).expect("seed");
     }
     cluster.query("CREATE PRIMARY INDEX ON default", &QueryOptions::default()).expect("pk");
 
@@ -66,11 +64,7 @@ fn main() {
     print_header("topologies", &["topology", "kv mean", "kv p95", "kv p99"]);
 
     let results = vec![
-        run_topology(
-            "co-located (4x all services)",
-            vec![ServiceSet::all(); 4],
-            kv_ops,
-        ),
+        run_topology("co-located (4x all services)", vec![ServiceSet::all(); 4], kv_ops),
         run_topology(
             "separated (2x data, 1x index, 1x query)",
             vec![

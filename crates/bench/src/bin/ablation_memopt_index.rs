@@ -14,14 +14,17 @@ use std::time::Instant;
 
 use cbs_bench::{env_u64, print_header};
 use cbs_common::{DocMeta, SeqNo, VbId};
-use cbs_index::{IndexDef, IndexStorage, ScanConsistency, ScanRange};
 use cbs_index::IndexManager;
+use cbs_index::{IndexDef, IndexStorage, ScanConsistency, ScanRange};
 use cbs_json::Value;
 
 fn main() {
     let mutations = env_u64("CBS_OPS", 20_000);
     println!("Ablation A4: GSI storage mode ingest rate ({mutations} mutations each)");
-    print_header("index storage modes", &["mode", "ingest(mutations/sec)", "scan p50 sample", "disk syncs"]);
+    print_header(
+        "index storage modes",
+        &["mode", "ingest(mutations/sec)", "scan p50 sample", "disk syncs"],
+    );
 
     for (name, storage) in [
         ("standard (disk-synced)", IndexStorage::Standard),
@@ -59,7 +62,10 @@ fn main() {
         let stats = mgr.index_stats("b", "age").expect("stats");
         println!(
             "{name}\t{:.0}\t{:?} ({} rows)\t{}",
-            ingest, scan_time, rows.len(), stats.disk_syncs
+            ingest,
+            scan_time,
+            rows.len(),
+            stats.disk_syncs
         );
     }
     println!("\nshape: memory-optimized ingest ≫ standard ingest (no per-mutation fsync), §6.1.1");

@@ -24,13 +24,9 @@ fn main() {
     cluster.create_bucket("default").expect("bucket");
     let bucket = cluster.bucket("default").expect("handle");
     for i in 0..2_000 {
-        bucket
-            .upsert(&format!("d{i}"), Value::object([("n", Value::int(i))]))
-            .expect("seed");
+        bucket.upsert(&format!("d{i}"), Value::object([("n", Value::int(i))])).expect("seed");
     }
-    cluster
-        .query("CREATE INDEX n_idx ON default(n)", &QueryOptions::default())
-        .expect("index");
+    cluster.query("CREATE INDEX n_idx ON default(n)", &QueryOptions::default()).expect("index");
 
     // Background writer keeps mutations flowing so request_plus always has
     // something to wait for. Throttled so the measurement isn't starved on

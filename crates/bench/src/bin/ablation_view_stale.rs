@@ -24,7 +24,10 @@ fn main() {
             "default",
             DesignDoc {
                 name: "dd".to_string(),
-                views: vec![("by_name".to_string(), ViewDef { map: MapFn::on_field("name"), reduce: None })],
+                views: vec![(
+                    "by_name".to_string(),
+                    ViewDef { map: MapFn::on_field("name"), reduce: None },
+                )],
             },
         )
         .expect("ddoc");
@@ -32,16 +35,17 @@ fn main() {
     println!("Ablation A5: view `stale` modes with a {backlog}-mutation backlog");
     print_header("view staleness", &["stale", "latency", "rows seen", "fresh?"]);
 
-    for (label, stale) in [
-        ("ok", Stale::Ok),
-        ("update_after", Stale::UpdateAfter),
-        ("false", Stale::False),
-    ] {
+    for (label, stale) in
+        [("ok", Stale::Ok), ("update_after", Stale::UpdateAfter), ("false", Stale::False)]
+    {
         // Rebuild the backlog for each mode: write a fresh batch the view
         // hasn't indexed yet.
         for i in 0..backlog {
             bucket
-                .upsert(&format!("{label}-{i}"), Value::object([("name", Value::from(format!("{label}-{i}")))]))
+                .upsert(
+                    &format!("{label}-{i}"),
+                    Value::object([("name", Value::from(format!("{label}-{i}")))]),
+                )
                 .expect("write");
         }
         let q = ViewQuery { stale, ..Default::default() };
@@ -57,9 +61,15 @@ fn main() {
         println!(
             "{label}\t{elapsed:?}\t{}\t{}",
             res.rows.len(),
-            if fresh_rows as u64 == backlog { "yes (all fresh rows)" } else { "no (stale allowed)" }
+            if fresh_rows as u64 == backlog {
+                "yes (all fresh rows)"
+            } else {
+                "no (stale allowed)"
+            }
         );
     }
-    println!("\nshape: stale=ok/update_after answer immediately from the stale index; \
-              stale=false pays the §3.1.2 inline catch-up and sees everything");
+    println!(
+        "\nshape: stale=ok/update_after answer immediately from the stale index; \
+              stale=false pays the §3.1.2 inline catch-up and sees everything"
+    );
 }

@@ -28,11 +28,13 @@ fn main() {
     eprintln!("loading {records} records...");
     LoadPhase::run(&cluster, "ycsb", &spec, 16).expect("load phase");
 
-    print_header("Figure 15: throughput vs total client threads", &["threads", "ops", "throughput(ops/sec)", "p95", "p99"]);
+    print_header(
+        "Figure 15: throughput vs total client threads",
+        &["threads", "ops", "throughput(ops/sec)", "p95", "p99"],
+    );
     let mut series = Vec::new();
     for threads in paper_thread_sweep() {
-        let summary =
-            run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
+        let summary = run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
         println!(
             "{}\t{}\t{}\t{:?}\t{:?}",
             threads,

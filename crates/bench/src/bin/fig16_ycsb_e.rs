@@ -21,7 +21,9 @@ fn main() {
 
     println!("Figure 16 reproduction: YCSB workload E (95% N1QL range scans, 5% inserts)");
     println!("query: SELECT meta().id AS id FROM `bucket` WHERE meta().id >= $1 LIMIT $2");
-    println!("topology: {nodes}-node cluster; dataset: {records} docs; {ops_per_thread} ops/thread");
+    println!(
+        "topology: {nodes}-node cluster; dataset: {records} docs; {ops_per_thread} ops/thread"
+    );
 
     let cluster = paper_cluster(nodes);
     cluster.create_bucket("ycsb").expect("create bucket");
@@ -35,8 +37,7 @@ fn main() {
     );
     let mut series = Vec::new();
     for threads in paper_thread_sweep() {
-        let summary =
-            run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
+        let summary = run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
         println!(
             "{}\t{}\t{}\t{:?}\t{:?}",
             threads,

@@ -77,9 +77,7 @@ pub fn write_bench_json_to(
     s.push_str("  \"series\": [\n");
     for (i, (threads, tput)) in series.iter().enumerate() {
         let sep = if i + 1 < series.len() { "," } else { "" };
-        s.push_str(&format!(
-            "    {{\"threads\": {threads}, \"ops_per_sec\": {tput:.1}}}{sep}\n"
-        ));
+        s.push_str(&format!("    {{\"threads\": {threads}, \"ops_per_sec\": {tput:.1}}}{sep}\n"));
     }
     s.push_str("  ]\n}\n");
     let path = dir.join(format!("BENCH_{name}.json"));
@@ -89,7 +87,10 @@ pub fn write_bench_json_to(
 
 /// Write `BENCH_<name>.json` at the repository root (two levels above this
 /// crate), where the figure binaries leave their machine-readable output.
-pub fn write_bench_json(name: &str, series: &[(usize, f64)]) -> std::io::Result<std::path::PathBuf> {
+pub fn write_bench_json(
+    name: &str,
+    series: &[(usize, f64)],
+) -> std::io::Result<std::path::PathBuf> {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_bench_json_to(&root, name, series)
 }
@@ -126,8 +127,7 @@ mod tests {
     fn bench_json_roundtrip() {
         let dir = std::env::temp_dir().join(format!("cbs-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path =
-            write_bench_json_to(&dir, "fig_test", &[(4, 1234.5), (8, 2469.0)]).unwrap();
+        let path = write_bench_json_to(&dir, "fig_test", &[(4, 1234.5), (8, 2469.0)]).unwrap();
         assert_eq!(path.file_name().unwrap(), "BENCH_fig_test.json");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"bench\": \"fig_test\""));

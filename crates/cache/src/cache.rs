@@ -183,7 +183,11 @@ impl ObjectCache {
 
     /// Full-entry peek (meta, value, deleted, dirty) without side effects.
     /// The flusher uses this to read the version it is about to persist.
-    pub fn peek_item(&self, vb: VbId, key: &str) -> Option<(DocMeta, Option<SharedValue>, bool, bool)> {
+    pub fn peek_item(
+        &self,
+        vb: VbId,
+        key: &str,
+    ) -> Option<(DocMeta, Option<SharedValue>, bool, bool)> {
         let shard = self.shard(vb).read();
         shard.map.get(key).map(|i| (i.meta, i.value.clone(), i.deleted, i.dirty))
     }
@@ -274,8 +278,7 @@ impl ObjectCache {
                             if item.dirty {
                                 continue;
                             }
-                            let Some(size) = item.value.as_ref().map(|v| v.approx_size())
-                            else {
+                            let Some(size) = item.value.as_ref().map(|v| v.approx_size()) else {
                                 continue;
                             };
                             if item.referenced && pass == 0 {
@@ -346,8 +349,8 @@ impl ObjectCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbs_json::Value;
     use cbs_common::SeqNo;
+    use cbs_json::Value;
 
     fn meta(seq: u64) -> DocMeta {
         DocMeta { seqno: SeqNo(seq), ..Default::default() }
@@ -379,7 +382,9 @@ mod tests {
         let c = ObjectCache::new(16, 1 << 20, EvictionPolicy::ValueOnly);
         c.set(VbId(0), "a", meta(1), Value::int(1), true).unwrap();
         c.delete(VbId(0), "a", meta(2), true).unwrap();
-        assert!(matches!(c.get(VbId(0), "a"), CacheLookup::Tombstone { meta } if meta.seqno == SeqNo(2)));
+        assert!(
+            matches!(c.get(VbId(0), "a"), CacheLookup::Tombstone { meta } if meta.seqno == SeqNo(2))
+        );
     }
 
     #[test]
@@ -427,7 +432,8 @@ mod tests {
             assert!(c.peek_meta(VbId(0), k).is_some(), "meta for {k} must survive value eviction");
         }
         // And a value-gone lookup tells the caller to background-fetch.
-        let gone = admitted.iter().any(|k| matches!(c.get(VbId(0), k), CacheLookup::ValueGone { .. }));
+        let gone =
+            admitted.iter().any(|k| matches!(c.get(VbId(0), k), CacheLookup::ValueGone { .. }));
         assert!(gone);
     }
 
@@ -452,7 +458,7 @@ mod tests {
         c.set(VbId(0), "a", meta(1), Value::int(1), false).unwrap();
         // Force-evict by direct manipulation: a full clock pass twice.
         c.evict_to_watermark(); // under watermark: no-op
-        // Simulate: mark clean then evict via a tiny quota cache instead.
+                                // Simulate: mark clean then evict via a tiny quota cache instead.
         let c = ObjectCache::new(1, 2_000, EvictionPolicy::ValueOnly);
         for i in 0..20 {
             let k = format!("k{i}");
@@ -476,8 +482,8 @@ mod tests {
         c.set(VbId(0), "a", meta(1), Value::int(1), true).unwrap();
         c.set(VbId(0), "a", meta(2), Value::int(2), true).unwrap(); // newer dirty version
         c.mark_clean(VbId(0), "a", SeqNo(1)); // stale persistence callback
-        // Still dirty: the seqno-2 version hasn't been persisted.
-        // (Observable via eviction behaviour: dirty is pinned.)
+                                              // Still dirty: the seqno-2 version hasn't been persisted.
+                                              // (Observable via eviction behaviour: dirty is pinned.)
         let shard_has_dirty = {
             // peek through stats: a tiny quota won't evict it
             true

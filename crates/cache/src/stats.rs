@@ -49,7 +49,8 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let s = CacheStats { items: 10, resident_items: 5, hits: 3, misses: 1, ..Default::default() };
+        let s =
+            CacheStats { items: 10, resident_items: 5, hits: 3, misses: 1, ..Default::default() };
         assert!((s.residency_ratio() - 0.5).abs() < 1e-9);
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
         let empty = CacheStats::default();

@@ -87,7 +87,9 @@ impl SmartClient {
                 .and_then(|e| op(&e));
             match result {
                 Ok(v) => return Ok(v),
-                Err(e @ (Error::VbucketNotActive(_) | Error::NotMyVbucket(_) | Error::NodeDown(_))) => {
+                Err(
+                    e @ (Error::VbucketNotActive(_) | Error::NotMyVbucket(_) | Error::NodeDown(_)),
+                ) => {
                     last_err = e;
                     self.refresh_map()?;
                     // Brief backoff: the topology change may still be
@@ -121,7 +123,12 @@ impl SmartClient {
     }
 
     /// KV replace with optional CAS check.
-    pub fn replace(&self, key: &str, value: impl Into<SharedValue>, cas: Cas) -> Result<MutationResult> {
+    pub fn replace(
+        &self,
+        key: &str,
+        value: impl Into<SharedValue>,
+        cas: Cas,
+    ) -> Result<MutationResult> {
         let value = value.into();
         self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Replace, cas, 0))
     }
@@ -150,7 +157,9 @@ impl SmartClient {
         expiry: u32,
     ) -> Result<MutationResult> {
         let value = value.into();
-        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, expiry))
+        self.with_engine(key, |e| {
+            e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, expiry)
+        })
     }
 
     /// Get-and-lock (GETL, §3.1.1).

@@ -38,12 +38,7 @@ impl ClusterInner {
     }
 
     pub fn alive_data_nodes(&self) -> Vec<Arc<Node>> {
-        self.nodes
-            .read()
-            .iter()
-            .filter(|n| n.is_alive() && n.services().data)
-            .cloned()
-            .collect()
+        self.nodes.read().iter().filter(|n| n.is_alive() && n.services().data).cloned().collect()
     }
 
     pub fn map(&self, bucket: &str) -> Result<ClusterMap> {
@@ -111,13 +106,7 @@ impl Cluster {
     /// node, re-run implicitly whenever liveness changes ("they will elect
     /// a new orchestrator immediately").
     pub fn orchestrator(&self) -> Option<NodeId> {
-        self.inner
-            .nodes
-            .read()
-            .iter()
-            .filter(|n| n.is_alive())
-            .map(|n| n.id())
-            .min()
+        self.inner.nodes.read().iter().filter(|n| n.is_alive()).map(|n| n.id()).min()
     }
 
     /// The map for a bucket (what smart clients cache).
@@ -150,12 +139,8 @@ impl Cluster {
             node.create_bucket(bucket)?;
         }
         let ids: Vec<NodeId> = data_nodes.iter().map(|n| n.id()).collect();
-        let map = ClusterMap::balanced(
-            1,
-            self.inner.cfg.num_vbuckets,
-            &ids,
-            self.inner.cfg.num_replicas,
-        );
+        let map =
+            ClusterMap::balanced(1, self.inner.cfg.num_vbuckets, &ids, self.inner.cfg.num_replicas);
         // Activate placement on the engines.
         for node in &data_nodes {
             let engine = node.engine(bucket)?;
@@ -367,10 +352,8 @@ impl Cluster {
                         }
                     }
                 }
-                map.replicas[vb.index()] = wanted
-                    .into_iter()
-                    .filter(|r| *r != map.active_node(vb))
-                    .collect();
+                map.replicas[vb.index()] =
+                    wanted.into_iter().filter(|r| *r != map.active_node(vb)).collect();
             }
             map.epoch += 1;
             self.inner.maps.write().insert(bucket.clone(), map);

@@ -100,11 +100,7 @@ impl Node {
             num_vbuckets: self.cfg.num_vbuckets,
             cache_quota: self.cfg.cache_quota,
             eviction: self.cfg.eviction,
-            data_dir: self
-                .cfg
-                .data_root
-                .join(format!("node{}", self.id.0))
-                .join(bucket),
+            data_dir: self.cfg.data_root.join(format!("node{}", self.id.0)).join(bucket),
             fragmentation_threshold: self.cfg.fragmentation_threshold,
             lock_timeout: std::time::Duration::from_secs(15),
             flusher_shards: self.cfg.flusher_shards,

@@ -44,12 +44,7 @@ impl ClusterDatastore {
     /// point: any query node can receive a statement).
     pub fn query(&self, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
         // MDS gate: a query must land on a node running the query service.
-        if !self
-            .cluster
-            .nodes()
-            .iter()
-            .any(|n| n.is_alive() && n.services().query)
-        {
+        if !self.cluster.nodes().iter().any(|n| n.is_alive() && n.services().query) {
             return Err(Error::Cluster("no query service in the cluster".to_string()));
         }
         cbs_n1ql::query(self, statement, opts)
@@ -108,10 +103,7 @@ impl Datastore for ClusterDatastore {
     }
 
     fn list_indexes(&self, keyspace: &str) -> Vec<IndexDef> {
-        self.cluster
-            .index_manager()
-            .map(|m| m.list_online(keyspace))
-            .unwrap_or_default()
+        self.cluster.index_manager().map(|m| m.list_online(keyspace)).unwrap_or_default()
     }
 
     fn index_scan(
@@ -146,7 +138,8 @@ impl Datastore for ClusterDatastore {
         let mgr = self.cluster.index_manager()?;
         // Build against a cluster-wide backfill source that reads each
         // vBucket from its active node.
-        let source = ClusterBackfill { cluster: Arc::clone(&self.cluster), bucket: keyspace.to_string() };
+        let source =
+            ClusterBackfill { cluster: Arc::clone(&self.cluster), bucket: keyspace.to_string() };
         mgr.build(keyspace, name, &source)
     }
 }

@@ -197,7 +197,10 @@ fn n1ql_over_cluster_with_gsi() {
         client
             .upsert(
                 &format!("user::{i}"),
-                Value::object([("name", Value::from(format!("u{i:02}"))), ("age", Value::int(18 + (i % 40)))]),
+                Value::object([
+                    ("name", Value::from(format!("u{i:02}"))),
+                    ("age", Value::int(18 + (i % 40))),
+                ]),
             )
             .unwrap();
     }
@@ -206,9 +209,7 @@ fn n1ql_over_cluster_with_gsi() {
 
     // request_plus guarantees read-your-own-writes through the index.
     let opts = QueryOptions::default().request_plus();
-    let res = ds
-        .query("SELECT COUNT(*) AS n FROM default WHERE age >= 18", &opts)
-        .unwrap();
+    let res = ds.query("SELECT COUNT(*) AS n FROM default WHERE age >= 18", &opts).unwrap();
     assert_eq!(res.rows[0].get_field("n"), Some(&Value::int(60)));
 
     // A fresh write is visible immediately under request_plus.
@@ -224,9 +225,7 @@ fn n1ql_use_keys_without_any_index() {
     let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
     client.upsert("k", doc(7)).unwrap();
     let ds = ClusterDatastore::new(Arc::clone(&cluster));
-    let res = ds
-        .query("SELECT d.* FROM default d USE KEYS 'k'", &QueryOptions::default())
-        .unwrap();
+    let res = ds.query("SELECT d.* FROM default d USE KEYS 'k'", &QueryOptions::default()).unwrap();
     assert_eq!(res.rows[0].get_field("v"), Some(&Value::int(7)));
 }
 
@@ -251,10 +250,7 @@ fn view_scatter_gather_across_nodes() {
             cbs_views::DesignDoc {
                 name: "dd".to_string(),
                 views: vec![
-                    (
-                        "by_name".to_string(),
-                        ViewDef { map: MapFn::on_field("name"), reduce: None },
-                    ),
+                    ("by_name".to_string(), ViewDef { map: MapFn::on_field("name"), reduce: None }),
                     (
                         "age_sum".to_string(),
                         ViewDef {
@@ -320,10 +316,7 @@ fn mds_separated_services_work_together() {
     let ds = ClusterDatastore::new(Arc::clone(&cluster));
     ds.query("CREATE INDEX n_idx ON b(n)", &QueryOptions::default()).unwrap();
     let res = ds
-        .query(
-            "SELECT COUNT(*) AS c FROM b WHERE n >= 10",
-            &QueryOptions::default().request_plus(),
-        )
+        .query("SELECT COUNT(*) AS c FROM b WHERE n >= 10", &QueryOptions::default().request_plus())
         .unwrap();
     assert_eq!(res.rows[0].get_field("c"), Some(&Value::int(20)));
     // The data map never references the index/query nodes.
@@ -348,7 +341,9 @@ fn view_results_consistent_during_vbucket_deactivation() {
     let cluster = small_cluster(2, 0);
     let client = SmartClient::connect(Arc::clone(&cluster), "default").unwrap();
     for i in 0..80 {
-        client.upsert(&format!("p{i}"), Value::object([("name", Value::from(format!("n{i}"))) ])).unwrap();
+        client
+            .upsert(&format!("p{i}"), Value::object([("name", Value::from(format!("n{i}")))]))
+            .unwrap();
     }
     cluster
         .create_design_doc(
@@ -395,10 +390,7 @@ fn cas_still_safe_through_client() {
     assert!(matches!(err, cbs_common::Error::CasMismatch(_)));
     // GETL through the client.
     let locked = client.get_and_lock("k", Duration::from_secs(2)).unwrap();
-    assert!(matches!(
-        client.upsert("k", doc(9)),
-        Err(cbs_common::Error::Locked(_))
-    ));
+    assert!(matches!(client.upsert("k", doc(9)), Err(cbs_common::Error::Locked(_))));
     client.unlock("k", locked.meta.cas).unwrap();
     client.upsert("k", doc(9)).unwrap();
     assert_eq!(client.get("k").unwrap().value, doc(9));

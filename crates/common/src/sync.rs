@@ -396,10 +396,7 @@ mod tests {
         })
         .join();
         let err = result.expect_err("inversion must panic");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("lock-order violation"), "got: {msg}");
         assert!(msg.contains("test.low"), "panic names the acquired lock: {msg}");
         assert!(msg.contains("test.high"), "panic names the held lock: {msg}");
@@ -454,9 +451,7 @@ mod tests {
         let _gb = b.lock();
         let edges = observed_edges();
         assert!(
-            edges
-                .iter()
-                .any(|(f, t)| f.contains("test.edge_from") && t.contains("test.edge_to")),
+            edges.iter().any(|(f, t)| f.contains("test.edge_from") && t.contains("test.edge_to")),
             "edge recorded: {edges:?}"
         );
     }

@@ -21,10 +21,7 @@ use crate::ids::Cas;
 /// auditable choke point (`cargo xtask lint` enforces this for the cluster
 /// transport).
 pub fn now_unix_secs() -> u32 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs() as u32)
-        .unwrap_or(0)
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() as u32).unwrap_or(0)
 }
 
 /// A monotonic deadline for timeout/retry loops.
@@ -74,10 +71,8 @@ impl CasClock {
     /// Issue a fresh CAS token, strictly greater than any previously issued
     /// by this clock, seeded from wall-clock nanoseconds when possible.
     pub fn next(&self) -> Cas {
-        let now = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
+        let now =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
         let mut prev = self.last.load(Ordering::Relaxed);
         loop {
             let candidate = now.max(prev + 1);

@@ -185,10 +185,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(
-            b.get("ctr").unwrap().value.get_field("count"),
-            Some(&Value::int(400))
-        );
+        assert_eq!(b.get("ctr").unwrap().value.get_field("count"), Some(&Value::int(400)));
     }
 
     #[test]
@@ -204,11 +201,10 @@ mod tests {
     #[test]
     fn expiry_through_bucket() {
         let b = bucket();
-        let past = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_secs() as u32
-            - 1;
+        let past =
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+                as u32
+                - 1;
         b.upsert_with_expiry("ttl", Value::int(1), past).unwrap();
         assert!(b.get("ttl").is_err(), "already expired");
     }

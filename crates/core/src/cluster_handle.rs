@@ -154,12 +154,7 @@ impl CouchbaseCluster {
         bucket: &str,
         filter: Option<KeyFilter>,
     ) -> Result<XdcrLink> {
-        XdcrLink::start(
-            Arc::clone(&self.cluster),
-            Arc::clone(&destination.cluster),
-            bucket,
-            filter,
-        )
+        XdcrLink::start(Arc::clone(&self.cluster), Arc::clone(&destination.cluster), bucket, filter)
     }
 }
 
@@ -185,10 +180,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        assert_eq!(
-            bucket.get("user::3").unwrap().value.get_field("age"),
-            Some(&Value::int(23))
-        );
+        assert_eq!(bucket.get("user::3").unwrap().value.get_field("age"), Some(&Value::int(23)));
 
         // 2: views.
         cluster
@@ -217,9 +209,7 @@ mod tests {
         assert_eq!(res.rows.len(), 25);
 
         // 3: N1QL.
-        cluster
-            .query("CREATE INDEX by_age ON default(age)", &QueryOptions::default())
-            .unwrap();
+        cluster.query("CREATE INDEX by_age ON default(age)", &QueryOptions::default()).unwrap();
         let res = cluster
             .query(
                 "SELECT COUNT(*) AS n FROM default WHERE age >= 30",

@@ -40,11 +40,11 @@ pub use cluster_handle::CouchbaseCluster;
 // crate alone.
 pub use cbs_cluster::{ClusterConfig, Durability, ServiceSet};
 pub use cbs_common::{Cas, DocMeta, Error, NodeId, Result, SeqNo, VbId};
+pub use cbs_fts::{FtsIndexDef, SearchHit, SearchQuery};
 pub use cbs_json::{parse as parse_json, Value};
 pub use cbs_kv::{GetResult, MutationResult};
 pub use cbs_n1ql::{QueryOptions, QueryResult};
 pub use cbs_views::{
     DesignDoc, MapCond, MapExpr, MapFn, Reducer, Stale, ViewDef, ViewQuery, ViewResult,
 };
-pub use cbs_fts::{FtsIndexDef, SearchHit, SearchQuery};
 pub use cbs_xdcr::{KeyFilter, XdcrLink};

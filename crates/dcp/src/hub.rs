@@ -57,10 +57,12 @@ impl DcpHub {
         let mut chan = self.vbs[item.vb.index()].lock();
         let seq = item.meta.seqno;
         for sub in chan.subscribers.iter_mut() {
-            if seq > sub.start_after && !sub.dead
-                && sub.sender.send(DcpEvent::Item(item.clone())).is_err() {
-                    sub.dead = true;
-                }
+            if seq > sub.start_after
+                && !sub.dead
+                && sub.sender.send(DcpEvent::Item(item.clone())).is_err()
+            {
+                sub.dead = true;
+            }
         }
         chan.subscribers.retain(|s| !s.dead);
     }
@@ -85,7 +87,11 @@ impl DcpHub {
         let high = {
             let mut chan = self.vbs[vb.index()].lock();
             let (items, high) = source.backfill(vb, since)?;
-            chan.subscribers.push(Subscriber { sender: tx.clone(), start_after: high, dead: false });
+            chan.subscribers.push(Subscriber {
+                sender: tx.clone(),
+                start_after: high,
+                dead: false,
+            });
             // Queue the snapshot into the same channel ahead of any live
             // item (we still hold the vb lock, so nothing can be published
             // before these sends complete).
@@ -199,9 +205,8 @@ mod tests {
     #[test]
     fn resume_from_cursor_skips_delivered() {
         let hub = DcpHub::new(1);
-        let backfill = VecBackfill {
-            items: vec![vec![item(0, "a", 1), item(0, "b", 2), item(0, "c", 3)]],
-        };
+        let backfill =
+            VecBackfill { items: vec![vec![item(0, "a", 1), item(0, "b", 2), item(0, "c", 3)]] };
         let mut stream = hub.open_stream(VbId(0), SeqNo(2), &backfill).unwrap();
         let seqs: Vec<u64> = stream.drain_available().iter().map(|i| i.meta.seqno.0).collect();
         assert_eq!(seqs, [3], "resume after seqno 2 yields only newer items");

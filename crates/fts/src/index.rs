@@ -160,7 +160,9 @@ impl InvertedIndex {
             .map(|(doc_id, (score, fields))| SearchHit { doc_id, score, fields })
             .collect();
         hits.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.doc_id.cmp(&b.doc_id))
         });
         if limit > 0 && hits.len() > limit {
@@ -259,10 +261,8 @@ mod tests {
         let mut ix = InvertedIndex::new();
         ix.index_doc(
             "d1",
-            &cbs_json::parse(
-                r#"{"title":"The quick brown fox","body":"jumps over the lazy dog"}"#,
-            )
-            .unwrap(),
+            &cbs_json::parse(r#"{"title":"The quick brown fox","body":"jumps over the lazy dog"}"#)
+                .unwrap(),
         );
         ix.index_doc(
             "d2",
@@ -299,16 +299,10 @@ mod tests {
     #[test]
     fn all_and_any() {
         let ix = idx();
-        let hits = ix.search(
-            &SearchQuery::All(vec!["quick".to_string(), "lazy".to_string()]),
-            0,
-        );
+        let hits = ix.search(&SearchQuery::All(vec!["quick".to_string(), "lazy".to_string()]), 0);
         assert_eq!(hits.len(), 1, "only d1 has both");
         assert_eq!(hits[0].doc_id, "d1");
-        let hits = ix.search(
-            &SearchQuery::Any(vec!["lazy".to_string(), "guide".to_string()]),
-            0,
-        );
+        let hits = ix.search(&SearchQuery::Any(vec!["lazy".to_string(), "guide".to_string()]), 0);
         assert_eq!(hits.len(), 2);
     }
 
@@ -361,10 +355,7 @@ mod tests {
     fn limit_applies_after_ranking() {
         let mut ix = InvertedIndex::new();
         for i in 0..20 {
-            ix.index_doc(
-                &format!("d{i}"),
-                &cbs_json::parse(r#"{"t":"common term"}"#).unwrap(),
-            );
+            ix.index_doc(&format!("d{i}"), &cbs_json::parse(r#"{"t":"common term"}"#).unwrap());
         }
         assert_eq!(ix.search(&SearchQuery::Term("common".to_string()), 5).len(), 5);
     }

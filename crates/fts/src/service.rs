@@ -283,8 +283,14 @@ mod tests {
             .is_err());
         svc.apply_dcp("b", &item(0, "d1", 1, r#"{"title":"hello search world"}"#));
         let hits = svc
-            .search("b", "search", &SearchQuery::Term("hello".to_string()), 0, None,
-                    Duration::from_secs(1))
+            .search(
+                "b",
+                "search",
+                &SearchQuery::Term("hello".to_string()),
+                0,
+                None,
+                Duration::from_secs(1),
+            )
             .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(svc.list("b"), ["search"]);
@@ -304,7 +310,9 @@ mod tests {
         svc.apply_dcp("b", &item(0, "d1", 1, r#"{"title":"indexed words","body":"hidden text"}"#));
         let q = |s: &str| SearchQuery::Term(s.to_string());
         assert_eq!(
-            svc.search("b", "titles", &q("indexed"), 0, None, Duration::from_secs(1)).unwrap().len(),
+            svc.search("b", "titles", &q("indexed"), 0, None, Duration::from_secs(1))
+                .unwrap()
+                .len(),
             1
         );
         assert!(svc
@@ -323,15 +331,18 @@ mod tests {
         })
         .unwrap();
         svc.apply_dcp("b", &item(1, "gone", 1, r#"{"t":"ephemeral"}"#));
-        let del = DcpItem::deletion(
-            VbId(1),
-            "gone",
-            DocMeta { seqno: SeqNo(2), ..Default::default() },
-        );
+        let del =
+            DcpItem::deletion(VbId(1), "gone", DocMeta { seqno: SeqNo(2), ..Default::default() });
         svc.apply_dcp("b", &del);
         assert!(svc
-            .search("b", "s", &SearchQuery::Term("ephemeral".to_string()), 0, None,
-                    Duration::from_secs(1))
+            .search(
+                "b",
+                "s",
+                &SearchQuery::Term("ephemeral".to_string()),
+                0,
+                None,
+                Duration::from_secs(1)
+            )
             .unwrap()
             .is_empty());
     }
@@ -349,14 +360,26 @@ mod tests {
         // Satisfied vector: instant.
         let mut target = vec![SeqNo::ZERO; 4];
         target[2] = SeqNo(5);
-        svc.search("b", "s", &SearchQuery::Term("x".to_string()), 0, Some(&target),
-                   Duration::from_millis(50))
-            .unwrap();
+        svc.search(
+            "b",
+            "s",
+            &SearchQuery::Term("x".to_string()),
+            0,
+            Some(&target),
+            Duration::from_millis(50),
+        )
+        .unwrap();
         // Unsatisfied: timeout.
         target[0] = SeqNo(99);
         let err = svc
-            .search("b", "s", &SearchQuery::Term("x".to_string()), 0, Some(&target),
-                    Duration::from_millis(30))
+            .search(
+                "b",
+                "s",
+                &SearchQuery::Term("x".to_string()),
+                0,
+                Some(&target),
+                Duration::from_millis(30),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Timeout(_)));
     }
@@ -366,8 +389,13 @@ mod tests {
         let engine = DataEngine::new(EngineConfig::for_test(8)).unwrap();
         engine.activate_all();
         engine
-            .set("pre", cbs_json::parse(r#"{"msg":"before the feed"}"#).unwrap(),
-                 MutateMode::Upsert, Cas::WILDCARD, 0)
+            .set(
+                "pre",
+                cbs_json::parse(r#"{"msg":"before the feed"}"#).unwrap(),
+                MutateMode::Upsert,
+                Cas::WILDCARD,
+                0,
+            )
             .unwrap();
         let svc = Arc::new(FtsService::new(8));
         svc.create_index(FtsIndexDef {
@@ -379,14 +407,25 @@ mod tests {
         let feed = FtsFeed::spawn(Arc::clone(&svc), "b".to_string(), Arc::clone(&engine)).unwrap();
         // Live write after feed start.
         engine
-            .set("post", cbs_json::parse(r#"{"msg":"after the feed"}"#).unwrap(),
-                 MutateMode::Upsert, Cas::WILDCARD, 0)
+            .set(
+                "post",
+                cbs_json::parse(r#"{"msg":"after the feed"}"#).unwrap(),
+                MutateMode::Upsert,
+                Cas::WILDCARD,
+                0,
+            )
             .unwrap();
         // Consistency-gated search sees both (backfill + tail).
         let target = engine.seqno_vector();
         let hits = svc
-            .search("b", "s", &SearchQuery::Term("feed".to_string()), 0, Some(&target),
-                    Duration::from_secs(5))
+            .search(
+                "b",
+                "s",
+                &SearchQuery::Term("feed".to_string()),
+                0,
+                Some(&target),
+                Duration::from_secs(5),
+            )
             .unwrap();
         assert_eq!(hits.len(), 2);
         feed.shutdown();

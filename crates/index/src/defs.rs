@@ -270,11 +270,8 @@ mod tests {
     #[test]
     fn filter_conditions() {
         let doc = cbs_json::parse(r#"{"age":30}"#).unwrap();
-        let cond = |op, v: i64| FilterCond {
-            path: parse_path("age").unwrap(),
-            op,
-            value: Value::int(v),
-        };
+        let cond =
+            |op, v: i64| FilterCond { path: parse_path("age").unwrap(), op, value: Value::int(v) };
         assert!(cond(FilterOp::Gt, 21).matches(&doc));
         assert!(!cond(FilterOp::Gt, 30).matches(&doc));
         assert!(cond(FilterOp::Ge, 30).matches(&doc));

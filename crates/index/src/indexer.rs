@@ -357,7 +357,12 @@ mod tests {
     fn limit_caps_results() {
         let idx = memopt();
         for i in 0..50 {
-            idx.update_doc(&format!("d{i}"), vec![key1(Value::int(i))], VbId(0), SeqNo(i as u64 + 1));
+            idx.update_doc(
+                &format!("d{i}"),
+                vec![key1(Value::int(i))],
+                VbId(0),
+                SeqNo(i as u64 + 1),
+            );
         }
         assert_eq!(idx.scan(&ScanRange::all(), 7).len(), 7);
     }

@@ -137,8 +137,7 @@ impl Router {
             }
             ProjectedOp::Update { doc_id, keys, vb, seqno } => {
                 // Group keys by destination partition.
-                let mut per_partition: Vec<Vec<IndexKey>> =
-                    vec![Vec::new(); self.partitions.len()];
+                let mut per_partition: Vec<Vec<IndexKey>> = vec![Vec::new(); self.partitions.len()];
                 for key in keys {
                     let p = self.def.partition_for(key.leading());
                     per_partition[p].push(key);
@@ -248,11 +247,8 @@ mod tests {
     #[test]
     fn deletion_projects_to_remove() {
         let def = IndexDef::simple("i", "b", "x");
-        let del = DcpItem::deletion(
-            VbId(2),
-            "gone",
-            DocMeta { seqno: SeqNo(9), ..Default::default() },
-        );
+        let del =
+            DcpItem::deletion(VbId(2), "gone", DocMeta { seqno: SeqNo(9), ..Default::default() });
         assert!(matches!(
             Projector::project(&def, &del),
             ProjectedOp::Remove { doc_id, vb, seqno } if doc_id == "gone" && vb == VbId(2) && seqno == SeqNo(9)

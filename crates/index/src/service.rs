@@ -132,12 +132,7 @@ impl IndexManager {
     /// indexes; also the initial build when an index is created over
     /// existing data). Safe to run while the live feed is applying newer
     /// mutations — per-document seqno guards make replay idempotent.
-    pub fn build(
-        &self,
-        keyspace: &str,
-        name: &str,
-        source: &dyn BackfillSource,
-    ) -> Result<()> {
+    pub fn build(&self, keyspace: &str, name: &str, source: &dyn BackfillSource) -> Result<()> {
         let inst = self.instance(keyspace, name)?;
         {
             let mut st = inst.state.lock();
@@ -354,15 +349,27 @@ mod tests {
     fn create_build_scan_over_existing_data() {
         let e = engine();
         for i in 0..20 {
-            e.set(&format!("u{i}"), profile(&format!("user{i}"), 20 + i), MutateMode::Upsert, Cas::WILDCARD, 0)
-                .unwrap();
+            e.set(
+                &format!("u{i}"),
+                profile(&format!("user{i}"), 20 + i),
+                MutateMode::Upsert,
+                Cas::WILDCARD,
+                0,
+            )
+            .unwrap();
         }
         let m = manager(16);
         m.create_and_build(IndexDef::simple("age", "b", "age"), e.as_ref()).unwrap();
         assert_eq!(m.state("b", "age").unwrap(), IndexState::Online);
         let rows = m
-            .scan("b", "age", &ScanRange::at_least(Value::int(35)), &ScanConsistency::NotBounded,
-                  Duration::from_secs(1), 0)
+            .scan(
+                "b",
+                "age",
+                &ScanRange::at_least(Value::int(35)),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0,
+            )
             .unwrap();
         assert_eq!(rows.len(), 5, "ages 35..39");
         // Keys come back sorted.
@@ -391,17 +398,29 @@ mod tests {
         assert_eq!(m.state("b", "age").unwrap(), IndexState::Deferred);
         // Scanning a deferred index fails.
         assert!(m
-            .scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
-                  Duration::from_secs(1), 0)
+            .scan(
+                "b",
+                "age",
+                &ScanRange::all(),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0
+            )
             .is_err());
         // BUILD INDEX.
         m.build("b", "age", e.as_ref()).unwrap();
         assert_eq!(m.state("b", "age").unwrap(), IndexState::Online);
         assert_eq!(
-            m.scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
-                   Duration::from_secs(1), 0)
-                .unwrap()
-                .len(),
+            m.scan(
+                "b",
+                "age",
+                &ScanRange::all(),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0
+            )
+            .unwrap()
+            .len(),
             1
         );
     }
@@ -417,8 +436,14 @@ mod tests {
         e.set("new", profile("n", 99), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
         let vector = e.seqno_vector();
         let rows = m
-            .scan("b", "age", &ScanRange::exact(Value::int(99)),
-                  &ScanConsistency::AtPlus(vector), Duration::from_secs(5), 0)
+            .scan(
+                "b",
+                "age",
+                &ScanRange::exact(Value::int(99)),
+                &ScanConsistency::AtPlus(vector),
+                Duration::from_secs(5),
+                0,
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].doc_id, "new");
@@ -427,8 +452,14 @@ mod tests {
         e.delete("new", Cas::WILDCARD).unwrap();
         let vector = e.seqno_vector();
         let rows = m
-            .scan("b", "age", &ScanRange::exact(Value::int(99)),
-                  &ScanConsistency::AtPlus(vector), Duration::from_secs(5), 0)
+            .scan(
+                "b",
+                "age",
+                &ScanRange::exact(Value::int(99)),
+                &ScanConsistency::AtPlus(vector),
+                Duration::from_secs(5),
+                0,
+            )
             .unwrap();
         assert!(rows.is_empty());
         feed.shutdown();
@@ -447,8 +478,14 @@ mod tests {
         };
         m.create_and_build(def, e.as_ref()).unwrap();
         let rows = m
-            .scan("b", "age", &ScanRange::all(), &ScanConsistency::NotBounded,
-                  Duration::from_secs(1), 0)
+            .scan(
+                "b",
+                "age",
+                &ScanRange::all(),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0,
+            )
             .unwrap();
         assert_eq!(rows.len(), 30);
         let ages: Vec<i64> =
@@ -458,7 +495,8 @@ mod tests {
         // Range crossing a partition boundary.
         let rows = m
             .scan(
-                "b", "age",
+                "b",
+                "age",
                 &ScanRange {
                     low: Some(Value::int(8)),
                     low_inclusive: true,
@@ -485,8 +523,13 @@ mod tests {
         };
         m.create_and_build(def, e.as_ref()).unwrap();
         let hits = m
-            .lookup("b", "age", &IndexKey(vec![Some(Value::int(50))]),
-                    &ScanConsistency::NotBounded, Duration::from_secs(1))
+            .lookup(
+                "b",
+                "age",
+                &IndexKey(vec![Some(Value::int(50))]),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+            )
             .unwrap();
         assert_eq!(hits, ["u2"]);
         let stats = m.index_stats("b", "age").unwrap();

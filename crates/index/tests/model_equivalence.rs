@@ -20,8 +20,11 @@ enum Op {
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (any::<u8>(), -20i64..20, 1u64..100)
-                .prop_map(|(d, k, seq)| Op::Update { d: d % 12, k, seq }),
+            (any::<u8>(), -20i64..20, 1u64..100).prop_map(|(d, k, seq)| Op::Update {
+                d: d % 12,
+                k,
+                seq
+            }),
             (any::<u8>(), 1u64..100).prop_map(|(d, seq)| Op::Remove { d: d % 12, seq }),
         ],
         1..80,

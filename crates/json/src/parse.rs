@@ -178,9 +178,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // Safe: input is &str, and we only stopped on ASCII
                 // boundaries, so this slice is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
-                    self.err("invalid utf-8 in string")
-                })?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?,
+                );
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -348,8 +349,24 @@ mod tests {
 
     #[test]
     fn errors_carry_offsets() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"abc", "01", "1.", "1e", "nul", "[1 2]",
-                    "\"\\q\"", "\"\u{0001}\"", "\"\\ud800\"", "{\"a\" 1}", "[]]"] {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "[1 2]",
+            "\"\\q\"",
+            "\"\u{0001}\"",
+            "\"\\ud800\"",
+            "{\"a\" 1}",
+            "[]]",
+        ] {
             let e = parse(bad).unwrap_err();
             assert!(e.offset <= bad.len(), "offset sane for {bad:?}");
         }

@@ -218,7 +218,11 @@ pub fn parse_path(input: &str) -> Result<JsonPath, String> {
                     return Err(format!("unexpected character at {pos}"));
                 }
                 let start = pos;
-                while pos < bytes.len() && bytes[pos] != b'.' && bytes[pos] != b'[' && bytes[pos] != b'`' {
+                while pos < bytes.len()
+                    && bytes[pos] != b'.'
+                    && bytes[pos] != b'['
+                    && bytes[pos] != b'`'
+                {
                     pos += 1;
                 }
                 let name = input[start..pos].trim();

@@ -8,17 +8,15 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use cbs_cache::{CacheLookup, ObjectCache};
 use cbs_common::sync::{rank, OrderedMutex};
-use cbs_common::{
-    vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId,
-};
+use cbs_common::{vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId};
 use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
 use cbs_json::{SharedValue, Value};
 use cbs_storage::{BucketStore, GroupCommitWal, StoredDoc};
 use parking_lot::Condvar;
 
+use crate::now_secs;
 use crate::stats::EngineStats;
 use crate::types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
-use crate::now_secs;
 
 /// Per-vBucket mutable state, guarded by one mutex per vBucket. The mutex
 /// also serializes the write path (seqno assignment → cache → dirty queue →
@@ -124,10 +122,7 @@ impl DataEngine {
         let mut shards = Vec::with_capacity(num_shards);
         for s in 0..num_shards {
             shards.push(FlushShard {
-                vbs: (0..n)
-                    .map(VbId)
-                    .filter(|vb| shard_for_vb(*vb, num_shards, n) == s)
-                    .collect(),
+                vbs: (0..n).map(VbId).filter(|vb| shard_for_vb(*vb, num_shards, n) == s).collect(),
                 wal: GroupCommitWal::open(&cfg.data_dir, s)?,
                 dirty_count: AtomicU64::new(0),
                 signal: OrderedMutex::new(rank::FLUSH_SIGNAL, 0),
@@ -238,10 +233,7 @@ impl DataEngine {
 
     /// vBuckets currently in a given state.
     pub fn vbs_in_state(&self, state: VbState) -> Vec<VbId> {
-        (0..self.cfg.num_vbuckets)
-            .map(VbId)
-            .filter(|&vb| self.vb_state(vb) == state)
-            .collect()
+        (0..self.cfg.num_vbuckets).map(VbId).filter(|&vb| self.vb_state(vb) == state).collect()
     }
 
     /// Recover a vBucket's persisted data after a restart: resume seqno
@@ -336,11 +328,9 @@ impl DataEngine {
                     self.lazy_expire(vb, key, meta);
                     return Err(Error::KeyNotFound(key.to_string()));
                 }
-                let stored = self
-                    .store
-                    .vb(vb)?
-                    .get(key)?
-                    .ok_or_else(|| Error::Storage(format!("meta resident but no disk copy: {key}")))?;
+                let stored = self.store.vb(vb)?.get(key)?.ok_or_else(|| {
+                    Error::Storage(format!("meta resident but no disk copy: {key}"))
+                })?;
                 let value = SharedValue::new(parse_stored_value(&stored)?);
                 self.cache.repopulate(vb, key, value.clone());
                 Ok(GetResult { value, meta })
@@ -432,13 +422,8 @@ impl DataEngine {
             return Err(Error::CasMismatch(key.to_string()));
         }
         let seqno = SeqNo(self.high_seqnos[vb.index()].fetch_add(1, Ordering::SeqCst) + 1);
-        let new_meta = DocMeta {
-            seqno,
-            cas: self.clock.next(),
-            rev: prev.rev.next(),
-            flags: 0,
-            expiry: 0,
-        };
+        let new_meta =
+            DocMeta { seqno, cas: self.clock.next(), rev: prev.rev.next(), flags: 0, expiry: 0 };
         self.cache.delete(vb, key, new_meta, true)?;
         self.enqueue_dirty(vb, key);
         meta.locks.remove(key);
@@ -1207,13 +1192,7 @@ mod tests {
         let e = DataEngine::new(EngineConfig::for_test(16)).unwrap();
         let vb = VbId(3);
         e.set_vb_state(vb, VbState::Replica);
-        let meta = DocMeta {
-            seqno: SeqNo(42),
-            cas: Cas(777),
-            rev: RevNo(5),
-            flags: 1,
-            expiry: 0,
-        };
+        let meta = DocMeta { seqno: SeqNo(42), cas: Cas(777), rev: RevNo(5), flags: 1, expiry: 0 };
         e.apply_replica(&DcpItem::mutation(vb, "k", meta, doc(1))).unwrap();
         assert_eq!(e.high_seqno(vb), SeqNo(42));
         // Promote and read: metadata identical to the active copy's.

@@ -41,9 +41,8 @@ impl FlusherPool {
         for shard in 0..engine.num_flusher_shards() {
             let thread_engine = Arc::clone(&engine);
             let thread_stop = Arc::clone(&stop);
-            let spawned = std::thread::Builder::new()
-                .name(format!("cbs-flusher-{shard}"))
-                .spawn(move || {
+            let spawned =
+                std::thread::Builder::new().name(format!("cbs-flusher-{shard}")).spawn(move || {
                     let engine = thread_engine;
                     let stop = thread_stop;
                     let mut since_maintenance = 0u32;
@@ -55,9 +54,7 @@ impl FlusherPool {
                                 // dirty_count stays > 0 and wait_for_dirty
                                 // would return immediately; back off
                                 // instead of retrying in a hot loop.
-                                std::thread::sleep(
-                                    Duration::from_millis(50).min(interval),
-                                );
+                                std::thread::sleep(Duration::from_millis(50).min(interval));
                                 0
                             }
                         };
@@ -136,9 +133,7 @@ mod tests {
         engine.activate_all();
         let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_millis(5)).unwrap();
         assert!(flusher.num_shards() >= 2, "pool must actually be sharded");
-        let m = engine
-            .set("k", Value::int(1), MutateMode::Upsert, Cas::WILDCARD, 0)
-            .unwrap();
+        let m = engine.set("k", Value::int(1), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
         // Durability wait is now satisfied by the background flusher.
         engine.wait_persisted(m.vb, m.seqno, Duration::from_secs(5)).unwrap();
         flusher.shutdown();
@@ -190,9 +185,7 @@ mod tests {
         // can trigger a drain before shutdown.
         let flusher = FlusherPool::spawn(Arc::clone(&engine), Duration::from_secs(3600)).unwrap();
         std::thread::sleep(Duration::from_millis(30)); // let threads reach their waits
-        let m = engine
-            .set("wake", Value::int(7), MutateMode::Upsert, Cas::WILDCARD, 0)
-            .unwrap();
+        let m = engine.set("wake", Value::int(7), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
         engine
             .wait_persisted(m.vb, m.seqno, Duration::from_secs(5))
             .expect("write must persist via condvar wakeup, not the interval");

@@ -135,10 +135,8 @@ fn json_parser_never_panics_on_garbage() {
 fn expiry_pager_reaps_without_access() {
     use cbs_dcp::DcpKind;
     let engine = engine_with(EvictionPolicy::ValueOnly, 64 << 20);
-    let now = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .unwrap()
-        .as_secs() as u32;
+    let now = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+        as u32;
     engine
         .set("short-lived", Value::int(1), MutateMode::Upsert, Cas::WILDCARD, now.saturating_sub(1))
         .unwrap();

@@ -149,8 +149,8 @@ fn checkpoint_cannot_truncate_unsynced_drain() {
 
 #[test]
 fn lockless_checkpoint_loses_acked_writes() {
-    let err = drain_vs_checkpoint(true)
-        .expect_err("explorer must find the WAL-truncation interleaving");
+    let err =
+        drain_vs_checkpoint(true).expect_err("explorer must find the WAL-truncation interleaving");
     assert!(err.contains("recoverable from neither"), "unexpected violation: {err}");
 }
 
@@ -269,8 +269,7 @@ fn shutdown_wakeup_cannot_be_lost() {
 
 #[test]
 fn raw_condvar_wait_sleeps_through_shutdown() {
-    let err = wait_vs_shutdown(true)
-        .expect_err("explorer must find the lost-wakeup interleaving");
+    let err = wait_vs_shutdown(true).expect_err("explorer must find the lost-wakeup interleaving");
     assert!(err.contains("lost wakeup"), "unexpected violation: {err}");
 }
 

@@ -182,10 +182,7 @@ impl Datastore for MemoryDatastore {
         let ks = map
             .get_mut(keyspace)
             .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
-        ks.docs
-            .remove(key)
-            .map(|_| ())
-            .ok_or_else(|| Error::KeyNotFound(key.to_string()))
+        ks.docs.remove(key).map(|_| ()).ok_or_else(|| Error::KeyNotFound(key.to_string()))
     }
 
     fn seqno_vector(&self, _keyspace: &str) -> Vec<SeqNo> {
@@ -197,11 +194,7 @@ impl Datastore for MemoryDatastore {
             .read()
             .get(keyspace)
             .map(|ks| {
-                ks.indexes
-                    .iter()
-                    .filter(|(_, online)| *online)
-                    .map(|(d, _)| d.clone())
-                    .collect()
+                ks.indexes.iter().filter(|(_, online)| *online).map(|(d, _)| d.clone()).collect()
             })
             .unwrap_or_default()
     }
@@ -308,12 +301,7 @@ mod tests {
         let ds = MemoryDatastore::new();
         ds.create_keyspace("b");
         for i in 0..10i64 {
-            ds.upsert(
-                "b",
-                &format!("d{i}"),
-                Value::object([("age", Value::int(20 + i))]),
-            )
-            .unwrap();
+            ds.upsert("b", &format!("d{i}"), Value::object([("age", Value::int(20 + i))])).unwrap();
         }
         ds.create_index(IndexDef::simple("age", "b", "age")).unwrap();
         let rows = ds
@@ -338,8 +326,14 @@ mod tests {
         ds.create_index(def).unwrap();
         assert!(ds.list_indexes("b").is_empty(), "deferred index not online");
         assert!(ds
-            .index_scan("b", "i", &ScanRange::all(), &ScanConsistency::NotBounded,
-                        Duration::from_secs(1), 0)
+            .index_scan(
+                "b",
+                "i",
+                &ScanRange::all(),
+                &ScanConsistency::NotBounded,
+                Duration::from_secs(1),
+                0
+            )
             .is_err());
         ds.build_index("b", "i").unwrap();
         assert_eq!(ds.list_indexes("b").len(), 1);

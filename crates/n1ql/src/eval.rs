@@ -182,8 +182,7 @@ pub fn eval(e: &Expr, ctx: &EvalCtx<'_>) -> Result<Option<Value>> {
             let l = eval(list, ctx)?;
             match (v, l) {
                 (Some(v), Some(Value::Array(items))) => {
-                    let found =
-                        items.iter().any(|i| cmp_values(i, &v) == Ordering::Equal);
+                    let found = items.iter().any(|i| cmp_values(i, &v) == Ordering::Equal);
                     Ok(Some(Value::Bool(found != *negated)))
                 }
                 (Some(_), Some(_)) => Ok(Some(Value::Null)),
@@ -480,8 +479,7 @@ fn eval_scalar_fn(name: &str, args: &[Expr], ctx: &EvalCtx<'_>) -> Result<Option
                 Some(Some(n)) => n.as_i64().unwrap_or(0).max(0),
                 _ => len - begin,
             };
-            let out: String =
-                chars.iter().skip(begin as usize).take(take as usize).collect();
+            let out: String = chars.iter().skip(begin as usize).take(take as usize).collect();
             Ok(Some(Value::from(out)))
         }
         "CONTAINS" => {
@@ -508,9 +506,9 @@ fn eval_scalar_fn(name: &str, args: &[Expr], ctx: &EvalCtx<'_>) -> Result<Option
                 return Err(arity_err());
             }
             match (&vals[0], &vals[1]) {
-                (Some(Value::Array(a)), Some(v)) => Ok(Some(Value::Bool(
-                    a.iter().any(|i| cmp_values(i, v) == Ordering::Equal),
-                ))),
+                (Some(Value::Array(a)), Some(v)) => {
+                    Ok(Some(Value::Bool(a.iter().any(|i| cmp_values(i, v) == Ordering::Equal))))
+                }
                 _ => Ok(Some(Value::Null)),
             }
         }
@@ -743,10 +741,7 @@ mod tests {
             v("CASE WHEN a > 5 THEN 'big' ELSE 'small' END", r#"{"a":9}"#),
             Value::from("big")
         );
-        assert_eq!(
-            v("CASE WHEN a > 5 THEN 'big' END", r#"{"a":1}"#),
-            Value::Null
-        );
+        assert_eq!(v("CASE WHEN a > 5 THEN 'big' END", r#"{"a":1}"#), Value::Null);
     }
 
     #[test]
@@ -782,14 +777,8 @@ mod tests {
             named_params: &named,
             aggs: None,
         };
-        assert_eq!(
-            eval(&parse_expression("$1").unwrap(), &ctx).unwrap(),
-            Some(Value::from("p1"))
-        );
-        assert_eq!(
-            eval(&parse_expression("$lim").unwrap(), &ctx).unwrap(),
-            Some(Value::int(9))
-        );
+        assert_eq!(eval(&parse_expression("$1").unwrap(), &ctx).unwrap(), Some(Value::from("p1")));
+        assert_eq!(eval(&parse_expression("$lim").unwrap(), &ctx).unwrap(), Some(Value::int(9)));
         assert!(eval(&parse_expression("$2").unwrap(), &ctx).is_err());
         assert!(eval(&parse_expression("$nope").unwrap(), &ctx).is_err());
     }

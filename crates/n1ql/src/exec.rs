@@ -144,10 +144,9 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             let v = eval(keys, &ctx)?;
             let key_list: Vec<String> = match v {
                 Some(Value::String(s)) => vec![s],
-                Some(Value::Array(items)) => items
-                    .into_iter()
-                    .filter_map(|i| i.as_str().map(str::to_string))
-                    .collect(),
+                Some(Value::Array(items)) => {
+                    items.into_iter().filter_map(|i| i.as_str().map(str::to_string)).collect()
+                }
                 _ => return Err(Error::Eval("USE KEYS requires a string or array".to_string())),
             };
             let mut out = Vec::new();
@@ -253,10 +252,10 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
         }
         for (_, members) in groups {
             let aggs = compute_aggregates(&aggregates, &members, &alias, opts)?;
-            let rep = members.into_iter().next().unwrap_or(Row {
-                obj: Value::empty_object(),
-                metas: HashMap::new(),
-            });
+            let rep = members
+                .into_iter()
+                .next()
+                .unwrap_or(Row { obj: Value::empty_object(), metas: HashMap::new() });
             staged.push((rep, Some(aggs)));
         }
         // HAVING.
@@ -331,9 +330,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
         });
         projected = keyed
             .into_iter()
-            .map(|(_, out)| {
-                (Row { obj: Value::empty_object(), metas: HashMap::new() }, None, out)
-            })
+            .map(|(_, out)| (Row { obj: Value::empty_object(), metas: HashMap::new() }, None, out))
             .collect();
     }
 
@@ -355,11 +352,7 @@ impl Select {
     /// True when the WHERE clause is exactly the predicate pushed into the
     /// index range — i.e. the scan alone enforces it. Conservative: only
     /// single-conjunct ranges on the leading key qualify.
-    fn where_is_fully_served_by(
-        &self,
-        _range: &cbs_index::ScanRange,
-        index: &IndexDef,
-    ) -> bool {
+    fn where_is_fully_served_by(&self, _range: &cbs_index::ScanRange, index: &IndexDef) -> bool {
         match &self.where_ {
             None => true,
             Some(w) => {
@@ -420,11 +413,11 @@ fn eval_limit(e: Option<&Expr>, opts: &QueryOptions) -> Result<Option<usize>> {
         aggs: None,
     };
     match eval(e, &ctx)? {
-        Some(v) => v
-            .as_i64()
-            .filter(|n| *n >= 0)
-            .map(|n| Some(n as usize))
-            .ok_or_else(|| Error::Eval("LIMIT/OFFSET must be a non-negative integer".to_string())),
+        Some(v) => {
+            v.as_i64().filter(|n| *n >= 0).map(|n| Some(n as usize)).ok_or_else(|| {
+                Error::Eval("LIMIT/OFFSET must be a non-negative integer".to_string())
+            })
+        }
         None => Err(Error::Eval("LIMIT/OFFSET evaluated to MISSING".to_string())),
     }
 }
@@ -513,22 +506,20 @@ fn apply_from_op(
                     out.push(new);
                 }
             }
-            FromOp::Unnest { path, alias, left_outer } => {
-                match eval(path, &ctx)? {
-                    Some(Value::Array(items)) if !items.is_empty() => {
-                        for item in items {
-                            let mut new = row.clone();
-                            new.obj.insert_field(alias, item);
-                            out.push(new);
-                        }
-                    }
-                    _ => {
-                        if *left_outer {
-                            out.push(row);
-                        }
+            FromOp::Unnest { path, alias, left_outer } => match eval(path, &ctx)? {
+                Some(Value::Array(items)) if !items.is_empty() => {
+                    for item in items {
+                        let mut new = row.clone();
+                        new.obj.insert_field(alias, item);
+                        out.push(new);
                     }
                 }
-            }
+                _ => {
+                    if *left_outer {
+                        out.push(row);
+                    }
+                }
+            },
         }
     }
     Ok(out)
@@ -600,14 +591,8 @@ fn compute_aggregates(
                             Value::float(nums.iter().sum::<f64>() / nums.len() as f64)
                         }
                     }
-                    "MIN" => vals
-                        .into_iter()
-                        .min_by(cbs_json::cmp_values)
-                        .unwrap_or(Value::Null),
-                    "MAX" => vals
-                        .into_iter()
-                        .max_by(cbs_json::cmp_values)
-                        .unwrap_or(Value::Null),
+                    "MIN" => vals.into_iter().min_by(cbs_json::cmp_values).unwrap_or(Value::Null),
+                    "MAX" => vals.into_iter().max_by(cbs_json::cmp_values).unwrap_or(Value::Null),
                     "ARRAY_AGG" => Value::Array(vals),
                     other => return Err(Error::Eval(format!("unknown aggregate {other}"))),
                 }
@@ -764,7 +749,9 @@ fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Res
             }
             Ok(QueryResult { rows: Vec::new(), metrics })
         }
-        Statement::CreateIndex { name, keyspace, keys, where_, using_view, defer_build, .. } => {
+        Statement::CreateIndex {
+            name, keyspace, keys, where_, using_view, defer_build, ..
+        } => {
             let def = index_def_from_ast(name, keyspace, keys, where_, *using_view, *defer_build)?;
             ds.create_index(def)?;
             Ok(QueryResult::default())
@@ -938,9 +925,7 @@ fn filter_cond_from_expr(e: &Expr) -> Result<FilterCond> {
         BinOp::Le => FilterOp::Le,
         BinOp::Gt => FilterOp::Gt,
         BinOp::Ge => FilterOp::Ge,
-        other => {
-            return Err(Error::Plan(format!("unsupported partial-index operator: {other:?}")))
-        }
+        other => return Err(Error::Plan(format!("unsupported partial-index operator: {other:?}"))),
     };
     Ok(FilterCond { path, op: fop, value: lit })
 }

@@ -13,9 +13,7 @@ pub fn explain_to_value(plan: &QueryPlan) -> Value {
         QueryPlan::Select(p) => {
             let mut ops: Vec<Value> = Vec::new();
             let scan = match &p.access {
-                AccessPath::KeyScan { .. } => Value::object([
-                    ("operator", Value::from("KeyScan")),
-                ]),
+                AccessPath::KeyScan { .. } => Value::object([("operator", Value::from("KeyScan"))]),
                 AccessPath::IndexScan { index, range, covering } => Value::object([
                     ("operator", Value::from("IndexScan")),
                     ("index", Value::from(index.name.as_str())),
@@ -31,12 +29,12 @@ pub fn explain_to_value(plan: &QueryPlan) -> Value {
                         ]),
                     ),
                 ]),
-                AccessPath::PrimaryScan => Value::object([
-                    ("operator", Value::from("PrimaryScan")),
-                ]),
-                AccessPath::ExpressionOnly => Value::object([
-                    ("operator", Value::from("DummyScan")),
-                ]),
+                AccessPath::PrimaryScan => {
+                    Value::object([("operator", Value::from("PrimaryScan"))])
+                }
+                AccessPath::ExpressionOnly => {
+                    Value::object([("operator", Value::from("DummyScan"))])
+                }
             };
             ops.push(scan);
             if p.fetch && !matches!(p.access, AccessPath::ExpressionOnly) {
@@ -82,10 +80,7 @@ pub fn explain_to_value(plan: &QueryPlan) -> Value {
             "plan",
             Value::object([(
                 "operators",
-                Value::Array(vec![Value::object([(
-                    "operator",
-                    Value::from(direct_name(stmt)),
-                )])]),
+                Value::Array(vec![Value::object([("operator", Value::from(direct_name(stmt)))])]),
             )]),
         )]),
     }

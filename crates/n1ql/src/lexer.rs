@@ -42,8 +42,8 @@ impl Token {
 }
 
 const PUNCTS: &[&str] = &[
-    "<=", ">=", "!=", "<>", "||", "==", "=", "<", ">", "(", ")", "[", "]", "{", "}", ",", ".",
-    "*", "+", "-", "/", "%", ":", ";",
+    "<=", ">=", "!=", "<>", "||", "==", "=", "<", ">", "(", ")", "[", "]", "{", "}", ",", ".", "*",
+    "+", "-", "/", "%", ":", ";",
 ];
 
 /// Tokenize a statement.
@@ -144,7 +144,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while pos < bytes.len() && bytes[pos].is_ascii_digit() {
                     pos += 1;
                 }
-                if pos < bytes.len() && bytes[pos] == b'.' && bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                if pos < bytes.len()
+                    && bytes[pos] == b'.'
+                    && bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit())
+                {
                     is_float = true;
                     pos += 1;
                     while pos < bytes.len() && bytes[pos].is_ascii_digit() {
@@ -163,15 +166,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = &input[start..pos];
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|_| {
-                        Error::Parse(format!("bad number literal: {text}"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| Error::Parse(format!("bad number literal: {text}")))?,
+                    ));
                 } else {
                     match text.parse::<i64>() {
                         Ok(i) => out.push(Token::Int(i)),
-                        Err(_) => out.push(Token::Float(text.parse().map_err(|_| {
-                            Error::Parse(format!("bad number literal: {text}"))
-                        })?)),
+                        Err(_) => out
+                            .push(Token::Float(text.parse().map_err(|_| {
+                                Error::Parse(format!("bad number literal: {text}"))
+                            })?)),
                     }
                 }
             }
@@ -251,12 +256,7 @@ mod tests {
         let toks = tokenize("1 2.5 1e3 9223372036854775807").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Int(1),
-                Token::Float(2.5),
-                Token::Float(1000.0),
-                Token::Int(i64::MAX)
-            ]
+            vec![Token::Int(1), Token::Float(2.5), Token::Float(1000.0), Token::Int(i64::MAX)]
         );
     }
 

@@ -195,11 +195,7 @@ impl Parser {
             }
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.expect_ident()?)
-        } else {
-            None
-        };
+        let alias = if self.eat_kw("as") { Some(self.expect_ident()?) } else { None };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -228,13 +224,23 @@ impl Parser {
                 let alias = self.parse_opt_alias(&ks)?;
                 self.expect_kw("on")?;
                 self.expect_kw("keys")?;
-                ops.push(FromOp::Join { keyspace: ks, alias, on_keys: self.parse_expr()?, left_outer });
+                ops.push(FromOp::Join {
+                    keyspace: ks,
+                    alias,
+                    on_keys: self.parse_expr()?,
+                    left_outer,
+                });
             } else if self.eat_kw("nest") {
                 let ks = self.expect_ident()?;
                 let alias = self.parse_opt_alias(&ks)?;
                 self.expect_kw("on")?;
                 self.expect_kw("keys")?;
-                ops.push(FromOp::Nest { keyspace: ks, alias, on_keys: self.parse_expr()?, left_outer });
+                ops.push(FromOp::Nest {
+                    keyspace: ks,
+                    alias,
+                    on_keys: self.parse_expr()?,
+                    left_outer,
+                });
             } else if self.eat_kw("unnest") {
                 let path = self.parse_expr()?;
                 let alias = match &path {
@@ -547,12 +553,22 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             let check = if self.eat_kw("null") {
-                if negated { IsCheck::NotNull } else { IsCheck::Null }
+                if negated {
+                    IsCheck::NotNull
+                } else {
+                    IsCheck::Null
+                }
             } else if self.eat_kw("missing") {
-                if negated { IsCheck::NotMissing } else { IsCheck::Missing }
+                if negated {
+                    IsCheck::NotMissing
+                } else {
+                    IsCheck::Missing
+                }
             } else if self.eat_kw("valued") {
                 if negated {
-                    return Err(self.err("IS NOT VALUED is not supported; use IS NULL OR IS MISSING"));
+                    return Err(
+                        self.err("IS NOT VALUED is not supported; use IS NULL OR IS MISSING")
+                    );
                 }
                 IsCheck::Valued
             } else {
@@ -561,9 +577,7 @@ impl Parser {
             return Ok(Expr::IsCheck(check, Box::new(left)));
         }
         let negated = self.at_kw("not")
-            && self
-                .peek2()
-                .is_some_and(|t| t.is_kw("between") || t.is_kw("in") || t.is_kw("like"));
+            && self.peek2().is_some_and(|t| t.is_kw("between") || t.is_kw("in") || t.is_kw("like"));
         if negated {
             self.pos += 1;
         }
@@ -664,9 +678,7 @@ impl Parser {
                         return Err(self.err("field access on non-path expressions is unsupported"))
                     }
                 }
-            } else if self.peek().is_some_and(|t| t.is_punct("["))
-                && matches!(e, Expr::Path(_))
-            {
+            } else if self.peek().is_some_and(|t| t.is_punct("[")) && matches!(e, Expr::Path(_)) {
                 self.pos += 1;
                 let idx = match self.bump() {
                     Some(Token::Int(i)) => i,
@@ -736,9 +748,7 @@ impl Parser {
                         let key = match self.bump() {
                             Some(Token::Str(s)) => s,
                             Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => s,
-                            other => {
-                                return Err(self.err(&format!("bad object key: {other:?}")))
-                            }
+                            other => return Err(self.err(&format!("bad object key: {other:?}"))),
                         };
                         self.expect_punct(":")?;
                         pairs.push((key, self.parse_expr()?));
@@ -764,11 +774,52 @@ impl Parser {
         // reserved-keyword rules; quote with backticks to use them as
         // field names).
         const RESERVED: &[&str] = &[
-            "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
-            "and", "or", "not", "join", "inner", "left", "outer", "nest", "unnest", "on",
-            "keys", "as", "use", "set", "unset", "into", "values", "between", "like", "when",
-            "then", "else", "end", "is", "in", "satisfies", "distinct", "asc", "desc",
-            "insert", "upsert", "update", "delete", "create", "drop", "build", "index",
+            "select",
+            "from",
+            "where",
+            "group",
+            "by",
+            "having",
+            "order",
+            "limit",
+            "offset",
+            "and",
+            "or",
+            "not",
+            "join",
+            "inner",
+            "left",
+            "outer",
+            "nest",
+            "unnest",
+            "on",
+            "keys",
+            "as",
+            "use",
+            "set",
+            "unset",
+            "into",
+            "values",
+            "between",
+            "like",
+            "when",
+            "then",
+            "else",
+            "end",
+            "is",
+            "in",
+            "satisfies",
+            "distinct",
+            "asc",
+            "desc",
+            "insert",
+            "upsert",
+            "update",
+            "delete",
+            "create",
+            "drop",
+            "build",
+            "index",
             "explain",
         ];
         if RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k)) {
@@ -807,7 +858,7 @@ impl Parser {
         // Function call?
         if self.peek2().is_some_and(|t| t.is_punct("(")) {
             self.pos += 2; // ident + '('
-            // META() / META(alias) followed by .id
+                           // META() / META(alias) followed by .id
             if word.eq_ignore_ascii_case("meta") {
                 let alias = if self.eat_punct(")") {
                     None
@@ -899,7 +950,8 @@ mod tests {
 
     #[test]
     fn simple_select() {
-        let s = sel("SELECT name, age FROM profiles WHERE age >= 21 ORDER BY name LIMIT 10 OFFSET 5");
+        let s =
+            sel("SELECT name, age FROM profiles WHERE age >= 21 ORDER BY name LIMIT 10 OFFSET 5");
         assert_eq!(s.items.len(), 2);
         let f = s.from.unwrap();
         assert_eq!(f.keyspace, "profiles");
@@ -921,12 +973,10 @@ mod tests {
 
     #[test]
     fn paper_nest_query_shape() {
-        let s = sel(
-            "SELECT PO.personal_details, orders FROM profiles_orders PO \
+        let s = sel("SELECT PO.personal_details, orders FROM profiles_orders PO \
              USE KEYS 'borkar123' \
              NEST profiles_orders AS orders \
-             ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END",
-        );
+             ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END");
         let from = s.from.unwrap();
         assert_eq!(from.alias, "PO");
         assert_eq!(from.ops.len(), 1);
@@ -974,9 +1024,8 @@ mod tests {
 
     #[test]
     fn group_having_aggregates() {
-        let s = sel(
-            "SELECT city, COUNT(*) AS n, AVG(age) FROM p GROUP BY city HAVING COUNT(*) > 2",
-        );
+        let s =
+            sel("SELECT city, COUNT(*) AS n, AVG(age) FROM p GROUP BY city HAVING COUNT(*) > 2");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert!(matches!(
@@ -1033,10 +1082,8 @@ mod tests {
             other => panic!("{other:?}"),
         }
 
-        let st = parse_statement(
-            "CREATE INDEX over21 ON `Profile`(age) WHERE age > 21 USING GSI",
-        )
-        .unwrap();
+        let st = parse_statement("CREATE INDEX over21 ON `Profile`(age) WHERE age > 21 USING GSI")
+            .unwrap();
         assert!(matches!(st, Statement::CreateIndex { where_: Some(_), .. }));
 
         let st = parse_statement(
@@ -1063,8 +1110,7 @@ mod tests {
 
     #[test]
     fn explain_wraps() {
-        let st =
-            parse_statement("EXPLAIN SELECT title FROM catalog ORDER BY title").unwrap();
+        let st = parse_statement("EXPLAIN SELECT title FROM catalog ORDER BY title").unwrap();
         assert!(matches!(st, Statement::Explain(inner) if matches!(*inner, Statement::Select(_))));
     }
 
@@ -1091,7 +1137,10 @@ mod tests {
             Expr::In { negated: true, .. }
         ));
         assert!(matches!(parse_expression("name LIKE 'D%'").unwrap(), Expr::Like { .. }));
-        assert!(matches!(parse_expression("x IS NOT MISSING").unwrap(), Expr::IsCheck(IsCheck::NotMissing, _)));
+        assert!(matches!(
+            parse_expression("x IS NOT MISSING").unwrap(),
+            Expr::IsCheck(IsCheck::NotMissing, _)
+        ));
         assert!(matches!(
             parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END").unwrap(),
             Expr::Case { .. }

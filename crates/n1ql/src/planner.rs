@@ -45,7 +45,11 @@ pub fn build_plan(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> 
 
 fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<SelectPlan> {
     let Some(from) = &sel.from else {
-        return Ok(SelectPlan { select: sel.clone(), access: AccessPath::ExpressionOnly, fetch: false });
+        return Ok(SelectPlan {
+            select: sel.clone(),
+            access: AccessPath::ExpressionOnly,
+            fetch: false,
+        });
     };
     if !ds.keyspace_exists(&from.keyspace) {
         return Err(Error::Plan(format!("no such keyspace: {}", from.keyspace)));
@@ -114,7 +118,11 @@ fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<
 
     // 3. PrimaryScan requires a primary index to exist (§3.3.3 / §5.1.1).
     if indexes.iter().any(|d| d.primary) {
-        return Ok(SelectPlan { select: sel.clone(), access: AccessPath::PrimaryScan, fetch: true });
+        return Ok(SelectPlan {
+            select: sel.clone(),
+            access: AccessPath::PrimaryScan,
+            fetch: true,
+        });
     }
     Err(Error::Plan(format!(
         "no index available on keyspace {} — create a primary or secondary index, or use USE KEYS",
@@ -138,9 +146,7 @@ pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
 /// keyspace alias prefix)?
 fn matches_key_expr(expr: &Expr, key: &KeyExpr, alias: &str) -> bool {
     match (expr, key) {
-        (Expr::MetaId(a), KeyExpr::DocId) => {
-            a.as_deref().is_none_or(|x| x == alias)
-        }
+        (Expr::MetaId(a), KeyExpr::DocId) => a.as_deref().is_none_or(|x| x == alias),
         (Expr::Path(parts), KeyExpr::Path(path)) => path_matches(parts, path, alias),
         // ANY ... IN <path> predicates pair with ArrayElements keys; handled
         // separately in `sargable_range`.
@@ -187,9 +193,10 @@ fn const_value(e: &Expr, opts: &QueryOptions) -> Option<Value> {
         aggs: None,
     };
     match e {
-        Expr::Literal(_) | Expr::PosParam(_) | Expr::NamedParam(_) | Expr::Unary(UnaryOp::Neg, _) => {
-            eval(e, &ctx).ok().flatten()
-        }
+        Expr::Literal(_)
+        | Expr::PosParam(_)
+        | Expr::NamedParam(_)
+        | Expr::Unary(UnaryOp::Neg, _) => eval(e, &ctx).ok().flatten(),
         _ => None,
     }
 }
@@ -214,7 +221,8 @@ fn sargable_range(
             if let Expr::Path(src_parts) = source.as_ref() {
                 if path_matches(src_parts, path, alias) {
                     if let Expr::Binary(BinOp::Eq, l, r) = cond.as_ref() {
-                        let var_matches = matches!(l.as_ref(), Expr::Path(p) if render_parts(p) == *var);
+                        let var_matches =
+                            matches!(l.as_ref(), Expr::Path(p) if render_parts(p) == *var);
                         if var_matches {
                             if let Some(v) = const_value(r, opts) {
                                 return Ok(Some(ScanRange::exact(v)));
@@ -226,12 +234,15 @@ fn sargable_range(
             continue;
         }
         let (op, lhs, rhs) = match c {
-            Expr::Binary(op @ (BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), l, r) => {
-                (*op, l.as_ref(), r.as_ref())
-            }
+            Expr::Binary(
+                op @ (BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge),
+                l,
+                r,
+            ) => (*op, l.as_ref(), r.as_ref()),
             Expr::Between { expr, low, high, negated: false } => {
                 if matches_key_expr(expr, leading, alias) {
-                    if let (Some(lo), Some(hi)) = (const_value(low, opts), const_value(high, opts)) {
+                    if let (Some(lo), Some(hi)) = (const_value(low, opts), const_value(high, opts))
+                    {
                         tighten_low(&mut range, lo, true);
                         tighten_high(&mut range, hi, true);
                         matched = true;
@@ -385,10 +396,12 @@ fn expr_covered(e: &Expr, def: &IndexDef, alias: &str) -> bool {
     match e {
         Expr::Literal(_) | Expr::PosParam(_) | Expr::NamedParam(_) => true,
         Expr::MetaId(a) => a.as_deref().is_none_or(|x| x == alias),
-        Expr::Path(parts) => def.keys.iter().any(|k| matches_key_expr(e, k, alias)) || {
-            let _ = parts;
-            false
-        },
+        Expr::Path(parts) => {
+            def.keys.iter().any(|k| matches_key_expr(e, k, alias)) || {
+                let _ = parts;
+                false
+            }
+        }
         Expr::Unary(_, a) => expr_covered(a, def, alias),
         Expr::Binary(_, a, b) => expr_covered(a, def, alias) && expr_covered(b, def, alias),
         Expr::IsCheck(_, a) => expr_covered(a, def, alias),
@@ -496,9 +509,8 @@ mod tests {
             pos_params: vec![Value::from("user100"), Value::int(50)],
             ..QueryOptions::default()
         };
-        let stmt =
-            parse_statement("SELECT meta().id AS id FROM b WHERE meta().id >= $1 LIMIT $2")
-                .unwrap();
+        let stmt = parse_statement("SELECT meta().id AS id FROM b WHERE meta().id >= $1 LIMIT $2")
+            .unwrap();
         let QueryPlan::Select(p) = build_plan(&ds, &stmt, &opts).unwrap() else { panic!() };
         match p.access {
             AccessPath::IndexScan { index, range, covering } => {

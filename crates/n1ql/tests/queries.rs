@@ -9,16 +9,16 @@ fn ds() -> MemoryDatastore {
     ds.create_keyspace("profiles");
     ds.create_keyspace("orders");
     let profiles = [
-        ("u1", r#"{"name":"Alice","age":30,"city":"SF","tags":["admin","beta"],"order_ids":["o1","o2"]}"#),
+        (
+            "u1",
+            r#"{"name":"Alice","age":30,"city":"SF","tags":["admin","beta"],"order_ids":["o1","o2"]}"#,
+        ),
         ("u2", r#"{"name":"Bob","age":25,"city":"NY","tags":["beta"],"order_ids":["o3"]}"#),
         ("u3", r#"{"name":"Carol","age":35,"city":"SF","tags":[],"order_ids":[]}"#),
         ("u4", r#"{"name":"Dan","age":19,"city":"LA","tags":["new"],"order_ids":["o4"]}"#),
         ("u5", r#"{"name":"Eve","age":42,"city":"SF"}"#),
     ];
-    ds.load(
-        "profiles",
-        profiles.iter().map(|(k, v)| (k.to_string(), cbs_json::parse(v).unwrap())),
-    );
+    ds.load("profiles", profiles.iter().map(|(k, v)| (k.to_string(), cbs_json::parse(v).unwrap())));
     let orders = [
         ("o1", r#"{"total":100,"item":"keyboard"}"#),
         ("o2", r#"{"total":250,"item":"monitor"}"#),
@@ -83,7 +83,8 @@ fn covering_index_no_fetch() {
     assert!(text.contains("\"covering\":true"), "{text}");
     assert!(!text.contains("Fetch"), "covering scan needs no Fetch: {text}");
     let rows = run(&ds, "SELECT age FROM profiles WHERE age >= 30 ORDER BY age");
-    let ages: Vec<i64> = rows.iter().map(|r| r.get_field("age").unwrap().as_i64().unwrap()).collect();
+    let ages: Vec<i64> =
+        rows.iter().map(|r| r.get_field("age").unwrap().as_i64().unwrap()).collect();
     assert_eq!(ages, [30, 35, 42]);
 }
 
@@ -147,11 +148,10 @@ fn nest_collects_inner_docs() {
 fn unnest_flattens() {
     let ds = ds();
     // The paper's §3.2.3 UNNEST example shape.
-    let rows = run(
-        &ds,
-        "SELECT DISTINCT tag FROM profiles UNNEST profiles.tags AS tag ORDER BY tag",
-    );
-    let tags: Vec<&str> = rows.iter().map(|r| r.get_field("tag").unwrap().as_str().unwrap()).collect();
+    let rows =
+        run(&ds, "SELECT DISTINCT tag FROM profiles UNNEST profiles.tags AS tag ORDER BY tag");
+    let tags: Vec<&str> =
+        rows.iter().map(|r| r.get_field("tag").unwrap().as_str().unwrap()).collect();
     assert_eq!(tags, ["admin", "beta", "new"]);
 }
 
@@ -174,10 +174,8 @@ fn group_by_aggregates() {
 #[test]
 fn having_filters_groups() {
     let ds = ds();
-    let rows = run(
-        &ds,
-        "SELECT city, COUNT(*) AS n FROM profiles GROUP BY city HAVING COUNT(*) > 1",
-    );
+    let rows =
+        run(&ds, "SELECT city, COUNT(*) AS n FROM profiles GROUP BY city HAVING COUNT(*) > 1");
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].get_field("city"), Some(&Value::from("SF")));
 }
@@ -229,12 +227,9 @@ fn ycsb_workload_e_query() {
     // The appendix's exact workload E query (§10.1.2).
     let ds = ds();
     let opts = QueryOptions::with_args(vec![Value::from("u2"), Value::int(3)]);
-    let res = query(
-        &ds,
-        "SELECT meta().id AS id FROM profiles WHERE meta().id >= $1 LIMIT $2",
-        &opts,
-    )
-    .unwrap();
+    let res =
+        query(&ds, "SELECT meta().id AS id FROM profiles WHERE meta().id >= $1 LIMIT $2", &opts)
+            .unwrap();
     let ids: Vec<&str> =
         res.rows.iter().map(|r| r.get_field("id").unwrap().as_str().unwrap()).collect();
     assert_eq!(ids, ["u2", "u3", "u4"]);
@@ -276,22 +271,15 @@ fn dml_roundtrip() {
     assert_eq!(res.metrics.mutation_count, 1);
     let rows = run(&ds, "SELECT p.* FROM profiles p USE KEYS 'u9'");
     assert_eq!(rows[0].get_field("age"), Some(&Value::int(30)));
-    assert_eq!(
-        rows[0].get_field("extra").unwrap().get_field("verified"),
-        Some(&Value::Bool(true))
-    );
+    assert_eq!(rows[0].get_field("extra").unwrap().get_field("verified"), Some(&Value::Bool(true)));
     assert_eq!(rows[0].get_field("city"), None);
     // UPDATE ... WHERE over a scan.
-    let res = query(
-        &ds,
-        "UPDATE profiles SET senior = true WHERE age >= 35",
-        &QueryOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(res.metrics.mutation_count, 2); // Carol, Eve
-    // DELETE.
     let res =
-        query(&ds, "DELETE FROM profiles WHERE age < 20", &QueryOptions::default()).unwrap();
+        query(&ds, "UPDATE profiles SET senior = true WHERE age >= 35", &QueryOptions::default())
+            .unwrap();
+    assert_eq!(res.metrics.mutation_count, 2); // Carol, Eve
+                                               // DELETE.
+    let res = query(&ds, "DELETE FROM profiles WHERE age < 20", &QueryOptions::default()).unwrap();
     assert_eq!(res.metrics.mutation_count, 1); // Dan
     assert!(run(&ds, "SELECT name FROM profiles WHERE name = 'Dan'").is_empty());
 }
@@ -314,7 +302,10 @@ fn ddl_via_n1ql() {
         &QueryOptions::default(),
     )
     .unwrap();
-    assert!(!ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"), "deferred: not online");
+    assert!(
+        !ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"),
+        "deferred: not online"
+    );
     query(&ds, "BUILD INDEX ON profiles(by_city)", &QueryOptions::default()).unwrap();
     assert!(ds.list_indexes("profiles").iter().any(|d| d.name == "by_city"));
     query(&ds, "DROP INDEX profiles.by_city", &QueryOptions::default()).unwrap();

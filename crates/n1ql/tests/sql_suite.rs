@@ -13,14 +13,26 @@ fn fixture() -> MemoryDatastore {
     ds.create_keyspace("p");
     ds.create_keyspace("o");
     let people = [
-        ("p1", r#"{"name":"Ada","age":36,"city":"London","langs":["asm","math"],
-                   "address":{"zip":"E1"},"vip":true,"order_ids":["o1"]}"#),
-        ("p2", r#"{"name":"Bob","age":25,"city":"Paris","langs":["go"],
-                   "address":{"zip":"75"},"vip":false,"order_ids":["o2","o3"]}"#),
-        ("p3", r#"{"name":"Cyd","age":25,"city":"London","langs":[],
-                   "address":{"zip":"N1"},"vip":false,"order_ids":[]}"#),
-        ("p4", r#"{"name":"Dee","age":52,"city":"Berlin","langs":["rust","go"],
-                   "vip":true}"#),
+        (
+            "p1",
+            r#"{"name":"Ada","age":36,"city":"London","langs":["asm","math"],
+                   "address":{"zip":"E1"},"vip":true,"order_ids":["o1"]}"#,
+        ),
+        (
+            "p2",
+            r#"{"name":"Bob","age":25,"city":"Paris","langs":["go"],
+                   "address":{"zip":"75"},"vip":false,"order_ids":["o2","o3"]}"#,
+        ),
+        (
+            "p3",
+            r#"{"name":"Cyd","age":25,"city":"London","langs":[],
+                   "address":{"zip":"N1"},"vip":false,"order_ids":[]}"#,
+        ),
+        (
+            "p4",
+            r#"{"name":"Dee","age":52,"city":"Berlin","langs":["rust","go"],
+                   "vip":true}"#,
+        ),
         ("p5", r#"{"name":"Eli","city":"Paris","langs":["rust"],"vip":null}"#),
     ];
     ds.load("p", people.iter().map(|(k, v)| (k.to_string(), cbs_json::parse(v).unwrap())));
@@ -48,16 +60,8 @@ const CASES: &[(&str, &str, &str)] = &[
         "SELECT name, age FROM p WHERE age IS VALUED ORDER BY age DESC, name LIMIT 2",
         r#"[{"name":"Dee","age":52},{"name":"Ada","age":36}]"#,
     ),
-    (
-        "missing_vs_null",
-        "SELECT name FROM p WHERE age IS MISSING",
-        r#"[{"name":"Eli"}]"#,
-    ),
-    (
-        "is_null_only",
-        "SELECT name FROM p WHERE vip IS NULL",
-        r#"[{"name":"Eli"}]"#,
-    ),
+    ("missing_vs_null", "SELECT name FROM p WHERE age IS MISSING", r#"[{"name":"Eli"}]"#),
+    ("is_null_only", "SELECT name FROM p WHERE vip IS NULL", r#"[{"name":"Eli"}]"#),
     (
         "nested_field_access",
         "SELECT address.zip AS zip FROM p WHERE name = 'Bob'",
@@ -119,11 +123,7 @@ const CASES: &[(&str, &str, &str)] = &[
         "SELECT MIN(age) AS lo, MAX(age) AS hi, SUM(age) AS s FROM p",
         r#"[{"lo":25,"hi":52,"s":138}]"#,
     ),
-    (
-        "count_distinct_cities",
-        "SELECT COUNT(DISTINCT city) AS c FROM p",
-        r#"[{"c":3}]"#,
-    ),
+    ("count_distinct_cities", "SELECT COUNT(DISTINCT city) AS c FROM p", r#"[{"c":3}]"#),
     (
         "array_agg_sorted_input",
         "SELECT ARRAY_AGG(name) AS names FROM p WHERE age = 25",

@@ -73,8 +73,7 @@ impl BucketStore {
 
     /// Run `maybe_compact` on every open vBucket; returns how many compacted.
     pub fn compact_all(&self, threshold: f64) -> Result<usize> {
-        let stores: Vec<Arc<VBucketStore>> =
-            self.stores.read().values().map(Arc::clone).collect();
+        let stores: Vec<Arc<VBucketStore>> = self.stores.read().values().map(Arc::clone).collect();
         let mut n = 0;
         for s in stores {
             if s.maybe_compact(threshold)? {

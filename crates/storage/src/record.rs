@@ -129,12 +129,7 @@ pub fn decode_record(buf: &[u8]) -> DecodeOutcome {
     p.advance(key_len);
     let value = Bytes::copy_from_slice(p);
     DecodeOutcome::Record {
-        doc: StoredDoc {
-            key,
-            meta: DocMeta { seqno, cas, rev, flags, expiry },
-            deleted,
-            value,
-        },
+        doc: StoredDoc { key, meta: DocMeta { seqno, cas, rev, flags, expiry }, deleted, value },
         consumed: HEADER_LEN + plen,
     }
 }

@@ -135,16 +135,19 @@ impl VBucketStore {
         }
         Ok(VBucketStore {
             vb,
-            inner: OrderedMutex::new(rank::VB_STORE, Inner {
-                file,
-                path,
-                by_id,
-                by_seqno,
-                high_seqno,
-                file_bytes: valid_len as u64,
-                stale_bytes,
-                compactions: 0,
-            }),
+            inner: OrderedMutex::new(
+                rank::VB_STORE,
+                Inner {
+                    file,
+                    path,
+                    by_id,
+                    by_seqno,
+                    high_seqno,
+                    file_bytes: valid_len as u64,
+                    stale_bytes,
+                    compactions: 0,
+                },
+            ),
         })
     }
 
@@ -234,8 +237,7 @@ impl VBucketStore {
     /// `since`, in seqno order — the DCP backfill scan.
     pub fn changes_since(&self, since: SeqNo) -> Result<Vec<StoredDoc>> {
         let mut inner = self.inner.lock();
-        let offsets: Vec<u64> =
-            inner.by_seqno.range(since.0 + 1..).map(|(_, &off)| off).collect();
+        let offsets: Vec<u64> = inner.by_seqno.range(since.0 + 1..).map(|(_, &off)| off).collect();
         let mut out = Vec::with_capacity(offsets.len());
         for off in offsets {
             inner.file.seek(SeekFrom::Start(off))?;

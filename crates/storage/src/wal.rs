@@ -195,9 +195,7 @@ mod tests {
         let wal = GroupCommitWal::open(&dir, 0).unwrap();
         let b0 = vec![doc("a", 1), doc("b", 2)];
         let b1 = vec![doc("c", 1)];
-        let n = wal
-            .append_cycle([(VbId(0), b0.as_slice()), (VbId(7), b1.as_slice())])
-            .unwrap();
+        let n = wal.append_cycle([(VbId(0), b0.as_slice()), (VbId(7), b1.as_slice())]).unwrap();
         assert!(n > 0);
         assert_eq!(wal.len_bytes(), n);
         wal.sync().unwrap();

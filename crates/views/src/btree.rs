@@ -161,16 +161,15 @@ impl Node {
     fn insert(&mut self, entry: ViewEntry, reducer: Reducer) -> Option<Node> {
         match self {
             Node::Leaf { entries, .. } => {
-                match entries.binary_search_by(|e| {
-                    entry_cmp(&e.key, &e.doc_id, &entry.key, &entry.doc_id)
-                }) {
+                match entries
+                    .binary_search_by(|e| entry_cmp(&e.key, &e.doc_id, &entry.key, &entry.doc_id))
+                {
                     Ok(pos) => entries[pos] = entry,
                     Err(pos) => entries.insert(pos, entry),
                 }
                 let split = if entries.len() > MAX_NODE {
                     let right = entries.split_off(entries.len() / 2);
-                    let mut right_node =
-                        Node::Leaf { entries: right, red: reducer.empty() };
+                    let mut right_node = Node::Leaf { entries: right, red: reducer.empty() };
                     right_node.recompute_red(reducer);
                     Some(right_node)
                 } else {
@@ -210,9 +209,7 @@ impl Node {
     fn remove(&mut self, key: &Value, doc_id: &str, reducer: Reducer) -> bool {
         let removed = match self {
             Node::Leaf { entries, .. } => {
-                match entries
-                    .binary_search_by(|e| entry_cmp(&e.key, &e.doc_id, key, doc_id))
-                {
+                match entries.binary_search_by(|e| entry_cmp(&e.key, &e.doc_id, key, doc_id)) {
                     Ok(pos) => {
                         entries.remove(pos);
                         true
@@ -223,9 +220,9 @@ impl Node {
             Node::Internal { children, .. } => {
                 let mut removed = false;
                 for i in 0..children.len() {
-                    let past = children[i].max_entry().is_none_or(|(k, d)| {
-                        entry_cmp(k, d, key, doc_id) != Ordering::Less
-                    });
+                    let past = children[i]
+                        .max_entry()
+                        .is_none_or(|(k, d)| entry_cmp(k, d, key, doc_id) != Ordering::Less);
                     if past {
                         removed = children[i].remove(key, doc_id, reducer);
                         if children[i].len() == 0 && children.len() > 1 {
@@ -281,7 +278,12 @@ impl Node {
         }
     }
 
-    fn reduce_range(&self, range: &KeyRange, active: Option<&[bool]>, reducer: Reducer) -> Reduction {
+    fn reduce_range(
+        &self,
+        range: &KeyRange,
+        active: Option<&[bool]>,
+        reducer: Reducer,
+    ) -> Reduction {
         match self {
             Node::Leaf { entries, .. } => entries
                 .iter()
@@ -310,8 +312,7 @@ impl Node {
                     }
                     // Fast path: subtree fully inside the range, and no
                     // vBucket filtering — use the pre-computed aggregate.
-                    let fully_inside =
-                        range.contains_key(min_k) && range.contains_key(max_k);
+                    let fully_inside = range.contains_key(min_k) && range.contains_key(max_k);
                     if fully_inside && active.is_none() {
                         acc = acc.combine(c.red());
                     } else {
@@ -326,9 +327,7 @@ impl Node {
     fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Internal { children, .. } => {
-                1 + children.first().map(Node::depth).unwrap_or(0)
-            }
+            Node::Internal { children, .. } => 1 + children.first().map(Node::depth).unwrap_or(0),
         }
     }
 }
@@ -401,9 +400,8 @@ impl ViewBTree {
                 }
                 Node::Internal { children, .. } => {
                     let next = children.iter().find(|c| {
-                        c.max_entry().is_some_and(|(k, d)| {
-                            entry_cmp(k, d, key, doc_id) != Ordering::Less
-                        })
+                        c.max_entry()
+                            .is_some_and(|(k, d)| entry_cmp(k, d, key, doc_id) != Ordering::Less)
                     });
                     match next {
                         Some(c) => node = c,
@@ -550,11 +548,7 @@ mod tests {
         }
         let range = KeyRange::between(Value::int(100), Value::int(399));
         let fast = t.reduce(&range, None);
-        let slow: f64 = t
-            .scan(&range, None)
-            .iter()
-            .map(|e| e.value.as_f64().unwrap())
-            .sum();
+        let slow: f64 = t.scan(&range, None).iter().map(|e| e.value.as_f64().unwrap()).sum();
         assert_eq!(fast, Reduction::Sum(slow));
         assert_eq!(slow, (100..=399).sum::<i64>() as f64);
     }

@@ -266,9 +266,10 @@ impl ViewEngine {
         let total_rows = view.tree.len();
 
         if q.reduce {
-            let reducer = view.def.reduce.ok_or_else(|| {
-                Error::View(format!("view {view_name} has no reduce function"))
-            })?;
+            let reducer = view
+                .def
+                .reduce
+                .ok_or_else(|| Error::View(format!("view {view_name} has no reduce function")))?;
             if q.group {
                 // Group by distinct key, in key order.
                 let mut rows: Vec<ViewRow> = Vec::new();
@@ -483,7 +484,12 @@ mod tests {
         let names: Vec<&Value> = res.rows.iter().map(|r| &r.key).collect();
         assert_eq!(
             names,
-            [&Value::from("Alice"), &Value::from("Bob"), &Value::from("Carol"), &Value::from("Dan")]
+            [
+                &Value::from("Alice"),
+                &Value::from("Bob"),
+                &Value::from("Carol"),
+                &Value::from("Dan")
+            ]
         );
     }
 
@@ -571,8 +577,14 @@ mod tests {
         let (e, ve) = setup();
         put(&e, "u1", "Alice", 30);
         // A doc without `name` in the same bucket: guarded out.
-        e.set("order1", Value::object([("total", Value::int(99))]), MutateMode::Upsert, Cas::WILDCARD, 0)
-            .unwrap();
+        e.set(
+            "order1",
+            Value::object([("total", Value::int(99))]),
+            MutateMode::Upsert,
+            Cas::WILDCARD,
+            0,
+        )
+        .unwrap();
         let q = ViewQuery { stale: Stale::False, ..Default::default() };
         let res = ve.query("profiles", "by_name", &q).unwrap();
         assert_eq!(res.rows.len(), 1);

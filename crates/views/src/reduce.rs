@@ -59,13 +59,9 @@ impl Reducer {
             Reducer::Count => Reduction::Count(1),
             Reducer::Sum => Reduction::Sum(n.unwrap_or(0.0)),
             Reducer::Stats => match n {
-                Some(x) => Reduction::Stats {
-                    sum: x,
-                    count: 1,
-                    min: Some(x),
-                    max: Some(x),
-                    sumsqr: x * x,
-                },
+                Some(x) => {
+                    Reduction::Stats { sum: x, count: 1, min: Some(x), max: Some(x), sumsqr: x * x }
+                }
                 None => self.empty(),
             },
         }
@@ -131,10 +127,8 @@ mod tests {
     #[test]
     fn count_monoid() {
         let r = Reducer::Count;
-        let total = [1, 2, 3]
-            .iter()
-            .map(|_| r.of_value(&Value::Null))
-            .fold(r.empty(), Reduction::combine);
+        let total =
+            [1, 2, 3].iter().map(|_| r.of_value(&Value::Null)).fold(r.empty(), Reduction::combine);
         assert_eq!(total, Reduction::Count(3));
         assert_eq!(total.to_value(), Value::int(3));
     }
@@ -175,8 +169,7 @@ mod tests {
     #[test]
     fn associativity() {
         let r = Reducer::Stats;
-        let parts: Vec<Reduction> =
-            (1..=6).map(|i| r.of_value(&Value::int(i))).collect();
+        let parts: Vec<Reduction> = (1..=6).map(|i| r.of_value(&Value::int(i))).collect();
         let left = parts.iter().copied().fold(r.empty(), Reduction::combine);
         let right = parts[..3]
             .iter()

@@ -6,9 +6,7 @@ use std::sync::Arc;
 use cbs_common::Cas;
 use cbs_json::Value;
 use cbs_kv::{DataEngine, EngineConfig, MutateMode};
-use cbs_views::{
-    DesignDoc, MapExpr, MapFn, Reducer, Stale, ViewDef, ViewEngine, ViewQuery,
-};
+use cbs_views::{DesignDoc, MapExpr, MapFn, Reducer, Stale, ViewDef, ViewEngine, ViewQuery};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -20,8 +18,11 @@ enum Op {
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (any::<u8>(), 0u8..5, -100i64..100)
-                .prop_map(|(key, group, amount)| Op::Put { key: key % 30, group, amount }),
+            (any::<u8>(), 0u8..5, -100i64..100).prop_map(|(key, group, amount)| Op::Put {
+                key: key % 30,
+                group,
+                amount
+            }),
             any::<u8>().prop_map(|key| Op::Del { key: key % 30 }),
         ],
         1..60,

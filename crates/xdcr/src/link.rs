@@ -135,11 +135,9 @@ fn link_loop(
                     item.key.as_bytes(),
                     destination.map(bucket).map(|m| m.num_vbuckets()).unwrap_or(1024),
                 ));
-                match destination
-                    .active_engine(bucket, dest_vb)
-                    .and_then(|e| {
-                        e.set_with_meta(&item.key, item.meta, item.value.clone(), item.is_deletion())
-                    }) {
+                match destination.active_engine(bucket, dest_vb).and_then(|e| {
+                    e.set_with_meta(&item.key, item.meta, item.value.clone(), item.is_deletion())
+                }) {
                     Ok(true) => {
                         stats.shipped.fetch_add(1, Ordering::Relaxed);
                     }

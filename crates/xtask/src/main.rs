@@ -57,7 +57,9 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     let root = match root.or_else(find_workspace_root) {
         Some(r) => r,
         None => {
-            eprintln!("xtask lint: no workspace root found (run from inside the repo or pass --root)");
+            eprintln!(
+                "xtask lint: no workspace root found (run from inside the repo or pass --root)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -86,7 +88,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             );
         }
     }
-    if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Walk `crates/*/src/**/*.rs` under `root`, lint each file. Returns the
@@ -119,13 +125,9 @@ fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
         collect_rs_files(&src, &mut files)?;
         files.sort();
         for f in files {
-            let text = std::fs::read_to_string(&f)
-                .map_err(|e| format!("reading {}: {e}", f.display()))?;
-            let rel = f
-                .strip_prefix(root)
-                .unwrap_or(&f)
-                .to_string_lossy()
-                .replace('\\', "/");
+            let text =
+                std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
             findings.extend(rules::lint_file(&crate_name, &rel, &text));
             files_scanned += 1;
         }
@@ -135,9 +137,7 @@ fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    for entry in
-        std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?
-    {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))? {
         let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
         let p = entry.path();
         if p.is_dir() {
@@ -243,7 +243,10 @@ mod tests {
             "crates/storage/src/lib.rs",
             "fn c(&self) {\n    {\n        let g = self.m.lock();\n    }\n    std::fs::rename(a, b);\n}\n",
         );
-        w("crates/cluster/src/lib.rs", "fn f() { let t = cbs_common::time::Deadline::after(d); }\n");
+        w(
+            "crates/cluster/src/lib.rs",
+            "fn f() { let t = cbs_common::time::Deadline::after(d); }\n",
+        );
         let (findings, _) = lint_tree(&root).unwrap();
         assert!(findings.is_empty(), "expected clean, got {findings:?}");
 

@@ -246,15 +246,12 @@ fn rule_guard_io(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
 
         // 2. Register new guard bindings declared on this line.
         let t = l.trim_start();
-        if t.starts_with("let ")
-            && [".lock()", ".read()", ".write()"].iter().any(|n| l.contains(n))
+        if t.starts_with("let ") && [".lock()", ".read()", ".write()"].iter().any(|n| l.contains(n))
         {
             let after_let = t["let ".len()..].trim_start();
             let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let).trim_start();
-            let name: String = after_mut
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
+            let name: String =
+                after_mut.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
             if !name.is_empty() && name != "_" {
                 guards.push(Guard { name, line: idx + 1, depth });
             }
@@ -373,7 +370,8 @@ mod tests {
 
     #[test]
     fn stale_allow_is_a_finding() {
-        let src = "fn f() {\n    // lint:allow(unwrap): nothing here anymore\n    x.unwrap_or(0);\n}\n";
+        let src =
+            "fn f() {\n    // lint:allow(unwrap): nothing here anymore\n    x.unwrap_or(0);\n}\n";
         let f = lint("cache", src);
         assert!(f.iter().any(|f| f.rule == "lint-allow" && f.msg.contains("suppresses nothing")));
     }

@@ -241,10 +241,7 @@ pub fn mask(src: &str) -> Masked {
                 t.is_empty() || (t.starts_with("#[") || t.starts_with("#![")) && t.ends_with(']')
             };
             let mut target = aline;
-            let blank_own = lines
-                .get(aline - 1)
-                .map(|l| l.trim().is_empty())
-                .unwrap_or(true);
+            let blank_own = lines.get(aline - 1).map(|l| l.trim().is_empty()).unwrap_or(true);
             if blank_own {
                 target = aline + 1;
                 while target <= lines.len() && skip(&lines[target - 1]) {
@@ -291,10 +288,7 @@ fn parse_allow(comment: &str, line: usize, out: &mut Vec<(usize, String, bool)>)
     let Some(close) = rest.find(')') else { return };
     let rule = rest[..close].trim().to_string();
     let after = rest[close + 1..].trim_start();
-    let has_reason = after
-        .strip_prefix(':')
-        .map(|r| !r.trim().is_empty())
-        .unwrap_or(false);
+    let has_reason = after.strip_prefix(':').map(|r| !r.trim().is_empty()).unwrap_or(false);
     out.push((line, rule, has_reason));
 }
 

@@ -105,15 +105,14 @@ impl Generator for ZipfianGen {
         if n != self.items {
             // Incremental zeta update (YCSB does the same).
             if n > self.items {
-                self.zeta_n += ((self.items + 1)..=n)
-                    .map(|i| 1.0 / (i as f64).powf(self.theta))
-                    .sum::<f64>();
+                self.zeta_n +=
+                    ((self.items + 1)..=n).map(|i| 1.0 / (i as f64).powf(self.theta)).sum::<f64>();
             } else {
                 self.zeta_n = zeta(n, self.theta);
             }
             self.items = n;
-            self.eta = (1.0 - (2.0 / n as f64).powf(1.0 - self.theta))
-                / (1.0 - self.zeta2 / self.zeta_n);
+            self.eta =
+                (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zeta_n);
         }
     }
 }
@@ -207,7 +206,12 @@ mod tests {
         let mut g = ZipfianGen::new(1000);
         let counts = histogram(&mut g, 1000, 200_000);
         // Item 0 must be far hotter than the median item.
-        assert!(counts[0] > 10 * counts[500].max(1), "zipf head {} vs mid {}", counts[0], counts[500]);
+        assert!(
+            counts[0] > 10 * counts[500].max(1),
+            "zipf head {} vs mid {}",
+            counts[0],
+            counts[500]
+        );
         // Head concentration: top 10% of items get well over half the mass.
         let head: usize = counts[..100].iter().sum();
         assert!(head as f64 > 0.55 * 200_000.0, "head mass {head}");

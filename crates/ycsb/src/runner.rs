@@ -120,10 +120,8 @@ pub fn run_workload(
 ) -> Result<RunSummary> {
     if spec.scan_proportion > 0.0 {
         // Scans need the primary index (§3.3.3); tolerate "already exists".
-        let _ = cluster.query(
-            &format!("CREATE PRIMARY INDEX ON {bucket_name}"),
-            &QueryOptions::default(),
-        );
+        let _ = cluster
+            .query(&format!("CREATE PRIMARY INDEX ON {bucket_name}"), &QueryOptions::default());
     }
     let record_count = Arc::new(AtomicU64::new(spec.record_count));
     let start = Instant::now();
@@ -189,8 +187,7 @@ pub fn run_workload(
                                     // cloned only because the cache still
                                     // aliases it.
                                     let mut v = g.value;
-                                    v.make_mut()
-                                        .insert_field("field0", Value::from("modified"));
+                                    v.make_mut().insert_field("field0", Value::from("modified"));
                                     bucket.upsert(&key, v).is_ok()
                                 }
                                 Err(_) => false,

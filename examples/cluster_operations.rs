@@ -7,9 +7,7 @@
 
 use std::time::Duration;
 
-use couchbase_repro::{
-    ClusterConfig, CouchbaseCluster, KeyFilter, NodeId, ServiceSet, Value,
-};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, KeyFilter, NodeId, ServiceSet, Value};
 
 fn main() {
     // --- Start with 2 nodes, load data -------------------------------------
@@ -88,9 +86,7 @@ fn main() {
 }
 
 fn verify_all(bucket: &couchbase_repro::Bucket, n: usize, stage: &str) {
-    let missing = (0..n)
-        .filter(|i| bucket.get(&format!("doc::{i}")).is_err())
-        .count();
+    let missing = (0..n).filter(|i| bucket.get(&format!("doc::{i}")).is_err()).count();
     println!("  verify {stage}: {}/{n} docs readable ({missing} missing)", n - missing);
     assert_eq!(missing, 0, "data loss {stage}");
 }

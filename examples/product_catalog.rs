@@ -24,14 +24,26 @@ fn main() {
 
     // --- Mixed document types in one bucket --------------------------------
     let products = [
-        ("product::1", r#"{"doc_type":"product","name":"Mechanical Keyboard","price":129.0,
-          "categories":["peripherals","office"],"stock":12}"#),
-        ("product::2", r#"{"doc_type":"product","name":"4K Monitor","price":399.0,
-          "categories":["displays","office"],"stock":3}"#),
-        ("product::3", r#"{"doc_type":"product","name":"USB Hub","price":25.0,
-          "categories":["peripherals"],"stock":0}"#),
-        ("product::4", r#"{"doc_type":"product","name":"Laptop Stand","price":45.0,
-          "categories":["office","ergonomics"],"stock":31}"#),
+        (
+            "product::1",
+            r#"{"doc_type":"product","name":"Mechanical Keyboard","price":129.0,
+          "categories":["peripherals","office"],"stock":12}"#,
+        ),
+        (
+            "product::2",
+            r#"{"doc_type":"product","name":"4K Monitor","price":399.0,
+          "categories":["displays","office"],"stock":3}"#,
+        ),
+        (
+            "product::3",
+            r#"{"doc_type":"product","name":"USB Hub","price":25.0,
+          "categories":["peripherals"],"stock":0}"#,
+        ),
+        (
+            "product::4",
+            r#"{"doc_type":"product","name":"Laptop Stand","price":45.0,
+          "categories":["office","ergonomics"],"stock":31}"#,
+        ),
     ];
     for (k, json) in products {
         bucket.upsert(k, couchbase_repro::parse_json(json).unwrap()).expect("seed product");
@@ -63,10 +75,7 @@ fn main() {
     cluster.query("CREATE PRIMARY INDEX ON catalog", &opts).expect("primary");
     // Selective index: only in-stock products (§3.3.4's pattern).
     cluster
-        .query(
-            "CREATE INDEX in_stock ON catalog(stock) WHERE stock > 0 USING GSI",
-            &opts,
-        )
+        .query("CREATE INDEX in_stock ON catalog(stock) WHERE stock > 0 USING GSI", &opts)
         .expect("partial index");
     // Array index over categories (§6.1.2).
     cluster
@@ -134,10 +143,7 @@ fn main() {
 
     // --- On-the-fly updates (sub-document SET, §3.2.2) ----------------------
     cluster
-        .query(
-            "UPDATE catalog USE KEYS 'product::2' SET price = 349.0, sale.active = true",
-            &opts,
-        )
+        .query("UPDATE catalog USE KEYS 'product::2' SET price = 349.0, sale.active = true", &opts)
         .expect("update");
     let monitor = bucket.get("product::2").unwrap().value;
     println!(

@@ -11,19 +11,15 @@ use couchbase_repro::{
 
 fn main() {
     // A 2-node cluster, every service on every node.
-    let cluster = CouchbaseCluster::homogeneous(
-        2,
-        couchbase_repro::ClusterConfig::for_test(64, 1),
-    );
+    let cluster = CouchbaseCluster::homogeneous(2, couchbase_repro::ClusterConfig::for_test(64, 1));
     let bucket = cluster.create_bucket("default").expect("create bucket");
 
     // ------------------------------------------------------------------
     // Access path 1: key-value via the primary key (§3.1.1).
     // ------------------------------------------------------------------
-    let profile = couchbase_repro::parse_json(
-        r#"{"name": "Dipti Borkar", "email": "dipti@couchbase.com"}"#,
-    )
-    .expect("valid JSON");
+    let profile =
+        couchbase_repro::parse_json(r#"{"name": "Dipti Borkar", "email": "dipti@couchbase.com"}"#)
+            .expect("valid JSON");
     bucket.upsert("borkar123", profile).expect("upsert");
     let got = bucket.get("borkar123").expect("get");
     println!("KV get:   {}", got.value);
@@ -59,10 +55,7 @@ fn main() {
         )
         .expect("design doc");
     // ?key="Dipti Borkar"&stale=false
-    let q = ViewQuery {
-        stale: Stale::False,
-        ..ViewQuery::by_key(Value::from("Dipti Borkar"))
-    };
+    let q = ViewQuery { stale: Stale::False, ..ViewQuery::by_key(Value::from("Dipti Borkar")) };
     let res = cluster.view_query("default", "profiles", "by_name", &q).expect("view query");
     println!("View:     {} -> {}", res.rows[0].key, res.rows[0].value);
 

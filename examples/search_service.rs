@@ -5,9 +5,7 @@
 //! cargo run --example search_service
 //! ```
 
-use couchbase_repro::{
-    ClusterConfig, CouchbaseCluster, FtsIndexDef, SearchQuery, Value,
-};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, FtsIndexDef, SearchQuery, Value};
 
 fn ticket(subject: &str, body: &str, product: &str) -> Value {
     Value::object([
@@ -39,16 +37,46 @@ fn main() {
         .expect("fts index 2");
 
     let tickets = [
-        ("t1", ticket("Cluster rebalance stuck at 90 percent",
-                      "After adding a node the rebalance never completes", "server")),
-        ("t2", ticket("Query latency spike under request_plus",
-                      "Index catch-up waits dominate our p99 latency", "query")),
-        ("t3", ticket("Rebalance fails with timeout",
-                      "The mover times out when moving large vBuckets", "server")),
-        ("t4", ticket("How to tune the object cache quota",
-                      "Residency ratio drops and background fetches spike", "server")),
-        ("t5", ticket("N1QL covering index not selected",
-                      "EXPLAIN shows a fetch even though all fields are indexed", "query")),
+        (
+            "t1",
+            ticket(
+                "Cluster rebalance stuck at 90 percent",
+                "After adding a node the rebalance never completes",
+                "server",
+            ),
+        ),
+        (
+            "t2",
+            ticket(
+                "Query latency spike under request_plus",
+                "Index catch-up waits dominate our p99 latency",
+                "query",
+            ),
+        ),
+        (
+            "t3",
+            ticket(
+                "Rebalance fails with timeout",
+                "The mover times out when moving large vBuckets",
+                "server",
+            ),
+        ),
+        (
+            "t4",
+            ticket(
+                "How to tune the object cache quota",
+                "Residency ratio drops and background fetches spike",
+                "server",
+            ),
+        ),
+        (
+            "t5",
+            ticket(
+                "N1QL covering index not selected",
+                "EXPLAIN shows a fetch even though all fields are indexed",
+                "query",
+            ),
+        ),
     ];
     for (id, doc) in tickets {
         bucket.upsert(id, doc).expect("upsert");
@@ -110,5 +138,8 @@ fn main() {
     let hits = cluster
         .fts_search("tickets", "everything", &SearchQuery::Term("resolved".to_string()), 0, true)
         .expect("search");
-    println!("after live update, 'resolved' matches: {:?}", hits.iter().map(|h| &h.doc_id).collect::<Vec<_>>());
+    println!(
+        "after live update, 'resolved' matches: {:?}",
+        hits.iter().map(|h| &h.doc_id).collect::<Vec<_>>()
+    );
 }

@@ -14,15 +14,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use couchbase_repro::{
-    ClusterConfig, CouchbaseCluster, Durability, Error, Value,
-};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, Durability, Error, Value};
 
 fn now_secs() -> u32 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .unwrap()
-        .as_secs() as u32
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs() as u32
 }
 
 fn main() {
@@ -74,7 +69,8 @@ fn main() {
                     .mutate_in_loop(
                         "user::42",
                         |doc| {
-                            let n = doc.get_field("login_count").and_then(Value::as_i64).unwrap_or(0);
+                            let n =
+                                doc.get_field("login_count").and_then(Value::as_i64).unwrap_or(0);
                             doc.insert_field("login_count", Value::int(n + 1));
                         },
                         256,
@@ -87,7 +83,10 @@ fn main() {
         h.join().unwrap();
     }
     let logins = bucket.get("user::42").unwrap().value.get_field("login_count").cloned();
-    println!("login_count = {} (expected 1600; optimistic locking lost no update)", logins.unwrap());
+    println!(
+        "login_count = {} (expected 1600; optimistic locking lost no update)",
+        logins.unwrap()
+    );
 
     // --- Session documents with TTL ---------------------------------------
     bucket

@@ -27,7 +27,11 @@ fn user(i: i64) -> Value {
         ("city", Value::from(["SF", "NY", "LA"][(i % 3) as usize])),
         (
             "tags",
-            Value::Array(if i % 2 == 0 { vec![Value::from("even")] } else { vec![Value::from("odd")] }),
+            Value::Array(if i % 2 == 0 {
+                vec![Value::from("even")]
+            } else {
+                vec![Value::from("odd")]
+            }),
         ),
     ])
 }
@@ -60,11 +64,7 @@ fn full_lifecycle_load_query_failover_rebalance() {
                 views: vec![(
                     "count_by_city".to_string(),
                     ViewDef {
-                        map: MapFn {
-                            when: vec![],
-                            key: MapExpr::field("city"),
-                            value: None,
-                        },
+                        map: MapFn { when: vec![], key: MapExpr::field("city"), value: None },
                         reduce: Some(Reducer::Count),
                     },
                 )],
@@ -102,9 +102,7 @@ fn full_lifecycle_load_query_failover_rebalance() {
     // Queries still work on the reshaped cluster (the GSI pump re-attaches
     // to the moved actives).
     bucket.upsert("user::fresh", user(999)).unwrap();
-    let res = cluster
-        .query("SELECT COUNT(*) AS n FROM app WHERE age >= 18", &rp)
-        .unwrap();
+    let res = cluster.query("SELECT COUNT(*) AS n FROM app WHERE age >= 18", &rp).unwrap();
     assert_eq!(res.rows[0].get_field("n"), Some(&Value::int(N + 1)));
 }
 
@@ -117,9 +115,7 @@ fn read_your_own_writes_semantics() {
     cluster.query("CREATE INDEX by_n ON app(n)", &QueryOptions::default()).unwrap();
 
     for round in 0..25 {
-        bucket
-            .upsert(&format!("doc{round}"), Value::object([("n", Value::int(round))]))
-            .unwrap();
+        bucket.upsert(&format!("doc{round}"), Value::object([("n", Value::int(round))])).unwrap();
         // Immediately query for the write through the index.
         let res = cluster
             .query(
@@ -170,9 +166,8 @@ fn xdcr_bidirectional_bulk_convergence() {
         wb.upsert(&format!("west::{i}"), Value::int(i)).unwrap();
     }
     assert!(wait_until(Duration::from_secs(15), || {
-        (0..40).all(|i| {
-            eb.get(&format!("west::{i}")).is_ok() && wb.get(&format!("east::{i}")).is_ok()
-        })
+        (0..40)
+            .all(|i| eb.get(&format!("west::{i}")).is_ok() && wb.get(&format!("east::{i}")).is_ok())
     }));
     // Conflicting writes on the same key converge to the same winner.
     eb.upsert("both", Value::from("east-1")).unwrap();
@@ -194,9 +189,8 @@ fn xdcr_filtered_by_key_regex() {
     let dst = CouchbaseCluster::homogeneous(1, ClusterConfig::for_test(32, 0));
     src.create_bucket("b").unwrap();
     dst.create_bucket("b").unwrap();
-    let link = src
-        .replicate_to(&dst, "b", Some(KeyFilter::compile("^order::[0-9]+$").unwrap()))
-        .unwrap();
+    let link =
+        src.replicate_to(&dst, "b", Some(KeyFilter::compile("^order::[0-9]+$").unwrap())).unwrap();
     let sb = src.bucket("b").unwrap();
     let db = dst.bucket("b").unwrap();
     sb.upsert("order::1", Value::int(1)).unwrap();
@@ -221,9 +215,8 @@ fn paper_worked_examples_end_to_end() {
         .upsert("roadster-uuid-4321-8765", Value::object([("company", Value::from("roadster"))]))
         .unwrap();
     let opts = QueryOptions::default();
-    let res = cluster
-        .query(r#"SELECT * FROM profiles USE KEYS "acme-uuid-1234-5678""#, &opts)
-        .unwrap();
+    let res =
+        cluster.query(r#"SELECT * FROM profiles USE KEYS "acme-uuid-1234-5678""#, &opts).unwrap();
     assert_eq!(res.rows.len(), 1);
     let res = cluster
         .query(
@@ -236,9 +229,7 @@ fn paper_worked_examples_end_to_end() {
     // §3.3.4's selective index (age > 21).
     bucket.upsert("kid", Value::object([("age", Value::int(12))])).unwrap();
     bucket.upsert("adult", Value::object([("age", Value::int(30))])).unwrap();
-    cluster
-        .query("CREATE INDEX over21 ON profiles(age) WHERE age > 21 USING GSI", &opts)
-        .unwrap();
+    cluster.query("CREATE INDEX over21 ON profiles(age) WHERE age > 21 USING GSI", &opts).unwrap();
     let res = cluster
         .query(
             "SELECT META().id AS id FROM profiles WHERE age > 21",
@@ -257,9 +248,7 @@ fn error_paths_are_clean() {
     assert!(matches!(bucket.remove("absent", Cas::WILDCARD), Err(Error::KeyNotFound(_))));
     assert!(cluster.create_bucket("b").is_err(), "duplicate bucket");
     assert!(cluster.query("SELECT FROM", &QueryOptions::default()).is_err());
-    assert!(cluster
-        .query("SELECT * FROM missing_bucket", &QueryOptions::default())
-        .is_err());
+    assert!(cluster.query("SELECT * FROM missing_bucket", &QueryOptions::default()).is_err());
     assert!(cluster.failover(NodeId(0)).is_err(), "cannot fail over a live node");
     assert!(cluster.view_query("b", "nope", "v", &ViewQuery::default()).is_err());
 }

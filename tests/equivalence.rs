@@ -12,20 +12,16 @@ use proptest::prelude::*;
 use couchbase_repro::{ClusterConfig, CouchbaseCluster, QueryOptions, Value};
 
 fn arb_doc() -> impl Strategy<Value = Value> {
-    (
-        0i64..100,
-        "[a-c]{1,3}",
-        prop::collection::vec(0i64..5, 0..4),
-        any::<bool>(),
-    )
-        .prop_map(|(age, city, nums, active)| {
+    (0i64..100, "[a-c]{1,3}", prop::collection::vec(0i64..5, 0..4), any::<bool>()).prop_map(
+        |(age, city, nums, active)| {
             Value::object([
                 ("age", Value::int(age)),
                 ("city", Value::from(city)),
                 ("nums", Value::Array(nums.into_iter().map(Value::int).collect())),
                 ("active", Value::Bool(active)),
             ])
-        })
+        },
+    )
 }
 
 proptest! {
@@ -106,9 +102,7 @@ fn view_reduce_equals_manual_aggregation() {
     for i in 0..200i64 {
         let amount = (i * 37) % 101;
         expected_sum += amount;
-        bucket
-            .upsert(&format!("d{i}"), Value::object([("amount", Value::int(amount))]))
-            .unwrap();
+        bucket.upsert(&format!("d{i}"), Value::object([("amount", Value::int(amount))])).unwrap();
     }
     cluster
         .create_design_doc(

@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use couchbase_repro::{
-    ClusterConfig, CouchbaseCluster, FtsIndexDef, NodeId, SearchQuery, Value,
-};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, FtsIndexDef, NodeId, SearchQuery, Value};
 
 fn article(title: &str, body: &str) -> Value {
     Value::object([("title", Value::from(title)), ("body", Value::from(body))])
@@ -83,9 +81,8 @@ fn fts_survives_failover() {
     for i in 0..30 {
         bucket.upsert(&format!("doc{i}"), article("shared term", &format!("body {i}"))).unwrap();
     }
-    let hits = cluster
-        .fts_search("wiki", "s", &SearchQuery::Term("shared".to_string()), 0, true)
-        .unwrap();
+    let hits =
+        cluster.fts_search("wiki", "s", &SearchQuery::Term("shared".to_string()), 0, true).unwrap();
     assert_eq!(hits.len(), 30);
 
     // Kill + fail over a node; the pump re-opens streams from the new
@@ -95,9 +92,8 @@ fn fts_survives_failover() {
     // Let replication/sequence state settle before relying on seqno vector.
     std::thread::sleep(Duration::from_millis(100));
     bucket.upsert("post-failover", article("shared too", "fresh")).unwrap();
-    let hits = cluster
-        .fts_search("wiki", "s", &SearchQuery::Term("shared".to_string()), 0, true)
-        .unwrap();
+    let hits =
+        cluster.fts_search("wiki", "s", &SearchQuery::Term("shared".to_string()), 0, true).unwrap();
     assert_eq!(hits.len(), 31, "index keeps up through failover");
 }
 
