@@ -300,9 +300,25 @@ fn bench_n1ql(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    let registry = cbs_obs::Registry::new("bench");
+    let counter = registry.counter("bench.obs.ops");
+    let hist = registry.histogram("bench.obs.latency");
+    // The hot path the rest of the system pays on every instrumented op:
+    // handles resolved once, then a handful of Relaxed atomic RMWs.
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("histogram_record", |b| b.iter(|| hist.record(Duration::from_nanos(1234))));
+    // span() with no active trace: the no-op fast path every untraced
+    // request takes.
+    g.bench_function("span_untraced", |b| b.iter(|| cbs_obs::span("bench.obs.span")));
+    g.bench_function("snapshot", |b| b.iter(|| hist.snapshot()));
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(30);
-    targets = bench_json, bench_storage, bench_cache, bench_dcp, bench_kv_engine, bench_zero_copy_hot_path, bench_flusher_pool, bench_view_btree, bench_gsi, bench_n1ql
+    targets = bench_json, bench_storage, bench_cache, bench_dcp, bench_kv_engine, bench_zero_copy_hot_path, bench_flusher_pool, bench_view_btree, bench_gsi, bench_n1ql, bench_obs
 );
 criterion_main!(benches);

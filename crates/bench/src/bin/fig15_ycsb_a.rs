@@ -10,7 +10,7 @@
 //! CBS_RECORDS=1000000 CBS_OPS=5000 cargo run -p cbs-bench --release --bin fig15_ycsb_a
 //! ```
 
-use cbs_bench::{env_u64, fmt_tput, paper_cluster, paper_thread_sweep, print_header};
+use cbs_bench::{env_u64, fmt_tput, paper_cluster, paper_thread_sweep, print_header, SweepPoint};
 use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
 
 fn main() {
@@ -35,15 +35,16 @@ fn main() {
     let mut series = Vec::new();
     for threads in paper_thread_sweep() {
         let summary = run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
+        let pt = SweepPoint::from_summary(threads, &summary);
         println!(
             "{}\t{}\t{}\t{:?}\t{:?}",
             threads,
             summary.ops,
             fmt_tput(summary.throughput()),
-            summary.latency.percentile(95.0),
-            summary.latency.percentile(99.0),
+            pt.p95,
+            pt.p99,
         );
-        series.push((threads, summary.throughput()));
+        series.push(pt);
     }
 
     match cbs_bench::write_bench_json("fig15_ycsb_a", &series) {
@@ -54,8 +55,8 @@ fn main() {
     // Shape check mirroring the paper: throughput grows with concurrency
     // and saturates near the hardware limit (the paper's curve flattens
     // approaching 178K ops/sec at 128 threads on their 4-server testbed).
-    let first = series.first().unwrap().1;
-    let peak = series.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    let first = series.first().unwrap().ops_per_sec;
+    let peak = series.iter().map(|p| p.ops_per_sec).fold(0.0f64, f64::max);
     println!(
         "\nshape: peak throughput {} ops/sec = {:.2}x the lowest-concurrency value \
          (paper: grows ~1.2x from 48 to 128 threads, then saturates)",

@@ -11,7 +11,7 @@
 //! cargo run -p cbs-bench --release --bin fig16_ycsb_e
 //! ```
 
-use cbs_bench::{env_u64, fmt_tput, paper_cluster, paper_thread_sweep, print_header};
+use cbs_bench::{env_u64, fmt_tput, paper_cluster, paper_thread_sweep, print_header, SweepPoint};
 use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
 
 fn main() {
@@ -38,21 +38,22 @@ fn main() {
     let mut series = Vec::new();
     for threads in paper_thread_sweep() {
         let summary = run_workload(&cluster, "ycsb", &spec, threads, ops_per_thread).expect("run");
+        let pt = SweepPoint::from_summary(threads, &summary);
         println!(
             "{}\t{}\t{}\t{:?}\t{:?}",
             threads,
             summary.ops,
             fmt_tput(summary.throughput()),
-            summary.latency.percentile(95.0),
-            summary.latency.percentile(99.0),
+            pt.p95,
+            pt.p99,
         );
-        series.push((threads, summary.throughput()));
+        series.push(pt);
     }
     match cbs_bench::write_bench_json("fig16_ycsb_e", &series) {
         Ok(path) => println!("series written to {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_fig16_ycsb_e.json: {e}"),
     }
-    let peak = series.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    let peak = series.iter().map(|p| p.ops_per_sec).fold(0.0f64, f64::max);
     println!(
         "\nshape: compare against fig15's KV throughput — the paper reports ~33x lower \
          (178K ops/sec vs 5.4K q/sec); measured peak query throughput here: {} q/sec",

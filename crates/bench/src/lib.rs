@@ -62,22 +62,60 @@ pub fn fmt_tput(ops_per_sec: f64) -> String {
     }
 }
 
-/// Write a figure's `(threads, ops/sec)` series as `BENCH_<name>.json` in
-/// `dir`. The format is deliberately flat so run-to-run diffs stay
-/// readable: one object per sweep point.
+/// One point of a figure's thread sweep: throughput plus the latency
+/// percentiles of the run's merged histogram snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Total client threads at this point.
+    pub threads: usize,
+    /// Measured throughput.
+    pub ops_per_sec: f64,
+    /// Median latency.
+    pub p50: std::time::Duration,
+    /// 95th-percentile latency.
+    pub p95: std::time::Duration,
+    /// 99th-percentile latency.
+    pub p99: std::time::Duration,
+}
+
+impl SweepPoint {
+    /// Build a sweep point from one [`cbs_ycsb::RunSummary`], pulling the
+    /// percentiles out of its merged `cbs-obs` histogram snapshot.
+    pub fn from_summary(threads: usize, summary: &cbs_ycsb::RunSummary) -> SweepPoint {
+        SweepPoint {
+            threads,
+            ops_per_sec: summary.throughput(),
+            p50: summary.latency_percentile(50.0),
+            p95: summary.latency_percentile(95.0),
+            p99: summary.latency_percentile(99.0),
+        }
+    }
+}
+
+/// Write a figure's sweep series as `BENCH_<name>.json` in `dir`. The
+/// format is deliberately flat so run-to-run diffs stay readable: one
+/// object per sweep point, latencies in microseconds.
 pub fn write_bench_json_to(
     dir: &std::path::Path,
     name: &str,
-    series: &[(usize, f64)],
+    series: &[SweepPoint],
 ) -> std::io::Result<std::path::PathBuf> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"bench\": \"{name}\",\n"));
     s.push_str("  \"unit\": \"ops_per_sec\",\n");
     s.push_str("  \"series\": [\n");
-    for (i, (threads, tput)) in series.iter().enumerate() {
+    for (i, pt) in series.iter().enumerate() {
         let sep = if i + 1 < series.len() { "," } else { "" };
-        s.push_str(&format!("    {{\"threads\": {threads}, \"ops_per_sec\": {tput:.1}}}{sep}\n"));
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"ops_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{sep}\n",
+            pt.threads,
+            pt.ops_per_sec,
+            pt.p50.as_secs_f64() * 1e6,
+            pt.p95.as_secs_f64() * 1e6,
+            pt.p99.as_secs_f64() * 1e6,
+        ));
     }
     s.push_str("  ]\n}\n");
     let path = dir.join(format!("BENCH_{name}.json"));
@@ -87,10 +125,7 @@ pub fn write_bench_json_to(
 
 /// Write `BENCH_<name>.json` at the repository root (two levels above this
 /// crate), where the figure binaries leave their machine-readable output.
-pub fn write_bench_json(
-    name: &str,
-    series: &[(usize, f64)],
-) -> std::io::Result<std::path::PathBuf> {
+pub fn write_bench_json(name: &str, series: &[SweepPoint]) -> std::io::Result<std::path::PathBuf> {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_bench_json_to(&root, name, series)
 }
@@ -127,12 +162,20 @@ mod tests {
     fn bench_json_roundtrip() {
         let dir = std::env::temp_dir().join(format!("cbs-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = write_bench_json_to(&dir, "fig_test", &[(4, 1234.5), (8, 2469.0)]).unwrap();
+        let us = std::time::Duration::from_micros;
+        let series = [
+            SweepPoint { threads: 4, ops_per_sec: 1234.5, p50: us(10), p95: us(50), p99: us(90) },
+            SweepPoint { threads: 8, ops_per_sec: 2469.0, p50: us(20), p95: us(80), p99: us(150) },
+        ];
+        let path = write_bench_json_to(&dir, "fig_test", &series).unwrap();
         assert_eq!(path.file_name().unwrap(), "BENCH_fig_test.json");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"bench\": \"fig_test\""));
-        assert!(text.contains("{\"threads\": 4, \"ops_per_sec\": 1234.5},"));
-        assert!(text.contains("{\"threads\": 8, \"ops_per_sec\": 2469.0}\n"));
+        assert!(text.contains(
+            "{\"threads\": 4, \"ops_per_sec\": 1234.5, \
+             \"p50_us\": 10.0, \"p95_us\": 50.0, \"p99_us\": 90.0},"
+        ));
+        assert!(text.contains("{\"threads\": 8, \"ops_per_sec\": 2469.0,"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

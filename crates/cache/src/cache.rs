@@ -1,10 +1,11 @@
 //! The cache proper: per-vBucket hash tables, NRU eviction, memory quota.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use cbs_common::{DocMeta, Error, Result, VbId};
 use cbs_json::SharedValue;
+use cbs_obs::{Counter, Gauge, Registry};
 use parking_lot::RwLock;
 
 use crate::stats::CacheStats;
@@ -71,15 +72,21 @@ struct Shard {
 }
 
 /// The object-managed cache for one bucket on one node.
+///
+/// All counters live in the owning service's [`cbs_obs::Registry`]
+/// (`kv.cache.*` metrics); handles are resolved once at construction and
+/// recorded lock-free on the hot path.
 pub struct ObjectCache {
     shards: Vec<RwLock<Shard>>,
     policy: EvictionPolicy,
     quota: usize,
-    mem_used: AtomicUsize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    tmp_ooms: AtomicU64,
+    mem_used: Arc<Gauge>,
+    items_gauge: Arc<Gauge>,
+    resident_gauge: Arc<Gauge>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    tmp_ooms: Arc<Counter>,
 }
 
 /// Fraction of quota at which writes start triggering an eviction pass.
@@ -88,19 +95,34 @@ const HIGH_WATERMARK: f64 = 0.85;
 const LOW_WATERMARK: f64 = 0.75;
 
 impl ObjectCache {
-    /// Create a cache with one shard per vBucket.
+    /// Create a cache with one shard per vBucket, registering its metrics
+    /// in a private throwaway registry (tests, standalone benches).
     pub fn new(num_vbuckets: u16, quota: usize, policy: EvictionPolicy) -> ObjectCache {
+        ObjectCache::new_with_registry(num_vbuckets, quota, policy, &Registry::new("kv"))
+    }
+
+    /// Create a cache whose `kv.cache.*` metrics live in `registry` (the
+    /// owning data engine's registry).
+    pub fn new_with_registry(
+        num_vbuckets: u16,
+        quota: usize,
+        policy: EvictionPolicy,
+        registry: &Registry,
+    ) -> ObjectCache {
+        registry.gauge("kv.cache.quota").set(quota as u64);
         ObjectCache {
             shards: (0..num_vbuckets)
                 .map(|_| RwLock::new(Shard { map: HashMap::new(), _pad: () }))
                 .collect(),
             policy,
             quota,
-            mem_used: AtomicUsize::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            tmp_ooms: AtomicU64::new(0),
+            mem_used: registry.gauge("kv.cache.mem_used"),
+            items_gauge: registry.gauge("kv.cache.items"),
+            resident_gauge: registry.gauge("kv.cache.resident_items"),
+            hits: registry.counter("kv.cache.hits"),
+            misses: registry.counter("kv.cache.misses"),
+            evictions: registry.counter("kv.cache.evictions"),
+            tmp_ooms: registry.counter("kv.cache.tmp_ooms"),
         }
     }
 
@@ -119,6 +141,7 @@ impl ObjectCache {
         value: impl Into<SharedValue>,
         dirty: bool,
     ) -> Result<()> {
+        let _s = cbs_obs::span("kv.cache.set");
         self.admit(
             vb,
             key,
@@ -133,12 +156,10 @@ impl ObjectCache {
 
     fn admit(&self, vb: VbId, key: &str, item: CacheItem) -> Result<()> {
         let add = item.mem_size(key);
-        if self.mem_used.load(Ordering::Relaxed) + add
-            > (self.quota as f64 * HIGH_WATERMARK) as usize
-        {
+        if self.mem_used.get() as usize + add > (self.quota as f64 * HIGH_WATERMARK) as usize {
             self.evict_to_watermark();
-            if self.mem_used.load(Ordering::Relaxed) + add > self.quota {
-                self.tmp_ooms.fetch_add(1, Ordering::Relaxed);
+            if self.mem_used.get() as usize + add > self.quota {
+                self.tmp_ooms.inc();
                 return Err(Error::TempOom);
             }
         }
@@ -146,8 +167,8 @@ impl ObjectCache {
         let old = shard.map.insert(key.to_string(), item);
         let removed = old.map(|o| o.mem_size(key)).unwrap_or(0);
         drop(shard);
-        self.mem_used.fetch_add(add, Ordering::Relaxed);
-        self.mem_used.fetch_sub(removed, Ordering::Relaxed);
+        self.mem_used.add(add as u64);
+        self.mem_used.sub(removed as u64);
         Ok(())
     }
 
@@ -158,18 +179,18 @@ impl ObjectCache {
             Some(item) => {
                 item.referenced = true;
                 if item.deleted {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     CacheLookup::Tombstone { meta: item.meta }
                 } else if let Some(v) = &item.value {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     CacheLookup::Hit { meta: item.meta, value: v.clone() }
                 } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     CacheLookup::ValueGone { meta: item.meta }
                 }
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 CacheLookup::Miss
             }
         }
@@ -216,7 +237,7 @@ impl ObjectCache {
                 let add = value.approx_size();
                 item.value = Some(value);
                 item.referenced = true;
-                self.mem_used.fetch_add(add, Ordering::Relaxed);
+                self.mem_used.add(add as u64);
             }
         }
     }
@@ -237,7 +258,7 @@ impl ObjectCache {
     pub fn remove(&self, vb: VbId, key: &str) {
         let mut shard = self.shard(vb).write();
         if let Some(old) = shard.map.remove(key) {
-            self.mem_used.fetch_sub(old.mem_size(key), Ordering::Relaxed);
+            self.mem_used.sub(old.mem_size(key) as u64);
         }
     }
 
@@ -246,7 +267,7 @@ impl ObjectCache {
         let mut shard = self.shard(vb).write();
         let freed: usize = shard.map.iter().map(|(k, i)| i.mem_size(k)).sum();
         shard.map.clear();
-        self.mem_used.fetch_sub(freed, Ordering::Relaxed);
+        self.mem_used.sub(freed as u64);
     }
 
     /// All resident keys of a vBucket (diagnostics / tests).
@@ -262,11 +283,11 @@ impl ObjectCache {
     pub fn evict_to_watermark(&self) {
         let target = (self.quota as f64 * LOW_WATERMARK) as usize;
         for pass in 0..2 {
-            if self.mem_used.load(Ordering::Relaxed) <= target {
+            if self.mem_used.get() as usize <= target {
                 return;
             }
             for shard in &self.shards {
-                if self.mem_used.load(Ordering::Relaxed) <= target {
+                if self.mem_used.get() as usize <= target {
                     return;
                 }
                 let mut s = shard.write();
@@ -313,8 +334,8 @@ impl ObjectCache {
                         }
                     }
                 }
-                self.mem_used.fetch_sub(freed, Ordering::Relaxed);
-                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.mem_used.sub(freed as u64);
+                self.evictions.add(evicted);
             }
         }
     }
@@ -324,7 +345,9 @@ impl ObjectCache {
         self.policy
     }
 
-    /// Point-in-time statistics.
+    /// Point-in-time statistics. Also refreshes the `kv.cache.items` /
+    /// `kv.cache.resident_items` gauges, which are counted by iteration
+    /// rather than maintained per-op.
     pub fn stats(&self) -> CacheStats {
         let mut items = 0u64;
         let mut resident = 0u64;
@@ -333,15 +356,17 @@ impl ObjectCache {
             items += s.map.len() as u64;
             resident += s.map.values().filter(|i| i.value.is_some() || i.deleted).count() as u64;
         }
+        self.items_gauge.set(items);
+        self.resident_gauge.set(resident);
         CacheStats {
             items,
             resident_items: resident,
-            mem_used: self.mem_used.load(Ordering::Relaxed),
+            mem_used: self.mem_used.get() as usize,
             quota: self.quota,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            tmp_ooms: self.tmp_ooms.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            tmp_ooms: self.tmp_ooms.get(),
         }
     }
 }

@@ -23,22 +23,25 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Fraction of entries whose value is resident (the "residency ratio"
-    /// operators watch in production Couchbase).
-    pub fn residency_ratio(&self) -> f64 {
+    /// operators watch in production Couchbase). `None` when the cache
+    /// holds no entries — an empty cluster has no residency to report, and
+    /// rendering it as a perfect `1.0` would read as "healthy" on a
+    /// dashboard that is actually looking at nothing.
+    pub fn residency_ratio(&self) -> Option<f64> {
         if self.items == 0 {
-            1.0
+            None
         } else {
-            self.resident_items as f64 / self.items as f64
+            Some(self.resident_items as f64 / self.items as f64)
         }
     }
 
-    /// Hit rate over all lookups.
-    pub fn hit_rate(&self) -> f64 {
+    /// Hit rate over all lookups; `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
         }
     }
 }
@@ -51,10 +54,14 @@ mod tests {
     fn ratios() {
         let s =
             CacheStats { items: 10, resident_items: 5, hits: 3, misses: 1, ..Default::default() };
-        assert!((s.residency_ratio() - 0.5).abs() < 1e-9);
-        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert!((s.residency_ratio().unwrap() - 0.5).abs() < 1e-9);
+        assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ratios_are_none_not_healthy() {
         let empty = CacheStats::default();
-        assert_eq!(empty.residency_ratio(), 1.0);
-        assert_eq!(empty.hit_rate(), 1.0);
+        assert_eq!(empty.residency_ratio(), None);
+        assert_eq!(empty.hit_rate(), None);
     }
 }

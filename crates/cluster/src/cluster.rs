@@ -25,6 +25,9 @@ pub(crate) struct ClusterInner {
     /// The cluster's full-text search service (§6.1.3), fed by the DCP
     /// pump like the GSI service.
     pub fts: Arc<cbs_fts::FtsService>,
+    /// The query service's metrics registry ("any query node can receive a
+    /// statement"; in-process the query nodes share one registry).
+    pub query_registry: Arc<cbs_obs::Registry>,
 }
 
 impl ClusterInner {
@@ -79,6 +82,7 @@ impl Cluster {
                 cfg,
                 nodes: RwLock::new(nodes),
                 maps: RwLock::new(HashMap::new()),
+                query_registry: Arc::new(cbs_obs::Registry::new("n1ql")),
             }),
             pumps: Mutex::new(HashMap::new()),
             next_node_id: Mutex::new(next),
@@ -525,6 +529,74 @@ impl Cluster {
             .filter_map(|n| n.engine(bucket).ok())
             .map(|e| e.stats().total_ops())
             .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (the cbstats surface)
+    // ------------------------------------------------------------------
+
+    /// The query service's metrics registry.
+    pub fn query_registry(&self) -> &Arc<cbs_obs::Registry> {
+        &self.inner.query_registry
+    }
+
+    /// Freeze every registry in the cluster into one typed snapshot:
+    /// per node, per service, per bucket, per vBucket — plus the slow-op
+    /// rings of every service, span trees included.
+    pub fn stats(&self) -> crate::stats::ClusterStats {
+        let buckets = self.buckets();
+        let mut slow_ops = Vec::new();
+        let mut nodes = Vec::new();
+        for node in self.nodes() {
+            let mut bucket_stats = Vec::new();
+            let mut service_metrics = Vec::new();
+            if node.is_alive() {
+                for bucket in &buckets {
+                    if let Ok(engine) = node.engine(bucket) {
+                        bucket_stats.push(crate::stats::BucketStats {
+                            bucket: bucket.clone(),
+                            metrics: engine.registry().snapshot(),
+                            vbuckets: engine.vbucket_stats(),
+                        });
+                        slow_ops.extend(engine.registry().slow_ops());
+                    }
+                }
+                if let Ok(mgr) = node.index_manager() {
+                    service_metrics.push(mgr.registry().snapshot());
+                    slow_ops.extend(mgr.registry().slow_ops());
+                }
+            }
+            nodes.push(crate::stats::NodeStats {
+                node: node.id(),
+                services: node.services(),
+                alive: node.is_alive(),
+                buckets: bucket_stats,
+                service_metrics,
+            });
+        }
+        let mut cluster_services = Vec::new();
+        for registry in [&self.inner.query_registry, self.inner.fts.registry()] {
+            cluster_services.push(registry.snapshot());
+            slow_ops.extend(registry.slow_ops());
+        }
+        crate::stats::ClusterStats { nodes, cluster_services, slow_ops }
+    }
+
+    /// Set the slow-op capture threshold on every registry in the cluster
+    /// (`Duration::ZERO` captures every traced operation).
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        for node in self.nodes() {
+            for bucket in self.buckets() {
+                if let Ok(engine) = node.engine(&bucket) {
+                    engine.registry().set_slow_threshold(threshold);
+                }
+            }
+            if let Ok(mgr) = node.index_manager() {
+                mgr.registry().set_slow_threshold(threshold);
+            }
+        }
+        self.inner.query_registry.set_slow_threshold(threshold);
+        self.inner.fts.registry().set_slow_threshold(threshold);
     }
 }
 

@@ -41,6 +41,7 @@ pub mod map;
 pub mod node;
 pub mod query;
 pub mod replication;
+pub mod stats;
 
 pub use client::{Durability, SmartClient};
 pub use cluster::{AutoFailover, Cluster};
@@ -48,3 +49,4 @@ pub use config::{ClusterConfig, ServiceSet};
 pub use map::ClusterMap;
 pub use node::Node;
 pub use query::ClusterDatastore;
+pub use stats::{BucketStats, ClusterStats, NodeStats};

@@ -23,12 +23,22 @@ pub struct ClusterDatastore {
     cluster: Arc<Cluster>,
     /// One smart client per keyspace (bucket) the service has touched.
     clients: RwLock<Vec<Arc<SmartClient>>>,
+    requests: Arc<cbs_obs::Counter>,
+    errors: Arc<cbs_obs::Counter>,
+    latency: Arc<cbs_obs::Histogram>,
 }
 
 impl ClusterDatastore {
     /// Create the datastore facade over a cluster.
     pub fn new(cluster: Arc<Cluster>) -> ClusterDatastore {
-        ClusterDatastore { cluster, clients: RwLock::new(Vec::new()) }
+        let registry = Arc::clone(cluster.query_registry());
+        ClusterDatastore {
+            cluster,
+            clients: RwLock::new(Vec::new()),
+            requests: registry.counter("n1ql.query.requests"),
+            errors: registry.counter("n1ql.query.errors"),
+            latency: registry.histogram("n1ql.query.latency"),
+        }
     }
 
     fn client(&self, bucket: &str) -> Result<Arc<SmartClient>> {
@@ -47,7 +57,14 @@ impl ClusterDatastore {
         if !self.cluster.nodes().iter().any(|n| n.is_alive() && n.services().query) {
             return Err(Error::Cluster("no query service in the cluster".to_string()));
         }
-        cbs_n1ql::query(self, statement, opts)
+        self.requests.inc();
+        let _timer = self.latency.timer();
+        let _trace = self.cluster.query_registry().trace("n1ql.query.execute");
+        let result = cbs_n1ql::query(self, statement, opts);
+        if result.is_err() {
+            self.errors.inc();
+        }
+        result
     }
 }
 

@@ -43,6 +43,18 @@ impl CouchbaseCluster {
         &self.cluster
     }
 
+    /// The cbstats surface: freeze every metric in the cluster — per node,
+    /// per service, per bucket, per vBucket — plus the slow-op log.
+    pub fn stats(&self) -> cbs_cluster::ClusterStats {
+        self.cluster.stats()
+    }
+
+    /// Capture every traced operation at least this slow in the slow-op
+    /// log (`Duration::ZERO` captures everything).
+    pub fn set_slow_threshold(&self, threshold: std::time::Duration) {
+        self.cluster.set_slow_threshold(threshold);
+    }
+
     // ------------------------------------------------------------------
     // Buckets
     // ------------------------------------------------------------------

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use cbs_common::{Result, SeqNo, VbId};
+use cbs_obs::{span, Counter, Registry};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
@@ -37,15 +38,26 @@ struct VbChannel {
 /// assigned the mutation's seqno; consumers call [`DcpHub::open_stream`].
 pub struct DcpHub {
     vbs: Vec<Mutex<VbChannel>>,
+    items_published: Arc<Counter>,
+    streams_opened: Arc<Counter>,
 }
 
 impl DcpHub {
-    /// Create a hub for `num_vbuckets` partitions.
+    /// Create a hub for `num_vbuckets` partitions with free-standing
+    /// counters (tests, ad-hoc consumers).
     pub fn new(num_vbuckets: u16) -> DcpHub {
+        Self::new_with_registry(num_vbuckets, &Registry::new("kv"))
+    }
+
+    /// Create a hub whose counters (`kv.dcp.items_published`,
+    /// `kv.dcp.streams_opened`) live in the owning engine's `registry`.
+    pub fn new_with_registry(num_vbuckets: u16, registry: &Registry) -> DcpHub {
         DcpHub {
             vbs: (0..num_vbuckets)
                 .map(|_| Mutex::new(VbChannel { subscribers: Vec::new() }))
                 .collect(),
+            items_published: registry.counter("kv.dcp.items_published"),
+            streams_opened: registry.counter("kv.dcp.streams_opened"),
         }
     }
 
@@ -54,6 +66,8 @@ impl DcpHub {
     /// vBucket (the data service guarantees this by publishing inside the
     /// vBucket write lock).
     pub fn publish(&self, item: &DcpItem) {
+        let _s = span("kv.dcp.publish");
+        self.items_published.inc();
         let mut chan = self.vbs[item.vb.index()].lock();
         let seq = item.meta.seqno;
         for sub in chan.subscribers.iter_mut() {
@@ -79,6 +93,7 @@ impl DcpHub {
         since: SeqNo,
         source: &dyn BackfillSource,
     ) -> Result<DcpStream> {
+        self.streams_opened.inc();
         let (tx, rx) = unbounded();
         // Register first, under the vb lock, against a consistent high
         // seqno. `backfill` takes no locks that conflict with publishers

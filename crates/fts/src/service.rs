@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::DcpItem;
 use cbs_json::JsonPath;
+use cbs_obs::{span, Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::index::{InvertedIndex, SearchHit, SearchQuery};
@@ -90,12 +91,29 @@ impl FtsInstance {
 pub struct FtsService {
     num_vbuckets: u16,
     indexes: RwLock<HashMap<(String, String), Arc<FtsInstance>>>,
+    registry: Arc<Registry>,
+    searches: Arc<Counter>,
+    items_applied: Arc<Counter>,
+    search_latency: Arc<Histogram>,
 }
 
 impl FtsService {
     /// Create a service over a bucket with `num_vbuckets` partitions.
     pub fn new(num_vbuckets: u16) -> FtsService {
-        FtsService { num_vbuckets, indexes: RwLock::new(HashMap::new()) }
+        let registry = Arc::new(Registry::new("fts"));
+        FtsService {
+            num_vbuckets,
+            indexes: RwLock::new(HashMap::new()),
+            searches: registry.counter("fts.service.searches"),
+            items_applied: registry.counter("fts.service.items_applied"),
+            search_latency: registry.histogram("fts.service.search_latency"),
+            registry,
+        }
+    }
+
+    /// The search service's metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Create a search index (empty; populated by the feed / catch-up).
@@ -149,6 +167,7 @@ impl FtsService {
 
     /// Apply one DCP item to every index of its keyspace.
     pub fn apply_dcp(&self, keyspace: &str, item: &DcpItem) {
+        self.items_applied.inc();
         let instances: Vec<Arc<FtsInstance>> = self
             .indexes
             .read()
@@ -173,11 +192,15 @@ impl FtsService {
         min_seqnos: Option<&[SeqNo]>,
         timeout: Duration,
     ) -> Result<Vec<SearchHit>> {
+        let _s = span("fts.service.search");
+        self.searches.inc();
+        let start = Instant::now();
         let inst = self.instance(keyspace, name)?;
         if let Some(target) = min_seqnos {
             inst.wait_consistent(target, timeout)?;
         }
         let hits = inst.index.lock().search(query, limit);
+        self.search_latency.record(start.elapsed());
         Ok(hits)
     }
 

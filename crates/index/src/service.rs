@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::{BackfillSource, DcpItem};
+use cbs_obs::{span, Counter, Registry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::defs::{IndexDef, IndexKey, ScanConsistency, ScanRange};
@@ -40,12 +41,32 @@ pub struct IndexManager {
     log_dir: PathBuf,
     /// (keyspace, name) → instance.
     indexes: RwLock<HashMap<(String, String), Arc<IndexInstance>>>,
+    registry: Arc<Registry>,
+    scans: Arc<Counter>,
+    lookups: Arc<Counter>,
+    items_applied: Arc<Counter>,
+    builds: Arc<Counter>,
 }
 
 impl IndexManager {
     /// Create a manager; `log_dir` hosts Standard-mode index logs.
     pub fn new(num_vbuckets: u16, log_dir: PathBuf) -> IndexManager {
-        IndexManager { num_vbuckets, log_dir, indexes: RwLock::new(HashMap::new()) }
+        let registry = Arc::new(Registry::new("index"));
+        IndexManager {
+            num_vbuckets,
+            log_dir,
+            indexes: RwLock::new(HashMap::new()),
+            scans: registry.counter("index.manager.scans"),
+            lookups: registry.counter("index.manager.lookups"),
+            items_applied: registry.counter("index.manager.items_applied"),
+            builds: registry.counter("index.manager.builds"),
+            registry,
+        }
+    }
+
+    /// The index service's metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Number of source vBuckets.
@@ -133,6 +154,8 @@ impl IndexManager {
     /// existing data). Safe to run while the live feed is applying newer
     /// mutations — per-document seqno guards make replay idempotent.
     pub fn build(&self, keyspace: &str, name: &str, source: &dyn BackfillSource) -> Result<()> {
+        let _s = span("index.manager.build");
+        self.builds.inc();
         let inst = self.instance(keyspace, name)?;
         {
             let mut st = inst.state.lock();
@@ -167,6 +190,7 @@ impl IndexManager {
     /// Apply one DCP item to every non-deferred index of its keyspace
     /// (projector → router, Figure 9).
     pub fn apply_dcp(&self, keyspace: &str, item: &DcpItem) {
+        self.items_applied.inc();
         let instances: Vec<Arc<IndexInstance>> = self
             .indexes
             .read()
@@ -196,6 +220,8 @@ impl IndexManager {
         timeout: Duration,
         limit: usize,
     ) -> Result<Vec<IndexEntry>> {
+        let _s = span("index.manager.scan");
+        self.scans.inc();
         let inst = self.instance(keyspace, name)?;
         if *inst.state.lock() != IndexState::Online {
             return Err(Error::Index(format!("index {name} is not online")));
@@ -224,6 +250,8 @@ impl IndexManager {
         consistency: &ScanConsistency,
         timeout: Duration,
     ) -> Result<Vec<String>> {
+        let _s = span("index.manager.lookup");
+        self.lookups.inc();
         let inst = self.instance(keyspace, name)?;
         if *inst.state.lock() != IndexState::Online {
             return Err(Error::Index(format!("index {name} is not online")));

@@ -11,6 +11,7 @@ use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId};
 use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
 use cbs_json::{SharedValue, Value};
+use cbs_obs::{span, Gauge, Registry};
 use cbs_storage::{BucketStore, GroupCommitWal, StoredDoc};
 use parking_lot::Condvar;
 
@@ -71,8 +72,13 @@ struct FlushShard {
     vbs: Vec<VbId>,
     /// Group-commit write-ahead log; one `sync()` per drain cycle.
     wal: GroupCommitWal,
-    /// Dirty keys queued across this shard's vBuckets.
-    dirty_count: AtomicU64,
+    /// Dirty keys queued across this shard's vBuckets — exported as the
+    /// per-shard backpressure gauge `kv.flusher.queue_depth_s<N>`.
+    dirty_count: Arc<Gauge>,
+    /// WAL bytes since the last checkpoint
+    /// (`kv.flusher.wal_bytes_s<N>`), refreshed after every drain cycle
+    /// and checkpoint.
+    wal_bytes: Arc<Gauge>,
     /// Wakeup generation counter; bumped (under the lock) by
     /// `enqueue_dirty` so a sleeping flusher thread cannot miss a write.
     signal: OrderedMutex<u64>,
@@ -103,6 +109,7 @@ pub struct DataEngine {
     shards: Vec<FlushShard>,
     persist_mutex: OrderedMutex<()>,
     persist_cv: Condvar,
+    registry: Arc<Registry>,
     stats: EngineStats,
 }
 
@@ -118,13 +125,15 @@ impl DataEngine {
         let n = cfg.num_vbuckets;
         let store = BucketStore::open(cfg.data_dir.clone())?;
         Self::replay_wals(&store, &cfg.data_dir)?;
+        let registry = Arc::new(Registry::new("kv"));
         let num_shards = cfg.flusher_shards.clamp(1, n.max(1) as usize);
         let mut shards = Vec::with_capacity(num_shards);
         for s in 0..num_shards {
             shards.push(FlushShard {
                 vbs: (0..n).map(VbId).filter(|vb| shard_for_vb(*vb, num_shards, n) == s).collect(),
                 wal: GroupCommitWal::open(&cfg.data_dir, s)?,
-                dirty_count: AtomicU64::new(0),
+                dirty_count: registry.gauge(&format!("kv.flusher.queue_depth_s{s}")),
+                wal_bytes: registry.gauge(&format!("kv.flusher.wal_bytes_s{s}")),
                 signal: OrderedMutex::new(rank::FLUSH_SIGNAL, 0),
                 signal_cv: Condvar::new(),
                 touched: OrderedMutex::new(rank::TOUCHED_SET, std::collections::HashSet::new()),
@@ -132,9 +141,9 @@ impl DataEngine {
             });
         }
         Ok(Arc::new(DataEngine {
-            cache: ObjectCache::new(n, cfg.cache_quota, cfg.eviction),
+            cache: ObjectCache::new_with_registry(n, cfg.cache_quota, cfg.eviction, &registry),
             store,
-            hub: DcpHub::new(n),
+            hub: DcpHub::new_with_registry(n, &registry),
             clock: CasClock::new(),
             vbs: (0..n)
                 .map(|_| {
@@ -152,7 +161,8 @@ impl DataEngine {
             shards,
             persist_mutex: OrderedMutex::new(rank::PERSIST_WAITERS, ()),
             persist_cv: Condvar::new(),
-            stats: EngineStats::default(),
+            stats: EngineStats::new(&registry),
+            registry,
             cfg,
         }))
     }
@@ -196,9 +206,16 @@ impl DataEngine {
         self.hub.open_stream(vb, since, self)
     }
 
-    /// Statistics snapshot.
+    /// Statistics handles.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// The metrics/tracing registry for this engine (shared with its cache
+    /// and DCP hub). The cluster layer aggregates these into `cbstats`
+    /// snapshots.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Cache statistics.
@@ -262,7 +279,7 @@ impl DataEngine {
         self.cache.clear_vb(vb);
         let shard = self.shard_for(vb);
         let dropped = self.dirty[vb.index()].lock().take().len() as u64;
-        self.shards[shard].dirty_count.fetch_sub(dropped, Ordering::Relaxed);
+        self.shards[shard].dirty_count.sub(dropped);
         // Checkpoint first: the shard's WAL may still hold records for this
         // vBucket, and a replay after restart must not resurrect it.
         self.checkpoint_shard(shard)?;
@@ -303,14 +320,17 @@ impl DataEngine {
     /// Read a document by key.
     pub fn get(&self, key: &str) -> Result<GetResult> {
         let vb = self.vb_for_key(key);
-        self.get_in_vb(vb, key)
+        let start = Instant::now();
+        let result = self.get_in_vb(vb, key);
+        self.stats.get_latency.record(start.elapsed());
+        result
     }
 
     fn get_in_vb(&self, vb: VbId, key: &str) -> Result<GetResult> {
         if self.vb_state(vb) != VbState::Active {
             return Err(Error::VbucketNotActive(vb));
         }
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.inc();
         match self.cache.get(vb, key) {
             CacheLookup::Hit { meta, value } => {
                 if meta.is_expired_at(now_secs()) {
@@ -323,11 +343,12 @@ impl DataEngine {
             CacheLookup::ValueGone { meta } => {
                 // Background fetch: the value was evicted; metadata stayed
                 // resident (§4.3.3 value-only eviction).
-                self.stats.bg_fetches.fetch_add(1, Ordering::Relaxed);
+                self.stats.bg_fetches.inc();
                 if meta.is_expired_at(now_secs()) {
                     self.lazy_expire(vb, key, meta);
                     return Err(Error::KeyNotFound(key.to_string()));
                 }
+                let _bg = span("kv.engine.bg_fetch");
                 let stored = self.store.vb(vb)?.get(key)?.ok_or_else(|| {
                     Error::Storage(format!("meta resident but no disk copy: {key}"))
                 })?;
@@ -338,9 +359,10 @@ impl DataEngine {
             CacheLookup::Miss => {
                 // Under full eviction the document may still be on disk.
                 if self.cache.policy() == cbs_cache::EvictionPolicy::Full {
+                    let _bg = span("kv.engine.bg_fetch");
                     if let Some(stored) = self.store.vb(vb)?.get(key)? {
                         if !stored.deleted && !stored.meta.is_expired_at(now_secs()) {
-                            self.stats.bg_fetches.fetch_add(1, Ordering::Relaxed);
+                            self.stats.bg_fetches.inc();
                             let value = SharedValue::new(parse_stored_value(&stored)?);
                             let _ = self.cache.set(vb, key, stored.meta, value.clone(), false);
                             return Ok(GetResult { value, meta: stored.meta });
@@ -366,6 +388,8 @@ impl DataEngine {
     ) -> Result<MutationResult> {
         // One shared allocation serves the cache, the DCP item, and every
         // subscriber — the zero-copy write path.
+        let _trace = self.registry.trace("kv.engine.set");
+        let start = Instant::now();
         let value: SharedValue = value.into();
         let vb = self.vb_for_key(key);
         let mut meta = self.vbs[vb.index()].lock();
@@ -400,7 +424,8 @@ impl DataEngine {
         self.hub.publish(&DcpItem::mutation(vb, key, new_meta, value));
 
         drop(meta);
-        self.stats.sets.fetch_add(1, Ordering::Relaxed);
+        self.stats.sets.inc();
+        self.stats.set_latency.record(start.elapsed());
         Ok(MutationResult { vb, seqno, cas: new_meta.cas })
     }
 
@@ -429,7 +454,7 @@ impl DataEngine {
         meta.locks.remove(key);
         self.hub.publish(&DcpItem::deletion(vb, key, new_meta));
         drop(meta);
-        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.stats.deletes.inc();
         Ok(MutationResult { vb, seqno, cas: new_meta.cas })
     }
 
@@ -513,7 +538,7 @@ impl DataEngine {
                 kind: DcpKind::Expiration,
                 value: None,
             });
-            self.stats.expirations.fetch_add(1, Ordering::Relaxed);
+            self.stats.expirations.inc();
         }
     }
 
@@ -524,6 +549,7 @@ impl DataEngine {
     /// Apply a replicated mutation to a `Replica`/`Pending` vBucket,
     /// preserving the active copy's metadata (seqno, CAS, rev).
     pub fn apply_replica(&self, item: &DcpItem) -> Result<()> {
+        let _s = span("kv.engine.apply_replica");
         let vb = item.vb;
         let meta = self.vbs[vb.index()].lock();
         if !matches!(meta.state, VbState::Replica | VbState::Pending) {
@@ -554,7 +580,7 @@ impl DataEngine {
         self.high_seqnos[vb.index()].fetch_max(item.meta.seqno.0, Ordering::SeqCst);
         self.enqueue_dirty(vb, &item.key);
         drop(meta);
-        self.stats.replica_applies.fetch_add(1, Ordering::Relaxed);
+        self.stats.replica_applies.inc();
         Ok(())
     }
 
@@ -576,7 +602,7 @@ impl DataEngine {
         }
         if let Some((existing, _)) = self.cache.peek_meta(vb, key) {
             if !incoming_wins(&incoming, &existing) {
-                self.stats.xdcr_rejects.fetch_add(1, Ordering::Relaxed);
+                self.stats.xdcr_rejects.inc();
                 return Ok(false);
             }
         }
@@ -599,7 +625,7 @@ impl DataEngine {
         };
         self.hub.publish(&item);
         drop(vbmeta);
-        self.stats.xdcr_applies.fetch_add(1, Ordering::Relaxed);
+        self.stats.xdcr_applies.inc();
         Ok(true)
     }
 
@@ -609,6 +635,7 @@ impl DataEngine {
 
     /// Block until `seqno` of `vb` is persisted, or `timeout` elapses.
     pub fn wait_persisted(&self, vb: VbId, seqno: SeqNo, timeout: Duration) -> Result<()> {
+        let _s = span("kv.engine.wait_persisted");
         let deadline = Instant::now() + timeout;
         let mut guard = self.persist_mutex.lock();
         while self.persisted_seqno(vb) < seqno {
@@ -640,7 +667,7 @@ impl DataEngine {
     fn enqueue_dirty(&self, vb: VbId, key: &str) {
         if self.dirty[vb.index()].lock().enqueue(key) {
             let shard = &self.shards[self.shard_for(vb)];
-            shard.dirty_count.fetch_add(1, Ordering::Relaxed);
+            shard.dirty_count.add(1);
             // Bump the generation under the lock, so a flusher thread that
             // checked the counter and is about to sleep still sees the
             // change — no missed wakeups, no 10 ms polling latency.
@@ -648,7 +675,7 @@ impl DataEngine {
             *gen += 1;
             shard.signal_cv.notify_all();
         } else {
-            self.stats.dedup_writes.fetch_add(1, Ordering::Relaxed);
+            self.stats.dedup_writes.inc();
         }
     }
 
@@ -660,16 +687,13 @@ impl DataEngine {
     /// generation cannot sleep through the shutdown wakeup.
     pub fn wait_for_dirty(&self, shard: usize, timeout: Duration, stop: &AtomicBool) {
         let sh = &self.shards[shard];
-        if sh.dirty_count.load(Ordering::Relaxed) > 0 || stop.load(Ordering::Relaxed) {
+        if sh.dirty_count.get() > 0 || stop.load(Ordering::Relaxed) {
             return;
         }
         let deadline = Instant::now() + timeout;
         let mut gen = sh.signal.lock();
         let start = *gen;
-        while *gen == start
-            && sh.dirty_count.load(Ordering::Relaxed) == 0
-            && !stop.load(Ordering::Relaxed)
-        {
+        while *gen == start && sh.dirty_count.get() == 0 && !stop.load(Ordering::Relaxed) {
             if sh.signal_cv.wait_until(gen.inner_mut(), deadline).timed_out() {
                 break;
             }
@@ -687,7 +711,7 @@ impl DataEngine {
 
     /// Current disk-write queue length (items awaiting persistence).
     pub fn disk_queue_len(&self) -> u64 {
-        self.shards.iter().map(|s| s.dirty_count.load(Ordering::Relaxed)).sum()
+        self.shards.iter().map(|s| s.dirty_count.get()).sum()
     }
 
     /// Drain every shard once (synchronous persistence for tests and
@@ -706,6 +730,11 @@ impl DataEngine {
     /// The per-vBucket stores are then appended *without* syncing; the WAL
     /// covers them until [`DataEngine::checkpoint_shard`] runs.
     pub fn flush_shard(&self, shard: usize) -> Result<u64> {
+        // Root trace on the flusher thread (a child span when a traced
+        // caller flushes synchronously): the drain cycle's WAL append,
+        // group-commit fsync, store writes and checkpoint all show up as
+        // children in the slow-op log.
+        let _trace = self.registry.trace("kv.flusher.cycle");
         let sh = &self.shards[shard];
         // Hold the shard's flush lock for the whole cycle so a concurrent
         // checkpoint (purge_vb, shutdown) can neither truncate the WAL
@@ -725,7 +754,7 @@ impl DataEngine {
             if keys.is_empty() {
                 continue;
             }
-            sh.dirty_count.fetch_sub(keys.len() as u64, Ordering::Relaxed);
+            sh.dirty_count.sub(keys.len() as u64);
             let mut batch = Vec::with_capacity(keys.len());
             for key in &keys {
                 if let Some((meta, value, deleted, dirty)) = self.cache.peek_item(vb, key) {
@@ -769,7 +798,7 @@ impl DataEngine {
                         }
                     }
                 }
-                sh.dirty_count.fetch_add(restored, Ordering::Relaxed);
+                sh.dirty_count.add(restored);
                 return Err(e);
             }
             for (vb, batch, high) in &cycle {
@@ -781,7 +810,7 @@ impl DataEngine {
             }
         }
         if persisted > 0 {
-            self.stats.flushed.fetch_add(persisted, Ordering::Relaxed);
+            self.stats.flushed.add(persisted);
         }
         // Wake durability waiters even on empty drains (their seqno may
         // have been covered by a previous partial drain).
@@ -792,6 +821,7 @@ impl DataEngine {
         if sh.wal.len_bytes() >= WAL_CHECKPOINT_BYTES {
             self.checkpoint_shard_locked(sh)?;
         }
+        sh.wal_bytes.set(sh.wal.len_bytes());
         Ok(persisted)
     }
 
@@ -803,7 +833,9 @@ impl DataEngine {
     /// race-free against a concurrent drain.
     fn commit_cycle(&self, sh: &FlushShard, cycle: &[(VbId, Vec<StoredDoc>, SeqNo)]) -> Result<()> {
         sh.wal.append_cycle(cycle.iter().map(|(vb, batch, _)| (*vb, batch.as_slice())))?;
+        let fsync_start = Instant::now();
         sh.wal.sync()?;
+        self.stats.fsync_latency.record(fsync_start.elapsed());
         let mut touched = sh.touched.lock();
         for (vb, batch, _) in cycle {
             if batch.is_empty() {
@@ -827,11 +859,13 @@ impl DataEngine {
     }
 
     fn checkpoint_shard_locked(&self, sh: &FlushShard) -> Result<()> {
+        let _s = span("kv.flusher.checkpoint");
         let mut touched = sh.touched.lock();
         for vb in touched.drain() {
             self.store.vb(vb)?.sync()?;
         }
         sh.wal.reset()?;
+        sh.wal_bytes.set(0);
         Ok(())
     }
 
@@ -860,6 +894,21 @@ impl DataEngine {
     /// periodically run, based on a fragmentation threshold").
     pub fn compact_if_needed(&self) -> Result<usize> {
         self.store.compact_all(self.cfg.fragmentation_threshold)
+    }
+
+    /// Per-vBucket operational snapshot (state, seqnos, queue depth) for
+    /// the cbstats surface.
+    pub fn vbucket_stats(&self) -> Vec<crate::types::VbucketStats> {
+        (0..self.cfg.num_vbuckets)
+            .map(VbId)
+            .map(|vb| crate::types::VbucketStats {
+                vb,
+                state: self.vb_state(vb),
+                high_seqno: self.high_seqno(vb),
+                persisted_seqno: self.persisted_seqno(vb),
+                queued_items: self.dirty[vb.index()].lock().keys.len() as u64,
+            })
+            .collect()
     }
 
     /// Aggregate storage stats across open vBuckets.
@@ -1094,7 +1143,7 @@ mod tests {
         // Expiry in the past: immediately expired.
         e.set("k", doc(1), MutateMode::Upsert, Cas::WILDCARD, now_secs() - 1).unwrap();
         assert!(matches!(e.get("k"), Err(Error::KeyNotFound(_))));
-        assert_eq!(e.stats().expirations.load(Ordering::Relaxed), 1);
+        assert_eq!(e.stats().expirations.get(), 1);
         // Future expiry: alive.
         e.set("k2", doc(2), MutateMode::Upsert, Cas::WILDCARD, now_secs() + 1000).unwrap();
         assert!(e.get("k2").is_ok());
@@ -1142,7 +1191,7 @@ mod tests {
             e.set("hot", doc(i), MutateMode::Upsert, Cas::WILDCARD, 0).unwrap();
         }
         assert_eq!(e.disk_queue_len(), 1, "same key queued once");
-        assert_eq!(e.stats().dedup_writes.load(Ordering::Relaxed), 9);
+        assert_eq!(e.stats().dedup_writes.get(), 9);
         assert_eq!(e.flush_once().unwrap(), 1, "only the latest version hits disk");
         let vb = e.vb_for_key("hot");
         let stored = e.storage_stats().into_iter().find(|(v, _)| *v == vb).unwrap().1;

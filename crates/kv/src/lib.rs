@@ -41,7 +41,9 @@ pub mod types;
 pub use engine::DataEngine;
 pub use flusher::{FlusherHandle, FlusherPool};
 pub use stats::EngineStats;
-pub use types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
+pub use types::{
+    Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState, VbucketStats,
+};
 
 /// Current unix time in seconds (expiry granularity). Delegates to the
 /// workspace's single wall-clock read point (`cbs_common::time`).

@@ -67,6 +67,21 @@ pub struct Document {
     pub meta: DocMeta,
 }
 
+/// Per-vBucket operational snapshot (the `cbstats vbucket` surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VbucketStats {
+    /// The vBucket.
+    pub vb: VbId,
+    /// Current lifecycle state.
+    pub state: VbState,
+    /// Highest assigned seqno.
+    pub high_seqno: SeqNo,
+    /// Highest persisted seqno.
+    pub persisted_seqno: SeqNo,
+    /// Keys waiting in this vBucket's disk-write queue.
+    pub queued_items: u64,
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {

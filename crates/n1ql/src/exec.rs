@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use cbs_common::{Error, Result};
 use cbs_index::{FilterCond, FilterOp, IndexDef, IndexStorage, KeyExpr, ScanConsistency};
 use cbs_json::{cmp_missing, Value};
+use cbs_obs::span;
 
 use crate::ast::*;
 use crate::datastore::Datastore;
@@ -159,6 +160,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             out
         }
         AccessPath::IndexScan { index, range, covering } => {
+            let _scan = span("n1ql.exec.index_scan");
             let cons = consistency_for(ds, &keyspace, opts);
             // Only push LIMIT into the index when no later operator can
             // drop rows (no WHERE re-filter gaps exist: filters run after,
@@ -177,6 +179,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             let entries =
                 ds.index_scan(&keyspace, &index.name, range, &cons, opts.timeout, pushdown_limit)?;
             metrics.index_entries += entries.len();
+            let _fetch = span("n1ql.exec.fetch");
             let mut out = Vec::new();
             for e in entries {
                 if *covering {
@@ -191,6 +194,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             out
         }
         AccessPath::PrimaryScan => {
+            let _scan = span("n1ql.exec.primary_scan");
             let docs = ds.primary_scan(&keyspace)?;
             metrics.fetches += docs.len();
             docs.into_iter().map(|(k, v)| make_row(&alias, &k, v)).collect()
@@ -275,9 +279,12 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
 
     // --- InitialProject ----------------------------------------------------
     let mut projected: Vec<ProjectedRow> = Vec::new();
-    for (row, aggs) in staged {
-        let out = project(sel, &row, &alias, opts, aggs.as_ref())?;
-        projected.push((row, aggs, out));
+    {
+        let _proj = span("n1ql.exec.project");
+        for (row, aggs) in staged {
+            let out = project(sel, &row, &alias, opts, aggs.as_ref())?;
+            projected.push((row, aggs, out));
+        }
     }
 
     // --- Distinct ----------------------------------------------------------

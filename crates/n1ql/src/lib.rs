@@ -55,7 +55,10 @@ use cbs_common::Result;
 /// query, "use metadata on its referenced objects to choose the best
 /// execution plan, and execute the chosen plan."
 pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
-    let stmt = parse_statement(statement)?;
+    let stmt = {
+        let _s = cbs_obs::span("n1ql.query.parse");
+        parse_statement(statement)?
+    };
     if let Statement::Explain(inner) = stmt {
         let plan = build_plan(ds, &inner, opts)?;
         return Ok(QueryResult {
@@ -63,6 +66,9 @@ pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result
             metrics: exec::QueryMetrics::default(),
         });
     }
-    let plan = build_plan(ds, &stmt, opts)?;
+    let plan = {
+        let _s = cbs_obs::span("n1ql.query.plan");
+        build_plan(ds, &stmt, opts)?
+    };
     execute(ds, &plan, opts)
 }

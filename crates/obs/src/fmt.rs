@@ -1,0 +1,168 @@
+//! Prometheus text exposition for registry snapshots.
+//!
+//! Dots in metric names become underscores and everything is prefixed
+//! `cbs_`, so `kv.engine.gets` exports as `cbs_kv_engine_gets`. Histograms
+//! export summary-style: `{quantile="0.5|0.95|0.99"}` sample lines in
+//! seconds plus `_count` and `_sum`. Sections from many registries (one per
+//! node/bucket/service) are concatenated with label sets; `# TYPE` headers
+//! are emitted once per metric across the whole exposition.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::registry::RegistrySnapshot;
+
+/// Builder for one Prometheus text exposition spanning many registries.
+#[derive(Debug, Default)]
+pub struct PrometheusText {
+    out: String,
+    typed: BTreeSet<String>,
+}
+
+impl PrometheusText {
+    /// An empty exposition.
+    pub fn new() -> PrometheusText {
+        PrometheusText::default()
+    }
+
+    /// Append every metric of `snap`, tagging each sample with `labels`
+    /// (e.g. `[("node", "n0"), ("bucket", "default")]`).
+    pub fn section(&mut self, labels: &[(&str, &str)], snap: &RegistrySnapshot) {
+        for (name, v) in &snap.counters {
+            let m = mangle(name);
+            self.type_line(&m, "counter");
+            let _ = writeln!(self.out, "{m}{} {v}", render_labels(labels, None));
+        }
+        for (name, v) in &snap.gauges {
+            let m = mangle(name);
+            self.type_line(&m, "gauge");
+            let _ = writeln!(self.out, "{m}{} {v}", render_labels(labels, None));
+        }
+        for (name, h) in &snap.histograms {
+            let m = mangle(name);
+            self.type_line(&m, "summary");
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                if let Some(d) = h.percentile(p) {
+                    let _ = writeln!(
+                        self.out,
+                        "{m}{} {}",
+                        render_labels(labels, Some(q)),
+                        d.as_secs_f64()
+                    );
+                }
+            }
+            let _ = writeln!(self.out, "{m}_count{} {}", render_labels(labels, None), h.count());
+            let sum = h.mean().map(|mn| mn.as_secs_f64() * h.count() as f64).unwrap_or(0.0);
+            let _ = writeln!(self.out, "{m}_sum{} {sum}", render_labels(labels, None));
+        }
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn type_line(&mut self, mangled: &str, kind: &str) {
+        if self.typed.insert(mangled.to_string()) {
+            let _ = writeln!(self.out, "# TYPE {mangled} {kind}");
+        }
+    }
+}
+
+fn mangle(name: &str) -> String {
+    let mut m = String::with_capacity(4 + name.len());
+    m.push_str("cbs_");
+    m.extend(name.chars().map(|c| if c == '.' { '_' } else { c }));
+    m
+}
+
+fn render_labels(labels: &[(&str, &str)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(q) = quantile {
+        if !first {
+            s.push(',');
+        }
+        let _ = write!(s, "quantile=\"{q}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn exposition_shape() {
+        let r = Registry::new("kv");
+        r.counter("kv.engine.gets").add(42);
+        r.gauge("kv.cache.mem_used").set(1024);
+        r.histogram("kv.engine.get_latency").record(Duration::from_micros(100));
+
+        let mut p = PrometheusText::new();
+        p.section(&[("node", "n0"), ("bucket", "default")], &r.snapshot());
+        let text = p.finish();
+
+        assert!(text.contains("# TYPE cbs_kv_engine_gets counter"));
+        assert!(text.contains("cbs_kv_engine_gets{node=\"n0\",bucket=\"default\"} 42"));
+        assert!(text.contains("# TYPE cbs_kv_cache_mem_used gauge"));
+        assert!(text.contains("cbs_kv_cache_mem_used{node=\"n0\",bucket=\"default\"} 1024"));
+        assert!(text.contains("# TYPE cbs_kv_engine_get_latency summary"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("cbs_kv_engine_get_latency_count{node=\"n0\",bucket=\"default\"} 1"));
+    }
+
+    #[test]
+    fn type_header_emitted_once_across_sections() {
+        let a = Registry::new("kv");
+        let b = Registry::new("kv");
+        a.counter("kv.engine.gets").inc();
+        b.counter("kv.engine.gets").inc();
+        let mut p = PrometheusText::new();
+        p.section(&[("node", "n0")], &a.snapshot());
+        p.section(&[("node", "n1")], &b.snapshot());
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE cbs_kv_engine_gets counter").count(), 1);
+        assert_eq!(text.matches("cbs_kv_engine_gets{").count(), 2);
+    }
+
+    #[test]
+    fn labels_escaped_and_optional() {
+        let r = Registry::new("kv");
+        r.counter("kv.engine.gets").inc();
+        let mut p = PrometheusText::new();
+        p.section(&[("bucket", "we\"ird\\name")], &r.snapshot());
+        let text = p.finish();
+        assert!(text.contains("bucket=\"we\\\"ird\\\\name\""));
+
+        let mut bare = PrometheusText::new();
+        bare.section(&[], &r.snapshot());
+        assert!(bare.finish().contains("cbs_kv_engine_gets 1"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `cbs-obs` — the unified observability layer (DESIGN.md §10).
+//!
+//! Couchbase ships `cbstats`, per-vBucket stats and per-command latency
+//! introspection as first-class operator features; this crate is the repro's
+//! equivalent substrate, shared by every service so there is exactly one way
+//! to count things:
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free atomic primitives
+//!   with zero-allocation hot-path recording ([`metrics`]).
+//! - [`Registry`] — named get-or-create handles, mergeable
+//!   [`RegistrySnapshot`]s, a slow-op ring buffer, and the
+//!   `service.component.metric` naming convention ([`registry`]).
+//! - [`Registry::trace`] / [`span`] — thread-propagated span trees so one
+//!   KV set or N1QL query can be followed across service boundaries, with
+//!   outliers captured whole in the slow-op log ([`trace`]).
+//! - [`PrometheusText`] — text exposition over any set of snapshots
+//!   ([`fmt`]).
+
+pub mod fmt;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use fmt::PrometheusText;
+pub use metrics::{
+    bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, NUM_BUCKETS,
+};
+pub use registry::{is_valid_metric_name, Registry, RegistrySnapshot};
+pub use trace::{span, SlowOp, SpanGuard, SpanNode, TraceGuard};

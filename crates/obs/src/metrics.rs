@@ -1,0 +1,400 @@
+//! Lock-free metric primitives: counters, gauges, and log-bucketed latency
+//! histograms.
+//!
+//! Everything here is a plain bundle of atomics — recording a sample is a
+//! handful of `Relaxed` atomic RMWs with **no allocation, no locking, no
+//! branching on contended state**. Handles are resolved once (at component
+//! construction, via [`crate::Registry`]) and then hit directly on the hot
+//! path.
+//!
+//! The histogram is HDR-style with fixed power-of-two buckets: bucket `i`
+//! holds samples whose nanosecond value has its highest set bit at position
+//! `i-1`, i.e. the half-open range `[2^(i-1), 2^i)`. 48 buckets cover 1 ns
+//! to ~39 hours. Snapshots are mergeable (bucket-wise addition), and
+//! percentile queries interpolate linearly *within* the target bucket so a
+//! spread distribution reports strictly increasing p50 < p95 < p99 rather
+//! than collapsing onto bucket boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of log2-spaced histogram buckets (1 ns .. ~39 h).
+pub const NUM_BUCKETS: usize = 48;
+
+/// Bucket index for a sample of `nanos` nanoseconds: `0` is reserved for
+/// zero-duration samples, bucket `i >= 1` covers `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        return 0;
+    }
+    ((64 - nanos.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds.
+#[inline]
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i` in nanoseconds.
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, bytes outstanding, resident items).
+/// Unsigned: levels in this system are sizes, and `sub` saturates at zero.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.v.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.v.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrent latency histogram: fixed power-of-two buckets, all-atomic,
+/// shared via `Arc` across recording threads.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration sample. Allocation-free: three `Relaxed`
+    /// `fetch_add`s and one `fetch_max`.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one sample given directly in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// RAII timer: records the elapsed time into this histogram when the
+    /// guard drops. Lets callers time a scope without touching the clock
+    /// themselves (wall-clock reads stay inside cbs-obs).
+    pub fn timer(self: &Arc<Histogram>) -> HistogramTimer {
+        HistogramTimer { histogram: Arc::clone(self), start: std::time::Instant::now() }
+    }
+
+    /// Samples recorded so far (sum over buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the distribution. The copy is internally
+    /// consistent (count is derived from the copied buckets), though under
+    /// concurrent recording it may trail in-flight samples by a few.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            buckets,
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Guard returned by [`Histogram::timer`]; records on drop.
+#[must_use = "a timer records the scope it is alive for"]
+#[derive(Debug)]
+pub struct HistogramTimer {
+    histogram: Arc<Histogram>,
+    start: std::time::Instant,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed());
+    }
+}
+
+/// An immutable, mergeable copy of a [`Histogram`]'s distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The snapshot of a histogram nothing was ever recorded into.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; NUM_BUCKETS], count: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition). Merging
+    /// per-thread or per-node snapshots yields exactly the snapshot the
+    /// combined recordings would have produced.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency, `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        self.sum_nanos.checked_div(self.count).map(Duration::from_nanos)
+    }
+
+    /// Maximum observed latency, `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(self.max_nanos))
+        }
+    }
+
+    /// Approximate percentile, `p` in `0..=100`; `None` when empty.
+    ///
+    /// Finds the bucket holding the rank-`ceil(p/100 * count)` sample and
+    /// interpolates linearly inside it, so the estimate always lies within
+    /// the same power-of-two bucket as the exact percentile (the upper edge
+    /// is additionally clamped to the observed max).
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = bucket_lo(i);
+                let hi = bucket_hi(i).min(self.max_nanos.max(lo.saturating_add(1)));
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * hi.saturating_sub(lo) as f64;
+                return Some(Duration::from_nanos(est as u64));
+            }
+            seen += c;
+        }
+        Some(Duration::from_nanos(self.max_nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates");
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_non_degenerately() {
+        let h = Histogram::new();
+        // 100 samples spread 1..=100 µs: p50 must be well below p99.
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.percentile(50.0).unwrap();
+        let p99 = s.percentile(99.0).unwrap();
+        assert!(p50 < p99, "p50={p50:?} p99={p99:?}");
+        assert!(s.max().unwrap() == Duration::from_micros(100));
+        assert!(s.mean().unwrap() > Duration::from_micros(40));
+    }
+
+    #[test]
+    fn same_bucket_still_ordered() {
+        // All samples in one power-of-two bucket: interpolation must still
+        // yield p50 < p99.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(1100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(2000));
+        }
+        let s = h.snapshot();
+        assert!(s.percentile(50.0).unwrap() < s.percentile(99.0).unwrap());
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..1000u64 {
+            let d = Duration::from_nanos(i * 37 + 1);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            all.record(d);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_nanos(i + t);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -1,0 +1,307 @@
+//! The metrics registry: named handles, snapshots, and the slow-op ring.
+//!
+//! One [`Registry`] per service instance (a KV engine on a node, the
+//! cluster's query service, an XDCR link). Components resolve their
+//! `Arc<Counter>` / `Arc<Gauge>` / `Arc<Histogram>` handles **once at
+//! construction** and store them; the registry's lock is never touched on
+//! the hot path. `snapshot()` freezes every metric into plain values that
+//! merge across nodes for cluster-wide aggregation.
+//!
+//! Metric names follow the `service.component.metric` convention — exactly
+//! three dot-separated segments of `[a-z][a-z0-9_]*` (see DESIGN.md §10).
+//! Registration asserts the convention; the `obs-naming` rule in
+//! `cargo xtask lint` catches violations statically.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{SlowOp, TraceGuard};
+
+/// Slow operations retained per registry (oldest evicted first).
+const SLOW_RING_CAP: usize = 64;
+
+/// Default slow-op threshold. Operations whose root span runs at least this
+/// long have their full span tree captured.
+const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// True if `name` follows the `service.component.metric` convention:
+/// exactly three dot-separated segments, each `[a-z][a-z0-9_]*`.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        segments += 1;
+        let mut chars = seg.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+    }
+    segments == 3
+}
+
+fn assert_valid_name(name: &str) {
+    assert!(
+        is_valid_metric_name(name),
+        "metric name `{name}` violates the `service.component.metric` naming convention \
+         (three dot-separated segments of [a-z][a-z0-9_]*)"
+    );
+}
+
+/// A service instance's metrics and slow-op log.
+pub struct Registry {
+    service: String,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    slow_threshold_nanos: AtomicU64,
+    slow_ring: Mutex<VecDeque<SlowOp>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("service", &self.service).finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// A fresh registry for one service instance. `service` is a free-form
+    /// label ("kv", "n1ql", "index@n2") used in snapshots and slow-op
+    /// records; metric names inside the registry are what the naming
+    /// convention governs.
+    pub fn new(service: impl Into<String>) -> Registry {
+        Registry {
+            service: service.into(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            slow_threshold_nanos: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
+            slow_ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The service label this registry was created with.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// Get or create the named counter. Resolve once, store the handle.
+    ///
+    /// # Panics
+    /// If `name` violates the naming convention.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        assert_valid_name(name);
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named gauge.
+    ///
+    /// # Panics
+    /// If `name` violates the naming convention.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        assert_valid_name(name);
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named histogram.
+    ///
+    /// # Panics
+    /// If `name` violates the naming convention.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        assert_valid_name(name);
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
+    }
+
+    /// Freeze every metric into a mergeable snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            service: self.service.clone(),
+            counters: self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Open a root trace span (or a child span if a trace is already active
+    /// on this thread). When the root guard drops after at least the
+    /// [slow-op threshold](Registry::set_slow_threshold), the whole span
+    /// tree is captured in this registry's slow-op ring.
+    pub fn trace(self: &Arc<Self>, name: &'static str) -> TraceGuard {
+        TraceGuard::enter(self, name)
+    }
+
+    /// Current slow-op threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_nanos(self.slow_threshold_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Set the slow-op threshold. `Duration::ZERO` captures every traced
+    /// operation (useful in tests and demos).
+    pub fn set_slow_threshold(&self, d: Duration) {
+        self.slow_threshold_nanos
+            .store(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Record a finished slow operation (called by the tracer).
+    pub(crate) fn record_slow(&self, op: SlowOp) {
+        let mut ring = self.slow_ring.lock();
+        if ring.len() >= SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(op);
+    }
+
+    /// The retained slow operations, oldest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.slow_ring.lock().iter().cloned().collect()
+    }
+}
+
+/// Frozen values of every metric in a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Service label of the registry this came from (first contributor wins
+    /// on merge).
+    pub service: String,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Fold another snapshot into this one: counters and gauges add
+    /// (gauges in this system are sizes, so cluster-wide sums are
+    /// meaningful), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        if self.service.is_empty() {
+            self.service.clone_from(&other.service);
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// True when no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name (empty when absent).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_convention() {
+        for ok in ["kv.engine.gets", "storage.wal.fsync_latency", "n1ql.query.p99_2"] {
+            assert!(is_valid_metric_name(ok), "{ok} should be valid");
+        }
+        for bad in [
+            "kv.gets",
+            "kv.engine.gets.total",
+            "Kv.engine.gets",
+            "kv.engine.9ets",
+            "kv..gets",
+            "",
+            "kv.engine.ge-ts",
+            "kv.engine.",
+        ] {
+            assert!(!is_valid_metric_name(bad), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "naming convention")]
+    fn bad_name_panics() {
+        Registry::new("t").counter("notdotted");
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new("kv");
+        let a = r.counter("kv.engine.gets");
+        let b = r.counter("kv.engine.gets");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.snapshot().counter("kv.engine.gets"), 3);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new("kv");
+        r.counter("kv.engine.sets").add(7);
+        r.gauge("kv.flusher.queue_depth").set(3);
+        r.histogram("kv.engine.get_latency").record(Duration::from_micros(5));
+        let s = r.snapshot();
+        assert_eq!(s.counter("kv.engine.sets"), 7);
+        assert_eq!(s.gauge("kv.flusher.queue_depth"), 3);
+        assert_eq!(s.histogram("kv.engine.get_latency").count(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.service, "kv");
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = Registry::new("kv");
+        let b = Registry::new("kv");
+        a.counter("kv.engine.gets").add(5);
+        b.counter("kv.engine.gets").add(6);
+        b.counter("kv.engine.sets").inc();
+        a.gauge("kv.cache.mem_used").set(100);
+        b.gauge("kv.cache.mem_used").set(50);
+        a.histogram("kv.engine.get_latency").record(Duration::from_micros(1));
+        b.histogram("kv.engine.get_latency").record(Duration::from_millis(1));
+
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("kv.engine.gets"), 11);
+        assert_eq!(m.counter("kv.engine.sets"), 1);
+        assert_eq!(m.gauge("kv.cache.mem_used"), 150);
+        assert_eq!(m.histogram("kv.engine.get_latency").count(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! Span-based request tracing with a slow-op log.
+//!
+//! Traces propagate through the simulated cluster transport the same way
+//! requests do — by function call — so the trace context is a thread-local
+//! span stack, not a wire header. A service entry point opens a **root**
+//! span via [`crate::Registry::trace`]; any code it calls (directly or
+//! through other services) adds **child** spans with the free function
+//! [`span`]. Child spans are no-ops when no trace is active on the thread,
+//! so instrumented internals cost two `Instant::now` calls at most and
+//! nothing at all off-trace.
+//!
+//! When a root span finishes at or above its registry's slow-op threshold,
+//! the whole span tree (pre-order, with per-span offset + duration) is
+//! pushed into that registry's ring buffer — the answer to "where did this
+//! slow durable write spend its time?". Span buffers are recycled through a
+//! thread-local scratch slot, so steady-state tracing does not allocate.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+/// Hard cap on spans captured per trace; extra children are silently
+/// dropped (the trace stays valid, just truncated).
+const MAX_SPANS: usize = 512;
+
+/// One finished span within a captured trace. Spans are stored pre-order:
+/// a span's children are the following entries with `depth + 1` until the
+/// next entry at `depth` or less.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (`service.component.op`).
+    pub name: &'static str,
+    /// Nesting depth; the root is 0.
+    pub depth: u16,
+    /// Start offset from the root span's start.
+    pub offset: Duration,
+    /// How long the span ran.
+    pub duration: Duration,
+}
+
+/// A captured slow operation: the full span tree of one traced request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Service label of the registry whose threshold tripped.
+    pub service: String,
+    /// End-to-end duration of the root span.
+    pub total: Duration,
+    /// The span tree, pre-order; `spans[0]` is the root.
+    pub spans: Vec<SpanNode>,
+}
+
+impl SlowOp {
+    /// Name of the root span.
+    pub fn root(&self) -> &'static str {
+        self.spans.first().map(|s| s.name).unwrap_or("")
+    }
+
+    /// Depth of the deepest span (0 for a root-only trace).
+    pub fn max_depth(&self) -> u16 {
+        self.spans.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+
+    /// Render the span tree, one line per span, indented by depth:
+    ///
+    /// ```text
+    /// n1ql.query.exec  (total 12.3ms)
+    ///   n1ql.query.parse  +0ns  210µs
+    ///   n1ql.query.scan  +215µs  9.1ms
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.spans {
+            let indent = (s.depth as usize) * 2;
+            if s.depth == 0 {
+                let _ = writeln!(out, "{}  (total {:.1?})", s.name, self.total);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{}  +{:.1?}  {:.1?}",
+                    "", s.name, s.offset, s.duration
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The per-thread trace under construction.
+struct TraceBuf {
+    start: Instant,
+    depth: u16,
+    spans: Vec<SpanNode>,
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<TraceBuf>> = const { RefCell::new(None) };
+    /// Recycled span buffer so steady-state traces allocate nothing.
+    static SCRATCH: RefCell<Vec<SpanNode>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a child span on the active trace. No-op (and allocation-free) when
+/// the thread is not tracing. Close it by dropping the guard.
+pub fn span(name: &'static str) -> SpanGuard {
+    let slot = TRACE.with(|t| {
+        let mut t = t.borrow_mut();
+        let buf = t.as_mut()?;
+        if buf.spans.len() >= MAX_SPANS {
+            return None;
+        }
+        let now = Instant::now();
+        let index = buf.spans.len();
+        buf.depth = buf.depth.saturating_add(1);
+        buf.spans.push(SpanNode {
+            name,
+            depth: buf.depth,
+            offset: now.duration_since(buf.start),
+            duration: Duration::ZERO,
+        });
+        Some((now, index))
+    });
+    SpanGuard { slot }
+}
+
+/// RAII guard for a child span; records the duration on drop.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct SpanGuard {
+    slot: Option<(Instant, usize)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, index)) = self.slot.take() {
+            let d = start.elapsed();
+            TRACE.with(|t| {
+                if let Some(buf) = t.borrow_mut().as_mut() {
+                    if let Some(node) = buf.spans.get_mut(index) {
+                        node.duration = d;
+                    }
+                    buf.depth = buf.depth.saturating_sub(1);
+                }
+            });
+        }
+    }
+}
+
+/// RAII guard for a root span (or, when a trace is already active on this
+/// thread, a child span — service boundaries nest automatically).
+#[must_use = "a trace measures the scope it is alive for"]
+pub struct TraceGuard {
+    /// `Some` iff this guard owns the root; the registry receives the slow
+    /// op on drop.
+    registry: Option<Arc<Registry>>,
+    child: Option<SpanGuard>,
+}
+
+impl TraceGuard {
+    pub(crate) fn enter(registry: &Arc<Registry>, name: &'static str) -> TraceGuard {
+        let became_root = TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            if t.is_some() {
+                return false;
+            }
+            let mut spans = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+            spans.clear();
+            spans.push(SpanNode {
+                name,
+                depth: 0,
+                offset: Duration::ZERO,
+                duration: Duration::ZERO,
+            });
+            *t = Some(TraceBuf { start: Instant::now(), depth: 0, spans });
+            true
+        });
+        if became_root {
+            TraceGuard { registry: Some(Arc::clone(registry)), child: None }
+        } else {
+            TraceGuard { registry: None, child: Some(span(name)) }
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        // Close the child first so its duration is patched in.
+        self.child = None;
+        let Some(registry) = self.registry.take() else { return };
+        let Some(mut buf) = TRACE.with(|t| t.borrow_mut().take()) else { return };
+        let total = buf.start.elapsed();
+        if let Some(root) = buf.spans.first_mut() {
+            root.duration = total;
+        }
+        if total >= registry.slow_threshold() {
+            registry.record_slow(SlowOp {
+                service: registry.service().to_string(),
+                total,
+                spans: buf.spans,
+            });
+        } else {
+            buf.spans.clear();
+            SCRATCH.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.capacity() < buf.spans.capacity() {
+                    *s = buf.spans;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn spin(d: Duration) {
+        let t = Instant::now();
+        while t.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn untraced_child_spans_are_noops() {
+        let g = span("kv.engine.set");
+        drop(g);
+        // Nothing recorded anywhere; just must not panic or leak TLS state.
+        let r = Arc::new(Registry::new("kv"));
+        r.set_slow_threshold(Duration::ZERO);
+        drop(r.trace("kv.engine.get"));
+        assert_eq!(r.slow_ops().len(), 1, "TLS was clean for the real trace");
+    }
+
+    #[test]
+    fn slow_trace_captures_multi_level_tree() {
+        let r = Arc::new(Registry::new("kv"));
+        r.set_slow_threshold(Duration::ZERO);
+        {
+            let _root = r.trace("kv.engine.set");
+            {
+                let _c = span("kv.cache.insert");
+                spin(Duration::from_micros(50));
+            }
+            {
+                let _c = span("kv.flusher.wait");
+                let _gc = span("storage.wal.fsync");
+                spin(Duration::from_micros(50));
+            }
+        }
+        let ops = r.slow_ops();
+        assert_eq!(ops.len(), 1);
+        let op = &ops[0];
+        assert_eq!(op.root(), "kv.engine.set");
+        assert_eq!(op.max_depth(), 2, "{:?}", op.spans);
+        let names: Vec<_> = op.spans.iter().map(|s| (s.name, s.depth)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("kv.engine.set", 0),
+                ("kv.cache.insert", 1),
+                ("kv.flusher.wait", 1),
+                ("storage.wal.fsync", 2),
+            ]
+        );
+        assert!(op.total >= Duration::from_micros(100));
+        assert!(op.spans[3].duration >= Duration::from_micros(50));
+        assert!(op.spans[3].offset >= op.spans[1].duration);
+        assert!(op.render().contains("storage.wal.fsync"));
+    }
+
+    #[test]
+    fn fast_traces_not_captured() {
+        let r = Arc::new(Registry::new("kv"));
+        r.set_slow_threshold(Duration::from_secs(3600));
+        drop(r.trace("kv.engine.get"));
+        assert!(r.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn nested_service_roots_become_children() {
+        let kv = Arc::new(Registry::new("kv"));
+        let n1ql = Arc::new(Registry::new("n1ql"));
+        n1ql.set_slow_threshold(Duration::ZERO);
+        kv.set_slow_threshold(Duration::ZERO);
+        {
+            let _q = n1ql.trace("n1ql.query.exec");
+            let _g = kv.trace("kv.engine.get");
+        }
+        assert!(kv.slow_ops().is_empty(), "inner root joined the outer trace");
+        let ops = n1ql.slow_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0].spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["n1ql.query.exec", "kv.engine.get"]
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let r = Arc::new(Registry::new("kv"));
+        r.set_slow_threshold(Duration::ZERO);
+        for _ in 0..200 {
+            drop(r.trace("kv.engine.get"));
+        }
+        assert!(r.slow_ops().len() <= 64);
+    }
+
+    #[test]
+    fn span_cap_truncates_but_stays_valid() {
+        let r = Arc::new(Registry::new("kv"));
+        r.set_slow_threshold(Duration::ZERO);
+        {
+            let _root = r.trace("kv.engine.scan");
+            for _ in 0..2 * MAX_SPANS {
+                drop(span("kv.engine.step"));
+            }
+        }
+        let ops = r.slow_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].spans.len(), MAX_SPANS);
+    }
+}

@@ -1,0 +1,63 @@
+//! Hot-path allocation check: once handles are resolved, recording into
+//! counters, gauges, and histograms must not touch the allocator, and the
+//! no-active-trace `span()` fast path must not either.
+//!
+//! Runs under a counting global allocator; integration tests get their own
+//! binary, so the allocator swap is invisible to the rest of the suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn recording_is_allocation_free() {
+    let registry = cbs_obs::Registry::new("kv");
+    // Resolve handles up front — that's the documented usage: resolve at
+    // component construction, record on the hot path.
+    let counter = registry.counter("kv.test.ops");
+    let gauge = registry.gauge("kv.test.depth");
+    let histogram = registry.histogram("kv.test.latency");
+
+    // Warm every code path once (first TLS access may allocate).
+    counter.inc();
+    gauge.set(1);
+    histogram.record(Duration::from_micros(3));
+    drop(cbs_obs::span("kv.test.span"));
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(2);
+        gauge.add(1);
+        gauge.sub(1);
+        histogram.record(Duration::from_nanos(i * 17 + 1));
+        histogram.record_nanos(i);
+        // No trace is active on this thread: span() must be a no-op.
+        let _s = cbs_obs::span("kv.test.span");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "hot-path recording allocated {} times", after - before);
+}

@@ -1,0 +1,90 @@
+//! Property tests for histogram correctness (ISSUE 3 satellite):
+//!
+//! 1. For arbitrary sample sets, bucketed p50/p99 are within one bucket
+//!    boundary of the exact percentiles.
+//! 2. Merging snapshots commutes with merging recordings: recording a
+//!    sample set split across two histograms and merging their snapshots
+//!    yields exactly the snapshot of one histogram fed everything.
+
+use std::time::Duration;
+
+use cbs_obs::{bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Exact percentile by sorting: the rank-`ceil(p/100 * n)` smallest sample
+/// (the same rank definition the bucketed estimator uses).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = (((p / 100.0) * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_within_one_bucket_of_exact(
+        raw in prop::collection::vec(1i64..10_000_000_000i64, 1..400),
+        p in prop_oneof![Just(50.0), Just(95.0), Just(99.0)],
+    ) {
+        let mut samples: Vec<u64> = raw.iter().map(|&s| s as u64).collect();
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record_nanos(s);
+        }
+        samples.sort_unstable();
+        let exact = exact_percentile(&samples, p);
+        let est = h.snapshot().percentile(p).expect("non-empty").as_nanos() as u64;
+
+        // The estimate interpolates inside the bucket that holds the exact
+        // rank sample, so its bucket index is the exact sample's bucket or
+        // (when interpolation lands on the bucket's upper edge) the next.
+        let eb = bucket_index(est) as i64;
+        let xb = bucket_index(exact) as i64;
+        prop_assert!(
+            (eb - xb).abs() <= 1,
+            "estimate {} (bucket {}) vs exact {} (bucket {}) at p{}", est, eb, exact, xb, p
+        );
+    }
+
+    #[test]
+    fn merged_snapshot_equals_snapshot_of_merged_recordings(
+        raw in prop::collection::vec(0i64..10_000_000_000i64, 0..400),
+        split_raw in 0i64..400,
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&s| s as u64).collect();
+        let split = (split_raw as usize).min(samples.len());
+        let (left, right) = samples.split_at(split);
+
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &s in left {
+            a.record_nanos(s);
+            all.record_nanos(s);
+        }
+        for &s in right {
+            b.record_nanos(s);
+            all.record_nanos(s);
+        }
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn percentiles_monotone_and_bounded(
+        raw in prop::collection::vec(1i64..10_000_000_000i64, 2..400),
+    ) {
+        let h = Histogram::new();
+        for &s in &raw {
+            h.record_nanos(s as u64);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0).expect("non-empty");
+        let p95 = s.percentile(95.0).expect("non-empty");
+        let p99 = s.percentile(99.0).expect("non-empty");
+        let max = s.max().expect("non-empty");
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50={:?} p95={:?} p99={:?}", p50, p95, p99);
+        prop_assert!(p99 <= max.max(Duration::from_nanos(1)), "p99={:?} max={:?}", p99, max);
+    }
+}

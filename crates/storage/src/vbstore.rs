@@ -185,6 +185,7 @@ impl VBucketStore {
         if docs.is_empty() {
             return Ok(());
         }
+        let _s = cbs_obs::span("storage.store.persist_batch");
         let mut inner = self.inner.lock();
         let mut buf = BytesMut::new();
         let mut offsets = Vec::with_capacity(docs.len());
@@ -214,6 +215,7 @@ impl VBucketStore {
 
     /// Flush OS buffers to stable storage (the "persisted" durability point).
     pub fn sync(&self) -> Result<()> {
+        let _s = cbs_obs::span("storage.store.fsync");
         self.inner.lock().file.sync_data()?;
         Ok(())
     }
@@ -292,6 +294,7 @@ impl VBucketStore {
     /// Rewrite live records (and tombstones, which must survive for
     /// replication metadata) to a fresh file and atomically swap it in.
     pub fn compact(&self) -> Result<()> {
+        let _s = cbs_obs::span("storage.compaction.run");
         let mut inner = self.inner.lock();
         let tmp_path = inner.path.with_extension("compact");
         // lint:allow(guard-io): the inner lock is this file's only writer

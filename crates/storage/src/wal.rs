@@ -68,6 +68,7 @@ impl GroupCommitWal {
     where
         I: IntoIterator<Item = (VbId, &'a [StoredDoc])>,
     {
+        let _s = cbs_obs::span("storage.wal.append");
         let mut buf = BytesMut::new();
         for (vb, docs) in batches {
             for doc in docs {
@@ -87,6 +88,7 @@ impl GroupCommitWal {
     /// The group commit: one fsync covering every record appended since the
     /// previous sync, across all of the shard's vBuckets.
     pub fn sync(&self) -> Result<()> {
+        let _s = cbs_obs::span("storage.wal.fsync");
         self.inner.lock().file.sync_data()?;
         Ok(())
     }

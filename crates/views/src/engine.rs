@@ -25,6 +25,7 @@ use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::DcpStream;
 use cbs_json::Value;
 use cbs_kv::{DataEngine, VbState};
+use cbs_obs::{span, Counter};
 use parking_lot::{Mutex, RwLock};
 
 use crate::btree::{KeyRange, ViewBTree, ViewEntry};
@@ -124,12 +125,19 @@ struct DdocState {
 pub struct ViewEngine {
     engine: Arc<DataEngine>,
     ddocs: RwLock<HashMap<String, Arc<DdocState>>>,
+    queries: Arc<Counter>,
+    items_indexed: Arc<Counter>,
 }
 
 impl ViewEngine {
-    /// Attach a view engine to a data engine.
+    /// Attach a view engine to a data engine. View metrics live in the
+    /// node's shared registry (the view engine is co-located with the data
+    /// service, §3.3.1).
     pub fn new(engine: Arc<DataEngine>) -> ViewEngine {
-        ViewEngine { engine, ddocs: RwLock::new(HashMap::new()) }
+        let registry = engine.registry();
+        let queries = registry.counter("views.engine.queries");
+        let items_indexed = registry.counter("views.engine.items_indexed");
+        ViewEngine { engine, ddocs: RwLock::new(HashMap::new()), queries, items_indexed }
     }
 
     /// Register a design document. Its views start empty; they materialise
@@ -187,18 +195,23 @@ impl ViewEngine {
     /// Drain available DCP changes into every view of a design doc (the
     /// incremental view update pass).
     pub fn update(&self, ddoc_name: &str) -> Result<usize> {
-        Ok(update_state(&self.ddoc(ddoc_name)?))
+        let _s = span("views.engine.update");
+        let n = update_state(&self.ddoc(ddoc_name)?);
+        self.items_indexed.add(n as u64);
+        Ok(n)
     }
 
     /// Update and wait until every view has processed at least the current
     /// key-value document set (the `stale=false` contract).
     pub fn update_to_current(&self, ddoc_name: &str, timeout: Duration) -> Result<()> {
+        let _s = span("views.engine.update");
         let state = self.ddoc(ddoc_name)?;
         let target = self.engine.seqno_vector();
         let mut streams = state.streams.lock();
         for (vbi, stream) in streams.iter_mut().enumerate() {
             let goal = target[vbi];
             let items = stream.drain_until(goal, timeout);
+            self.items_indexed.add(items.len() as u64);
             let mut views = state.views.lock();
             for item in &items {
                 apply_item(&mut views, item);
@@ -215,6 +228,8 @@ impl ViewEngine {
 
     /// Query a view (§3.1.2 semantics, including the `stale` parameter).
     pub fn query(&self, ddoc_name: &str, view_name: &str, q: &ViewQuery) -> Result<ViewResult> {
+        let _s = span("views.engine.query");
+        self.queries.inc();
         match q.stale {
             Stale::False => self.update_to_current(ddoc_name, Duration::from_secs(30))?,
             Stale::Ok => {}
@@ -226,8 +241,9 @@ impl ViewEngine {
             // a view index update" — initiated in the background so the
             // query's latency stays at stale=ok levels.
             let state = self.ddoc(ddoc_name)?;
+            let items_indexed = self.items_indexed.clone();
             std::thread::spawn(move || {
-                let _ = update_state(&state);
+                items_indexed.add(update_state(&state) as u64);
             });
         }
         Ok(result)

@@ -1,6 +1,6 @@
 //! An XDCR link: one direction of replication between two clusters.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -8,18 +8,30 @@ use std::time::Duration;
 use cbs_cluster::Cluster;
 use cbs_common::{Result, SeqNo, VbId};
 use cbs_dcp::DcpStream;
+use cbs_obs::{Counter, Registry};
 
 use crate::filter::KeyFilter;
 
-/// Counters for one link.
-#[derive(Debug, Default)]
+/// Counters for one link, registered in the link's [`Registry`] so they
+/// surface through cluster-wide stats aggregation.
+#[derive(Debug)]
 pub struct XdcrStats {
     /// Mutations shipped to the destination.
-    pub shipped: AtomicU64,
+    pub shipped: Arc<Counter>,
     /// Mutations skipped by the key filter.
-    pub filtered: AtomicU64,
+    pub filtered: Arc<Counter>,
     /// Mutations rejected by destination conflict resolution.
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
+}
+
+impl XdcrStats {
+    fn new(registry: &Registry) -> XdcrStats {
+        XdcrStats {
+            shipped: registry.counter("xdcr.link.shipped"),
+            filtered: registry.counter("xdcr.link.filtered"),
+            rejected: registry.counter("xdcr.link.rejected"),
+        }
+    }
 }
 
 /// A running one-directional replication link (spawn two for
@@ -27,6 +39,7 @@ pub struct XdcrStats {
 pub struct XdcrLink {
     stop: Arc<AtomicBool>,
     stats: Arc<XdcrStats>,
+    registry: Arc<Registry>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -43,7 +56,8 @@ impl XdcrLink {
         source.map(bucket)?;
         destination.map(bucket)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(XdcrStats::default());
+        let registry = Arc::new(Registry::new("xdcr"));
+        let stats = Arc::new(XdcrStats::new(&registry));
         let stop2 = Arc::clone(&stop);
         let stats2 = Arc::clone(&stats);
         let bucket = bucket.to_string();
@@ -51,12 +65,17 @@ impl XdcrLink {
             .name(format!("xdcr-{bucket}"))
             .spawn(move || link_loop(source, destination, &bucket, filter, stop2, stats2))
             .expect("spawn xdcr link");
-        Ok(XdcrLink { stop, stats, handle: Some(handle) })
+        Ok(XdcrLink { stop, stats, registry, handle: Some(handle) })
     }
 
     /// Link counters.
     pub fn stats(&self) -> &XdcrStats {
         &self.stats
+    }
+
+    /// The link's metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Stop the link.
@@ -125,7 +144,7 @@ fn link_loop(
                 cursors[v] = cursors[v].max(item.meta.seqno);
                 if let Some(f) = &filter {
                     if !f.matches(&item.key) {
-                        stats.filtered.fetch_add(1, Ordering::Relaxed);
+                        stats.filtered.inc();
                         continue;
                     }
                 }
@@ -139,10 +158,10 @@ fn link_loop(
                     e.set_with_meta(&item.key, item.meta, item.value.clone(), item.is_deletion())
                 }) {
                     Ok(true) => {
-                        stats.shipped.fetch_add(1, Ordering::Relaxed);
+                        stats.shipped.inc();
                     }
                     Ok(false) => {
-                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        stats.rejected.inc();
                     }
                     Err(_) => {
                         // Destination temporarily unavailable (failover in
@@ -211,7 +230,7 @@ mod tests {
         // Deletions replicate too.
         src_client.remove("k7", cbs_common::Cas::WILDCARD).unwrap();
         assert!(wait_for(Duration::from_secs(10), || dst_client.get("k7").is_err()));
-        assert!(link.stats().shipped.load(Ordering::Relaxed) >= 51);
+        assert!(link.stats().shipped.get() >= 51);
         link.shutdown();
     }
 
@@ -234,7 +253,7 @@ mod tests {
         for i in 0..20 {
             assert!(dst_client.get(&format!("us::{i}")).is_err(), "us:: keys filtered out");
         }
-        assert_eq!(link.stats().filtered.load(Ordering::Relaxed), 20);
+        assert_eq!(link.stats().filtered.get(), 20);
         link.shutdown();
     }
 

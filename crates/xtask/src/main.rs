@@ -228,11 +228,12 @@ mod tests {
             "fn c(&self) {\n    let g = self.m.lock();\n    std::fs::rename(a, b);\n}\n",
         );
         w("crates/cluster/src/lib.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        w("crates/n1ql/src/lib.rs", "fn f(r: &Registry) { r.counter(\"queryCount\"); }\n");
 
         let (findings, files) = lint_tree(&root).unwrap();
-        assert_eq!(files, 4);
+        assert_eq!(files, 5);
         let rules_hit: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        for rule in ["unwrap", "std-sync", "guard-io", "wall-clock"] {
+        for rule in ["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming"] {
             assert!(rules_hit.contains(&rule), "expected {rule} in {rules_hit:?}");
         }
 
@@ -247,6 +248,7 @@ mod tests {
             "crates/cluster/src/lib.rs",
             "fn f() { let t = cbs_common::time::Deadline::after(d); }\n",
         );
+        w("crates/n1ql/src/lib.rs", "fn f(r: &Registry) { r.counter(\"n1ql.query.count\"); }\n");
         let (findings, _) = lint_tree(&root).unwrap();
         assert!(findings.is_empty(), "expected clean, got {findings:?}");
 

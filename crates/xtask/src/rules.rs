@@ -1,6 +1,6 @@
 //! The repo-invariant rules.
 //!
-//! Four rules, each encoding a convention this codebase relies on for
+//! Five rules, each encoding a convention this codebase relies on for
 //! correctness but which `rustc`/`clippy` cannot express:
 //!
 //! | rule         | scope                          | invariant                                                |
@@ -10,6 +10,8 @@
 //! | `guard-io`   | storage (lib)                  | no filesystem *namespace* op while a lock guard is held  |
 //! | `wall-clock` | cluster (lib)                  | no `Instant::now`/`SystemTime::now` in the simulated     |
 //! |              |                                | transport — use `cbs_common::time`                       |
+//! | `obs-naming` | every crate (lib)              | metric/span name literals follow the cbs-obs convention: |
+//! |              |                                | `service.component.metric`, segments `[a-z][a-z0-9_]*`   |
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line or
 //! the comment block immediately above it. Reasons are mandatory, unknown
@@ -50,7 +52,13 @@ const FS_NAMESPACE_OPS: &[&str] = &[
     "VBucketStore::open",
 ];
 
-const KNOWN_RULES: &[&str] = &["unwrap", "std-sync", "guard-io", "wall-clock"];
+const KNOWN_RULES: &[&str] = &["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming"];
+
+/// Call sites whose first argument, when it is a string literal, must be a
+/// well-formed cbs-obs metric/span name. Dynamic names (`format!`,
+/// variables) pass through — `cbs_obs::Registry` still validates them at
+/// runtime; this rule catches the static ones at lint time.
+const OBS_NAME_CALLS: &[&str] = &[".counter(", ".gauge(", ".histogram(", ".trace(", "span("];
 
 /// One lint diagnostic.
 #[derive(Debug, Clone)]
@@ -85,6 +93,8 @@ pub fn lint_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
     if crate_name == CLUSTER_CRATE {
         rule_wall_clock(&m, rel_path, &mut findings);
     }
+    let orig_lines: Vec<&str> = src.lines().collect();
+    rule_obs_naming(&m, &orig_lines, rel_path, &mut findings);
 
     apply_allows(&m, rel_path, findings)
 }
@@ -298,6 +308,75 @@ fn rule_wall_clock(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// `obs-naming`: metric and span name literals passed to the cbs-obs
+/// resolution/tracing calls must follow the `service.component.metric`
+/// convention — exactly three dot-separated segments, each starting with a
+/// lowercase letter and continuing with `[a-z0-9_]`. The mask blanks string
+/// contents, so the name is read back out of the original line at the same
+/// column (the mask is position-preserving per character).
+fn rule_obs_naming(m: &Masked, orig_lines: &[&str], rel: &str, out: &mut Vec<Finding>) {
+    for (idx, l) in m.lines.iter().enumerate() {
+        if m.test_lines[idx] {
+            continue;
+        }
+        let Some(orig) = orig_lines.get(idx) else { continue };
+        let orig: Vec<char> = orig.chars().collect();
+        for marker in OBS_NAME_CALLS {
+            let mut search = 0usize;
+            while let Some(pos) = l[search..].find(marker) {
+                let abs = search + pos;
+                search = abs + marker.len();
+                // The bare `span(` marker needs a word boundary so it does
+                // not double-fire on `.trace(` lookalikes or match idents
+                // ending in "span"; the dotted markers carry their own.
+                if *marker == "span(" {
+                    let before = l[..abs].chars().next_back();
+                    if before.map(|c| c.is_alphanumeric() || c == '_' || c == '.').unwrap_or(false)
+                    {
+                        continue;
+                    }
+                }
+                // Only same-line string-literal arguments are checked.
+                let arg_at = l[..abs + marker.len()].chars().count();
+                if orig.get(arg_at) != Some(&'"') {
+                    continue;
+                }
+                let name: String = orig[arg_at + 1..].iter().take_while(|c| **c != '"').collect();
+                if !is_valid_obs_name(&name) {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "obs-naming",
+                        msg: format!(
+                            "metric/span name \"{name}\" breaks the cbs-obs convention \
+                             `service.component.metric` (exactly three dot-separated \
+                             segments, each `[a-z][a-z0-9_]*`)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The cbs-obs naming convention, re-stated here because xtask deliberately
+/// has no dependencies (mirror of `cbs_obs::is_valid_metric_name`).
+fn is_valid_obs_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        segments += 1;
+        let mut chars = seg.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+    }
+    segments == 3
+}
+
 /// Word-boundary containment (so `Mutex` doesn't match `OrderedMutex`).
 fn contains_word(haystack: &str, word: &str) -> bool {
     let mut start = 0;
@@ -476,6 +555,48 @@ fn f(&self) {
     fn wall_clock_allow_works() {
         let src = "fn f() {\n    // lint:allow(wall-clock): bench harness timing\n    let t = std::time::Instant::now();\n}\n";
         assert!(lint("cluster", src).is_empty());
+    }
+
+    #[test]
+    fn obs_naming_flags_bad_literals_everywhere() {
+        let bad = lint("views", "fn f(r: &Registry) { let c = r.counter(\"badName\"); }\n");
+        assert!(bad.iter().any(|f| f.rule == "obs-naming" && f.msg.contains("badName")));
+        let two = lint("kv", "fn f(r: &Registry) { r.histogram(\"kv.engine\"); }\n");
+        assert!(two.iter().any(|f| f.rule == "obs-naming"), "two segments rejected");
+        let four = lint("kv", "fn f(r: &Registry) { r.gauge(\"a.b.c.d\"); }\n");
+        assert!(four.iter().any(|f| f.rule == "obs-naming"), "four segments rejected");
+        let upper = lint("kv", "fn f() { let _s = cbs_obs::span(\"kv.Engine.set\"); }\n");
+        assert!(upper.iter().any(|f| f.rule == "obs-naming"), "uppercase rejected");
+    }
+
+    #[test]
+    fn obs_naming_accepts_convention_and_dynamic_names() {
+        let ok = lint(
+            "kv",
+            "fn f(r: &Registry) {\n    r.counter(\"kv.engine.gets\");\n    \
+             r.histogram(\"kv.flusher.fsync_latency\");\n    \
+             let _t = r.trace(\"kv.engine.set\");\n    \
+             let _s = span(\"storage.wal.fsync2\");\n}\n",
+        );
+        assert!(ok.iter().all(|f| f.rule != "obs-naming"), "{ok:?}");
+        // Dynamic names are the registry's problem, not the linter's.
+        let dynamic = lint(
+            "kv",
+            "fn f(r: &Registry, s: usize) { r.gauge(&format!(\"kv.flusher.queue_depth_s{s}\")); }\n",
+        );
+        assert!(dynamic.iter().all(|f| f.rule != "obs-naming"));
+        // Unrelated `.counter(` calls with non-literal args don't fire.
+        let unrelated = lint("cluster", "fn f(&self) -> u64 { self.merged().counter(name) }\n");
+        assert!(unrelated.iter().all(|f| f.rule != "obs-naming"));
+    }
+
+    #[test]
+    fn obs_naming_exempts_tests_and_respects_allows() {
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t(r: &Registry) { r.counter(\"not a name\"); }\n}\n";
+        assert!(lint("kv", test_src).is_empty());
+        let allowed = "fn f(r: &Registry) {\n    // lint:allow(obs-naming): exercising the validator\n    r.counter(\"bad\");\n}\n";
+        assert!(lint("kv", allowed).is_empty());
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod workload;
 
 pub use generators::{Generator, LatestGen, ScrambledZipfianGen, UniformGen, ZipfianGen};
 pub use runner::{run_workload, LoadPhase, RunSummary};
-pub use stats::LatencyHistogram;
+pub use stats::{HistogramSnapshot, LatencyHistogram};
 pub use workload::{OpKind, Workload, WorkloadSpec};

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::generators::key_for;
-use crate::stats::LatencyHistogram;
+use crate::stats::{HistogramSnapshot, LatencyHistogram};
 use crate::workload::{OpKind, Workload, WorkloadSpec};
 
 /// Load-phase handle (kept for symmetry/explicitness in benches).
@@ -56,9 +56,10 @@ impl LoadPhase {
     }
 }
 
-/// One worker thread's raw results: (overall histogram, per-op histograms,
-/// error count).
-type ThreadResult = (LatencyHistogram, Vec<(OpKind, LatencyHistogram)>, u64);
+/// One worker thread's raw results: (overall snapshot, per-op snapshots,
+/// error count). Threads record into private histograms; snapshots merge
+/// bucket-wise at the end of the run.
+type ThreadResult = (HistogramSnapshot, Vec<(OpKind, HistogramSnapshot)>, u64);
 
 /// Results of one run.
 #[derive(Debug)]
@@ -73,10 +74,10 @@ pub struct RunSummary {
     pub errors: u64,
     /// Wall-clock duration of the run phase.
     pub elapsed: Duration,
-    /// Combined latency histogram.
-    pub latency: LatencyHistogram,
-    /// Per-kind histograms: (kind, histogram).
-    pub per_op: Vec<(OpKind, LatencyHistogram)>,
+    /// Combined latency distribution (all threads merged).
+    pub latency: HistogramSnapshot,
+    /// Per-kind distributions: (kind, snapshot).
+    pub per_op: Vec<(OpKind, HistogramSnapshot)>,
 }
 
 impl RunSummary {
@@ -89,6 +90,11 @@ impl RunSummary {
         }
     }
 
+    /// Latency percentile of the merged distribution, zero when empty.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        self.latency.percentile(p).unwrap_or(Duration::ZERO)
+    }
+
     /// One-line report row (the bench harness prints these).
     pub fn report_row(&self) -> String {
         format!(
@@ -99,9 +105,9 @@ impl RunSummary {
             self.errors,
             self.elapsed.as_secs_f64(),
             self.throughput(),
-            self.latency.percentile(50.0),
-            self.latency.percentile(95.0),
-            self.latency.percentile(99.0),
+            self.latency_percentile(50.0),
+            self.latency_percentile(95.0),
+            self.latency_percentile(99.0),
         )
     }
 }
@@ -208,7 +214,8 @@ pub fn run_workload(
                         errors += 1;
                     }
                 }
-                Ok((hist, per_op, errors))
+                let per_op = per_op.into_iter().map(|(k, h)| (k, h.snapshot())).collect();
+                Ok((hist.snapshot(), per_op, errors))
             }));
         }
         for h in handles {
@@ -218,8 +225,8 @@ pub fn run_workload(
     })?;
 
     let elapsed = start.elapsed();
-    let mut latency = LatencyHistogram::new();
-    let mut per_op: Vec<(OpKind, LatencyHistogram)> = Vec::new();
+    let mut latency = HistogramSnapshot::empty();
+    let mut per_op: Vec<(OpKind, HistogramSnapshot)> = Vec::new();
     let mut errors = 0u64;
     for (h, per, e) in &thread_results {
         latency.merge(h);

@@ -1,85 +1,59 @@
-//! Latency histograms with logarithmic buckets.
+//! Latency accounting — a thin veneer over the `cbs-obs` histogram.
+//!
+//! The YCSB harness used to carry its own log-bucketed histogram; it now
+//! records into [`cbs_obs::Histogram`] (48 power-of-two buckets, atomic,
+//! allocation-free) and reports through [`cbs_obs::HistogramSnapshot`],
+//! whose percentiles interpolate within the target bucket. Per-thread
+//! histograms are snapshotted at the end of a run and merged bucket-wise,
+//! exactly like per-node stats in the cbstats surface.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of log2-spaced buckets (covers 1ns .. ~ 1h).
-const BUCKETS: usize = 42;
+pub use cbs_obs::HistogramSnapshot;
 
-/// A latency histogram (lock-free accumulation is done per thread; merge
-/// at the end).
-#[derive(Debug, Clone)]
+/// A latency histogram handle for one benchmark thread. Wraps the shared
+/// `cbs-obs` primitive with the `Duration`-returning convenience accessors
+/// the figure binaries print (`None` collapses to `Duration::ZERO`).
+#[derive(Debug, Default)]
 pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: Arc<cbs_obs::Histogram>,
 }
 
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> LatencyHistogram {
-        LatencyHistogram { buckets: vec![0; BUCKETS], count: 0, sum_nanos: 0, max_nanos: 0 }
+        LatencyHistogram::default()
     }
 
     /// Record one sample.
     pub fn record(&mut self, d: Duration) {
-        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
-        let bucket = (64 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        self.inner.record(d);
     }
 
     /// Samples recorded.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
-    /// Mean latency.
+    /// A mergeable point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Mean latency (zero when empty).
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos((self.sum_nanos / self.count as u128) as u64)
-        }
+        self.snapshot().mean().unwrap_or(Duration::ZERO)
     }
 
-    /// Maximum observed latency.
+    /// Maximum observed latency (zero when empty).
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
+        self.snapshot().max().unwrap_or(Duration::ZERO)
     }
 
-    /// Approximate percentile (bucket upper bound), `p` in 0..=100.
+    /// Approximate percentile, `p` in 0..=100 (zero when empty).
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Duration::from_nanos(1u64 << i.min(62));
-            }
-        }
-        self.max()
+        self.snapshot().percentile(p).unwrap_or(Duration::ZERO)
     }
 }
 
@@ -102,14 +76,15 @@ mod tests {
     }
 
     #[test]
-    fn merge_combines() {
+    fn snapshots_merge() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();
         a.record(Duration::from_micros(5));
         b.record(Duration::from_millis(5));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.max() >= Duration::from_millis(5));
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 2);
+        assert!(merged.max().unwrap() >= Duration::from_millis(5));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! cbstats: the operator surface of `cbs-obs` (DESIGN.md §10).
+//!
+//! Drives a short YCSB workload-A burst against a small cluster, then
+//! prints what an operator would pull from `cbstats` on a real Couchbase
+//! deployment: per-node topology, per-service op counters, latency
+//! percentiles from the merged histogram snapshots, the slow-op log with
+//! full span trees, and a Prometheus text sample.
+//!
+//! ```text
+//! cargo run --release --example cbstats
+//! CBS_NODES=2 CBS_RECORDS=500 CBS_OPS=100 cargo run --release --example cbstats
+//! ```
+
+use std::time::Duration;
+
+use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, QueryOptions};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn print_percentiles(stats: &cbs_cluster::ClusterStats, names: &[&str]) {
+    println!("\n== latency percentiles (cluster-wide merged histograms) ==");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "metric", "count", "p50", "p95", "p99", "max"
+    );
+    for name in names {
+        let h = stats.histogram(name);
+        if h.is_empty() {
+            println!("{name:<28} {:>8} (no samples)", 0);
+            continue;
+        }
+        let d = |p: f64| h.percentile(p).unwrap_or(Duration::ZERO);
+        println!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            h.count(),
+            format!("{:.1?}", d(50.0)),
+            format!("{:.1?}", d(95.0)),
+            format!("{:.1?}", d(99.0)),
+            format!("{:.1?}", h.max().unwrap_or(Duration::ZERO)),
+        );
+    }
+}
+
+fn main() {
+    let nodes = env_u64("CBS_NODES", 3) as usize;
+    let records = env_u64("CBS_RECORDS", 2_000);
+    let ops_per_thread = env_u64("CBS_OPS", 250);
+
+    println!("cbstats demo: {nodes}-node cluster, YCSB-A burst ({records} docs)");
+    let cluster = CouchbaseCluster::homogeneous(nodes, ClusterConfig::for_test(64, 1));
+    cluster.create_bucket("ycsb").expect("create bucket");
+
+    // Generate load on every access path the stats cover.
+    let spec = WorkloadSpec::a(records);
+    LoadPhase::run(&cluster, "ycsb", &spec, 4).expect("load phase");
+    let summary = run_workload(&cluster, "ycsb", &spec, 4, ops_per_thread).expect("run phase");
+    println!("{}", summary.report_row());
+
+    // Deliberately slow operation for the slow-op log: with the threshold
+    // at zero, the next traced request is guaranteed to be captured. A
+    // primary scan over the whole bucket walks every vBucket on every
+    // node, so its span tree has depth: execute -> parse/plan/scan/fetch.
+    cluster.set_slow_threshold(Duration::ZERO);
+    cluster.query("CREATE PRIMARY INDEX ON ycsb", &QueryOptions::default()).expect("primary index");
+    cluster
+        .query("SELECT COUNT(*) AS n FROM ycsb", &QueryOptions::default())
+        .expect("slow primary scan");
+
+    // Freeze everything. `stats()` drains each registry's slow-op ring, so
+    // one snapshot owns the captured trace.
+    let stats = cluster.stats();
+
+    println!("\n== topology ==");
+    for node in &stats.nodes {
+        let s = node.services;
+        let services: Vec<&str> = [("kv", s.data), ("index", s.index), ("n1ql", s.query)]
+            .iter()
+            .filter(|(_, on)| *on)
+            .map(|(name, _)| *name)
+            .collect();
+        let queued: u64 =
+            node.buckets.iter().flat_map(|b| &b.vbuckets).map(|v| v.queued_items).sum();
+        println!(
+            "node n{}: alive={} services={} buckets={} active_vbuckets={} disk_queue={}",
+            node.node.0,
+            node.alive,
+            services.join("+"),
+            node.buckets.len(),
+            node.buckets.iter().map(|b| b.vbuckets.len()).sum::<usize>(),
+            queued,
+        );
+    }
+
+    let merged = stats.merged();
+    println!("\n== op counters (cluster-wide) ==");
+    for (name, value) in &merged.counters {
+        if *value > 0 {
+            println!("{name:<32} {value}");
+        }
+    }
+
+    print_percentiles(
+        &stats,
+        &[
+            "kv.engine.get_latency",
+            "kv.engine.set_latency",
+            "kv.flusher.fsync_latency",
+            "n1ql.query.latency",
+            "fts.service.search_latency",
+        ],
+    );
+
+    println!("\n== slow ops ({} captured) ==", stats.slow_ops.len());
+    for op in stats.slow_ops.iter().rev().take(3) {
+        println!("[{}] {:.1?}", op.service, op.total);
+        print!("{}", op.render());
+    }
+
+    let prom = stats.prometheus();
+    println!("\n== prometheus sample (first 20 of {} lines) ==", prom.lines().count());
+    for line in prom.lines().take(20) {
+        println!("{line}");
+    }
+
+    // The operator-facing invariant the tracing exists to demonstrate: a
+    // spread distribution reports non-degenerate percentiles.
+    let kv = stats.histogram("kv.engine.get_latency");
+    if let (Some(p50), Some(p99)) = (kv.percentile(50.0), kv.percentile(99.0)) {
+        println!("\nkv get p50 {p50:.1?} < p99 {p99:.1?}: {}", p50 < p99);
+    }
+}

@@ -77,8 +77,8 @@ fn main() {
     println!("XDCR: {replicated}/50 eu:: docs replicated, {leaked} non-matching docs leaked");
     println!(
         "XDCR stats: shipped={} filtered={}",
-        link.stats().shipped.load(std::sync::atomic::Ordering::Relaxed),
-        link.stats().filtered.load(std::sync::atomic::Ordering::Relaxed)
+        link.stats().shipped.get(),
+        link.stats().filtered.get()
     );
     link.shutdown();
 

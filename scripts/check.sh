@@ -56,6 +56,20 @@ fi
 
 run "full test suite" cargo test --quiet --workspace
 
+# Observability smoke: drive the cbstats example against a 2-node cluster
+# and assert the operator surface comes out populated — per-service op
+# counters, non-degenerate percentiles, and at least one slow-op span tree.
+cbstats_smoke() {
+    local out
+    out="$(CBS_NODES=2 CBS_RECORDS=500 CBS_OPS=100 \
+        cargo run --quiet --release --example cbstats 2>/dev/null)" || return 1
+    echo "$out" | grep -q "kv.engine.sets" || { echo "    missing kv op counters"; return 1; }
+    echo "$out" | grep -q "n1ql.query.requests" || { echo "    missing n1ql counters"; return 1; }
+    echo "$out" | grep -q "n1ql.query.execute" || { echo "    missing slow-op span tree"; return 1; }
+    echo "$out" | grep -q "p50 .* < p99 .*: true" || { echo "    degenerate percentiles"; return 1; }
+}
+run "cbstats smoke (2-node cluster)" cbstats_smoke
+
 # --- best-effort dynamic analysis -----------------------------------------
 # ThreadSanitizer needs nightly + rust-src (to build an instrumented std);
 # Miri needs the miri component. Both are optional: absence is a skip, not
