@@ -1,0 +1,186 @@
+//! Checker rules against hand-built histories: each rule must fire on its
+//! violation shape and stay quiet on legal anomalies (failover rollback of
+//! non-durable writes, unknown-outcome tails).
+
+use cbs_chaos::{check_history, Ack, EventRecord, History, OpKind, OpRecord};
+
+fn put(key: &str, value: i64, durable: bool, t: u64, seqno: u64) -> OpRecord {
+    OpRecord {
+        key: key.to_string(),
+        kind: OpKind::Put { value, durable },
+        invoked: t,
+        completed: t + 1,
+        ack: Ack::Ok { vb: 0, seqno, observed: Some(value) },
+    }
+}
+
+fn get(key: &str, observed: Option<i64>, t: u64) -> OpRecord {
+    OpRecord {
+        key: key.to_string(),
+        kind: OpKind::Get,
+        invoked: t,
+        completed: t + 1,
+        ack: Ack::Ok { vb: 0, seqno: 0, observed },
+    }
+}
+
+fn failover(t: u64) -> EventRecord {
+    EventRecord { at: t, what: "failover".to_string(), lossy: true }
+}
+
+fn rules(h: &History) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> = check_history(h).into_iter().map(|v| v.rule).collect();
+    r.sort_unstable();
+    r.dedup();
+    r
+}
+
+#[test]
+fn clean_history_passes() {
+    let h = History {
+        ops: vec![
+            put("k", 1, false, 1, 1),
+            get("k", Some(1), 10),
+            put("k", 2, false, 20, 2),
+            get("k", Some(2), 30),
+        ],
+        events: vec![],
+    };
+    assert!(check_history(&h).is_empty());
+}
+
+#[test]
+fn phantom_read_is_flagged() {
+    let h =
+        History { ops: vec![put("k", 1, false, 1, 1), get("k", Some(999), 10)], events: vec![] };
+    assert_eq!(rules(&h), vec!["phantom-read"]);
+}
+
+#[test]
+fn stale_read_is_flagged_without_failover() {
+    // Acked write of 2, later read still sees 1: stale.
+    let h = History {
+        ops: vec![put("k", 1, false, 1, 1), put("k", 2, false, 10, 2), get("k", Some(1), 20)],
+        events: vec![],
+    };
+    assert_eq!(rules(&h), vec!["stale-read"]);
+}
+
+#[test]
+fn read_missing_acked_write_entirely_is_flagged() {
+    // Key never existed per the read, but a write was acked.
+    let h = History { ops: vec![put("k", 1, false, 1, 1), get("k", None, 20)], events: vec![] };
+    assert_eq!(rules(&h), vec!["stale-read"]);
+}
+
+#[test]
+fn failover_may_roll_back_non_durable_tail() {
+    // Non-durable acked write of 2 after durable 1; failover between the
+    // write and the read: seeing 1 again is legal.
+    let h = History {
+        ops: vec![put("k", 1, true, 1, 1), put("k", 2, false, 10, 2), get("k", Some(1), 30)],
+        events: vec![failover(20)],
+    };
+    assert!(check_history(&h).is_empty(), "rollback to durable floor must be legal");
+}
+
+#[test]
+fn failover_cannot_roll_back_past_durable_floor() {
+    // Reading pre-durable state (absent) after a durable ack: data loss.
+    let h = History {
+        ops: vec![put("k", 1, true, 1, 1), get("k", None, 30)],
+        events: vec![failover(20)],
+    };
+    assert_eq!(rules(&h), vec!["durable-floor"]);
+}
+
+#[test]
+fn durable_floor_binds_older_values_too() {
+    let h = History {
+        ops: vec![
+            put("k", 1, false, 1, 1),
+            put("k", 2, true, 10, 2),
+            put("k", 3, false, 20, 3),
+            get("k", Some(1), 40), // older than the durable 2: illegal
+        ],
+        events: vec![failover(30)],
+    };
+    assert_eq!(rules(&h), vec!["durable-floor"]);
+}
+
+#[test]
+fn unknown_outcome_tail_is_permissive() {
+    // A Maybe write may or may not be visible; both reads are legal.
+    let maybe = OpRecord {
+        key: "k".to_string(),
+        kind: OpKind::Put { value: 2, durable: false },
+        invoked: 10,
+        completed: 11,
+        ack: Ack::Maybe("timeout".to_string()),
+    };
+    for observed in [Some(1), Some(2)] {
+        let h = History {
+            ops: vec![put("k", 1, false, 1, 1), maybe.clone(), get("k", observed, 20)],
+            events: vec![],
+        };
+        assert!(check_history(&h).is_empty(), "observed {observed:?} must be legal");
+    }
+}
+
+#[test]
+fn failed_write_must_not_be_visible() {
+    let failed = OpRecord {
+        key: "k".to_string(),
+        kind: OpKind::Put { value: 2, durable: false },
+        invoked: 10,
+        completed: 11,
+        ack: Ack::Failed("cas mismatch".to_string()),
+    };
+    let h = History {
+        ops: vec![put("k", 1, false, 1, 1), failed, get("k", Some(2), 20)],
+        events: vec![],
+    };
+    assert_eq!(rules(&h), vec!["stale-read"], "a definitely-failed write must stay invisible");
+}
+
+#[test]
+fn seqno_regression_is_flagged_without_failover() {
+    // Two sequential acked mutations in one vBucket with non-increasing
+    // seqnos and no failover between them.
+    let h =
+        History { ops: vec![put("a", 1, false, 1, 5), put("b", 2, false, 10, 3)], events: vec![] };
+    assert_eq!(rules(&h), vec!["seqno-regression"]);
+}
+
+#[test]
+fn seqno_rewind_is_legal_across_failover() {
+    let h = History {
+        ops: vec![put("a", 1, false, 1, 5), put("b", 2, false, 10, 3)],
+        events: vec![failover(5)],
+    };
+    assert!(check_history(&h).is_empty(), "failover legitimately rewinds the seqno lineage");
+}
+
+#[test]
+fn seqno_rule_ignores_concurrent_ops() {
+    // Overlapping ops are unordered; equal seqnos must not be flagged.
+    let a = put("a", 1, false, 1, 5);
+    let mut b = put("b", 2, false, 1, 5);
+    b.completed = 3;
+    let h = History { ops: vec![a, b], events: vec![] };
+    assert!(check_history(&h).is_empty());
+}
+
+#[test]
+fn delete_then_read_none_is_clean() {
+    let del = OpRecord {
+        key: "k".to_string(),
+        kind: OpKind::Delete,
+        invoked: 10,
+        completed: 11,
+        ack: Ack::Ok { vb: 0, seqno: 2, observed: None },
+    };
+    let h =
+        History { ops: vec![put("k", 1, false, 1, 1), del, get("k", None, 20)], events: vec![] };
+    assert!(check_history(&h).is_empty());
+}

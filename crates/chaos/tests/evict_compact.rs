@@ -1,0 +1,45 @@
+//! Cache eviction + storage compaction concurrent with a chaos workload:
+//! a tiny cache quota (full eviction) forces background fetches through
+//! the storage layer while a compaction loop rewrites the files under the
+//! workload and the fault schedule. Consistency rules must hold
+//! regardless.
+
+use std::time::Duration;
+
+use cbs_chaos::{expect_clean, run_chaos, ChaosConfig};
+
+fn pressured(seed: u64) -> ChaosConfig {
+    let mut c = ChaosConfig::new(seed);
+    c.schedule = "drop-delay-failover".to_string();
+    c.cache_quota = Some(2 << 10); // ~2 KiB per node: constant eviction
+    c.keys_per_worker = 24; // widen the resident set past the quota
+    c.compact_during = true;
+    c.ops = 400;
+    c.settle = Duration::from_secs(20);
+    c
+}
+
+#[test]
+fn chaos_eviction_and_compaction_under_faults() {
+    let cfg = pressured(0xE71C);
+    let outcome = run_chaos(&cfg);
+    assert!(
+        outcome.violations.is_empty(),
+        "eviction/compaction chaos run failed:\n{}",
+        outcome.report()
+    );
+    // The run must have actually exercised the pressure paths, or the
+    // test is vacuous.
+    let summary =
+        outcome.events.iter().find(|e| e.contains("storage:")).expect("storage summary event");
+    let vacuous = summary.contains("evictions=0");
+    assert!(!vacuous, "cache quota never forced an eviction: {summary}");
+}
+
+#[test]
+fn chaos_eviction_storm_schedule() {
+    let mut cfg = pressured(0xE72D);
+    cfg.schedule = "kill-revive-storm".to_string();
+    cfg.ops = 500;
+    expect_clean(&cfg);
+}

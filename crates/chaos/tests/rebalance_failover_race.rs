@@ -1,0 +1,86 @@
+//! `Cluster::rebalance` racing `AutoFailover`: a node dies mid-rebalance
+//! while the orchestrator's failure monitor promotes its replicas
+//! concurrently with the movers' map installs. Both paths mutate the
+//! installed cluster map; a clone-mutate-insert on either side loses the
+//! other's update and strands a vBucket on a dead or non-Active node.
+//!
+//! The assertion is the chaos checker's topology rule: after the dust
+//! settles, every vBucket must have an alive, `Active` owner and replicas
+//! must converge.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_chaos::{check_cluster, revive_clean, BUCKET};
+use cbs_cluster::{Cluster, ClusterConfig, ServiceSet, SmartClient};
+use cbs_json::Value;
+
+fn run_race(seed_delay_ms: u64) {
+    let cluster = Cluster::homogeneous(4, ClusterConfig::for_test(16, 1));
+    cluster.create_bucket(BUCKET).expect("create bucket");
+
+    // Some data so the movers actually backfill.
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("connect");
+    for i in 0..200 {
+        let _ = client.upsert(&format!("race-k{i}"), Value::int(i));
+    }
+
+    // Aggressive failure monitor: promotes any dead node within 5ms.
+    let monitor = cluster.spawn_auto_failover(Duration::from_millis(5));
+
+    // Add a node so the rebalance has real moves to make, then crash a
+    // node mid-rebalance from another thread.
+    cluster.add_node(ServiceSet::all()).expect("add node");
+    let killer = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(seed_delay_ms));
+            if let Ok(node) = cluster.node(cbs_common::NodeId(2)) {
+                node.kill();
+            }
+        })
+    };
+    // The rebalance may legitimately fail when its source/destination
+    // dies mid-move — that is not a correctness violation. What must
+    // never happen is a vBucket losing its owner.
+    let _ = cluster.rebalance(&[]);
+    killer.join().expect("killer thread");
+
+    // Let the monitor finish promoting, then heal: revive through the
+    // rejoin protocol and rebalance back to full replication.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(monitor);
+    for node in cluster.nodes() {
+        if !node.is_alive() {
+            revive_clean(&cluster, &node);
+        }
+    }
+    for _ in 0..5 {
+        if cluster.rebalance(&[]).is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let violations = check_cluster(&cluster, BUCKET, Duration::from_secs(20));
+    assert!(
+        violations.is_empty(),
+        "rebalance × auto-failover race (kill delay {seed_delay_ms}ms) broke the cluster:\n{}",
+        violations.iter().map(|v| format!("  {v}\n")).collect::<String>(),
+    );
+}
+
+#[test]
+fn chaos_rebalance_vs_autofailover_early_kill() {
+    run_race(2);
+}
+
+#[test]
+fn chaos_rebalance_vs_autofailover_mid_kill() {
+    run_race(15);
+}
+
+#[test]
+fn chaos_rebalance_vs_autofailover_late_kill() {
+    run_race(40);
+}

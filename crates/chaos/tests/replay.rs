@@ -1,0 +1,21 @@
+//! Replay entry point. Chaos failures print a one-line command of the
+//! form
+//!
+//! ```text
+//! CHAOS_SEED=… CHAOS_OPS=… … cargo test -p cbs-chaos --test replay -- --ignored --nocapture
+//! ```
+//!
+//! which lands here: the full config is rebuilt from the environment and
+//! the run repeats deterministically.
+
+use cbs_chaos::{run_chaos, ChaosConfig};
+
+#[test]
+#[ignore = "replay entry point — drive with CHAOS_* env vars from a failure report"]
+fn chaos_replay() {
+    let cfg = ChaosConfig::new(0).from_env();
+    println!("replaying: {}", cfg.replay_command());
+    let outcome = run_chaos(&cfg);
+    println!("{}", outcome.report());
+    assert!(outcome.violations.is_empty(), "replayed failure:\n{}", outcome.report());
+}

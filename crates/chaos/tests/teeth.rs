@@ -1,0 +1,140 @@
+//! Teeth test: deliberately re-introduce a known failover bug — promoting
+//! a node that *skipped replica promotion* (it never held the data) — and
+//! prove the history checker catches the resulting loss of durably-acked
+//! writes. A checker that passes buggy failovers is worse than no checker.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cbs_chaos::{check_history, Ack, HistoryRecorder, OpKind, BUCKET};
+use cbs_cluster::{Cluster, ClusterConfig, Durability, SmartClient};
+use cbs_common::VbId;
+use cbs_json::Value;
+use cbs_kv::VbState;
+
+#[test]
+fn chaos_checker_catches_skipped_replica_promotion() {
+    let cluster = Cluster::homogeneous(3, ClusterConfig::for_test(8, 1));
+    cluster.create_bucket(BUCKET).expect("create bucket");
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("connect");
+    let rec = HistoryRecorder::new();
+
+    // Durably-acked writes across every vBucket.
+    let durability = Durability { replicate_to: 1, persist_to_master: false };
+    for i in 0..24 {
+        let key = format!("teeth-k{i}");
+        let value = 1_000 + i;
+        let invoked = rec.tick();
+        let m = client
+            .upsert_durable(&key, Value::int(value), durability, Duration::from_secs(5))
+            .expect("durable write in a healthy cluster");
+        rec.record(
+            &key,
+            OpKind::Put { value, durable: true },
+            invoked,
+            Ack::Ok { vb: m.vb.0, seqno: m.seqno.0, observed: Some(value) },
+        );
+    }
+
+    // Crash a node, then perform the BUGGY failover by hand: instead of
+    // promoting the replica (which holds the data), route every vBucket
+    // the victim owned to some *other* alive node that never replicated
+    // it. This is exactly the "skipped replica promotion" defect.
+    let victim = cluster.nodes().into_iter().find(|n| n.id().0 == 1).expect("node 1");
+    victim.kill();
+    rec.event("kill node 1", false);
+
+    let mut map = cluster.map(BUCKET).expect("map");
+    rec.event("BUGGY failover node 1 begin", true);
+    let mut moved = 0;
+    for v in 0..map.num_vbuckets() {
+        let vb = VbId(v);
+        if map.active_node(vb) != victim.id() {
+            continue;
+        }
+        let wrong = cluster
+            .nodes()
+            .into_iter()
+            .find(|n| {
+                n.is_alive() && n.id() != victim.id() && !map.replica_nodes(vb).contains(&n.id())
+            })
+            .expect("an alive non-replica node exists in a 3-node cluster");
+        wrong.engine(BUCKET).expect("engine").set_vb_state(vb, VbState::Active);
+        map.active[vb.index()] = wrong.id();
+        moved += 1;
+    }
+    assert!(moved > 0, "victim owned no vBuckets; test setup is wrong");
+    map.epoch += 1;
+    cluster.debug_install_map(BUCKET, map).expect("install corrupted map");
+    rec.event("BUGGY failover node 1 done (skipped replica promotion)", true);
+
+    // Read everything back through a fresh client (new map).
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("reconnect");
+    for i in 0..24 {
+        let key = format!("teeth-k{i}");
+        let vb = client.vb_for_key(&key).0;
+        let invoked = rec.tick();
+        let ack = match client.get(&key) {
+            Ok(r) => Ack::Ok { vb, seqno: 0, observed: r.value.as_i64() },
+            Err(cbs_common::Error::KeyNotFound(_)) => Ack::Ok { vb, seqno: 0, observed: None },
+            Err(e) => Ack::Failed(format!("{e}")),
+        };
+        rec.record(&key, OpKind::Get, invoked, ack);
+    }
+
+    let violations = check_history(&rec.finish());
+    assert!(
+        violations.iter().any(|v| v.rule == "durable-floor"),
+        "checker failed to catch durably-acked writes lost by a skipped replica promotion; \
+         violations: {violations:?}"
+    );
+}
+
+#[test]
+fn chaos_checker_passes_correct_failover() {
+    // Control group: the same scenario with the *real* failover must be
+    // violation-free (replica promotion preserves the durable writes).
+    let cluster = Cluster::homogeneous(3, ClusterConfig::for_test(8, 1));
+    cluster.create_bucket(BUCKET).expect("create bucket");
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("connect");
+    let rec = HistoryRecorder::new();
+
+    let durability = Durability { replicate_to: 1, persist_to_master: false };
+    for i in 0..24 {
+        let key = format!("teeth-k{i}");
+        let value = 1_000 + i;
+        let invoked = rec.tick();
+        let m = client
+            .upsert_durable(&key, Value::int(value), durability, Duration::from_secs(5))
+            .expect("durable write in a healthy cluster");
+        rec.record(
+            &key,
+            OpKind::Put { value, durable: true },
+            invoked,
+            Ack::Ok { vb: m.vb.0, seqno: m.seqno.0, observed: Some(value) },
+        );
+    }
+
+    let victim = cluster.nodes().into_iter().find(|n| n.id().0 == 1).expect("node 1");
+    victim.kill();
+    rec.event("kill node 1", false);
+    rec.event("failover node 1 begin", true);
+    cluster.failover(victim.id()).expect("failover");
+    rec.event("failover node 1 done", true);
+
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("reconnect");
+    for i in 0..24 {
+        let key = format!("teeth-k{i}");
+        let vb = client.vb_for_key(&key).0;
+        let invoked = rec.tick();
+        let ack = match client.get(&key) {
+            Ok(r) => Ack::Ok { vb, seqno: 0, observed: r.value.as_i64() },
+            Err(cbs_common::Error::KeyNotFound(_)) => Ack::Ok { vb, seqno: 0, observed: None },
+            Err(e) => Ack::Failed(format!("{e}")),
+        };
+        rec.record(&key, OpKind::Get, invoked, ack);
+    }
+
+    let violations = check_history(&rec.finish());
+    assert!(violations.is_empty(), "correct failover flagged: {violations:?}");
+}

@@ -80,6 +80,13 @@ impl SmartClient {
         for attempt in 0..MAX_RETRIES {
             let vb = self.vb_for_key(key);
             let node_id = self.map.read().active_node(vb);
+            // Slow-node stalls from the fault-injection seam (chaos
+            // testing): sleep, then perform the operation normally.
+            if let Some(inj) = self.cluster.config().fault_injector.as_ref() {
+                if let Some(stall) = inj.client_dispatch(node_id, vb) {
+                    std::thread::sleep(stall);
+                }
+            }
             let result = self
                 .cluster
                 .node(node_id)

@@ -192,18 +192,41 @@ impl Cluster {
         let mut promoted = 0usize;
         let buckets = self.buckets();
         for bucket in buckets {
-            let mut map = self.inner.map(&bucket)?;
+            // Mutate the installed map in place under the write lock: a
+            // clone-mutate-insert here would clobber concurrent updates
+            // (a rebalance mover's takeover, another failover) that landed
+            // between the clone and the insert — a lost-update race that
+            // can leave a vBucket pointing at a node that no longer owns
+            // it.
+            let mut maps = self.inner.maps.write();
+            let Some(map) = maps.get_mut(&bucket) else { continue };
             let mut changed = false;
             for v in 0..map.num_vbuckets() {
                 let vb = VbId(v);
                 if map.active_node(vb) == dead {
+                    // Promote the most caught-up replica that is alive AND
+                    // still serves the bucket right now (a candidate dying
+                    // between the liveness check and the promotion is just
+                    // skipped; the next failover pass will handle it).
+                    // Choosing the highest seqno both minimises data loss
+                    // and keeps every surviving sibling a strict prefix of
+                    // the new active's lineage — promoting a lagging
+                    // replica would strand the sibling's extra seqnos in a
+                    // divergent branch the pump can never reconcile.
                     let candidate = map
                         .replica_nodes(vb)
                         .iter()
                         .copied()
-                        .find(|r| self.inner.node(*r).map(|n| n.is_alive()).unwrap_or(false));
-                    if let Some(new_active) = candidate {
-                        let engine = self.inner.node(new_active)?.engine(&bucket)?;
+                        .filter_map(|r| {
+                            self.inner
+                                .node(r)
+                                .ok()
+                                .filter(|n| n.is_alive())
+                                .and_then(|n| n.engine(&bucket).ok())
+                                .map(|e| (r, e))
+                        })
+                        .max_by_key(|(_, e)| e.high_seqno(vb));
+                    if let Some((new_active, engine)) = candidate {
                         engine.set_vb_state(vb, VbState::Active);
                         map.active[vb.index()] = new_active;
                         map.replicas[vb.index()].retain(|r| *r != new_active && *r != dead);
@@ -217,10 +240,24 @@ impl Cluster {
             }
             if changed {
                 map.epoch += 1;
-                self.inner.maps.write().insert(bucket.clone(), map);
             }
         }
         Ok(promoted)
+    }
+
+    /// Install a cluster map verbatim, bypassing promotion and backfill
+    /// entirely. Test hook for chaos "teeth" tests that deliberately
+    /// re-introduce known failover bugs (e.g. routing a vBucket to a node
+    /// that skipped replica promotion) to prove the history checker catches
+    /// them. Never called by production code.
+    #[doc(hidden)]
+    pub fn debug_install_map(&self, bucket: &str, map: ClusterMap) -> Result<()> {
+        let mut maps = self.inner.maps.write();
+        if !maps.contains_key(bucket) {
+            return Err(Error::Cluster(format!("unknown bucket {bucket}")));
+        }
+        maps.insert(bucket.to_string(), map);
+        Ok(())
     }
 
     /// Spawn the orchestrator's failure monitor: "If a node in the cluster
@@ -321,14 +358,17 @@ impl Cluster {
 
             // Phase 2: (re)build replica chains. Rebalance is not done
             // until new replicas actually hold the data — a failover right
-            // after rebalance must be safe.
-            let mut map = self.inner.map(&bucket)?;
-            for v in 0..map.num_vbuckets() {
+            // after rebalance must be safe. Map updates are per-vBucket and
+            // in place under the write lock: holding a cloned map across
+            // the (slow) backfills and installing it wholesale at the end
+            // would clobber any concurrent failover's promotions.
+            for v in 0..current.num_vbuckets() {
                 let vb = VbId(v);
                 let wanted = target.replica_nodes(vb).to_vec();
-                let have = map.replica_nodes(vb).to_vec();
+                let snapshot = self.inner.map(&bucket)?;
+                let have = snapshot.replica_nodes(vb).to_vec();
                 for r in &wanted {
-                    if !have.contains(r) && *r != map.active_node(vb) {
+                    if !have.contains(r) && *r != snapshot.active_node(vb) {
                         let engine = self.inner.node(*r)?.engine(&bucket)?;
                         if engine.vb_state(vb) != VbState::Replica {
                             engine.purge_vb(vb)?;
@@ -347,20 +387,32 @@ impl Cluster {
                         }
                     }
                 }
-                for r in &have {
-                    if !wanted.contains(r) {
-                        if let Ok(node) = self.inner.node(*r) {
-                            if let Ok(engine) = node.engine(&bucket) {
-                                engine.purge_vb(vb)?;
-                            }
+                // Install the chain for this vBucket against the *current*
+                // map state, then decide removals from the same consistent
+                // view: a replica that a concurrent failover just promoted
+                // to active must be neither listed nor purged.
+                let removals: Vec<NodeId> = {
+                    let mut maps = self.inner.maps.write();
+                    let map = maps
+                        .get_mut(&bucket)
+                        .ok_or_else(|| Error::Cluster(format!("bucket {bucket} disappeared")))?;
+                    let active = map.active_node(vb);
+                    let new_chain: Vec<NodeId> =
+                        wanted.iter().copied().filter(|r| *r != active).collect();
+                    if map.replicas[vb.index()] != new_chain {
+                        map.replicas[vb.index()] = new_chain;
+                        map.epoch += 1;
+                    }
+                    have.into_iter().filter(|r| !wanted.contains(r) && *r != active).collect()
+                };
+                for r in removals {
+                    if let Ok(node) = self.inner.node(r) {
+                        if let Ok(engine) = node.engine(&bucket) {
+                            engine.purge_vb(vb)?;
                         }
                     }
                 }
-                map.replicas[vb.index()] =
-                    wanted.into_iter().filter(|r| *r != map.active_node(vb)).collect();
             }
-            map.epoch += 1;
-            self.inner.maps.write().insert(bucket.clone(), map);
         }
         Ok(())
     }
@@ -632,7 +684,13 @@ fn topology_snapshot(inner: &Arc<ClusterInner>, bucket: &str) -> PumpTopology {
         .filter(|n| n.is_alive())
         .filter_map(|n| n.index_manager().ok())
         .collect();
-    PumpTopology { map, engines, index_managers, fts_services: vec![Arc::clone(&inner.fts)] }
+    PumpTopology {
+        map,
+        engines,
+        index_managers,
+        fts_services: vec![Arc::clone(&inner.fts)],
+        injector: inner.cfg.fault_injector.clone(),
+    }
 }
 
 fn merge_view_results(partials: Vec<ViewResult>, q: &ViewQuery) -> ViewResult {

@@ -1,7 +1,10 @@
 //! Cluster configuration and multi-dimensional scaling service sets.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::fault::FaultInjector;
 
 /// Which services a node runs (§4.4): "an administrator can choose to run
 /// the Data, Index and Query Services on all or different nodes. This
@@ -60,6 +63,9 @@ pub struct ClusterConfig {
     pub flusher_shards: usize,
     /// Storage fragmentation threshold for compaction.
     pub fragmentation_threshold: f64,
+    /// Optional fault-injection hooks for the simulated transport (chaos
+    /// testing). `None` in production configurations.
+    pub fault_injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl ClusterConfig {
@@ -74,6 +80,20 @@ impl ClusterConfig {
             flush_interval: Duration::from_millis(10),
             flusher_shards: 4,
             fragmentation_threshold: 0.6,
+            fault_injector: None,
+        }
+    }
+
+    /// The test configuration with a fault injector installed (chaos
+    /// harness entry point).
+    pub fn for_chaos(
+        num_vbuckets: u16,
+        num_replicas: u8,
+        injector: Arc<dyn FaultInjector>,
+    ) -> ClusterConfig {
+        ClusterConfig {
+            fault_injector: Some(injector),
+            ..ClusterConfig::for_test(num_vbuckets, num_replicas)
         }
     }
 }

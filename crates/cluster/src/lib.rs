@@ -37,6 +37,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod map;
 pub mod node;
 pub mod query;
@@ -46,6 +47,7 @@ pub mod stats;
 pub use client::{Durability, SmartClient};
 pub use cluster::{AutoFailover, Cluster};
 pub use config::{ClusterConfig, ServiceSet};
+pub use fault::{FaultAction, FaultInjector};
 pub use map::ClusterMap;
 pub use node::Node;
 pub use query::ClusterDatastore;

@@ -21,6 +21,7 @@ use cbs_fts::FtsService;
 use cbs_index::IndexManager;
 use cbs_kv::DataEngine;
 
+use crate::fault::{FaultAction, FaultInjector};
 use crate::map::ClusterMap;
 
 /// A snapshot of everything the pump needs to (re)build streams.
@@ -33,6 +34,9 @@ pub struct PumpTopology {
     pub index_managers: Vec<Arc<IndexManager>>,
     /// Full-text search services to feed (§6.1.3).
     pub fts_services: Vec<Arc<FtsService>>,
+    /// Fault hooks for replica deliveries (chaos testing; `None` in
+    /// production).
+    pub injector: Option<Arc<dyn FaultInjector>>,
 }
 
 /// Callback the pump uses to fetch a fresh topology when the epoch moves.
@@ -88,6 +92,10 @@ fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
     // Per-vb GSI delivery cursor (seqnos survive failover, so resuming by
     // cursor on the new active is correct).
     let mut gsi_cursors: Vec<SeqNo> = vec![SeqNo::ZERO; nvb];
+    // Redelivery counts per (vb, seqno, dst) site, consulted by the fault
+    // injector so it can drop attempt 0 and let the retry through. Entries
+    // are removed once the site is past its fault window.
+    let mut attempts: HashMap<(u16, u64, u32), u32> = HashMap::new();
 
     while !stop.load(Ordering::Relaxed) {
         // Rebuild on epoch change (or when a stream's source died).
@@ -127,13 +135,55 @@ fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
         }
 
         let mut moved = 0usize;
+        let mut dropped = false;
         for (v, slot) in streams.iter_mut().enumerate() {
             let vb = VbId(v as u16);
             if let Some((_, stream)) = &mut slot.repl {
+                // Destinations cut off by a dropped delivery this cycle.
+                // A drop models a connection reset: everything after the
+                // dropped item is lost for that destination too, so its
+                // applied set stays a contiguous seqno prefix and the
+                // rebuild (which resumes from the replicas' minimum high
+                // seqno) redelivers the hole. Delivering *past* a drop
+                // would advance the replica's high seqno over the gap and
+                // the missing item could never be recovered.
+                let mut cut: Vec<NodeId> = Vec::new();
                 for item in stream.drain_available() {
                     for dst_node in topo.map.replica_nodes(vb) {
-                        if let Some(dst) = topo.engines.get(dst_node) {
-                            let _ = dst.apply_replica(&item);
+                        if cut.contains(dst_node) {
+                            continue;
+                        }
+                        let Some(dst) = topo.engines.get(dst_node) else { continue };
+                        let action = match &topo.injector {
+                            Some(inj) => {
+                                let site = (vb.0, item.meta.seqno.0, dst_node.0);
+                                let attempt = *attempts.entry(site).or_insert(0);
+                                let a = inj.repl_delivery(vb, item.meta.seqno, *dst_node, attempt);
+                                if a == FaultAction::Drop {
+                                    attempts.insert(site, attempt + 1);
+                                } else {
+                                    attempts.remove(&site);
+                                }
+                                a
+                            }
+                            None => FaultAction::Deliver,
+                        };
+                        match action {
+                            FaultAction::Deliver => {
+                                let _ = dst.apply_replica(&item);
+                            }
+                            FaultAction::Duplicate => {
+                                let _ = dst.apply_replica(&item);
+                                let _ = dst.apply_replica(&item);
+                            }
+                            FaultAction::Delay(d) => {
+                                std::thread::sleep(d);
+                                let _ = dst.apply_replica(&item);
+                            }
+                            FaultAction::Drop => {
+                                dropped = true;
+                                cut.push(*dst_node);
+                            }
                         }
                     }
                     moved += 1;
@@ -151,6 +201,13 @@ fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
                     moved += 1;
                 }
             }
+        }
+
+        if dropped {
+            // Connection-reset semantics for drops: tear the streams down;
+            // the rebuild reopens each replication stream from the
+            // replicas' minimum high seqno, redelivering what was lost.
+            built_epoch = u64::MAX;
         }
 
         if moved == 0 {

@@ -132,6 +132,36 @@ fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
             files_scanned += 1;
         }
     }
+    // Chaos determinism reaches beyond lib code: the chaos crate's
+    // integration tests and the root `tests/chaos*.rs` suite are the
+    // replayable artifacts, so they get the `chaos-determinism` rule (and
+    // only that rule — the rest are lib-code invariants).
+    let mut chaos_test_files: Vec<PathBuf> = Vec::new();
+    let chaos_tests = crates_dir.join("chaos").join("tests");
+    if chaos_tests.is_dir() {
+        collect_rs_files(&chaos_tests, &mut chaos_test_files)?;
+    }
+    let root_tests = root.join("tests");
+    if root_tests.is_dir() {
+        for entry in std::fs::read_dir(&root_tests)
+            .map_err(|e| format!("reading {}: {e}", root_tests.display()))?
+        {
+            let p = entry.map_err(|e| format!("reading {}: {e}", root_tests.display()))?.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("chaos") && name.ends_with(".rs") {
+                chaos_test_files.push(p);
+            }
+        }
+    }
+    chaos_test_files.sort();
+    for f in chaos_test_files {
+        let text =
+            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
+        findings.extend(rules::lint_chaos_test_file(&rel, &text));
+        files_scanned += 1;
+    }
+
     findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     Ok((findings, files_scanned))
 }
@@ -267,6 +297,52 @@ mod tests {
         let (findings, files) = lint_tree(&root).unwrap();
         assert_eq!(files, 1);
         assert!(findings.is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn chaos_tests_scanned_with_only_the_determinism_rule() {
+        let root = scratch("xtask-chaos");
+        let w = |rel: &str, body: &str| {
+            let p = root.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, body).unwrap();
+        };
+        w("Cargo.toml", "[workspace]\n");
+        // Lib code: both the chaos rule and the crate-wide rules apply.
+        w("crates/chaos/src/lib.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        // Chaos test trees: only chaos-determinism fires — the unwrap and
+        // std-sync hits in the same file must NOT be reported.
+        w(
+            "crates/chaos/tests/determinism.rs",
+            "fn t() { x.unwrap(); let r = rand::thread_rng(); }\n",
+        );
+        w(
+            "tests/chaos_kv.rs",
+            "use std::sync::Mutex;\nfn t() { let s = std::time::SystemTime::now(); }\n",
+        );
+        // Non-chaos root tests stay out of scope entirely.
+        w("tests/integration.rs", "fn t() { let t = std::time::Instant::now(); }\n");
+
+        let (findings, files) = lint_tree(&root).unwrap();
+        assert_eq!(files, 3, "{findings:?}");
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "chaos-determinism"), "{findings:?}");
+        let files_hit: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        assert!(files_hit.contains(&"crates/chaos/src/lib.rs"));
+        assert!(files_hit.contains(&"crates/chaos/tests/determinism.rs"));
+        assert!(files_hit.contains(&"tests/chaos_kv.rs"));
+
+        // An allow with a reason silences the test-file finding.
+        w(
+            "tests/chaos_kv.rs",
+            "fn t() {\n    // lint:allow(chaos-determinism): logged only, never branched on\n    let s = std::time::SystemTime::now();\n}\n",
+        );
+        w("crates/chaos/src/lib.rs", "fn f() {}\n");
+        w("crates/chaos/tests/determinism.rs", "fn t() {}\n");
+        let (findings, _) = lint_tree(&root).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,17 +1,21 @@
 //! The repo-invariant rules.
 //!
-//! Five rules, each encoding a convention this codebase relies on for
+//! Six rules, each encoding a convention this codebase relies on for
 //! correctness but which `rustc`/`clippy` cannot express:
 //!
-//! | rule         | scope                          | invariant                                                |
-//! |--------------|--------------------------------|----------------------------------------------------------|
-//! | `unwrap`     | storage, kv, cache, dcp (lib)  | no `.unwrap()` / `.expect()` on the hot path             |
-//! | `std-sync`   | every crate (lib)              | `parking_lot` locks only, no `std::sync::{Mutex,RwLock}` |
-//! | `guard-io`   | storage (lib)                  | no filesystem *namespace* op while a lock guard is held  |
-//! | `wall-clock` | cluster (lib)                  | no `Instant::now`/`SystemTime::now` in the simulated     |
-//! |              |                                | transport — use `cbs_common::time`                       |
-//! | `obs-naming` | every crate (lib)              | metric/span name literals follow the cbs-obs convention: |
-//! |              |                                | `service.component.metric`, segments `[a-z][a-z0-9_]*`   |
+//! | rule                | scope                          | invariant                                                |
+//! |---------------------|--------------------------------|----------------------------------------------------------|
+//! | `unwrap`            | storage, kv, cache, dcp (lib)  | no `.unwrap()` / `.expect()` on the hot path             |
+//! | `std-sync`          | every crate (lib)              | `parking_lot` locks only, no `std::sync::{Mutex,RwLock}` |
+//! | `guard-io`          | storage (lib)                  | no filesystem *namespace* op while a lock guard is held  |
+//! | `wall-clock`        | cluster (lib)                  | no `Instant::now`/`SystemTime::now` in the simulated     |
+//! |                     |                                | transport — use `cbs_common::time`                       |
+//! | `obs-naming`        | every crate (lib)              | metric/span name literals follow the cbs-obs convention: |
+//! |                     |                                | `service.component.metric`, segments `[a-z][a-z0-9_]*`   |
+//! | `chaos-determinism` | chaos (lib + tests) and the    | no ambient randomness or wall-clock reads                |
+//! |                     | root `tests/chaos*.rs` suite   | (`thread_rng`, `Instant::now`, `SystemTime`) — every     |
+//! |                     |                                | chaos decision must derive from the printed seed so a    |
+//! |                     |                                | failure replays exactly                                  |
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line or
 //! the comment block immediately above it. Reasons are mandatory, unknown
@@ -30,6 +34,8 @@ pub const HOT_PATH_CRATES: &[&str] = &["storage", "kv", "cache", "dcp"];
 pub const STORAGE_CRATE: &str = "storage";
 /// Crate holding the simulated-cluster transport (`wall-clock` scope).
 pub const CLUSTER_CRATE: &str = "cluster";
+/// Crate holding the chaos harness (`chaos-determinism` scope).
+pub const CHAOS_CRATE: &str = "chaos";
 
 /// Filesystem namespace operations: calls that create, destroy, rename or
 /// enumerate directory entries (as opposed to reading/writing an already
@@ -52,7 +58,8 @@ const FS_NAMESPACE_OPS: &[&str] = &[
     "VBucketStore::open",
 ];
 
-const KNOWN_RULES: &[&str] = &["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming"];
+const KNOWN_RULES: &[&str] =
+    &["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming", "chaos-determinism"];
 
 /// Call sites whose first argument, when it is a string literal, must be a
 /// well-formed cbs-obs metric/span name. Dynamic names (`format!`,
@@ -93,9 +100,25 @@ pub fn lint_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
     if crate_name == CLUSTER_CRATE {
         rule_wall_clock(&m, rel_path, &mut findings);
     }
+    if crate_name == CHAOS_CRATE {
+        rule_chaos_determinism(&m, rel_path, &mut findings);
+    }
     let orig_lines: Vec<&str> = src.lines().collect();
     rule_obs_naming(&m, &orig_lines, rel_path, &mut findings);
 
+    apply_allows(&m, rel_path, findings)
+}
+
+/// Lint a chaos *test* file (`crates/chaos/tests/**` or the root
+/// `tests/chaos*.rs` suite). Test trees are normally outside the linter's
+/// scope, but chaos tests are replayable artifacts: a wall-clock read or an
+/// ambient RNG in one silently breaks seed replay. Only the
+/// `chaos-determinism` rule applies — the other rules are lib-code
+/// invariants.
+pub fn lint_chaos_test_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let m = mask(src);
+    let mut findings = Vec::new();
+    rule_chaos_determinism(&m, rel_path, &mut findings);
     apply_allows(&m, rel_path, findings)
 }
 
@@ -304,6 +327,35 @@ fn rule_wall_clock(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+/// `chaos-determinism`: the chaos harness and its tests must be replayable
+/// from a printed seed. Any ambient entropy (`rand::thread_rng`) or
+/// wall-clock read (`Instant::now`, `SystemTime`) breaks that contract —
+/// fault decisions come from seeded hashes, time comes from
+/// `cbs_common::time::Deadline` / plain `Duration`s. Unlike the hot-path
+/// rules this one does NOT exempt `#[cfg(test)]` lines: chaos tests are
+/// exactly the code that must stay deterministic.
+fn rule_chaos_determinism(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
+    for (idx, l) in m.lines.iter().enumerate() {
+        let hits = ["thread_rng", "Instant::now"]
+            .iter()
+            .filter(|n| l.contains(*n))
+            .copied()
+            .chain(contains_word(l, "SystemTime").then_some("SystemTime"));
+        for needle in hits {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "chaos-determinism",
+                msg: format!(
+                    "`{needle}` in chaos code — fault decisions must be pure functions of \
+                     the printed seed (seeded hashes + `cbs_common::time::Deadline`), or \
+                     replay breaks; justify with `// lint:allow(chaos-determinism): <reason>`"
+                ),
+            });
         }
     }
 }
@@ -555,6 +607,41 @@ fn f(&self) {
     fn wall_clock_allow_works() {
         let src = "fn f() {\n    // lint:allow(wall-clock): bench harness timing\n    let t = std::time::Instant::now();\n}\n";
         assert!(lint("cluster", src).is_empty());
+    }
+
+    #[test]
+    fn chaos_determinism_flags_entropy_and_clocks_in_chaos_only() {
+        let src = "fn f() { let mut r = rand::thread_rng(); \
+                   let t = std::time::Instant::now(); \
+                   let s = std::time::SystemTime::now(); }\n";
+        let hits = lint("chaos", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "chaos-determinism").count(), 3, "{hits:?}");
+        // Out of scope: kv is covered by other rules, not this one.
+        assert!(lint("kv", src).iter().all(|f| f.rule != "chaos-determinism"));
+    }
+
+    #[test]
+    fn chaos_determinism_covers_cfg_test_blocks_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n";
+        assert!(lint("chaos", src).iter().any(|f| f.rule == "chaos-determinism"));
+    }
+
+    #[test]
+    fn chaos_determinism_word_boundary_and_allow() {
+        // `MySystemTimer` must not word-match `SystemTime`.
+        assert!(lint("chaos", "fn f(x: MySystemTimer) {}\n").is_empty());
+        let allowed = "fn f() {\n    // lint:allow(chaos-determinism): wall-clock only logged, never branched on\n    let t = std::time::Instant::now();\n}\n";
+        assert!(lint("chaos", allowed).is_empty());
+    }
+
+    #[test]
+    fn chaos_test_file_linter_applies_only_the_chaos_rule() {
+        let src = "fn t() {\n    x.unwrap();\n    let g: std::sync::Mutex<u8>;\n    \
+                   let t = Instant::now();\n}\n";
+        let f = lint_chaos_test_file("tests/chaos_kv.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "chaos-determinism");
+        assert_eq!(f[0].line, 4);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pre-PR verification gate (DESIGN.md §9). Run from anywhere in the repo.
 #
-#   scripts/check.sh          # full gate: static analysis + models + tests
-#   scripts/check.sh --quick  # static analysis + concurrency models only
+#   scripts/check.sh             # full gate: static analysis + models + tests
+#   scripts/check.sh --quick     # static analysis + concurrency models only
+#   scripts/check.sh chaos-smoke # fixed-seed chaos smoke run only (<10s)
 #
 # Stages:
 #   1. cargo fmt --check          formatting (rustfmt.toml)
@@ -11,8 +12,11 @@
 #   3. cargo clippy -D warnings   workspace lint walls ([workspace.lints])
 #   4. model suite                lock-order detector + flusher protocol
 #                                 models (exhaustive interleaving search)
-#   5. full test suite            (skipped with --quick)
-#   6. TSan / Miri subset         best-effort: requires nightly toolchain
+#   5. chaos smoke                fixed-seed fault-injection run (<10s)
+#                                 against a 3-node cluster; the seed sweep
+#                                 in the full suite honors CHAOS_SEEDS=n
+#   6. full test suite            (skipped with --quick)
+#   7. TSan / Miri subset         best-effort: requires nightly toolchain
 #                                 with rust-src / miri; skipped gracefully
 #                                 when the components are not installed.
 set -u
@@ -35,6 +39,24 @@ run() {
     fi
 }
 
+# Deterministic fault-injection smoke: one fixed-seed chaos run (seeded
+# message drop/delay/dup + failover) through the full history checker.
+# Finishes in well under 10s; failures print a one-line replay command.
+# The full suite's seed sweep widens with CHAOS_SEEDS=n (default 2).
+chaos_smoke() {
+    cargo test --quiet --test chaos_kv chaos_smoke -- --exact
+}
+
+if [ "${1:-}" = "chaos-smoke" ]; then
+    run "chaos smoke (fixed seed)" chaos_smoke
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh chaos-smoke: FAILED"
+        exit 1
+    fi
+    echo "check.sh chaos-smoke: passed"
+    exit 0
+fi
+
 run "fmt" cargo fmt --all --check
 run "xtask lint" cargo xtask lint
 run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -D warnings
@@ -44,6 +66,7 @@ run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -
 # the PR-1 race fixes (checkpoint/drain, shutdown wakeup, failed-drain).
 run "lock-order + explorer (cbs-common)" cargo test --quiet -p cbs-common --features lock-order
 run "flusher protocol models" cargo test --quiet -p cbs-kv --test flusher_models
+run "chaos smoke (fixed seed)" chaos_smoke
 
 if [ "$QUICK" -eq 1 ]; then
     if [ "$FAILED" -ne 0 ]; then

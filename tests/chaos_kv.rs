@@ -1,0 +1,106 @@
+//! Chaos integration suite: seeded workloads × fault schedules against
+//! 3–4 node clusters, checked for per-key consistency, seqno
+//! monotonicity, durable-write survival and replica convergence.
+//!
+//! Every test fails with a printed seed and a one-line replay command
+//! (see `cbs_chaos::expect_clean`). `CHAOS_SEEDS=n` widens the sweep
+//! test; `CHAOS_SEED=…` re-points any run.
+
+use std::time::Duration;
+
+use cbs_chaos::{expect_clean, ChaosConfig, Profile};
+
+fn cfg(seed: u64, schedule: &str) -> ChaosConfig {
+    let mut c = ChaosConfig::new(seed);
+    c.schedule = schedule.to_string();
+    c.settle = Duration::from_secs(20);
+    c
+}
+
+/// Fixed-seed fast path for `scripts/check.sh chaos-smoke` (<10s).
+#[test]
+fn chaos_smoke() {
+    let mut c = cfg(0x5EED, "drop-delay-failover").from_env();
+    c.ops = 150;
+    expect_clean(&c);
+}
+
+// ---------------------------------------------------------------------
+// The eight seeded fault schedules (distinct seeds, distinct shapes).
+// ---------------------------------------------------------------------
+
+/// Message drops + delays + duplicates with a mid-run failover, the
+/// canonical lossy-network scenario.
+#[test]
+fn chaos_drop_delay_failover() {
+    expect_clean(&cfg(101, "drop-delay-failover"));
+}
+
+/// A node crashes while a background rebalance is mid-flight.
+#[test]
+fn chaos_crash_during_rebalance() {
+    let mut c = cfg(202, "crash-during-rebalance");
+    c.nodes = 4;
+    expect_clean(&c);
+}
+
+/// Two full kill → failover → revive → rebalance cycles in one run.
+#[test]
+fn chaos_kill_revive_storm() {
+    let mut c = cfg(303, "kill-revive-storm");
+    c.ops = 600;
+    expect_clean(&c);
+}
+
+/// Cluster growth under load: two added nodes, three rebalances (one in
+/// the background), no crashes.
+#[test]
+fn chaos_rebalance_churn() {
+    expect_clean(&cfg(404, "rebalance-churn"));
+}
+
+/// Failover with no revive: the cluster runs degraded until the heal
+/// phase re-integrates the node.
+#[test]
+fn chaos_failover_no_revive() {
+    expect_clean(&cfg(505, "failover-no-revive"));
+}
+
+/// Reordering pressure: heavy delays and duplicates, no drops, against
+/// the storm schedule.
+#[test]
+fn chaos_jittery_storm() {
+    let mut c = cfg(606, "kill-revive-storm");
+    c.profile = Profile::Jittery;
+    c.ops = 600;
+    expect_clean(&c);
+}
+
+/// Double-replica cluster: failover must promote the most caught-up
+/// replica and the surviving sibling must converge to the new lineage.
+#[test]
+fn chaos_two_replicas_failover() {
+    let mut c = cfg(707, "drop-delay-failover");
+    c.nodes = 4;
+    c.replicas = 2;
+    expect_clean(&c);
+}
+
+/// Seeded schedule: the template and its event timings derive from the
+/// seed itself.
+#[test]
+fn chaos_seeded_schedule() {
+    expect_clean(&cfg(808, "seeded"));
+}
+
+/// Seed sweep, widened by `CHAOS_SEEDS=n` (default 2): distinct seeds
+/// explore distinct fault patterns *and* distinct seeded schedules.
+#[test]
+fn chaos_seed_sweep() {
+    let n: u64 = std::env::var("CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    for seed in 0..n {
+        let mut c = cfg(0xBA5E + seed * 7919, "seeded");
+        c.ops = 250;
+        expect_clean(&c);
+    }
+}

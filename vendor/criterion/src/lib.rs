@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A minimal wall-clock benchmark harness with the API subset this repo's
+//! benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics beyond
+//! mean-of-samples, no HTML reports, no comparison to baselines — it times
+//! the closure, prints one line per benchmark, and moves on. Good enough to
+//! keep `cargo bench` working and spot order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]. Only used to
+/// pick an iteration count here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup outputs; many iterations per sample.
+    SmallInput,
+    /// Large setup outputs; fewer iterations per sample.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Respect the CLI filter arg cargo-bench passes through
+        // (`cargo bench -- <filter>`); flags like --bench are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 30,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            samples: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(r) => {
+                let per_iter = r.total.as_secs_f64() / r.iters.max(1) as f64;
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Bytes(n) => {
+                        format!(", {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+                    }
+                    Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / per_iter),
+                });
+                println!("{full:<48} {}{}", fmt_time(per_iter), rate.unwrap_or_default());
+            }
+            None => println!("{full:<48} (no measurement)"),
+        }
+    }
+
+    /// End the group (formatting hook in the real crate; no-op here).
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up while calibrating iterations-per-sample.
+        let warm_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / calib_iters.max(1) as f64;
+        let per_sample =
+            ((self.measurement.as_secs_f64() / self.samples as f64 / per_iter.max(1e-9)) as u64)
+                .max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += per_sample;
+        }
+        self.result = Some(Measurement { total, iters });
+    }
+
+    /// Time `routine` over inputs produced by `setup`, excluding setup time
+    /// where the batch size allows (`PerIteration` times each call alone).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        let batch: u64 = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+        };
+        // Short warm-up: one batch.
+        for _ in 0..batch {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.result = Some(Measurement { total, iters });
+    }
+}
+
+/// Opaque value barrier to keep the optimizer from deleting benchmarked
+/// work (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>10.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>10.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>10.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:>10.2} s/iter")
+    }
+}
+
+/// Declare a benchmark group: either the `name/config/targets` form or the
+/// plain list-of-functions form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut hits = 0u64;
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::PerIteration)
+        });
+        hits += 1;
+        g.finish();
+        assert_eq!(hits, 1);
+    }
+}

