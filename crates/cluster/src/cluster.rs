@@ -28,6 +28,10 @@ pub(crate) struct ClusterInner {
     /// The query service's metrics registry ("any query node can receive a
     /// statement"; in-process the query nodes share one registry).
     pub query_registry: Arc<cbs_obs::Registry>,
+    /// The query service's request log (active set + completed ring),
+    /// feeding `system:active_requests` / `system:completed_requests`.
+    /// Shared across query nodes the way the registry is.
+    pub request_log: Arc<cbs_n1ql::RequestLog>,
 }
 
 impl ClusterInner {
@@ -83,6 +87,7 @@ impl Cluster {
                 nodes: RwLock::new(nodes),
                 maps: RwLock::new(HashMap::new()),
                 query_registry: Arc::new(cbs_obs::Registry::new("n1ql")),
+                request_log: Arc::new(cbs_n1ql::RequestLog::new("n1ql")),
             }),
             pumps: Mutex::new(HashMap::new()),
             next_node_id: Mutex::new(next),
@@ -592,6 +597,12 @@ impl Cluster {
         &self.inner.query_registry
     }
 
+    /// The query service's request log — the live backing store of the
+    /// `system:active_requests` / `system:completed_requests` keyspaces.
+    pub fn request_log(&self) -> &Arc<cbs_n1ql::RequestLog> {
+        &self.inner.request_log
+    }
+
     /// Freeze every registry in the cluster into one typed snapshot:
     /// per node, per service, per bucket, per vBucket — plus the slow-op
     /// rings of every service, span trees included.
@@ -631,7 +642,13 @@ impl Cluster {
             cluster_services.push(registry.snapshot());
             slow_ops.extend(registry.slow_ops());
         }
-        crate::stats::ClusterStats { nodes, cluster_services, slow_ops }
+        crate::stats::ClusterStats {
+            nodes,
+            cluster_services,
+            slow_ops,
+            completed_requests: self.inner.request_log.completed_rows(),
+            active_requests: self.inner.request_log.active_rows(),
+        }
     }
 
     /// Set the slow-op capture threshold on every registry in the cluster
@@ -649,6 +666,9 @@ impl Cluster {
         }
         self.inner.query_registry.set_slow_threshold(threshold);
         self.inner.fts.registry().set_slow_threshold(threshold);
+        // Keep the request log's admission threshold in step so "slow"
+        // means the same thing in the slow-op ring and the completed ring.
+        self.inner.request_log.set_threshold(threshold);
     }
 }
 

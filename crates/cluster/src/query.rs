@@ -26,6 +26,13 @@ pub struct ClusterDatastore {
     requests: Arc<cbs_obs::Counter>,
     errors: Arc<cbs_obs::Counter>,
     latency: Arc<cbs_obs::Histogram>,
+    /// Per-phase latency breakdowns (only non-zero phases are recorded, so
+    /// e.g. `n1ql.phase.index_scan` counts only queries that scanned GSI).
+    phase_plan: Arc<cbs_obs::Histogram>,
+    phase_index_scan: Arc<cbs_obs::Histogram>,
+    phase_primary_scan: Arc<cbs_obs::Histogram>,
+    phase_fetch: Arc<cbs_obs::Histogram>,
+    phase_run: Arc<cbs_obs::Histogram>,
 }
 
 impl ClusterDatastore {
@@ -35,9 +42,28 @@ impl ClusterDatastore {
         ClusterDatastore {
             cluster,
             clients: RwLock::new(Vec::new()),
-            requests: registry.counter("n1ql.query.requests"),
-            errors: registry.counter("n1ql.query.errors"),
-            latency: registry.histogram("n1ql.query.latency"),
+            requests: registry.counter_with_help("n1ql.query.requests", "N1QL statements received"),
+            errors: registry.counter_with_help("n1ql.query.errors", "N1QL statements that failed"),
+            latency: registry
+                .histogram_with_help("n1ql.query.latency", "End-to-end N1QL request service time"),
+            phase_plan: registry
+                .histogram_with_help("n1ql.phase.plan", "Per-request parse + plan time"),
+            phase_index_scan: registry.histogram_with_help(
+                "n1ql.phase.index_scan",
+                "Per-request GSI scan time (index service included)",
+            ),
+            phase_primary_scan: registry.histogram_with_help(
+                "n1ql.phase.primary_scan",
+                "Per-request primary (full keyspace) scan time",
+            ),
+            phase_fetch: registry.histogram_with_help(
+                "n1ql.phase.fetch",
+                "Per-request KV fetch time (data service included)",
+            ),
+            phase_run: registry.histogram_with_help(
+                "n1ql.phase.run",
+                "Per-request executor time outside scans and fetches",
+            ),
         }
     }
 
@@ -61,10 +87,28 @@ impl ClusterDatastore {
         let _timer = self.latency.timer();
         let _trace = self.cluster.query_registry().trace("n1ql.query.execute");
         let result = cbs_n1ql::query(self, statement, opts);
-        if result.is_err() {
-            self.errors.inc();
+        match &result {
+            Ok(r) => self.record_phases(&r.phases),
+            Err(_) => self.errors.inc(),
         }
         result
+    }
+
+    /// Feed a finished request's phase rollups into the per-phase
+    /// histograms (zero phases skipped — a query that never scanned an
+    /// index should not drag `n1ql.phase.index_scan` toward zero).
+    fn record_phases(&self, phases: &cbs_n1ql::PhaseTimes) {
+        for (histogram, d) in [
+            (&self.phase_plan, phases.plan),
+            (&self.phase_index_scan, phases.index_scan),
+            (&self.phase_primary_scan, phases.primary_scan),
+            (&self.phase_fetch, phases.fetch),
+            (&self.phase_run, phases.run),
+        ] {
+            if !d.is_zero() {
+                histogram.record(d);
+            }
+        }
     }
 }
 
@@ -158,6 +202,95 @@ impl Datastore for ClusterDatastore {
         let source =
             ClusterBackfill { cluster: Arc::clone(&self.cluster), bucket: keyspace.to_string() };
         mgr.build(keyspace, name, &source)
+    }
+
+    fn request_log(&self) -> Option<&cbs_n1ql::RequestLog> {
+        Some(self.cluster.request_log())
+    }
+
+    /// The `system:` catalog keyspaces, backed live by cluster state — the
+    /// Query Catalog of §4.3.5 exposed through N1QL itself.
+    fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
+        match keyspace {
+            "system:completed_requests" => Ok(self.cluster.request_log().completed_rows()),
+            "system:active_requests" => Ok(self.cluster.request_log().active_rows()),
+            "system:indexes" => {
+                // Every definition on every index-service node, deduped by
+                // keyspace/name (managers replicate definitions).
+                let mut rows = std::collections::BTreeMap::new();
+                for mgr in self.cluster.index_managers() {
+                    for bucket in self.cluster.buckets() {
+                        for def in mgr.list(&bucket) {
+                            let state = match mgr.state(&bucket, &def.name) {
+                                Ok(cbs_index::IndexState::Online) => "online",
+                                Ok(cbs_index::IndexState::Building) => "building",
+                                _ => "deferred",
+                            };
+                            rows.entry(format!("{bucket}/{}", def.name)).or_insert_with(|| {
+                                Value::object([
+                                    ("name", Value::from(def.name.as_str())),
+                                    ("keyspace", Value::from(bucket.as_str())),
+                                    ("isPrimary", Value::Bool(def.primary)),
+                                    ("state", Value::from(state)),
+                                    ("using", Value::from("gsi")),
+                                ])
+                            });
+                        }
+                    }
+                }
+                Ok(rows.into_iter().collect())
+            }
+            "system:keyspaces" => {
+                let mut rows = Vec::new();
+                for bucket in self.cluster.buckets() {
+                    let mut count = 0usize;
+                    for node in self.cluster.nodes() {
+                        if !node.is_alive() || !node.services().data {
+                            continue;
+                        }
+                        if let Ok(engine) = node.engine(&bucket) {
+                            count += engine.scan_active_docs()?.len();
+                        }
+                    }
+                    rows.push((
+                        bucket.clone(),
+                        Value::object([
+                            ("name", Value::from(bucket.as_str())),
+                            ("count", Value::from(count)),
+                        ]),
+                    ));
+                }
+                Ok(rows)
+            }
+            "system:nodes" => Ok(self
+                .cluster
+                .nodes()
+                .iter()
+                .map(|node| {
+                    let s = node.services();
+                    let mut services = Vec::new();
+                    if s.data {
+                        services.push(Value::from("kv"));
+                    }
+                    if s.index {
+                        services.push(Value::from("index"));
+                    }
+                    if s.query {
+                        services.push(Value::from("n1ql"));
+                    }
+                    let name = format!("n{}", node.id().0);
+                    (
+                        name.clone(),
+                        Value::object([
+                            ("name", Value::from(name.as_str())),
+                            ("alive", Value::Bool(node.is_alive())),
+                            ("services", Value::Array(services)),
+                        ]),
+                    )
+                })
+                .collect()),
+            other => Err(Error::Plan(format!("no such keyspace: {other}"))),
+        }
     }
 }
 

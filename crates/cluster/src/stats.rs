@@ -11,6 +11,7 @@
 //! have recorded.
 
 use cbs_common::NodeId;
+use cbs_json::Value;
 use cbs_kv::VbucketStats;
 use cbs_obs::{HistogramSnapshot, PrometheusText, RegistrySnapshot, SlowOp};
 
@@ -52,6 +53,13 @@ pub struct ClusterStats {
     /// Slow operations drained from every registry's ring, with full span
     /// trees (oldest first within each source registry).
     pub slow_ops: Vec<SlowOp>,
+    /// The query service's retained completed requests (slow or failed),
+    /// oldest first — the rows of `system:completed_requests`, keyed by
+    /// request id.
+    pub completed_requests: Vec<(String, Value)>,
+    /// Requests in flight at snapshot time — the rows of
+    /// `system:active_requests`, keyed by request id.
+    pub active_requests: Vec<(String, Value)>,
 }
 
 impl ClusterStats {

@@ -1,0 +1,198 @@
+//! End-to-end query profiling over a real cluster: PROFILE phase coverage,
+//! the `system:` introspection keyspaces, the completed-request ring, and
+//! the per-phase query histograms on the cbstats surface.
+
+use std::time::{Duration, Instant};
+
+use cbs_core::{CouchbaseCluster, QueryOptions, Value};
+
+fn seeded_cluster(docs: usize) -> std::sync::Arc<CouchbaseCluster> {
+    let cluster = CouchbaseCluster::homogeneous(2, cbs_core::ClusterConfig::for_test(32, 0));
+    let bucket = cluster.create_bucket("default").unwrap();
+    for i in 0..docs {
+        bucket
+            .upsert(
+                &format!("user::{i}"),
+                Value::object([
+                    ("name", Value::from(format!("user{i}"))),
+                    ("age", Value::int((i % 60) as i64 + 18)),
+                ]),
+            )
+            .unwrap();
+    }
+    cluster.query("CREATE INDEX by_age ON default(age)", &QueryOptions::default()).unwrap();
+    cluster
+}
+
+#[test]
+fn profile_phases_cover_most_of_an_index_scan_query() {
+    let cluster = seeded_cluster(2000);
+    let opts = QueryOptions::default().request_plus();
+    let t0 = Instant::now();
+    let res = cluster
+        .query("PROFILE SELECT name, age FROM default WHERE age >= 20 ORDER BY age", &opts)
+        .unwrap();
+    let wall = t0.elapsed();
+
+    assert_eq!(res.rows.len(), 1, "PROFILE returns the annotated plan");
+    let row = &res.rows[0];
+    assert!(row.get_field("phaseTimes").is_some());
+    let ops = row
+        .get_field("plan")
+        .and_then(|p| p.get_field("operators"))
+        .and_then(Value::as_array)
+        .unwrap();
+    assert!(
+        ops.iter().any(|o| {
+            o.get_field("operator").and_then(Value::as_str) == Some("IndexScan")
+                && o.get_field("#stats").is_some()
+        }),
+        "index scan carries runtime stats"
+    );
+
+    // The rollups must explain at least 90% of the request's wall time —
+    // the profiler attributes real time, it doesn't guess.
+    let covered = res.phases.total();
+    assert!(
+        covered >= wall.mul_f64(0.9) - Duration::from_millis(1),
+        "phases {covered:?} cover >=90% of wall {wall:?}"
+    );
+    // And they never exceed it.
+    assert!(covered <= wall);
+}
+
+#[test]
+fn slow_queries_land_in_completed_requests() {
+    let cluster = seeded_cluster(50);
+    // Everything is "slow" at a zero threshold.
+    cluster.set_slow_threshold(Duration::ZERO);
+    cluster
+        .query(
+            "SELECT name FROM default WHERE age >= 30",
+            &QueryOptions::default().request_plus().client_context_id("probe-1"),
+        )
+        .unwrap();
+
+    // The request log is queryable through N1QL itself.
+    let res =
+        cluster.query("SELECT * FROM system:completed_requests", &QueryOptions::default()).unwrap();
+    let entry = res
+        .rows
+        .iter()
+        .filter_map(|r| r.get_field("completed_requests"))
+        .find(|r| r.get_field("clientContextID").and_then(Value::as_str) == Some("probe-1"))
+        .expect("probed request retained in system:completed_requests");
+    assert_eq!(entry.get_field("state").and_then(Value::as_str), Some("completed"));
+    assert_eq!(
+        entry.get_field("statement").and_then(Value::as_str),
+        Some("SELECT name FROM default WHERE age >= 30")
+    );
+    let plan = entry.get_field("plan").and_then(Value::as_str).unwrap();
+    assert!(plan.contains("IndexScan(by_age)"), "plan summary names the index: {plan}");
+    assert!(entry.get_field("phaseTimes").is_some());
+
+    // The same rows ride the cbstats snapshot.
+    let stats = cluster.stats();
+    assert!(stats.completed_requests.iter().any(|(_, v)| {
+        v.get_field("clientContextID").and_then(Value::as_str) == Some("probe-1")
+    }));
+    assert!(stats.active_requests.is_empty(), "nothing in flight between queries");
+
+    // WHERE works against the catalog like any keyspace.
+    let failed = cluster
+        .query(
+            "SELECT * FROM system:completed_requests r WHERE r.state = 'failed'",
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert!(failed.rows.is_empty(), "no failed requests yet");
+}
+
+#[test]
+fn per_request_threshold_override_beats_cluster_setting() {
+    let cluster = seeded_cluster(10);
+    // Cluster-wide threshold stays at the default (100ms unless the
+    // CBS_SLOW_OP_MS env says otherwise): a fast query is not retained.
+    cluster.query("SELECT 1 + 1 AS x", &QueryOptions::default().client_context_id("fast")).unwrap();
+    // A zero per-request threshold retains this one regardless.
+    cluster
+        .query(
+            "SELECT 2 + 2 AS x",
+            &QueryOptions::default().client_context_id("kept").slow_threshold(Duration::ZERO),
+        )
+        .unwrap();
+    let rows = cluster.stats().completed_requests;
+    let ids: Vec<&str> = rows
+        .iter()
+        .filter_map(|(_, v)| v.get_field("clientContextID").and_then(Value::as_str))
+        .collect();
+    assert!(ids.contains(&"kept"), "per-request override admits the request");
+    assert!(!ids.contains(&"fast"), "default threshold filters fast requests");
+}
+
+#[test]
+fn completed_ring_stays_bounded_under_load() {
+    let cluster = seeded_cluster(10);
+    cluster.set_slow_threshold(Duration::ZERO);
+    for i in 0..10_000 {
+        cluster.query(&format!("SELECT {i} AS x"), &QueryOptions::default()).unwrap();
+    }
+    let rows = cluster
+        .query("SELECT * FROM system:completed_requests", &QueryOptions::default())
+        .unwrap()
+        .rows;
+    assert!(rows.len() <= 256, "completed ring bounded, got {}", rows.len());
+    assert!(rows.len() >= 200, "ring retains a meaningful tail, got {}", rows.len());
+}
+
+#[test]
+fn system_catalogs_reflect_cluster_state() {
+    let cluster = seeded_cluster(25);
+
+    let idx = cluster.query("SELECT * FROM system:indexes", &QueryOptions::default()).unwrap();
+    let defs: Vec<&Value> = idx.rows.iter().filter_map(|r| r.get_field("indexes")).collect();
+    assert!(defs.iter().any(|d| {
+        d.get_field("name").and_then(Value::as_str) == Some("by_age")
+            && d.get_field("state").and_then(Value::as_str) == Some("online")
+            && d.get_field("keyspace").and_then(Value::as_str) == Some("default")
+    }));
+
+    let ks = cluster.query("SELECT * FROM system:keyspaces", &QueryOptions::default()).unwrap();
+    let default_ks = ks
+        .rows
+        .iter()
+        .filter_map(|r| r.get_field("keyspaces"))
+        .find(|k| k.get_field("name").and_then(Value::as_str) == Some("default"))
+        .expect("default bucket listed");
+    assert_eq!(default_ks.get_field("count"), Some(&Value::int(25)));
+
+    let nodes = cluster.query("SELECT * FROM system:nodes", &QueryOptions::default()).unwrap();
+    assert_eq!(nodes.rows.len(), 2, "both nodes listed");
+    for row in &nodes.rows {
+        let n = row.get_field("nodes").unwrap();
+        assert_eq!(n.get_field("alive"), Some(&Value::Bool(true)));
+        let services = n.get_field("services").and_then(Value::as_array).unwrap();
+        assert!(!services.is_empty());
+    }
+
+    // An unknown catalog is a plan-time error.
+    assert!(cluster.query("SELECT * FROM system:bogus", &QueryOptions::default()).is_err());
+}
+
+#[test]
+fn phase_histograms_and_help_reach_prometheus() {
+    let cluster = seeded_cluster(200);
+    cluster
+        .query("SELECT name FROM default WHERE age >= 30", &QueryOptions::default().request_plus())
+        .unwrap();
+    let stats = cluster.stats();
+    let merged = stats.merged();
+    assert!(merged.histogram("n1ql.phase.index_scan").count() >= 1, "index-scan phase recorded");
+    assert!(merged.histogram("n1ql.phase.run").count() >= 1, "run phase recorded");
+    assert!(merged.histogram("n1ql.phase.plan").count() >= 1, "plan phase recorded");
+
+    let prom = stats.prometheus();
+    assert!(prom.contains("# HELP cbs_n1ql_phase_index_scan "), "HELP line rendered:\n{prom}");
+    assert!(prom.contains("# TYPE cbs_n1ql_phase_index_scan summary"));
+    assert!(prom.contains("# HELP cbs_n1ql_query_latency "));
+}

@@ -200,6 +200,23 @@ impl Value {
         }
     }
 
+    /// Mutably borrow as array.
+    #[inline]
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutably look up a field of an object (MISSING ⇒ `None`).
+    pub fn get_field_mut(&mut self, name: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter_mut().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// Index into an array. Negative indexes count from the end (N1QL
     /// semantics: `a[-1]` is the last element).
     pub fn get_index(&self, idx: i64) -> Option<&Value> {

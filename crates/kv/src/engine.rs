@@ -319,6 +319,10 @@ impl DataEngine {
 
     /// Read a document by key.
     pub fn get(&self, key: &str) -> Result<GetResult> {
+        // Service-entry trace: standalone gets become slow-op candidates;
+        // gets issued inside a query nest under the request's span tree,
+        // where the profiler attributes them to the fetch phase.
+        let _trace = self.registry.trace("kv.engine.get");
         let vb = self.vb_for_key(key);
         let start = Instant::now();
         let result = self.get_in_vb(vb, key);

@@ -220,6 +220,9 @@ pub enum Statement {
     BuildIndex { keyspace: String, names: Vec<String> },
     /// `EXPLAIN <statement>`.
     Explain(Box<Statement>),
+    /// `PROFILE <statement>` — execute, returning the EXPLAIN-shaped plan
+    /// annotated with per-operator runtime stats and phase timings.
+    Profile(Box<Statement>),
 }
 
 /// One indexed key in CREATE INDEX: a path, optionally `DISTINCT ARRAY x

@@ -19,6 +19,8 @@ use cbs_index::{IndexDef, IndexEntry, Projector, ScanConsistency, ScanRange};
 use cbs_json::Value;
 use parking_lot::RwLock;
 
+use crate::profile::RequestLog;
+
 /// Abstract data + index access for the query engine.
 pub trait Datastore: Send + Sync {
     /// Does a keyspace (bucket) exist?
@@ -69,6 +71,21 @@ pub trait Datastore: Send + Sync {
 
     /// BUILD INDEX for deferred definitions.
     fn build_index(&self, keyspace: &str, name: &str) -> Result<()>;
+
+    /// Scan a `system:` catalog keyspace (`system:completed_requests`,
+    /// `system:active_requests`, `system:indexes`, `system:keyspaces`,
+    /// `system:nodes`), returning `(key, document)` rows backed live by
+    /// service state. Datastores without introspection reject all of them.
+    fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
+        Err(Error::Plan(format!("no such keyspace: {keyspace}")))
+    }
+
+    /// The query service's request log, when this datastore has one. The
+    /// query pipeline admits/retires every request through it, feeding
+    /// `system:completed_requests` and `system:active_requests`.
+    fn request_log(&self) -> Option<&RequestLog> {
+        None
+    }
 }
 
 #[derive(Default)]
@@ -79,10 +96,21 @@ struct MemKeyspace {
 
 /// An in-memory [`Datastore`] for tests and examples: documents in
 /// B-trees, index scans computed on the fly from the same [`IndexDef`]
-/// projection logic the real index service uses.
-#[derive(Default)]
+/// projection logic the real index service uses. Carries its own
+/// [`RequestLog`], so `system:completed_requests` and friends work
+/// without a cluster.
 pub struct MemoryDatastore {
     keyspaces: RwLock<BTreeMap<String, MemKeyspace>>,
+    request_log: RequestLog,
+}
+
+impl Default for MemoryDatastore {
+    fn default() -> Self {
+        MemoryDatastore {
+            keyspaces: RwLock::new(BTreeMap::new()),
+            request_log: RequestLog::new("mem"),
+        }
+    }
 }
 
 impl MemoryDatastore {
@@ -274,6 +302,60 @@ impl Datastore for MemoryDatastore {
             }
         }
         Err(Error::Index(format!("no such index: {name}")))
+    }
+
+    fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
+        match keyspace {
+            "system:completed_requests" => Ok(self.request_log.completed_rows()),
+            "system:active_requests" => Ok(self.request_log.active_rows()),
+            "system:indexes" => {
+                let map = self.keyspaces.read();
+                let mut rows = Vec::new();
+                for (ks_name, ks) in map.iter() {
+                    for (def, online) in &ks.indexes {
+                        rows.push((
+                            format!("{ks_name}/{}", def.name),
+                            Value::object([
+                                ("name", Value::from(def.name.as_str())),
+                                ("keyspace", Value::from(ks_name.as_str())),
+                                ("isPrimary", Value::Bool(def.primary)),
+                                ("state", Value::from(if *online { "online" } else { "deferred" })),
+                                ("using", Value::from("gsi")),
+                            ]),
+                        ));
+                    }
+                }
+                Ok(rows)
+            }
+            "system:keyspaces" => {
+                let map = self.keyspaces.read();
+                Ok(map
+                    .iter()
+                    .map(|(name, ks)| {
+                        (
+                            name.clone(),
+                            Value::object([
+                                ("name", Value::from(name.as_str())),
+                                ("count", Value::from(ks.docs.len())),
+                            ]),
+                        )
+                    })
+                    .collect())
+            }
+            "system:nodes" => Ok(vec![(
+                "mem".to_string(),
+                Value::object([
+                    ("name", Value::from("mem")),
+                    ("alive", Value::Bool(true)),
+                    ("services", Value::Array(vec![Value::from("n1ql")])),
+                ]),
+            )]),
+            other => Err(Error::Plan(format!("no such keyspace: {other}"))),
+        }
+    }
+
+    fn request_log(&self) -> Option<&RequestLog> {
+        Some(&self.request_log)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::ast::*;
 use crate::datastore::Datastore;
 use crate::eval::{collect_aggregates, eval, expr_fingerprint, truth, EvalCtx, Truth};
 use crate::plan::{AccessPath, QueryPlan, SelectPlan};
+use crate::profile::{PhaseTimes, Prof};
 
 /// Request-level options (parameters + consistency, §3.2.3).
 #[derive(Debug, Clone)]
@@ -29,6 +30,12 @@ pub struct QueryOptions {
     pub request_plus: bool,
     /// Index catch-up / scan timeout.
     pub timeout: Duration,
+    /// Client-supplied context id, echoed into the request log and the
+    /// `system:completed_requests` / `system:active_requests` rows.
+    pub client_context_id: Option<String>,
+    /// Per-request override of the completed-requests threshold (`None`
+    /// uses the service-wide setting; `Some(Duration::ZERO)` always logs).
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for QueryOptions {
@@ -38,6 +45,8 @@ impl Default for QueryOptions {
             named_params: HashMap::new(),
             request_plus: false,
             timeout: Duration::from_secs(30),
+            client_context_id: None,
+            slow_threshold: None,
         }
     }
 }
@@ -51,6 +60,18 @@ impl QueryOptions {
     /// Enable `request_plus` scan consistency.
     pub fn request_plus(mut self) -> QueryOptions {
         self.request_plus = true;
+        self
+    }
+
+    /// Set the per-request completed-requests threshold.
+    pub fn slow_threshold(mut self, d: Duration) -> QueryOptions {
+        self.slow_threshold = Some(d);
+        self
+    }
+
+    /// Set the client context id.
+    pub fn client_context_id(mut self, id: impl Into<String>) -> QueryOptions {
+        self.client_context_id = Some(id.into());
         self
     }
 }
@@ -77,6 +98,9 @@ pub struct QueryResult {
     pub rows: Vec<Value>,
     /// Metrics.
     pub metrics: QueryMetrics,
+    /// Phase rollups extracted from the request's span tree (populated by
+    /// [`crate::query`]; zero when the plan was executed directly).
+    pub phases: PhaseTimes,
 }
 
 /// One pipeline row: alias bindings plus per-alias document IDs.
@@ -93,10 +117,22 @@ type ProjectedRow = (Row, Option<HashMap<String, Value>>, Value);
 
 /// Execute a planned statement.
 pub fn execute(ds: &dyn Datastore, plan: &QueryPlan, opts: &QueryOptions) -> Result<QueryResult> {
+    execute_with_profile(ds, plan, opts, &mut Prof::off())
+}
+
+/// Execute a planned statement, recording per-operator stats into `prof`
+/// (the `PROFILE` path; [`execute`] passes a disabled collector).
+pub fn execute_with_profile(
+    ds: &dyn Datastore,
+    plan: &QueryPlan,
+    opts: &QueryOptions,
+    prof: &mut Prof,
+) -> Result<QueryResult> {
     let start = Instant::now();
+    let _run = span("n1ql.exec.run");
     let mut result = match plan {
-        QueryPlan::Select(p) => exec_select(ds, p, opts)?,
-        QueryPlan::Direct(stmt) => exec_direct(ds, stmt, opts)?,
+        QueryPlan::Select(p) => exec_select(ds, p, opts, prof)?,
+        QueryPlan::Direct(stmt) => exec_direct(ds, stmt, opts, prof)?,
     };
     result.metrics.elapsed = start.elapsed();
     result.metrics.result_count = result.rows.len();
@@ -117,7 +153,12 @@ fn consistency_for(ds: &dyn Datastore, keyspace: &str, opts: &QueryOptions) -> S
 // SELECT pipeline
 // ----------------------------------------------------------------------
 
-fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Result<QueryResult> {
+fn exec_select(
+    ds: &dyn Datastore,
+    plan: &SelectPlan,
+    opts: &QueryOptions,
+    prof: &mut Prof,
+) -> Result<QueryResult> {
     let sel = &plan.select;
     let mut metrics = QueryMetrics::default();
 
@@ -131,9 +172,12 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
     // --- Scan + Fetch ---------------------------------------------------
     let mut rows: Vec<Row> = match &plan.access {
         AccessPath::ExpressionOnly => {
+            let t0 = prof.start();
+            prof.record("DummyScan", 0, 1, t0);
             vec![Row { obj: Value::empty_object(), metas: HashMap::new() }]
         }
         AccessPath::KeyScan { keys } => {
+            let t_scan = prof.start();
             let ctx = EvalCtx {
                 row: &empty_ctx_row,
                 metas: &empty_metas,
@@ -150,17 +194,24 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
                 }
                 _ => return Err(Error::Eval("USE KEYS requires a string or array".to_string())),
             };
+            prof.record("KeyScan", 0, key_list.len() as u64, t_scan);
+            let t_fetch = prof.start();
+            let n_keys = key_list.len() as u64;
             let mut out = Vec::new();
-            for key in key_list {
-                metrics.fetches += 1;
-                if let Some(doc) = ds.fetch(&keyspace, &key)? {
-                    out.push(make_row(&alias, &key, doc));
+            {
+                let _fetch = span("n1ql.exec.fetch");
+                for key in key_list {
+                    metrics.fetches += 1;
+                    if let Some(doc) = ds.fetch(&keyspace, &key)? {
+                        out.push(make_row(&alias, &key, doc));
+                    }
                 }
             }
+            prof.record("Fetch", n_keys, out.len() as u64, t_fetch);
             out
         }
         AccessPath::IndexScan { index, range, covering } => {
-            let _scan = span("n1ql.exec.index_scan");
+            let t_scan = prof.start();
             let cons = consistency_for(ds, &keyspace, opts);
             // Only push LIMIT into the index when no later operator can
             // drop rows (no WHERE re-filter gaps exist: filters run after,
@@ -176,40 +227,81 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             } else {
                 0
             };
-            let entries =
-                ds.index_scan(&keyspace, &index.name, range, &cons, opts.timeout, pushdown_limit)?;
+            // The scan span covers only the GSI call so the indexScan phase
+            // does not absorb fetch time; nested `index.manager.scan` spans
+            // land inside it (cross-service attribution).
+            let entries = {
+                let _scan = span("n1ql.exec.index_scan");
+                ds.index_scan(&keyspace, &index.name, range, &cons, opts.timeout, pushdown_limit)?
+            };
             metrics.index_entries += entries.len();
-            let _fetch = span("n1ql.exec.fetch");
-            let mut out = Vec::new();
-            for e in entries {
-                if *covering {
-                    out.push(make_covered_row(&alias, &e.doc_id, index, &e.key.0));
-                } else {
-                    metrics.fetches += 1;
-                    if let Some(doc) = ds.fetch(&keyspace, &e.doc_id)? {
-                        out.push(make_row(&alias, &e.doc_id, doc));
+            let n_entries = entries.len() as u64;
+            if *covering {
+                let out: Vec<Row> = entries
+                    .iter()
+                    .map(|e| make_covered_row(&alias, &e.doc_id, index, &e.key.0))
+                    .collect();
+                prof.record("IndexScan", 0, out.len() as u64, t_scan);
+                out
+            } else {
+                prof.record("IndexScan", 0, n_entries, t_scan);
+                let t_fetch = prof.start();
+                let mut out = Vec::new();
+                {
+                    let _fetch = span("n1ql.exec.fetch");
+                    for e in entries {
+                        metrics.fetches += 1;
+                        if let Some(doc) = ds.fetch(&keyspace, &e.doc_id)? {
+                            out.push(make_row(&alias, &e.doc_id, doc));
+                        }
                     }
                 }
+                prof.record("Fetch", n_entries, out.len() as u64, t_fetch);
+                out
             }
-            out
         }
         AccessPath::PrimaryScan => {
-            let _scan = span("n1ql.exec.primary_scan");
-            let docs = ds.primary_scan(&keyspace)?;
+            let t_scan = prof.start();
+            let docs = {
+                let _scan = span("n1ql.exec.primary_scan");
+                if keyspace.starts_with("system:") {
+                    // `system:` catalogs are materialized directly from
+                    // service state, not from a bucket.
+                    ds.system_scan(&keyspace)?
+                } else {
+                    ds.primary_scan(&keyspace)?
+                }
+            };
             metrics.fetches += docs.len();
-            docs.into_iter().map(|(k, v)| make_row(&alias, &k, v)).collect()
+            let n_docs = docs.len() as u64;
+            let out: Vec<Row> = docs.into_iter().map(|(k, v)| make_row(&alias, &k, v)).collect();
+            prof.record("PrimaryScan", 0, n_docs, t_scan);
+            // The primary scan returns whole documents; the Fetch operator
+            // the plan shows is a pass-through here.
+            let t_fetch = prof.start();
+            prof.record("Fetch", n_docs, n_docs, t_fetch);
+            out
         }
     };
 
     // --- Join / Nest / Unnest (left-to-right, §4.5.3 join order) --------
     if let Some(from) = &sel.from {
         for op in &from.ops {
+            let t0 = prof.start();
+            let items_in = rows.len() as u64;
             rows = apply_from_op(ds, op, rows, opts, &alias, &mut metrics)?;
+            match op {
+                FromOp::Join { .. } => prof.record("Join", items_in, rows.len() as u64, t0),
+                FromOp::Nest { .. } => prof.record("Nest", items_in, rows.len() as u64, t0),
+                FromOp::Unnest { .. } => prof.record("Unnest", items_in, rows.len() as u64, t0),
+            }
         }
     }
 
     // --- Filter ----------------------------------------------------------
     if let Some(where_) = &sel.where_ {
+        let t0 = prof.start();
+        let items_in = rows.len() as u64;
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
             let ctx = ctx_for(&row, &alias, opts, None);
@@ -218,6 +310,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             }
         }
         rows = kept;
+        prof.record("Filter", items_in, rows.len() as u64, t0);
     }
 
     // --- Group / Aggregate -----------------------------------------------
@@ -237,6 +330,8 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
 
     // Pairs of (representative row, aggregate env).
     let mut staged: Vec<StagedRow> = Vec::new();
+    let t_group = prof.start();
+    let group_items_in = rows.len() as u64;
     if grouped {
         let mut groups: Vec<(Vec<Option<Value>>, Vec<Row>)> = Vec::new();
         for row in rows {
@@ -273,6 +368,7 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             }
             staged = kept;
         }
+        prof.record("Group", group_items_in, staged.len() as u64, t_group);
     } else {
         staged = rows.into_iter().map(|r| (r, None)).collect();
     }
@@ -281,14 +377,19 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
     let mut projected: Vec<ProjectedRow> = Vec::new();
     {
         let _proj = span("n1ql.exec.project");
+        let t0 = prof.start();
+        let items_in = staged.len() as u64;
         for (row, aggs) in staged {
             let out = project(sel, &row, &alias, opts, aggs.as_ref())?;
             projected.push((row, aggs, out));
         }
+        prof.record("InitialProject", items_in, projected.len() as u64, t0);
     }
 
     // --- Distinct ----------------------------------------------------------
     if sel.distinct {
+        let t0 = prof.start();
+        let items_in = projected.len() as u64;
         let mut seen: Vec<String> = Vec::new();
         projected.retain(|(_, _, out)| {
             let fp = out.to_json_string();
@@ -299,10 +400,13 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
                 true
             }
         });
+        prof.record("Distinct", items_in, projected.len() as u64, t0);
     }
 
     // --- Sort ----------------------------------------------------------------
     if !sel.order_by.is_empty() {
+        let t_sort = prof.start();
+        let sort_items = projected.len() as u64;
         let mut keyed: Vec<(Vec<Option<Value>>, Value)> = Vec::with_capacity(projected.len());
         for (row, aggs, out) in projected {
             // ORDER BY may reference projected aliases too: merge them in.
@@ -339,20 +443,34 @@ fn exec_select(ds: &dyn Datastore, plan: &SelectPlan, opts: &QueryOptions) -> Re
             .into_iter()
             .map(|(_, out)| (Row { obj: Value::empty_object(), metas: HashMap::new() }, None, out))
             .collect();
+        prof.record("Sort", sort_items, projected.len() as u64, t_sort);
     }
 
     // --- Offset / Limit ---------------------------------------------------
-    let offset = eval_limit(sel.offset.as_ref(), opts)?.unwrap_or(0);
-    if offset > 0 {
-        projected.drain(..offset.min(projected.len()));
+    if sel.offset.is_some() {
+        let t0 = prof.start();
+        let items_in = projected.len() as u64;
+        let offset = eval_limit(sel.offset.as_ref(), opts)?.unwrap_or(0);
+        if offset > 0 {
+            projected.drain(..offset.min(projected.len()));
+        }
+        prof.record("Offset", items_in, projected.len() as u64, t0);
     }
-    if let Some(limit) = eval_limit(sel.limit.as_ref(), opts)? {
-        projected.truncate(limit);
+    if sel.limit.is_some() {
+        let t0 = prof.start();
+        let items_in = projected.len() as u64;
+        if let Some(limit) = eval_limit(sel.limit.as_ref(), opts)? {
+            projected.truncate(limit);
+        }
+        prof.record("Limit", items_in, projected.len() as u64, t0);
     }
 
     // --- FinalProject ------------------------------------------------------
+    let t_final = prof.start();
+    let final_items_in = projected.len() as u64;
     let rows: Vec<Value> = projected.into_iter().map(|(_, _, out)| out).collect();
-    Ok(QueryResult { rows, metrics })
+    prof.record("FinalProject", final_items_in, rows.len() as u64, t_final);
+    Ok(QueryResult { rows, metrics, ..Default::default() })
 }
 
 impl Select {
@@ -690,7 +808,24 @@ fn default_name(e: &Expr, anon: &mut usize) -> String {
 // DML / DDL
 // ----------------------------------------------------------------------
 
-fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Result<QueryResult> {
+fn exec_direct(
+    ds: &dyn Datastore,
+    stmt: &Statement,
+    opts: &QueryOptions,
+    prof: &mut Prof,
+) -> Result<QueryResult> {
+    let t0 = prof.start();
+    let result = exec_direct_inner(ds, stmt, opts)?;
+    let n = result.metrics.mutation_count as u64;
+    prof.record(crate::explain::direct_name(stmt), n, n, t0);
+    Ok(result)
+}
+
+fn exec_direct_inner(
+    ds: &dyn Datastore,
+    stmt: &Statement,
+    opts: &QueryOptions,
+) -> Result<QueryResult> {
     let row = Value::empty_object();
     let metas = HashMap::new();
     let ctx = EvalCtx {
@@ -717,7 +852,7 @@ fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Res
                 }
                 metrics.mutation_count += 1;
             }
-            Ok(QueryResult { rows: Vec::new(), metrics })
+            Ok(QueryResult { rows: Vec::new(), metrics, ..Default::default() })
         }
         Statement::Update { keyspace, use_keys, set, unset, where_, limit } => {
             let targets = dml_targets(ds, keyspace, use_keys, where_, limit, opts)?;
@@ -746,7 +881,7 @@ fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Res
                 ds.replace(keyspace, &key, doc)?;
                 metrics.mutation_count += 1;
             }
-            Ok(QueryResult { rows: Vec::new(), metrics })
+            Ok(QueryResult { rows: Vec::new(), metrics, ..Default::default() })
         }
         Statement::Delete { keyspace, use_keys, where_, limit } => {
             let targets = dml_targets(ds, keyspace, use_keys, where_, limit, opts)?;
@@ -754,7 +889,7 @@ fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Res
                 ds.delete(keyspace, &key)?;
                 metrics.mutation_count += 1;
             }
-            Ok(QueryResult { rows: Vec::new(), metrics })
+            Ok(QueryResult { rows: Vec::new(), metrics, ..Default::default() })
         }
         Statement::CreateIndex {
             name, keyspace, keys, where_, using_view, defer_build, ..
@@ -779,7 +914,7 @@ fn exec_direct(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Res
             }
             Ok(QueryResult::default())
         }
-        Statement::Select(_) | Statement::Explain(_) => {
+        Statement::Select(_) | Statement::Explain(_) | Statement::Profile(_) => {
             unreachable!("handled before exec_direct")
         }
     }

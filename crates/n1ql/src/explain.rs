@@ -97,7 +97,7 @@ fn has_aggregate(items: &[SelectItem]) -> bool {
     })
 }
 
-fn direct_name(stmt: &Statement) -> &'static str {
+pub(crate) fn direct_name(stmt: &Statement) -> &'static str {
     match stmt {
         Statement::Insert { .. } => "SendInsert",
         Statement::Upsert { .. } => "SendUpsert",
@@ -107,6 +107,70 @@ fn direct_name(stmt: &Statement) -> &'static str {
         Statement::CreatePrimaryIndex { .. } => "CreatePrimaryIndex",
         Statement::DropIndex { .. } => "DropIndex",
         Statement::BuildIndex { .. } => "BuildIndexes",
-        Statement::Select(_) | Statement::Explain(_) => "Sequence",
+        Statement::Select(_) | Statement::Explain(_) | Statement::Profile(_) => "Sequence",
     }
+}
+
+/// One-line plan summary for the request log:
+/// `IndexScan(age) -> Fetch -> Filter -> FinalProject`.
+pub fn plan_summary(plan: &QueryPlan) -> String {
+    let tree = explain_to_value(plan);
+    let ops = tree
+        .get_field("plan")
+        .and_then(|p| p.get_field("operators"))
+        .and_then(|o| o.as_array())
+        .map(|ops| {
+            ops.iter()
+                .map(|o| {
+                    let name =
+                        o.get_field("operator").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+                    match o.get_field("index").and_then(|v| v.as_str()) {
+                        Some(idx) => format!("{name}({idx})"),
+                        None => name,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
+    ops.join(" -> ")
+}
+
+/// Render the PROFILE result row: the EXPLAIN-shaped operator tree with
+/// each operator annotated by its runtime `#stats`, plus `phaseTimes`
+/// rollups and request-level metrics.
+///
+/// Operators are matched to stats sequentially by name — the executor
+/// records them in pipeline order, the same order EXPLAIN emits. An
+/// operator the executor never reached keeps its plan-only shape.
+pub fn profile_to_value(
+    plan: &QueryPlan,
+    prof: &crate::profile::Prof,
+    phases: &crate::profile::PhaseTimes,
+    metrics: &crate::exec::QueryMetrics,
+) -> Value {
+    let mut tree = explain_to_value(plan);
+    let stats = prof.ops();
+    let mut next = 0usize;
+    if let Some(ops) = tree
+        .get_field_mut("plan")
+        .and_then(|p| p.get_field_mut("operators"))
+        .and_then(|o| o.as_array_mut())
+    {
+        for op in ops.iter_mut() {
+            let Some(name) = op.get_field("operator").and_then(|v| v.as_str()).map(str::to_string)
+            else {
+                continue;
+            };
+            if let Some(found) = stats[next..].iter().position(|s| s.operator == name) {
+                op.insert_field("#stats", stats[next + found].to_value());
+                next += found + 1;
+            }
+        }
+    }
+    tree.insert_field("phaseTimes", phases.to_value());
+    tree.insert_field("elapsedTime", Value::from(format!("{:?}", metrics.elapsed)));
+    tree.insert_field("resultCount", Value::from(metrics.result_count));
+    tree.insert_field("fetches", Value::from(metrics.fetches));
+    tree.insert_field("indexEntries", Value::from(metrics.index_entries));
+    tree
 }

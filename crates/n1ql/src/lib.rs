@@ -38,37 +38,106 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 
 pub use ast::Statement;
 pub use datastore::{Datastore, MemoryDatastore};
-pub use exec::{execute, QueryOptions, QueryResult};
+pub use exec::{execute, execute_with_profile, QueryOptions, QueryResult};
 pub use lexer::tokenize;
 pub use parser::parse_statement;
 pub use plan::{AccessPath, QueryPlan};
 pub use planner::build_plan;
+pub use profile::{OpStat, PhaseTimes, Prof, RequestLog};
 
 use cbs_common::Result;
+use profile::PhaseTimes as Phases;
 
 /// Parse, plan and execute one N1QL statement against a datastore.
 ///
 /// This is the whole Query Service pipeline of Figure 10: analyze the
 /// query, "use metadata on its referenced objects to choose the best
-/// execution plan, and execute the chosen plan."
+/// execution plan, and execute the chosen plan." Around that pipeline the
+/// request is admitted into the datastore's [`RequestLog`] (feeding
+/// `system:active_requests` / `system:completed_requests`) and its span
+/// tree — the same one the slow-op ring captures — is rolled up into
+/// [`PhaseTimes`] on the result. A `PROFILE` prefix additionally returns
+/// the EXPLAIN-shaped plan annotated with per-operator runtime stats.
 pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
+    let log = ds.request_log();
+    let req_id = log.map(|l| l.admit(statement, opts.client_context_id.as_deref().unwrap_or("")));
+    let cap = cbs_obs::capture("n1ql.query.request");
+    let outcome = run_request(ds, statement, opts);
+    let spans = cap.finish();
+    let phases = Phases::from_spans(&spans);
+    match outcome {
+        Ok((mut result, plan_summary, profiled)) => {
+            result.phases = phases;
+            if let (Some(log), Some(id)) = (log, req_id) {
+                log.complete(
+                    id,
+                    &plan_summary,
+                    result.metrics.result_count as u64,
+                    0,
+                    result.metrics.mutation_count as u64,
+                    phases,
+                    false,
+                    opts.slow_threshold,
+                );
+            }
+            if let Some((plan, prof)) = profiled {
+                // PROFILE returns one row: the annotated plan. The metrics
+                // keep describing the *inner* execution (result_count is
+                // what the pipeline produced, not 1).
+                result.rows =
+                    vec![explain::profile_to_value(&plan, &prof, &phases, &result.metrics)];
+            }
+            Ok(result)
+        }
+        Err(e) => {
+            if let (Some(log), Some(id)) = (log, req_id) {
+                log.complete(id, "", 0, 1, 0, phases, true, opts.slow_threshold);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Parse/plan/execute, returning the result plus the plan summary for the
+/// request log and, for `PROFILE`, the plan + collected operator stats.
+#[allow(clippy::type_complexity)] // one internal call site
+fn run_request(
+    ds: &dyn Datastore,
+    statement: &str,
+    opts: &QueryOptions,
+) -> Result<(QueryResult, String, Option<(QueryPlan, Prof)>)> {
     let stmt = {
         let _s = cbs_obs::span("n1ql.query.parse");
         parse_statement(statement)?
     };
     if let Statement::Explain(inner) = stmt {
-        let plan = build_plan(ds, &inner, opts)?;
-        return Ok(QueryResult {
-            rows: vec![explain::explain_to_value(&plan)],
-            metrics: exec::QueryMetrics::default(),
-        });
+        let plan = {
+            let _s = cbs_obs::span("n1ql.query.plan");
+            build_plan(ds, &inner, opts)?
+        };
+        let summary = explain::plan_summary(&plan);
+        let result =
+            QueryResult { rows: vec![explain::explain_to_value(&plan)], ..Default::default() };
+        return Ok((result, summary, None));
+    }
+    if let Statement::Profile(inner) = stmt {
+        let plan = {
+            let _s = cbs_obs::span("n1ql.query.plan");
+            build_plan(ds, &inner, opts)?
+        };
+        let summary = explain::plan_summary(&plan);
+        let mut prof = Prof::on();
+        let result = execute_with_profile(ds, &plan, opts, &mut prof)?;
+        return Ok((result, summary, Some((plan, prof))));
     }
     let plan = {
         let _s = cbs_obs::span("n1ql.query.plan");
         build_plan(ds, &stmt, opts)?
     };
-    execute(ds, &plan, opts)
+    let summary = explain::plan_summary(&plan);
+    Ok((execute(ds, &plan, opts)?, summary, None))
 }

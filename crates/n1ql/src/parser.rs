@@ -110,6 +110,9 @@ impl Parser {
         if self.eat_kw("explain") {
             return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
         }
+        if self.eat_kw("profile") {
+            return Ok(Statement::Profile(Box::new(self.parse_statement()?)));
+        }
         if self.at_kw("select") {
             return Ok(Statement::Select(self.parse_select()?));
         }
@@ -200,8 +203,19 @@ impl Parser {
     }
 
     fn parse_from(&mut self) -> Result<FromClause> {
-        let keyspace = self.expect_ident()?;
-        let alias = self.parse_opt_alias(&keyspace)?;
+        let mut keyspace = self.expect_ident()?;
+        let mut default_alias = keyspace.clone();
+        // `system:<catalog>` — the lexer already yields `system` `:` `name`;
+        // fold them into one keyspace name. The bare catalog name is the
+        // default alias, so `SELECT state FROM system:active_requests`
+        // resolves paths against `active_requests`.
+        if keyspace.eq_ignore_ascii_case("system") && self.peek().is_some_and(|t| t.is_punct(":")) {
+            self.expect_punct(":")?;
+            let catalog = self.expect_ident()?;
+            keyspace = format!("system:{}", catalog.to_ascii_lowercase());
+            default_alias = catalog;
+        }
+        let alias = self.parse_opt_alias(&default_alias)?;
         let use_keys = if self.eat_kw("use") {
             self.expect_kw("keys")?;
             Some(self.parse_expr()?)

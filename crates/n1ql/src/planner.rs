@@ -38,7 +38,7 @@ use crate::plan::{AccessPath, QueryPlan, SelectPlan};
 pub fn build_plan(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Result<QueryPlan> {
     match stmt {
         Statement::Select(sel) => Ok(QueryPlan::Select(plan_select(ds, sel, opts)?)),
-        Statement::Explain(inner) => build_plan(ds, inner, opts),
+        Statement::Explain(inner) | Statement::Profile(inner) => build_plan(ds, inner, opts),
         other => Ok(QueryPlan::Direct(other.clone())),
     }
 }
@@ -51,6 +51,16 @@ fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<
             fetch: false,
         });
     };
+    // `system:` catalogs are served whole by the datastore (no indexes, no
+    // primary-index requirement); the rest of the pipeline — Filter, Group,
+    // Sort, Limit — applies unchanged on top of the scan.
+    if from.keyspace.starts_with("system:") {
+        return Ok(SelectPlan {
+            select: sel.clone(),
+            access: AccessPath::PrimaryScan,
+            fetch: true,
+        });
+    }
     if !ds.keyspace_exists(&from.keyspace) {
         return Err(Error::Plan(format!("no such keyspace: {}", from.keyspace)));
     }

@@ -4,8 +4,9 @@
 //! `cbs_`, so `kv.engine.gets` exports as `cbs_kv_engine_gets`. Histograms
 //! export summary-style: `{quantile="0.5|0.95|0.99"}` sample lines in
 //! seconds plus `_count` and `_sum`. Sections from many registries (one per
-//! node/bucket/service) are concatenated with label sets; `# TYPE` headers
-//! are emitted once per metric across the whole exposition.
+//! node/bucket/service) are concatenated with label sets; `# HELP` (when a
+//! description was registered) and `# TYPE` headers are emitted once per
+//! metric family across the whole exposition.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -30,17 +31,17 @@ impl PrometheusText {
     pub fn section(&mut self, labels: &[(&str, &str)], snap: &RegistrySnapshot) {
         for (name, v) in &snap.counters {
             let m = mangle(name);
-            self.type_line(&m, "counter");
+            self.type_line(&m, "counter", snap.help.get(name));
             let _ = writeln!(self.out, "{m}{} {v}", render_labels(labels, None));
         }
         for (name, v) in &snap.gauges {
             let m = mangle(name);
-            self.type_line(&m, "gauge");
+            self.type_line(&m, "gauge", snap.help.get(name));
             let _ = writeln!(self.out, "{m}{} {v}", render_labels(labels, None));
         }
         for (name, h) in &snap.histograms {
             let m = mangle(name);
-            self.type_line(&m, "summary");
+            self.type_line(&m, "summary", snap.help.get(name));
             for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
                 if let Some(d) = h.percentile(p) {
                     let _ = writeln!(
@@ -62,8 +63,11 @@ impl PrometheusText {
         self.out
     }
 
-    fn type_line(&mut self, mangled: &str, kind: &str) {
+    fn type_line(&mut self, mangled: &str, kind: &str, help: Option<&String>) {
         if self.typed.insert(mangled.to_string()) {
+            if let Some(h) = help {
+                let _ = writeln!(self.out, "# HELP {mangled} {}", escape_help(h));
+            }
             let _ = writeln!(self.out, "# TYPE {mangled} {kind}");
         }
     }
@@ -97,6 +101,19 @@ fn render_labels(labels: &[(&str, &str)], quantile: Option<&str>) -> String {
     }
     s.push('}');
     s
+}
+
+/// HELP text escaping per the exposition format: backslash and newline only.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn escape_label(v: &str) -> String {
@@ -150,6 +167,55 @@ mod tests {
         let text = p.finish();
         assert_eq!(text.matches("# TYPE cbs_kv_engine_gets counter").count(), 1);
         assert_eq!(text.matches("cbs_kv_engine_gets{").count(), 2);
+    }
+
+    #[test]
+    fn help_and_type_pair_once_per_family() {
+        let a = Registry::new("kv");
+        let b = Registry::new("kv");
+        a.counter_with_help("kv.engine.gets", "Total successful KV point reads").inc();
+        b.counter_with_help("kv.engine.gets", "Total successful KV point reads").inc();
+        a.histogram_with_help("kv.engine.get_latency", "KV get latency")
+            .record(Duration::from_micros(10));
+
+        let mut p = PrometheusText::new();
+        p.section(&[("node", "n0")], &a.snapshot());
+        p.section(&[("node", "n1")], &b.snapshot());
+        let text = p.finish();
+
+        assert_eq!(
+            text.matches("# HELP cbs_kv_engine_gets Total successful KV point reads").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE cbs_kv_engine_gets counter").count(), 1);
+        assert_eq!(text.matches("# HELP cbs_kv_engine_get_latency KV get latency").count(), 1);
+        assert_eq!(text.matches("# TYPE cbs_kv_engine_get_latency summary").count(), 1);
+        // HELP immediately precedes its TYPE line.
+        let help_at = text.find("# HELP cbs_kv_engine_gets").unwrap();
+        let type_at = text.find("# TYPE cbs_kv_engine_gets").unwrap();
+        assert!(help_at < type_at);
+    }
+
+    #[test]
+    fn undescribed_metrics_render_without_help() {
+        let r = Registry::new("kv");
+        r.counter("kv.engine.sets").inc();
+        let mut p = PrometheusText::new();
+        p.section(&[], &r.snapshot());
+        let text = p.finish();
+        assert!(!text.contains("# HELP"));
+        assert!(text.contains("# TYPE cbs_kv_engine_sets counter"));
+    }
+
+    #[test]
+    fn help_text_escaped() {
+        let r = Registry::new("kv");
+        r.describe("kv.engine.sets", "multi\nline \\ text");
+        r.counter("kv.engine.sets").inc();
+        let mut p = PrometheusText::new();
+        p.section(&[], &r.snapshot());
+        assert!(p.finish().contains("# HELP cbs_kv_engine_sets multi\\nline \\\\ text"));
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub use fmt::PrometheusText;
 pub use metrics::{
     bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, NUM_BUCKETS,
 };
-pub use registry::{is_valid_metric_name, Registry, RegistrySnapshot};
-pub use trace::{span, SlowOp, SpanGuard, SpanNode, TraceGuard};
+pub use registry::{default_slow_threshold, is_valid_metric_name, Registry, RegistrySnapshot};
+pub use trace::{capture, span, Capture, SlowOp, SpanGuard, SpanNode, TraceGuard};

@@ -363,6 +363,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_merge_and_bounds_stay_none() {
+        // Merging empty into empty is still empty — no phantom samples.
+        let mut s = HistogramSnapshot::empty();
+        s.merge(&HistogramSnapshot::empty());
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.0), None);
+        assert_eq!(s.percentile(100.0), None);
+        // Out-of-range p clamps rather than panicking, even when empty.
+        assert_eq!(s.percentile(-5.0), None);
+        assert_eq!(s.percentile(250.0), None);
+    }
+
+    #[test]
+    fn single_sample_single_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        // Every percentile of a one-sample distribution lands in the
+        // sample's bucket and never exceeds the observed max.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0, 400.0, -3.0] {
+            let v = s.percentile(p).unwrap();
+            assert!(v <= Duration::from_micros(3), "p{p} = {v:?}");
+            assert!(v >= Duration::from_nanos(2048), "p{p} = {v:?} below bucket floor");
+        }
+        assert_eq!(s.max(), Some(Duration::from_micros(3)));
+        assert_eq!(s.mean(), Some(Duration::from_micros(3)));
+    }
+
+    #[test]
+    fn zero_duration_samples_occupy_bucket_zero() {
+        let h = Histogram::new();
+        h.record_nanos(0);
+        h.record_nanos(0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.percentile(50.0), Some(Duration::ZERO));
+        assert_eq!(s.max(), Some(Duration::ZERO));
+    }
+
+    #[test]
     fn merge_equals_combined() {
         let a = Histogram::new();
         let b = Histogram::new();

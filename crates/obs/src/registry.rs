@@ -29,6 +29,18 @@ const SLOW_RING_CAP: usize = 64;
 /// long have their full span tree captured.
 const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(100);
 
+/// The slow-op threshold new registries start with: `CBS_SLOW_OP_MS`
+/// (milliseconds) when set and parseable, else
+/// [`DEFAULT_SLOW_THRESHOLD`]. Read per call so tests can vary the
+/// environment; registry construction is far off any hot path.
+pub fn default_slow_threshold() -> Duration {
+    std::env::var("CBS_SLOW_OP_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_SLOW_THRESHOLD)
+}
+
 /// True if `name` follows the `service.component.metric` convention:
 /// exactly three dot-separated segments, each `[a-z][a-z0-9_]*`.
 pub fn is_valid_metric_name(name: &str) -> bool {
@@ -61,6 +73,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    help: RwLock<BTreeMap<String, String>>,
     slow_threshold_nanos: AtomicU64,
     slow_ring: Mutex<VecDeque<SlowOp>>,
 }
@@ -82,7 +95,10 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
-            slow_threshold_nanos: AtomicU64::new(DEFAULT_SLOW_THRESHOLD.as_nanos() as u64),
+            help: RwLock::new(BTreeMap::new()),
+            slow_threshold_nanos: AtomicU64::new(
+                default_slow_threshold().as_nanos().min(u64::MAX as u128) as u64,
+            ),
             slow_ring: Mutex::new(VecDeque::new()),
         }
     }
@@ -128,6 +144,32 @@ impl Registry {
         Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
     }
 
+    /// Attach a human-readable description to a metric name. Descriptions
+    /// surface as `# HELP` lines in the Prometheus exposition; registering
+    /// one for the same name twice keeps the latest text.
+    pub fn describe(&self, name: &str, help: &str) {
+        assert_valid_name(name);
+        self.help.write().insert(name.to_string(), help.to_string());
+    }
+
+    /// [`Registry::counter`] plus a `# HELP` description in one call.
+    pub fn counter_with_help(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.describe(name, help);
+        self.counter(name)
+    }
+
+    /// [`Registry::gauge`] plus a `# HELP` description in one call.
+    pub fn gauge_with_help(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.describe(name, help);
+        self.gauge(name)
+    }
+
+    /// [`Registry::histogram`] plus a `# HELP` description in one call.
+    pub fn histogram_with_help(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.describe(name, help);
+        self.histogram(name)
+    }
+
     /// Freeze every metric into a mergeable snapshot.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -140,6 +182,7 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            help: self.help.read().clone(),
         }
     }
 
@@ -190,6 +233,9 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram distributions by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// `# HELP` descriptions by metric name (first contributor wins on
+    /// merge).
+    pub help: BTreeMap<String, String>,
 }
 
 impl RegistrySnapshot {
@@ -208,6 +254,9 @@ impl RegistrySnapshot {
         }
         for (k, v) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.help {
+            self.help.entry(k.clone()).or_insert_with(|| v.clone());
         }
     }
 
@@ -283,6 +332,37 @@ mod tests {
         assert_eq!(s.histogram("kv.engine.get_latency").count(), 1);
         assert!(!s.is_empty());
         assert_eq!(s.service, "kv");
+    }
+
+    #[test]
+    fn env_overrides_default_slow_threshold() {
+        std::env::set_var("CBS_SLOW_OP_MS", "7");
+        let r = Registry::new("kv");
+        std::env::remove_var("CBS_SLOW_OP_MS");
+        assert_eq!(r.slow_threshold(), Duration::from_millis(7));
+        // Garbage values fall back to the built-in default.
+        std::env::set_var("CBS_SLOW_OP_MS", "not-a-number");
+        let r2 = Registry::new("kv");
+        std::env::remove_var("CBS_SLOW_OP_MS");
+        assert_eq!(r2.slow_threshold(), DEFAULT_SLOW_THRESHOLD);
+        // Runtime override still wins after construction.
+        r.set_slow_threshold(Duration::from_millis(1));
+        assert_eq!(r.slow_threshold(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn help_registered_and_merged_first_wins() {
+        let a = Registry::new("kv");
+        let b = Registry::new("kv");
+        a.counter_with_help("kv.engine.gets", "point reads").inc();
+        b.counter_with_help("kv.engine.gets", "other text").inc();
+        b.describe("kv.engine.sets", "point writes");
+        b.counter("kv.engine.sets").inc();
+
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.help.get("kv.engine.gets").map(String::as_str), Some("point reads"));
+        assert_eq!(m.help.get("kv.engine.sets").map(String::as_str), Some("point writes"));
     }
 
     #[test]

@@ -124,6 +124,73 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { slot }
 }
 
+/// Begin capturing the span tree of the current request so the caller can
+/// inspect it (e.g. to roll spans up into per-phase timings for `PROFILE`).
+///
+/// If a trace is already active on this thread (a service root such as
+/// `n1ql.query.execute` is open), the capture piggybacks on it and
+/// [`Capture::finish`] returns the spans recorded *after* this call. If no
+/// trace is active, the capture opens its own root named `root_name` so
+/// child spans have somewhere to land; that root is private to the capture
+/// and is never pushed to any slow-op ring.
+///
+/// Captures allocate (the returned tree is owned), so they belong on
+/// explicitly profiled paths, not hot paths.
+pub fn capture(root_name: &'static str) -> Capture {
+    TRACE.with(|t| {
+        let mut t = t.borrow_mut();
+        match t.as_mut() {
+            Some(buf) => Capture { start_index: buf.spans.len(), owns_root: false },
+            None => {
+                let mut spans = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+                spans.clear();
+                spans.push(SpanNode {
+                    name: root_name,
+                    depth: 0,
+                    offset: Duration::ZERO,
+                    duration: Duration::ZERO,
+                });
+                *t = Some(TraceBuf { start: Instant::now(), depth: 0, spans });
+                Capture { start_index: 0, owns_root: true }
+            }
+        }
+    })
+}
+
+/// In-progress span capture started by [`capture`].
+#[must_use = "a capture must be finished to yield its span tree"]
+#[derive(Debug)]
+pub struct Capture {
+    start_index: usize,
+    owns_root: bool,
+}
+
+impl Capture {
+    /// Stop capturing and return the captured span tree (pre-order).
+    ///
+    /// For a piggybacked capture the returned spans keep their original
+    /// depths and root-relative offsets; the still-open enclosing root is
+    /// not included (its duration is unknown until it drops).
+    pub fn finish(self) -> Vec<SpanNode> {
+        TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            if self.owns_root {
+                let Some(mut buf) = t.take() else { return Vec::new() };
+                let total = buf.start.elapsed();
+                if let Some(root) = buf.spans.first_mut() {
+                    root.duration = total;
+                }
+                buf.spans
+            } else {
+                match t.as_ref() {
+                    Some(buf) => buf.spans.get(self.start_index..).unwrap_or(&[]).to_vec(),
+                    None => Vec::new(),
+                }
+            }
+        })
+    }
+}
+
 /// RAII guard for a child span; records the duration on drop.
 #[must_use = "a span measures the scope it is alive for"]
 pub struct SpanGuard {
@@ -294,6 +361,60 @@ mod tests {
         assert_eq!(
             ops[0].spans.iter().map(|s| s.name).collect::<Vec<_>>(),
             vec!["n1ql.query.exec", "kv.engine.get"]
+        );
+    }
+
+    #[test]
+    fn capture_without_active_trace_owns_a_root() {
+        let cap = capture("n1ql.query.request");
+        {
+            let _a = span("n1ql.query.parse");
+            spin(Duration::from_micros(20));
+        }
+        {
+            let _b = span("n1ql.exec.index_scan");
+            let _c = span("index.manager.scan");
+            spin(Duration::from_micros(20));
+        }
+        let spans = cap.finish();
+        let names: Vec<_> = spans.iter().map(|s| (s.name, s.depth)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("n1ql.query.request", 0),
+                ("n1ql.query.parse", 1),
+                ("n1ql.exec.index_scan", 1),
+                ("index.manager.scan", 2),
+            ]
+        );
+        assert!(spans[0].duration >= Duration::from_micros(40));
+        // TLS trace state is fully cleaned up.
+        assert!(capture("n1ql.query.request").finish().len() == 1);
+    }
+
+    #[test]
+    fn capture_piggybacks_on_active_trace() {
+        let r = Arc::new(Registry::new("n1ql"));
+        r.set_slow_threshold(Duration::ZERO);
+        {
+            let _root = r.trace("n1ql.query.execute");
+            let _pre = span("n1ql.query.parse");
+            drop(_pre);
+            let cap = capture("n1ql.query.request");
+            {
+                let _s = span("n1ql.exec.fetch");
+                spin(Duration::from_micros(10));
+            }
+            let spans = cap.finish();
+            assert_eq!(spans.iter().map(|s| s.name).collect::<Vec<_>>(), vec!["n1ql.exec.fetch"]);
+            assert!(spans[0].duration >= Duration::from_micros(10));
+        }
+        // The enclosing trace still reached the slow-op ring untouched.
+        let ops = r.slow_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0].spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["n1ql.query.execute", "n1ql.query.parse", "n1ql.exec.fetch"]
         );
     }
 

@@ -259,11 +259,19 @@ mod tests {
         );
         w("crates/cluster/src/lib.rs", "fn f() { let t = std::time::Instant::now(); }\n");
         w("crates/n1ql/src/lib.rs", "fn f(r: &Registry) { r.counter(\"queryCount\"); }\n");
+        // Executor with one uninstrumented operator and one name the
+        // PROFILE_OPERATORS mirror does not know.
+        w(
+            "crates/n1ql/src/exec.rs",
+            "fn run(prof: &mut Profile) {\n    prof.record(\"Scanner\", 0, 0, t0);\n}\n",
+        );
 
         let (findings, files) = lint_tree(&root).unwrap();
-        assert_eq!(files, 5);
+        assert_eq!(files, 6);
         let rules_hit: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        for rule in ["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming"] {
+        for rule in
+            ["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming", "profile-coverage"]
+        {
             assert!(rules_hit.contains(&rule), "expected {rule} in {rules_hit:?}");
         }
 
@@ -279,6 +287,14 @@ mod tests {
             "fn f() { let t = cbs_common::time::Deadline::after(d); }\n",
         );
         w("crates/n1ql/src/lib.rs", "fn f(r: &Registry) { r.counter(\"n1ql.query.count\"); }\n");
+        let full_coverage: String = rules::PROFILE_OPERATORS
+            .iter()
+            .map(|op| format!("    prof.record(\"{op}\", 0, 0, t0);\n"))
+            .collect();
+        w(
+            "crates/n1ql/src/exec.rs",
+            &format!("fn run(prof: &mut Profile) {{\n{full_coverage}}}\n"),
+        );
         let (findings, _) = lint_tree(&root).unwrap();
         assert!(findings.is_empty(), "expected clean, got {findings:?}");
 

@@ -70,6 +70,15 @@ fn main() {
         .query("SELECT COUNT(*) AS n FROM ycsb", &QueryOptions::default())
         .expect("slow primary scan");
 
+    // Query profiling: PROFILE returns the EXPLAIN-shaped plan annotated
+    // with each operator's items in/out and kernel time, plus the phase
+    // rollups extracted from the request's span tree.
+    let profiled = cluster
+        .query("PROFILE SELECT COUNT(*) AS n FROM ycsb", &QueryOptions::default())
+        .expect("profiled query");
+    println!("\n== PROFILE SELECT COUNT(*) AS n FROM ycsb ==");
+    println!("{}", cbs_json::print::to_json_pretty(&profiled.rows[0], 2));
+
     // Freeze everything. `stats()` drains each registry's slow-op ring, so
     // one snapshot owns the captured trace.
     let stats = cluster.stats();
@@ -110,9 +119,36 @@ fn main() {
             "kv.engine.set_latency",
             "kv.flusher.fsync_latency",
             "n1ql.query.latency",
+            "n1ql.phase.plan",
+            "n1ql.phase.index_scan",
+            "n1ql.phase.fetch",
+            "n1ql.phase.run",
             "fts.service.search_latency",
         ],
     );
+
+    // The request log: what `system:completed_requests` / `system:
+    // active_requests` serve, straight off the snapshot.
+    println!("\n== completed requests ({} retained) ==", stats.completed_requests.len());
+    for (id, req) in stats.completed_requests.iter().rev().take(5) {
+        let field = |name: &str| {
+            req.get_field(name).and_then(cbs_json::Value::as_str).unwrap_or("?").to_string()
+        };
+        println!(
+            "{id}: [{}] {} | {} | {}",
+            field("state"),
+            field("statement"),
+            field("elapsedTime"),
+            field("plan"),
+        );
+    }
+    println!("active requests in flight: {}", stats.active_requests.len());
+
+    // The same log is a keyspace: the query service can introspect itself.
+    let log_rows = cluster
+        .query("SELECT * FROM system:completed_requests", &QueryOptions::default())
+        .expect("query the request log");
+    println!("\nsystem:completed_requests via N1QL: {} rows", log_rows.rows.len());
 
     println!("\n== slow ops ({} captured) ==", stats.slow_ops.len());
     for op in stats.slow_ops.iter().rev().take(3) {

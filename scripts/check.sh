@@ -93,6 +93,21 @@ cbstats_smoke() {
 }
 run "cbstats smoke (2-node cluster)" cbstats_smoke
 
+# Profiling smoke: the same cbstats run must show the query-profiling
+# surface — a PROFILE plan with per-operator stats and phase rollups, the
+# per-phase histograms, and a non-empty N1QL-queryable request log.
+obs_profile_smoke() {
+    local out
+    out="$(CBS_NODES=2 CBS_RECORDS=500 CBS_OPS=100 \
+        cargo run --quiet --release --example cbstats 2>/dev/null)" || return 1
+    echo "$out" | grep -q '"#itemsOut"' || { echo "    missing operator #stats"; return 1; }
+    echo "$out" | grep -q '"phaseTimes"' || { echo "    missing phase rollups"; return 1; }
+    echo "$out" | grep -q "n1ql.phase.plan" || { echo "    missing phase histograms"; return 1; }
+    echo "$out" | grep -Eq "system:completed_requests via N1QL: [1-9]" \
+        || { echo "    request log empty or not queryable"; return 1; }
+}
+run "obs-profile smoke (PROFILE + request log)" obs_profile_smoke
+
 # --- best-effort dynamic analysis -----------------------------------------
 # ThreadSanitizer needs nightly + rust-src (to build an instrumented std);
 # Miri needs the miri component. Both are optional: absence is a skip, not
