@@ -17,10 +17,16 @@ use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
 fn main() {
     let nodes = env_u64("CBS_NODES", 4) as usize;
     let records = env_u64("CBS_RECORDS", 20_000);
-    let ops_per_thread = env_u64("CBS_OPS", 100);
+    // 100 ops/thread was calibrated for the pre-plan-cache pipeline
+    // (~860 q/s); prepared scans finish that in ~15ms, which is pure
+    // startup noise. 1000 ops/thread keeps each sweep point >100ms.
+    let ops_per_thread = env_u64("CBS_OPS", 1_000);
 
     println!("Figure 16 reproduction: YCSB workload E (95% N1QL range scans, 5% inserts)");
-    println!("query: SELECT meta().id AS id FROM `bucket` WHERE meta().id >= $1 LIMIT $2");
+    println!(
+        "query: PREPARE ycsb_scan FROM SELECT meta().id AS id FROM `bucket` \
+         WHERE meta().id >= $start LIMIT $lim; EXECUTE per scan op"
+    );
     println!(
         "topology: {nodes}-node cluster; dataset: {records} docs; {ops_per_thread} ops/thread"
     );

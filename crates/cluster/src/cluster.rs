@@ -32,6 +32,11 @@ pub(crate) struct ClusterInner {
     /// feeding `system:active_requests` / `system:completed_requests`.
     /// Shared across query nodes the way the registry is.
     pub request_log: Arc<cbs_n1ql::RequestLog>,
+    /// The query service's prepared-statement / plan cache, shared across
+    /// query nodes like the registry ("a prepared statement is usable on
+    /// any query node"). Its `n1ql.plancache.*` metrics live in
+    /// `query_registry`.
+    pub plan_cache: Arc<cbs_n1ql::PlanCache>,
 }
 
 impl ClusterInner {
@@ -80,14 +85,17 @@ impl Cluster {
             .map(|(i, s)| Arc::new(Node::new(NodeId(i as u32), s, &cfg)))
             .collect();
         let next = nodes.len() as u32;
+        let query_registry = Arc::new(cbs_obs::Registry::new("n1ql"));
+        let plan_cache = Arc::new(cbs_n1ql::PlanCache::with_registry(&query_registry));
         Arc::new(Cluster {
             inner: Arc::new(ClusterInner {
                 fts: Arc::new(cbs_fts::FtsService::new(cfg.num_vbuckets)),
                 cfg,
                 nodes: RwLock::new(nodes),
                 maps: RwLock::new(HashMap::new()),
-                query_registry: Arc::new(cbs_obs::Registry::new("n1ql")),
+                query_registry,
                 request_log: Arc::new(cbs_n1ql::RequestLog::new("n1ql")),
+                plan_cache,
             }),
             pumps: Mutex::new(HashMap::new()),
             next_node_id: Mutex::new(next),
@@ -603,6 +611,12 @@ impl Cluster {
         &self.inner.request_log
     }
 
+    /// The query service's prepared-statement / plan cache — the live
+    /// backing store of the `system:prepareds` keyspace.
+    pub fn plan_cache(&self) -> &Arc<cbs_n1ql::PlanCache> {
+        &self.inner.plan_cache
+    }
+
     /// Freeze every registry in the cluster into one typed snapshot:
     /// per node, per service, per bucket, per vBucket — plus the slow-op
     /// rings of every service, span trees included.
@@ -648,6 +662,7 @@ impl Cluster {
             slow_ops,
             completed_requests: self.inner.request_log.completed_rows(),
             active_requests: self.inner.request_log.active_rows(),
+            prepareds: self.inner.plan_cache.prepared_rows(),
         }
     }
 

@@ -11,7 +11,7 @@ use std::time::Duration;
 use cbs_common::{Error, Result, SeqNo};
 use cbs_index::{IndexDef, IndexEntry, ScanConsistency, ScanRange};
 use cbs_json::Value;
-use cbs_n1ql::{Datastore, QueryOptions, QueryResult};
+use cbs_n1ql::{Datastore, KeyspaceStats, QueryOptions, QueryResult, StatsCache};
 use parking_lot::RwLock;
 
 use crate::client::SmartClient;
@@ -23,6 +23,9 @@ pub struct ClusterDatastore {
     cluster: Arc<Cluster>,
     /// One smart client per keyspace (bucket) the service has touched.
     clients: RwLock<Vec<Arc<SmartClient>>>,
+    /// Lazily collected keyspace/index statistics for the cost-based
+    /// planner, memoized per plan-cache epoch.
+    stats_cache: StatsCache,
     requests: Arc<cbs_obs::Counter>,
     errors: Arc<cbs_obs::Counter>,
     latency: Arc<cbs_obs::Histogram>,
@@ -42,6 +45,7 @@ impl ClusterDatastore {
         ClusterDatastore {
             cluster,
             clients: RwLock::new(Vec::new()),
+            stats_cache: StatsCache::new(),
             requests: registry.counter_with_help("n1ql.query.requests", "N1QL statements received"),
             errors: registry.counter_with_help("n1ql.query.errors", "N1QL statements that failed"),
             latency: registry
@@ -208,12 +212,48 @@ impl Datastore for ClusterDatastore {
         Some(self.cluster.request_log())
     }
 
+    fn plan_cache(&self) -> Option<&cbs_n1ql::PlanCache> {
+        Some(self.cluster.plan_cache())
+    }
+
+    /// Optimizer statistics, derived from the index service: each online
+    /// index reports live entries / distinct keys / leading-key bounds,
+    /// and the keyspace document count is taken from the widest index's
+    /// per-document counter (a primary index sees every document). No
+    /// online index means no statistics — the planner falls back to its
+    /// rule-based ordering.
+    fn keyspace_stats(&self, keyspace: &str) -> Option<Arc<KeyspaceStats>> {
+        let epoch = self.cluster.plan_cache().epoch(keyspace);
+        self.stats_cache.get_or_refresh(keyspace, epoch, || {
+            let mgr = self.cluster.index_manager().ok()?;
+            let mut doc_count = 0u64;
+            let mut indexes = Vec::new();
+            for def in mgr.list_online(keyspace) {
+                let Ok(stats) = mgr.index_stats(keyspace, &def.name) else { continue };
+                doc_count = doc_count.max(stats.docs);
+                let Ok(card) = mgr.index_cardinality(keyspace, &def.name) else { continue };
+                indexes.push(cbs_n1ql::IndexStat {
+                    name: def.name.clone(),
+                    entries: card.entries,
+                    distinct_keys: card.distinct_keys,
+                    min_leading: card.min_leading,
+                    max_leading: card.max_leading,
+                });
+            }
+            if doc_count == 0 {
+                return None;
+            }
+            Some(KeyspaceStats { doc_count, indexes })
+        })
+    }
+
     /// The `system:` catalog keyspaces, backed live by cluster state — the
     /// Query Catalog of §4.3.5 exposed through N1QL itself.
     fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
         match keyspace {
             "system:completed_requests" => Ok(self.cluster.request_log().completed_rows()),
             "system:active_requests" => Ok(self.cluster.request_log().active_rows()),
+            "system:prepareds" => Ok(self.cluster.plan_cache().prepared_rows()),
             "system:indexes" => {
                 // Every definition on every index-service node, deduped by
                 // keyspace/name (managers replicate definitions).

@@ -60,6 +60,9 @@ pub struct ClusterStats {
     /// Requests in flight at snapshot time — the rows of
     /// `system:active_requests`, keyed by request id.
     pub active_requests: Vec<(String, Value)>,
+    /// Prepared statements registered with the query service — the rows of
+    /// `system:prepareds`, keyed by prepared name.
+    pub prepareds: Vec<(String, Value)>,
 }
 
 impl ClusterStats {

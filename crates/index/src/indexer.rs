@@ -32,6 +32,20 @@ pub struct IndexEntry {
     pub doc_id: String,
 }
 
+/// What the optimizer's statistics layer reads off one partition: entry
+/// counts plus the leading-key value bounds for selectivity interpolation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IndexCardinality {
+    /// Live (key, doc) entries.
+    pub entries: u64,
+    /// Distinct composite keys.
+    pub distinct_keys: u64,
+    /// Smallest leading-key value present.
+    pub min_leading: Option<cbs_json::Value>,
+    /// Largest leading-key value present.
+    pub max_leading: Option<cbs_json::Value>,
+}
+
 /// Point-in-time indexer statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IndexerStats {
@@ -53,6 +67,9 @@ struct Tree {
     /// apply idempotent and order-tolerant per document, so catch-up
     /// backfills can interleave with the live DCP feed safely.
     doc_keys: HashMap<String, (SeqNo, Vec<IndexKey>)>,
+    /// Live (key, doc) pair count, maintained incrementally so stats and
+    /// cardinality snapshots stay O(1) under the tree lock.
+    live_entries: u64,
     watermarks: Vec<SeqNo>,
     stats: IndexerStats,
     log: Option<File>,
@@ -92,6 +109,7 @@ impl Indexer {
             tree: Mutex::new(Tree {
                 entries: BTreeMap::new(),
                 doc_keys: HashMap::new(),
+                live_entries: 0,
                 watermarks: vec![SeqNo::ZERO; num_vbuckets as usize],
                 stats: IndexerStats::default(),
                 log,
@@ -115,7 +133,9 @@ impl Indexer {
         }
         remove_doc_locked(&mut t, doc_id);
         for key in &keys {
-            t.entries.entry(key.clone()).or_default().insert(doc_id.to_string());
+            if t.entries.entry(key.clone()).or_default().insert(doc_id.to_string()) {
+                t.live_entries += 1;
+            }
         }
         t.doc_keys.insert(doc_id.to_string(), (seqno, keys.clone()));
         t.stats.applied += 1;
@@ -217,7 +237,17 @@ impl Indexer {
         let mut t = self.tree.lock();
         t.stats.scans += 1;
         let mut out = Vec::new();
-        for (key, docs) in t.entries.iter() {
+        // Seek straight to the lower bound instead of walking from the
+        // smallest key: `IndexKey([low])` sorts at-or-before every key
+        // whose leading component is >= low (equal prefixes order by
+        // length), so everything below the range is skipped in O(log n).
+        // An exclusive low bound still filters via `contains` below; that
+        // only re-checks the duplicate set of the boundary value.
+        let iter = match &range.low {
+            Some(low) => t.entries.range(IndexKey(vec![Some(low.clone())])..),
+            None => t.entries.range(..),
+        };
+        for (key, docs) in iter {
             let Some(leading) = key.leading() else { continue };
             if let Some(high) = &range.high {
                 // Early exit once past the upper bound (B-tree order).
@@ -256,9 +286,21 @@ impl Indexer {
     pub fn stats(&self) -> IndexerStats {
         let t = self.tree.lock();
         let mut s = t.stats;
-        s.entries = t.entries.values().map(|d| d.len() as u64).sum();
+        s.entries = t.live_entries;
         s.docs = t.doc_keys.values().filter(|(_, k)| !k.is_empty()).count() as u64;
         s
+    }
+
+    /// O(1) cardinality snapshot for the cost-based optimizer: live entry
+    /// count, distinct composite keys, and the min/max leading-key values.
+    pub fn cardinality(&self) -> IndexCardinality {
+        let t = self.tree.lock();
+        IndexCardinality {
+            entries: t.live_entries,
+            distinct_keys: t.entries.len() as u64,
+            min_leading: t.entries.keys().next().and_then(|k| k.leading().cloned()),
+            max_leading: t.entries.keys().next_back().and_then(|k| k.leading().cloned()),
+        }
     }
 
     /// Storage mode.
@@ -280,7 +322,9 @@ fn remove_doc_locked(t: &mut Tree, doc_id: &str) {
     if let Some((_, old_keys)) = t.doc_keys.remove(doc_id) {
         for key in old_keys {
             if let Some(docs) = t.entries.get_mut(&key) {
-                docs.remove(doc_id);
+                if docs.remove(doc_id) {
+                    t.live_entries -= 1;
+                }
                 if docs.is_empty() {
                     t.entries.remove(&key);
                 }
@@ -351,6 +395,54 @@ mod tests {
         // Doc no longer matches a partial-index filter.
         idx.update_doc("d1", vec![], VbId(0), SeqNo(2));
         assert!(idx.scan(&ScanRange::all(), 0).is_empty());
+    }
+
+    #[test]
+    fn seeked_scan_matches_range_semantics() {
+        let idx = memopt();
+        for i in 0..100 {
+            idx.update_doc(
+                &format!("d{i:03}"),
+                vec![IndexKey(vec![Some(Value::int(i)), Some(Value::from("x"))])],
+                VbId(0),
+                SeqNo(i as u64 + 1),
+            );
+        }
+        // Inclusive low seeks past everything below it.
+        let r = ScanRange::at_least(Value::int(90));
+        assert_eq!(idx.scan(&r, 0).len(), 10);
+        // Exclusive low excludes the boundary value.
+        let r = ScanRange {
+            low: Some(Value::int(90)),
+            low_inclusive: false,
+            high: None,
+            high_inclusive: false,
+        };
+        assert_eq!(idx.scan(&r, 0).len(), 9);
+        // Limit applies after the seek.
+        let r = ScanRange::at_least(Value::int(50));
+        let out = idx.scan(&r, 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].doc_id, "d050");
+    }
+
+    #[test]
+    fn cardinality_tracks_entries_and_bounds() {
+        let idx = memopt();
+        assert_eq!(idx.cardinality(), IndexCardinality::default());
+        idx.update_doc("a", vec![key1(Value::int(5))], VbId(0), SeqNo(1));
+        idx.update_doc("b", vec![key1(Value::int(5))], VbId(0), SeqNo(2));
+        idx.update_doc("c", vec![key1(Value::int(40))], VbId(0), SeqNo(3));
+        let c = idx.cardinality();
+        assert_eq!(c.entries, 3);
+        assert_eq!(c.distinct_keys, 2);
+        assert_eq!(c.min_leading, Some(Value::int(5)));
+        assert_eq!(c.max_leading, Some(Value::int(40)));
+        idx.remove_doc("c", VbId(0), SeqNo(4));
+        let c = idx.cardinality();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.max_leading, Some(Value::int(5)));
+        assert_eq!(idx.stats().entries, 2, "stats entries stay incremental");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use cbs_obs::{span, Counter, Registry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::defs::{IndexDef, IndexKey, ScanConsistency, ScanRange};
-use crate::indexer::{IndexEntry, Indexer, IndexerStats};
+use crate::indexer::{IndexCardinality, IndexEntry, Indexer, IndexerStats};
 use crate::projector::{ProjectedOp, Projector, Router};
 
 /// Lifecycle state of an index.
@@ -260,6 +260,40 @@ impl IndexManager {
         let partition = &inst.router.partitions()[p];
         partition.wait_consistent(consistency, timeout)?;
         Ok(partition.lookup(key))
+    }
+
+    /// Aggregate cardinality across an index's partitions: entry counts
+    /// sum; leading-key bounds take the min/max across partitions. Feeds
+    /// the query service's statistics layer (selectivity estimation).
+    pub fn index_cardinality(&self, keyspace: &str, name: &str) -> Result<IndexCardinality> {
+        let inst = self.instance(keyspace, name)?;
+        let mut total = IndexCardinality::default();
+        for p in inst.router.partitions() {
+            let c = p.cardinality();
+            total.entries += c.entries;
+            total.distinct_keys += c.distinct_keys;
+            total.min_leading = match (total.min_leading.take(), c.min_leading) {
+                (Some(a), Some(b)) => {
+                    Some(if cbs_json::cmp_values(&b, &a) == std::cmp::Ordering::Less {
+                        b
+                    } else {
+                        a
+                    })
+                }
+                (a, b) => a.or(b),
+            };
+            total.max_leading = match (total.max_leading.take(), c.max_leading) {
+                (Some(a), Some(b)) => {
+                    Some(if cbs_json::cmp_values(&b, &a) == std::cmp::Ordering::Greater {
+                        b
+                    } else {
+                        a
+                    })
+                }
+                (a, b) => a.or(b),
+            };
+        }
+        Ok(total)
     }
 
     /// Aggregate stats across an index's partitions.

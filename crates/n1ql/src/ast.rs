@@ -218,6 +218,12 @@ pub enum Statement {
     DropIndex { keyspace: String, name: String },
     /// `BUILD INDEX ON ks(name, ...)`.
     BuildIndex { keyspace: String, names: Vec<String> },
+    /// `PREPARE <name> FROM <statement>` — plan once, register under a
+    /// name for later `EXECUTE` (backed by the plan cache).
+    Prepare { name: String, stmt: Box<Statement> },
+    /// `EXECUTE <name>` — run a previously prepared statement, binding
+    /// this request's positional/named parameters.
+    Execute { name: String },
     /// `EXPLAIN <statement>`.
     Explain(Box<Statement>),
     /// `PROFILE <statement>` — execute, returning the EXPLAIN-shaped plan

@@ -11,7 +11,8 @@
 //! [`MemoryDatastore`] is a faithful single-process implementation for
 //! tests.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 use cbs_common::{Error, Result, SeqNo};
@@ -19,7 +20,9 @@ use cbs_index::{IndexDef, IndexEntry, Projector, ScanConsistency, ScanRange};
 use cbs_json::Value;
 use parking_lot::RwLock;
 
+use crate::cache::PlanCache;
 use crate::profile::RequestLog;
+use crate::stats::{IndexStat, KeyspaceStats, StatsCache};
 
 /// Abstract data + index access for the query engine.
 pub trait Datastore: Send + Sync {
@@ -86,6 +89,19 @@ pub trait Datastore: Send + Sync {
     fn request_log(&self) -> Option<&RequestLog> {
         None
     }
+
+    /// The plan cache + prepared-statement registry, when this datastore
+    /// has one. `None` disables plan caching and PREPARE/EXECUTE.
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        None
+    }
+
+    /// Keyspace statistics for the cost-based planner (doc counts, per-
+    /// index cardinality). `None` means unavailable — the planner falls
+    /// back to rule-based access-path selection.
+    fn keyspace_stats(&self, _keyspace: &str) -> Option<Arc<KeyspaceStats>> {
+        None
+    }
 }
 
 #[derive(Default)]
@@ -102,6 +118,8 @@ struct MemKeyspace {
 pub struct MemoryDatastore {
     keyspaces: RwLock<BTreeMap<String, MemKeyspace>>,
     request_log: RequestLog,
+    plan_cache: PlanCache,
+    stats_cache: StatsCache,
 }
 
 impl Default for MemoryDatastore {
@@ -109,6 +127,8 @@ impl Default for MemoryDatastore {
         MemoryDatastore {
             keyspaces: RwLock::new(BTreeMap::new()),
             request_log: RequestLog::new("mem"),
+            plan_cache: PlanCache::new(),
+            stats_cache: StatsCache::new(),
         }
     }
 }
@@ -141,6 +161,20 @@ impl MemoryDatastore {
     /// True if keyspace holds no documents.
     pub fn is_empty(&self, keyspace: &str) -> bool {
         self.len(keyspace) == 0
+    }
+
+    /// Drop every document in a keyspace (a bucket flush). Indexes stay
+    /// defined; the keyspace epoch is bumped so cached plans and
+    /// statistics are invalidated.
+    pub fn flush_keyspace(&self, keyspace: &str) -> Result<()> {
+        let mut map = self.keyspaces.write();
+        let ks = map
+            .get_mut(keyspace)
+            .ok_or_else(|| Error::Plan(format!("no such keyspace: {keyspace}")))?;
+        ks.docs.clear();
+        drop(map);
+        self.plan_cache.bump_epoch(keyspace);
+        Ok(())
     }
 }
 
@@ -304,10 +338,66 @@ impl Datastore for MemoryDatastore {
         Err(Error::Index(format!("no such index: {name}")))
     }
 
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        Some(&self.plan_cache)
+    }
+
+    fn keyspace_stats(&self, keyspace: &str) -> Option<Arc<KeyspaceStats>> {
+        let epoch = self.plan_cache.epoch(keyspace);
+        self.stats_cache.get_or_refresh(keyspace, epoch, || {
+            let map = self.keyspaces.read();
+            let ks = map.get(keyspace)?;
+            if ks.docs.is_empty() {
+                // "Unavailable": nothing is memoized, so a later load is
+                // picked up without needing a DDL epoch bump.
+                return None;
+            }
+            let mut indexes = Vec::new();
+            for (def, online) in &ks.indexes {
+                if !*online {
+                    continue;
+                }
+                let mut entries = 0u64;
+                let mut distinct = BTreeSet::new();
+                let mut min_leading: Option<Value> = None;
+                let mut max_leading: Option<Value> = None;
+                for (doc_id, doc) in &ks.docs {
+                    for key in Projector::keys_for(def, doc_id, doc) {
+                        entries += 1;
+                        if let Some(lead) = key.leading() {
+                            let replace_min = min_leading.as_ref().is_none_or(|m| {
+                                cbs_json::cmp_values(lead, m) == std::cmp::Ordering::Less
+                            });
+                            if replace_min {
+                                min_leading = Some(lead.clone());
+                            }
+                            let replace_max = max_leading.as_ref().is_none_or(|m| {
+                                cbs_json::cmp_values(lead, m) == std::cmp::Ordering::Greater
+                            });
+                            if replace_max {
+                                max_leading = Some(lead.clone());
+                            }
+                        }
+                        distinct.insert(key);
+                    }
+                }
+                indexes.push(IndexStat {
+                    name: def.name.clone(),
+                    entries,
+                    distinct_keys: distinct.len() as u64,
+                    min_leading,
+                    max_leading,
+                });
+            }
+            Some(KeyspaceStats { doc_count: ks.docs.len() as u64, indexes })
+        })
+    }
+
     fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
         match keyspace {
             "system:completed_requests" => Ok(self.request_log.completed_rows()),
             "system:active_requests" => Ok(self.request_log.active_rows()),
+            "system:prepareds" => Ok(self.plan_cache.prepared_rows()),
             "system:indexes" => {
                 let map = self.keyspaces.read();
                 let mut rows = Vec::new();

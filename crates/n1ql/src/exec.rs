@@ -16,7 +16,7 @@ use cbs_obs::span;
 use crate::ast::*;
 use crate::datastore::Datastore;
 use crate::eval::{collect_aggregates, eval, expr_fingerprint, truth, EvalCtx, Truth};
-use crate::plan::{AccessPath, QueryPlan, SelectPlan};
+use crate::plan::{AccessPath, JoinStrategy, QueryPlan, SelectPlan};
 use crate::profile::{PhaseTimes, Prof};
 
 /// Request-level options (parameters + consistency, §3.2.3).
@@ -55,6 +55,18 @@ impl QueryOptions {
     /// Shorthand for positional parameters.
     pub fn with_args(args: Vec<Value>) -> QueryOptions {
         QueryOptions { pos_params: args, ..Default::default() }
+    }
+
+    /// Shorthand for named parameters (`$name` placeholders).
+    pub fn with_named_args<I, K>(args: I) -> QueryOptions
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        QueryOptions {
+            named_params: args.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            ..Default::default()
+        }
     }
 
     /// Enable `request_plus` scan consistency.
@@ -210,9 +222,12 @@ fn exec_select(
             prof.record("Fetch", n_keys, out.len() as u64, t_fetch);
             out
         }
-        AccessPath::IndexScan { index, range, covering } => {
+        AccessPath::IndexScan { index, range: spec, covering } => {
             let t_scan = prof.start();
             let cons = consistency_for(ds, &keyspace, opts);
+            // Plans keep scan bounds symbolic so the plan cache can serve
+            // every parameter binding; bind this request's values now.
+            let range = &spec.resolve(opts)?;
             // Only push LIMIT into the index when no later operator can
             // drop rows (no WHERE re-filter gaps exist: filters run after,
             // so pushdown is only safe for covering==false? Actually the
@@ -286,12 +301,18 @@ fn exec_select(
 
     // --- Join / Nest / Unnest (left-to-right, §4.5.3 join order) --------
     if let Some(from) = &sel.from {
-        for op in &from.ops {
+        for (i, op) in from.ops.iter().enumerate() {
             let t0 = prof.start();
             let items_in = rows.len() as u64;
-            rows = apply_from_op(ds, op, rows, opts, &alias, &mut metrics)?;
+            let strategy = plan.join_strategies.get(i).copied().unwrap_or_default();
+            rows = apply_from_op(ds, op, strategy, rows, opts, &alias, &mut metrics)?;
             match op {
-                FromOp::Join { .. } => prof.record("Join", items_in, rows.len() as u64, t0),
+                FromOp::Join { .. } => match strategy {
+                    JoinStrategy::Hash => prof.record("HashJoin", items_in, rows.len() as u64, t0),
+                    JoinStrategy::NestedLoop => {
+                        prof.record("Join", items_in, rows.len() as u64, t0)
+                    }
+                },
                 FromOp::Nest { .. } => prof.record("Nest", items_in, rows.len() as u64, t0),
                 FromOp::Unnest { .. } => prof.record("Unnest", items_in, rows.len() as u64, t0),
             }
@@ -586,11 +607,23 @@ fn ctx_for<'a>(
 fn apply_from_op(
     ds: &dyn Datastore,
     op: &FromOp,
+    strategy: JoinStrategy,
     rows: Vec<Row>,
     opts: &QueryOptions,
     primary_alias: &str,
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Row>> {
+    // Hash join: scan the inner keyspace once into a key → document table,
+    // then probe per outer key — chosen by the planner when the outer side
+    // would otherwise pay more per-key fetches than one inner scan costs.
+    let hash_table: Option<HashMap<String, Value>> =
+        if let (FromOp::Join { keyspace, .. }, JoinStrategy::Hash) = (op, strategy) {
+            let docs = ds.primary_scan(keyspace)?;
+            metrics.fetches += docs.len();
+            Some(docs.into_iter().collect())
+        } else {
+            None
+        };
     let mut out = Vec::new();
     for row in rows {
         let ctx = ctx_for(&row, primary_alias, opts, None);
@@ -599,8 +632,14 @@ fn apply_from_op(
                 let keys = eval_keys(on_keys, &ctx)?;
                 let mut matched = false;
                 for key in &keys {
-                    metrics.fetches += 1;
-                    if let Some(doc) = ds.fetch(keyspace, key)? {
+                    let doc = match &hash_table {
+                        Some(table) => table.get(key).cloned(),
+                        None => {
+                            metrics.fetches += 1;
+                            ds.fetch(keyspace, key)?
+                        }
+                    };
+                    if let Some(doc) = doc {
                         let mut new = row.clone();
                         new.obj.insert_field(alias, doc);
                         new.metas.insert(alias.clone(), key.clone());
@@ -896,27 +935,43 @@ fn exec_direct_inner(
         } => {
             let def = index_def_from_ast(name, keyspace, keys, where_, *using_view, *defer_build)?;
             ds.create_index(def)?;
+            bump_plan_epoch(ds, keyspace);
             Ok(QueryResult::default())
         }
         Statement::CreatePrimaryIndex { name, keyspace, defer_build, .. } => {
             let mut def = IndexDef::primary(name, keyspace);
             def.deferred = *defer_build;
             ds.create_index(def)?;
+            bump_plan_epoch(ds, keyspace);
             Ok(QueryResult::default())
         }
         Statement::DropIndex { keyspace, name } => {
             ds.drop_index(keyspace, name)?;
+            bump_plan_epoch(ds, keyspace);
             Ok(QueryResult::default())
         }
         Statement::BuildIndex { keyspace, names } => {
             for n in names {
                 ds.build_index(keyspace, n)?;
             }
+            bump_plan_epoch(ds, keyspace);
             Ok(QueryResult::default())
         }
+        Statement::Prepare { .. } | Statement::Execute { .. } => Err(Error::Plan(
+            "PREPARE/EXECUTE require a prepared-statement cache (issue via the query service)"
+                .to_string(),
+        )),
         Statement::Select(_) | Statement::Explain(_) | Statement::Profile(_) => {
             unreachable!("handled before exec_direct")
         }
+    }
+}
+
+/// DDL changed the index topology: invalidate every cached plan that
+/// depends on this keyspace (and force a statistics recollect).
+fn bump_plan_epoch(ds: &dyn Datastore, keyspace: &str) {
+    if let Some(cache) = ds.plan_cache() {
+        cache.bump_epoch(keyspace);
     }
 }
 

@@ -3,31 +3,51 @@
 
 use cbs_json::Value;
 
-use crate::ast::{FromOp, SelectItem, Statement};
-use crate::plan::{AccessPath, QueryPlan};
+use crate::ast::{Expr, FromOp, SelectItem, Statement, UnaryOp};
+use crate::plan::{AccessPath, JoinStrategy, QueryPlan, RangeSpec};
+
+/// Render a symbolic scan-range bound for EXPLAIN: literals print their
+/// value, parameters print their placeholder (`"$1"`, `"$name"`).
+fn bound_to_value(e: &Expr) -> Value {
+    match e {
+        Expr::Literal(v) => v.clone(),
+        Expr::PosParam(n) => Value::from(format!("${n}")),
+        Expr::NamedParam(n) => Value::from(format!("${n}")),
+        Expr::Unary(UnaryOp::Neg, inner) => match bound_to_value(inner) {
+            Value::String(s) => Value::from(format!("-{s}")),
+            v => v.as_f64().map(|f| Value::float(-f)).unwrap_or(Value::Null),
+        },
+        _ => Value::Null,
+    }
+}
+
+fn range_to_value(spec: &RangeSpec) -> Value {
+    let low = spec.lows.first();
+    let high = spec.highs.first();
+    Value::object([
+        ("low", low.map(|(e, _)| bound_to_value(e)).unwrap_or(Value::Null)),
+        ("low_inclusive", Value::Bool(low.is_none_or(|(_, i)| *i))),
+        ("high", high.map(|(e, _)| bound_to_value(e)).unwrap_or(Value::Null)),
+        ("high_inclusive", Value::Bool(high.is_none_or(|(_, i)| *i))),
+    ])
+}
 
 /// Render a plan as the JSON object EXPLAIN returns: an `operators` array
-/// in pipeline order, mirroring Figure 11.
+/// in pipeline order, mirroring Figure 11. The scan operator carries the
+/// optimizer's `cost`/`cardinality` estimate and whether statistics
+/// backed it (`statsUsed`).
 pub fn explain_to_value(plan: &QueryPlan) -> Value {
     match plan {
         QueryPlan::Select(p) => {
             let mut ops: Vec<Value> = Vec::new();
-            let scan = match &p.access {
+            let mut scan = match &p.access {
                 AccessPath::KeyScan { .. } => Value::object([("operator", Value::from("KeyScan"))]),
                 AccessPath::IndexScan { index, range, covering } => Value::object([
                     ("operator", Value::from("IndexScan")),
                     ("index", Value::from(index.name.as_str())),
                     ("using", Value::from("gsi")),
                     ("covering", Value::Bool(*covering)),
-                    (
-                        "range",
-                        Value::object([
-                            ("low", range.low.clone().unwrap_or(Value::Null)),
-                            ("low_inclusive", Value::Bool(range.low_inclusive)),
-                            ("high", range.high.clone().unwrap_or(Value::Null)),
-                            ("high_inclusive", Value::Bool(range.high_inclusive)),
-                        ]),
-                    ),
+                    ("range", range_to_value(range)),
                 ]),
                 AccessPath::PrimaryScan => {
                     Value::object([("operator", Value::from("PrimaryScan"))])
@@ -36,14 +56,26 @@ pub fn explain_to_value(plan: &QueryPlan) -> Value {
                     Value::object([("operator", Value::from("DummyScan"))])
                 }
             };
+            if !matches!(p.access, AccessPath::ExpressionOnly | AccessPath::KeyScan { .. }) {
+                scan.insert_field("cost", Value::float(p.estimate.cost));
+                scan.insert_field("cardinality", Value::float(p.estimate.cardinality));
+                scan.insert_field("statsUsed", Value::Bool(p.estimate.based_on_stats));
+            }
             ops.push(scan);
             if p.fetch && !matches!(p.access, AccessPath::ExpressionOnly) {
                 ops.push(Value::object([("operator", Value::from("Fetch"))]));
             }
             if let Some(from) = &p.select.from {
-                for op in &from.ops {
+                for (i, op) in from.ops.iter().enumerate() {
+                    let strategy = p.join_strategies.get(i).copied().unwrap_or_default();
                     let (name, ks) = match op {
-                        FromOp::Join { keyspace, .. } => ("Join", Some(keyspace.clone())),
+                        FromOp::Join { keyspace, .. } => (
+                            match strategy {
+                                JoinStrategy::Hash => "HashJoin",
+                                JoinStrategy::NestedLoop => "Join",
+                            },
+                            Some(keyspace.clone()),
+                        ),
                         FromOp::Nest { keyspace, .. } => ("Nest", Some(keyspace.clone())),
                         FromOp::Unnest { .. } => ("Unnest", None),
                     };
@@ -107,6 +139,8 @@ pub(crate) fn direct_name(stmt: &Statement) -> &'static str {
         Statement::CreatePrimaryIndex { .. } => "CreatePrimaryIndex",
         Statement::DropIndex { .. } => "DropIndex",
         Statement::BuildIndex { .. } => "BuildIndexes",
+        Statement::Prepare { .. } => "Prepare",
+        Statement::Execute { .. } => "Execute",
         Statement::Select(_) | Statement::Explain(_) | Statement::Profile(_) => "Sequence",
     }
 }

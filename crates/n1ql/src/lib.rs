@@ -16,10 +16,15 @@
 //!   `WHERE`, `WITH {"defer_build": true}`, `DROP INDEX`, `BUILD INDEX`;
 //! - the **planner** (§4.5.3) picks per-keyspace access paths — `KeyScan`
 //!   (USE KEYS), `IndexScan` (a qualifying, sargable online GSI; covering
-//!   detection per §5.1.2), or `PrimaryScan` ("quite expensive") — and
-//!   builds the operator pipeline of Figure 11: Scan → Fetch → Filter →
+//!   detection per §5.1.2), or `PrimaryScan` ("quite expensive") — costing
+//!   candidates against keyspace statistics when available ([`stats`]) and
+//!   building the operator pipeline of Figure 11: Scan → Fetch → Filter →
 //!   Join/Nest/Unnest → Group/Aggregate → Project → Distinct → Sort →
 //!   Limit/Offset;
+//! - **PREPARE / EXECUTE** backed by an invalidation-aware plan cache
+//!   ([`cache`]): `EXECUTE <name>` skips the lexer, parser and planner
+//!   entirely, and DDL bumps keyspace epochs so stale plans re-plan
+//!   instead of scanning dead indexes;
 //! - **scan consistency** per request: `not_bounded` or `request_plus`
 //!   (§3.2.3), the latter snapshotting the data service's seqno vector at
 //!   admission and waiting for the index to catch up.
@@ -30,6 +35,7 @@
 //! implementation for tests.
 
 pub mod ast;
+pub mod cache;
 pub mod datastore;
 pub mod eval;
 pub mod exec;
@@ -39,17 +45,24 @@ pub mod parser;
 pub mod plan;
 pub mod planner;
 pub mod profile;
+pub mod stats;
 
 pub use ast::Statement;
+pub use cache::{PlanCache, PreparedEntry};
 pub use datastore::{Datastore, MemoryDatastore};
 pub use exec::{execute, execute_with_profile, QueryOptions, QueryResult};
 pub use lexer::tokenize;
 pub use parser::parse_statement;
-pub use plan::{AccessPath, QueryPlan};
+pub use plan::{AccessPath, JoinStrategy, PlanEstimate, QueryPlan, RangeSpec};
 pub use planner::build_plan;
 pub use profile::{OpStat, PhaseTimes, Prof, RequestLog};
+pub use stats::{IndexStat, KeyspaceStats, StatsCache};
 
-use cbs_common::Result;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cbs_common::{Error, Result};
+use cbs_json::Value;
 use profile::PhaseTimes as Phases;
 
 /// Parse, plan and execute one N1QL statement against a datastore.
@@ -62,6 +75,10 @@ use profile::PhaseTimes as Phases;
 /// tree — the same one the slow-op ring captures — is rolled up into
 /// [`PhaseTimes`] on the result. A `PROFILE` prefix additionally returns
 /// the EXPLAIN-shaped plan annotated with per-operator runtime stats.
+///
+/// `PREPARE <name> FROM <stmt>` / `EXECUTE <name>` ride the datastore's
+/// [`PlanCache`]; hot prepared statements skip lexing, parsing and
+/// planning entirely.
 pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result<QueryResult> {
     let log = ds.request_log();
     let req_id = log.map(|l| l.admit(statement, opts.client_context_id.as_deref().unwrap_or("")));
@@ -102,6 +119,57 @@ pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result
     }
 }
 
+/// If `s` starts (case-insensitively) with keyword `kw` followed by
+/// whitespace, return the rest (left-trimmed).
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let t = s.trim_start();
+    if t.len() > kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw) {
+        let rest = &t[kw.len()..];
+        if rest.starts_with(|c: char| c.is_whitespace()) {
+            return Some(rest.trim_start());
+        }
+    }
+    None
+}
+
+/// `s` as a whole must be one plain identifier (optionally `;`-terminated).
+fn simple_ident(s: &str) -> Option<&str> {
+    let s = s.trim().trim_end_matches(';').trim_end();
+    let mut chars = s.chars();
+    let first = chars.next()?;
+    if (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Split one leading identifier off `s`.
+fn take_ident(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    let end = s.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).unwrap_or(s.len());
+    if end == 0 || s[..1].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some((&s[..end], &s[end..]))
+    }
+}
+
+/// Cache a plan under its statement text when it is worth caching: only
+/// SELECT pipelines over a real (non-`system:`) keyspace — DML/DDL plans
+/// are trivial to rebuild, and `system:` content changes per request.
+fn insert_if_cacheable(cache: &PlanCache, text: &str, plan: &Arc<QueryPlan>) {
+    if let QueryPlan::Select(p) = plan.as_ref() {
+        if let Some(from) = &p.select.from {
+            if !from.keyspace.starts_with("system:") {
+                cache.insert(text, Arc::clone(plan), plan.dependencies());
+            }
+        }
+    }
+}
+
 /// Parse/plan/execute, returning the result plus the plan summary for the
 /// request log and, for `PROFILE`, the plan + collected operator stats.
 #[allow(clippy::type_complexity)] // one internal call site
@@ -110,6 +178,32 @@ fn run_request(
     statement: &str,
     opts: &QueryOptions,
 ) -> Result<(QueryResult, String, Option<(QueryPlan, Prof)>)> {
+    // Hot path: `EXECUTE <name>` resolves the prepared statement and its
+    // cached plan on text alone — no lexer, no parser, no planner.
+    if let Some(rest) = strip_keyword(statement, "execute") {
+        if let Some(name) = simple_ident(rest) {
+            return run_execute(ds, name, opts);
+        }
+    }
+    // `PREPARE <name> FROM <stmt>`: the inner statement *text* is the plan
+    // cache key, so peel it off here rather than losing it to the AST.
+    if let Some(rest) = strip_keyword(statement, "prepare") {
+        if let Some((name, after)) = take_ident(rest) {
+            if let Some(inner_text) = strip_keyword(after, "from") {
+                let inner_text = inner_text.trim().trim_end_matches(';').trim_end();
+                return run_prepare(ds, name, inner_text, opts);
+            }
+        }
+    }
+    // Ad-hoc SELECTs consult the plan cache by full statement text.
+    if strip_keyword(statement, "select").is_some() {
+        if let Some(cache) = ds.plan_cache() {
+            if let Some(plan) = cache.lookup(statement) {
+                let summary = explain::plan_summary(&plan);
+                return Ok((execute(ds, &plan, opts)?, summary, None));
+            }
+        }
+    }
     let stmt = {
         let _s = cbs_obs::span("n1ql.query.parse");
         parse_statement(statement)?
@@ -134,10 +228,77 @@ fn run_request(
         let result = execute_with_profile(ds, &plan, opts, &mut prof)?;
         return Ok((result, summary, Some((plan, prof))));
     }
-    let plan = {
+    let plan = Arc::new({
         let _s = cbs_obs::span("n1ql.query.plan");
         build_plan(ds, &stmt, opts)?
-    };
+    });
+    if let Some(cache) = ds.plan_cache() {
+        insert_if_cacheable(cache, statement, &plan);
+    }
     let summary = explain::plan_summary(&plan);
     Ok((execute(ds, &plan, opts)?, summary, None))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_execute(
+    ds: &dyn Datastore,
+    name: &str,
+    opts: &QueryOptions,
+) -> Result<(QueryResult, String, Option<(QueryPlan, Prof)>)> {
+    let cache = ds
+        .plan_cache()
+        .ok_or_else(|| Error::Plan("no prepared-statement cache available".to_string()))?;
+    let prepared = cache
+        .get_prepared(name)
+        .ok_or_else(|| Error::Plan(format!("no such prepared statement: {name}")))?;
+    let plan = match cache.lookup(&prepared.statement) {
+        Some(plan) => plan,
+        None => {
+            // Invalidated (DDL epoch bump) or evicted: re-plan from the
+            // prepared text against the *current* index topology.
+            let stmt = {
+                let _s = cbs_obs::span("n1ql.query.parse");
+                parse_statement(&prepared.statement)?
+            };
+            let plan = Arc::new({
+                let _s = cbs_obs::span("n1ql.query.plan");
+                build_plan(ds, &stmt, opts)?
+            });
+            insert_if_cacheable(cache, &prepared.statement, &plan);
+            plan
+        }
+    };
+    let summary = explain::plan_summary(&plan);
+    let start = Instant::now();
+    let result = execute(ds, &plan, opts)?;
+    prepared.record_use(start.elapsed());
+    Ok((result, summary, None))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_prepare(
+    ds: &dyn Datastore,
+    name: &str,
+    inner_text: &str,
+    opts: &QueryOptions,
+) -> Result<(QueryResult, String, Option<(QueryPlan, Prof)>)> {
+    let cache = ds
+        .plan_cache()
+        .ok_or_else(|| Error::Plan("no prepared-statement cache available".to_string()))?;
+    let stmt = {
+        let _s = cbs_obs::span("n1ql.query.parse");
+        parse_statement(inner_text)?
+    };
+    if matches!(stmt, Statement::Prepare { .. } | Statement::Execute { .. }) {
+        return Err(Error::Plan("cannot PREPARE a PREPARE/EXECUTE statement".to_string()));
+    }
+    let plan = Arc::new({
+        let _s = cbs_obs::span("n1ql.query.plan");
+        build_plan(ds, &stmt, opts)?
+    });
+    insert_if_cacheable(cache, inner_text, &plan);
+    cache.prepare(name, inner_text);
+    let row = Value::object([("name", Value::from(name)), ("statement", Value::from(inner_text))]);
+    let result = QueryResult { rows: vec![row], ..Default::default() };
+    Ok((result, format!("Prepare({name})"), None))
 }

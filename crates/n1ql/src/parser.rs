@@ -134,6 +134,16 @@ impl Parser {
         if self.at_kw("build") {
             return self.parse_build_index();
         }
+        if self.eat_kw("prepare") {
+            let name = self.expect_ident()?;
+            self.expect_kw("from")?;
+            let stmt = Box::new(self.parse_statement()?);
+            return Ok(Statement::Prepare { name, stmt });
+        }
+        if self.eat_kw("execute") {
+            let name = self.expect_ident()?;
+            return Ok(Statement::Execute { name });
+        }
         Err(self.err(&format!("unsupported statement start: {:?}", self.peek())))
     }
 

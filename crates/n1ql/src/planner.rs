@@ -1,4 +1,4 @@
-//! The query planner (§4.5.3).
+//! The query planner (§4.5.3), now cost-based when statistics exist.
 //!
 //! "To optimize a query, the N1QL query planner analyzes the query and
 //! available access path options for each keyspace in the query to pick an
@@ -6,20 +6,31 @@
 //! path for each bucket, determine the join order, and then determine the
 //! type of the join operation."
 //!
-//! Access-path selection, in priority order:
+//! Access-path selection:
 //!
 //! 1. `USE KEYS` → **KeyScan** (the fastest path, §5.1.1);
-//! 2. a sargable WHERE conjunct over the leading key of an online GSI →
-//!    **IndexScan**, with covering detection (§5.1.2) and partial-index
-//!    applicability checks (§3.3.4);
+//! 2. sargable candidates over the leading key of online GSIs →
+//!    **IndexScan** candidates, with covering detection (§5.1.2) and
+//!    partial-index applicability checks (§3.3.4). With keyspace
+//!    statistics available, every candidate is *priced* (range
+//!    selectivity × entry cost, plus a fetch cost unless covering) and
+//!    compared against the full **PrimaryScan**; without statistics the
+//!    original rule-based scoring decides, exactly as before.
 //! 3. an online primary index → **PrimaryScan** (full scan — allowed but
 //!    "quite expensive");
 //! 4. otherwise the query is rejected, exactly like real N1QL's "no index
 //!    available" error.
 //!
-//! Join order is the textual order (N1QL 4.x semantics) and every join is
-//! a key-based nested loop (§3.2.4) — the parser already guarantees the
-//! `ON KEYS` shape.
+//! Join order is the textual order (N1QL 4.x key-join semantics). The
+//! join *algorithm* is chosen per FROM op: a key-based nested loop
+//! (§3.2.4) by default, or a hash join (build the inner keyspace once,
+//! probe per key) when statistics say the outer side would otherwise pay
+//! more KV fetches than one inner scan costs.
+//!
+//! Scan ranges stay *symbolic* in the plan ([`RangeSpec`]): bounds are
+//! literal/parameter expressions resolved per request, so a cached plan
+//! serves every parameter binding of a prepared statement. Cost formulas
+//! and constants are documented in DESIGN.md §13.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -32,7 +43,20 @@ use crate::ast::*;
 use crate::datastore::Datastore;
 use crate::eval::{eval, EvalCtx};
 use crate::exec::QueryOptions;
-use crate::plan::{AccessPath, QueryPlan, SelectPlan};
+use crate::plan::{AccessPath, JoinStrategy, PlanEstimate, QueryPlan, RangeSpec, SelectPlan};
+use crate::stats::{IndexStat, KeyspaceStats};
+
+/// Cost of fetching one full document from the data service (a network
+/// round trip plus deserialization — the dominant term, §5.1.2).
+const C_FETCH: f64 = 5.0;
+/// Cost of reading one index entry during a range scan.
+const C_INDEX_ENTRY: f64 = 1.0;
+/// Default equality selectivity when the index has no distinct-key count.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.02;
+/// Default selectivity of a half-bounded range (one of low/high).
+const HALF_BOUNDED_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Default selectivity of a fully bounded range.
+const BOUNDED_SELECTIVITY: f64 = 0.1;
 
 /// Plan a statement.
 pub fn build_plan(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> Result<QueryPlan> {
@@ -43,14 +67,42 @@ pub fn build_plan(ds: &dyn Datastore, stmt: &Statement, opts: &QueryOptions) -> 
     }
 }
 
+impl RangeSpec {
+    /// Resolve the symbolic bounds against this request's parameters,
+    /// producing the concrete [`ScanRange`] pushed into the index.
+    pub fn resolve(&self, opts: &QueryOptions) -> Result<ScanRange> {
+        let mut range = ScanRange::all();
+        for (e, inclusive) in &self.lows {
+            let v = const_value(e, opts).ok_or_else(|| unresolved_bound(e))?;
+            tighten_low(&mut range, v, *inclusive);
+        }
+        for (e, inclusive) in &self.highs {
+            let v = const_value(e, opts).ok_or_else(|| unresolved_bound(e))?;
+            tighten_high(&mut range, v, *inclusive);
+        }
+        Ok(range)
+    }
+}
+
+fn unresolved_bound(e: &Expr) -> Error {
+    Error::Plan(match e {
+        Expr::PosParam(n) => format!("missing positional parameter ${n} for scan range"),
+        Expr::NamedParam(n) => format!("missing named parameter ${n} for scan range"),
+        other => format!("unresolvable scan-range bound: {other:?}"),
+    })
+}
+
 fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<SelectPlan> {
     let Some(from) = &sel.from else {
         return Ok(SelectPlan {
             select: sel.clone(),
             access: AccessPath::ExpressionOnly,
             fetch: false,
+            estimate: PlanEstimate::default(),
+            join_strategies: Vec::new(),
         });
     };
+    let nested_loops = vec![JoinStrategy::NestedLoop; from.ops.len()];
     // `system:` catalogs are served whole by the datastore (no indexes, no
     // primary-index requirement); the rest of the pipeline — Filter, Group,
     // Sort, Limit — applies unchanged on top of the scan.
@@ -59,6 +111,8 @@ fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<
             select: sel.clone(),
             access: AccessPath::PrimaryScan,
             fetch: true,
+            estimate: PlanEstimate::default(),
+            join_strategies: nested_loops,
         });
     }
     if !ds.keyspace_exists(&from.keyspace) {
@@ -82,25 +136,29 @@ fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<
             select: sel.clone(),
             access: AccessPath::KeyScan { keys: keys.clone() },
             fetch: true,
+            estimate: PlanEstimate::default(),
+            join_strategies: nested_loops,
         });
     }
 
-    // 2. Try a qualifying secondary index.
+    // 2. Collect sargable index candidates.
     let conjuncts = sel.where_.as_ref().map(split_conjuncts).unwrap_or_default();
     let indexes = ds.list_indexes(&from.keyspace);
-    let mut best: Option<(IndexDef, ScanRange, bool, u32)> = None;
+    let mut candidates: Vec<(IndexDef, RangeSpec, bool, u32)> = Vec::new();
     for def in &indexes {
-        let Some(range) = sargable_range(def, &from.alias, &conjuncts, opts)? else { continue };
+        let Some(spec) = sargable_spec(def, &from.alias, &conjuncts) else { continue };
         if !partial_index_applicable(def, &from.alias, &conjuncts) {
             continue;
         }
         let covering = covering_ok(def, &from.alias, sel);
-        // Score: prefer bounded ranges, covering, secondary over primary.
+        // Rule score: prefer bounded ranges, covering, secondary over
+        // primary. Score ≤ 1 means "unbounded non-covering primary" — just
+        // a PrimaryScan in disguise.
         let mut score = 0u32;
-        if range.low.is_some() {
+        if spec.has_low() {
             score += 4;
         }
-        if range.high.is_some() {
+        if spec.has_high() {
             score += 4;
         }
         if covering {
@@ -109,35 +167,187 @@ fn plan_select(ds: &dyn Datastore, sel: &Select, opts: &QueryOptions) -> Result<
         if !def.primary {
             score += 1;
         }
-        if best.as_ref().is_none_or(|(_, _, _, s)| score > *s) {
-            best = Some((def.clone(), range, covering, score));
+        candidates.push((def.clone(), spec, covering, score));
+    }
+    let have_primary = indexes.iter().any(|d| d.primary);
+
+    // Cost-based selection when statistics exist (doc_count == 0 means the
+    // keyspace is empty or stats were never collected — either way the
+    // model has nothing to price with, so fall back to the rules).
+    let stats = ds.keyspace_stats(&from.keyspace).filter(|s| s.doc_count > 0);
+    if let Some(stats) = stats {
+        let mut best: Option<(IndexDef, RangeSpec, bool, PlanEstimate)> = None;
+        for (def, spec, covering, score) in &candidates {
+            if *score <= 1 {
+                continue;
+            }
+            let est = estimate_index_scan(spec, def, &stats, *covering, opts);
+            if best.as_ref().is_none_or(|(_, _, _, b)| est.cost < b.cost) {
+                best = Some((def.clone(), spec.clone(), *covering, est));
+            }
+        }
+        let primary_est = PlanEstimate {
+            cost: stats.doc_count as f64 * C_FETCH,
+            cardinality: stats.doc_count as f64,
+            based_on_stats: true,
+        };
+        if let Some((index, range, covering, estimate)) = best {
+            if !have_primary || estimate.cost < primary_est.cost {
+                let join_strategies = choose_join_strategies(ds, from, Some(&estimate));
+                return Ok(SelectPlan {
+                    select: sel.clone(),
+                    access: AccessPath::IndexScan { index, range, covering },
+                    fetch: !covering,
+                    estimate,
+                    join_strategies,
+                });
+            }
+        }
+        if have_primary {
+            let join_strategies = choose_join_strategies(ds, from, Some(&primary_est));
+            return Ok(SelectPlan {
+                select: sel.clone(),
+                access: AccessPath::PrimaryScan,
+                fetch: true,
+                estimate: primary_est,
+                join_strategies,
+            });
+        }
+        return Err(no_index_error(&from.keyspace));
+    }
+
+    // Rule-based fallback (no statistics): highest score wins.
+    let mut best: Option<(IndexDef, RangeSpec, bool, u32)> = None;
+    for cand in candidates {
+        if best.as_ref().is_none_or(|(_, _, _, s)| cand.3 > *s) {
+            best = Some(cand);
         }
     }
     if let Some((index, range, covering, score)) = best {
-        // An unbounded primary-index scan is just a PrimaryScan; report it
-        // as such (score 1 = primary, no bounds, not covering... keep
-        // IndexScan only when something was pushed down or it covers).
         if score > 1 {
             return Ok(SelectPlan {
                 select: sel.clone(),
                 access: AccessPath::IndexScan { index, range, covering },
                 fetch: !covering,
+                estimate: PlanEstimate::default(),
+                join_strategies: nested_loops,
             });
         }
     }
 
     // 3. PrimaryScan requires a primary index to exist (§3.3.3 / §5.1.1).
-    if indexes.iter().any(|d| d.primary) {
+    if have_primary {
         return Ok(SelectPlan {
             select: sel.clone(),
             access: AccessPath::PrimaryScan,
             fetch: true,
+            estimate: PlanEstimate::default(),
+            join_strategies: nested_loops,
         });
     }
-    Err(Error::Plan(format!(
-        "no index available on keyspace {} — create a primary or secondary index, or use USE KEYS",
-        from.keyspace
-    )))
+    Err(no_index_error(&from.keyspace))
+}
+
+fn no_index_error(keyspace: &str) -> Error {
+    Error::Plan(format!(
+        "no index available on keyspace {keyspace} — create a primary or secondary index, or use \
+         USE KEYS"
+    ))
+}
+
+/// Price one IndexScan candidate: estimated entries read × entry cost,
+/// plus a per-document fetch cost unless the index covers the query.
+fn estimate_index_scan(
+    spec: &RangeSpec,
+    def: &IndexDef,
+    stats: &KeyspaceStats,
+    covering: bool,
+    opts: &QueryOptions,
+) -> PlanEstimate {
+    let istat = stats.index(&def.name);
+    let entries = istat.map(|s| s.entries).unwrap_or(stats.doc_count) as f64;
+    let selectivity = range_selectivity(spec, istat, opts);
+    let cardinality = entries * selectivity;
+    let cost = cardinality * C_INDEX_ENTRY + if covering { 0.0 } else { cardinality * C_FETCH };
+    PlanEstimate { cost, cardinality, based_on_stats: true }
+}
+
+/// Fraction of index entries a range is expected to select. Uses the
+/// current request's parameters when they resolve (advisory only — the
+/// plan itself stays parameter-independent).
+fn range_selectivity(spec: &RangeSpec, istat: Option<&IndexStat>, opts: &QueryOptions) -> f64 {
+    if spec.is_unbounded() {
+        return 1.0;
+    }
+    if let Ok(range) = spec.resolve(opts) {
+        // Equality: one distinct key's worth of entries.
+        if let (Some(lo), Some(hi)) = (&range.low, &range.high) {
+            if cbs_json::cmp_values(lo, hi) == Ordering::Equal {
+                return match istat {
+                    Some(s) if s.distinct_keys > 0 => 1.0 / s.distinct_keys as f64,
+                    _ => DEFAULT_EQ_SELECTIVITY,
+                };
+            }
+        }
+        // Numeric interpolation against the index's leading-key bounds.
+        if let Some(s) = istat {
+            if let (Some(min), Some(max)) = (
+                s.min_leading.as_ref().and_then(Value::as_f64),
+                s.max_leading.as_ref().and_then(Value::as_f64),
+            ) {
+                let width = max - min;
+                let lo_ok =
+                    range.low.is_none() || range.low.as_ref().and_then(Value::as_f64).is_some();
+                let hi_ok =
+                    range.high.is_none() || range.high.as_ref().and_then(Value::as_f64).is_some();
+                if width > 0.0 && lo_ok && hi_ok {
+                    let lo = range.low.as_ref().and_then(Value::as_f64).unwrap_or(min).max(min);
+                    let hi = range.high.as_ref().and_then(Value::as_f64).unwrap_or(max).min(max);
+                    return ((hi - lo) / width).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+    match (spec.has_low(), spec.has_high()) {
+        (true, true) => BOUNDED_SELECTIVITY,
+        (true, false) | (false, true) => HALF_BOUNDED_SELECTIVITY,
+        (false, false) => 1.0,
+    }
+}
+
+/// Pick the join algorithm per FROM op. A hash join builds the inner
+/// keyspace once (N fetch-equivalents at entry cost) and probes per outer
+/// row; a nested loop pays one KV fetch per outer-row key. Requires
+/// statistics on both sides — without them the safe default is the
+/// paper's key-based nested loop (§3.2.4). Nest/Unnest always nest.
+fn choose_join_strategies(
+    ds: &dyn Datastore,
+    from: &FromClause,
+    outer: Option<&PlanEstimate>,
+) -> Vec<JoinStrategy> {
+    from.ops
+        .iter()
+        .map(|op| match op {
+            FromOp::Join { keyspace, .. } => {
+                let Some(outer) = outer.filter(|e| e.based_on_stats) else {
+                    return JoinStrategy::NestedLoop;
+                };
+                let Some(inner) = ds.keyspace_stats(keyspace.as_str()).filter(|s| s.doc_count > 0)
+                else {
+                    return JoinStrategy::NestedLoop;
+                };
+                let inner_n = inner.doc_count as f64;
+                let nested_cost = outer.cardinality * C_FETCH;
+                let hash_cost = inner_n * C_INDEX_ENTRY + outer.cardinality * 0.1;
+                if nested_cost > hash_cost {
+                    JoinStrategy::Hash
+                } else {
+                    JoinStrategy::NestedLoop
+                }
+            }
+            FromOp::Nest { .. } | FromOp::Unnest { .. } => JoinStrategy::NestedLoop,
+        })
+        .collect()
 }
 
 /// Split a WHERE tree on AND.
@@ -159,7 +369,7 @@ fn matches_key_expr(expr: &Expr, key: &KeyExpr, alias: &str) -> bool {
         (Expr::MetaId(a), KeyExpr::DocId) => a.as_deref().is_none_or(|x| x == alias),
         (Expr::Path(parts), KeyExpr::Path(path)) => path_matches(parts, path, alias),
         // ANY ... IN <path> predicates pair with ArrayElements keys; handled
-        // separately in `sargable_range`.
+        // separately in `sargable_spec`.
         _ => false,
     }
 }
@@ -190,8 +400,20 @@ fn render_parts(parts: &[PathPart]) -> String {
     s
 }
 
-/// Evaluate a plan-time constant (literal or parameter).
-fn const_value(e: &Expr, opts: &QueryOptions) -> Option<Value> {
+/// Shape-only check: can this expression be resolved to a constant at
+/// execution time (literal or parameter)? Plans must not depend on
+/// parameter *values*, only on parameter *positions*, so sargability is
+/// decided on shape alone and [`RangeSpec::resolve`] evaluates later.
+fn is_const_expr(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::PosParam(_) | Expr::NamedParam(_) => true,
+        Expr::Unary(UnaryOp::Neg, inner) => is_const_expr(inner),
+        _ => false,
+    }
+}
+
+/// Evaluate a bound expression against a request's parameters.
+pub(crate) fn const_value(e: &Expr, opts: &QueryOptions) -> Option<Value> {
     let row = Value::empty_object();
     let metas = HashMap::new();
     let ctx = EvalCtx {
@@ -202,25 +424,18 @@ fn const_value(e: &Expr, opts: &QueryOptions) -> Option<Value> {
         named_params: &opts.named_params,
         aggs: None,
     };
-    match e {
-        Expr::Literal(_)
-        | Expr::PosParam(_)
-        | Expr::NamedParam(_)
-        | Expr::Unary(UnaryOp::Neg, _) => eval(e, &ctx).ok().flatten(),
-        _ => None,
+    if is_const_expr(e) {
+        eval(e, &ctx).ok().flatten()
+    } else {
+        None
     }
 }
 
-/// Derive the leading-key range an index can serve for these conjuncts
-/// (`None` if the index is not sargable for this query).
-fn sargable_range(
-    def: &IndexDef,
-    alias: &str,
-    conjuncts: &[Expr],
-    opts: &QueryOptions,
-) -> Result<Option<ScanRange>> {
+/// Derive the symbolic leading-key range an index can serve for these
+/// conjuncts (`None` if the index is not sargable for this query).
+fn sargable_spec(def: &IndexDef, alias: &str, conjuncts: &[Expr]) -> Option<RangeSpec> {
     let leading = &def.keys[0];
-    let mut range = ScanRange::all();
+    let mut spec = RangeSpec::default();
     let mut matched = false;
 
     for c in conjuncts {
@@ -233,10 +448,8 @@ fn sargable_range(
                     if let Expr::Binary(BinOp::Eq, l, r) = cond.as_ref() {
                         let var_matches =
                             matches!(l.as_ref(), Expr::Path(p) if render_parts(p) == *var);
-                        if var_matches {
-                            if let Some(v) = const_value(r, opts) {
-                                return Ok(Some(ScanRange::exact(v)));
-                            }
+                        if var_matches && is_const_expr(r) {
+                            return Some(RangeSpec::exact((**r).clone()));
                         }
                     }
                 }
@@ -250,46 +463,47 @@ fn sargable_range(
                 r,
             ) => (*op, l.as_ref(), r.as_ref()),
             Expr::Between { expr, low, high, negated: false } => {
-                if matches_key_expr(expr, leading, alias) {
-                    if let (Some(lo), Some(hi)) = (const_value(low, opts), const_value(high, opts))
-                    {
-                        tighten_low(&mut range, lo, true);
-                        tighten_high(&mut range, hi, true);
-                        matched = true;
-                    }
+                if matches_key_expr(expr, leading, alias)
+                    && is_const_expr(low)
+                    && is_const_expr(high)
+                {
+                    spec.lows.push(((**low).clone(), true));
+                    spec.highs.push(((**high).clone(), true));
+                    matched = true;
                 }
                 continue;
             }
             _ => continue,
         };
         // Normalize to key <op> constant.
-        let (op, key_side, const_side) = if matches_key_expr(lhs, leading, alias) {
-            (op, lhs, rhs)
+        let (op, const_side) = if matches_key_expr(lhs, leading, alias) {
+            (op, rhs)
         } else if matches_key_expr(rhs, leading, alias) {
-            (flip(op), rhs, lhs)
+            (flip(op), lhs)
         } else {
             continue;
         };
-        let _ = key_side;
-        let Some(v) = const_value(const_side, opts) else { continue };
+        if !is_const_expr(const_side) {
+            continue;
+        }
         match op {
             BinOp::Eq => {
-                tighten_low(&mut range, v.clone(), true);
-                tighten_high(&mut range, v, true);
+                spec.lows.push((const_side.clone(), true));
+                spec.highs.push((const_side.clone(), true));
             }
-            BinOp::Gt => tighten_low(&mut range, v, false),
-            BinOp::Ge => tighten_low(&mut range, v, true),
-            BinOp::Lt => tighten_high(&mut range, v, false),
-            BinOp::Le => tighten_high(&mut range, v, true),
+            BinOp::Gt => spec.lows.push((const_side.clone(), false)),
+            BinOp::Ge => spec.lows.push((const_side.clone(), true)),
+            BinOp::Lt => spec.highs.push((const_side.clone(), false)),
+            BinOp::Le => spec.highs.push((const_side.clone(), true)),
             _ => continue,
         }
         matched = true;
     }
     if matched || def.primary {
         // A primary index can always serve an unbounded scan.
-        Ok(Some(range))
+        Some(spec)
     } else {
-        Ok(None)
+        None
     }
 }
 
@@ -455,11 +669,19 @@ mod tests {
     }
 
     fn plan(ds: &MemoryDatastore, q: &str) -> SelectPlan {
+        plan_opts(ds, q, &QueryOptions::default())
+    }
+
+    fn plan_opts(ds: &MemoryDatastore, q: &str, opts: &QueryOptions) -> SelectPlan {
         let stmt = parse_statement(q).unwrap();
-        match build_plan(ds, &stmt, &QueryOptions::default()).unwrap() {
+        match build_plan(ds, &stmt, opts).unwrap() {
             QueryPlan::Select(p) => p,
             other => panic!("{other:?}"),
         }
+    }
+
+    fn resolved(spec: &RangeSpec) -> ScanRange {
+        spec.resolve(&QueryOptions::default()).unwrap()
     }
 
     #[test]
@@ -476,10 +698,11 @@ mod tests {
         match p.access {
             AccessPath::IndexScan { index, range, covering } => {
                 assert_eq!(index.name, "age");
-                assert_eq!(range.low, Some(Value::int(21)));
-                assert!(!range.low_inclusive);
-                assert_eq!(range.high, Some(Value::int(40)));
-                assert!(range.high_inclusive);
+                let r = resolved(&range);
+                assert_eq!(r.low, Some(Value::int(21)));
+                assert!(!r.low_inclusive);
+                assert_eq!(r.high, Some(Value::int(40)));
+                assert!(r.high_inclusive);
                 assert!(!covering, "name is not in the index");
             }
             other => panic!("{other:?}"),
@@ -493,8 +716,9 @@ mod tests {
         let p = plan(&ds, "SELECT * FROM b WHERE 21 < age");
         match p.access {
             AccessPath::IndexScan { range, .. } => {
-                assert_eq!(range.low, Some(Value::int(21)));
-                assert!(!range.low_inclusive);
+                let r = resolved(&range);
+                assert_eq!(r.low, Some(Value::int(21)));
+                assert!(!r.low_inclusive);
             }
             other => panic!("{other:?}"),
         }
@@ -525,11 +749,30 @@ mod tests {
         match p.access {
             AccessPath::IndexScan { index, range, covering } => {
                 assert!(index.primary);
-                assert_eq!(range.low, Some(Value::from("user100")));
+                // The plan keeps the bound symbolic ($1) — resolving with
+                // this request's parameters yields the concrete range.
+                let r = range.resolve(&opts).unwrap();
+                assert_eq!(r.low, Some(Value::from("user100")));
                 assert!(covering, "meta().id is covered by the primary index");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn plan_is_parameter_independent() {
+        // The same plan resolves differently under different bindings —
+        // that is what makes it cacheable across EXECUTEs.
+        let ds = ds_with_index(vec![IndexDef::simple("age", "b", "age")]);
+        let opts1 = QueryOptions { pos_params: vec![Value::int(10)], ..QueryOptions::default() };
+        let p = plan_opts(&ds, "SELECT age FROM b WHERE age > $1", &opts1);
+        let AccessPath::IndexScan { range, .. } = &p.access else { panic!("{:?}", p.access) };
+        assert_eq!(range.resolve(&opts1).unwrap().low, Some(Value::int(10)));
+        let opts2 = QueryOptions { pos_params: vec![Value::int(77)], ..QueryOptions::default() };
+        assert_eq!(range.resolve(&opts2).unwrap().low, Some(Value::int(77)));
+        // Missing parameter: resolution (not planning) fails.
+        let err = range.resolve(&QueryOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Plan(m) if m.contains("positional parameter")));
     }
 
     #[test]
@@ -545,12 +788,7 @@ mod tests {
         let ds = ds_with_index(vec![IndexDef::primary("#primary", "b")]);
         let p = plan(&ds, "SELECT * FROM b WHERE name = 'x'");
         // name has no index: full scan through the primary index.
-        assert!(matches!(p.access, AccessPath::PrimaryScan | AccessPath::IndexScan { .. }));
-        if let AccessPath::IndexScan { index, range, .. } = &p.access {
-            assert!(index.primary);
-            assert!(range.low.is_none() && range.high.is_none());
-            unreachable!("unbounded primary scan should be PrimaryScan");
-        }
+        assert!(matches!(p.access, AccessPath::PrimaryScan));
     }
 
     #[test]
@@ -581,7 +819,7 @@ mod tests {
         match p.access {
             AccessPath::IndexScan { index, range, covering } => {
                 assert_eq!(index.name, "tags");
-                assert_eq!(range.low, Some(Value::from("sale")));
+                assert_eq!(resolved(&range).low, Some(Value::from("sale")));
                 assert!(!covering);
             }
             other => panic!("{other:?}"),
@@ -594,8 +832,9 @@ mod tests {
         let p = plan(&ds, "SELECT p.age FROM b p WHERE p.age = 30");
         match p.access {
             AccessPath::IndexScan { range, covering, .. } => {
-                assert_eq!(range.low, Some(Value::int(30)));
-                assert_eq!(range.high, Some(Value::int(30)));
+                let r = resolved(&range);
+                assert_eq!(r.low, Some(Value::int(30)));
+                assert_eq!(r.high, Some(Value::int(30)));
                 assert!(covering);
             }
             other => panic!("{other:?}"),
@@ -607,5 +846,87 @@ mod tests {
         let ds = MemoryDatastore::new();
         let p = plan(&ds, "SELECT 1+1 AS two");
         assert!(matches!(p.access, AccessPath::ExpressionOnly));
+    }
+
+    // ----- cost model -----
+
+    /// 100 docs with age 0..100 and a secondary index on age plus a
+    /// primary index, so both access paths are available and priced.
+    fn costed_ds() -> MemoryDatastore {
+        let ds = ds_with_index(vec![
+            IndexDef::simple("age", "b", "age"),
+            IndexDef::primary("#primary", "b"),
+        ]);
+        for i in 0..100 {
+            ds.upsert(
+                "b",
+                &format!("k{i:03}"),
+                Value::object([("age", Value::int(i)), ("name", Value::from("x"))]),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn selective_range_beats_primary_scan() {
+        let ds = costed_ds();
+        let p = plan(&ds, "SELECT name FROM b WHERE age > 95");
+        match &p.access {
+            AccessPath::IndexScan { index, .. } => assert_eq!(index.name, "age"),
+            other => panic!("{other:?}"),
+        }
+        assert!(p.estimate.based_on_stats);
+        assert!(p.estimate.cardinality < 10.0, "≈5 of 100 rows: {}", p.estimate.cardinality);
+        assert!(p.estimate.cost > 0.0);
+    }
+
+    #[test]
+    fn unselective_range_loses_to_primary_scan() {
+        let ds = costed_ds();
+        // age >= 0 selects everything: 100 entries + 100 fetches (cost
+        // 600) is worse than a straight primary scan (cost 500).
+        let p = plan(&ds, "SELECT name FROM b WHERE age >= 0");
+        assert!(matches!(p.access, AccessPath::PrimaryScan), "{:?}", p.access);
+        assert!(p.estimate.based_on_stats);
+        assert_eq!(p.estimate.cardinality, 100.0);
+    }
+
+    #[test]
+    fn covering_discount_keeps_unselective_index() {
+        let ds = costed_ds();
+        // Covering: no fetch cost, so even the full range (cost 100) beats
+        // the primary scan (cost 500).
+        let p = plan(&ds, "SELECT age FROM b WHERE age >= 0");
+        match &p.access {
+            AccessPath::IndexScan { index, covering, .. } => {
+                assert_eq!(index.name, "age");
+                assert!(covering);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_uses_distinct_keys() {
+        let ds = costed_ds();
+        let p = plan(&ds, "SELECT name FROM b WHERE age = 42");
+        assert!(p.estimate.based_on_stats);
+        // 100 entries / 100 distinct keys = 1 row.
+        assert!((p.estimate.cardinality - 1.0).abs() < 0.01, "{}", p.estimate.cardinality);
+    }
+
+    #[test]
+    fn empty_keyspace_falls_back_to_rules() {
+        // No documents: doc_count == 0, the model has nothing to price
+        // with, so the rule-based planner decides (and says so).
+        let ds = ds_with_index(vec![
+            IndexDef::simple("age", "b", "age"),
+            IndexDef::primary("#primary", "b"),
+        ]);
+        let p = plan(&ds, "SELECT name FROM b WHERE age > 95");
+        assert!(matches!(p.access, AccessPath::IndexScan { .. }));
+        assert!(!p.estimate.based_on_stats);
+        assert_eq!(p.estimate.cost, 0.0);
     }
 }

@@ -35,6 +35,7 @@ pub const OPERATORS: &[&str] = &[
     "DummyScan",
     "Fetch",
     "Join",
+    "HashJoin",
     "Nest",
     "Unnest",
     "Filter",

@@ -1,0 +1,129 @@
+//! The optimizer's statistics layer.
+//!
+//! The paper's planner is rule-based (§4.5.3); this module supplies what a
+//! cost-based pass needs on top of it: per-keyspace document counts and
+//! per-index cardinality (entry counts, distinct keys, leading-key value
+//! bounds), fed from the index service and the same state the `system:`
+//! catalogs expose.
+//!
+//! Statistics are collected lazily and memoized per keyspace in a
+//! [`StatsCache`], stamped with the plan-cache epoch for that keyspace.
+//! Any DDL (CREATE/DROP/BUILD INDEX) or keyspace lifecycle change bumps
+//! the epoch, so the next planning pass recollects instead of pricing
+//! against a dead index.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cbs_json::Value;
+use parking_lot::RwLock;
+
+/// Cardinality snapshot for one index (aggregated across partitions).
+#[derive(Debug, Clone, Default)]
+pub struct IndexStat {
+    /// Index name.
+    pub name: String,
+    /// Live (key, doc) entries.
+    pub entries: u64,
+    /// Distinct composite keys.
+    pub distinct_keys: u64,
+    /// Smallest leading-key value present.
+    pub min_leading: Option<Value>,
+    /// Largest leading-key value present.
+    pub max_leading: Option<Value>,
+}
+
+/// Statistics for one keyspace, as of one plan-cache epoch.
+#[derive(Debug, Clone, Default)]
+pub struct KeyspaceStats {
+    /// Live document count.
+    pub doc_count: u64,
+    /// Per-index cardinality, one entry per online index.
+    pub indexes: Vec<IndexStat>,
+}
+
+impl KeyspaceStats {
+    /// Stats for a named index, when collected.
+    pub fn index(&self, name: &str) -> Option<&IndexStat> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+}
+
+/// Lazy, epoch-stamped statistics memo. `get_or_refresh` returns the
+/// cached snapshot while the keyspace epoch is unchanged and recollects
+/// (via the caller's closure) after any invalidation.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    inner: RwLock<HashMap<String, (u64, Arc<KeyspaceStats>)>>,
+}
+
+impl StatsCache {
+    /// Empty cache.
+    pub fn new() -> StatsCache {
+        StatsCache::default()
+    }
+
+    /// Cached stats for `keyspace` at `epoch`, collecting fresh ones when
+    /// the epoch moved (or nothing was cached). `collect` returning `None`
+    /// means statistics are unavailable; nothing is cached in that case so
+    /// a later call retries.
+    pub fn get_or_refresh(
+        &self,
+        keyspace: &str,
+        epoch: u64,
+        collect: impl FnOnce() -> Option<KeyspaceStats>,
+    ) -> Option<Arc<KeyspaceStats>> {
+        if let Some((e, s)) = self.inner.read().get(keyspace) {
+            if *e == epoch {
+                return Some(Arc::clone(s));
+            }
+        }
+        let fresh = Arc::new(collect()?);
+        self.inner.write().insert(keyspace.to_string(), (epoch, Arc::clone(&fresh)));
+        Some(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_only_on_epoch_change() {
+        let cache = StatsCache::new();
+        let mut calls = 0;
+        let s1 = cache
+            .get_or_refresh("b", 1, || {
+                calls += 1;
+                Some(KeyspaceStats { doc_count: 10, indexes: Vec::new() })
+            })
+            .unwrap();
+        assert_eq!(s1.doc_count, 10);
+        // Same epoch: memoized, closure not called.
+        let s2 = cache
+            .get_or_refresh("b", 1, || {
+                calls += 1;
+                Some(KeyspaceStats { doc_count: 99, indexes: Vec::new() })
+            })
+            .unwrap();
+        assert_eq!(s2.doc_count, 10);
+        assert_eq!(calls, 1);
+        // Epoch moved: recollect.
+        let s3 = cache
+            .get_or_refresh("b", 2, || {
+                calls += 1;
+                Some(KeyspaceStats { doc_count: 42, indexes: Vec::new() })
+            })
+            .unwrap();
+        assert_eq!(s3.doc_count, 42);
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn unavailable_stats_not_cached() {
+        let cache = StatsCache::new();
+        assert!(cache.get_or_refresh("b", 1, || None).is_none());
+        // A later successful collection still lands.
+        assert!(cache.get_or_refresh("b", 1, || Some(KeyspaceStats::default())).is_some());
+    }
+}

@@ -265,13 +265,24 @@ mod tests {
             "crates/n1ql/src/exec.rs",
             "fn run(prof: &mut Profile) {\n    prof.record(\"Scanner\", 0, 0, t0);\n}\n",
         );
+        // Benchmark harness that re-plans per operation.
+        w(
+            "crates/ycsb/src/lib.rs",
+            "fn scan(c: &C) { c.query(&format!(\"SELECT * FROM {b}\"), &o); }\n",
+        );
 
         let (findings, files) = lint_tree(&root).unwrap();
-        assert_eq!(files, 6);
+        assert_eq!(files, 7);
         let rules_hit: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        for rule in
-            ["unwrap", "std-sync", "guard-io", "wall-clock", "obs-naming", "profile-coverage"]
-        {
+        for rule in [
+            "unwrap",
+            "std-sync",
+            "guard-io",
+            "wall-clock",
+            "obs-naming",
+            "profile-coverage",
+            "ycsb-hot-parse",
+        ] {
             assert!(rules_hit.contains(&rule), "expected {rule} in {rules_hit:?}");
         }
 
@@ -295,6 +306,7 @@ mod tests {
             "crates/n1ql/src/exec.rs",
             &format!("fn run(prof: &mut Profile) {{\n{full_coverage}}}\n"),
         );
+        w("crates/ycsb/src/lib.rs", "fn scan(c: &C) { c.query(\"EXECUTE scan\", &o); }\n");
         let (findings, _) = lint_tree(&root).unwrap();
         assert!(findings.is_empty(), "expected clean, got {findings:?}");
 

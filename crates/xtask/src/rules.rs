@@ -16,6 +16,9 @@
 //! |                     | root `tests/chaos*.rs` suite   | (`thread_rng`, `Instant::now`, `SystemTime`) — every     |
 //! |                     |                                | chaos decision must derive from the printed seed so a    |
 //! |                     |                                | failure replays exactly                                  |
+//! | `ycsb-hot-parse`    | ycsb (lib)                     | no ad-hoc N1QL construction or parser/planner calls in   |
+//! |                     |                                | the benchmark hot loop — PREPARE once at setup, EXECUTE  |
+//! |                     |                                | per operation (the fig16 fast path)                      |
 //!
 //! Suppression: `// lint:allow(<rule>): <reason>` on the offending line or
 //! the comment block immediately above it. Reasons are mandatory, unknown
@@ -36,6 +39,8 @@ pub const STORAGE_CRATE: &str = "storage";
 pub const CLUSTER_CRATE: &str = "cluster";
 /// Crate holding the chaos harness (`chaos-determinism` scope).
 pub const CHAOS_CRATE: &str = "chaos";
+/// Crate holding the YCSB benchmark harness (`ycsb-hot-parse` scope).
+pub const YCSB_CRATE: &str = "ycsb";
 
 /// Filesystem namespace operations: calls that create, destroy, rename or
 /// enumerate directory entries (as opposed to reading/writing an already
@@ -66,6 +71,7 @@ const KNOWN_RULES: &[&str] = &[
     "obs-naming",
     "chaos-determinism",
     "profile-coverage",
+    "ycsb-hot-parse",
 ];
 
 /// Mirror of `cbs_n1ql::profile::OPERATORS` (xtask deliberately has no
@@ -80,6 +86,7 @@ pub(crate) const PROFILE_OPERATORS: &[&str] = &[
     "DummyScan",
     "Fetch",
     "Join",
+    "HashJoin",
     "Nest",
     "Unnest",
     "Filter",
@@ -135,6 +142,9 @@ pub fn lint_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
         rule_chaos_determinism(&m, rel_path, &mut findings);
     }
     let orig_lines: Vec<&str> = src.lines().collect();
+    if crate_name == YCSB_CRATE {
+        rule_ycsb_hot_parse(&m, &orig_lines, rel_path, &mut findings);
+    }
     rule_obs_naming(&m, &orig_lines, rel_path, &mut findings);
     if crate_name == "n1ql" && rel_path.ends_with("src/exec.rs") {
         rule_profile_coverage(src, rel_path, &mut findings);
@@ -389,6 +399,49 @@ fn rule_chaos_determinism(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
                      the printed seed (seeded hashes + `cbs_common::time::Deadline`), or \
                      replay breaks; justify with `// lint:allow(chaos-determinism): <reason>`"
                 ),
+            });
+        }
+    }
+}
+
+/// `ycsb-hot-parse`: the YCSB harness must not build ad-hoc query text or
+/// call into the N1QL front end per operation. Every statement issued from
+/// the per-op loop pays lexer + parser + planner unless it went through
+/// PREPARE — exactly the overhead that flattened the fig16 YCSB-E curve.
+/// Flagged: `format!("SELECT`-style ad-hoc statement construction (DDL and
+/// `PREPARE` text is setup-time and passes) and direct front-end calls
+/// (`tokenize(`, `parse_statement(`, `build_plan(`). The mask blanks string
+/// contents, so statement prefixes are read from the original line at the
+/// `format!(` site.
+fn rule_ycsb_hot_parse(m: &Masked, orig_lines: &[&str], rel: &str, out: &mut Vec<Finding>) {
+    const FRONT_END_CALLS: &[&str] = &["tokenize(", "parse_statement(", "build_plan("];
+    const AD_HOC_PREFIXES: &[&str] = &["format!(\"SELECT", "format!(\"select"];
+    for (idx, l) in m.lines.iter().enumerate() {
+        if m.test_lines[idx] {
+            continue;
+        }
+        let Some(orig) = orig_lines.get(idx) else { continue };
+        if let Some(call) = FRONT_END_CALLS.iter().find(|n| l.contains(*n)) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "ycsb-hot-parse",
+                msg: format!(
+                    "`{}` in the YCSB harness — the benchmark loop must not run the N1QL \
+                     front end per operation; PREPARE at setup and EXECUTE in the loop",
+                    call.trim_end_matches('(')
+                ),
+            });
+        }
+        if l.contains("format!(") && AD_HOC_PREFIXES.iter().any(|p| orig.contains(p)) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "ycsb-hot-parse",
+                msg: "ad-hoc SELECT text built in the YCSB harness — each issue re-lexes, \
+                      re-parses and re-plans; PREPARE the statement once at setup and \
+                      EXECUTE it with named parameters per operation"
+                    .to_string(),
             });
         }
     }
@@ -818,6 +871,25 @@ fn f(&self) {
         ok.push_str("fn d(prof: &mut Profile) { prof.record(name, 0, 0, t0); }\n");
         ok.push_str("fn m(h: &H) { h.record(\"latency\", 1); }\n");
         assert!(lint_exec(&ok).iter().all(|f| f.rule != "profile-coverage"));
+    }
+
+    #[test]
+    fn ycsb_hot_parse_flags_adhoc_select_and_front_end_calls() {
+        let src = "fn scan(c: &C) {\n    c.query(&format!(\"SELECT * FROM {b} WHERE x >= $1\"), &o);\n    let s = parse_statement(text);\n}\n";
+        let f = lint("ycsb", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "ycsb-hot-parse").count(), 2, "{f:?}");
+        // Out of scope in every other crate — n1ql itself parses freely.
+        assert!(lint("n1ql", src).iter().all(|f| f.rule != "ycsb-hot-parse"));
+    }
+
+    #[test]
+    fn ycsb_hot_parse_passes_prepare_ddl_and_tests() {
+        let ok = "fn setup(c: &C) {\n    c.query(&format!(\"CREATE PRIMARY INDEX ON {b}\"), &o);\n    c.query(&format!(\"PREPARE s FROM SELECT meta().id FROM {b}\"), &o);\n    c.query(\"EXECUTE s\", &o);\n}\n";
+        assert!(lint("ycsb", ok).iter().all(|f| f.rule != "ycsb-hot-parse"), "{ok}");
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(c: &C) { c.query(&format!(\"SELECT 1 FROM {b}\"), &o); }\n}\n";
+        assert!(lint("ycsb", test_src).is_empty());
+        let allowed = "fn f(c: &C) {\n    // lint:allow(ycsb-hot-parse): one-shot verification query after the run\n    c.query(&format!(\"SELECT COUNT(*) FROM {b}\"), &o);\n}\n";
+        assert!(lint("ycsb", allowed).is_empty());
     }
 
     #[test]

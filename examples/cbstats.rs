@@ -150,6 +150,38 @@ fn main() {
         .expect("query the request log");
     println!("\nsystem:completed_requests via N1QL: {} rows", log_rows.rows.len());
 
+    // Prepared statements: PREPARE caches the plan, EXECUTE skips the
+    // front end entirely, and system:prepareds shows the registry — the
+    // n1ql.plancache.* counters above account for every lookup.
+    cluster
+        .query(
+            "PREPARE hot FROM SELECT meta().id AS id FROM ycsb \
+             WHERE meta().id >= $start LIMIT $lim",
+            &QueryOptions::default(),
+        )
+        .expect("prepare");
+    for i in 0..20 {
+        let opts = QueryOptions::with_named_args([
+            ("start", couchbase_repro::Value::from(format!("user{i:04}"))),
+            ("lim", couchbase_repro::Value::int(10)),
+        ]);
+        cluster.query("EXECUTE hot", &opts).expect("execute prepared");
+    }
+    let prepared_rows = cluster
+        .query("SELECT * FROM system:prepareds", &QueryOptions::default())
+        .expect("query the prepared registry");
+    println!("\n== system:prepareds ==");
+    for row in &prepared_rows.rows {
+        println!("{}", row.to_json_string());
+    }
+    let post = cluster.stats();
+    let (hits, misses) =
+        (post.counter("n1ql.plancache.hits"), post.counter("n1ql.plancache.misses"));
+    println!(
+        "plan cache: hits={hits} misses={misses} hit_rate={:.1}%",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+
     println!("\n== slow ops ({} captured) ==", stats.slow_ops.len());
     for op in stats.slow_ops.iter().rev().take(3) {
         println!("[{}] {:.1?}", op.service, op.total);

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Pre-PR verification gate (DESIGN.md §9). Run from anywhere in the repo.
 #
-#   scripts/check.sh             # full gate: static analysis + models + tests
-#   scripts/check.sh --quick     # static analysis + concurrency models only
-#   scripts/check.sh chaos-smoke # fixed-seed chaos smoke run only (<10s)
+#   scripts/check.sh                 # full gate: static analysis + models + tests
+#   scripts/check.sh --quick         # static analysis + concurrency models only
+#   scripts/check.sh chaos-smoke     # fixed-seed chaos smoke run only (<10s)
+#   scripts/check.sh plancache-smoke # prepared-statement fast path only (<10s)
 #
 # Stages:
 #   1. cargo fmt --check          formatting (rustfmt.toml)
@@ -47,6 +48,13 @@ chaos_smoke() {
     cargo test --quiet --test chaos_kv chaos_smoke -- --exact
 }
 
+# Prepared-statement fast-path smoke: PREPARE once, EXECUTE hot against a
+# live cluster, and require a ≥99% plan-cache hit rate plus a populated
+# `system:prepareds` catalog — the fig16 YCSB-E fast path end to end.
+plancache_smoke() {
+    cargo test --quiet --test plancache plancache_smoke -- --exact
+}
+
 if [ "${1:-}" = "chaos-smoke" ]; then
     run "chaos smoke (fixed seed)" chaos_smoke
     if [ "$FAILED" -ne 0 ]; then
@@ -54,6 +62,16 @@ if [ "${1:-}" = "chaos-smoke" ]; then
         exit 1
     fi
     echo "check.sh chaos-smoke: passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "plancache-smoke" ]; then
+    run "plancache smoke (PREPARE/EXECUTE hit rate)" plancache_smoke
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh plancache-smoke: FAILED"
+        exit 1
+    fi
+    echo "check.sh plancache-smoke: passed"
     exit 0
 fi
 
@@ -67,6 +85,7 @@ run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -
 run "lock-order + explorer (cbs-common)" cargo test --quiet -p cbs-common --features lock-order
 run "flusher protocol models" cargo test --quiet -p cbs-kv --test flusher_models
 run "chaos smoke (fixed seed)" chaos_smoke
+run "plancache smoke (PREPARE/EXECUTE hit rate)" plancache_smoke
 
 if [ "$QUICK" -eq 1 ]; then
     if [ "$FAILED" -ne 0 ]; then
