@@ -265,6 +265,14 @@ impl IndexManager {
     /// Aggregate cardinality across an index's partitions: entry counts
     /// sum; leading-key bounds take the min/max across partitions. Feeds
     /// the query service's statistics layer (selectivity estimation).
+    ///
+    /// `distinct_keys` is an **upper bound**, not an exact count:
+    /// documents are routed to partitions by id, not by key, so the same
+    /// composite key can appear in several partitions and the
+    /// per-partition sum double-counts it. Equality selectivity derived
+    /// as `1 / distinct_keys` therefore *underestimates* the matching
+    /// rows, biasing the optimizer toward index scans — conservative for
+    /// the bias we want, and documented in DESIGN.md §13.
     pub fn index_cardinality(&self, keyspace: &str, name: &str) -> Result<IndexCardinality> {
         let inst = self.instance(keyspace, name)?;
         let mut total = IndexCardinality::default();

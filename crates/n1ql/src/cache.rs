@@ -161,6 +161,17 @@ impl PlanCache {
         self.epochs.read().get(keyspace).copied().unwrap_or(0)
     }
 
+    /// Snapshot of every keyspace epoch. Take this *before* planning
+    /// starts and pass it to [`insert`](Self::insert): a DDL landing
+    /// between plan construction and insert then leaves the entry with a
+    /// pre-DDL stamp, so it is rejected (at insert or by lookup's
+    /// re-check) instead of being laundered into the cache with a
+    /// post-DDL stamp while referencing dropped topology. Keyspaces
+    /// absent from the snapshot were at epoch 0.
+    pub fn epoch_snapshot(&self) -> HashMap<String, u64> {
+        self.epochs.read().clone()
+    }
+
     /// Advance a keyspace's epoch and eagerly evict every cached plan that
     /// depends on it. Call after CREATE/DROP/BUILD INDEX or any keyspace
     /// lifecycle change (creation, flush).
@@ -202,11 +213,32 @@ impl PlanCache {
         map.get(text).map(|e| Arc::clone(&e.plan))
     }
 
-    /// Cache a plan under its statement text, stamping the current epoch
-    /// of every keyspace in `deps`. Full shards evict an arbitrary entry.
-    pub fn insert(&self, text: &str, plan: Arc<QueryPlan>, deps: Vec<String>) {
-        let stamped: Vec<(String, u64)> =
-            deps.into_iter().map(|ks| (ks.clone(), self.epoch(&ks))).collect();
+    /// Cache a plan under its statement text, stamping every keyspace in
+    /// `deps` with its epoch from `at_plan` — the [`epoch_snapshot`]
+    /// taken before planning began (see there for the race this closes).
+    /// A plan whose dependencies have already moved past their snapshot
+    /// was built against superseded topology and is dropped rather than
+    /// cached; the same condition racing this check is caught by
+    /// lookup's stamp re-check. Full shards evict an arbitrary entry.
+    ///
+    /// [`epoch_snapshot`]: Self::epoch_snapshot
+    pub fn insert(
+        &self,
+        text: &str,
+        plan: Arc<QueryPlan>,
+        deps: Vec<String>,
+        at_plan: &HashMap<String, u64>,
+    ) {
+        let stamped: Vec<(String, u64)> = deps
+            .into_iter()
+            .map(|ks| {
+                let epoch = at_plan.get(&ks).copied().unwrap_or(0);
+                (ks, epoch)
+            })
+            .collect();
+        if stamped.iter().any(|(ks, epoch)| self.epoch(ks) != *epoch) {
+            return;
+        }
         let mut map = self.shard(text).lock();
         if map.len() >= SHARD_CAP && !map.contains_key(text) {
             if let Some(victim) = map.keys().next().cloned() {
@@ -287,7 +319,7 @@ mod tests {
         let c = PlanCache::new();
         assert!(c.lookup("SELECT 1").is_none());
         assert_eq!(c.misses(), 1);
-        c.insert("SELECT 1", direct_plan(), vec!["b".to_string()]);
+        c.insert("SELECT 1", direct_plan(), vec!["b".to_string()], &c.epoch_snapshot());
         assert!(c.lookup("SELECT 1").is_some());
         assert_eq!(c.hits(), 1);
         assert_eq!(c.entries(), 1);
@@ -296,8 +328,8 @@ mod tests {
     #[test]
     fn bump_epoch_evicts_dependents() {
         let c = PlanCache::new();
-        c.insert("q1", direct_plan(), vec!["b".to_string()]);
-        c.insert("q2", direct_plan(), vec!["other".to_string()]);
+        c.insert("q1", direct_plan(), vec!["b".to_string()], &c.epoch_snapshot());
+        c.insert("q2", direct_plan(), vec!["other".to_string()], &c.epoch_snapshot());
         c.bump_epoch("b");
         assert!(c.lookup("q1").is_none(), "dependent plan evicted");
         assert!(c.lookup("q2").is_some(), "unrelated plan survives");
@@ -307,24 +339,34 @@ mod tests {
     #[test]
     fn stale_epoch_detected_at_lookup() {
         let c = PlanCache::new();
-        c.insert("q", direct_plan(), vec!["b".to_string()]);
-        // Simulate an epoch bump that somehow missed the eager sweep by
-        // inserting with an old stamp.
+        c.insert("q", direct_plan(), vec!["b".to_string()], &c.epoch_snapshot());
         c.bump_epoch("unrelated");
-        assert!(c.lookup("q").is_some());
-        // Stamp recorded at insert was epoch 0; move b to 1 and the entry
-        // dies even if re-inserted behind the sweep's back.
-        c.insert("q2", direct_plan(), vec!["b".to_string()]);
+        assert!(c.lookup("q").is_some(), "unrelated epoch bump leaves the plan alone");
         c.bump_epoch("b");
-        c.insert("q3", direct_plan(), vec!["b".to_string()]);
+        c.insert("q3", direct_plan(), vec!["b".to_string()], &c.epoch_snapshot());
         assert!(c.lookup("q3").is_some(), "fresh stamp at new epoch is valid");
+    }
+
+    #[test]
+    fn ddl_racing_the_planner_is_not_cached() {
+        let c = PlanCache::new();
+        // The planner snapshots epochs, then a DROP INDEX lands while the
+        // plan is being built. The plan references dropped topology; the
+        // pre-plan stamp makes insert refuse it rather than caching it
+        // as valid under the post-DDL epoch.
+        let at_plan = c.epoch_snapshot();
+        c.bump_epoch("b");
+        c.insert("q", direct_plan(), vec!["b".to_string()], &at_plan);
+        assert!(c.lookup("q").is_none(), "plan built against superseded topology must not serve");
+        assert_eq!(c.entries(), 0);
     }
 
     #[test]
     fn shard_cap_bounds_entries() {
         let c = PlanCache::new();
+        let snap = c.epoch_snapshot();
         for i in 0..(SHARDS * SHARD_CAP * 2) {
-            c.insert(&format!("q{i}"), direct_plan(), Vec::new());
+            c.insert(&format!("q{i}"), direct_plan(), Vec::new(), &snap);
         }
         assert!(c.entries() <= SHARDS * SHARD_CAP);
     }

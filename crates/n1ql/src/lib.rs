@@ -58,6 +58,7 @@ pub use planner::build_plan;
 pub use profile::{OpStat, PhaseTimes, Prof, RequestLog};
 pub use stats::{IndexStat, KeyspaceStats, StatsCache};
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,13 +124,20 @@ pub fn query(ds: &dyn Datastore, statement: &str, opts: &QueryOptions) -> Result
 /// whitespace, return the rest (left-trimmed).
 fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
     let t = s.trim_start();
-    if t.len() > kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw) {
-        let rest = &t[kw.len()..];
-        if rest.starts_with(|c: char| c.is_whitespace()) {
-            return Some(rest.trim_start());
-        }
+    // `t` is raw user input: byte offset kw.len() may fall inside a
+    // multi-byte char, so a str slice there would panic. Compare bytes
+    // instead; kw is pure ASCII, so a match means the prefix is too and
+    // slicing at kw.len() afterwards is boundary-safe.
+    let head = t.as_bytes().get(..kw.len())?;
+    if !head.eq_ignore_ascii_case(kw.as_bytes()) {
+        return None;
     }
-    None
+    let rest = &t[kw.len()..];
+    if rest.starts_with(|c: char| c.is_whitespace()) {
+        Some(rest.trim_start())
+    } else {
+        None
+    }
 }
 
 /// `s` as a whole must be one plain identifier (optionally `;`-terminated).
@@ -160,11 +168,18 @@ fn take_ident(s: &str) -> Option<(&str, &str)> {
 /// Cache a plan under its statement text when it is worth caching: only
 /// SELECT pipelines over a real (non-`system:`) keyspace — DML/DDL plans
 /// are trivial to rebuild, and `system:` content changes per request.
-fn insert_if_cacheable(cache: &PlanCache, text: &str, plan: &Arc<QueryPlan>) {
+/// `at_plan` is the epoch snapshot taken before planning started, so a
+/// DDL racing the planner stamps the entry stale instead of valid.
+fn insert_if_cacheable(
+    cache: &PlanCache,
+    text: &str,
+    plan: &Arc<QueryPlan>,
+    at_plan: &HashMap<String, u64>,
+) {
     if let QueryPlan::Select(p) = plan.as_ref() {
         if let Some(from) = &p.select.from {
             if !from.keyspace.starts_with("system:") {
-                cache.insert(text, Arc::clone(plan), plan.dependencies());
+                cache.insert(text, Arc::clone(plan), plan.dependencies(), at_plan);
             }
         }
     }
@@ -204,6 +219,9 @@ fn run_request(
             }
         }
     }
+    // Epochs are snapshotted before parse/plan so a DDL landing while
+    // the plan is under construction invalidates it (cache.rs).
+    let epochs_at_plan = ds.plan_cache().map(|c| c.epoch_snapshot());
     let stmt = {
         let _s = cbs_obs::span("n1ql.query.parse");
         parse_statement(statement)?
@@ -232,8 +250,8 @@ fn run_request(
         let _s = cbs_obs::span("n1ql.query.plan");
         build_plan(ds, &stmt, opts)?
     });
-    if let Some(cache) = ds.plan_cache() {
-        insert_if_cacheable(cache, statement, &plan);
+    if let (Some(cache), Some(at_plan)) = (ds.plan_cache(), epochs_at_plan.as_ref()) {
+        insert_if_cacheable(cache, statement, &plan, at_plan);
     }
     let summary = explain::plan_summary(&plan);
     Ok((execute(ds, &plan, opts)?, summary, None))
@@ -256,6 +274,7 @@ fn run_execute(
         None => {
             // Invalidated (DDL epoch bump) or evicted: re-plan from the
             // prepared text against the *current* index topology.
+            let at_plan = cache.epoch_snapshot();
             let stmt = {
                 let _s = cbs_obs::span("n1ql.query.parse");
                 parse_statement(&prepared.statement)?
@@ -264,7 +283,7 @@ fn run_execute(
                 let _s = cbs_obs::span("n1ql.query.plan");
                 build_plan(ds, &stmt, opts)?
             });
-            insert_if_cacheable(cache, &prepared.statement, &plan);
+            insert_if_cacheable(cache, &prepared.statement, &plan, &at_plan);
             plan
         }
     };
@@ -285,6 +304,7 @@ fn run_prepare(
     let cache = ds
         .plan_cache()
         .ok_or_else(|| Error::Plan("no prepared-statement cache available".to_string()))?;
+    let at_plan = cache.epoch_snapshot();
     let stmt = {
         let _s = cbs_obs::span("n1ql.query.parse");
         parse_statement(inner_text)?
@@ -296,9 +316,35 @@ fn run_prepare(
         let _s = cbs_obs::span("n1ql.query.plan");
         build_plan(ds, &stmt, opts)?
     });
-    insert_if_cacheable(cache, inner_text, &plan);
+    insert_if_cacheable(cache, inner_text, &plan, &at_plan);
     cache.prepare(name, inner_text);
     let row = Value::object([("name", Value::from(name)), ("statement", Value::from(inner_text))]);
     let result = QueryResult { rows: vec![row], ..Default::default() };
     Ok((result, format!("Prepare({name})"), None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_keyword_survives_multibyte_input() {
+        // Regression: byte-slicing at kw.len() panicked when it split a
+        // multi-byte UTF-8 char ("end byte index 7 is not a char
+        // boundary" on this input for "execute").
+        assert_eq!(strip_keyword("日本語のクエリ", "execute"), None);
+        assert_eq!(strip_keyword("日本語のクエリ", "prepare"), None);
+        assert_eq!(strip_keyword("日本語のクエリ", "select"), None);
+        assert_eq!(strip_keyword("séléct 1", "select"), None);
+        assert_eq!(strip_keyword("  SELECT 日本語", "select"), Some("日本語"));
+        assert_eq!(strip_keyword("ExEcUtE q1;", "execute"), Some("q1;"));
+        assert_eq!(strip_keyword("select", "select"), None, "keyword alone");
+        assert_eq!(strip_keyword("selectx 1", "select"), None, "no word boundary");
+    }
+
+    #[test]
+    fn multibyte_statement_is_a_parse_error_not_a_panic() {
+        let ds = MemoryDatastore::new();
+        assert!(query(&ds, "日本語のクエリ", &QueryOptions::default()).is_err());
+    }
 }

@@ -275,6 +275,14 @@ fn estimate_index_scan(
 /// Fraction of index entries a range is expected to select. Uses the
 /// current request's parameters when they resolve (advisory only — the
 /// plan itself stays parameter-independent).
+///
+/// This is deliberate *bind peeking*: for a plan destined for the cache
+/// (PREPARE, or the first ad-hoc run of a SELECT) the access path and
+/// join strategy priced from the first binding are frozen in and reused
+/// for every later binding, until an epoch bump or eviction re-plans.
+/// An unrepresentative first binding can therefore lock in a worse plan
+/// than the parameter-free defaults would pick — the tradeoff, and why
+/// we accept it, is documented in DESIGN.md §13.
 fn range_selectivity(spec: &RangeSpec, istat: Option<&IndexStat>, opts: &QueryOptions) -> f64 {
     if spec.is_unbounded() {
         return 1.0;
