@@ -3,10 +3,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_common::{DocMeta, Error, Result, VbId};
 use cbs_json::SharedValue;
 use cbs_obs::{Counter, Gauge, Registry};
-use parking_lot::RwLock;
 
 use crate::stats::CacheStats;
 
@@ -77,7 +77,7 @@ struct Shard {
 /// (`kv.cache.*` metrics); handles are resolved once at construction and
 /// recorded lock-free on the hot path.
 pub struct ObjectCache {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<OrderedRwLock<Shard>>,
     policy: EvictionPolicy,
     quota: usize,
     mem_used: Arc<Gauge>,
@@ -112,7 +112,9 @@ impl ObjectCache {
         registry.gauge("kv.cache.quota").set(quota as u64);
         ObjectCache {
             shards: (0..num_vbuckets)
-                .map(|_| RwLock::new(Shard { map: HashMap::new(), _pad: () }))
+                .map(|_| {
+                    OrderedRwLock::new(rank::CACHE_SHARD, Shard { map: HashMap::new(), _pad: () })
+                })
                 .collect(),
             policy,
             quota,
@@ -126,7 +128,7 @@ impl ObjectCache {
         }
     }
 
-    fn shard(&self, vb: VbId) -> &RwLock<Shard> {
+    fn shard(&self, vb: VbId) -> &OrderedRwLock<Shard> {
         &self.shards[vb.index() % self.shards.len()]
     }
 

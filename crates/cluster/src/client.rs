@@ -7,13 +7,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::cluster::Cluster;
+use crate::map::ClusterMap;
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_common::{vbucket_for_key, Cas, Error, Result, VbId};
 use cbs_json::SharedValue;
 use cbs_kv::{GetResult, MutateMode, MutationResult};
-use parking_lot::RwLock;
-
-use crate::cluster::Cluster;
-use crate::map::ClusterMap;
 
 /// How many times the client refreshes its map and retries after routing
 /// errors before giving up.
@@ -34,14 +33,18 @@ pub struct Durability {
 pub struct SmartClient {
     cluster: Arc<Cluster>,
     bucket: String,
-    map: RwLock<ClusterMap>,
+    map: OrderedRwLock<ClusterMap>,
 }
 
 impl SmartClient {
     /// Connect to a bucket (fetches the initial map).
     pub fn connect(cluster: Arc<Cluster>, bucket: &str) -> Result<SmartClient> {
         let map = cluster.map(bucket)?;
-        Ok(SmartClient { cluster, bucket: bucket.to_string(), map: RwLock::new(map) })
+        Ok(SmartClient {
+            cluster,
+            bucket: bucket.to_string(),
+            map: OrderedRwLock::new(rank::CLIENT_MAP, map),
+        })
     }
 
     /// The bucket this client talks to.

@@ -2,15 +2,15 @@
 //! failover, rebalance.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_common::{Error, NodeId, Result, SeqNo, VbId};
 use cbs_json::Value;
 use cbs_kv::VbState;
 use cbs_views::{ViewQuery, ViewResult, ViewRow};
-use parking_lot::{Mutex, RwLock};
 
 use crate::config::{ClusterConfig, ServiceSet};
 use crate::map::ClusterMap;
@@ -19,9 +19,9 @@ use crate::replication::{PumpTopology, ReplicationPump, TopologyFn};
 
 pub(crate) struct ClusterInner {
     pub cfg: ClusterConfig,
-    pub nodes: RwLock<Vec<Arc<Node>>>,
+    pub nodes: OrderedRwLock<Vec<Arc<Node>>>,
     /// Per-bucket cluster maps.
-    pub maps: RwLock<HashMap<String, ClusterMap>>,
+    pub maps: OrderedRwLock<HashMap<String, ClusterMap>>,
     /// The cluster's full-text search service (§6.1.3), fed by the DCP
     /// pump like the GSI service.
     pub fts: Arc<cbs_fts::FtsService>,
@@ -65,8 +65,8 @@ impl ClusterInner {
 /// A Couchbase cluster: nodes + buckets + the management plane.
 pub struct Cluster {
     inner: Arc<ClusterInner>,
-    pumps: Mutex<HashMap<String, ReplicationPump>>,
-    next_node_id: Mutex<u32>,
+    pumps: OrderedMutex<HashMap<String, ReplicationPump>>,
+    next_node_id: AtomicU32,
     rebalancing: AtomicBool,
 }
 
@@ -91,14 +91,14 @@ impl Cluster {
             inner: Arc::new(ClusterInner {
                 fts: Arc::new(cbs_fts::FtsService::new(cfg.num_vbuckets)),
                 cfg,
-                nodes: RwLock::new(nodes),
-                maps: RwLock::new(HashMap::new()),
+                nodes: OrderedRwLock::new(rank::CLUSTER_NODES, nodes),
+                maps: OrderedRwLock::new(rank::CLUSTER_MAPS, HashMap::new()),
                 query_registry,
                 request_log: Arc::new(cbs_n1ql::RequestLog::new("n1ql")),
                 plan_cache,
             }),
-            pumps: Mutex::new(HashMap::new()),
-            next_node_id: Mutex::new(next),
+            pumps: OrderedMutex::new(rank::CLUSTER_PUMPS, HashMap::new()),
+            next_node_id: AtomicU32::new(next),
             rebalancing: AtomicBool::new(false),
         })
     }
@@ -313,9 +313,7 @@ impl Cluster {
     /// Add a fresh node with the given services (it owns nothing until a
     /// rebalance).
     pub fn add_node(&self, services: ServiceSet) -> Result<NodeId> {
-        let mut next = self.next_node_id.lock();
-        let id = NodeId(*next);
-        *next += 1;
+        let id = NodeId(self.next_node_id.fetch_add(1, Ordering::Relaxed));
         let node = Arc::new(Node::new(id, services, &self.inner.cfg));
         for bucket in self.buckets() {
             node.create_bucket(&bucket)?;

@@ -1,16 +1,25 @@
 //! A cluster node: the per-server container of services (§4.3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_common::{Error, NodeId, Result};
 use cbs_index::IndexManager;
 use cbs_kv::{DataEngine, EngineConfig, FlusherHandle};
 use cbs_views::ViewEngine;
-use parking_lot::RwLock;
 
 use crate::config::{ClusterConfig, ServiceSet};
+
+/// Bucket → engine map plus in-flight creation reservations. Both live
+/// under one lock so "already exists" covers buckets still being built
+/// without holding the lock across engine construction (file I/O).
+#[derive(Default)]
+struct EngineMap {
+    ready: HashMap<String, Arc<DataEngine>>,
+    creating: HashSet<String>,
+}
 
 /// One simulated server.
 ///
@@ -21,12 +30,14 @@ pub struct Node {
     id: NodeId,
     services: ServiceSet,
     alive: AtomicBool,
-    /// Per-bucket data engines (data service only).
-    engines: RwLock<HashMap<String, Arc<DataEngine>>>,
+    /// Per-bucket data engines (data service only). Rank `NODE_ENGINES`:
+    /// top of the global order — engine calls under a read guard descend
+    /// into every KV/storage rank.
+    engines: OrderedRwLock<EngineMap>,
     /// Per-bucket view engines (co-located with data, §3.3.1).
-    view_engines: RwLock<HashMap<String, Arc<ViewEngine>>>,
+    view_engines: OrderedRwLock<HashMap<String, Arc<ViewEngine>>>,
     /// Flusher threads, one per bucket.
-    flushers: parking_lot::Mutex<Vec<FlusherHandle>>,
+    flushers: OrderedMutex<Vec<FlusherHandle>>,
     /// GSI manager (index service only).
     index_mgr: Option<Arc<IndexManager>>,
     cfg: ClusterConfig,
@@ -45,9 +56,9 @@ impl Node {
             id,
             services,
             alive: AtomicBool::new(true),
-            engines: RwLock::new(HashMap::new()),
-            view_engines: RwLock::new(HashMap::new()),
-            flushers: parking_lot::Mutex::new(Vec::new()),
+            engines: OrderedRwLock::new(rank::NODE_ENGINES, EngineMap::default()),
+            view_engines: OrderedRwLock::new(rank::NODE_VIEW_ENGINES, HashMap::new()),
+            flushers: OrderedMutex::new(rank::NODE_FLUSHERS, Vec::new()),
             index_mgr,
             cfg: cfg.clone(),
         }
@@ -88,15 +99,26 @@ impl Node {
     }
 
     /// Create this node's slice of a bucket (data-service nodes only).
+    ///
+    /// Engine construction opens data files and spawns the flusher thread;
+    /// none of that happens under the engine-map lock. The map is write-
+    /// locked twice — once to reserve the name (so a concurrent creator of
+    /// the same bucket errors instead of racing on the data directory) and
+    /// once to publish the finished engine.
     pub fn create_bucket(&self, bucket: &str) -> Result<()> {
         if !self.services.data {
             return Ok(());
         }
-        let mut engines = self.engines.write();
-        if engines.contains_key(bucket) {
-            return Err(Error::Cluster(format!("bucket {bucket} already exists on {:?}", self.id)));
+        {
+            let mut map = self.engines.write();
+            if map.ready.contains_key(bucket) || !map.creating.insert(bucket.to_string()) {
+                return Err(Error::Cluster(format!(
+                    "bucket {bucket} already exists on {:?}",
+                    self.id
+                )));
+            }
         }
-        let engine = DataEngine::new(EngineConfig {
+        let built = DataEngine::new(EngineConfig {
             num_vbuckets: self.cfg.num_vbuckets,
             cache_quota: self.cfg.cache_quota,
             eviction: self.cfg.eviction,
@@ -104,13 +126,24 @@ impl Node {
             fragmentation_threshold: self.cfg.fragmentation_threshold,
             lock_timeout: std::time::Duration::from_secs(15),
             flusher_shards: self.cfg.flusher_shards,
-        })?;
-        let flusher = FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval)?;
+        })
+        .and_then(|engine| {
+            let flusher = FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval)?;
+            Ok((engine, flusher))
+        });
+        let (engine, flusher) = match built {
+            Ok(v) => v,
+            Err(e) => {
+                self.engines.write().creating.remove(bucket);
+                return Err(e);
+            }
+        };
+        let view = Arc::new(ViewEngine::new(Arc::clone(&engine)));
         self.flushers.lock().push(flusher);
-        self.view_engines
-            .write()
-            .insert(bucket.to_string(), Arc::new(ViewEngine::new(Arc::clone(&engine))));
-        engines.insert(bucket.to_string(), engine);
+        self.view_engines.write().insert(bucket.to_string(), view);
+        let mut map = self.engines.write();
+        map.creating.remove(bucket);
+        map.ready.insert(bucket.to_string(), engine);
         Ok(())
     }
 
@@ -120,6 +153,7 @@ impl Node {
         self.check_alive()?;
         self.engines
             .read()
+            .ready
             .get(bucket)
             .cloned()
             .ok_or_else(|| Error::Cluster(format!("no data service for {bucket} on {:?}", self.id)))
@@ -128,7 +162,7 @@ impl Node {
     /// Like [`Node::engine`] but ignoring liveness — used only by recovery
     /// paths that inspect a dead node's durable state.
     pub fn engine_unchecked(&self, bucket: &str) -> Option<Arc<DataEngine>> {
-        self.engines.read().get(bucket).cloned()
+        self.engines.read().ready.get(bucket).cloned()
     }
 
     /// The view engine for a bucket.
@@ -151,7 +185,7 @@ impl Node {
 
     /// Buckets hosted here.
     pub fn buckets(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.engines.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.engines.read().ready.keys().cloned().collect();
         v.sort();
         v
     }

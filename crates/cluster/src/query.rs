@@ -8,21 +8,20 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::client::SmartClient;
+use crate::cluster::Cluster;
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_common::{Error, Result, SeqNo};
 use cbs_index::{IndexDef, IndexEntry, ScanConsistency, ScanRange};
 use cbs_json::Value;
 use cbs_n1ql::{Datastore, KeyspaceStats, QueryOptions, QueryResult, StatsCache};
-use parking_lot::RwLock;
-
-use crate::client::SmartClient;
-use crate::cluster::Cluster;
 
 /// Cluster-backed datastore for the query engine. One instance per bucket
 /// per query node.
 pub struct ClusterDatastore {
     cluster: Arc<Cluster>,
     /// One smart client per keyspace (bucket) the service has touched.
-    clients: RwLock<Vec<Arc<SmartClient>>>,
+    clients: OrderedRwLock<Vec<Arc<SmartClient>>>,
     /// Lazily collected keyspace/index statistics for the cost-based
     /// planner, memoized per plan-cache epoch.
     stats_cache: StatsCache,
@@ -44,7 +43,7 @@ impl ClusterDatastore {
         let registry = Arc::clone(cluster.query_registry());
         ClusterDatastore {
             cluster,
-            clients: RwLock::new(Vec::new()),
+            clients: OrderedRwLock::new(rank::QUERY_CLIENTS, Vec::new()),
             stats_cache: StatsCache::new(),
             requests: registry.counter_with_help("n1ql.query.requests", "N1QL statements received"),
             errors: registry.counter_with_help("n1ql.query.errors", "N1QL statements that failed"),

@@ -48,11 +48,61 @@ impl LockRank {
 pub mod rank {
     use super::LockRank;
 
+    /// Smart client's cached cluster map. Leaf in practice (refresh
+    /// fetches the fresh map *before* taking the write lock), but ranked
+    /// outermost because it is client-side: nothing server-side may ever
+    /// be held when a client routes.
+    pub const CLIENT_MAP: LockRank = LockRank::new(1, "cluster.client.map");
+    /// Orchestrator's bucket → cluster-map table. Failover mutates a map
+    /// in place under this lock while consulting node liveness and engine
+    /// seqnos, so it precedes the node list and every node/KV rank.
+    pub const CLUSTER_MAPS: LockRank = LockRank::new(2, "cluster.topology.maps");
+    /// Orchestrator's node list. Held (as a read guard) while iterating
+    /// nodes for bucket creation and topology snapshots, which descend
+    /// into the per-node maps below.
+    pub const CLUSTER_NODES: LockRank = LockRank::new(3, "cluster.topology.nodes");
+    /// Orchestrator's bucket → DCP-pump registry. Insert/remove only;
+    /// pumps are constructed before and joined after the guarded window.
+    pub const CLUSTER_PUMPS: LockRank = LockRank::new(4, "cluster.topology.pumps");
+    /// Node-wide bucket → data-engine map. Above every KV/storage rank:
+    /// bucket create/delete may open engines (and therefore files) while
+    /// the map is consulted, so the map must sit at the very top of the
+    /// order. Engine construction itself happens *outside* the lock (see
+    /// `Node::create_bucket`); the rank guards the residual insert window.
+    pub const NODE_ENGINES: LockRank = LockRank::new(5, "cluster.node.engines");
+    /// Node-wide list of flusher handles (spawned per bucket, drained on
+    /// shutdown). Taken after the engine map during bucket creation.
+    pub const NODE_FLUSHERS: LockRank = LockRank::new(6, "cluster.node.flushers");
+    /// Node-wide bucket → view-engine map (taken last during bucket
+    /// creation, before any KV rank).
+    pub const NODE_VIEW_ENGINES: LockRank = LockRank::new(7, "cluster.node.view_engines");
+    /// Query datastore's pool of per-bucket smart clients. Taken with
+    /// nothing held; connecting a new client (which fetches maps) happens
+    /// between the read probe and the write insert.
+    pub const QUERY_CLIENTS: LockRank = LockRank::new(8, "n1ql.datastore.clients");
     /// Per-shard flush/checkpoint cycle lock — outermost: held for a whole
     /// drain cycle while vB metadata, queues, the WAL and stores are touched.
     pub const FLUSH_CYCLE: LockRank = LockRank::new(10, "kv.shard.flush_cycle");
+    /// View engine's ddoc registry. Held across design-doc creation,
+    /// which opens DCP streams per vBucket (rank `DCP_CHANNEL`).
+    pub const VIEWS_DDOCS: LockRank = LockRank::new(12, "views.engine.ddocs");
+    /// Per-ddoc DCP stream set. Held while draining streams for
+    /// `stale=false` updates, which waits on the DCP channel.
+    pub const VIEWS_DDOC_STREAMS: LockRank = LockRank::new(14, "views.ddoc.streams");
+    /// Per-ddoc materialized view B-trees. Queries hold it while checking
+    /// vBucket states on the engine (rank `VB_META`).
+    pub const VIEWS_DDOC_VIEWS: LockRank = LockRank::new(16, "views.ddoc.views");
     /// Per-vBucket metadata (state, GETL locks).
     pub const VB_META: LockRank = LockRank::new(20, "kv.vb.meta");
+    /// Per-vBucket DCP channel (stream registry + retained tail). Taken
+    /// under the vB metadata lock when a mutation publishes; a stream open
+    /// holds it across `backfill`, which descends into the storage ranks.
+    pub const DCP_CHANNEL: LockRank = LockRank::new(25, "kv.dcp.channel");
+    /// Managed-cache shard (vBucket-sharded object table). Taken under the
+    /// vB metadata lock (lazy expiry) and under the DCP channel (a stream
+    /// open snapshots dirty residents during backfill); acquires nothing
+    /// itself.
+    pub const CACHE_SHARD: LockRank = LockRank::new(27, "kv.cache.shard");
     /// Per-vBucket dirty-key queue (taken under the vB metadata lock when a
     /// mutation enqueues).
     pub const DIRTY_QUEUE: LockRank = LockRank::new(30, "kv.vb.dirty_queue");
@@ -69,6 +119,40 @@ pub mod rank {
     /// Durability waiters' seat (condvar signalled after each commit cycle) —
     /// innermost: nothing else is acquired while it is held.
     pub const PERSIST_WAITERS: LockRank = LockRank::new(90, "kv.persist_waiters");
+    /// GSI index-manager registry ((keyspace, name) → instance). Held (as
+    /// a read guard) while probing per-instance state on list paths.
+    pub const INDEX_REGISTRY: LockRank = LockRank::new(100, "index.manager.registry");
+    /// Per-index lifecycle state (deferred/building/online). Held across
+    /// partition catch-up, which locks the partition trees.
+    pub const INDEX_STATE: LockRank = LockRank::new(102, "index.instance.state");
+    /// Per-partition index B-tree. Innermost of the index ranks.
+    pub const INDEX_TREE: LockRank = LockRank::new(104, "index.partition.tree");
+    /// FTS service registry ((keyspace, name) → instance).
+    pub const FTS_REGISTRY: LockRank = LockRank::new(106, "fts.service.registry");
+    /// Per-FTS-index inverted index.
+    pub const FTS_INDEX: LockRank = LockRank::new(107, "fts.index.inverted");
+    /// Per-FTS-index vBucket watermark vector (condvar seat for
+    /// consistent-search waits).
+    pub const FTS_WATERMARKS: LockRank = LockRank::new(108, "fts.index.watermarks");
+    /// Query-service request log, in-flight table. Leaf: statement-scoped
+    /// insert/remove only, nothing acquired under it.
+    pub const REQLOG_ACTIVE: LockRank = LockRank::new(110, "n1ql.reqlog.active");
+    /// Query-service request log, completed ring. Leaf.
+    pub const REQLOG_COMPLETED: LockRank = LockRank::new(120, "n1ql.reqlog.completed");
+    /// In-memory test datastore's keyspace table. Leaf: document
+    /// mutations and scans only.
+    pub const N1QL_KEYSPACES: LockRank = LockRank::new(125, "n1ql.memds.keyspaces");
+    /// Optimizer statistics memo (epoch-stamped per-keyspace snapshots).
+    /// Leaf: collection closures run between, never under, the lock.
+    pub const N1QL_STATS: LockRank = LockRank::new(130, "n1ql.stats");
+    /// Plan-cache shard (statement → plan). Lookup consults the epoch
+    /// table while holding a shard, so shards precede epochs.
+    pub const N1QL_PLAN_SHARD: LockRank = LockRank::new(132, "n1ql.plancache.shard");
+    /// Plan-cache keyspace epoch table. Taken under a plan-cache shard on
+    /// the lookup staleness re-check.
+    pub const N1QL_PLAN_EPOCHS: LockRank = LockRank::new(134, "n1ql.plancache.epochs");
+    /// Prepared-statement registry. Leaf.
+    pub const N1QL_PREPARED: LockRank = LockRank::new(136, "n1ql.plancache.prepared");
 }
 
 #[cfg(feature = "lock-order")]
@@ -120,20 +204,75 @@ mod tracking {
         });
     }
 
+    /// A path `from → … → to` through the recorded acquisition edges, if one
+    /// exists. On a violation this is the other half of the deadlock cycle:
+    /// the thread(s) that acquired the same locks in the sanctioned order.
+    fn witness_path(from: u32, to: u32) -> Option<Vec<Edge>> {
+        let edges = EDGES.lock().clone();
+        // Iterative DFS carrying the edge path; the graph is tiny (one node
+        // per distinct rank, at most one edge per ordered pair).
+        let mut stack: Vec<(u32, Vec<Edge>)> = vec![(from, Vec::new())];
+        let mut visited = vec![from];
+        while let Some((at, path)) = stack.pop() {
+            for e in edges.iter().filter(|e| e.from.rank == at) {
+                let mut path = path.clone();
+                path.push(*e);
+                if e.to.rank == to {
+                    return Some(path);
+                }
+                if !visited.contains(&e.to.rank) {
+                    visited.push(e.to.rank);
+                    stack.push((e.to.rank, path));
+                }
+            }
+        }
+        None
+    }
+
     pub(super) fn on_acquire(rank: LockRank, loc: &'static Location<'static>) -> u64 {
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         HELD.with(|held| {
             let mut held = held.borrow_mut();
             if let Some(top) = held.last() {
-                record_edge(top, rank, loc);
                 if rank.rank <= top.rank {
+                    // The offending edge plus any previously recorded path
+                    // running the other way is the full deadlock cycle; print
+                    // every contributing edge with its acquire sites, not
+                    // just the pair that tripped the check.
+                    let mut cycle = format!(
+                        "  `{}` (rank {}) -> `{}` (rank {}): this acquisition \
+                         (held at {}, acquiring at {})",
+                        top.name, top.rank, rank.name, rank.rank, top.location, loc
+                    );
+                    match witness_path(rank.rank, top.rank) {
+                        Some(path) => {
+                            for e in path {
+                                cycle.push_str(&format!(
+                                    "\n  `{}` (rank {}) -> `{}` (rank {}): recorded earlier \
+                                     (held at {}, acquired at {})",
+                                    e.from.name,
+                                    e.from.rank,
+                                    e.to.name,
+                                    e.to.rank,
+                                    e.from_site,
+                                    e.to_site
+                                ));
+                            }
+                        }
+                        None => cycle.push_str(
+                            "\n  (no opposite-order path recorded yet: this is a rank-policy \
+                             violation caught before both halves of the cycle ever ran)",
+                        ),
+                    }
                     panic!(
                         "lock-order violation: acquiring `{}` (rank {}) at {} while holding \
-                         `{}` (rank {}) acquired at {}; the global lock order (DESIGN.md §9) \
-                         requires strictly increasing ranks on each thread",
-                        rank.name, rank.rank, loc, top.name, top.rank, top.location
+                         `{}` (rank {}) acquired at {}; witness cycle through the recorded \
+                         acquisition graph:\n{}\nthe global lock order (DESIGN.md §9) requires \
+                         strictly increasing ranks on each thread",
+                        rank.name, rank.rank, loc, top.name, top.rank, top.location, cycle
                     );
                 }
+                record_edge(top, rank, loc);
             }
             held.push(Held { rank: rank.rank, name: rank.name, location: loc, id });
         });
@@ -221,6 +360,17 @@ impl<T> OrderedMutex<T> {
     }
 }
 
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Non-blocking, like parking_lot's own impl: never rank-checked
+        // (a Debug format must not panic the lock-order detector).
+        match self.inner.try_lock() {
+            Some(guard) => f.debug_struct("OrderedMutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("OrderedMutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
 impl<T: ?Sized> OrderedMutex<T> {
     /// Acquire, checking the rank against this thread's held stack first so a
     /// violation panics before it can actually deadlock.
@@ -297,6 +447,15 @@ impl<T> OrderedRwLock<T> {
     #[inline]
     pub const fn new(_rank: LockRank, value: T) -> Self {
         OrderedRwLock { inner: parking_lot::RwLock::new(value) }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Some(guard) => f.debug_struct("OrderedRwLock").field("data", &&*guard).finish(),
+            None => f.debug_struct("OrderedRwLock").field("data", &"<locked>").finish(),
+        }
     }
 }
 
@@ -440,6 +599,42 @@ mod tests {
         }
         let _ga = a.lock();
         let _gb = b.lock();
+    }
+
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn violation_panic_reports_the_full_witness_cycle() {
+        const WLOW: LockRank = LockRank::new(101, "test.wit_low");
+        const WHIGH: LockRank = LockRank::new(102, "test.wit_high");
+        static A: OrderedMutex<()> = OrderedMutex::new(WLOW, ());
+        static B: OrderedMutex<()> = OrderedMutex::new(WHIGH, ());
+        // Thread 1 takes the sanctioned order, recording the low -> high edge.
+        std::thread::spawn(|| {
+            let _ga = A.lock();
+            let _gb = B.lock();
+        })
+        .join()
+        .unwrap();
+        // Thread 2 inverts it; the panic must print *both* halves of the
+        // cycle — the offending high -> low acquisition and the recorded
+        // low -> high edge with its acquire sites — not just the pair.
+        let err = std::thread::spawn(|| {
+            let _gb = B.lock();
+            let _ga = A.lock();
+        })
+        .join()
+        .expect_err("inversion must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("witness cycle"), "got: {msg}");
+        assert!(
+            msg.contains("`test.wit_high` (rank 102) -> `test.wit_low` (rank 101)"),
+            "offending edge printed: {msg}"
+        );
+        assert!(
+            msg.contains("`test.wit_low` (rank 101) -> `test.wit_high` (rank 102)"),
+            "recorded opposite-order edge printed: {msg}"
+        );
+        assert!(msg.contains("recorded earlier"), "edge provenance printed: {msg}");
     }
 
     #[cfg(feature = "lock-order")]

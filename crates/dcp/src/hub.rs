@@ -3,10 +3,10 @@
 
 use std::sync::Arc;
 
+use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{Result, SeqNo, VbId};
 use cbs_obs::{span, Counter, Registry};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
 
 use crate::item::DcpItem;
 use crate::stream::{DcpEvent, DcpStream};
@@ -37,7 +37,10 @@ struct VbChannel {
 /// calls [`DcpHub::publish`] inside the vBucket critical section that
 /// assigned the mutation's seqno; consumers call [`DcpHub::open_stream`].
 pub struct DcpHub {
-    vbs: Vec<Mutex<VbChannel>>,
+    /// Rank `DCP_CHANNEL`: publishes take this under the vB metadata lock;
+    /// stream opens hold it across `backfill`, which descends into the
+    /// storage ranks — both orders are increasing.
+    vbs: Vec<OrderedMutex<VbChannel>>,
     items_published: Arc<Counter>,
     streams_opened: Arc<Counter>,
 }
@@ -54,7 +57,9 @@ impl DcpHub {
     pub fn new_with_registry(num_vbuckets: u16, registry: &Registry) -> DcpHub {
         DcpHub {
             vbs: (0..num_vbuckets)
-                .map(|_| Mutex::new(VbChannel { subscribers: Vec::new() }))
+                .map(|_| {
+                    OrderedMutex::new(rank::DCP_CHANNEL, VbChannel { subscribers: Vec::new() })
+                })
                 .collect(),
             items_published: registry.counter("kv.dcp.items_published"),
             streams_opened: registry.counter("kv.dcp.streams_opened"),

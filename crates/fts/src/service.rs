@@ -10,11 +10,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::DcpItem;
 use cbs_json::JsonPath;
 use cbs_obs::{span, Counter, Histogram, Registry};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::Condvar;
 
 use crate::index::{InvertedIndex, SearchHit, SearchQuery};
 
@@ -32,8 +33,8 @@ pub struct FtsIndexDef {
 
 struct FtsInstance {
     def: FtsIndexDef,
-    index: Mutex<InvertedIndex>,
-    watermarks: Mutex<Vec<SeqNo>>,
+    index: OrderedMutex<InvertedIndex>,
+    watermarks: OrderedMutex<Vec<SeqNo>>,
     watermark_cv: Condvar,
 }
 
@@ -82,7 +83,7 @@ impl FtsInstance {
             if Instant::now() >= deadline {
                 return Err(Error::Timeout("FTS index catch-up".to_string()));
             }
-            self.watermark_cv.wait_until(&mut w, deadline);
+            self.watermark_cv.wait_until(w.inner_mut(), deadline);
         }
     }
 }
@@ -90,7 +91,7 @@ impl FtsInstance {
 /// The search service for one node.
 pub struct FtsService {
     num_vbuckets: u16,
-    indexes: RwLock<HashMap<(String, String), Arc<FtsInstance>>>,
+    indexes: OrderedRwLock<HashMap<(String, String), Arc<FtsInstance>>>,
     registry: Arc<Registry>,
     searches: Arc<Counter>,
     items_applied: Arc<Counter>,
@@ -103,7 +104,7 @@ impl FtsService {
         let registry = Arc::new(Registry::new("fts"));
         FtsService {
             num_vbuckets,
-            indexes: RwLock::new(HashMap::new()),
+            indexes: OrderedRwLock::new(rank::FTS_REGISTRY, HashMap::new()),
             searches: registry.counter("fts.service.searches"),
             items_applied: registry.counter("fts.service.items_applied"),
             search_latency: registry.histogram("fts.service.search_latency"),
@@ -127,8 +128,11 @@ impl FtsService {
             key,
             Arc::new(FtsInstance {
                 def,
-                index: Mutex::new(InvertedIndex::new()),
-                watermarks: Mutex::new(vec![SeqNo::ZERO; self.num_vbuckets as usize]),
+                index: OrderedMutex::new(rank::FTS_INDEX, InvertedIndex::new()),
+                watermarks: OrderedMutex::new(
+                    rank::FTS_WATERMARKS,
+                    vec![SeqNo::ZERO; self.num_vbuckets as usize],
+                ),
                 watermark_cv: Condvar::new(),
             }),
         );

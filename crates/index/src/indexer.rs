@@ -17,8 +17,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{Error, Result, SeqNo, VbId};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 
 use crate::defs::{IndexKey, IndexStorage, ScanConsistency, ScanRange};
 
@@ -77,7 +78,7 @@ struct Tree {
 
 /// One index partition's storage + watermark state.
 pub struct Indexer {
-    tree: Mutex<Tree>,
+    tree: OrderedMutex<Tree>,
     watermark_cv: Condvar,
     storage: IndexStorage,
     log_path: Option<PathBuf>,
@@ -106,14 +107,17 @@ impl Indexer {
             None => None,
         };
         Ok(Indexer {
-            tree: Mutex::new(Tree {
-                entries: BTreeMap::new(),
-                doc_keys: HashMap::new(),
-                live_entries: 0,
-                watermarks: vec![SeqNo::ZERO; num_vbuckets as usize],
-                stats: IndexerStats::default(),
-                log,
-            }),
+            tree: OrderedMutex::new(
+                rank::INDEX_TREE,
+                Tree {
+                    entries: BTreeMap::new(),
+                    doc_keys: HashMap::new(),
+                    live_entries: 0,
+                    watermarks: vec![SeqNo::ZERO; num_vbuckets as usize],
+                    stats: IndexerStats::default(),
+                    log,
+                },
+            ),
             watermark_cv: Condvar::new(),
             storage,
             log_path,
@@ -227,7 +231,7 @@ impl Indexer {
             if Instant::now() >= deadline {
                 return Err(Error::Timeout("index catch-up for request_plus".to_string()));
             }
-            self.watermark_cv.wait_until(&mut t, deadline);
+            self.watermark_cv.wait_until(t.inner_mut(), deadline);
         }
     }
 

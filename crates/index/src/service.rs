@@ -10,10 +10,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::{BackfillSource, DcpItem};
 use cbs_obs::{span, Counter, Registry};
-use parking_lot::{Mutex, RwLock};
 
 use crate::defs::{IndexDef, IndexKey, ScanConsistency, ScanRange};
 use crate::indexer::{IndexCardinality, IndexEntry, Indexer, IndexerStats};
@@ -32,7 +32,7 @@ pub enum IndexState {
 
 struct IndexInstance {
     router: Arc<Router>,
-    state: Mutex<IndexState>,
+    state: OrderedMutex<IndexState>,
 }
 
 /// Manages every GSI hosted by one index-service node.
@@ -40,7 +40,7 @@ pub struct IndexManager {
     num_vbuckets: u16,
     log_dir: PathBuf,
     /// (keyspace, name) → instance.
-    indexes: RwLock<HashMap<(String, String), Arc<IndexInstance>>>,
+    indexes: OrderedRwLock<HashMap<(String, String), Arc<IndexInstance>>>,
     registry: Arc<Registry>,
     scans: Arc<Counter>,
     lookups: Arc<Counter>,
@@ -55,7 +55,7 @@ impl IndexManager {
         IndexManager {
             num_vbuckets,
             log_dir,
-            indexes: RwLock::new(HashMap::new()),
+            indexes: OrderedRwLock::new(rank::INDEX_REGISTRY, HashMap::new()),
             scans: registry.counter("index.manager.scans"),
             lookups: registry.counter("index.manager.lookups"),
             items_applied: registry.counter("index.manager.items_applied"),
@@ -80,8 +80,10 @@ impl IndexManager {
     /// [`IndexManager::build`] or a catch-up via feed).
     pub fn create_index(&self, def: IndexDef) -> Result<()> {
         let key = (def.keyspace.clone(), def.name.clone());
-        let mut map = self.indexes.write();
-        if map.contains_key(&key) {
+        // Partition indexers open log files; build them outside the
+        // registry lock so DDL doesn't stall concurrent scans, then
+        // re-check for a racing duplicate at insert time.
+        if self.indexes.read().contains_key(&key) {
             return Err(Error::Index(format!(
                 "index {} already exists on {}",
                 def.name, def.keyspace
@@ -97,11 +99,18 @@ impl IndexManager {
             )?));
         }
         let state = if def.deferred { IndexState::Deferred } else { IndexState::Building };
+        let mut map = self.indexes.write();
+        if map.contains_key(&key) {
+            return Err(Error::Index(format!(
+                "index {} already exists on {}",
+                def.name, def.keyspace
+            )));
+        }
         map.insert(
             key,
             Arc::new(IndexInstance {
                 router: Arc::new(Router::new(def, partitions)),
-                state: Mutex::new(state),
+                state: OrderedMutex::new(rank::INDEX_STATE, state),
             }),
         );
         Ok(())

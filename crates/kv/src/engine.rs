@@ -787,6 +787,9 @@ impl DataEngine {
 
         let mut persisted = 0u64;
         if !cycle.is_empty() {
+            // lint:allow(guard-blocking): the flush-cycle lock exists to
+            // cover exactly this WAL append + fsync + store write; drains
+            // and checkpoints serialize on it by design (DESIGN.md §9).
             if let Err(e) = self.commit_cycle(sh, &cycle) {
                 // The queues were already snapshotted and the counter
                 // decremented; put the keys back (skipping any a newer
@@ -823,6 +826,10 @@ impl DataEngine {
             self.persist_cv.notify_all();
         }
         if sh.wal.len_bytes() >= WAL_CHECKPOINT_BYTES {
+            // lint:allow(guard-blocking): size-triggered checkpoint runs
+            // under the same flush-cycle lock on purpose — the WAL must
+            // not be truncated while this drain's store writes are
+            // unsynced.
             self.checkpoint_shard_locked(sh)?;
         }
         sh.wal_bytes.set(sh.wal.len_bytes());
@@ -845,6 +852,10 @@ impl DataEngine {
             if batch.is_empty() {
                 continue;
             }
+            // lint:allow(guard-blocking): the touched set must record the
+            // store write atomically with it (checkpoint drains the set
+            // and fsyncs exactly those stores); store.vb() only does file
+            // I/O on the first touch of a vBucket (lazy open).
             self.store.vb(*vb)?.persist_batch(batch)?;
             touched.insert(*vb);
         }
@@ -859,6 +870,9 @@ impl DataEngine {
     pub fn checkpoint_shard(&self, shard: usize) -> Result<()> {
         let sh = &self.shards[shard];
         let _flush = sh.flush_lock.lock();
+        // lint:allow(guard-blocking): excluding in-flight drains while the
+        // checkpoint fsyncs and truncates is this function's contract (see
+        // doc comment above).
         self.checkpoint_shard_locked(sh)
     }
 
@@ -866,6 +880,10 @@ impl DataEngine {
         let _s = span("kv.flusher.checkpoint");
         let mut touched = sh.touched.lock();
         for vb in touched.drain() {
+            // lint:allow(guard-blocking): the checkpoint must fsync the
+            // exact set of stores the drained WAL covered; releasing the
+            // touched lock mid-drain would let a concurrent cycle add a
+            // store the truncated WAL no longer protects.
             self.store.vb(vb)?.sync()?;
         }
         sh.wal.reset()?;

@@ -22,9 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_json::Value;
 use cbs_obs::{Counter, Gauge, Registry};
-use parking_lot::{Mutex, RwLock};
 
 use crate::plan::QueryPlan;
 
@@ -96,9 +96,9 @@ impl PreparedEntry {
 /// The per-query-service plan cache (shared by every query node in a
 /// cluster, like the query registry).
 pub struct PlanCache {
-    shards: Vec<Mutex<HashMap<String, CacheEntry>>>,
-    epochs: RwLock<HashMap<String, u64>>,
-    prepared: RwLock<HashMap<String, Arc<PreparedEntry>>>,
+    shards: Vec<OrderedMutex<HashMap<String, CacheEntry>>>,
+    epochs: OrderedRwLock<HashMap<String, u64>>,
+    prepared: OrderedRwLock<HashMap<String, Arc<PreparedEntry>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     invalidations: Arc<Counter>,
@@ -133,9 +133,11 @@ impl PlanCache {
     /// `ClusterStats` and cbstats).
     pub fn with_registry(registry: &Registry) -> PlanCache {
         PlanCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            epochs: RwLock::new(HashMap::new()),
-            prepared: RwLock::new(HashMap::new()),
+            shards: (0..SHARDS)
+                .map(|_| OrderedMutex::new(rank::N1QL_PLAN_SHARD, HashMap::new()))
+                .collect(),
+            epochs: OrderedRwLock::new(rank::N1QL_PLAN_EPOCHS, HashMap::new()),
+            prepared: OrderedRwLock::new(rank::N1QL_PREPARED, HashMap::new()),
             hits: registry
                 .counter_with_help("n1ql.plancache.hits", "plan-cache lookups served cached"),
             misses: registry
@@ -150,7 +152,7 @@ impl PlanCache {
         }
     }
 
-    fn shard(&self, text: &str) -> &Mutex<HashMap<String, CacheEntry>> {
+    fn shard(&self, text: &str) -> &OrderedMutex<HashMap<String, CacheEntry>> {
         let mut h = DefaultHasher::new();
         text.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]

@@ -15,10 +15,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_common::{Error, Result, SeqNo};
 use cbs_index::{IndexDef, IndexEntry, Projector, ScanConsistency, ScanRange};
 use cbs_json::Value;
-use parking_lot::RwLock;
 
 use crate::cache::PlanCache;
 use crate::profile::RequestLog;
@@ -116,7 +116,7 @@ struct MemKeyspace {
 /// [`RequestLog`], so `system:completed_requests` and friends work
 /// without a cluster.
 pub struct MemoryDatastore {
-    keyspaces: RwLock<BTreeMap<String, MemKeyspace>>,
+    keyspaces: OrderedRwLock<BTreeMap<String, MemKeyspace>>,
     request_log: RequestLog,
     plan_cache: PlanCache,
     stats_cache: StatsCache,
@@ -125,7 +125,7 @@ pub struct MemoryDatastore {
 impl Default for MemoryDatastore {
     fn default() -> Self {
         MemoryDatastore {
-            keyspaces: RwLock::new(BTreeMap::new()),
+            keyspaces: OrderedRwLock::new(rank::N1QL_KEYSPACES, BTreeMap::new()),
             request_log: RequestLog::new("mem"),
             plan_cache: PlanCache::new(),
             stats_cache: StatsCache::new(),

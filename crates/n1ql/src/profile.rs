@@ -21,9 +21,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use cbs_common::sync::{rank, OrderedMutex};
 use cbs_json::Value;
 use cbs_obs::SpanNode;
-use parking_lot::Mutex;
 
 /// Every operator name the executor can emit, in pipeline order. The
 /// `profile-coverage` xtask lint cross-checks that `exec.rs` records stats
@@ -293,8 +293,10 @@ pub struct RequestLog {
     node: String,
     next_id: AtomicU64,
     threshold_nanos: AtomicU64,
-    active: Mutex<BTreeMap<u64, ActiveRequest>>,
-    completed: Mutex<std::collections::VecDeque<RequestEntry>>,
+    /// Ranks `REQLOG_ACTIVE` / `REQLOG_COMPLETED`: leaf locks, held only
+    /// for statement-scoped map edits — never across a phase of execution.
+    active: OrderedMutex<BTreeMap<u64, ActiveRequest>>,
+    completed: OrderedMutex<std::collections::VecDeque<RequestEntry>>,
 }
 
 impl RequestLog {
@@ -308,8 +310,8 @@ impl RequestLog {
             threshold_nanos: AtomicU64::new(
                 cbs_obs::default_slow_threshold().as_nanos().min(u64::MAX as u128) as u64,
             ),
-            active: Mutex::new(BTreeMap::new()),
-            completed: Mutex::new(std::collections::VecDeque::new()),
+            active: OrderedMutex::new(rank::REQLOG_ACTIVE, BTreeMap::new()),
+            completed: OrderedMutex::new(rank::REQLOG_COMPLETED, std::collections::VecDeque::new()),
         }
     }
 

@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cbs_common::sync::{rank, OrderedRwLock};
 use cbs_json::Value;
-use parking_lot::RwLock;
 
 /// Cardinality snapshot for one index (aggregated across partitions).
 #[derive(Debug, Clone, Default)]
@@ -52,15 +52,23 @@ impl KeyspaceStats {
 /// Lazy, epoch-stamped statistics memo. `get_or_refresh` returns the
 /// cached snapshot while the keyspace epoch is unchanged and recollects
 /// (via the caller's closure) after any invalidation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StatsCache {
-    inner: RwLock<HashMap<String, (u64, Arc<KeyspaceStats>)>>,
+    /// Rank `N1QL_STATS`: leaf — the collection closure runs between the
+    /// read probe and the write insert, never under either.
+    inner: OrderedRwLock<HashMap<String, (u64, Arc<KeyspaceStats>)>>,
+}
+
+impl Default for StatsCache {
+    fn default() -> StatsCache {
+        StatsCache::new()
+    }
 }
 
 impl StatsCache {
     /// Empty cache.
     pub fn new() -> StatsCache {
-        StatsCache::default()
+        StatsCache { inner: OrderedRwLock::new(rank::N1QL_STATS, HashMap::new()) }
     }
 
     /// Cached stats for `keyspace` at `epoch`, collecting fresh ones when

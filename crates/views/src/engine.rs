@@ -21,12 +21,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cbs_common::sync::{rank, OrderedMutex, OrderedRwLock};
 use cbs_common::{Error, Result, SeqNo, VbId};
 use cbs_dcp::DcpStream;
 use cbs_json::Value;
 use cbs_kv::{DataEngine, VbState};
 use cbs_obs::{span, Counter};
-use parking_lot::{Mutex, RwLock};
 
 use crate::btree::{KeyRange, ViewBTree, ViewEntry};
 use crate::mapfn::MapFn;
@@ -117,14 +117,14 @@ struct ViewState {
 }
 
 struct DdocState {
-    views: Mutex<HashMap<String, ViewState>>,
-    streams: Mutex<Vec<DcpStream>>,
+    views: OrderedMutex<HashMap<String, ViewState>>,
+    streams: OrderedMutex<Vec<DcpStream>>,
 }
 
 /// The view engine for one bucket on one node.
 pub struct ViewEngine {
     engine: Arc<DataEngine>,
-    ddocs: RwLock<HashMap<String, Arc<DdocState>>>,
+    ddocs: OrderedRwLock<HashMap<String, Arc<DdocState>>>,
     queries: Arc<Counter>,
     items_indexed: Arc<Counter>,
 }
@@ -137,7 +137,12 @@ impl ViewEngine {
         let registry = engine.registry();
         let queries = registry.counter("views.engine.queries");
         let items_indexed = registry.counter("views.engine.items_indexed");
-        ViewEngine { engine, ddocs: RwLock::new(HashMap::new()), queries, items_indexed }
+        ViewEngine {
+            engine,
+            ddocs: OrderedRwLock::new(rank::VIEWS_DDOCS, HashMap::new()),
+            queries,
+            items_indexed,
+        }
     }
 
     /// Register a design document. Its views start empty; they materialise
@@ -163,7 +168,10 @@ impl ViewEngine {
             .collect();
         map.insert(
             ddoc.name,
-            Arc::new(DdocState { views: Mutex::new(views), streams: Mutex::new(streams) }),
+            Arc::new(DdocState {
+                views: OrderedMutex::new(rank::VIEWS_DDOC_VIEWS, views),
+                streams: OrderedMutex::new(rank::VIEWS_DDOC_STREAMS, streams),
+            }),
         );
         Ok(())
     }

@@ -1,36 +1,49 @@
-//! `cargo xtask` — repo automation. Today: the invariant lint pass.
+//! `cargo xtask` — repo automation: the invariant lint pass and the
+//! interprocedural concurrency analyzer.
 //!
 //! ```text
-//! cargo xtask lint            # human-readable diagnostics, exit 1 on findings
-//! cargo xtask lint --json     # machine-readable findings on stdout
-//! cargo xtask lint --root P   # lint a tree other than the enclosing repo
+//! cargo xtask lint               # line-level invariant lint, exit 1 on findings
+//! cargo xtask lint --json        # machine-readable findings on stdout
+//! cargo xtask analyze            # lock-order / guard-blocking / raw-lock analysis
+//! cargo xtask analyze --json     # findings as JSON
+//! cargo xtask analyze --sarif P  # also write a SARIF 2.1.0 report to P
+//! cargo xtask <cmd> --root P     # run against a tree other than the enclosing repo
 //! ```
 //!
-//! The `xtask` alias lives in `.cargo/config.toml`. See `rules.rs` for what
-//! gets checked and DESIGN.md §9 for why.
+//! The `xtask` alias lives in `.cargo/config.toml`. See `rules.rs` for the
+//! line rules, `analyze/` for the semantic passes, and DESIGN.md §9/§14.
 
+mod analyze;
+mod census;
 mod rules;
 mod scan;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use census::Tree;
 use rules::Finding;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("analyze") => analyze::cmd_analyze(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
-            eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+            usage();
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+            usage();
             ExitCode::from(2)
         }
     }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+    eprintln!("       cargo xtask analyze [--json] [--sarif <path>] [--root <path>]");
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
@@ -95,88 +108,42 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 }
 
-/// Walk `crates/*/src/**/*.rs` under `root`, lint each file. Returns the
-/// findings (sorted by path then line) and the number of files scanned.
-fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
-        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
+/// Whether a census entry is a chaos replay artifact (chaos integration
+/// tests and the root `tests/chaos*.rs` suite get `chaos-determinism`).
+fn is_chaos_artifact(f: &census::SourceFile) -> bool {
+    match f.tree {
+        Tree::Tests => {
+            f.crate_name == "chaos"
+                || (f.crate_name == census::ROOT_CRATE
+                    && Path::new(&f.rel)
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("chaos")))
+        }
+        _ => false,
+    }
+}
 
+/// Lint every tree the census discovers. Lib trees carry the full rule
+/// set; `tests/`, `benches/` and `examples/` carry the repo-wide
+/// invariants (`std-sync`, plus `chaos-determinism` for chaos artifacts).
+/// Returns the findings (sorted by path then line) and the number of
+/// files scanned.
+fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
+    let files = census::collect(root)?;
     let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for dir in crate_dirs {
-        let crate_name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
-        if crate_name == "xtask" {
-            // The linter's own docs spell out the `lint:allow(<rule>)`
-            // syntax, which the scanner would read as (malformed)
-            // directives. The linter doesn't lint itself.
-            continue;
-        }
-        let src = dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for f in files {
-            let text =
-                std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
-            let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
-            findings.extend(rules::lint_file(&crate_name, &rel, &text));
-            files_scanned += 1;
-        }
-    }
-    // Chaos determinism reaches beyond lib code: the chaos crate's
-    // integration tests and the root `tests/chaos*.rs` suite are the
-    // replayable artifacts, so they get the `chaos-determinism` rule (and
-    // only that rule — the rest are lib-code invariants).
-    let mut chaos_test_files: Vec<PathBuf> = Vec::new();
-    let chaos_tests = crates_dir.join("chaos").join("tests");
-    if chaos_tests.is_dir() {
-        collect_rs_files(&chaos_tests, &mut chaos_test_files)?;
-    }
-    let root_tests = root.join("tests");
-    if root_tests.is_dir() {
-        for entry in std::fs::read_dir(&root_tests)
-            .map_err(|e| format!("reading {}: {e}", root_tests.display()))?
-        {
-            let p = entry.map_err(|e| format!("reading {}: {e}", root_tests.display()))?.path();
-            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with("chaos") && name.ends_with(".rs") {
-                chaos_test_files.push(p);
+    for f in &files {
+        let text = std::fs::read_to_string(&f.path)
+            .map_err(|e| format!("reading {}: {e}", f.path.display()))?;
+        match f.tree {
+            Tree::Lib => findings.extend(rules::lint_file(&f.crate_name, &f.rel, &text)),
+            Tree::Tests | Tree::Benches | Tree::Examples => {
+                findings.extend(rules::lint_aux_file(&f.rel, &text, is_chaos_artifact(f)));
             }
         }
     }
-    chaos_test_files.sort();
-    for f in chaos_test_files {
-        let text =
-            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
-        let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
-        findings.extend(rules::lint_chaos_test_file(&rel, &text));
-        files_scanned += 1;
-    }
-
     findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
-    Ok((findings, files_scanned))
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    for entry in std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))? {
-        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
-        let p = entry.path();
-        if p.is_dir() {
-            collect_rs_files(&p, out)?;
-        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
-            out.push(p);
-        }
-    }
-    Ok(())
+    Ok((findings, files.len()))
 }
 
 /// Walk up from the current directory to the first `Cargo.toml` declaring a
@@ -218,7 +185,7 @@ fn render_json(findings: &[Finding]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -313,23 +280,31 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
     }
 
+    /// Tests and benches trees are in the census and carry the repo-wide
+    /// `std-sync` invariant, but lib-only rules (unwrap) stay out of them.
     #[test]
-    fn tests_and_benches_trees_not_scanned() {
-        let root = scratch("xtask-skiptests");
+    fn aux_trees_scanned_with_repo_wide_rules_only() {
+        let root = scratch("xtask-aux");
         std::fs::create_dir_all(root.join("crates/kv/src")).unwrap();
         std::fs::create_dir_all(root.join("crates/kv/tests")).unwrap();
         std::fs::create_dir_all(root.join("crates/kv/benches")).unwrap();
         std::fs::write(root.join("crates/kv/src/lib.rs"), "fn ok() {}\n").unwrap();
         std::fs::write(root.join("crates/kv/tests/t.rs"), "fn t() { x.unwrap(); }\n").unwrap();
-        std::fs::write(root.join("crates/kv/benches/b.rs"), "fn b() { x.unwrap(); }\n").unwrap();
+        std::fs::write(
+            root.join("crates/kv/benches/b.rs"),
+            "use std::sync::Mutex;\nfn b() { x.unwrap(); }\n",
+        )
+        .unwrap();
         let (findings, files) = lint_tree(&root).unwrap();
-        assert_eq!(files, 1);
-        assert!(findings.is_empty());
+        assert_eq!(files, 3, "all three trees are scanned: {findings:?}");
+        assert_eq!(findings.len(), 1, "only the bench std-sync hit fires: {findings:?}");
+        assert_eq!(findings[0].rule, "std-sync");
+        assert_eq!(findings[0].file, "crates/kv/benches/b.rs");
         let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
-    fn chaos_tests_scanned_with_only_the_determinism_rule() {
+    fn chaos_tests_get_the_determinism_rule() {
         let root = scratch("xtask-chaos");
         let w = |rel: &str, body: &str| {
             let p = root.join(rel);
@@ -339,8 +314,8 @@ mod tests {
         w("Cargo.toml", "[workspace]\n");
         // Lib code: both the chaos rule and the crate-wide rules apply.
         w("crates/chaos/src/lib.rs", "fn f() { let t = std::time::Instant::now(); }\n");
-        // Chaos test trees: only chaos-determinism fires — the unwrap and
-        // std-sync hits in the same file must NOT be reported.
+        // Chaos test trees: chaos-determinism plus the repo-wide std-sync
+        // rule — but not lib-only rules like unwrap.
         w(
             "crates/chaos/tests/determinism.rs",
             "fn t() { x.unwrap(); let r = rand::thread_rng(); }\n",
@@ -349,17 +324,23 @@ mod tests {
             "tests/chaos_kv.rs",
             "use std::sync::Mutex;\nfn t() { let s = std::time::SystemTime::now(); }\n",
         );
-        // Non-chaos root tests stay out of scope entirely.
+        // Non-chaos root tests carry std-sync only; wall-clock reads there
+        // are fine.
         w("tests/integration.rs", "fn t() { let t = std::time::Instant::now(); }\n");
 
         let (findings, files) = lint_tree(&root).unwrap();
-        assert_eq!(files, 3, "{findings:?}");
-        assert_eq!(findings.len(), 3, "{findings:?}");
-        assert!(findings.iter().all(|f| f.rule == "chaos-determinism"), "{findings:?}");
-        let files_hit: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
-        assert!(files_hit.contains(&"crates/chaos/src/lib.rs"));
-        assert!(files_hit.contains(&"crates/chaos/tests/determinism.rs"));
-        assert!(files_hit.contains(&"tests/chaos_kv.rs"));
+        assert_eq!(files, 4, "{findings:?}");
+        let hits: Vec<(&str, &str)> = findings.iter().map(|f| (f.file.as_str(), f.rule)).collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("crates/chaos/src/lib.rs", "chaos-determinism"),
+                ("crates/chaos/tests/determinism.rs", "chaos-determinism"),
+                ("tests/chaos_kv.rs", "std-sync"),
+                ("tests/chaos_kv.rs", "chaos-determinism"),
+            ],
+            "{findings:?}"
+        );
 
         // An allow with a reason silences the test-file finding.
         w(
@@ -388,7 +369,7 @@ mod tests {
         assert!(render_json(&[]).contains("[]"));
     }
 
-    fn scratch(tag: &str) -> PathBuf {
+    pub(crate) fn scratch(tag: &str) -> PathBuf {
         use std::sync::atomic::{AtomicU64, Ordering};
         static N: AtomicU64 = AtomicU64::new(0);
         let d = std::env::temp_dir().join(format!(

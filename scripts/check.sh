@@ -10,14 +10,17 @@
 #   1. cargo fmt --check          formatting (rustfmt.toml)
 #   2. cargo xtask lint           repo-invariant lint (hot-path unwraps,
 #                                 std::sync, guard-across-I/O, wall-clock)
-#   3. cargo clippy -D warnings   workspace lint walls ([workspace.lints])
-#   4. model suite                lock-order detector + flusher protocol
+#   3. cargo xtask analyze        whole-workspace interprocedural lock-order
+#                                 / guard-across-blocking / raw-lock static
+#                                 analysis (SARIF at target/analyze.sarif)
+#   4. cargo clippy -D warnings   workspace lint walls ([workspace.lints])
+#   5. model suite                lock-order detector + flusher protocol
 #                                 models (exhaustive interleaving search)
-#   5. chaos smoke                fixed-seed fault-injection run (<10s)
+#   6. chaos smoke                fixed-seed fault-injection run (<10s)
 #                                 against a 3-node cluster; the seed sweep
 #                                 in the full suite honors CHAOS_SEEDS=n
-#   6. full test suite            (skipped with --quick)
-#   7. TSan / Miri subset         best-effort: requires nightly toolchain
+#   7. full test suite            (skipped with --quick)
+#   8. TSan / Miri subset         best-effort: requires nightly toolchain
 #                                 with rust-src / miri; skipped gracefully
 #                                 when the components are not installed.
 set -u
@@ -77,6 +80,7 @@ fi
 
 run "fmt" cargo fmt --all --check
 run "xtask lint" cargo xtask lint
+run "xtask analyze (interprocedural)" cargo xtask analyze --sarif target/analyze.sarif
 run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 # Concurrency model suite: the lock-order detector's own tests, the

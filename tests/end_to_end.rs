@@ -170,9 +170,14 @@ fn xdcr_bidirectional_bulk_convergence() {
             .all(|i| eb.get(&format!("west::{i}")).is_ok() && wb.get(&format!("east::{i}")).is_ok())
     }));
     // Conflicting writes on the same key converge to the same winner.
+    // West writes first: whatever the links ship in between, east's two
+    // updates end at a strictly higher revision count than west's one,
+    // so most-updates-wins resolution is deterministic here. (Writing
+    // east first is racy: the link can ship east-1 to west before
+    // west's upsert, which then lands at rev 2 and ties east.)
+    wb.upsert("both", Value::from("west-1")).unwrap();
     eb.upsert("both", Value::from("east-1")).unwrap();
     eb.upsert("both", Value::from("east-2")).unwrap();
-    wb.upsert("both", Value::from("west-1")).unwrap();
     assert!(wait_until(Duration::from_secs(15), || {
         let a = eb.get("both").map(|g| g.value).ok();
         let b = wb.get("both").map(|g| g.value).ok();
