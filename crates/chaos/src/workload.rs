@@ -22,8 +22,8 @@ use crate::plan::{FaultPlan, FaultSpec};
 /// Bucket every chaos run uses.
 pub const BUCKET: &str = "chaos";
 
-const WORKLOAD_SALT: u64 = 0x776f_726b; // "work"
-const KILL_SALT: u64 = 0x6b69_6c6c; // "kill"
+pub(crate) const WORKLOAD_SALT: u64 = 0x776f_726b; // "work"
+pub(crate) const KILL_SALT: u64 = 0x6b69_6c6c; // "kill"
 
 /// Named fault-intensity profile (replayable by name).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,9 +13,19 @@ use cbs_kv::VbState;
 use cbs_views::{ViewQuery, ViewResult, ViewRow};
 
 use crate::config::{ClusterConfig, ServiceSet};
+use crate::lag::ReplicationLagTable;
 use crate::map::ClusterMap;
 use crate::node::Node;
 use crate::replication::{PumpTopology, ReplicationPump, TopologyFn};
+
+/// A bucket's running pump plus its lock-free lag table. The table is
+/// shared out (`Arc`) to stats/catalog readers; the pump thread is the
+/// table's single writer.
+struct PumpEntry {
+    /// Held for its `Drop`: removing the entry stops the pump thread.
+    _pump: ReplicationPump,
+    lag: Arc<ReplicationLagTable>,
+}
 
 pub(crate) struct ClusterInner {
     pub cfg: ClusterConfig,
@@ -65,7 +75,7 @@ impl ClusterInner {
 /// A Couchbase cluster: nodes + buckets + the management plane.
 pub struct Cluster {
     inner: Arc<ClusterInner>,
-    pumps: OrderedMutex<HashMap<String, ReplicationPump>>,
+    pumps: OrderedMutex<HashMap<String, PumpEntry>>,
     next_node_id: AtomicU32,
     rebalancing: AtomicBool,
 }
@@ -173,9 +183,18 @@ impl Cluster {
         let inner = Arc::clone(&self.inner);
         let bucket_name = bucket.to_string();
         let topo: TopologyFn = Box::new(move || topology_snapshot(&inner, &bucket_name));
-        self.pumps
-            .lock()
-            .insert(bucket.to_string(), ReplicationPump::spawn(bucket.to_string(), topo));
+        let lag = Arc::new(ReplicationLagTable::new(
+            bucket,
+            self.inner.cfg.num_vbuckets,
+            self.inner.cfg.num_replicas as usize,
+        ));
+        // Prime the table with the creation topology before the pump thread
+        // (its single writer from here on) starts: stats and the
+        // `system:replication` catalog read rows the instant the bucket
+        // exists instead of racing the pump's first cycle.
+        lag.observe(&topology_snapshot(&self.inner, bucket));
+        let pump = ReplicationPump::spawn(bucket.to_string(), topo, Arc::clone(&lag));
+        self.pumps.lock().insert(bucket.to_string(), PumpEntry { _pump: pump, lag });
         Ok(())
     }
 
@@ -615,6 +634,22 @@ impl Cluster {
         &self.inner.plan_cache
     }
 
+    /// A bucket's live replication-lag table (per-(vBucket, replica) seqno
+    /// lag maintained by the DCP pump), `None` for unknown buckets. The
+    /// pumps lock is held only to clone the `Arc` out.
+    pub fn replication_lag(&self, bucket: &str) -> Option<Arc<ReplicationLagTable>> {
+        self.pumps.lock().get(bucket).map(|e| Arc::clone(&e.lag))
+    }
+
+    /// Every bucket's lag table, for stats/catalog assembly. The pumps
+    /// lock is held only to clone the `Arc`s out.
+    pub(crate) fn lag_tables(&self) -> Vec<Arc<ReplicationLagTable>> {
+        let mut tables: Vec<Arc<ReplicationLagTable>> =
+            self.pumps.lock().values().map(|e| Arc::clone(&e.lag)).collect();
+        tables.sort_by(|a, b| a.bucket().cmp(b.bucket()));
+        tables
+    }
+
     /// Freeze every registry in the cluster into one typed snapshot:
     /// per node, per service, per bucket, per vBucket — plus the slow-op
     /// rings of every service, span trees included.
@@ -654,6 +689,14 @@ impl Cluster {
             cluster_services.push(registry.snapshot());
             slow_ops.extend(registry.slow_ops());
         }
+        // Replication-lag surfaces: each bucket's `cluster.replication.*`
+        // registry joins the cluster services, and the live per-(vBucket,
+        // replica) rows ride along for `system:replication`.
+        let mut replication = Vec::new();
+        for lag in self.lag_tables() {
+            cluster_services.push(lag.registry().snapshot());
+            replication.extend(lag.rows());
+        }
         crate::stats::ClusterStats {
             nodes,
             cluster_services,
@@ -661,6 +704,7 @@ impl Cluster {
             completed_requests: self.inner.request_log.completed_rows(),
             active_requests: self.inner.request_log.active_rows(),
             prepareds: self.inner.plan_cache.prepared_rows(),
+            replication,
         }
     }
 

@@ -1,0 +1,307 @@
+//! Per-(vBucket, replica) replication-lag tracking for the DCP pump.
+//!
+//! The paper's intra-cluster replication (§4.1.1) is asynchronous: an
+//! active vBucket's mutations reach its replicas through the memory-to-
+//! memory DCP pump, so at any instant a replica may be *behind* — and a
+//! failover promoting it loses the tail. The chaos checker can prove a
+//! history legal; this table is the complementary *measuring* instrument:
+//! every pump cycle it samples, per (vBucket, replica), the seqno distance
+//! between the active copy and the replica, and how many cycles the
+//! replica has been continuously behind.
+//!
+//! Everything here is atomics — the table lives inside the pump entry
+//! (rank `CLUSTER_PUMPS` map) but is read lock-free by `Cluster::stats()`,
+//! the `system:replication` / `system:staleness` catalogs, and the
+//! Prometheus export. The logical clock is the pump cycle counter: lag-age
+//! is measured in cycles, and the windowed lag-age histogram rotates every
+//! [`LAG_WINDOW_CYCLES`] cycles so snapshots answer "how far behind are
+//! replicas *now*", not "since boot".
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cbs_common::{NodeId, VbId};
+use cbs_obs::{Counter, Gauge, Registry, WindowedHistogram, WindowedSnapshot};
+
+use crate::replication::PumpTopology;
+
+/// Pump cycles per lag-age window: with the pump's ~1 ms idle cadence a
+/// window is roughly 64 ms, so the 8-window ring covers the last ~half
+/// second of replication behaviour.
+pub const LAG_WINDOW_CYCLES: u64 = 64;
+
+/// Sentinel for "this replica slot is unused / unmeasurable".
+const EMPTY_NODE: u32 = u32::MAX;
+
+/// Sentinel for "this replica is fully caught up" in `behind_since`.
+const CAUGHT_UP: u64 = u64::MAX;
+
+/// One (vBucket, replica-position) measurement slot.
+#[derive(Debug)]
+struct ReplicaSlot {
+    /// Replica node id (`EMPTY_NODE` when the slot is unused).
+    node: AtomicU32,
+    /// Seqno distance active − replica at the last pump cycle.
+    lag: AtomicU64,
+    /// Pump cycle at which the replica fell behind (`CAUGHT_UP` when not
+    /// behind); age in cycles is `cycle − behind_since`.
+    behind_since: AtomicU64,
+}
+
+impl ReplicaSlot {
+    fn new() -> ReplicaSlot {
+        ReplicaSlot {
+            node: AtomicU32::new(EMPTY_NODE),
+            lag: AtomicU64::new(0),
+            behind_since: AtomicU64::new(CAUGHT_UP),
+        }
+    }
+
+    fn clear(&self) {
+        self.node.store(EMPTY_NODE, Ordering::Relaxed);
+        self.lag.store(0, Ordering::Relaxed);
+        self.behind_since.store(CAUGHT_UP, Ordering::Relaxed);
+    }
+}
+
+/// One live lag measurement, as surfaced through `ClusterStats` and the
+/// `system:replication` catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationLagRow {
+    /// Bucket the measurement belongs to.
+    pub bucket: String,
+    /// vBucket id.
+    pub vb: u16,
+    /// Replica node the lag is measured against.
+    pub replica: NodeId,
+    /// Seqno distance active − replica at the last pump cycle.
+    pub lag: u64,
+    /// Consecutive pump cycles this replica has been behind (0 when caught
+    /// up).
+    pub age_cycles: u64,
+}
+
+/// Per-bucket staleness summary, as surfaced through `system:staleness`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessRow {
+    /// Bucket the summary describes.
+    pub bucket: String,
+    /// Pump cycles completed (the logical clock).
+    pub cycles: u64,
+    /// vBuckets with at least one lagging replica at the last cycle.
+    pub lagging_vbuckets: u64,
+    /// Largest per-replica seqno lag at the last cycle.
+    pub lag_max: u64,
+    /// Sum of per-replica seqno lags at the last cycle.
+    pub lag_total: u64,
+    /// Windowed lag-age distribution (in pump cycles): one sample per
+    /// resolved lag episode, covering the live windows only.
+    pub lag_age: WindowedSnapshot,
+}
+
+/// Lock-free per-bucket lag table, updated by the pump every cycle.
+#[derive(Debug)]
+pub struct ReplicationLagTable {
+    bucket: String,
+    registry: Arc<Registry>,
+    cycle: AtomicU64,
+    /// `slots[vb][replica_position]`, capacity fixed at construction.
+    slots: Vec<Vec<ReplicaSlot>>,
+    lag_max: Arc<Gauge>,
+    lag_total: Arc<Gauge>,
+    lagging_vbuckets: Arc<Gauge>,
+    cycles: Arc<Counter>,
+    lag_age: Arc<WindowedHistogram>,
+}
+
+impl ReplicationLagTable {
+    /// A fresh table for `bucket` with `num_vbuckets × num_replicas`
+    /// measurement slots.
+    pub fn new(bucket: &str, num_vbuckets: u16, num_replicas: usize) -> ReplicationLagTable {
+        let registry = Arc::new(Registry::new("cluster"));
+        let lag_max = registry.gauge_with_help(
+            "cluster.replication.lag_max",
+            "Largest active-to-replica seqno lag across all vBuckets at the last pump cycle",
+        );
+        let lag_total = registry.gauge_with_help(
+            "cluster.replication.lag_total",
+            "Sum of active-to-replica seqno lags across all vBuckets at the last pump cycle",
+        );
+        let lagging_vbuckets = registry.gauge_with_help(
+            "cluster.replication.lagging_vbuckets",
+            "vBuckets with at least one replica behind the active copy at the last pump cycle",
+        );
+        let cycles = registry.counter_with_help(
+            "cluster.replication.cycles",
+            "Replication pump cycles completed (the lag table's logical clock)",
+        );
+        let lag_age = registry.windowed_histogram_with_help(
+            "cluster.replication.lag_age",
+            "Pump cycles a replica stayed continuously behind, one sample per resolved lag \
+             episode, over the live windows",
+        );
+        ReplicationLagTable {
+            bucket: bucket.to_string(),
+            registry,
+            cycle: AtomicU64::new(0),
+            slots: (0..num_vbuckets)
+                .map(|_| (0..num_replicas.max(1)).map(|_| ReplicaSlot::new()).collect())
+                .collect(),
+            lag_max,
+            lag_total,
+            lagging_vbuckets,
+            cycles,
+            lag_age,
+        }
+    }
+
+    /// Bucket this table measures.
+    pub fn bucket(&self) -> &str {
+        &self.bucket
+    }
+
+    /// The registry holding the `cluster.replication.*` metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Pump cycles observed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle.load(Ordering::Relaxed)
+    }
+
+    /// Called by the pump once per cycle: sample every (vBucket, replica)
+    /// seqno distance from the topology it just pumped with, maintain the
+    /// lag-age episodes, and refresh the aggregate gauges. Single-writer
+    /// (the pump thread); readers are lock-free.
+    pub fn observe(&self, topo: &PumpTopology) {
+        let cycle = self.cycle.fetch_add(1, Ordering::Relaxed) + 1;
+        self.cycles.inc();
+        // Rotate the lag-age window on the logical clock, never wall time,
+        // so seeded chaos runs stay deterministic.
+        self.lag_age.advance_to(cycle / LAG_WINDOW_CYCLES);
+
+        let mut max = 0u64;
+        let mut total = 0u64;
+        let mut lagging_vbs = 0u64;
+        for (v, vb_slots) in self.slots.iter().enumerate() {
+            let vb = VbId(v as u16);
+            if v >= topo.map.num_vbuckets() as usize {
+                for slot in vb_slots {
+                    slot.clear();
+                }
+                continue;
+            }
+            let active = topo.map.active_node(vb);
+            let src_high = topo.engines.get(&active).map(|e| e.high_seqno(vb));
+            let replicas = topo.map.replica_nodes(vb);
+            let mut vb_lagging = false;
+            for (i, slot) in vb_slots.iter().enumerate() {
+                let (replica, src) = match (replicas.get(i), src_high) {
+                    (Some(r), Some(s)) => (*r, s),
+                    // No replica in this position, or the active copy is
+                    // unreachable: lag is undefined here.
+                    _ => {
+                        self.finish_episode(slot, cycle);
+                        slot.clear();
+                        continue;
+                    }
+                };
+                let Some(dst) = topo.engines.get(&replica) else {
+                    self.finish_episode(slot, cycle);
+                    slot.clear();
+                    continue;
+                };
+                let lag = src.0.saturating_sub(dst.high_seqno(vb).0);
+                slot.node.store(replica.0, Ordering::Relaxed);
+                slot.lag.store(lag, Ordering::Relaxed);
+                if lag == 0 {
+                    self.finish_episode(slot, cycle);
+                } else {
+                    if slot.behind_since.load(Ordering::Relaxed) == CAUGHT_UP {
+                        slot.behind_since.store(cycle, Ordering::Relaxed);
+                    }
+                    vb_lagging = true;
+                    max = max.max(lag);
+                    total += lag;
+                }
+            }
+            if vb_lagging {
+                lagging_vbs += 1;
+            }
+        }
+        self.lag_max.set(max);
+        self.lag_total.set(total);
+        self.lagging_vbuckets.set(lagging_vbs);
+    }
+
+    /// Close a lag episode if one is open: record its age (in cycles) into
+    /// the windowed histogram and mark the slot caught up.
+    fn finish_episode(&self, slot: &ReplicaSlot, cycle: u64) {
+        let since = slot.behind_since.load(Ordering::Relaxed);
+        if since != CAUGHT_UP {
+            self.lag_age.record_nanos(cycle.saturating_sub(since));
+            slot.behind_since.store(CAUGHT_UP, Ordering::Relaxed);
+        }
+    }
+
+    /// Live per-(vBucket, replica) rows, one per occupied slot.
+    pub fn rows(&self) -> Vec<ReplicationLagRow> {
+        let cycle = self.cycle.load(Ordering::Relaxed);
+        let mut out = Vec::new();
+        for (v, vb_slots) in self.slots.iter().enumerate() {
+            for slot in vb_slots {
+                let node = slot.node.load(Ordering::Relaxed);
+                if node == EMPTY_NODE {
+                    continue;
+                }
+                let since = slot.behind_since.load(Ordering::Relaxed);
+                out.push(ReplicationLagRow {
+                    bucket: self.bucket.clone(),
+                    vb: v as u16,
+                    replica: NodeId(node),
+                    lag: slot.lag.load(Ordering::Relaxed),
+                    age_cycles: if since == CAUGHT_UP { 0 } else { cycle.saturating_sub(since) },
+                });
+            }
+        }
+        out
+    }
+
+    /// Per-vBucket (max, mean) replica lag over occupied slots, for the
+    /// cbstats operator table. vBuckets with no measurable replica are
+    /// omitted.
+    pub fn per_vb_lag(&self) -> Vec<(u16, u64, f64)> {
+        let mut out = Vec::new();
+        for (v, vb_slots) in self.slots.iter().enumerate() {
+            let mut max = 0u64;
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for slot in vb_slots {
+                if slot.node.load(Ordering::Relaxed) == EMPTY_NODE {
+                    continue;
+                }
+                let lag = slot.lag.load(Ordering::Relaxed);
+                max = max.max(lag);
+                sum += lag;
+                n += 1;
+            }
+            if n > 0 {
+                out.push((v as u16, max, sum as f64 / n as f64));
+            }
+        }
+        out
+    }
+
+    /// The bucket's staleness summary row (`system:staleness`).
+    pub fn staleness_row(&self) -> StalenessRow {
+        StalenessRow {
+            bucket: self.bucket.clone(),
+            cycles: self.cycle(),
+            lagging_vbuckets: self.lagging_vbuckets.get(),
+            lag_max: self.lag_max.get(),
+            lag_total: self.lag_total.get(),
+            lag_age: self.lag_age.windowed_snapshot(),
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod fault;
+pub mod lag;
 pub mod map;
 pub mod node;
 pub mod query;
@@ -48,6 +49,7 @@ pub use client::{Durability, SmartClient};
 pub use cluster::{AutoFailover, Cluster};
 pub use config::{ClusterConfig, ServiceSet};
 pub use fault::{FaultAction, FaultInjector};
+pub use lag::{ReplicationLagRow, ReplicationLagTable, StalenessRow, LAG_WINDOW_CYCLES};
 pub use map::ClusterMap;
 pub use node::Node;
 pub use query::ClusterDatastore;

@@ -22,6 +22,7 @@ use cbs_index::IndexManager;
 use cbs_kv::DataEngine;
 
 use crate::fault::{FaultAction, FaultInjector};
+use crate::lag::ReplicationLagTable;
 use crate::map::ClusterMap;
 
 /// A snapshot of everything the pump needs to (re)build streams.
@@ -54,13 +55,18 @@ pub struct ReplicationPump {
 }
 
 impl ReplicationPump {
-    /// Spawn the pump.
-    pub fn spawn(bucket: String, topology: TopologyFn) -> ReplicationPump {
+    /// Spawn the pump. `lag` is the bucket's replication-lag table; the
+    /// pump samples it once per cycle after draining the streams.
+    pub fn spawn(
+        bucket: String,
+        topology: TopologyFn,
+        lag: Arc<ReplicationLagTable>,
+    ) -> ReplicationPump {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name(format!("dcp-pump-{bucket}"))
-            .spawn(move || pump_loop(&bucket, topology, stop2))
+            .spawn(move || pump_loop(&bucket, topology, stop2, &lag))
             .expect("spawn replication pump");
         ReplicationPump { stop, handle: Some(handle) }
     }
@@ -83,7 +89,7 @@ impl Drop for ReplicationPump {
     }
 }
 
-fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
+fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>, lag: &ReplicationLagTable) {
     let mut built_epoch: u64 = u64::MAX;
     let mut topo = topology();
     let nvb = topo.map.num_vbuckets() as usize;
@@ -209,6 +215,11 @@ fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>) {
             // replicas' minimum high seqno, redelivering what was lost.
             built_epoch = u64::MAX;
         }
+
+        // Sample per-(vBucket, replica) seqno lag against the topology this
+        // cycle pumped with. The cycle counter is the lag table's logical
+        // clock (window rotation included) — no wall-clock reads.
+        lag.observe(&topo);
 
         if moved == 0 {
             std::thread::sleep(Duration::from_millis(1));

@@ -16,6 +16,7 @@ use cbs_kv::VbucketStats;
 use cbs_obs::{HistogramSnapshot, PrometheusText, RegistrySnapshot, SlowOp};
 
 use crate::config::ServiceSet;
+use crate::lag::ReplicationLagRow;
 
 /// One bucket's data-service stats on one node.
 #[derive(Debug, Clone)]
@@ -63,6 +64,9 @@ pub struct ClusterStats {
     /// Prepared statements registered with the query service — the rows of
     /// `system:prepareds`, keyed by prepared name.
     pub prepareds: Vec<(String, Value)>,
+    /// Live per-(bucket, vBucket, replica) seqno-lag measurements from the
+    /// replication pumps — the rows of `system:replication`.
+    pub replication: Vec<ReplicationLagRow>,
 }
 
 impl ClusterStats {
@@ -91,6 +95,24 @@ impl ClusterStats {
     /// Cluster-wide histogram (bucket-merged across nodes) by metric name.
     pub fn histogram(&self, name: &str) -> HistogramSnapshot {
         self.merged().histogram(name)
+    }
+
+    /// Per-vBucket `(bucket, vb, max, mean)` replica lag derived from the
+    /// live replication rows, so an operator can spot one lagging replica
+    /// without running a chaos workload. vBuckets with no replicas are
+    /// omitted.
+    pub fn per_vb_replica_lag(&self) -> Vec<(String, u16, u64, f64)> {
+        let mut acc: std::collections::BTreeMap<(String, u16), (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for row in &self.replication {
+            let e = acc.entry((row.bucket.clone(), row.vb)).or_insert((0, 0, 0));
+            e.0 = e.0.max(row.lag);
+            e.1 += row.lag;
+            e.2 += 1;
+        }
+        acc.into_iter()
+            .map(|((bucket, vb), (max, sum, n))| (bucket, vb, max, sum as f64 / n as f64))
+            .collect()
     }
 
     /// Prometheus text exposition of the whole snapshot, labelled by

@@ -53,17 +53,24 @@ fn instrumented_resident_get_is_allocation_free() {
         engine.get("user::1").unwrap();
     }
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for _ in 0..10_000 {
-        let g = engine.get("user::1").unwrap();
-        // The shared document must come back by refcount, not by copy.
-        assert!(!g.meta.is_expired_at(0));
+    // The counting allocator is global, so the engine's own background
+    // threads (flushers waking up to commit the set above) can land a
+    // handful of allocations inside the measurement window. A per-read
+    // allocation would show up ~10k times in every window; background
+    // noise is O(1) and transient — so measure a few windows and require
+    // at least one to be completely clean.
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..10_000 {
+            let g = engine.get("user::1").unwrap();
+            // The shared document must come back by refcount, not by copy.
+            assert!(!g.meta.is_expired_at(0));
+        }
+        last = ALLOCS.load(Ordering::SeqCst) - before;
+        if last == 0 {
+            return;
+        }
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "instrumented resident get allocated {} times over 10k reads",
-        after - before
-    );
+    panic!("instrumented resident get allocated {last} times over 10k reads in every window");
 }

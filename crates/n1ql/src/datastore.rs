@@ -77,8 +77,9 @@ pub trait Datastore: Send + Sync {
 
     /// Scan a `system:` catalog keyspace (`system:completed_requests`,
     /// `system:active_requests`, `system:indexes`, `system:keyspaces`,
-    /// `system:nodes`), returning `(key, document)` rows backed live by
-    /// service state. Datastores without introspection reject all of them.
+    /// `system:nodes`, `system:replication`, `system:staleness`),
+    /// returning `(key, document)` rows backed live by service state.
+    /// Datastores without introspection reject all of them.
     fn system_scan(&self, keyspace: &str) -> Result<Vec<(String, Value)>> {
         Err(Error::Plan(format!("no such keyspace: {keyspace}")))
     }
@@ -440,6 +441,9 @@ impl Datastore for MemoryDatastore {
                     ("services", Value::Array(vec![Value::from("n1ql")])),
                 ]),
             )]),
+            // No replication pumps in a single-node memory datastore: the
+            // catalogs exist (queries don't error) but have no rows.
+            "system:replication" | "system:staleness" => Ok(Vec::new()),
             other => Err(Error::Plan(format!("no such keyspace: {other}"))),
         }
     }

@@ -56,6 +56,31 @@ impl PrometheusText {
             let sum = h.mean().map(|mn| mn.as_secs_f64() * h.count() as f64).unwrap_or(0.0);
             let _ = writeln!(self.out, "{m}_sum{} {sum}", render_labels(labels, None));
         }
+        for (name, w) in &snap.windows {
+            // Windowed histograms export as a distinct `_window` summary
+            // family (live windows only) plus a `_window_epoch` gauge so
+            // scrapers can tell whether the logical clock is advancing.
+            let m = format!("{}_window", mangle(name));
+            self.type_line(&m, "summary", snap.help.get(name));
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                if let Some(d) = w.merged.percentile(p) {
+                    let _ = writeln!(
+                        self.out,
+                        "{m}{} {}",
+                        render_labels(labels, Some(q)),
+                        d.as_secs_f64()
+                    );
+                }
+            }
+            let _ =
+                writeln!(self.out, "{m}_count{} {}", render_labels(labels, None), w.merged.count());
+            let sum =
+                w.merged.mean().map(|mn| mn.as_secs_f64() * w.merged.count() as f64).unwrap_or(0.0);
+            let _ = writeln!(self.out, "{m}_sum{} {sum}", render_labels(labels, None));
+            let e = format!("{m}_epoch");
+            self.type_line(&e, "gauge", None);
+            let _ = writeln!(self.out, "{e}{} {}", render_labels(labels, None), w.epoch);
+        }
     }
 
     /// The finished exposition text.
@@ -216,6 +241,167 @@ mod tests {
         let mut p = PrometheusText::new();
         p.section(&[], &r.snapshot());
         assert!(p.finish().contains("# HELP cbs_kv_engine_sets multi\\nline \\\\ text"));
+    }
+
+    #[test]
+    fn windowed_histograms_export_as_window_family() {
+        let r = Registry::new("cluster");
+        let w = r.windowed_histogram_with_help(
+            "cluster.replication.lag_age",
+            "Replica lag age over the live windows",
+        );
+        w.record_nanos(5_000);
+        w.advance_to(3);
+        w.record_nanos(9_000);
+
+        let mut p = PrometheusText::new();
+        p.section(&[("bucket", "default")], &r.snapshot());
+        let text = p.finish();
+        assert!(text.contains("# HELP cbs_cluster_replication_lag_age_window Replica lag age"));
+        assert!(text.contains("# TYPE cbs_cluster_replication_lag_age_window summary"));
+        assert!(text.contains("cbs_cluster_replication_lag_age_window_count{bucket=\"default\"} 2"));
+        assert!(text.contains("# TYPE cbs_cluster_replication_lag_age_window_epoch gauge"));
+        assert!(text.contains("cbs_cluster_replication_lag_age_window_epoch{bucket=\"default\"} 3"));
+    }
+
+    /// Minimal exposition-format parser used by the round-trip test: good
+    /// enough for the text we emit (HELP/TYPE headers, sample lines with
+    /// optional label sets), strict about structure.
+    fn parse_exposition(text: &str) -> Result<ParsedExposition, String> {
+        let mut parsed = ParsedExposition::default();
+        for (ln, line) in text.lines().enumerate() {
+            let err = |why: &str| format!("line {}: {why}: {line}", ln + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').ok_or_else(|| err("HELP needs text"))?;
+                parsed.help.insert(name.to_string(), help.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').ok_or_else(|| err("TYPE needs kind"))?;
+                if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind) {
+                    return Err(err("unknown TYPE kind"));
+                }
+                if parsed.types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(err("duplicate TYPE for family"));
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                return Err(err("unknown comment form"));
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').ok_or_else(|| err("no value"))?;
+            value.parse::<f64>().map_err(|_| err("value not a float"))?;
+            let name = match series.split_once('{') {
+                Some((n, labels)) => {
+                    let body = labels.strip_suffix('}').ok_or_else(|| err("unclosed labels"))?;
+                    // Each label must be k="v" with the quotes intact after
+                    // unescaping; reject bare or half-quoted values.
+                    for pair in split_label_pairs(body) {
+                        let (k, v) = pair.split_once('=').ok_or_else(|| err("label missing ="))?;
+                        if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                            return Err(err("malformed label value"));
+                        }
+                    }
+                    n
+                }
+                None => series,
+            };
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err("bad metric name"));
+            }
+            *parsed.samples.entry(name.to_string()).or_insert(0) += 1;
+        }
+        Ok(parsed)
+    }
+
+    /// Split `k1="v1",k2="v2"` on commas outside quotes (values may contain
+    /// escaped quotes).
+    fn split_label_pairs(body: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for c in body.chars() {
+            match c {
+                _ if escaped => {
+                    escaped = false;
+                    cur.push(c);
+                }
+                '\\' if in_quotes => {
+                    escaped = true;
+                    cur.push(c);
+                }
+                '"' => {
+                    in_quotes = !in_quotes;
+                    cur.push(c);
+                }
+                ',' if !in_quotes => out.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    #[derive(Default)]
+    struct ParsedExposition {
+        help: std::collections::BTreeMap<String, String>,
+        types: std::collections::BTreeMap<String, String>,
+        samples: std::collections::BTreeMap<String, u64>,
+    }
+
+    #[test]
+    fn exposition_round_trips_through_a_parser() {
+        // Build an exposition exercising every family kind, help escaping,
+        // label escaping, and multi-section repetition — then re-parse it
+        // and check the structure survives intact.
+        let a = Registry::new("kv");
+        a.counter_with_help("kv.engine.gets", "reads with \\ backslash\nand newline").add(3);
+        a.gauge_with_help("kv.cache.mem_used", "resident bytes").set(9);
+        a.histogram_with_help("kv.engine.get_latency", "get latency")
+            .record(Duration::from_micros(50));
+        let w = a.windowed_histogram_with_help("kv.engine.lag_age", "windowed lag age");
+        w.record_nanos(100);
+        let b = Registry::new("kv");
+        b.counter("kv.engine.gets").add(2);
+
+        let mut p = PrometheusText::new();
+        p.section(&[("node", "n\"0\\x")], &a.snapshot());
+        p.section(&[("node", "n1")], &b.snapshot());
+        let text = p.finish();
+
+        let parsed = parse_exposition(&text).expect("exposition must parse");
+        assert_eq!(parsed.types.get("cbs_kv_engine_gets").map(String::as_str), Some("counter"));
+        assert_eq!(parsed.types.get("cbs_kv_cache_mem_used").map(String::as_str), Some("gauge"));
+        assert_eq!(
+            parsed.types.get("cbs_kv_engine_get_latency").map(String::as_str),
+            Some("summary")
+        );
+        assert_eq!(
+            parsed.types.get("cbs_kv_engine_lag_age_window").map(String::as_str),
+            Some("summary")
+        );
+        assert_eq!(
+            parsed.types.get("cbs_kv_engine_lag_age_window_epoch").map(String::as_str),
+            Some("gauge")
+        );
+        // Escaped help survives as a single line carrying the escapes.
+        assert_eq!(
+            parsed.help.get("cbs_kv_engine_gets").map(String::as_str),
+            Some("reads with \\\\ backslash\\nand newline")
+        );
+        // Two sections ⇒ two counter samples of the same family.
+        assert_eq!(parsed.samples.get("cbs_kv_engine_gets"), Some(&2));
+        // Summary families carry quantiles + _count + _sum sample lines.
+        assert_eq!(parsed.samples.get("cbs_kv_engine_get_latency_count"), Some(&1));
+        assert_eq!(parsed.samples.get("cbs_kv_engine_get_latency_sum"), Some(&1));
+        assert_eq!(parsed.samples.get("cbs_kv_engine_lag_age_window_count"), Some(&1));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`Registry::trace`] / [`span`] — thread-propagated span trees so one
 //!   KV set or N1QL query can be followed across service boundaries, with
 //!   outliers captured whole in the slow-op log ([`trace`]).
+//! - [`WindowedHistogram`] — ring of mergeable sub-window histograms
+//!   rotated by a logical/injected clock, answering "what is the
+//!   distribution *right now*" ([`window`]).
 //! - [`PrometheusText`] — text exposition over any set of snapshots
 //!   ([`fmt`]).
 
@@ -20,6 +23,7 @@ pub mod fmt;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
+pub mod window;
 
 pub use fmt::PrometheusText;
 pub use metrics::{
@@ -27,3 +31,4 @@ pub use metrics::{
 };
 pub use registry::{default_slow_threshold, is_valid_metric_name, Registry, RegistrySnapshot};
 pub use trace::{capture, span, Capture, SlowOp, SpanGuard, SpanNode, TraceGuard};
+pub use window::{WindowedHistogram, WindowedSnapshot, WINDOW_SLOTS};

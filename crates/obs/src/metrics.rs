@@ -174,6 +174,22 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Clear every bucket and the sum/max back to the empty state.
+    ///
+    /// Used by [`crate::WindowedHistogram`] when a ring slot is recycled
+    /// into a new window. Not atomic with respect to concurrent
+    /// `record_nanos` calls: a sample racing the reset may be dropped or
+    /// partially counted, which windowed metrics tolerate by design (the
+    /// sample belongs to a window boundary either way). The rotation path
+    /// is single-writer; see `window.rs`.
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the distribution. The copy is internally
     /// consistent (count is derived from the copied buckets), though under
     /// concurrent recording it may trail in-flight samples by a few.
@@ -281,7 +297,12 @@ impl HistogramSnapshot {
             }
             if seen + c >= rank {
                 let lo = bucket_lo(i);
-                let hi = bucket_hi(i).min(self.max_nanos.max(lo.saturating_add(1)));
+                // Clamp the interpolation ceiling to the observed max so a
+                // thin bucket (e.g. a single sample at the bucket floor)
+                // never reports a percentile past any recorded value; the
+                // `.max(lo)` guards a racing snapshot where max trails the
+                // bucket counts.
+                let hi = bucket_hi(i).min(self.max_nanos).max(lo);
                 let frac = (rank - seen) as f64 / c as f64;
                 let est = lo as f64 + frac * hi.saturating_sub(lo) as f64;
                 return Some(Duration::from_nanos(est as u64));
@@ -390,6 +411,51 @@ mod tests {
         }
         assert_eq!(s.max(), Some(Duration::from_micros(3)));
         assert_eq!(s.mean(), Some(Duration::from_micros(3)));
+    }
+
+    #[test]
+    fn first_bucket_percentiles_never_extrapolate() {
+        // A single 1 ns sample sits in the very first non-zero bucket
+        // [1, 2): every percentile must report exactly 1 ns — the upper
+        // edge is clamped to the observed max, not the bucket boundary.
+        let h = Histogram::new();
+        h.record_nanos(1);
+        let s = h.snapshot();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Some(Duration::from_nanos(1)), "p{p}");
+        }
+    }
+
+    #[test]
+    fn last_bucket_percentiles_clamp_to_max() {
+        // Samples in the final (overflow) bucket: interpolation must stay
+        // within [bucket_lo, observed max] and never run past either edge.
+        let h = Histogram::new();
+        let lo = 1u64 << (NUM_BUCKETS - 2);
+        h.record_nanos(lo + 17);
+        h.record_nanos(u64::MAX);
+        let s = h.snapshot();
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            let v = s.percentile(p).unwrap();
+            assert!(v >= Duration::from_nanos(lo), "p{p} = {v:?} below bucket floor");
+            assert!(v <= Duration::from_nanos(u64::MAX), "p{p} = {v:?} past max");
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_empty() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(7));
+        h.record_nanos(0);
+        assert_eq!(h.count(), 2);
+        h.reset();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99.0), None);
+        assert_eq!(s.max(), None);
+        // The handle stays usable after a reset.
+        h.record_nanos(5);
+        assert_eq!(h.snapshot().count(), 1);
     }
 
     #[test]

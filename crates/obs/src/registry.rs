@@ -21,6 +21,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::trace::{SlowOp, TraceGuard};
+use crate::window::{WindowedHistogram, WindowedSnapshot};
 
 /// Slow operations retained per registry (oldest evicted first).
 const SLOW_RING_CAP: usize = 64;
@@ -73,6 +74,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    windowed: RwLock<BTreeMap<String, Arc<WindowedHistogram>>>,
     help: RwLock<BTreeMap<String, String>>,
     slow_threshold_nanos: AtomicU64,
     slow_ring: Mutex<VecDeque<SlowOp>>,
@@ -95,6 +97,7 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
+            windowed: RwLock::new(BTreeMap::new()),
             help: RwLock::new(BTreeMap::new()),
             slow_threshold_nanos: AtomicU64::new(
                 default_slow_threshold().as_nanos().min(u64::MAX as u128) as u64,
@@ -144,6 +147,20 @@ impl Registry {
         Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
     }
 
+    /// Get or create the named windowed histogram (ring of
+    /// [`crate::window::WINDOW_SLOTS`] sub-windows rotated by a logical
+    /// clock — see [`WindowedHistogram`]).
+    ///
+    /// # Panics
+    /// If `name` violates the naming convention.
+    pub fn windowed_histogram(&self, name: &str) -> Arc<WindowedHistogram> {
+        assert_valid_name(name);
+        if let Some(w) = self.windowed.read().get(name) {
+            return Arc::clone(w);
+        }
+        Arc::clone(self.windowed.write().entry(name.to_string()).or_default())
+    }
+
     /// Attach a human-readable description to a metric name. Descriptions
     /// surface as `# HELP` lines in the Prometheus exposition; registering
     /// one for the same name twice keeps the latest text.
@@ -170,6 +187,13 @@ impl Registry {
         self.histogram(name)
     }
 
+    /// [`Registry::windowed_histogram`] plus a `# HELP` description in one
+    /// call.
+    pub fn windowed_histogram_with_help(&self, name: &str, help: &str) -> Arc<WindowedHistogram> {
+        self.describe(name, help);
+        self.windowed_histogram(name)
+    }
+
     /// Freeze every metric into a mergeable snapshot.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -181,6 +205,12 @@ impl Registry {
                 .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            windows: self
+                .windowed
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.windowed_snapshot()))
                 .collect(),
             help: self.help.read().clone(),
         }
@@ -233,6 +263,8 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram distributions by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Windowed-histogram snapshots by name (live windows only).
+    pub windows: BTreeMap<String, WindowedSnapshot>,
     /// `# HELP` descriptions by metric name (first contributor wins on
     /// merge).
     pub help: BTreeMap<String, String>,
@@ -255,6 +287,9 @@ impl RegistrySnapshot {
         for (k, v) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(v);
         }
+        for (k, v) in &other.windows {
+            self.windows.entry(k.clone()).or_default().merge(v);
+        }
         for (k, v) in &other.help {
             self.help.entry(k.clone()).or_insert_with(|| v.clone());
         }
@@ -262,7 +297,10 @@ impl RegistrySnapshot {
 
     /// True when no metric was ever registered.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.windows.is_empty()
     }
 
     /// Counter value by name (0 when absent).
@@ -278,6 +316,11 @@ impl RegistrySnapshot {
     /// Histogram by name (empty when absent).
     pub fn histogram(&self, name: &str) -> HistogramSnapshot {
         self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Windowed-histogram snapshot by name (empty when absent).
+    pub fn windowed(&self, name: &str) -> WindowedSnapshot {
+        self.windows.get(name).cloned().unwrap_or_default()
     }
 }
 

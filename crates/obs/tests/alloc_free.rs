@@ -47,17 +47,28 @@ fn recording_is_allocation_free() {
     histogram.record(Duration::from_micros(3));
     drop(cbs_obs::span("kv.test.span"));
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for i in 0..10_000u64 {
-        counter.inc();
-        counter.add(2);
-        gauge.add(1);
-        gauge.sub(1);
-        histogram.record(Duration::from_nanos(i * 17 + 1));
-        histogram.record_nanos(i);
-        // No trace is active on this thread: span() must be a no-op.
-        let _s = cbs_obs::span("kv.test.span");
+    // The counting allocator is global, so the libtest harness's main
+    // thread (output buffering, timing) can land a few allocations inside
+    // the measurement window under load. A per-record allocation would
+    // show up ~10k times in every window; harness noise is O(1) and
+    // transient — measure a few windows and require one to be clean.
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            counter.inc();
+            counter.add(2);
+            gauge.add(1);
+            gauge.sub(1);
+            histogram.record(Duration::from_nanos(i * 17 + 1));
+            histogram.record_nanos(i);
+            // No trace is active on this thread: span() must be a no-op.
+            let _s = cbs_obs::span("kv.test.span");
+        }
+        last = ALLOCS.load(Ordering::SeqCst) - before;
+        if last == 0 {
+            return;
+        }
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "hot-path recording allocated {} times", after - before);
+    panic!("hot-path recording allocated {last} times in every window");
 }

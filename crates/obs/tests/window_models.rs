@@ -1,0 +1,238 @@
+//! Exhaustive interleaving models of the `WindowedHistogram` rotation
+//! protocol (`crates/obs/src/window.rs`) via the `cbs_common::model`
+//! mini-loom explorer.
+//!
+//! The protocol under test: recorders land samples in the slot addressed
+//! by the current epoch; a single rotator recycles slots by **clearing the
+//! histogram before publishing the slot's new stamp**, and publishes the
+//! epoch last; snapshotters read the epoch first and then filter slots by
+//! stamp liveness (`stamp ∈ (epoch - N, epoch]`). The property pinned
+//! here: a merged snapshot never counts a sample more than once and never
+//! attributes a sample to a snapshot taken `WINDOW_SLOTS` or more windows
+//! after the sample's window — samples age out, they do not resurrect.
+//! The teeth test reverses the rotation order (stamps/epoch published
+//! before the clear, as a buggy implementation would) and requires the
+//! explorer to find the resurrection.
+
+use cbs_common::model::{Explorer, Step, Violation};
+
+/// Model-scale ring: two slots keep the state space small while still
+/// exercising slot reuse.
+const N: usize = 2;
+
+/// Ghost marker for "slot holds no samples".
+const NO_SAMPLES: u64 = u64::MAX;
+
+/// Shared state: the windowed histogram's observables (epoch, per-slot
+/// stamp and sample count), ghost variables tracking which window each
+/// slot's samples actually belong to, and per-thread program counters.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct W {
+    epoch: u64,
+    stamp: [u64; N],
+    count: [u32; N],
+    /// Ghost: on a reset the rotator records the window the slot is being
+    /// recycled *for*, so an add landing between the clear and the stamp
+    /// publication is attributed to the new window (matching the real
+    /// type, where the add lands in the freshly cleared histogram).
+    pending: [u64; N],
+    /// Ghost: oldest window any sample currently in the slot belongs to.
+    ghost: [u64; N],
+    /// Ghost: samples recorded so far, for the no-double-count bound.
+    total: u32,
+    rec_pc: u8,
+    rec_reg: u64,
+    rot_pc: u8,
+    mg_pc: u8,
+    mg_epoch: u64,
+    mg_sum: u32,
+    mg_done: bool,
+    /// Set by the merger when it includes samples older than the staleness
+    /// bound allows — the resurrection the rotation order must prevent.
+    stale_merge: bool,
+}
+
+/// Initial state: epoch 1, slot 0 still stamped for window 0 (empty), slot
+/// 1 holding two samples recorded in window 1.
+fn initial() -> W {
+    W {
+        epoch: 1,
+        stamp: [0, 1],
+        count: [0, 2],
+        pending: [0, 1],
+        ghost: [NO_SAMPLES, 1],
+        total: 2,
+        rec_pc: 0,
+        rec_reg: 0,
+        rot_pc: 0,
+        mg_pc: 0,
+        mg_epoch: 0,
+        mg_sum: 0,
+        mg_done: false,
+        stale_merge: false,
+    }
+}
+
+/// Recorder: `record_nanos` is two atomic actions — load the epoch, then
+/// add to the addressed slot (adopting the slot's current window).
+fn recorder(s: &mut W) -> Step {
+    match s.rec_pc {
+        0 => {
+            s.rec_reg = s.epoch;
+            s.rec_pc = 1;
+            Step::Progressed
+        }
+        _ => {
+            let i = (s.rec_reg as usize) % N;
+            let window = s.stamp[i].max(s.pending[i]);
+            s.ghost[i] = if s.count[i] == 0 { window } else { s.ghost[i].min(window) };
+            s.count[i] += 1;
+            s.total += 1;
+            Step::Finished
+        }
+    }
+}
+
+/// Rotator scripted as `advance_to(3)` from epoch 1: recycle slot 0 for
+/// window 2 and slot 1 for window 3, then publish the epoch. `reset_first`
+/// selects the real protocol (clear before stamping) or the buggy reversed
+/// order the teeth test plants.
+fn rotator(reset_first: bool) -> impl Fn(&mut W) -> Step {
+    let clear = |s: &mut W, i: usize, e: u64| {
+        s.count[i] = 0;
+        s.ghost[i] = NO_SAMPLES;
+        s.pending[i] = e;
+    };
+    move |s: &mut W| {
+        let correct: [&dyn Fn(&mut W); 5] = [
+            &|s| clear(s, 0, 2),
+            &|s| s.stamp[0] = 2,
+            &|s| clear(s, 1, 3),
+            &|s| s.stamp[1] = 3,
+            &|s| s.epoch = 3,
+        ];
+        let buggy: [&dyn Fn(&mut W); 5] = [
+            &|s| s.stamp[0] = 2,
+            &|s| s.stamp[1] = 3,
+            &|s| s.epoch = 3,
+            &|s| clear(s, 0, 2),
+            &|s| clear(s, 1, 3),
+        ];
+        let script = if reset_first { &correct } else { &buggy };
+        let pc = s.rot_pc as usize;
+        script[pc](s);
+        s.rot_pc += 1;
+        if (s.rot_pc as usize) == script.len() {
+            Step::Finished
+        } else {
+            Step::Progressed
+        }
+    }
+}
+
+/// Merger: `windowed_snapshot` — read the epoch, then visit each slot once
+/// (stamp load + histogram snapshot collapse into one action per slot,
+/// which is the coarsest sound granularity: the real snapshot reads the
+/// stamp immediately before copying the buckets).
+fn merger(s: &mut W) -> Step {
+    match s.mg_pc {
+        0 => {
+            s.mg_epoch = s.epoch;
+            s.mg_pc = 1;
+            Step::Progressed
+        }
+        pc @ (1 | 2) => {
+            let i = pc as usize - 1;
+            let live = s.stamp[i] <= s.mg_epoch && s.stamp[i] + N as u64 > s.mg_epoch;
+            if live && s.count[i] > 0 {
+                // Including this slot is only sound if its samples are
+                // within the staleness bound of the snapshot's epoch.
+                if s.ghost[i].saturating_add(N as u64) <= s.mg_epoch {
+                    s.stale_merge = true;
+                }
+                s.mg_sum += s.count[i];
+            }
+            s.mg_pc += 1;
+            if s.mg_pc == 3 {
+                s.mg_done = true;
+                Step::Finished
+            } else {
+                Step::Progressed
+            }
+        }
+        _ => Step::Finished,
+    }
+}
+
+fn invariant(s: &W) -> Result<(), String> {
+    if s.stale_merge {
+        return Err(format!(
+            "merge resurrected aged-out samples: epoch={} ghosts={:?} stamps={:?}",
+            s.mg_epoch, s.ghost, s.stamp
+        ));
+    }
+    if s.mg_done && s.mg_sum > s.total {
+        return Err(format!("merge double-counted: sum={} total={}", s.mg_sum, s.total));
+    }
+    Ok(())
+}
+
+#[test]
+fn rotation_racing_merge_and_record_verifies() {
+    let stats = Explorer::new(initial())
+        .thread(recorder)
+        .thread(rotator(true))
+        .thread(merger)
+        .invariant(invariant)
+        .check();
+    assert!(stats.complete_executions > 0);
+    assert!(stats.states > 50, "model too small to mean anything: {stats:?}");
+}
+
+#[test]
+fn publish_before_clear_is_caught() {
+    // Teeth: a rotator that publishes stamps and the epoch before clearing
+    // the recycled slots lets a concurrent merge read window-1 samples
+    // under window-3's stamp — the explorer must find that resurrection.
+    let cex = Explorer::new(initial())
+        .thread(recorder)
+        .thread(rotator(false))
+        .thread(merger)
+        .invariant(invariant)
+        .run()
+        .expect_err("buggy rotation order must be detected");
+    assert!(matches!(cex.violation, Violation::Invariant(_)), "{cex}");
+}
+
+/// Cross-thread snapshot merging of the real type: per-thread registries
+/// record into the same-named windowed histogram at different epochs; the
+/// merged `RegistrySnapshot` must take the furthest epoch and sum only
+/// live windows, exactly as the model verifies in the abstract.
+#[test]
+fn real_windowed_snapshots_merge_across_threads() {
+    use cbs_obs::{Registry, WINDOW_SLOTS};
+
+    let regs: Vec<_> = (0..4).map(|_| Registry::new("cluster")).collect();
+    std::thread::scope(|scope| {
+        for (t, r) in regs.iter().enumerate() {
+            scope.spawn(move || {
+                let w = r.windowed_histogram("cluster.replication.lag_age");
+                for e in 0..=(t as u64 * 3) {
+                    w.advance_to(e);
+                    w.record_nanos(1000 * (e + 1));
+                }
+            });
+        }
+    });
+    let mut merged = regs[0].snapshot();
+    for r in &regs[1..] {
+        merged.merge(&r.snapshot());
+    }
+    let w = merged.windowed("cluster.replication.lag_age");
+    assert_eq!(w.epoch, 9, "merge takes the furthest-advanced epoch");
+    // Thread t recorded 3t+1 samples at epochs 0..=3t; only samples within
+    // the last WINDOW_SLOTS epochs of each contributor survive.
+    let expected: u64 =
+        [0u64, 3, 6, 9].iter().map(|&last| (last + 1).min(WINDOW_SLOTS as u64)).sum();
+    assert_eq!(w.merged.count(), expected);
+}

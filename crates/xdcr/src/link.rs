@@ -8,7 +8,7 @@ use std::time::Duration;
 use cbs_cluster::Cluster;
 use cbs_common::{Result, SeqNo, VbId};
 use cbs_dcp::DcpStream;
-use cbs_obs::{Counter, Registry};
+use cbs_obs::{Counter, Gauge, Registry};
 
 use crate::filter::KeyFilter;
 
@@ -22,14 +22,36 @@ pub struct XdcrStats {
     pub filtered: Arc<Counter>,
     /// Mutations rejected by destination conflict resolution.
     pub rejected: Arc<Counter>,
+    /// Largest per-vBucket distance between the source active high seqno
+    /// and the link's consumed cursor — how far behind the link is on its
+    /// worst vBucket.
+    pub cursor_lag_max: Arc<Gauge>,
+    /// Sum of the per-vBucket cursor lags — the link's total unshipped
+    /// backlog in seqnos.
+    pub cursor_lag_total: Arc<Gauge>,
 }
 
 impl XdcrStats {
     fn new(registry: &Registry) -> XdcrStats {
         XdcrStats {
-            shipped: registry.counter("xdcr.link.shipped"),
-            filtered: registry.counter("xdcr.link.filtered"),
-            rejected: registry.counter("xdcr.link.rejected"),
+            shipped: registry
+                .counter_with_help("xdcr.link.shipped", "Mutations shipped to the destination"),
+            filtered: registry
+                .counter_with_help("xdcr.link.filtered", "Mutations skipped by the key filter"),
+            rejected: registry.counter_with_help(
+                "xdcr.link.rejected",
+                "Mutations rejected by destination conflict resolution",
+            ),
+            cursor_lag_max: registry.gauge_with_help(
+                "xdcr.link.cursor_lag_max",
+                "Largest per-vBucket seqno distance between the source active and this link's \
+                 consumed cursor",
+            ),
+            cursor_lag_total: registry.gauge_with_help(
+                "xdcr.link.cursor_lag_total",
+                "Total unshipped seqno backlog across vBuckets (source active high seqno minus \
+                 consumed cursor)",
+            ),
         }
     }
 }
@@ -174,6 +196,21 @@ fn link_loop(
                 moved += 1;
             }
         }
+        // Cursor lag: how far each vBucket's consumed cursor trails the
+        // source active's high seqno — the link's unshipped backlog.
+        let mut lag_max = 0u64;
+        let mut lag_total = 0u64;
+        for (v, cursor) in cursors.iter().enumerate().take(nvb) {
+            let vb = VbId(v as u16);
+            if let Ok(src) = source.active_engine(bucket, vb) {
+                let lag = src.high_seqno(vb).0.saturating_sub(cursor.0);
+                lag_max = lag_max.max(lag);
+                lag_total += lag;
+            }
+        }
+        stats.cursor_lag_max.set(lag_max);
+        stats.cursor_lag_total.set(lag_total);
+
         if moved == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }

@@ -11,7 +11,9 @@
 //! | `wall-clock`        | cluster (lib)                  | no `Instant::now`/`SystemTime::now` in the simulated     |
 //! |                     |                                | transport — use `cbs_common::time`                       |
 //! | `obs-naming`        | every crate (lib)              | metric/span name literals follow the cbs-obs convention: |
-//! |                     |                                | `service.component.metric`, segments `[a-z][a-z0-9_]*`   |
+//! |                     |                                | `service.component.metric`, segments `[a-z][a-z0-9_]*`;  |
+//! |                     |                                | consistency-observability families (`cluster.replication.*`, |
+//! |                     |                                | `chaos.staleness.*`) must register with `_with_help`     |
 //! | `chaos-determinism` | chaos (lib + tests) and the    | no ambient randomness or wall-clock reads                |
 //! |                     | root `tests/chaos*.rs` suite   | (`thread_rng`, `Instant::now`, `SystemTime`) — every     |
 //! |                     |                                | chaos decision must derive from the printed seed so a    |
@@ -109,7 +111,17 @@ pub(crate) const PROFILE_OPERATORS: &[&str] = &[
 /// well-formed cbs-obs metric/span name. Dynamic names (`format!`,
 /// variables) pass through — `cbs_obs::Registry` still validates them at
 /// runtime; this rule catches the static ones at lint time.
-const OBS_NAME_CALLS: &[&str] = &[".counter(", ".gauge(", ".histogram(", ".trace(", "span("];
+const OBS_NAME_CALLS: &[&str] =
+    &[".counter(", ".gauge(", ".histogram(", ".windowed_histogram(", ".trace(", "span("];
+
+/// Metric families that must be registered through the `_with_help`
+/// variants: these names surface in the `system:replication` /
+/// `system:staleness` catalogs and the Prometheus export, where a series
+/// without a description is unusable to an operator. The markers above
+/// only match the plain (help-less) registration calls — `_with_help`
+/// call sites contain `_with_help(`, not `.counter(` — so a match with
+/// one of these prefixes is by construction an undescribed registration.
+const OBS_DESCRIBED_PREFIXES: &[&str] = &["cluster.replication.", "chaos.staleness."];
 
 /// One lint diagnostic.
 #[derive(Debug, Clone)]
@@ -465,9 +477,11 @@ fn rule_ycsb_hot_parse(m: &Masked, orig_lines: &[&str], rel: &str, out: &mut Vec
 /// `obs-naming`: metric and span name literals passed to the cbs-obs
 /// resolution/tracing calls must follow the `service.component.metric`
 /// convention — exactly three dot-separated segments, each starting with a
-/// lowercase letter and continuing with `[a-z0-9_]`. The mask blanks string
-/// contents, so the name is read back out of the original line at the same
-/// column (the mask is position-preserving per character).
+/// lowercase letter and continuing with `[a-z0-9_]`. Well-formed names in
+/// the [`OBS_DESCRIBED_PREFIXES`] families must additionally be registered
+/// through the `_with_help` variants. The mask blanks string contents, so
+/// the name is read back out of the original line at the same column (the
+/// mask is position-preserving per character).
 fn rule_obs_naming(m: &Masked, orig_lines: &[&str], rel: &str, out: &mut Vec<Finding>) {
     for (idx, l) in m.lines.iter().enumerate() {
         if m.test_lines[idx] {
@@ -505,6 +519,22 @@ fn rule_obs_naming(m: &Masked, orig_lines: &[&str], rel: &str, out: &mut Vec<Fin
                             "metric/span name \"{name}\" breaks the cbs-obs convention \
                              `service.component.metric` (exactly three dot-separated \
                              segments, each `[a-z][a-z0-9_]*`)"
+                        ),
+                    });
+                } else if *marker != ".trace("
+                    && *marker != "span("
+                    && OBS_DESCRIBED_PREFIXES.iter().any(|p| name.starts_with(p))
+                {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "obs-naming",
+                        msg: format!(
+                            "metric \"{name}\" belongs to a described family \
+                             ({}) — register it through the matching `_with_help` \
+                             call so the catalogs and the Prometheus `# HELP` line \
+                             carry a description",
+                            OBS_DESCRIBED_PREFIXES.join(", ")
                         ),
                     });
                 }
@@ -831,6 +861,37 @@ fn f(&self) {
         // Unrelated `.counter(` calls with non-literal args don't fire.
         let unrelated = lint("cluster", "fn f(&self) -> u64 { self.merged().counter(name) }\n");
         assert!(unrelated.iter().all(|f| f.rule != "obs-naming"));
+    }
+
+    #[test]
+    fn obs_naming_requires_help_for_described_families() {
+        // Plain registration of a consistency-observability metric: flagged.
+        let plain =
+            lint("cluster", "fn f(r: &Registry) { r.gauge(\"cluster.replication.lag_max\"); }\n");
+        assert!(
+            plain.iter().any(|f| f.rule == "obs-naming" && f.msg.contains("_with_help")),
+            "{plain:?}"
+        );
+        let windowed = lint(
+            "chaos",
+            "fn f(r: &Registry) { r.windowed_histogram(\"chaos.staleness.age_ticks\"); }\n",
+        );
+        assert!(windowed.iter().any(|f| f.msg.contains("_with_help")), "{windowed:?}");
+        // The `_with_help` variants never match the plain-call markers.
+        let described = lint(
+            "cluster",
+            "fn f(r: &Registry) { r.counter_with_help(\"cluster.replication.cycles\", \"x\"); }\n",
+        );
+        assert!(described.iter().all(|f| f.rule != "obs-naming"), "{described:?}");
+        // Other families may register without help; spans are not metrics.
+        let other = lint("kv", "fn f(r: &Registry) { r.counter(\"kv.engine.gets\"); }\n");
+        assert!(other.iter().all(|f| f.rule != "obs-naming"));
+        let traced =
+            lint("cluster", "fn f(r: &Registry) { r.trace(\"cluster.replication.pump\"); }\n");
+        assert!(traced.iter().all(|f| f.rule != "obs-naming"), "{traced:?}");
+        // Malformed windowed-histogram names ride the same marker list.
+        let bad = lint("chaos", "fn f(r: &Registry) { r.windowed_histogram(\"BadName\"); }\n");
+        assert!(bad.iter().any(|f| f.rule == "obs-naming"), "{bad:?}");
     }
 
     #[test]

@@ -127,6 +127,30 @@ fn main() {
         ],
     );
 
+    // Consistency observability: per-vBucket replica seqno lag from the
+    // replication pumps, summarized from the same `ClusterStats` rows
+    // that `system:replication` serves.
+    let per_vb = stats.per_vb_replica_lag();
+    println!("\n== replica lag (per vBucket, seqnos behind the active) ==");
+    println!("{:<8} {:>4} {:>8} {:>8}", "bucket", "vb", "max", "mean");
+    for (bucket, vb, max, mean) in per_vb.iter().take(8) {
+        println!("{bucket:<8} {vb:>4} {max:>8} {mean:>8.2}");
+    }
+    if per_vb.len() > 8 {
+        println!("... {} more vBuckets", per_vb.len() - 8);
+    }
+    let stale_rows = cluster
+        .query("SELECT * FROM system:staleness", &QueryOptions::default())
+        .expect("query the staleness catalog");
+    println!("system:staleness per-bucket summary:");
+    for row in &stale_rows.rows {
+        println!("{}", row.to_json_string());
+    }
+    let repl_rows = cluster
+        .query("SELECT * FROM system:replication", &QueryOptions::default())
+        .expect("query the replication catalog");
+    println!("system:replication via N1QL: {} rows", repl_rows.rows.len());
+
     // The request log: what `system:completed_requests` / `system:
     // active_requests` serve, straight off the snapshot.
     println!("\n== completed requests ({} retained) ==", stats.completed_requests.len());

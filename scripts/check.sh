@@ -5,6 +5,7 @@
 #   scripts/check.sh --quick         # static analysis + concurrency models only
 #   scripts/check.sh chaos-smoke     # fixed-seed chaos smoke run only (<10s)
 #   scripts/check.sh plancache-smoke # prepared-statement fast path only (<10s)
+#   scripts/check.sh staleness-smoke # measure-mode staleness replay only (<30s)
 #
 # Stages:
 #   1. cargo fmt --check          formatting (rustfmt.toml)
@@ -58,6 +59,31 @@ plancache_smoke() {
     cargo test --quiet --test plancache plancache_smoke -- --exact
 }
 
+# Staleness smoke: replay the seeded fault plans in chaos measure mode
+# and require populated BENCH_staleness_*.json artifacts whose bytes are
+# stable across a replay — same seed, same file, bit for bit.
+staleness_smoke() {
+    local out snap
+    out="$(CHAOS_RUNS=16 cargo run --quiet -p cbs-bench --bin staleness 2>/dev/null)" || return 1
+    echo "$out" | grep -q "failover@" || { echo "    no failover phase in the table"; return 1; }
+    for p in quiet lossy jittery; do
+        grep -q '"bench": "staleness"' "BENCH_staleness_$p.json" 2>/dev/null \
+            || { echo "    BENCH_staleness_$p.json missing or malformed"; return 1; }
+        grep -q '"phases": \[' "BENCH_staleness_$p.json" \
+            || { echo "    BENCH_staleness_$p.json has no phase breakdown"; return 1; }
+    done
+    snap="$(mktemp)"
+    cp BENCH_staleness_lossy.json "$snap"
+    CHAOS_RUNS=16 cargo run --quiet -p cbs-bench --bin staleness >/dev/null 2>&1 \
+        || { rm -f "$snap"; return 1; }
+    if ! cmp -s "$snap" BENCH_staleness_lossy.json; then
+        echo "    replay is not byte-identical (determinism regression)"
+        rm -f "$snap"
+        return 1
+    fi
+    rm -f "$snap"
+}
+
 if [ "${1:-}" = "chaos-smoke" ]; then
     run "chaos smoke (fixed seed)" chaos_smoke
     if [ "$FAILED" -ne 0 ]; then
@@ -75,6 +101,16 @@ if [ "${1:-}" = "plancache-smoke" ]; then
         exit 1
     fi
     echo "check.sh plancache-smoke: passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "staleness-smoke" ]; then
+    run "staleness smoke (measure-mode replay)" staleness_smoke
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh staleness-smoke: FAILED"
+        exit 1
+    fi
+    echo "check.sh staleness-smoke: passed"
     exit 0
 fi
 
@@ -113,6 +149,9 @@ cbstats_smoke() {
     echo "$out" | grep -q "n1ql.query.requests" || { echo "    missing n1ql counters"; return 1; }
     echo "$out" | grep -q "n1ql.query.execute" || { echo "    missing slow-op span tree"; return 1; }
     echo "$out" | grep -q "p50 .* < p99 .*: true" || { echo "    degenerate percentiles"; return 1; }
+    echo "$out" | grep -q "replica lag (per vBucket" || { echo "    missing replica lag table"; return 1; }
+    echo "$out" | grep -Eq "system:replication via N1QL: [1-9]" \
+        || { echo "    replication catalog empty"; return 1; }
 }
 run "cbstats smoke (2-node cluster)" cbstats_smoke
 
@@ -130,6 +169,7 @@ obs_profile_smoke() {
         || { echo "    request log empty or not queryable"; return 1; }
 }
 run "obs-profile smoke (PROFILE + request log)" obs_profile_smoke
+run "staleness smoke (measure-mode replay)" staleness_smoke
 
 # --- best-effort dynamic analysis -----------------------------------------
 # ThreadSanitizer needs nightly + rust-src (to build an instrumented std);
