@@ -18,6 +18,11 @@
 //!   after another acked mutation completed must carry a larger seqno,
 //!   unless a failover window separates them (promotion legitimately
 //!   rewinds the vBucket's seqno lineage to the replica's high seqno).
+//! - **txn-atomicity** — a value staged by an aborted multi-document
+//!   transaction must never be observed by any read or snapshot.
+//! - **fractured-read** — a snapshot that observes one write of a
+//!   committed transaction must observe the rest of its write set too
+//!   (or newer committed values); see [`check_txns`].
 //!
 //! Rules over live cluster state ([`check_cluster`]):
 //!
@@ -34,7 +39,7 @@ use cbs_cluster::Cluster;
 use cbs_common::{SeqNo, VbId};
 use cbs_kv::DataEngine;
 
-use crate::history::{Ack, History, OpKind, OpRecord};
+use crate::history::{Ack, History, OpKind, OpRecord, TxnEventKind};
 
 /// One consistency violation.
 #[derive(Debug, Clone)]
@@ -67,6 +72,7 @@ pub fn check_history(history: &History) -> Vec<Violation> {
         check_key(history, key, ops, &mut violations);
     }
     check_seqnos(history, &mut violations);
+    check_txns(history, &mut violations);
     violations
 }
 
@@ -248,6 +254,114 @@ fn check_seqnos(history: &History, out: &mut Vec<Violation>) {
                 }
             }
             lineage.push((op.invoked, op.completed, seqno, op.key.as_str()));
+        }
+    }
+}
+
+/// Transactional invariants over recorded [`TxnEventKind`] events and
+/// snapshot observations (no-ops for histories without transactions):
+///
+/// - **txn-atomicity** — a value staged by an *aborted* transaction must
+///   never be observed, by any get or any snapshot, anywhere, ever.
+/// - **fractured-read** — if a snapshot observes committed transaction
+///   T's write on one key, then for every other key in T's write set the
+///   snapshot also observed, it must see T's value or a value committed
+///   *after* T. Enforced only when T's commit event (recorded after its
+///   drain finished) precedes the snapshot's invocation and no lossy
+///   topology event falls inside `(commit, snapshot.completed)` — a
+///   failover may legitimately roll back a non-durable commit's tail.
+fn check_txns(history: &History, out: &mut Vec<Violation>) {
+    let mut commit_at: HashMap<u64, u64> = HashMap::new();
+    let mut writes_of: HashMap<u64, &[(String, i64)]> = HashMap::new();
+    // Values are unique per transaction, so a value identifies its writer.
+    let mut committed_value: HashMap<i64, u64> = HashMap::new();
+    let mut aborted_value: HashMap<i64, u64> = HashMap::new();
+    for t in &history.txns {
+        match &t.kind {
+            TxnEventKind::Begin => {}
+            TxnEventKind::Commit { writes } => {
+                commit_at.insert(t.txn, t.at);
+                writes_of.insert(t.txn, writes.as_slice());
+                for (_, v) in writes {
+                    committed_value.insert(*v, t.txn);
+                }
+            }
+            TxnEventKind::Abort { writes } => {
+                for (_, v) in writes {
+                    aborted_value.insert(*v, t.txn);
+                }
+            }
+        }
+    }
+    if history.txns.is_empty() {
+        return;
+    }
+
+    for op in &history.ops {
+        if !matches!(op.kind, OpKind::Get) {
+            continue;
+        }
+        let Ack::Ok { observed: Some(v), .. } = op.ack else { continue };
+        if let Some(txn) = aborted_value.get(&v) {
+            out.push(Violation {
+                rule: "txn-atomicity",
+                key: Some(op.key.clone()),
+                detail: format!(
+                    "get at t={} observed value {v}, which aborted txn {txn} staged and \
+                     discarded",
+                    op.invoked
+                ),
+            });
+        }
+    }
+
+    for (si, snap) in history.snapshots.iter().enumerate() {
+        let observed: HashMap<&str, Option<i64>> =
+            snap.observed.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (key, value) in &snap.observed {
+            let Some(value) = value else { continue };
+            if let Some(txn) = aborted_value.get(value) {
+                out.push(Violation {
+                    rule: "txn-atomicity",
+                    key: Some(key.clone()),
+                    detail: format!(
+                        "snapshot {si} (t={}..{}) observed value {value}, which aborted txn \
+                         {txn} staged and discarded",
+                        snap.invoked, snap.completed
+                    ),
+                });
+            }
+            let Some(&txn) = committed_value.get(value) else { continue };
+            let commit = commit_at[&txn];
+            if commit >= snap.invoked || history.lossy_within(commit, snap.completed) {
+                continue;
+            }
+            for (other, want) in writes_of[&txn] {
+                if other == key {
+                    continue;
+                }
+                let Some(&got) = observed.get(other.as_str()) else { continue };
+                let fresh_enough = match got {
+                    Some(g) if g == *want => true,
+                    // A different value is fine iff a transaction that
+                    // committed after T wrote it.
+                    Some(g) => committed_value.get(&g).is_some_and(|u| commit_at[u] > commit),
+                    // Absent is always older than T's committed write.
+                    None => false,
+                };
+                if !fresh_enough {
+                    out.push(Violation {
+                        rule: "fractured-read",
+                        key: Some(other.clone()),
+                        detail: format!(
+                            "snapshot {si} (t={}..{}) observed txn {txn}'s write {value} on \
+                             {key} but {got:?} on {other}; txn {txn} committed atomically at \
+                             t={commit} writing {want} there",
+                            snap.invoked, snap.completed
+                        ),
+                    });
+                }
+            }
         }
     }
 }

@@ -86,6 +86,54 @@ impl OpRecord {
     }
 }
 
+/// Lifecycle event of one multi-document transaction, as recorded by the
+/// transaction coordinator. Values are unique per transaction across a
+/// run, so an observed value identifies the transaction that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnEventKind {
+    /// The transaction entered the scheduler.
+    Begin,
+    /// The transaction validated **and its write set fully drained to the
+    /// engine**: `writes` is the complete `(key, value)` set the commit
+    /// made visible. Recorded only after the last drained mutation was
+    /// acknowledged, so any later-invoked read must see every write (or a
+    /// newer committed one).
+    Commit {
+        /// The full committed write set.
+        writes: Vec<(String, i64)>,
+    },
+    /// The transaction aborted: `writes` are the values it staged, which
+    /// must never be observed anywhere.
+    Abort {
+        /// The discarded staged write set.
+        writes: Vec<(String, i64)>,
+    },
+}
+
+/// One recorded transaction lifecycle event.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Run-unique transaction id.
+    pub txn: u64,
+    /// Logical time the event was recorded.
+    pub at: u64,
+    /// What happened.
+    pub kind: TxnEventKind,
+}
+
+/// A multi-key atomic observation: the read set of one committed
+/// read-only transaction. The fractured-read rule checks these against
+/// committed transactions' write sets.
+#[derive(Debug, Clone)]
+pub struct SnapshotRecord {
+    /// Logical time the snapshot transaction was issued.
+    pub invoked: u64,
+    /// Logical time its result was recorded.
+    pub completed: u64,
+    /// `(key, observed value)` pairs; `None` = key absent.
+    pub observed: Vec<(String, Option<i64>)>,
+}
+
 /// A topology event that happened during the run.
 #[derive(Debug, Clone)]
 pub struct EventRecord {
@@ -107,6 +155,8 @@ pub struct HistoryRecorder {
     clock: AtomicU64,
     ops: Mutex<Vec<OpRecord>>,
     events: Mutex<Vec<EventRecord>>,
+    txns: Mutex<Vec<TxnRecord>>,
+    snapshots: Mutex<Vec<SnapshotRecord>>,
 }
 
 impl HistoryRecorder {
@@ -133,9 +183,29 @@ impl HistoryRecorder {
         self.events.lock().push(EventRecord { at, what: what.into(), lossy });
     }
 
+    /// Record a transaction lifecycle event; returns its logical time.
+    pub fn txn_event(&self, txn: u64, kind: TxnEventKind) -> u64 {
+        let at = self.tick();
+        self.txns.lock().push(TxnRecord { txn, at, kind });
+        at
+    }
+
+    /// Record a committed read-only snapshot transaction's observations;
+    /// `invoked` must come from an earlier
+    /// [`tick`](HistoryRecorder::tick).
+    pub fn snapshot(&self, invoked: u64, observed: Vec<(String, Option<i64>)>) {
+        let completed = self.tick();
+        self.snapshots.lock().push(SnapshotRecord { invoked, completed, observed });
+    }
+
     /// Freeze into an immutable [`History`].
     pub fn finish(&self) -> History {
-        History { ops: self.ops.lock().clone(), events: self.events.lock().clone() }
+        History {
+            ops: self.ops.lock().clone(),
+            events: self.events.lock().clone(),
+            txns: self.txns.lock().clone(),
+            snapshots: self.snapshots.lock().clone(),
+        }
     }
 }
 
@@ -147,6 +217,10 @@ pub struct History {
     pub ops: Vec<OpRecord>,
     /// All topology events.
     pub events: Vec<EventRecord>,
+    /// All transaction lifecycle events (push order).
+    pub txns: Vec<TxnRecord>,
+    /// All committed read-only snapshot observations.
+    pub snapshots: Vec<SnapshotRecord>,
 }
 
 impl History {

@@ -32,15 +32,20 @@ pub mod checker;
 pub mod history;
 pub mod measure;
 pub mod plan;
+pub mod txnchaos;
 pub mod workload;
 
 pub use checker::{check_cluster, check_history, Violation};
-pub use history::{Ack, EventRecord, History, HistoryRecorder, OpKind, OpRecord};
+pub use history::{
+    Ack, EventRecord, History, HistoryRecorder, OpKind, OpRecord, SnapshotRecord, TxnEventKind,
+    TxnRecord,
+};
 pub use measure::{
     measure_staleness, measure_staleness_sweep, PhaseStaleness, StalenessOutcome, StalenessSweep,
     TICKS_PER_WINDOW,
 };
 pub use plan::{FaultPlan, FaultSpec};
+pub use txnchaos::{run_txn_chaos, txn_key, txn_value, TxnChaosConfig, TxnChaosOutcome};
 pub use workload::{
     expect_clean, revive_clean, run_chaos, shrink, ChaosConfig, ChaosOutcome, Profile, Schedule,
     TopoEvent, TopoKind, BUCKET,

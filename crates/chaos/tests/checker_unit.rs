@@ -38,6 +38,8 @@ fn rules(h: &History) -> Vec<&'static str> {
 #[test]
 fn clean_history_passes() {
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![
             put("k", 1, false, 1, 1),
             get("k", Some(1), 10),
@@ -51,8 +53,12 @@ fn clean_history_passes() {
 
 #[test]
 fn phantom_read_is_flagged() {
-    let h =
-        History { ops: vec![put("k", 1, false, 1, 1), get("k", Some(999), 10)], events: vec![] };
+    let h = History {
+        txns: vec![],
+        snapshots: vec![],
+        ops: vec![put("k", 1, false, 1, 1), get("k", Some(999), 10)],
+        events: vec![],
+    };
     assert_eq!(rules(&h), vec!["phantom-read"]);
 }
 
@@ -60,6 +66,8 @@ fn phantom_read_is_flagged() {
 fn stale_read_is_flagged_without_failover() {
     // Acked write of 2, later read still sees 1: stale.
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![put("k", 1, false, 1, 1), put("k", 2, false, 10, 2), get("k", Some(1), 20)],
         events: vec![],
     };
@@ -69,7 +77,12 @@ fn stale_read_is_flagged_without_failover() {
 #[test]
 fn read_missing_acked_write_entirely_is_flagged() {
     // Key never existed per the read, but a write was acked.
-    let h = History { ops: vec![put("k", 1, false, 1, 1), get("k", None, 20)], events: vec![] };
+    let h = History {
+        txns: vec![],
+        snapshots: vec![],
+        ops: vec![put("k", 1, false, 1, 1), get("k", None, 20)],
+        events: vec![],
+    };
     assert_eq!(rules(&h), vec!["stale-read"]);
 }
 
@@ -78,6 +91,8 @@ fn failover_may_roll_back_non_durable_tail() {
     // Non-durable acked write of 2 after durable 1; failover between the
     // write and the read: seeing 1 again is legal.
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![put("k", 1, true, 1, 1), put("k", 2, false, 10, 2), get("k", Some(1), 30)],
         events: vec![failover(20)],
     };
@@ -88,6 +103,8 @@ fn failover_may_roll_back_non_durable_tail() {
 fn failover_cannot_roll_back_past_durable_floor() {
     // Reading pre-durable state (absent) after a durable ack: data loss.
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![put("k", 1, true, 1, 1), get("k", None, 30)],
         events: vec![failover(20)],
     };
@@ -97,6 +114,8 @@ fn failover_cannot_roll_back_past_durable_floor() {
 #[test]
 fn durable_floor_binds_older_values_too() {
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![
             put("k", 1, false, 1, 1),
             put("k", 2, true, 10, 2),
@@ -120,6 +139,8 @@ fn unknown_outcome_tail_is_permissive() {
     };
     for observed in [Some(1), Some(2)] {
         let h = History {
+            txns: vec![],
+            snapshots: vec![],
             ops: vec![put("k", 1, false, 1, 1), maybe.clone(), get("k", observed, 20)],
             events: vec![],
         };
@@ -137,6 +158,8 @@ fn failed_write_must_not_be_visible() {
         ack: Ack::Failed("cas mismatch".to_string()),
     };
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![put("k", 1, false, 1, 1), failed, get("k", Some(2), 20)],
         events: vec![],
     };
@@ -147,14 +170,20 @@ fn failed_write_must_not_be_visible() {
 fn seqno_regression_is_flagged_without_failover() {
     // Two sequential acked mutations in one vBucket with non-increasing
     // seqnos and no failover between them.
-    let h =
-        History { ops: vec![put("a", 1, false, 1, 5), put("b", 2, false, 10, 3)], events: vec![] };
+    let h = History {
+        txns: vec![],
+        snapshots: vec![],
+        ops: vec![put("a", 1, false, 1, 5), put("b", 2, false, 10, 3)],
+        events: vec![],
+    };
     assert_eq!(rules(&h), vec!["seqno-regression"]);
 }
 
 #[test]
 fn seqno_rewind_is_legal_across_failover() {
     let h = History {
+        txns: vec![],
+        snapshots: vec![],
         ops: vec![put("a", 1, false, 1, 5), put("b", 2, false, 10, 3)],
         events: vec![failover(5)],
     };
@@ -167,7 +196,7 @@ fn seqno_rule_ignores_concurrent_ops() {
     let a = put("a", 1, false, 1, 5);
     let mut b = put("b", 2, false, 1, 5);
     b.completed = 3;
-    let h = History { ops: vec![a, b], events: vec![] };
+    let h = History { txns: vec![], snapshots: vec![], ops: vec![a, b], events: vec![] };
     assert!(check_history(&h).is_empty());
 }
 
@@ -180,7 +209,11 @@ fn delete_then_read_none_is_clean() {
         completed: 11,
         ack: Ack::Ok { vb: 0, seqno: 2, observed: None },
     };
-    let h =
-        History { ops: vec![put("k", 1, false, 1, 1), del, get("k", None, 20)], events: vec![] };
+    let h = History {
+        txns: vec![],
+        snapshots: vec![],
+        ops: vec![put("k", 1, false, 1, 1), del, get("k", None, 20)],
+        events: vec![],
+    };
     assert!(check_history(&h).is_empty());
 }

@@ -1,0 +1,118 @@
+//! Teeth tests for the transactional consistency rules: deliberately
+//! plant a torn commit (half a write set drained, commit recorded anyway)
+//! and an aborted-write leak, and prove `fractured-read` / `txn-atomicity`
+//! catch them — then show the genuine coordinator path runs clean. A
+//! checker that passes torn commits is worse than no checker.
+
+use std::sync::Arc;
+
+use cbs_chaos::{
+    check_history, run_txn_chaos, txn_key, txn_value, HistoryRecorder, TxnChaosConfig,
+    TxnEventKind, BUCKET,
+};
+use cbs_cluster::{Cluster, ClusterConfig, SmartClient};
+use cbs_json::Value;
+
+/// A buggy coordinator: drains only the first key of a two-key committed
+/// transaction (a torn commit), then lets a snapshot observe the tear.
+#[test]
+fn txn_checker_catches_torn_commit() {
+    let cluster = Cluster::homogeneous(3, ClusterConfig::for_test(8, 1));
+    cluster.create_bucket(BUCKET).expect("create bucket");
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("connect");
+    let rec = HistoryRecorder::new();
+
+    // Transaction 1 writes both keys; its full drain is the baseline.
+    let writes1 = vec![(txn_key(0), txn_value(1, 0)), (txn_key(1), txn_value(1, 1))];
+    rec.txn_event(1, TxnEventKind::Begin);
+    for (key, value) in &writes1 {
+        client.upsert(key, Value::int(*value)).expect("drain txn 1");
+    }
+    rec.txn_event(1, TxnEventKind::Commit { writes: writes1 });
+
+    // Transaction 2 claims to commit both keys but the BUGGY drain stops
+    // after the first — key 1 still holds txn 1's value.
+    let writes2 = vec![(txn_key(0), txn_value(2, 0)), (txn_key(1), txn_value(2, 1))];
+    rec.txn_event(2, TxnEventKind::Begin);
+    client.upsert(&txn_key(0), Value::int(txn_value(2, 0))).expect("partial drain");
+    rec.txn_event(2, TxnEventKind::Commit { writes: writes2 });
+
+    // A later snapshot reads both keys and observes the tear.
+    let invoked = rec.tick();
+    let observed = (0..2)
+        .map(|k| {
+            let key = txn_key(k);
+            let value = client.get(&key).ok().and_then(|r| r.value.as_value().as_i64());
+            (key, value)
+        })
+        .collect();
+    rec.snapshot(invoked, observed);
+
+    let violations = check_history(&rec.finish());
+    assert!(
+        violations.iter().any(|v| v.rule == "fractured-read"),
+        "torn commit not caught; violations: {violations:?}"
+    );
+}
+
+/// A buggy scheduler that lets an aborted transaction's staged write reach
+/// the engine must trip `txn-atomicity` — via a plain get AND a snapshot.
+#[test]
+fn txn_checker_catches_aborted_write_leak() {
+    let cluster = Cluster::homogeneous(3, ClusterConfig::for_test(8, 1));
+    cluster.create_bucket(BUCKET).expect("create bucket");
+    let client = SmartClient::connect(Arc::clone(&cluster), BUCKET).expect("connect");
+    let rec = HistoryRecorder::new();
+
+    let writes = vec![(txn_key(3), txn_value(7, 3))];
+    rec.txn_event(7, TxnEventKind::Begin);
+    // BUG: the staged write escapes to the engine even though the
+    // transaction aborts.
+    client.upsert(&txn_key(3), Value::int(txn_value(7, 3))).expect("leak");
+    rec.txn_event(7, TxnEventKind::Abort { writes });
+
+    let invoked = rec.tick();
+    let leaked = client.get(&txn_key(3)).ok().and_then(|r| r.value.as_value().as_i64());
+    rec.record(
+        &txn_key(3),
+        cbs_chaos::OpKind::Get,
+        invoked,
+        cbs_chaos::Ack::Ok { vb: 0, seqno: 0, observed: leaked },
+    );
+    let invoked = rec.tick();
+    rec.snapshot(invoked, vec![(txn_key(3), leaked)]);
+
+    let violations = check_history(&rec.finish());
+    let atomicity = violations.iter().filter(|v| v.rule == "txn-atomicity").count();
+    assert!(
+        atomicity >= 2,
+        "aborted-write leak should be flagged for the get and the snapshot; \
+         violations: {violations:?}"
+    );
+}
+
+/// The genuine coordinator path — parallel scheduler, real drain, snapshot
+/// transactions, deliberate bails — must produce zero violations.
+#[test]
+fn txn_chaos_genuine_run_is_clean() {
+    let outcome = run_txn_chaos(&TxnChaosConfig::new(0xC0FFEE));
+    assert!(outcome.violations.is_empty(), "{}", outcome.report());
+    assert!(outcome.commits > 0, "workload committed nothing: {}", outcome.report());
+    assert!(outcome.aborts > 0, "bails should produce aborts: {}", outcome.report());
+    assert!(
+        !outcome.history.snapshots.is_empty(),
+        "snapshot transactions should have recorded observations"
+    );
+}
+
+/// Same scheduler under durable drains: every commit is replicated before
+/// acknowledgement, and the history must still be clean.
+#[test]
+fn txn_chaos_durable_run_is_clean() {
+    let mut cfg = TxnChaosConfig::new(0xD00D);
+    cfg.durable = true;
+    cfg.batches = 3;
+    let outcome = run_txn_chaos(&cfg);
+    assert!(outcome.violations.is_empty(), "{}", outcome.report());
+    assert!(outcome.commits > 0, "{}", outcome.report());
+}

@@ -47,6 +47,9 @@ pub(crate) struct ClusterInner {
     /// any query node"). Its `n1ql.plancache.*` metrics live in
     /// `query_registry`.
     pub plan_cache: Arc<cbs_n1ql::PlanCache>,
+    /// Finished-transaction ring (committed/aborted rows from the
+    /// `cbs-txn` coordinator), feeding `system:transactions`.
+    pub txn_log: Arc<crate::txnlog::TxnLog>,
 }
 
 impl ClusterInner {
@@ -106,6 +109,7 @@ impl Cluster {
                 query_registry,
                 request_log: Arc::new(cbs_n1ql::RequestLog::new("n1ql")),
                 plan_cache,
+                txn_log: Arc::new(crate::txnlog::TxnLog::default()),
             }),
             pumps: OrderedMutex::new(rank::CLUSTER_PUMPS, HashMap::new()),
             next_node_id: AtomicU32::new(next),
@@ -632,6 +636,13 @@ impl Cluster {
     /// backing store of the `system:prepareds` keyspace.
     pub fn plan_cache(&self) -> &Arc<cbs_n1ql::PlanCache> {
         &self.inner.plan_cache
+    }
+
+    /// The cluster's finished-transaction log — the live backing store of
+    /// the `system:transactions` keyspace, written by the `cbs-txn`
+    /// coordinator.
+    pub fn txn_log(&self) -> &Arc<crate::txnlog::TxnLog> {
+        &self.inner.txn_log
     }
 
     /// A bucket's live replication-lag table (per-(vBucket, replica) seqno

@@ -44,6 +44,7 @@ pub mod node;
 pub mod query;
 pub mod replication;
 pub mod stats;
+pub mod txnlog;
 
 pub use client::{Durability, SmartClient};
 pub use cluster::{AutoFailover, Cluster};
@@ -54,3 +55,4 @@ pub use map::ClusterMap;
 pub use node::Node;
 pub use query::ClusterDatastore;
 pub use stats::{BucketStats, ClusterStats, NodeStats};
+pub use txnlog::{TxnLog, TxnLogRow, TxnState};

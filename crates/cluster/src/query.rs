@@ -253,6 +253,7 @@ impl Datastore for ClusterDatastore {
             "system:completed_requests" => Ok(self.cluster.request_log().completed_rows()),
             "system:active_requests" => Ok(self.cluster.request_log().active_rows()),
             "system:prepareds" => Ok(self.cluster.plan_cache().prepared_rows()),
+            "system:transactions" => Ok(self.cluster.txn_log().catalog_rows()),
             "system:indexes" => {
                 // Every definition on every index-service node, deduped by
                 // keyspace/name (managers replicate definitions).

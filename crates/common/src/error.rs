@@ -64,6 +64,11 @@ pub enum Error {
     Cluster(String),
     /// XDCR configuration / runtime error.
     Xdcr(String),
+    /// A transaction read conflicted with a concurrent transaction's
+    /// in-flight write (it resolved to an aborted incarnation's marker).
+    /// The scheduler re-executes the reader with a bumped incarnation;
+    /// user closures must propagate this with `?`, never swallow it.
+    TxnConflict(String),
     /// Catch-all for I/O with context.
     Io(String),
 }
@@ -90,6 +95,7 @@ impl fmt::Display for Error {
             Error::View(m) => write!(f, "view error: {m}"),
             Error::Cluster(m) => write!(f, "cluster error: {m}"),
             Error::Xdcr(m) => write!(f, "xdcr error: {m}"),
+            Error::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
         }
     }

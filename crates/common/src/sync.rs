@@ -153,6 +153,22 @@ pub mod rank {
     pub const N1QL_PLAN_EPOCHS: LockRank = LockRank::new(134, "n1ql.plancache.epochs");
     /// Prepared-statement registry. Leaf.
     pub const N1QL_PREPARED: LockRank = LockRank::new(136, "n1ql.plancache.prepared");
+    /// Transaction scheduler's per-batch state (statuses, commit
+    /// frontier, execution records). Held while resolving multi-version
+    /// reads during validation, so it precedes the MV shards; never held
+    /// across closure execution or engine/client calls.
+    pub const TXN_SCHED: LockRank = LockRank::new(138, "txn.scheduler.state");
+    /// One multi-version memory shard (doc key → versioned write
+    /// entries). Taken under the scheduler state during validation;
+    /// released before any storage fall-through.
+    pub const TXN_MV: LockRank = LockRank::new(140, "txn.mv.shard");
+    /// Per-batch base snapshot cache (first storage read per key).
+    /// Leaf: the engine/client read happens between, never under, the
+    /// lock.
+    pub const TXN_BASE: LockRank = LockRank::new(142, "txn.base.snapshot");
+    /// Cluster-wide committed/aborted transaction ring feeding the
+    /// `system:transactions` catalog. Leaf.
+    pub const TXN_LOG: LockRank = LockRank::new(144, "cluster.txn.log");
 }
 
 #[cfg(feature = "lock-order")]

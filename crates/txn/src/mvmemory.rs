@@ -1,0 +1,242 @@
+//! Multi-version memory: the staging area parallel transaction execution
+//! writes into before anything touches the KV engine.
+//!
+//! Keyed `doc key → BTreeMap<(txn_index, incarnation), version cell>`, the
+//! classic Block-STM layout: a transaction reading `key` resolves to the
+//! highest-indexed write *below its own index* and falls through to the
+//! engine when no in-batch transaction wrote the key. A cell flagged as an
+//! **estimate** marks a write by an incarnation that failed validation —
+//! readers that hit one bail out with a conflict instead of consuming a
+//! value that is about to be replaced.
+//!
+//! The map is sharded by CRC32 of the key; each shard is a leaf
+//! [`OrderedMutex`] at [`rank::TXN_MV`], so scheduler state
+//! ([`rank::TXN_SCHED`]) may be held while touching a shard but never the
+//! other way around.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cbs_common::crc32;
+use cbs_common::sync::{rank, OrderedMutex};
+use cbs_json::SharedValue;
+
+/// Position of a transaction inside its batch (= its serial commit slot).
+pub type TxnIndex = usize;
+
+/// Execution attempt counter for one transaction; starts at 1 and bumps on
+/// every conflict-driven re-execution.
+pub type Incarnation = u32;
+
+/// One staged write: the value a given `(txn, incarnation)` produced for a
+/// key, or `None` for a staged delete.
+#[derive(Debug, Clone)]
+struct VersionCell {
+    value: Option<SharedValue>,
+    /// Set when the writing incarnation failed validation and is about to
+    /// re-execute; readers must treat the cell as poison.
+    estimate: bool,
+}
+
+/// Outcome of resolving a read against the multi-version map.
+#[derive(Debug, Clone)]
+pub enum MvRead {
+    /// The read resolved to a staged write of a lower-indexed transaction.
+    Version {
+        /// Writer's batch index.
+        idx: TxnIndex,
+        /// Writer's incarnation at the time of the read.
+        incarnation: Incarnation,
+        /// Staged value (`None` = staged delete).
+        value: Option<SharedValue>,
+    },
+    /// The read hit an estimate marker: the writer failed validation and
+    /// will re-execute, so the reader must conflict-abort and retry.
+    Estimate {
+        /// Index of the transaction whose stale write was hit.
+        idx: TxnIndex,
+    },
+    /// No lower-indexed transaction wrote the key; read the base snapshot.
+    Storage,
+}
+
+type Shard = HashMap<String, BTreeMap<(TxnIndex, Incarnation), VersionCell>>;
+
+/// The multi-version map for one batch.
+#[derive(Debug)]
+pub struct MvMemory {
+    shards: Vec<OrderedMutex<Shard>>,
+}
+
+impl MvMemory {
+    /// A map with `shards` independent lock domains (capped at ≥ 1).
+    pub fn new(shards: usize) -> MvMemory {
+        let shards = shards.max(1);
+        MvMemory {
+            shards: (0..shards).map(|_| OrderedMutex::new(rank::TXN_MV, HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &OrderedMutex<Shard> {
+        let h = crc32(key.as_bytes()) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Resolve a read by transaction `reader` with visibility limited to
+    /// staged writes of transactions with index `< vis`. The parallel
+    /// driver passes `vis = reader`; the deterministic wave driver passes
+    /// the wave's start index to model a simultaneous wave snapshot.
+    pub fn read(&self, key: &str, vis: TxnIndex) -> MvRead {
+        let shard = self.shard(key).lock();
+        let Some(versions) = shard.get(key) else {
+            return MvRead::Storage;
+        };
+        match versions.range(..(vis, 0)).next_back() {
+            None => MvRead::Storage,
+            Some((&(idx, incarnation), cell)) => {
+                if cell.estimate {
+                    MvRead::Estimate { idx }
+                } else {
+                    MvRead::Version { idx, incarnation, value: cell.value.clone() }
+                }
+            }
+        }
+    }
+
+    /// Publish the write set of `(idx, incarnation)`, replacing any entries
+    /// a previous incarnation of `idx` staged (including keys the new
+    /// incarnation no longer writes).
+    pub fn apply(
+        &self,
+        idx: TxnIndex,
+        incarnation: Incarnation,
+        writes: &BTreeMap<String, Option<SharedValue>>,
+        prev_keys: &[String],
+    ) {
+        for key in prev_keys {
+            if !writes.contains_key(key) {
+                self.remove_entry(key, idx);
+            }
+        }
+        for (key, value) in writes {
+            let mut shard = self.shard(key).lock();
+            let versions = shard.entry(key.clone()).or_default();
+            versions.retain(|&(i, _), _| i != idx);
+            versions
+                .insert((idx, incarnation), VersionCell { value: value.clone(), estimate: false });
+        }
+    }
+
+    /// Flag every staged write of `idx` as an estimate: its incarnation
+    /// failed validation and is about to re-execute.
+    pub fn mark_estimates(&self, idx: TxnIndex, keys: &[String]) {
+        for key in keys {
+            let mut shard = self.shard(key).lock();
+            if let Some(versions) = shard.get_mut(key) {
+                for ((i, _), cell) in versions.iter_mut() {
+                    if *i == idx {
+                        cell.estimate = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every staged write of `idx` (aborted transaction cleanup).
+    pub fn remove_all(&self, idx: TxnIndex, keys: &[String]) {
+        for key in keys {
+            self.remove_entry(key, idx);
+        }
+    }
+
+    fn remove_entry(&self, key: &str, idx: TxnIndex) {
+        let mut shard = self.shard(key).lock();
+        if let Some(versions) = shard.get_mut(key) {
+            versions.retain(|&(i, _), _| i != idx);
+            if versions.is_empty() {
+                shard.remove(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbs_json::Value;
+
+    fn w(v: i64) -> Option<SharedValue> {
+        Some(SharedValue::from(Value::from(v)))
+    }
+
+    fn writes(pairs: &[(&str, i64)]) -> BTreeMap<String, Option<SharedValue>> {
+        pairs.iter().map(|(k, v)| ((*k).to_string(), w(*v))).collect()
+    }
+
+    #[test]
+    fn read_resolves_highest_lower_index() {
+        let mv = MvMemory::new(4);
+        mv.apply(1, 1, &writes(&[("k", 10)]), &[]);
+        mv.apply(3, 1, &writes(&[("k", 30)]), &[]);
+        // Reader 2 sees txn 1's write, not txn 3's.
+        match mv.read("k", 2) {
+            MvRead::Version { idx, value, .. } => {
+                assert_eq!(idx, 1);
+                assert_eq!(value.unwrap().as_value(), &Value::from(10i64));
+            }
+            other => panic!("expected version, got {other:?}"),
+        }
+        // Reader 5 sees txn 3's write.
+        match mv.read("k", 5) {
+            MvRead::Version { idx, .. } => assert_eq!(idx, 3),
+            other => panic!("expected version, got {other:?}"),
+        }
+        // Reader 1 sees nothing below it.
+        assert!(matches!(mv.read("k", 1), MvRead::Storage));
+    }
+
+    #[test]
+    fn estimates_poison_readers_and_reapply_clears() {
+        let mv = MvMemory::new(4);
+        mv.apply(1, 1, &writes(&[("k", 10)]), &[]);
+        mv.mark_estimates(1, &["k".to_string()]);
+        assert!(matches!(mv.read("k", 2), MvRead::Estimate { idx: 1 }));
+        // Re-execution publishes incarnation 2 and clears the poison.
+        mv.apply(1, 2, &writes(&[("k", 11)]), &["k".to_string()]);
+        match mv.read("k", 2) {
+            MvRead::Version { idx, incarnation, .. } => {
+                assert_eq!((idx, incarnation), (1, 2));
+            }
+            other => panic!("expected version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reapply_drops_keys_the_new_incarnation_no_longer_writes() {
+        let mv = MvMemory::new(4);
+        mv.apply(1, 1, &writes(&[("a", 1), ("b", 2)]), &[]);
+        let prev = vec!["a".to_string(), "b".to_string()];
+        mv.apply(1, 2, &writes(&[("a", 3)]), &prev);
+        assert!(matches!(mv.read("a", 2), MvRead::Version { .. }));
+        assert!(matches!(mv.read("b", 2), MvRead::Storage));
+    }
+
+    #[test]
+    fn remove_all_restores_storage_fallthrough() {
+        let mv = MvMemory::new(1);
+        mv.apply(2, 1, &writes(&[("k", 5)]), &[]);
+        mv.remove_all(2, &["k".to_string()]);
+        assert!(matches!(mv.read("k", 9), MvRead::Storage));
+    }
+
+    #[test]
+    fn staged_delete_is_a_version_with_none() {
+        let mv = MvMemory::new(2);
+        let mut ws = BTreeMap::new();
+        ws.insert("k".to_string(), None);
+        mv.apply(0, 1, &ws, &[]);
+        match mv.read("k", 1) {
+            MvRead::Version { value, .. } => assert!(value.is_none()),
+            other => panic!("expected staged delete, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The serializability battery (tentpole proof harness #1).
+//!
+//! A batch's committed result is *defined* as executing its transactions
+//! serially in index order. For seeded random workloads — read-modify-
+//! writes, blind puts, removes and deliberate aborts over a small hot key
+//! space — this suite checks that definition three ways:
+//!
+//! 1. the **parallel scheduler** (real threads, every worker count) must
+//!    reproduce the pure serial witness's final state and per-transaction
+//!    commit/abort decisions exactly;
+//! 2. the **deterministic wave driver** must reproduce the same result
+//!    *and* be bit-stable: conflict counts and logical step counts are a
+//!    pure function of `(seed, workers)`;
+//! 3. with one worker, no conflicts may occur at all.
+//!
+//! Any failure prints a one-line replay: `TXN_SEED=<seed> cargo test -p
+//! cbs-txn --test serializability txn_seed_replay`.
+
+use std::collections::BTreeMap;
+
+use cbs_txn::spec::{
+    batch_from_seed, initial_state, key_name, serial_witness, state_reader, txn_fns,
+};
+use cbs_txn::{run_batch, run_deterministic, BatchReport};
+use proptest::prelude::*;
+
+const KEYS: usize = 8;
+const TXNS: usize = 24;
+const MAX_OPS: usize = 5;
+
+/// Overlay a report's merged write set onto the initial model state.
+fn apply_final_state(initial: &BTreeMap<usize, i64>, report: &BatchReport) -> BTreeMap<usize, i64> {
+    let mut state = initial.clone();
+    for (key, value) in report.final_state() {
+        let k: usize = key
+            .strip_prefix("txnk")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("non-spec key {key:?} in final state"));
+        match value {
+            Some(v) => {
+                let v = v.as_value().as_i64().expect("spec values are ints");
+                state.insert(k, v);
+            }
+            None => {
+                state.remove(&k);
+            }
+        }
+    }
+    state
+}
+
+/// The whole battery for one seed; assertion messages carry the replay
+/// command.
+fn check_seed(seed: u64) {
+    let replay =
+        format!("TXN_SEED={seed} cargo test -p cbs-txn --test serializability txn_seed_replay");
+    let batch = batch_from_seed(seed, KEYS, TXNS, MAX_OPS);
+    let initial = initial_state(seed, KEYS);
+    let (want_state, want_committed) = serial_witness(&batch, initial.clone());
+    let fns = txn_fns(&batch);
+    let reader = state_reader(&initial);
+
+    for workers in [1usize, 3, 8] {
+        let report = run_batch(&fns, &reader, workers);
+        let got_committed: Vec<bool> = report.outcomes.iter().map(|o| o.is_committed()).collect();
+        assert_eq!(
+            got_committed, want_committed,
+            "parallel ({workers} workers) commit decisions diverge from serial witness; {replay}"
+        );
+        assert_eq!(
+            apply_final_state(&initial, &report),
+            want_state,
+            "parallel ({workers} workers) final state diverges from serial witness; {replay}"
+        );
+
+        let det = run_deterministic(&fns, &reader, workers);
+        let det_committed: Vec<bool> = det.outcomes.iter().map(|o| o.is_committed()).collect();
+        assert_eq!(
+            det_committed, want_committed,
+            "wave driver ({workers} workers) commit decisions diverge; {replay}"
+        );
+        assert_eq!(
+            apply_final_state(&initial, &det),
+            want_state,
+            "wave driver ({workers} workers) final state diverges; {replay}"
+        );
+
+        // Bit-stability: the wave driver's conflict accounting is a pure
+        // function of (seed, workers).
+        let again = run_deterministic(&fns, &reader, workers);
+        assert_eq!(
+            (det.re_executions, det.logical_steps),
+            (again.re_executions, again.logical_steps),
+            "wave driver is not deterministic; {replay}"
+        );
+        if workers == 1 {
+            assert_eq!(det.re_executions, 0, "serial waves cannot conflict; {replay}");
+        }
+    }
+}
+
+proptest! {
+    /// Random seeds: parallel == wave-model == serial witness.
+    #[test]
+    fn parallel_execution_is_serializable(seed in any::<u64>()) {
+        check_seed(seed);
+    }
+}
+
+/// One-line replay hook: `TXN_SEED=<n>` reruns the full battery for that
+/// exact seed (and doubles as a pinned deterministic case for check.sh).
+#[test]
+fn txn_seed_replay() {
+    let seed = std::env::var("TXN_SEED")
+        .ok()
+        .map(|s| s.parse().expect("TXN_SEED must be a u64"))
+        .unwrap_or(0xC0DE_D00D);
+    check_seed(seed);
+}
+
+/// The hottest possible workload — every transaction increments the same
+/// key — across many worker counts: the final counter must equal the
+/// commit count regardless of scheduling.
+#[test]
+fn hot_counter_is_exact_under_all_worker_counts() {
+    use cbs_json::Value;
+    use cbs_txn::{TxnCtx, TxnFn};
+    use std::sync::Arc;
+
+    let fns: Vec<TxnFn> = (0..32)
+        .map(|_| {
+            Arc::new(|ctx: &mut TxnCtx<'_>| {
+                let v = ctx.get(&key_name(0))?.and_then(|s| s.as_value().as_i64()).unwrap_or(0);
+                ctx.upsert(&key_name(0), Value::from(v + 1));
+                Ok(())
+            }) as TxnFn
+        })
+        .collect();
+    let initial = BTreeMap::new();
+    let reader = state_reader(&initial);
+    for workers in 1..=8 {
+        let report = run_batch(&fns, &reader, workers);
+        let got = apply_final_state(&initial, &report);
+        assert_eq!(got.get(&0), Some(&32), "lost update with {workers} workers");
+    }
+}

@@ -1,0 +1,301 @@
+//! Exhaustive interleaving models of the scheduler's commit protocol
+//! (tentpole proof harness #2), via `cbs_common::model::Explorer` — the
+//! workspace's loom substitute.
+//!
+//! Each model captures one protocol obligation as a small explicit state
+//! machine and comes in two variants:
+//!
+//! - **fixed** — the shipped protocol shape (validate at the frontier,
+//!   atomic frontier advance, abort cleanup). The explorer must verify
+//!   every interleaving clean.
+//! - **buggy** — the protocol with one safeguard removed. The explorer
+//!   must *find* the bad interleaving: these are revert detection, pinning
+//!   exactly which schedule breaks if the safeguard is ever dropped.
+//!
+//! The three obligations:
+//!
+//! 1. the frontier must re-validate a speculative execution's read set
+//!    before committing it (skipping validation loses updates);
+//! 2. frontier resolution must be atomic per slot (checking and advancing
+//!    in separate steps double-drains a commit);
+//! 3. an aborted transaction's staged writes must leave the multi-version
+//!    map before the frontier moves on (leaking them commits dirty reads).
+
+// Tests unwrap freely; the workspace lint table targets lib code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use cbs_common::model::{Explorer, Step};
+
+// ---------------------------------------------------------------------------
+// Model 1: validate / re-execute / commit — two RMW transactions, one key
+// ---------------------------------------------------------------------------
+
+/// Two transactions each add 1 to a key starting at 0. T1 may execute
+/// before T0 stages its write; validation at the frontier must then force
+/// T1 to re-execute. `staged*` are the multi-version cells; `read1_saw0`
+/// records the version origin T1's read set captured.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ValidateState {
+    staged0: Option<i64>,
+    staged1: Option<i64>,
+    /// T1's recorded read origin: did it consume T0's staged write?
+    read1_saw0: bool,
+    frontier: u8,
+    committed: u8,
+    pc0: u8,
+    pc1: u8,
+}
+
+/// `buggy = true` commits T1 at the frontier without re-validating its
+/// read set.
+fn validate_model(buggy: bool) -> Result<(), String> {
+    let init = ValidateState {
+        staged0: None,
+        staged1: None,
+        read1_saw0: false,
+        frontier: 0,
+        committed: 0,
+        pc0: 0,
+        pc1: 0,
+    };
+    let result = Explorer::new(init)
+        // Worker executing T0, then resolving frontier slot 0.
+        .thread(|s: &mut ValidateState| match s.pc0 {
+            0 => {
+                // Execute: read base (0), stage 0 + 1.
+                s.staged0 = Some(1);
+                s.pc0 = 1;
+                Step::Progressed
+            }
+            _ => {
+                // Frontier slot 0: no lower transactions, trivially valid.
+                s.frontier = 1;
+                s.committed += 1;
+                Step::Finished
+            }
+        })
+        // Worker executing T1, then resolving frontier slot 1.
+        .thread(move |s: &mut ValidateState| match s.pc1 {
+            0 => {
+                // Execute speculatively: read through the multi-version
+                // map (T0's staged write if present, else base).
+                let (v, saw0) = match s.staged0 {
+                    Some(v) => (v, true),
+                    None => (0, false),
+                };
+                s.read1_saw0 = saw0;
+                s.staged1 = Some(v + 1);
+                s.pc1 = 1;
+                Step::Progressed
+            }
+            _ => {
+                if s.frontier < 1 {
+                    return Step::Blocked; // not T1's turn yet
+                }
+                // Frontier slot 1: re-resolve the read against the map.
+                let still_saw0 = s.staged0.is_some();
+                if !buggy && still_saw0 != s.read1_saw0 {
+                    // Invalid: re-execute at the frontier, where the
+                    // committed prefix is final — always validates.
+                    let v = s.staged0.unwrap_or(0);
+                    s.read1_saw0 = still_saw0;
+                    s.staged1 = Some(v + 1);
+                }
+                s.frontier = 2;
+                s.committed += 1;
+                Step::Finished
+            }
+        })
+        // Serializability: both committed ⇒ the serial result (0+1+1 = 2).
+        .invariant(|s: &ValidateState| {
+            if s.frontier == 2 && s.committed == 2 && s.staged1 != Some(2) {
+                Err(format!("lost update: committed final value {:?}, serial value 2", s.staged1))
+            } else {
+                Ok(())
+            }
+        })
+        .run();
+    result.map(|_| ()).map_err(|cex| cex.to_string())
+}
+
+#[test]
+fn frontier_validation_reproduces_serial_order() {
+    validate_model(false).expect("validated protocol must verify clean");
+}
+
+#[test]
+fn skipped_validation_loses_updates() {
+    let err = validate_model(true).expect_err("explorer must find the lost-update interleaving");
+    assert!(err.contains("lost update"), "unexpected violation: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: frontier resolution is atomic per slot
+// ---------------------------------------------------------------------------
+
+/// Two workers race to resolve frontier slot 0 for an already-executed
+/// transaction. The real code checks the status and advances the frontier
+/// inside one scheduler-lock critical section.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CommitState {
+    frontier: u8,
+    /// Times the transaction's write set was drained to the engine.
+    drains: u8,
+    saw_slot: [bool; 2],
+    pc: [u8; 2],
+}
+
+/// `buggy = true` splits "is it my slot" and "commit + advance" into two
+/// separate steps (a check outside the lock).
+fn commit_race_model(buggy: bool) -> Result<(), String> {
+    let worker = move |w: usize| {
+        move |s: &mut CommitState| {
+            if buggy {
+                match s.pc[w] {
+                    0 => {
+                        s.saw_slot[w] = s.frontier == 0;
+                        s.pc[w] = 1;
+                        Step::Progressed
+                    }
+                    _ => {
+                        if s.saw_slot[w] {
+                            s.drains += 1;
+                            s.frontier = 1;
+                        }
+                        Step::Finished
+                    }
+                }
+            } else {
+                // One critical section: check and resolve atomically.
+                if s.frontier == 0 {
+                    s.drains += 1;
+                    s.frontier = 1;
+                }
+                Step::Finished
+            }
+        }
+    };
+    let init = CommitState { frontier: 0, drains: 0, saw_slot: [false; 2], pc: [0; 2] };
+    let result = Explorer::new(init)
+        .thread(worker(0))
+        .thread(worker(1))
+        .invariant(|s: &CommitState| {
+            if s.drains > 1 {
+                Err(format!("transaction drained {} times", s.drains))
+            } else {
+                Ok(())
+            }
+        })
+        .run();
+    result.map(|_| ()).map_err(|cex| cex.to_string())
+}
+
+#[test]
+fn frontier_commit_is_mutually_exclusive() {
+    commit_race_model(false).expect("locked frontier must verify clean");
+}
+
+#[test]
+fn split_frontier_check_double_commits() {
+    let err = commit_race_model(true).expect_err("explorer must find the double-drain schedule");
+    assert!(err.contains("drained 2 times"), "unexpected violation: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: abort cleanup — staged writes of an aborted txn must vanish
+// ---------------------------------------------------------------------------
+
+/// T0 stages a write then aborts; T1 copies what it read into its own
+/// write. The frontier must remove T0's staged cell before (or when)
+/// resolving slot 0, and T1's validation must re-resolve — otherwise T1
+/// commits a value derived from a write that never happened.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct AbortState {
+    staged0: Option<i64>,
+    staged1: Option<i64>,
+    read1_saw0: bool,
+    frontier: u8,
+    committed1: bool,
+    pc0: u8,
+    pc1: u8,
+}
+
+/// `buggy = true` skips removing the aborted transaction's staged write.
+fn abort_cleanup_model(buggy: bool) -> Result<(), String> {
+    let init = AbortState {
+        staged0: None,
+        staged1: None,
+        read1_saw0: false,
+        frontier: 0,
+        committed1: false,
+        pc0: 0,
+        pc1: 0,
+    };
+    let result = Explorer::new(init)
+        // T0: stage 99, then abort at the frontier.
+        .thread(move |s: &mut AbortState| match s.pc0 {
+            0 => {
+                s.staged0 = Some(99);
+                s.pc0 = 1;
+                Step::Progressed
+            }
+            _ => {
+                if !buggy {
+                    s.staged0 = None; // remove_all: aborted staging vanishes
+                }
+                s.frontier = 1;
+                Step::Finished
+            }
+        })
+        // T1: read the key, write back what it read, validate at frontier.
+        .thread(|s: &mut AbortState| match s.pc1 {
+            0 => {
+                let (v, saw0) = match s.staged0 {
+                    Some(v) => (v, true),
+                    None => (0, false),
+                };
+                s.read1_saw0 = saw0;
+                s.staged1 = Some(v);
+                s.pc1 = 1;
+                Step::Progressed
+            }
+            _ => {
+                if s.frontier < 1 {
+                    return Step::Blocked;
+                }
+                // Validation always runs; with the leak, the stale cell
+                // still resolves and validation wrongly passes.
+                let still_saw0 = s.staged0.is_some();
+                if still_saw0 != s.read1_saw0 {
+                    let v = s.staged0.unwrap_or(0);
+                    s.read1_saw0 = still_saw0;
+                    s.staged1 = Some(v);
+                }
+                s.frontier = 2;
+                s.committed1 = true;
+                Step::Finished
+            }
+        })
+        // Atomicity: a committed transaction must not carry the aborted
+        // transaction's staged value.
+        .invariant(|s: &AbortState| {
+            if s.committed1 && s.staged1 == Some(99) {
+                Err("committed txn observed an aborted txn's staged write".into())
+            } else {
+                Ok(())
+            }
+        })
+        .run();
+    result.map(|_| ()).map_err(|cex| cex.to_string())
+}
+
+#[test]
+fn abort_cleanup_hides_staged_writes() {
+    abort_cleanup_model(false).expect("cleanup protocol must verify clean");
+}
+
+#[test]
+fn leaked_abort_staging_commits_dirty_reads() {
+    let err = abort_cleanup_model(true).expect_err("explorer must find the dirty-read schedule");
+    assert!(err.contains("aborted txn's staged write"), "unexpected violation: {err}");
+}

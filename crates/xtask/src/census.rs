@@ -153,6 +153,8 @@ mod tests {
         ("obs", Tree::Tests),
         ("storage", Tree::Lib),
         ("storage", Tree::Tests),
+        ("txn", Tree::Lib),
+        ("txn", Tree::Tests),
         ("views", Tree::Lib),
         ("views", Tree::Tests),
         ("xdcr", Tree::Lib),

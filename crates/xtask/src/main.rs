@@ -124,11 +124,23 @@ fn is_chaos_artifact(f: &census::SourceFile) -> bool {
     }
 }
 
+/// Whether a census entry belongs to the transaction battery's seed-replay
+/// surface: `crates/txn/tests/**` (the serializability suite and the
+/// interleaving models) and `crates/bench` txn artifacts (the byte-stable
+/// `txn_batch` bench). These get `txn-determinism`.
+fn is_txn_artifact(f: &census::SourceFile) -> bool {
+    match f.tree {
+        Tree::Tests => f.crate_name == "txn",
+        Tree::Benches => f.crate_name == "txn" || f.crate_name == "bench",
+        _ => false,
+    }
+}
+
 /// Lint every tree the census discovers. Lib trees carry the full rule
 /// set; `tests/`, `benches/` and `examples/` carry the repo-wide
-/// invariants (`std-sync`, plus `chaos-determinism` for chaos artifacts).
-/// Returns the findings (sorted by path then line) and the number of
-/// files scanned.
+/// invariants (`std-sync`, plus `chaos-determinism` for chaos artifacts
+/// and `txn-determinism` for transaction-battery artifacts). Returns the
+/// findings (sorted by path then line) and the number of files scanned.
 fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
     let files = census::collect(root)?;
     let mut findings = Vec::new();
@@ -138,7 +150,12 @@ fn lint_tree(root: &Path) -> Result<(Vec<Finding>, usize), String> {
         match f.tree {
             Tree::Lib => findings.extend(rules::lint_file(&f.crate_name, &f.rel, &text)),
             Tree::Tests | Tree::Benches | Tree::Examples => {
-                findings.extend(rules::lint_aux_file(&f.rel, &text, is_chaos_artifact(f)));
+                findings.extend(rules::lint_aux_file(
+                    &f.rel,
+                    &text,
+                    is_chaos_artifact(f),
+                    is_txn_artifact(f),
+                ));
             }
         }
     }
@@ -349,6 +366,59 @@ mod tests {
         );
         w("crates/chaos/src/lib.rs", "fn f() {}\n");
         w("crates/chaos/tests/determinism.rs", "fn t() {}\n");
+        let (findings, _) = lint_tree(&root).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The txn analogue of the chaos test above: `txn-determinism` covers
+    /// the txn lib, `crates/txn/tests/**`, and bench-crate benches — but
+    /// not unrelated test trees.
+    #[test]
+    fn txn_trees_get_the_determinism_rule() {
+        let root = scratch("xtask-txn");
+        let w = |rel: &str, body: &str| {
+            let p = root.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, body).unwrap();
+        };
+        w("Cargo.toml", "[workspace]\n");
+        // Txn lib code: the rule applies alongside the crate-wide rules.
+        w("crates/txn/src/lib.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        // Txn test tree: txn-determinism, but not lib-only rules (unwrap).
+        w(
+            "crates/txn/tests/serializability.rs",
+            "fn t() { x.unwrap(); let r = rand::thread_rng(); }\n",
+        );
+        // Bench-crate benches feed byte-stable JSON: covered too.
+        w(
+            "crates/bench/benches/txn_batch.rs",
+            "fn b() { let s = std::time::SystemTime::now(); }\n",
+        );
+        // Unrelated test trees stay out of scope for wall-clock reads.
+        w("crates/kv/tests/t.rs", "fn t() { let t = std::time::Instant::now(); }\n");
+
+        let (findings, files) = lint_tree(&root).unwrap();
+        assert_eq!(files, 4, "{findings:?}");
+        let hits: Vec<(&str, &str)> = findings.iter().map(|f| (f.file.as_str(), f.rule)).collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("crates/bench/benches/txn_batch.rs", "txn-determinism"),
+                ("crates/txn/src/lib.rs", "txn-determinism"),
+                ("crates/txn/tests/serializability.rs", "txn-determinism"),
+            ],
+            "{findings:?}"
+        );
+
+        // An allow with a reason silences the finding.
+        w(
+            "crates/txn/tests/serializability.rs",
+            "fn t() {\n    // lint:allow(txn-determinism): measured for stdout only, never in JSON\n    let t = std::time::Instant::now();\n}\n",
+        );
+        w("crates/txn/src/lib.rs", "fn f() {}\n");
+        w("crates/bench/benches/txn_batch.rs", "fn b() {}\n");
         let (findings, _) = lint_tree(&root).unwrap();
         assert!(findings.is_empty(), "{findings:?}");
 

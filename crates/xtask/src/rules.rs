@@ -41,6 +41,8 @@ pub const STORAGE_CRATE: &str = "storage";
 pub const CLUSTER_CRATE: &str = "cluster";
 /// Crate holding the chaos harness (`chaos-determinism` scope).
 pub const CHAOS_CRATE: &str = "chaos";
+/// Crate holding the transaction scheduler (`txn-determinism` scope).
+pub const TXN_CRATE: &str = "txn";
 /// Crate holding the YCSB benchmark harness (`ycsb-hot-parse` scope).
 pub const YCSB_CRATE: &str = "ycsb";
 
@@ -72,6 +74,7 @@ const KNOWN_RULES: &[&str] = &[
     "wall-clock",
     "obs-naming",
     "chaos-determinism",
+    "txn-determinism",
     "profile-coverage",
     "ycsb-hot-parse",
 ];
@@ -159,6 +162,9 @@ pub fn lint_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
     if crate_name == CHAOS_CRATE {
         rule_chaos_determinism(&m, rel_path, &mut findings);
     }
+    if crate_name == TXN_CRATE {
+        rule_txn_determinism(&m, rel_path, &mut findings);
+    }
     let orig_lines: Vec<&str> = src.lines().collect();
     if crate_name == YCSB_CRATE {
         rule_ycsb_hot_parse(&m, &orig_lines, rel_path, &mut findings);
@@ -173,17 +179,28 @@ pub fn lint_file(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
 
 /// Lint a non-lib tree file (`tests/`, `benches/`, `examples/`). These
 /// trees carry the repo-wide invariants only: `std-sync` (parking_lot is
-/// the lock standard everywhere cargo builds code, not just in libs), and
+/// the lock standard everywhere cargo builds code, not just in libs),
 /// `chaos-determinism` when the file is a chaos test artifact
 /// (`crates/chaos/tests/**` or the root `tests/chaos*.rs` suite — a
-/// wall-clock read or ambient RNG there silently breaks seed replay). The
-/// remaining rules are lib-code invariants and stay out of scope.
-pub fn lint_aux_file(rel_path: &str, src: &str, chaos_artifact: bool) -> Vec<Finding> {
+/// wall-clock read or ambient RNG there silently breaks seed replay), and
+/// `txn-determinism` for the transaction battery's artifacts
+/// (`crates/txn/tests/**`, `crates/bench` txn benches) under the same
+/// seed-replay contract. The remaining rules are lib-code invariants and
+/// stay out of scope.
+pub fn lint_aux_file(
+    rel_path: &str,
+    src: &str,
+    chaos_artifact: bool,
+    txn_artifact: bool,
+) -> Vec<Finding> {
     let m = mask(src);
     let mut findings = Vec::new();
     rule_std_sync(&m, rel_path, &mut findings);
     if chaos_artifact {
         rule_chaos_determinism(&m, rel_path, &mut findings);
+    }
+    if txn_artifact {
+        rule_txn_determinism(&m, rel_path, &mut findings);
     }
     apply_allows(&m, rel_path, findings)
 }
@@ -410,6 +427,45 @@ fn rule_wall_clock(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
 /// rules this one does NOT exempt `#[cfg(test)]` lines: chaos tests are
 /// exactly the code that must stay deterministic.
 fn rule_chaos_determinism(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
+    rule_seed_determinism(
+        m,
+        rel,
+        "chaos-determinism",
+        "chaos code — fault decisions must be pure functions of the printed seed (seeded \
+         hashes + `cbs_common::time::Deadline`), or replay breaks",
+        out,
+    );
+}
+
+/// `txn-determinism`: same contract for the transaction scheduler and its
+/// test battery. The serializability suite replays any failure from one
+/// `TXN_SEED=<n>` variable, the wave-model bench must emit byte-identical
+/// JSON per seed, and the mini-loom models enumerate schedules — ambient
+/// entropy or wall-clock reads anywhere in `crates/txn` (lib *or* tests)
+/// silently break all three.
+fn rule_txn_determinism(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
+    rule_seed_determinism(
+        m,
+        rel,
+        "txn-determinism",
+        "transaction-scheduler code — conflict workloads and scheduling decisions must be \
+         pure functions of the printed seed (`TXN_SEED` replay, byte-stable bench JSON), \
+         or replay breaks",
+        out,
+    );
+}
+
+/// Shared body of the seed-replay determinism rules: flags ambient entropy
+/// (`rand::thread_rng`) and wall-clock reads (`Instant::now`,
+/// `SystemTime`), with **no** `#[cfg(test)]` exemption — the tests are
+/// exactly the code that must stay replayable.
+fn rule_seed_determinism(
+    m: &Masked,
+    rel: &str,
+    rule: &'static str,
+    domain: &str,
+    out: &mut Vec<Finding>,
+) {
     for (idx, l) in m.lines.iter().enumerate() {
         let hits = ["thread_rng", "Instant::now"]
             .iter()
@@ -420,11 +476,9 @@ fn rule_chaos_determinism(m: &Masked, rel: &str, out: &mut Vec<Finding>) {
             out.push(Finding {
                 file: rel.to_string(),
                 line: idx + 1,
-                rule: "chaos-determinism",
+                rule,
                 msg: format!(
-                    "`{needle}` in chaos code — fault decisions must be pure functions of \
-                     the printed seed (seeded hashes + `cbs_common::time::Deadline`), or \
-                     replay breaks; justify with `// lint:allow(chaos-determinism): <reason>`"
+                    "`{needle}` in {domain}; justify with `// lint:allow({rule}): <reason>`"
                 ),
             });
         }
@@ -819,13 +873,18 @@ fn f(&self) {
         let src = "fn t() {\n    x.unwrap();\n    let g: std::sync::Mutex<u8>;\n    \
                    let t = Instant::now();\n}\n";
         // A chaos artifact: std-sync (repo-wide) + chaos-determinism.
-        let f = lint_aux_file("tests/chaos_kv.rs", src, true);
+        let f = lint_aux_file("tests/chaos_kv.rs", src, true, false);
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(f.iter().any(|f| f.rule == "std-sync" && f.line == 3));
         assert!(f.iter().any(|f| f.rule == "chaos-determinism" && f.line == 4));
-        // A non-chaos aux file: the determinism rule does not apply, and
-        // neither do hot-path rules like unwrap.
-        let f = lint_aux_file("crates/bench/benches/micro.rs", src, false);
+        // A txn artifact: same shape under the txn-determinism rule.
+        let f = lint_aux_file("crates/txn/tests/serializability.rs", src, false, true);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "std-sync" && f.line == 3));
+        assert!(f.iter().any(|f| f.rule == "txn-determinism" && f.line == 4));
+        // A plain aux file: no determinism rule applies, and neither do
+        // hot-path rules like unwrap.
+        let f = lint_aux_file("crates/bench/benches/micro.rs", src, false, false);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "std-sync");
     }

@@ -6,6 +6,7 @@
 #   scripts/check.sh chaos-smoke     # fixed-seed chaos smoke run only (<10s)
 #   scripts/check.sh plancache-smoke # prepared-statement fast path only (<10s)
 #   scripts/check.sh staleness-smoke # measure-mode staleness replay only (<30s)
+#   scripts/check.sh txn-smoke       # serializability replay + txn chaos (<15s)
 #
 # Stages:
 #   1. cargo fmt --check          formatting (rustfmt.toml)
@@ -15,11 +16,13 @@
 #                                 / guard-across-blocking / raw-lock static
 #                                 analysis (SARIF at target/analyze.sarif)
 #   4. cargo clippy -D warnings   workspace lint walls ([workspace.lints])
-#   5. model suite                lock-order detector + flusher protocol
-#                                 models (exhaustive interleaving search)
-#   6. chaos smoke                fixed-seed fault-injection run (<10s)
-#                                 against a 3-node cluster; the seed sweep
-#                                 in the full suite honors CHAOS_SEEDS=n
+#   5. model suite                lock-order detector + flusher and txn
+#                                 protocol models (exhaustive interleaving
+#                                 search)
+#   6. chaos + txn smoke          fixed-seed fault-injection run (<10s)
+#                                 against a 3-node cluster, plus the
+#                                 serializability replay and transactional
+#                                 chaos run; seed sweeps honor CHAOS_SEEDS=n
 #   7. full test suite            (skipped with --quick)
 #   8. TSan / Miri subset         best-effort: requires nightly toolchain
 #                                 with rust-src / miri; skipped gracefully
@@ -57,6 +60,18 @@ chaos_smoke() {
 # `system:prepareds` catalog — the fig16 YCSB-E fast path end to end.
 plancache_smoke() {
     cargo test --quiet --test plancache plancache_smoke -- --exact
+}
+
+# Transaction smoke: the serializability battery at a pinned seed (the
+# parallel scheduler and the deterministic wave driver must both match
+# the serial witness, bit-stably), then the transactional chaos run —
+# snapshot transactions under a jittery transport through the
+# fractured-read / txn-atomicity checker. Failures print `TXN_SEED=…` /
+# `TXN_CHAOS_SEED=…` one-line replay commands.
+txn_smoke() {
+    TXN_SEED=48879 cargo test --quiet -p cbs-txn --test serializability \
+        txn_seed_replay -- --exact || return 1
+    cargo test --quiet --test chaos_txn txn_chaos_smoke -- --exact
 }
 
 # Staleness smoke: replay the seeded fault plans in chaos measure mode
@@ -104,6 +119,16 @@ if [ "${1:-}" = "plancache-smoke" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "txn-smoke" ]; then
+    run "txn smoke (serializability replay + txn chaos)" txn_smoke
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh txn-smoke: FAILED"
+        exit 1
+    fi
+    echo "check.sh txn-smoke: passed"
+    exit 0
+fi
+
 if [ "${1:-}" = "staleness-smoke" ]; then
     run "staleness smoke (measure-mode replay)" staleness_smoke
     if [ "$FAILED" -ne 0 ]; then
@@ -124,8 +149,10 @@ run "clippy (deny warnings)" cargo clippy --workspace --all-targets --quiet -- -
 # the PR-1 race fixes (checkpoint/drain, shutdown wakeup, failed-drain).
 run "lock-order + explorer (cbs-common)" cargo test --quiet -p cbs-common --features lock-order
 run "flusher protocol models" cargo test --quiet -p cbs-kv --test flusher_models
+run "txn protocol models" cargo test --quiet -p cbs-txn --test txn_models
 run "chaos smoke (fixed seed)" chaos_smoke
 run "plancache smoke (PREPARE/EXECUTE hit rate)" plancache_smoke
+run "txn smoke (serializability replay + txn chaos)" txn_smoke
 
 if [ "$QUICK" -eq 1 ]; then
     if [ "$FAILED" -ne 0 ]; then

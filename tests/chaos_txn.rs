@@ -1,0 +1,123 @@
+//! Transaction integration suite: the Block-STM coordinator end to end
+//! against live clusters — `Cluster::transact`, the chaos workload with
+//! snapshot transactions under transport faults, the
+//! `system:transactions` catalog, and the `txn.batch.*` metrics.
+//!
+//! A chaos artifact: every decision here is a pure function of the
+//! printed seed (`TXN_CHAOS_SEED=…` re-points the smoke run and the
+//! failure report carries a one-line replay command).
+
+use std::sync::Arc;
+
+use cbs_chaos::{run_txn_chaos, TxnChaosConfig};
+use cbs_json::Value;
+use cbs_txn::{Transact, TxnClient, TxnCtx, TxnFn};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, Error, QueryOptions};
+
+/// Fixed-seed fast path for `scripts/check.sh txn-smoke` (<10s): the
+/// genuine coordinator under a jittery transport, with interleaved
+/// snapshot transactions, checked for atomicity and fractured reads.
+#[test]
+fn txn_chaos_smoke() {
+    let outcome = run_txn_chaos(&TxnChaosConfig::new(0x7A12).from_env());
+    assert!(outcome.violations.is_empty(), "{}", outcome.report());
+    assert!(outcome.commits > 0, "nothing committed: {}", outcome.report());
+    println!("{}", outcome.report());
+}
+
+/// `Cluster::transact` moves value between two documents atomically: the
+/// commit lands both writes, and an aborted transaction (the closure's
+/// own error) leaves the bucket untouched and surfaces the error
+/// verbatim.
+#[test]
+fn transact_commits_and_aborts_across_documents() {
+    let cluster = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(8, 1));
+    let bucket = cluster.create_bucket("bank").unwrap();
+    bucket.upsert("acct::a", Value::object([("balance", Value::from(100))])).unwrap();
+    bucket.upsert("acct::b", Value::object([("balance", Value::from(10))])).unwrap();
+
+    let transfer = |amount: i64| {
+        move |ctx: &mut TxnCtx<'_>| {
+            let read = |ctx: &mut TxnCtx<'_>, key: &str| -> couchbase_repro::Result<i64> {
+                Ok(ctx
+                    .get(key)?
+                    .and_then(|d| d.as_value().get_field("balance").and_then(Value::as_i64))
+                    .unwrap_or(0))
+            };
+            let a = read(ctx, "acct::a")?;
+            let b = read(ctx, "acct::b")?;
+            if a < amount {
+                return Err(Error::Eval(format!("insufficient funds: {a} < {amount}")));
+            }
+            ctx.replace("acct::a", Value::object([("balance", Value::from(a - amount))]))?;
+            ctx.replace("acct::b", Value::object([("balance", Value::from(b + amount))]))?;
+            Ok(())
+        }
+    };
+
+    // Commit: both sides move.
+    cluster.inner().transact("bank", transfer(30)).unwrap();
+    let balance = |key: &str| {
+        bucket.get(key).unwrap().value.get_field("balance").and_then(Value::as_i64).unwrap()
+    };
+    assert_eq!(balance("acct::a"), 70);
+    assert_eq!(balance("acct::b"), 40);
+
+    // Abort: the closure's error comes back verbatim and neither
+    // document changes — no torn transfer.
+    let err = cluster.inner().transact("bank", transfer(1000)).unwrap_err();
+    assert!(
+        err.to_string().contains("insufficient funds"),
+        "abort error not propagated verbatim: {err}"
+    );
+    assert_eq!(balance("acct::a"), 70);
+    assert_eq!(balance("acct::b"), 40);
+}
+
+/// The observability surface is live after a parallel batch: the
+/// `system:transactions` catalog serves per-transaction rows through
+/// N1QL and the coordinator's `txn.batch.*` metrics land on the
+/// cluster's query registry.
+#[test]
+fn txn_catalog_and_metrics_are_live() {
+    let cluster = CouchbaseCluster::homogeneous(2, ClusterConfig::for_test(8, 1));
+    cluster.create_bucket("app").unwrap();
+
+    let coordinator = TxnClient::connect(cluster.inner(), "app").unwrap().with_workers(4);
+    let txns: Vec<TxnFn> = (0..6)
+        .map(|i| {
+            Arc::new(move |ctx: &mut TxnCtx<'_>| {
+                let v = ctx.get("counter")?.and_then(|d| d.as_value().as_i64()).unwrap_or(0);
+                ctx.upsert("counter", Value::from(v + 1));
+                if i == 5 {
+                    return Err(Error::Eval("deliberate bail".into()));
+                }
+                Ok(())
+            }) as TxnFn
+        })
+        .collect();
+    let report = coordinator.run_batch(&txns).unwrap();
+    assert_eq!(report.committed(), 5, "five of six transactions commit");
+    assert_eq!(report.aborted(), 1);
+
+    // The catalog serves one row per finished transaction, with the
+    // batch id, commit/abort state and incarnation count.
+    let rows =
+        cluster.query("SELECT * FROM system:transactions", &QueryOptions::default()).unwrap().rows;
+    assert_eq!(rows.len(), 6, "one catalog row per transaction");
+    let state_of = |row: &Value| {
+        let doc = row.get_field("transactions").cloned().unwrap_or_else(|| row.clone());
+        doc.get_field("state").unwrap().to_json_string()
+    };
+    let committed = rows.iter().filter(|r| state_of(r) == "\"committed\"").count();
+    let aborted = rows.iter().filter(|r| state_of(r) == "\"aborted\"").count();
+    assert_eq!((committed, aborted), (5, 1), "catalog states mirror the report");
+
+    // Coordinator metrics land on the cluster's query registry.
+    let snap = cluster.inner().query_registry().snapshot();
+    assert_eq!(snap.counters.get("txn.batch.commits"), Some(&5));
+    assert_eq!(snap.counters.get("txn.batch.aborts"), Some(&1));
+    assert!(snap.counters.contains_key("txn.batch.re_executions"));
+    let latency = snap.histograms.get("txn.batch.latency").expect("latency histogram");
+    assert!(latency.count() >= 1, "batch latency recorded");
+}
