@@ -47,8 +47,8 @@ pub use measure::{
 pub use plan::{FaultPlan, FaultSpec};
 pub use txnchaos::{run_txn_chaos, txn_key, txn_value, TxnChaosConfig, TxnChaosOutcome};
 pub use workload::{
-    expect_clean, revive_clean, run_chaos, shrink, ChaosConfig, ChaosOutcome, Profile, Schedule,
-    TopoEvent, TopoKind, BUCKET,
+    expect_clean, flight_dump, revive_clean, run_chaos, shrink, write_flight_dump, ChaosConfig,
+    ChaosOutcome, Profile, Schedule, TopoEvent, TopoKind, BUCKET,
 };
 
 /// SplitMix64 finalizer: the one-way mixer behind every seeded decision in

@@ -470,13 +470,46 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let history = rec.finish();
     let mut violations = check_history(&history);
     violations.extend(check_cluster(&cluster, BUCKET, cfg.settle));
+    let mut events: Vec<String> =
+        history.events.iter().map(|e| format!("t={} {}", e.at, e.what)).collect();
+    if !violations.is_empty() {
+        // The checker found a bug: dump the black-box flight recorder so
+        // every chaos repro doubles as a postmortem with a timeline.
+        if let Some(path) = write_flight_dump(&cluster, cfg.seed) {
+            events.push(format!("flight recorder dumped to {}", path.display()));
+        }
+    }
     ChaosOutcome {
         seed: cfg.seed,
         ops_recorded: history.len(),
-        events: history.events.iter().map(|e| format!("t={} {}", e.at, e.what)).collect(),
+        events,
         violations,
         replay: cfg.replay_command(),
     }
+}
+
+/// Render the cluster's flight recorder as a deterministic postmortem
+/// dump. Events carry dense per-service sequence numbers and **no wall
+/// clock**, so two runs that produce the same event sequence (e.g. the
+/// same seed through a deterministic scenario) produce byte-identical
+/// dumps — diffable across repro attempts.
+pub fn flight_dump(cluster: &Arc<Cluster>, seed: u64) -> String {
+    let mut out = format!("# chaos flight recorder · seed={seed}\n");
+    for event in cluster.flight_events() {
+        out.push_str(&event.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write [`flight_dump`] to `target/chaos_flight_<seed>.log`, returning
+/// the path (or `None` if the filesystem refused).
+pub fn write_flight_dump(cluster: &Arc<Cluster>, seed: u64) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("target");
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("chaos_flight_{seed}.log"));
+    std::fs::write(&path, flight_dump(cluster, seed)).ok()?;
+    Some(path)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -34,17 +34,36 @@ pub struct SmartClient {
     cluster: Arc<Cluster>,
     bucket: String,
     map: OrderedRwLock<ClusterMap>,
+    /// Causal trace sink on the `client` lane: every KV op mints (or, when
+    /// an outer entry point such as a transaction already holds one, joins)
+    /// a trace here (DESIGN.md §17).
+    trace: cbs_obs::TraceSink,
 }
 
 impl SmartClient {
     /// Connect to a bucket (fetches the initial map).
     pub fn connect(cluster: Arc<Cluster>, bucket: &str) -> Result<SmartClient> {
         let map = cluster.map(bucket)?;
+        let trace = cbs_obs::TraceSink::new(Arc::clone(cluster.trace_store()), "client");
         Ok(SmartClient {
             cluster,
             bucket: bucket.to_string(),
             map: OrderedRwLock::new(rank::CLIENT_MAP, map),
+            trace,
         })
+    }
+
+    /// Run `f` under a root span (or a child span when an outer entry
+    /// point's context is ambient), marking the trace failed on error.
+    fn traced<T>(&self, name: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let mut guard = self.trace.mint(name);
+        let result = f();
+        if result.is_err() {
+            if let Some(g) = guard.as_mut() {
+                g.fail();
+            }
+        }
+        result
     }
 
     /// The bucket this client talks to.
@@ -115,7 +134,7 @@ impl SmartClient {
     /// KV get (§3.1.1: "only the cluster node hosting the data with that
     /// key will be contacted").
     pub fn get(&self, key: &str) -> Result<GetResult> {
-        self.with_engine(key, |e| e.get(key))
+        self.traced("client.kv.get", || self.with_engine(key, |e| e.get(key)))
     }
 
     /// KV upsert. The value is wrapped in a [`SharedValue`] once up front;
@@ -123,13 +142,21 @@ impl SmartClient {
     /// allocation instead of deep-cloning the document per attempt.
     pub fn upsert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
         let value = value.into();
-        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, 0))
+        self.traced("client.kv.upsert", || {
+            self.with_engine(key, |e| {
+                e.set(key, value.clone(), MutateMode::Upsert, Cas::WILDCARD, 0)
+            })
+        })
     }
 
     /// KV insert (fails on existing key).
     pub fn insert(&self, key: &str, value: impl Into<SharedValue>) -> Result<MutationResult> {
         let value = value.into();
-        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Insert, Cas::WILDCARD, 0))
+        self.traced("client.kv.insert", || {
+            self.with_engine(key, |e| {
+                e.set(key, value.clone(), MutateMode::Insert, Cas::WILDCARD, 0)
+            })
+        })
     }
 
     /// KV replace with optional CAS check.
@@ -140,7 +167,9 @@ impl SmartClient {
         cas: Cas,
     ) -> Result<MutationResult> {
         let value = value.into();
-        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Replace, cas, 0))
+        self.traced("client.kv.replace", || {
+            self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Replace, cas, 0))
+        })
     }
 
     /// CAS-checked upsert.
@@ -151,12 +180,14 @@ impl SmartClient {
         cas: Cas,
     ) -> Result<MutationResult> {
         let value = value.into();
-        self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, cas, 0))
+        self.traced("client.kv.upsert", || {
+            self.with_engine(key, |e| e.set(key, value.clone(), MutateMode::Upsert, cas, 0))
+        })
     }
 
     /// KV delete.
     pub fn remove(&self, key: &str, cas: Cas) -> Result<MutationResult> {
-        self.with_engine(key, |e| e.delete(key, cas))
+        self.traced("client.kv.remove", || self.with_engine(key, |e| e.delete(key, cas)))
     }
 
     /// Upsert with expiry (TTL).
@@ -192,9 +223,16 @@ impl SmartClient {
         durability: Durability,
         timeout: Duration,
     ) -> Result<MutationResult> {
-        let result = self.upsert(key, value)?;
-        self.observe(key, result, durability, timeout)?;
-        Ok(result)
+        // The durable root: the inner upsert and observe join it as child
+        // spans (their mints see this trace's ambient context), so one
+        // durable write reads as a single stitched tree — client set →
+        // engine → replication deliver → replica apply → WAL commit →
+        // durability ack.
+        self.traced("client.kv.durable", || {
+            let result = self.upsert(key, value)?;
+            self.observe(key, result, durability, timeout)?;
+            Ok(result)
+        })
     }
 
     /// Wait (observe-style polling) until a mutation satisfies the given
@@ -206,6 +244,9 @@ impl SmartClient {
         durability: Durability,
         timeout: Duration,
     ) -> Result<()> {
+        // Child when called under upsert_durable's root; an app calling
+        // observe directly gets its own root.
+        let _span = self.trace.mint("client.kv.observe");
         let map = self.map.read().clone();
         let vb = mutation.vb;
         if durability.replicate_to as usize > map.replica_nodes(vb).len() {

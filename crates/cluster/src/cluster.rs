@@ -50,6 +50,13 @@ pub(crate) struct ClusterInner {
     /// Finished-transaction ring (committed/aborted rows from the
     /// `cbs-txn` coordinator), feeding `system:transactions`.
     pub txn_log: Arc<crate::txnlog::TxnLog>,
+    /// The cluster-wide causal trace store (DESIGN.md §17): every node's
+    /// engine, the replication pumps, and the smart clients stitch their
+    /// spans here, keyed by `trace_id`.
+    pub trace_store: Arc<cbs_obs::TraceStore>,
+    /// Cluster-lifecycle flight recorder (failover, rebalance, node
+    /// membership) feeding `system:events` and chaos postmortem dumps.
+    pub events: Arc<cbs_obs::Registry>,
 }
 
 impl ClusterInner {
@@ -92,10 +99,13 @@ impl Cluster {
 
     /// Build a cluster with explicit per-node service sets (MDS, §4.4).
     pub fn with_services(services: Vec<ServiceSet>, cfg: ClusterConfig) -> Arc<Cluster> {
+        let trace_store = cbs_obs::TraceStore::new();
         let nodes: Vec<Arc<Node>> = services
             .into_iter()
             .enumerate()
-            .map(|(i, s)| Arc::new(Node::new(NodeId(i as u32), s, &cfg)))
+            .map(|(i, s)| {
+                Arc::new(Node::new(NodeId(i as u32), s, &cfg).with_trace_store(&trace_store))
+            })
             .collect();
         let next = nodes.len() as u32;
         let query_registry = Arc::new(cbs_obs::Registry::new("n1ql"));
@@ -110,6 +120,8 @@ impl Cluster {
                 request_log: Arc::new(cbs_n1ql::RequestLog::new("n1ql")),
                 plan_cache,
                 txn_log: Arc::new(crate::txnlog::TxnLog::default()),
+                trace_store,
+                events: Arc::new(cbs_obs::Registry::new("cluster")),
             }),
             pumps: OrderedMutex::new(rank::CLUSTER_PUMPS, HashMap::new()),
             next_node_id: AtomicU32::new(next),
@@ -209,6 +221,11 @@ impl Cluster {
     /// Crash a node (failure injection).
     pub fn kill_node(&self, id: NodeId) -> Result<()> {
         self.inner.node(id)?.kill();
+        self.inner.events.record_event_with_help(
+            "cluster.events.node_killed",
+            "a node was crashed (failure injection or hard down)",
+            &[("node", format!("n{}", id.0))],
+        );
         Ok(())
     }
 
@@ -228,6 +245,9 @@ impl Cluster {
         let mut promoted = 0usize;
         let buckets = self.buckets();
         for bucket in buckets {
+            // Flight-recorder rows for this bucket's promotions, recorded
+            // after the maps write guard drops.
+            let mut promotions: Vec<(VbId, NodeId)> = Vec::new();
             // Mutate the installed map in place under the write lock: a
             // clone-mutate-insert here would clobber concurrent updates
             // (a rebalance mover's takeover, another failover) that landed
@@ -268,6 +288,7 @@ impl Cluster {
                         map.replicas[vb.index()].retain(|r| *r != new_active && *r != dead);
                         promoted += 1;
                         changed = true;
+                        promotions.push((vb, new_active));
                     }
                 } else if map.replicas[vb.index()].contains(&dead) {
                     map.replicas[vb.index()].retain(|r| *r != dead);
@@ -277,6 +298,29 @@ impl Cluster {
             if changed {
                 map.epoch += 1;
             }
+            drop(maps);
+            for (vb, new_active) in promotions {
+                self.inner.events.record_event_with_help(
+                    "cluster.events.replica_promotion",
+                    "a replica vBucket was promoted to active during failover",
+                    &[
+                        ("bucket", bucket.clone()),
+                        ("vb", vb.0.to_string()),
+                        ("from", format!("n{}", dead.0)),
+                        ("to", format!("n{}", new_active.0)),
+                    ],
+                );
+            }
+        }
+        // Idempotent re-passes (auto-failover polling an already-removed
+        // node) promote nothing and record nothing, keeping the flight
+        // recorder free of timing-dependent noise.
+        if promoted > 0 {
+            self.inner.events.record_event_with_help(
+                "cluster.events.failover",
+                "a dead node was failed over; its vBuckets were promoted",
+                &[("node", format!("n{}", dead.0)), ("promoted", promoted.to_string())],
+            );
         }
         Ok(promoted)
     }
@@ -337,11 +381,18 @@ impl Cluster {
     /// rebalance).
     pub fn add_node(&self, services: ServiceSet) -> Result<NodeId> {
         let id = NodeId(self.next_node_id.fetch_add(1, Ordering::Relaxed));
-        let node = Arc::new(Node::new(id, services, &self.inner.cfg));
+        let node = Arc::new(
+            Node::new(id, services, &self.inner.cfg).with_trace_store(&self.inner.trace_store),
+        );
         for bucket in self.buckets() {
             node.create_bucket(&bucket)?;
         }
         self.inner.nodes.write().push(node);
+        self.inner.events.record_event_with_help(
+            "cluster.events.node_added",
+            "a fresh node joined the cluster (owns nothing until rebalance)",
+            &[("node", format!("n{}", id.0))],
+        );
         Ok(id)
     }
 
@@ -355,6 +406,17 @@ impl Cluster {
         }
         let result = self.rebalance_inner(exclude);
         self.rebalancing.store(false, Ordering::SeqCst);
+        self.inner.events.record_event_with_help(
+            "cluster.events.rebalance",
+            "a rebalance to the balanced layout finished (ok or failed)",
+            &[
+                (
+                    "excluded",
+                    exclude.iter().map(|n| format!("n{}", n.0)).collect::<Vec<_>>().join("+"),
+                ),
+                ("outcome", if result.is_ok() { "ok".to_string() } else { "failed".to_string() }),
+            ],
+        );
         result
     }
 
@@ -719,6 +781,36 @@ impl Cluster {
         }
     }
 
+    /// The cluster-wide causal trace store: completed span trees stitched
+    /// across client, nodes, replication and the flusher (DESIGN.md §17).
+    pub fn trace_store(&self) -> &Arc<cbs_obs::TraceStore> {
+        &self.inner.trace_store
+    }
+
+    /// The cluster-lifecycle flight recorder registry (`cluster.events.*`).
+    pub fn events_registry(&self) -> &Arc<cbs_obs::Registry> {
+        &self.inner.events
+    }
+
+    /// Every flight-recorder event in the cluster — lifecycle events from
+    /// the cluster manager, the query service (plan-cache invalidations)
+    /// and the txn coordinator, plus any recorded on node engines — sorted
+    /// by (service, seq) for a deterministic postmortem timeline.
+    pub fn flight_events(&self) -> Vec<cbs_obs::EventRec> {
+        let mut evs = self.inner.events.events();
+        evs.extend(self.inner.query_registry.events());
+        evs.extend(self.inner.fts.registry().events());
+        for node in self.nodes() {
+            for bucket in self.buckets() {
+                if let Some(engine) = node.engine_unchecked(&bucket) {
+                    evs.extend(engine.registry().events());
+                }
+            }
+        }
+        evs.sort_by(|a, b| (a.service.as_str(), a.seq).cmp(&(b.service.as_str(), b.seq)));
+        evs
+    }
+
     /// Set the slow-op capture threshold on every registry in the cluster
     /// (`Duration::ZERO` captures every traced operation).
     pub fn set_slow_threshold(&self, threshold: Duration) {
@@ -737,6 +829,9 @@ impl Cluster {
         // Keep the request log's admission threshold in step so "slow"
         // means the same thing in the slow-op ring and the completed ring.
         self.inner.request_log.set_threshold(threshold);
+        // And the causal trace store's retention bar: "slow" traces survive
+        // ring eviction under the same definition.
+        self.inner.trace_store.set_slow_threshold(threshold);
     }
 }
 

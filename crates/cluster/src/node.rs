@@ -40,6 +40,9 @@ pub struct Node {
     flushers: OrderedMutex<Vec<FlusherHandle>>,
     /// GSI manager (index service only).
     index_mgr: Option<Arc<IndexManager>>,
+    /// Causal trace sink on this node's lane (`n<id>`), handed to every
+    /// engine built here so spans stitch across nodes (DESIGN.md §17).
+    trace: Option<cbs_obs::TraceSink>,
     cfg: ClusterConfig,
 }
 
@@ -60,8 +63,21 @@ impl Node {
             view_engines: OrderedRwLock::new(rank::NODE_VIEW_ENGINES, HashMap::new()),
             flushers: OrderedMutex::new(rank::NODE_FLUSHERS, Vec::new()),
             index_mgr,
+            trace: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Attach a causal trace store; engines created afterwards record
+    /// their spans on this node's `n<id>` lane.
+    pub fn with_trace_store(mut self, store: &Arc<cbs_obs::TraceStore>) -> Node {
+        self.trace = Some(cbs_obs::TraceSink::new(Arc::clone(store), &format!("n{}", self.id.0)));
+        self
+    }
+
+    /// This node's causal trace sink, if tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&cbs_obs::TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Node id.
@@ -126,6 +142,7 @@ impl Node {
             fragmentation_threshold: self.cfg.fragmentation_threshold,
             lock_timeout: std::time::Duration::from_secs(15),
             flusher_shards: self.cfg.flusher_shards,
+            trace: self.trace.clone(),
         })
         .and_then(|engine| {
             let flusher = FlusherHandle::spawn(Arc::clone(&engine), self.cfg.flush_interval)?;

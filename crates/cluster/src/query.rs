@@ -35,14 +35,18 @@ pub struct ClusterDatastore {
     phase_primary_scan: Arc<cbs_obs::Histogram>,
     phase_fetch: Arc<cbs_obs::Histogram>,
     phase_run: Arc<cbs_obs::Histogram>,
+    /// Causal trace sink on the `query` lane (DESIGN.md §17).
+    query_trace: cbs_obs::TraceSink,
 }
 
 impl ClusterDatastore {
     /// Create the datastore facade over a cluster.
     pub fn new(cluster: Arc<Cluster>) -> ClusterDatastore {
         let registry = Arc::clone(cluster.query_registry());
+        let query_trace = cbs_obs::TraceSink::new(Arc::clone(cluster.trace_store()), "query");
         ClusterDatastore {
             cluster,
+            query_trace,
             clients: OrderedRwLock::new(rank::QUERY_CLIENTS, Vec::new()),
             stats_cache: StatsCache::new(),
             requests: registry.counter_with_help("n1ql.query.requests", "N1QL statements received"),
@@ -89,10 +93,18 @@ impl ClusterDatastore {
         self.requests.inc();
         let _timer = self.latency.timer();
         let _trace = self.cluster.query_registry().trace("n1ql.query.execute");
+        // Causal root on the query lane: KV fetches/mutations issued by the
+        // executor (through the smart clients) join as child spans.
+        let mut causal = self.query_trace.mint("n1ql.query.request");
         let result = cbs_n1ql::query(self, statement, opts);
         match &result {
             Ok(r) => self.record_phases(&r.phases),
-            Err(_) => self.errors.inc(),
+            Err(_) => {
+                self.errors.inc();
+                if let Some(g) = causal.as_mut() {
+                    g.fail();
+                }
+            }
         }
         result
     }
@@ -373,6 +385,60 @@ impl Datastore for ClusterDatastore {
                         ]),
                     ));
                 }
+                Ok(rows)
+            }
+            "system:completed_traces" => {
+                // Stitched causal traces (live root-done slots + the
+                // completed ring), one row per trace.
+                let rows = self
+                    .cluster
+                    .trace_store()
+                    .completed_traces()
+                    .into_iter()
+                    .map(|t| {
+                        let lanes: Vec<Value> =
+                            t.lanes().into_iter().map(|l| Value::from(l.as_ref())).collect();
+                        (
+                            format!("t{}", t.trace_id),
+                            Value::object([
+                                ("traceId", Value::from(t.trace_id)),
+                                ("root", Value::from(t.root_name)),
+                                ("totalUs", Value::from(t.total.as_micros() as u64)),
+                                ("spans", Value::from(t.spans.len())),
+                                ("lanes", Value::Array(lanes)),
+                                ("failed", Value::Bool(t.failed)),
+                                ("droppedSpans", Value::from(u64::from(t.dropped_spans))),
+                            ]),
+                        )
+                    })
+                    .collect();
+                Ok(rows)
+            }
+            "system:events" => {
+                // The flight recorder: cluster lifecycle + query/txn
+                // events, ordered by (service, seq).
+                let rows = self
+                    .cluster
+                    .flight_events()
+                    .into_iter()
+                    .map(|e| {
+                        let attrs = Value::object(
+                            e.attrs
+                                .iter()
+                                .map(|(k, v)| (*k, Value::from(v.as_str())))
+                                .collect::<Vec<_>>(),
+                        );
+                        (
+                            format!("{}#{}", e.service, e.seq),
+                            Value::object([
+                                ("service", Value::from(e.service.as_str())),
+                                ("seq", Value::from(e.seq)),
+                                ("event", Value::from(e.name)),
+                                ("attrs", attrs),
+                            ]),
+                        )
+                    })
+                    .collect();
                 Ok(rows)
             }
             other => Err(Error::Plan(format!("no such keyspace: {other}"))),

@@ -174,6 +174,16 @@ fn pump_loop(bucket: &str, topology: TopologyFn, stop: Arc<AtomicBool>, lag: &Re
                             }
                             None => FaultAction::Deliver,
                         };
+                        // Stitch the originating op's trace across the pump
+                        // thread: the deliver span covers injected faults
+                        // plus the replica apply, which nests its own span
+                        // under this one via the ambient context.
+                        let _deliver = match (item.trace, dst.trace_sink()) {
+                            (Some(ctx), Some(sink)) => {
+                                Some(sink.child_of(ctx, "cluster.replication.deliver"))
+                            }
+                            _ => None,
+                        };
                         match action {
                             FaultAction::Deliver => {
                                 let _ = dst.apply_replica(&item);

@@ -2,6 +2,7 @@
 
 use cbs_common::{DocMeta, VbId};
 use cbs_json::SharedValue;
+use cbs_obs::TraceContext;
 
 /// What kind of change an item carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,11 @@ pub struct DcpItem {
     pub kind: DcpKind,
     /// Document body; `None` for deletions/expirations.
     pub value: Option<SharedValue>,
+    /// Causal trace context of the originating client operation, carried
+    /// across the stream so consumers (replication, indexing) can attach
+    /// their spans to the same trace (DESIGN.md §17). `None` when the
+    /// originating op was unsampled or untraced.
+    pub trace: Option<TraceContext>,
 }
 
 impl DcpItem {
@@ -41,12 +47,19 @@ impl DcpItem {
         meta: DocMeta,
         value: impl Into<SharedValue>,
     ) -> DcpItem {
-        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Mutation, value: Some(value.into()) }
+        DcpItem {
+            vb,
+            key: key.into(),
+            meta,
+            kind: DcpKind::Mutation,
+            value: Some(value.into()),
+            trace: None,
+        }
     }
 
     /// Convenience: construct a deletion item.
     pub fn deletion(vb: VbId, key: impl Into<String>, meta: DocMeta) -> DcpItem {
-        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Deletion, value: None }
+        DcpItem { vb, key: key.into(), meta, kind: DcpKind::Deletion, value: None, trace: None }
     }
 
     /// True for deletion-like kinds.

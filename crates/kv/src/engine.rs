@@ -11,13 +11,18 @@ use cbs_common::sync::{rank, OrderedMutex};
 use cbs_common::{vbucket_for_key, Cas, CasClock, DocMeta, Error, Result, RevNo, SeqNo, VbId};
 use cbs_dcp::{BackfillSource, DcpHub, DcpItem, DcpKind, DcpStream};
 use cbs_json::{SharedValue, Value};
-use cbs_obs::{span, Gauge, Registry};
+use cbs_obs::{span, Gauge, Registry, TraceContext};
 use cbs_storage::{BucketStore, GroupCommitWal, StoredDoc};
 use parking_lot::Condvar;
 
 use crate::now_secs;
 use crate::stats::EngineStats;
 use crate::types::{Document, EngineConfig, GetResult, MutateMode, MutationResult, VbState};
+
+/// One vBucket's snapshotted dirty queue: the keys drained this cycle plus
+/// the trace contexts attached to them, kept around so a failed commit can
+/// re-enqueue both.
+type DirtySnapshot = (VbId, Vec<Arc<str>>, HashMap<Arc<str>, TraceContext>);
 
 /// Per-vBucket mutable state, guarded by one mutex per vBucket. The mutex
 /// also serializes the write path (seqno assignment → cache → dirty queue →
@@ -38,6 +43,10 @@ struct VbMeta {
 struct DirtyQueue {
     keys: Vec<Arc<str>>,
     queued: std::collections::HashSet<Arc<str>>,
+    /// Causal trace contexts of queued writes (DESIGN.md §17): the flusher
+    /// records a `kv.flusher.wal_commit` span against each at the group
+    /// commit that persists the key. Only traced writes pay the entry.
+    ctxs: HashMap<Arc<str>, TraceContext>,
 }
 
 impl DirtyQueue {
@@ -59,9 +68,17 @@ impl DirtyQueue {
         true
     }
 
-    fn take(&mut self) -> Vec<Arc<str>> {
+    /// Remember the trace that last dirtied `key` (latest write wins, which
+    /// matches de-duplication: the retained version is the newest).
+    fn attach_ctx(&mut self, key: &str, ctx: TraceContext) {
+        if let Some(shared) = self.queued.get(key) {
+            self.ctxs.insert(Arc::clone(shared), ctx);
+        }
+    }
+
+    fn take(&mut self) -> (Vec<Arc<str>>, HashMap<Arc<str>, TraceContext>) {
         self.queued.clear();
-        std::mem::take(&mut self.keys)
+        (std::mem::take(&mut self.keys), std::mem::take(&mut self.ctxs))
     }
 }
 
@@ -201,6 +218,13 @@ impl DataEngine {
         &self.hub
     }
 
+    /// This engine's causal trace sink (`None` when tracing is disabled).
+    /// Cross-boundary consumers — the replication pump, the txn drain —
+    /// use it to attach their spans to an in-flight trace (DESIGN.md §17).
+    pub fn trace_sink(&self) -> Option<&cbs_obs::TraceSink> {
+        self.cfg.trace.as_ref()
+    }
+
     /// Open a DCP stream over one vBucket, backfilled from this engine.
     pub fn open_dcp_stream(&self, vb: VbId, since: SeqNo) -> Result<DcpStream> {
         self.hub.open_stream(vb, since, self)
@@ -278,7 +302,7 @@ impl DataEngine {
         self.set_vb_state(vb, VbState::Dead);
         self.cache.clear_vb(vb);
         let shard = self.shard_for(vb);
-        let dropped = self.dirty[vb.index()].lock().take().len() as u64;
+        let dropped = self.dirty[vb.index()].lock().take().0.len() as u64;
         self.shards[shard].dirty_count.sub(dropped);
         // Checkpoint first: the shard's WAL may still hold records for this
         // vBucket, and a replay after restart must not resurrect it.
@@ -393,6 +417,10 @@ impl DataEngine {
         // One shared allocation serves the cache, the DCP item, and every
         // subscriber — the zero-copy write path.
         let _trace = self.registry.trace("kv.engine.set");
+        // Causal child span under the caller's ambient context (None when
+        // the op is untraced — the common case costs one TLS read).
+        let causal = self.cfg.trace.as_ref().and_then(|s| s.child("kv.engine.set"));
+        let ctx = causal.as_ref().map(|g| g.ctx());
         let start = Instant::now();
         let value: SharedValue = value.into();
         let vb = self.vb_for_key(key);
@@ -423,9 +451,11 @@ impl DataEngine {
         let new_meta =
             DocMeta { seqno, cas: self.clock.next(), rev: prev_rev.next(), flags: 0, expiry };
         self.cache.set(vb, key, new_meta, value.clone(), true)?;
-        self.enqueue_dirty(vb, key);
+        self.enqueue_dirty_traced(vb, key, ctx);
         meta.locks.remove(key);
-        self.hub.publish(&DcpItem::mutation(vb, key, new_meta, value));
+        let mut item = DcpItem::mutation(vb, key, new_meta, value);
+        item.trace = ctx;
+        self.hub.publish(&item);
 
         drop(meta);
         self.stats.sets.inc();
@@ -435,6 +465,8 @@ impl DataEngine {
 
     /// Delete a document (CAS-checked like [`DataEngine::set`]).
     pub fn delete(&self, key: &str, cas_check: Cas) -> Result<MutationResult> {
+        let causal = self.cfg.trace.as_ref().and_then(|s| s.child("kv.engine.delete"));
+        let ctx = causal.as_ref().map(|g| g.ctx());
         let vb = self.vb_for_key(key);
         let mut meta = self.vbs[vb.index()].lock();
         if meta.state != VbState::Active {
@@ -454,9 +486,11 @@ impl DataEngine {
         let new_meta =
             DocMeta { seqno, cas: self.clock.next(), rev: prev.rev.next(), flags: 0, expiry: 0 };
         self.cache.delete(vb, key, new_meta, true)?;
-        self.enqueue_dirty(vb, key);
+        self.enqueue_dirty_traced(vb, key, ctx);
         meta.locks.remove(key);
-        self.hub.publish(&DcpItem::deletion(vb, key, new_meta));
+        let mut item = DcpItem::deletion(vb, key, new_meta);
+        item.trace = ctx;
+        self.hub.publish(&item);
         drop(meta);
         self.stats.deletes.inc();
         Ok(MutationResult { vb, seqno, cas: new_meta.cas })
@@ -541,6 +575,7 @@ impl DataEngine {
                 meta: new_meta,
                 kind: DcpKind::Expiration,
                 value: None,
+                trace: None,
             });
             self.stats.expirations.inc();
         }
@@ -554,6 +589,16 @@ impl DataEngine {
     /// preserving the active copy's metadata (seqno, CAS, rev).
     pub fn apply_replica(&self, item: &DcpItem) -> Result<()> {
         let _s = span("kv.engine.apply_replica");
+        // Stitch onto the originating client op's trace: prefer the
+        // delivering thread's ambient span (the pump's
+        // `cluster.replication.deliver` guard) so the apply nests under
+        // the hop that carried it, falling back to the context shipped on
+        // the DCP item for callers that didn't open one.
+        let causal = match (cbs_obs::current_context().or(item.trace), &self.cfg.trace) {
+            (Some(ctx), Some(sink)) => Some(sink.child_of(ctx, "kv.engine.replica_apply")),
+            _ => None,
+        };
+        let ctx = causal.as_ref().map(|g| g.ctx());
         let vb = item.vb;
         let meta = self.vbs[vb.index()].lock();
         if !matches!(meta.state, VbState::Replica | VbState::Pending) {
@@ -582,7 +627,7 @@ impl DataEngine {
             )?;
         }
         self.high_seqnos[vb.index()].fetch_max(item.meta.seqno.0, Ordering::SeqCst);
-        self.enqueue_dirty(vb, &item.key);
+        self.enqueue_dirty_traced(vb, &item.key, ctx);
         drop(meta);
         self.stats.replica_applies.inc();
         Ok(())
@@ -669,7 +714,19 @@ impl DataEngine {
     }
 
     fn enqueue_dirty(&self, vb: VbId, key: &str) {
-        if self.dirty[vb.index()].lock().enqueue(key) {
+        self.enqueue_dirty_traced(vb, key, None);
+    }
+
+    fn enqueue_dirty_traced(&self, vb: VbId, key: &str, ctx: Option<TraceContext>) {
+        let fresh = {
+            let mut queue = self.dirty[vb.index()].lock();
+            let fresh = queue.enqueue(key);
+            if let Some(ctx) = ctx {
+                queue.attach_ctx(key, ctx);
+            }
+            fresh
+        };
+        if fresh {
             let shard = &self.shards[self.shard_for(vb)];
             shard.dirty_count.add(1);
             // Bump the generation under the lock, so a flusher thread that
@@ -746,14 +803,17 @@ impl DataEngine {
         // and a late append of the purged vBucket's records.
         let _flush = sh.flush_lock.lock();
         let mut cycle: Vec<(VbId, Vec<StoredDoc>, SeqNo)> = Vec::new();
-        let mut snapshots: Vec<(VbId, Vec<Arc<str>>)> = Vec::new();
+        let mut snapshots: Vec<DirtySnapshot> = Vec::new();
+        // Trace contexts persisted by this cycle: each gets one
+        // `kv.flusher.wal_commit` span covering the group commit.
+        let mut traced: Vec<TraceContext> = Vec::new();
         for &vb in &sh.vbs {
             // Snapshot the queue and the high seqno atomically w.r.t.
             // writers (both sides take the vb mutex).
-            let (keys, high) = {
+            let (keys, ctxs, high) = {
                 let _meta = self.vbs[vb.index()].lock();
-                let keys = self.dirty[vb.index()].lock().take();
-                (keys, self.high_seqno(vb))
+                let (keys, ctxs) = self.dirty[vb.index()].lock().take();
+                (keys, ctxs, self.high_seqno(vb))
             };
             if keys.is_empty() {
                 continue;
@@ -770,6 +830,9 @@ impl DataEngine {
                         (Some(v), false) => Bytes::from(v.to_json_string()),
                         (None, false) => continue, // evicted ⇒ already clean
                     };
+                    if let Some(ctx) = ctxs.get(&**key) {
+                        traced.push(*ctx);
+                    }
                     batch.push(StoredDoc {
                         key: key.to_string(),
                         meta,
@@ -782,11 +845,12 @@ impl DataEngine {
             // order even with de-duplicated, map-ordered drains.
             batch.sort_by_key(|d| d.meta.seqno);
             cycle.push((vb, batch, high));
-            snapshots.push((vb, keys));
+            snapshots.push((vb, keys, ctxs));
         }
 
         let mut persisted = 0u64;
         if !cycle.is_empty() {
+            let commit_start = (self.cfg.trace.is_some() && !traced.is_empty()).then(Instant::now);
             // lint:allow(guard-blocking): the flush-cycle lock exists to
             // cover exactly this WAL append + fsync + store write; drains
             // and checkpoints serialize on it by design (DESIGN.md §9).
@@ -797,16 +861,25 @@ impl DataEngine {
                 // stranded dirty-but-unqueued, which would hang
                 // `wait_persisted` callers forever.
                 let mut restored = 0u64;
-                for (vb, keys) in snapshots {
+                for (vb, keys, ctxs) in snapshots {
                     let mut queue = self.dirty[vb.index()].lock();
                     for key in keys {
                         if queue.enqueue_shared(key) {
                             restored += 1;
                         }
                     }
+                    for (key, ctx) in ctxs {
+                        queue.attach_ctx(&key, ctx);
+                    }
                 }
                 sh.dirty_count.add(restored);
                 return Err(e);
+            }
+            if let (Some(sink), Some(start)) = (&self.cfg.trace, commit_start) {
+                let end = Instant::now();
+                for ctx in &traced {
+                    sink.record_span(*ctx, "kv.flusher.wal_commit", start, end);
+                }
             }
             for (vb, batch, high) in &cycle {
                 for doc in batch {

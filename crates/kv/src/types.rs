@@ -103,6 +103,10 @@ pub struct EngineConfig {
     /// group-commits its drain cycles with one fsync. Clamped to
     /// `1..=num_vbuckets`.
     pub flusher_shards: usize,
+    /// Causal trace sink for this engine's node lane (DESIGN.md §17).
+    /// `None` disables cross-boundary tracing; span recording then costs
+    /// one `Option` check.
+    pub trace: Option<cbs_obs::TraceSink>,
 }
 
 impl EngineConfig {
@@ -116,6 +120,7 @@ impl EngineConfig {
             fragmentation_threshold: 0.6,
             lock_timeout: std::time::Duration::from_secs(15),
             flusher_shards: 4,
+            trace: None,
         }
     }
 }

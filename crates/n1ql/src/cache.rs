@@ -103,8 +103,10 @@ pub struct PlanCache {
     misses: Arc<Counter>,
     invalidations: Arc<Counter>,
     entries_gauge: Arc<Gauge>,
-    /// Keeps a standalone registry alive when the cache owns its metrics.
-    _registry: Option<Arc<Registry>>,
+    /// The registry hosting this cache's metrics — also its flight
+    /// recorder: epoch bumps land as `n1ql.events.plancache_invalidation`
+    /// rows (DESIGN.md §17).
+    registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -122,16 +124,13 @@ impl Default for PlanCache {
 impl PlanCache {
     /// A cache owning its own metrics registry (tests, MemoryDatastore).
     pub fn new() -> PlanCache {
-        let registry = Arc::new(Registry::new("n1ql"));
-        let mut cache = PlanCache::with_registry(&registry);
-        cache._registry = Some(registry);
-        cache
+        PlanCache::with_registry(&Arc::new(Registry::new("n1ql")))
     }
 
     /// A cache registering its `n1ql.plancache.*` metrics on an existing
     /// registry (the cluster's query registry, so they surface in
     /// `ClusterStats` and cbstats).
-    pub fn with_registry(registry: &Registry) -> PlanCache {
+    pub fn with_registry(registry: &Arc<Registry>) -> PlanCache {
         PlanCache {
             shards: (0..SHARDS)
                 .map(|_| OrderedMutex::new(rank::N1QL_PLAN_SHARD, HashMap::new()))
@@ -148,7 +147,7 @@ impl PlanCache {
             ),
             entries_gauge: registry
                 .gauge_with_help("n1ql.plancache.entries", "plans currently cached"),
-            _registry: None,
+            registry: Arc::clone(registry),
         }
     }
 
@@ -189,6 +188,12 @@ impl PlanCache {
         if evicted > 0 {
             self.invalidations.add(evicted);
         }
+        // Flight-recorder row: epoch bumps are rare lifecycle events (DDL,
+        // bucket create/flush) an operator wants on the postmortem timeline.
+        self.registry.record_event(
+            "n1ql.events.plancache_invalidation",
+            &[("keyspace", keyspace.to_string()), ("evicted", evicted.to_string())],
+        );
         self.update_entries_gauge();
     }
 

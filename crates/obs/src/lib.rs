@@ -16,12 +16,20 @@
 //! - [`WindowedHistogram`] — ring of mergeable sub-window histograms
 //!   rotated by a logical/injected clock, answering "what is the
 //!   distribution *right now*" ([`window`]).
+//! - [`TraceStore`] / [`TraceContext`] — Dapper-style causal tracing: a
+//!   context minted at entry points, carried across thread and service
+//!   boundaries, stitched back into one bounded span tree per operation
+//!   ([`store`]).
+//! - [`Registry::record_event`] — the black-box flight recorder: bounded
+//!   per-service rings of structured, timestamp-free lifecycle events
+//!   ([`registry`]).
 //! - [`PrometheusText`] — text exposition over any set of snapshots
 //!   ([`fmt`]).
 
 pub mod fmt;
 pub mod metrics;
 pub mod registry;
+pub mod store;
 pub mod trace;
 pub mod window;
 
@@ -29,6 +37,13 @@ pub use fmt::PrometheusText;
 pub use metrics::{
     bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, NUM_BUCKETS,
 };
-pub use registry::{default_slow_threshold, is_valid_metric_name, Registry, RegistrySnapshot};
+pub use registry::{
+    default_slow_threshold, is_valid_metric_name, EventRec, Registry, RegistrySnapshot,
+    MAX_RETAINED_DEPTH, MAX_RETAINED_SPANS,
+};
+pub use store::{
+    chrome_trace_json, current_context, CompletedTrace, SpanHandle, SpanRec, TraceContext,
+    TraceSink, TraceStore, MAX_SPANS_PER_TRACE,
+};
 pub use trace::{capture, span, Capture, SlowOp, SpanGuard, SpanNode, TraceGuard};
 pub use window::{WindowedHistogram, WindowedSnapshot, WINDOW_SLOTS};

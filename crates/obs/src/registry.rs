@@ -26,6 +26,19 @@ use crate::window::{WindowedHistogram, WindowedSnapshot};
 /// Slow operations retained per registry (oldest evicted first).
 const SLOW_RING_CAP: usize = 64;
 
+/// Spans retained per slow op. A pathological trace (a scan that spans
+/// every vBucket, a runaway retry loop) is clamped to this many spans
+/// before it enters the ring, so `SLOW_RING_CAP` bounds real memory.
+pub const MAX_RETAINED_SPANS: usize = 128;
+
+/// Maximum span depth retained per slow op; deeper spans are dropped
+/// (pre-order stays consistent — a dropped span's children are deeper
+/// still, so they are dropped with it).
+pub const MAX_RETAINED_DEPTH: u16 = 16;
+
+/// Flight-recorder events retained per registry (oldest evicted first).
+const EVENT_RING_CAP: usize = 256;
+
 /// Default slow-op threshold. Operations whose root span runs at least this
 /// long have their full span tree captured.
 const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(100);
@@ -78,6 +91,8 @@ pub struct Registry {
     help: RwLock<BTreeMap<String, String>>,
     slow_threshold_nanos: AtomicU64,
     slow_ring: Mutex<VecDeque<SlowOp>>,
+    event_seq: AtomicU64,
+    events: Mutex<VecDeque<EventRec>>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -103,6 +118,8 @@ impl Registry {
                 default_slow_threshold().as_nanos().min(u64::MAX as u128) as u64,
             ),
             slow_ring: Mutex::new(VecDeque::new()),
+            event_seq: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -236,8 +253,16 @@ impl Registry {
             .store(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
     }
 
-    /// Record a finished slow operation (called by the tracer).
-    pub(crate) fn record_slow(&self, op: SlowOp) {
+    /// Record a finished slow operation (called by the tracer). The span
+    /// tree is clamped to [`MAX_RETAINED_SPANS`] spans no deeper than
+    /// [`MAX_RETAINED_DEPTH`] before it is retained, so one pathological
+    /// trace can't pin unbounded memory in the ring; clamped ops carry a
+    /// truncation marker.
+    pub(crate) fn record_slow(&self, mut op: SlowOp) {
+        let before = op.spans.len();
+        op.spans.retain(|s| s.depth <= MAX_RETAINED_DEPTH);
+        op.spans.truncate(MAX_RETAINED_SPANS);
+        op.truncated |= op.spans.len() < before;
         let mut ring = self.slow_ring.lock();
         if ring.len() >= SLOW_RING_CAP {
             ring.pop_front();
@@ -248,6 +273,81 @@ impl Registry {
     /// The retained slow operations, oldest first.
     pub fn slow_ops(&self) -> Vec<SlowOp> {
         self.slow_ring.lock().iter().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Flight recorder (DESIGN.md §17)
+    // ------------------------------------------------------------------
+
+    /// Record a structured lifecycle event (failover, rebalance,
+    /// plan-cache invalidation, txn abort, …) into this registry's bounded
+    /// flight-recorder ring. Events carry a per-registry sequence number
+    /// and **no wall-clock timestamp** — a seeded run records the same
+    /// event stream every time, so a chaos failure dump is byte-identical
+    /// per seed.
+    ///
+    /// # Panics
+    /// If `name` violates the `service.component.event` naming convention.
+    pub fn record_event(&self, name: &'static str, attrs: &[(&'static str, String)]) {
+        assert_valid_name(name);
+        let rec = EventRec {
+            service: self.service.clone(),
+            seq: self.event_seq.fetch_add(1, Ordering::Relaxed),
+            name,
+            attrs: attrs.to_vec(),
+        };
+        let mut ring = self.events.lock();
+        if ring.len() >= EVENT_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    /// [`Registry::record_event`] plus a `# HELP` description in one call
+    /// (required for the `cluster.events.*` / `obs.trace.*` families —
+    /// the `obs-naming` lint enforces it).
+    pub fn record_event_with_help(
+        &self,
+        name: &'static str,
+        help: &str,
+        attrs: &[(&'static str, String)],
+    ) {
+        self.describe(name, help);
+        self.record_event(name, attrs);
+    }
+
+    /// The retained flight-recorder events, oldest first.
+    pub fn events(&self) -> Vec<EventRec> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+/// One flight-recorder event: what happened, in which service, in what
+/// order. Deliberately timestamp-free — ordering within a service is the
+/// sequence number, and deterministic runs must produce deterministic
+/// event streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRec {
+    /// Service label of the recording registry.
+    pub service: String,
+    /// Per-registry sequence number (dense from 0, survives ring
+    /// eviction — a gap means events were evicted).
+    pub seq: u64,
+    /// Event name (`service.component.event`).
+    pub name: &'static str,
+    /// Structured attributes, in recording order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl EventRec {
+    /// One-line render: `service #seq name key=value …` (the dump format
+    /// the chaos flight recorder writes).
+    pub fn render(&self) -> String {
+        let mut s = format!("{:<10} #{:<4} {}", self.service, self.seq, self.name);
+        for (k, v) in &self.attrs {
+            s.push_str(&format!(" {k}={v}"));
+        }
+        s
     }
 }
 
@@ -406,6 +506,91 @@ mod tests {
         m.merge(&b.snapshot());
         assert_eq!(m.help.get("kv.engine.gets").map(String::as_str), Some("point reads"));
         assert_eq!(m.help.get("kv.engine.sets").map(String::as_str), Some("point writes"));
+    }
+
+    #[test]
+    fn slow_op_span_trees_are_clamped_and_marked() {
+        use crate::trace::SpanNode;
+        let r = Registry::new("kv");
+        // A pathological trace: 1 root + 400 children, some deeper than
+        // the retention cap.
+        let mut spans = vec![SpanNode {
+            name: "kv.engine.scan",
+            depth: 0,
+            offset: Duration::ZERO,
+            duration: Duration::from_millis(50),
+        }];
+        for i in 0..400u16 {
+            spans.push(SpanNode {
+                name: "kv.engine.get",
+                depth: 1 + (i % 40),
+                offset: Duration::from_micros(u64::from(i)),
+                duration: Duration::from_micros(1),
+            });
+        }
+        r.record_slow(SlowOp {
+            service: "kv".to_string(),
+            total: Duration::from_millis(50),
+            spans,
+            truncated: false,
+        });
+        let ops = r.slow_ops();
+        assert_eq!(ops.len(), 1);
+        let op = &ops[0];
+        assert!(op.truncated, "clamping must be visible");
+        assert!(op.spans.len() <= MAX_RETAINED_SPANS);
+        assert!(op.spans.iter().all(|s| s.depth <= MAX_RETAINED_DEPTH));
+        assert!(op.render().contains("truncated"), "render flags the cut:\n{}", op.render());
+
+        // A small op passes through untouched and unflagged.
+        r.record_slow(SlowOp {
+            service: "kv".to_string(),
+            total: Duration::from_millis(1),
+            spans: vec![SpanNode {
+                name: "kv.engine.get",
+                depth: 0,
+                offset: Duration::ZERO,
+                duration: Duration::from_millis(1),
+            }],
+            truncated: false,
+        });
+        let ops = r.slow_ops();
+        assert!(!ops[1].truncated);
+        assert_eq!(ops[1].spans.len(), 1);
+    }
+
+    #[test]
+    fn flight_recorder_ring_orders_caps_and_renders() {
+        let r = Registry::new("cluster");
+        r.record_event_with_help(
+            "cluster.events.failover",
+            "a node was failed over",
+            &[("node", "n1".to_string())],
+        );
+        r.record_event("cluster.events.rebalance", &[]);
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[0].name, "cluster.events.failover");
+        assert!(evs[0].render().contains("node=n1"));
+        assert_eq!(
+            r.snapshot().help.get("cluster.events.failover").map(String::as_str),
+            Some("a node was failed over")
+        );
+        // The ring is bounded: old events evict, seq numbers keep climbing.
+        for _ in 0..600 {
+            r.record_event("cluster.events.rebalance", &[]);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), EVENT_RING_CAP);
+        assert_eq!(evs.last().unwrap().seq, 601);
+    }
+
+    #[test]
+    #[should_panic(expected = "naming convention")]
+    fn bad_event_name_panics() {
+        Registry::new("t").record_event("notdotted", &[]);
     }
 
     #[test]

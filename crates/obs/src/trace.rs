@@ -49,6 +49,10 @@ pub struct SlowOp {
     pub total: Duration,
     /// The span tree, pre-order; `spans[0]` is the root.
     pub spans: Vec<SpanNode>,
+    /// True if the retained tree was clamped by the registry's span-count
+    /// / depth caps ([`crate::registry::MAX_RETAINED_SPANS`],
+    /// [`crate::registry::MAX_RETAINED_DEPTH`]).
+    pub truncated: bool,
 }
 
 impl SlowOp {
@@ -83,6 +87,9 @@ impl SlowOp {
                     "", s.name, s.offset, s.duration
                 );
             }
+        }
+        if self.truncated {
+            let _ = writeln!(out, "  … span tree truncated at the retention cap");
         }
         out
     }
@@ -264,6 +271,7 @@ impl Drop for TraceGuard {
                 service: registry.service().to_string(),
                 total,
                 spans: buf.spans,
+                truncated: false,
             });
         } else {
             buf.spans.clear();
@@ -440,6 +448,9 @@ mod tests {
         }
         let ops = r.slow_ops();
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].spans.len(), MAX_SPANS);
+        // The in-flight buffer caps at MAX_SPANS; the retention clamp then
+        // bounds what the ring actually pins (DESIGN.md §17).
+        assert_eq!(ops[0].spans.len(), crate::registry::MAX_RETAINED_SPANS);
+        assert!(ops[0].truncated);
     }
 }

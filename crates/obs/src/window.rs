@@ -217,6 +217,67 @@ mod tests {
     }
 
     #[test]
+    fn advance_to_equal_epoch_keeps_every_window() {
+        let w = WindowedHistogram::new();
+        w.record_nanos(10);
+        w.advance_to(2);
+        w.record_nanos(20);
+        let before = w.windowed_snapshot();
+        // Re-announcing the current epoch must not panic, rotate, or clear
+        // any live window — the driving clock may legitimately tick twice
+        // with the same logical time.
+        w.advance_to(2);
+        let after = w.windowed_snapshot();
+        assert_eq!(after.epoch, 2);
+        assert_eq!(after.windows, before.windows);
+        assert_eq!(after.merged.count(), before.merged.count());
+        // And the current window still accepts samples afterwards.
+        w.record_nanos(30);
+        assert_eq!(w.windowed_snapshot().merged.count(), 3);
+    }
+
+    #[test]
+    fn advance_to_backwards_epoch_is_a_lossless_noop() {
+        let w = WindowedHistogram::new();
+        w.advance_to(10);
+        w.record_nanos(100);
+        w.advance_to(11);
+        w.record_nanos(200);
+        let before = w.windowed_snapshot();
+        for stale in [0, 5, 10] {
+            w.advance_to(stale);
+        }
+        let after = w.windowed_snapshot();
+        assert_eq!(after.epoch, 11, "clock never moves backwards");
+        assert_eq!(after.merged.count(), before.merged.count(), "no window lost");
+        assert_eq!(after.windows, before.windows);
+    }
+
+    #[test]
+    fn percentiles_at_empty_window_edges() {
+        let w = WindowedHistogram::new();
+        // All windows empty: every percentile is None, not a panic or zero.
+        let empty = w.windowed_snapshot();
+        assert_eq!(empty.merged.percentile(0.0), None);
+        assert_eq!(empty.merged.percentile(50.0), None);
+        assert_eq!(empty.merged.percentile(100.0), None);
+        // One live-but-empty window beside one populated window: the empty
+        // window contributes to the window count but not the distribution,
+        // and edge percentiles interpolate within the observed range.
+        w.record_nanos(1_000);
+        w.record_nanos(3_000);
+        w.advance_to(1); // epoch 1 stays empty
+        let s = w.windowed_snapshot();
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.merged.count(), 2);
+        let p0 = s.merged.percentile(0.0).unwrap();
+        let p100 = s.merged.percentile(100.0).unwrap();
+        let max = std::time::Duration::from_nanos(3_000);
+        assert!(p0 >= std::time::Duration::from_nanos(1) && p0 <= max, "p0 within observed range");
+        assert!(p100 >= p0 && p100 <= max, "p100 clamped to observed max");
+    }
+
+    #[test]
     fn slot_reuse_does_not_resurrect_samples() {
         let w = WindowedHistogram::new();
         w.record_nanos(42);

@@ -104,6 +104,11 @@ impl TxnClient {
     /// battery's teeth test demonstrates the checker catches one).
     pub fn run_batch(&self, txns: &[TxnFn]) -> Result<BatchReport> {
         let _timer = self.latency.timer();
+        // Causal root on the txn lane: the drain's client upserts (and
+        // everything downstream — engine, replication, WAL) join this
+        // trace as child spans.
+        let txn_trace = cbs_obs::TraceSink::new(Arc::clone(self.cluster.trace_store()), "txn");
+        let mut causal = txn_trace.mint("txn.batch.run");
         let client = &self.client;
         let reader = |key: &str| match client.get(key) {
             Ok(r) => Ok(Some(r.value)),
@@ -132,6 +137,26 @@ impl TxnClient {
         self.commits.add(report.committed() as u64);
         self.aborts.add(report.aborted() as u64);
         self.re_executions.add(report.re_executions);
+        // Flight-recorder rows: aborts and conflict-driven re-executions
+        // are the lifecycle events a postmortem timeline wants.
+        let registry = self.cluster.query_registry();
+        for (index, outcome) in report.outcomes.iter().enumerate() {
+            if let TxnOutcome::Aborted(reason) = outcome {
+                if let Some(g) = causal.as_mut() {
+                    g.fail();
+                }
+                registry.record_event(
+                    "txn.events.abort",
+                    &[("txn", index.to_string()), ("reason", format!("{reason:?}"))],
+                );
+            }
+        }
+        if report.re_executions > 0 {
+            registry.record_event(
+                "txn.events.re_execution",
+                &[("count", report.re_executions.to_string())],
+            );
+        }
         let log = self.cluster.txn_log();
         let batch = log.next_batch_id();
         for (index, outcome) in report.outcomes.iter().enumerate() {

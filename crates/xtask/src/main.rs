@@ -7,6 +7,7 @@
 //! cargo xtask analyze            # lock-order / guard-blocking / raw-lock analysis
 //! cargo xtask analyze --json     # findings as JSON
 //! cargo xtask analyze --sarif P  # also write a SARIF 2.1.0 report to P
+//! cargo xtask validate-trace F   # structurally validate a Chrome trace export
 //! cargo xtask <cmd> --root P     # run against a tree other than the enclosing repo
 //! ```
 //!
@@ -17,6 +18,7 @@ mod analyze;
 mod census;
 mod rules;
 mod scan;
+mod tracecheck;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("analyze") => analyze::cmd_analyze(&args[1..]),
+        Some("validate-trace") => tracecheck::cmd_validate_trace(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
             usage();
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
     eprintln!("       cargo xtask analyze [--json] [--sarif <path>] [--root <path>]");
+    eprintln!("       cargo xtask validate-trace <trace.json>");
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {

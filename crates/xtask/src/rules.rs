@@ -114,17 +114,29 @@ pub(crate) const PROFILE_OPERATORS: &[&str] = &[
 /// well-formed cbs-obs metric/span name. Dynamic names (`format!`,
 /// variables) pass through — `cbs_obs::Registry` still validates them at
 /// runtime; this rule catches the static ones at lint time.
-const OBS_NAME_CALLS: &[&str] =
-    &[".counter(", ".gauge(", ".histogram(", ".windowed_histogram(", ".trace(", "span("];
+const OBS_NAME_CALLS: &[&str] = &[
+    ".counter(",
+    ".gauge(",
+    ".histogram(",
+    ".windowed_histogram(",
+    ".trace(",
+    "span(",
+    ".record_event(",
+];
 
-/// Metric families that must be registered through the `_with_help`
+/// Metric/event families that must be registered through the `_with_help`
 /// variants: these names surface in the `system:replication` /
-/// `system:staleness` catalogs and the Prometheus export, where a series
-/// without a description is unusable to an operator. The markers above
-/// only match the plain (help-less) registration calls — `_with_help`
-/// call sites contain `_with_help(`, not `.counter(` — so a match with
-/// one of these prefixes is by construction an undescribed registration.
-const OBS_DESCRIBED_PREFIXES: &[&str] = &["cluster.replication.", "chaos.staleness."];
+/// `system:staleness` / `system:events` catalogs and the Prometheus
+/// export, where a series without a description is unusable to an
+/// operator. The markers above only match the plain (help-less)
+/// registration calls — `_with_help` call sites contain `_with_help(`,
+/// not `.counter(` or `.record_event(` — so a match with one of these
+/// prefixes is by construction an undescribed registration. The
+/// `obs.trace.` and `cluster.events.` families cover the trace store's
+/// accounting counters and the cluster flight recorder's topology
+/// lifecycle events (DESIGN.md §17).
+const OBS_DESCRIBED_PREFIXES: &[&str] =
+    &["cluster.replication.", "chaos.staleness.", "obs.trace.", "cluster.events."];
 
 /// One lint diagnostic.
 #[derive(Debug, Clone)]
@@ -951,6 +963,36 @@ fn f(&self) {
         // Malformed windowed-histogram names ride the same marker list.
         let bad = lint("chaos", "fn f(r: &Registry) { r.windowed_histogram(\"BadName\"); }\n");
         assert!(bad.iter().any(|f| f.rule == "obs-naming"), "{bad:?}");
+    }
+
+    #[test]
+    fn obs_naming_covers_flight_recorder_events() {
+        // Malformed event names ride the same marker list as metrics.
+        let bad = lint("txn", "fn f(r: &Registry) { r.record_event(\"badname\", &[]); }\n");
+        assert!(bad.iter().any(|f| f.rule == "obs-naming" && f.msg.contains("badname")), "{bad:?}");
+        // Topology lifecycle events are a described family: a plain
+        // `record_event` registration is flagged...
+        let plain = lint(
+            "cluster",
+            "fn f(r: &Registry) { r.record_event(\"cluster.events.failover\", &[]); }\n",
+        );
+        assert!(
+            plain.iter().any(|f| f.rule == "obs-naming" && f.msg.contains("_with_help")),
+            "{plain:?}"
+        );
+        // ...while `record_event_with_help` never matches the plain marker.
+        let described = lint(
+            "cluster",
+            "fn f(r: &Registry) { r.record_event_with_help(\"cluster.events.failover\", \"x\", &[]); }\n",
+        );
+        assert!(described.iter().all(|f| f.rule != "obs-naming"), "{described:?}");
+        // Other event families may record without help.
+        let other =
+            lint("txn", "fn f(r: &Registry) { r.record_event(\"txn.events.abort\", &[]); }\n");
+        assert!(other.iter().all(|f| f.rule != "obs-naming"), "{other:?}");
+        // Trace-store accounting counters are also a described family.
+        let trace_ctr = lint("obs", "fn f(r: &Registry) { r.counter(\"obs.trace.minted\"); }\n");
+        assert!(trace_ctr.iter().any(|f| f.msg.contains("_with_help")), "{trace_ctr:?}");
     }
 
     #[test]

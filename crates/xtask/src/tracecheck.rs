@@ -1,0 +1,441 @@
+//! `cargo xtask validate-trace <file>` — structural validator for the
+//! Chrome `trace_event` JSON the trace store exports
+//! (`TraceStore::export_chrome`, DESIGN.md §17). The check.sh
+//! `trace-smoke` stage runs the cbstats example with `CBS_TRACE_EXPORT`
+//! set, then points this command at the written file to assert the export
+//! is loadable by `chrome://tracing` / Perfetto and actually stitched
+//! across node boundaries:
+//!
+//! - the document is well-formed JSON with a top-level `traceEvents` array;
+//! - every event is an object with a string `ph`; complete (`X`) events
+//!   carry a non-empty `name`, numeric `ts`/`dur` and a `pid`;
+//! - every `X` event's `pid` is declared by a `process_name` metadata
+//!   (`M`) event, so each span lands in a named lane;
+//! - at least two lanes are engine-node lanes (`n<digits>`) with spans in
+//!   them — a durable replicated write must light up the active *and* the
+//!   replica node, and an export that collapses to one node means the
+//!   cross-node stitching broke.
+//!
+//! Like the rest of xtask, this is dependency-free: the JSON parser below
+//! is a ~100-line recursive-descent reader, not serde.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal JSON value model — just enough to validate the export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut p = Parser { c: &bytes, at: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.at != p.c.len() {
+        return Err(format!("trailing garbage at offset {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    c: &'a [char],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.c.get(self.at).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.c.get(self.at).copied()
+    }
+
+    fn eat(&mut self, want: char) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{want}' at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.at)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        for w in word.chars() {
+            self.eat(w)?;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat('{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some('}') {
+            self.at += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.eat(':')?;
+            m.insert(k, self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.at += 1,
+                Some('}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(m));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat('[')?;
+        let mut a = Vec::new();
+        self.ws();
+        if self.peek() == Some(']') {
+            self.at += 1;
+            return Ok(Json::Arr(a));
+        }
+        loop {
+            a.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.at += 1,
+                Some(']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(a));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.at += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('/') => s.push('/'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        Some('b') => s.push('\u{8}'),
+                        Some('f') => s.push('\u{c}'),
+                        Some('u') => {
+                            let hex: String = self
+                                .c
+                                .get(self.at + 1..self.at + 5)
+                                .unwrap_or(&[])
+                                .iter()
+                                .collect();
+                            let n = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape at offset {}", self.at))?;
+                            s.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.at += 1;
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.at += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some('-') {
+            self.at += 1;
+        }
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+        }) {
+            self.at += 1;
+        }
+        let text: String = self.c[start..self.at].iter().collect();
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// Whether a lane name is an engine-node lane (`n<digits>`).
+fn is_node_lane(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next() == Some('n') && {
+        let rest: Vec<char> = chars.collect();
+        !rest.is_empty() && rest.iter().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Validate one export. Returns the human-readable problems (empty =
+/// valid). Split from the command for testability.
+pub fn validate_trace_json(src: &str) -> Vec<String> {
+    let doc = match parse_json(src) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return vec!["top-level `traceEvents` array missing".into()];
+    };
+    let mut problems = Vec::new();
+    // pid -> lane name, from `process_name` metadata events.
+    let mut lanes: BTreeMap<i64, String> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.get("ph").and_then(Json::as_str) == Some("M")
+            && ev.get("name").and_then(Json::as_str) == Some("process_name")
+        {
+            match (
+                ev.get("pid").and_then(Json::as_num),
+                ev.get("args").and_then(|a| a.get("name")).and_then(Json::as_str),
+            ) {
+                (Some(pid), Some(name)) => {
+                    lanes.insert(pid as i64, name.to_string());
+                }
+                _ => problems.push(format!("event {i}: process_name without pid or args.name")),
+            }
+        }
+    }
+    let mut spans = 0usize;
+    let mut node_lanes_with_spans: Vec<&str> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            problems.push(format!("event {i}: missing string `ph`"));
+            continue;
+        };
+        if ph != "X" {
+            continue;
+        }
+        spans += 1;
+        if ev.get("name").and_then(Json::as_str).is_none_or(str::is_empty) {
+            problems.push(format!("event {i}: X event without a name"));
+        }
+        for field in ["ts", "dur"] {
+            match ev.get(field).and_then(Json::as_num) {
+                Some(v) if v >= 0.0 => {}
+                Some(v) => problems.push(format!("event {i}: negative {field} {v}")),
+                None => problems.push(format!("event {i}: X event without numeric {field}")),
+            }
+        }
+        match ev.get("pid").and_then(Json::as_num) {
+            Some(pid) => match lanes.get(&(pid as i64)) {
+                Some(lane) => {
+                    if is_node_lane(lane) && !node_lanes_with_spans.contains(&lane.as_str()) {
+                        node_lanes_with_spans.push(lane);
+                    }
+                }
+                None => problems.push(format!(
+                    "event {i}: pid {pid} has no process_name metadata (unnamed lane)"
+                )),
+            },
+            None => problems.push(format!("event {i}: X event without a pid")),
+        }
+    }
+    if spans == 0 {
+        problems.push("no X (span) events — the export is empty".into());
+    }
+    if node_lanes_with_spans.len() < 2 {
+        problems.push(format!(
+            "spans touch {} engine-node lane(s) ({:?}) — a stitched durable write must \
+             cross at least 2 nodes (active + replica)",
+            node_lanes_with_spans.len(),
+            node_lanes_with_spans,
+        ));
+    }
+    problems
+}
+
+/// `cargo xtask validate-trace <file>` entry point.
+pub fn cmd_validate_trace(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: cargo xtask validate-trace <trace.json>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask validate-trace: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = validate_trace_json(&src);
+    if problems.is_empty() {
+        eprintln!("xtask validate-trace: {path} ok");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("xtask validate-trace: {path}: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(pid: u32, name: &str) -> String {
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        )
+    }
+
+    fn span(pid: u32, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":7,\
+             \"ts\":1.500,\"dur\":20.250,\"cat\":\"client.kv.durable\",\
+             \"args\":{{\"trace\":7,\"span\":1,\"parent\":0}}}}"
+        )
+    }
+
+    fn doc(events: &[String]) -> String {
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    #[test]
+    fn accepts_a_two_node_stitched_export() {
+        let src = doc(&[
+            meta(1, "client"),
+            meta(2, "n0"),
+            meta(3, "n1"),
+            span(1, "client.kv.durable"),
+            span(2, "kv.engine.set"),
+            span(3, "kv.engine.replica_apply"),
+        ]);
+        assert_eq!(validate_trace_json(&src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_single_node_and_malformed_exports() {
+        let one_node = doc(&[
+            meta(1, "client"),
+            meta(2, "n0"),
+            span(1, "client.kv.get"),
+            span(2, "kv.engine.set"),
+        ]);
+        let p = validate_trace_json(&one_node);
+        assert!(p.iter().any(|m| m.contains("1 engine-node lane")), "{p:?}");
+
+        let p = validate_trace_json("{\"traceEvents\": 3}");
+        assert!(p.iter().any(|m| m.contains("traceEvents")), "{p:?}");
+
+        let p = validate_trace_json("not json at all");
+        assert!(p.iter().any(|m| m.contains("not valid JSON")), "{p:?}");
+
+        let empty = doc(&[meta(1, "n0"), meta(2, "n1")]);
+        let p = validate_trace_json(&empty);
+        assert!(p.iter().any(|m| m.contains("no X (span) events")), "{p:?}");
+
+        // A span in an undeclared lane, with a bogus ts.
+        let src = "{\"traceEvents\":[\
+             {\"name\":\"x.y.z\",\"ph\":\"X\",\"pid\":9,\"tid\":1,\"ts\":\"soon\",\"dur\":1}\
+             ]}";
+        let p = validate_trace_json(src);
+        assert!(p.iter().any(|m| m.contains("without numeric ts")), "{p:?}");
+        assert!(p.iter().any(|m| m.contains("no process_name metadata")), "{p:?}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_numbers() {
+        let v = parse_json(
+            "{\"a\": [1, -2.5, 3e2, true, false, null], \"b\": {\"c\": \"q\\\"\\u0041\\n\"}}",
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(300.0),
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Null,
+            ]))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str), Some("q\"A\n"));
+        assert!(parse_json("[1, 2] trailing").is_err());
+        assert!(parse_json("[1, ]").is_err());
+        assert!(parse_json("{\"unterminated").is_err());
+    }
+
+    #[test]
+    fn node_lane_pattern_is_strict() {
+        assert!(is_node_lane("n0"));
+        assert!(is_node_lane("n12"));
+        assert!(!is_node_lane("n"));
+        assert!(!is_node_lane("node1"));
+        assert!(!is_node_lane("client"));
+        assert!(!is_node_lane("query"));
+    }
+
+    // The validator's compatibility with the *real* exporter
+    // (`cbs_obs::TraceStore::export_chrome`) is covered end-to-end by the
+    // check.sh `trace-smoke` stage — xtask itself stays dependency-free,
+    // so the fixtures above mirror the exporter's exact output shape
+    // instead of linking cbs-obs.
+}

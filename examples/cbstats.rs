@@ -4,17 +4,19 @@
 //! prints what an operator would pull from `cbstats` on a real Couchbase
 //! deployment: per-node topology, per-service op counters, latency
 //! percentiles from the merged histogram snapshots, the slow-op log with
-//! full span trees, and a Prometheus text sample.
+//! full span trees, a causally stitched end-to-end trace of one durable
+//! replicated write (DESIGN.md §17), and a Prometheus text sample.
 //!
 //! ```text
 //! cargo run --release --example cbstats
 //! CBS_NODES=2 CBS_RECORDS=500 CBS_OPS=100 cargo run --release --example cbstats
+//! CBS_TRACE_EXPORT=target/trace.json cargo run --release --example cbstats
 //! ```
 
 use std::time::Duration;
 
 use cbs_ycsb::{run_workload, LoadPhase, WorkloadSpec};
-use couchbase_repro::{ClusterConfig, CouchbaseCluster, QueryOptions};
+use couchbase_repro::{ClusterConfig, CouchbaseCluster, Durability, QueryOptions};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -210,6 +212,77 @@ fn main() {
     for op in stats.slow_ops.iter().rev().take(3) {
         println!("[{}] {:.1?}", op.service, op.total);
         print!("{}", op.render());
+    }
+
+    // Causal end-to-end tracing (DESIGN.md §17): sample every operation,
+    // run one durable replicated write, and render the stitched span tree
+    // — client -> active engine -> replication deliver -> replica apply ->
+    // flusher WAL commit, one trace id across every lane.
+    let store = std::sync::Arc::clone(cluster.inner().trace_store());
+    store.set_sample_every(1);
+    let bucket = cluster.bucket("ycsb").expect("bucket handle");
+    let durability = Durability { replicate_to: 1, persist_to_master: true };
+    bucket
+        .upsert_durable(
+            "trace::demo",
+            couchbase_repro::Value::int(1),
+            durability,
+            Duration::from_secs(5),
+        )
+        .expect("durable traced write (needs >= 2 nodes and 1 replica)");
+    // The replica-side spans are recorded by the replication pump threads;
+    // wait for the durable trace to carry them before rendering.
+    let mut durable_trace = None;
+    for _ in 0..400 {
+        durable_trace = store.completed_traces().into_iter().rev().find(|t| {
+            t.root_name == "client.kv.durable"
+                && t.span("kv.engine.replica_apply").is_some()
+                && t.span("kv.flusher.wal_commit").is_some()
+        });
+        if durable_trace.is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let traces = store.completed_traces();
+    println!("\n== completed traces ({} retained, stitched across lanes) ==", traces.len());
+    println!("{:<10} {:<22} {:>10} {:>6}  lanes", "trace", "root", "total", "spans");
+    for t in traces.iter().rev().take(5) {
+        let lanes: Vec<String> = t.lanes().iter().map(|l| l.to_string()).collect();
+        println!(
+            "t{:<9x} {:<22} {:>10} {:>6}  {}",
+            t.trace_id,
+            t.root_name,
+            format!("{:.1?}", t.total),
+            t.spans.len(),
+            lanes.join("+"),
+        );
+    }
+    match &durable_trace {
+        Some(t) => {
+            println!("\none durable replicated write, end to end:");
+            print!("{}", t.render());
+        }
+        None => println!("\n(no stitched durable trace captured — is the cluster >= 2 nodes?)"),
+    }
+
+    // The same traces and the flight-recorder timeline as N1QL keyspaces.
+    let trace_rows = cluster
+        .query("SELECT * FROM system:completed_traces", &QueryOptions::default())
+        .expect("query the trace catalog");
+    println!("\nsystem:completed_traces via N1QL: {} rows", trace_rows.rows.len());
+    let event_rows = cluster
+        .query("SELECT * FROM system:events", &QueryOptions::default())
+        .expect("query the flight recorder");
+    println!("system:events via N1QL: {} rows", event_rows.rows.len());
+
+    // CBS_TRACE_EXPORT=<path>: dump every retained trace in the Chrome
+    // `trace_event` format (load it in chrome://tracing or Perfetto;
+    // `cargo xtask validate-trace <path>` checks it structurally).
+    if let Ok(path) = std::env::var("CBS_TRACE_EXPORT") {
+        std::fs::write(&path, store.export_chrome()).expect("write trace export");
+        println!("chrome trace export written to {path}");
     }
 
     let prom = stats.prometheus();

@@ -7,6 +7,7 @@
 #   scripts/check.sh plancache-smoke # prepared-statement fast path only (<10s)
 #   scripts/check.sh staleness-smoke # measure-mode staleness replay only (<30s)
 #   scripts/check.sh txn-smoke       # serializability replay + txn chaos (<15s)
+#   scripts/check.sh trace-smoke     # stitched causal trace + Chrome export (<60s)
 #
 # Stages:
 #   1. cargo fmt --check          formatting (rustfmt.toml)
@@ -98,6 +99,41 @@ staleness_smoke() {
     fi
     rm -f "$snap"
 }
+
+# Causal-tracing smoke (DESIGN.md §17): drive cbstats with full sampling
+# and a Chrome export, require the rendered stitched trace of one durable
+# replicated write (client lane -> active engine -> replication deliver ->
+# replica apply -> WAL commit), populated trace/event catalogs, and a
+# structurally valid trace_event JSON with >= 2 node lanes
+# (`cargo xtask validate-trace`).
+trace_smoke() {
+    local out
+    out="$(CBS_NODES=2 CBS_RECORDS=500 CBS_OPS=100 CBS_TRACE_SAMPLE=1 \
+        CBS_TRACE_EXPORT=target/trace.json \
+        cargo run --quiet --release --example cbstats 2>/dev/null)" || return 1
+    echo "$out" | grep -q "completed traces" || { echo "    missing trace table"; return 1; }
+    for span in client.kv.durable kv.engine.set cluster.replication.deliver \
+        kv.engine.replica_apply kv.flusher.wal_commit; do
+        echo "$out" | grep -q "$span" || { echo "    stitched trace lacks $span"; return 1; }
+    done
+    echo "$out" | grep -Eq "system:completed_traces via N1QL: [1-9]" \
+        || { echo "    trace catalog empty"; return 1; }
+    echo "$out" | grep -Eq "system:events via N1QL: [1-9]" \
+        || { echo "    flight recorder catalog empty"; return 1; }
+    [ -s target/trace.json ] || { echo "    target/trace.json missing"; return 1; }
+    cargo run --quiet -p xtask -- validate-trace target/trace.json \
+        || { echo "    trace export failed structural validation"; return 1; }
+}
+
+if [ "${1:-}" = "trace-smoke" ]; then
+    run "trace smoke (stitched causal trace + export)" trace_smoke
+    if [ "$FAILED" -ne 0 ]; then
+        echo "check.sh trace-smoke: FAILED"
+        exit 1
+    fi
+    echo "check.sh trace-smoke: passed"
+    exit 0
+fi
 
 if [ "${1:-}" = "chaos-smoke" ]; then
     run "chaos smoke (fixed seed)" chaos_smoke
@@ -196,6 +232,7 @@ obs_profile_smoke() {
         || { echo "    request log empty or not queryable"; return 1; }
 }
 run "obs-profile smoke (PROFILE + request log)" obs_profile_smoke
+run "trace smoke (stitched causal trace + export)" trace_smoke
 run "staleness smoke (measure-mode replay)" staleness_smoke
 
 # --- best-effort dynamic analysis -----------------------------------------
